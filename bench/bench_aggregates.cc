@@ -1,0 +1,90 @@
+// Experiment E9 (Sec. 6 outlook): the spatio-temporal aggregate
+// operator of [Zhang/Gertz/Aksoy 2004] integrated as a stream
+// operator.
+//
+// Series reported:
+//   * throughput vs number of monitored regions (the operator tests
+//     every point against every region);
+//   * throughput vs window length (state is constant-size, so the
+//     rate must not depend on the window);
+//   * state bytes (constant, independent of stream length).
+
+#include "bench_util.h"
+#include "ops/aggregate_op.h"
+
+namespace geostreams {
+namespace {
+
+using bench_util::BenchLattice;
+using bench_util::PushBenchFrame;
+using bench_util::ReportPoints;
+
+std::vector<RegionPtr> MakeRegions(const BoundingBox& extent, int n) {
+  std::vector<RegionPtr> regions;
+  for (int i = 0; i < n; ++i) {
+    const double fx = (i % 8) / 8.0;
+    const double fy = (i / 8 % 8) / 8.0;
+    const double x0 = extent.min_x + fx * extent.width();
+    const double y0 = extent.min_y + fy * extent.height();
+    regions.push_back(MakeBBoxRegion(x0, y0, x0 + extent.width() / 8.0,
+                                     y0 + extent.height() / 8.0));
+  }
+  return regions;
+}
+
+void BM_Aggregate_RegionCount(benchmark::State& state) {
+  const int regions = static_cast<int>(state.range(0));
+  const int64_t w = 512, h = 256;
+  GridLattice lattice = BenchLattice(w, h);
+  AggregateOp op("a", AggregateFn::kAvg,
+                 MakeRegions(lattice.Extent(), regions), 1);
+  NullSink sink;
+  op.BindOutput(&sink);
+  int64_t frame = 0;
+  for (auto _ : state) {
+    PushBenchFrame(op.input(0), lattice, frame++);
+  }
+  ReportPoints(state, w * h);
+  state.counters["regions"] = regions;
+  state.counters["state_bytes"] = static_cast<double>(
+      op.metrics().buffered_bytes_high_water);
+}
+BENCHMARK(BM_Aggregate_RegionCount)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Aggregate_WindowLength(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  const int64_t w = 512, h = 256;
+  GridLattice lattice = BenchLattice(w, h);
+  AggregateOp op("a", AggregateFn::kAvg, MakeRegions(lattice.Extent(), 8),
+                 window);
+  NullSink sink;
+  op.BindOutput(&sink);
+  int64_t frame = 0;
+  for (auto _ : state) {
+    PushBenchFrame(op.input(0), lattice, frame++);
+  }
+  ReportPoints(state, w * h);
+  state.counters["window_frames"] = window;
+  state.counters["state_bytes"] = static_cast<double>(
+      op.metrics().buffered_bytes_high_water);
+}
+BENCHMARK(BM_Aggregate_WindowLength)->Arg(1)->Arg(4)->Arg(16)->Arg(96);
+
+void BM_Aggregate_Functions(benchmark::State& state) {
+  const auto fn = static_cast<AggregateFn>(state.range(0));
+  const int64_t w = 512, h = 256;
+  GridLattice lattice = BenchLattice(w, h);
+  AggregateOp op("a", fn, MakeRegions(lattice.Extent(), 8), 1);
+  NullSink sink;
+  op.BindOutput(&sink);
+  int64_t frame = 0;
+  for (auto _ : state) {
+    PushBenchFrame(op.input(0), lattice, frame++);
+  }
+  ReportPoints(state, w * h);
+  state.SetLabel(AggregateFnName(fn));
+}
+BENCHMARK(BM_Aggregate_Functions)->DenseRange(0, 4);
+
+}  // namespace
+}  // namespace geostreams

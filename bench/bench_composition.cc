@@ -1,0 +1,159 @@
+// Experiment E4 (Sec. 3.3): composition buffering depends on the
+// point organization of the input streams.
+//
+// "If the data is transmitted on an image-by-image basis, the operator
+// has to buffer a complete image whereas for a row-by-row organization
+// it only has to buffer a single row of one stream."
+//
+// Series reported, per organization in {row-by-row, image-by-image}:
+//   * throughput of a two-band NDVI composition;
+//   * buffered_bytes high-water (one row vs one frame);
+//   * buffer_ratio_frame: buffered bytes / full-frame bytes.
+
+#include "bench_util.h"
+#include "ops/compose_op.h"
+#include "ops/macro_ops.h"
+#include "server/scan_schedule.h"
+#include "server/stream_generator.h"
+
+namespace geostreams {
+namespace {
+
+using bench_util::CheckOk;
+using bench_util::ReportPoints;
+
+InstrumentConfig MakeConfig(PointOrganization org, int64_t cells) {
+  InstrumentConfig config;
+  config.crs_name = "latlon";
+  config.cells_per_sector = cells;
+  config.organization = org;
+  config.bands = {SpectralBand::kNearInfrared, SpectralBand::kVisible};
+  return config;
+}
+
+void RunComposition(benchmark::State& state, PointOrganization org) {
+  const int64_t cells = state.range(0);
+  StreamGenerator gen(MakeConfig(org, cells), ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+  ComposeOp op("ndvi", BinaryValueFn::Ndvi());
+  NullSink sink;
+  op.BindOutput(&sink);
+  int64_t scan = 0;
+  for (auto _ : state) {
+    CheckOk(gen.GenerateScans(scan, 1, {op.input(0), op.input(1)}), "scan");
+    ++scan;
+  }
+  // Two bands of `cells` points per iteration.
+  ReportPoints(state, 2 * cells);
+  state.SetLabel(PointOrganizationName(org));
+  const double buffered =
+      static_cast<double>(op.metrics().buffered_bytes_high_water);
+  state.counters["sector_cells"] = static_cast<double>(cells);
+  state.counters["buffered_bytes"] = buffered;
+  // Bytes per pending entry ~24; a full frame would be cells * 24.
+  state.counters["buffer_ratio_frame"] =
+      buffered / (static_cast<double>(cells) * 24.0);
+  state.counters["matches"] = static_cast<double>(op.matches());
+}
+
+void BM_Composition_RowByRow(benchmark::State& state) {
+  RunComposition(state, PointOrganization::kRowByRow);
+}
+BENCHMARK(BM_Composition_RowByRow)
+    ->Arg(16 << 10)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10);
+
+void BM_Composition_ImageByImage(benchmark::State& state) {
+  RunComposition(state, PointOrganization::kImageByImage);
+}
+BENCHMARK(BM_Composition_ImageByImage)
+    ->Arg(16 << 10)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10);
+
+// --- gamma function sweep ------------------------------------------------------
+
+void BM_Composition_Gamma(benchmark::State& state) {
+  const int64_t cells = 64 << 10;
+  StreamGenerator gen(MakeConfig(PointOrganization::kRowByRow, cells),
+                      ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+  ComposeOp op("c", static_cast<ComposeFn>(state.range(0)), 1);
+  NullSink sink;
+  op.BindOutput(&sink);
+  int64_t scan = 0;
+  for (auto _ : state) {
+    CheckOk(gen.GenerateScans(scan, 1, {op.input(0), op.input(1)}), "scan");
+    ++scan;
+  }
+  ReportPoints(state, 2 * cells);
+  state.SetLabel(ComposeFnName(static_cast<ComposeFn>(state.range(0))));
+}
+BENCHMARK(BM_Composition_Gamma)->DenseRange(0, 5);
+
+// --- fused NDVI macro vs expanded composition tree (Sec. 4 ablation) ------------
+
+void BM_NdviMacro_Fused(benchmark::State& state) {
+  const int64_t cells = 64 << 10;
+  StreamGenerator gen(MakeConfig(PointOrganization::kRowByRow, cells),
+                      ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+  auto op = MakeNdviOp("ndvi");
+  NullSink sink;
+  op->BindOutput(&sink);
+  int64_t scan = 0;
+  for (auto _ : state) {
+    CheckOk(gen.GenerateScans(scan, 1, {op->input(0), op->input(1)}),
+            "scan");
+    ++scan;
+  }
+  ReportPoints(state, 2 * cells);
+}
+BENCHMARK(BM_NdviMacro_Fused);
+
+void BM_NdviExpanded_ThreeCompositions(benchmark::State& state) {
+  // div(sub(nir, vis), add(nir, vis)): three ComposeOps and two
+  // broadcast fan-outs — the plan the optimizer fuses away.
+  const int64_t cells = 64 << 10;
+  StreamGenerator gen(MakeConfig(PointOrganization::kRowByRow, cells),
+                      ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+  ComposeOp sub("sub", ComposeFn::kSubtract);
+  ComposeOp add("add", ComposeFn::kAdd);
+  ComposeOp div("div", ComposeFn::kDivide);
+  NullSink sink;
+  sub.BindOutput(div.input(0));
+  add.BindOutput(div.input(1));
+  div.BindOutput(&sink);
+
+  class FanOut : public EventSink {
+   public:
+    FanOut(EventSink* a, EventSink* b) : a_(a), b_(b) {}
+    Status Consume(const StreamEvent& e) override {
+      GEOSTREAMS_RETURN_IF_ERROR(a_->Consume(e));
+      return b_->Consume(e);
+    }
+
+   private:
+    EventSink* a_;
+    EventSink* b_;
+  };
+  FanOut nir(sub.input(0), add.input(0));
+  FanOut vis(sub.input(1), add.input(1));
+
+  int64_t scan = 0;
+  for (auto _ : state) {
+    CheckOk(gen.GenerateScans(scan, 1, {&nir, &vis}), "scan");
+    ++scan;
+  }
+  ReportPoints(state, 2 * cells);
+  state.counters["pending_bytes"] = static_cast<double>(
+      sub.metrics().buffered_bytes_high_water +
+      add.metrics().buffered_bytes_high_water +
+      div.metrics().buffered_bytes_high_water);
+}
+BENCHMARK(BM_NdviExpanded_ThreeCompositions);
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,177 @@
+// Experiment E8 (Secs. 1 and 4, Fig. 3): end-to-end DSMS throughput.
+//
+// GOES-class instruments downlink 20-60 GB/day (~0.25-0.7 MB/s
+// sustained). This bench drives the whole Fig. 3 pipeline — stream
+// generator -> ingest -> shared restriction -> per-query plans
+// (restriction / NDVI / reprojection) -> delivery — and reports the
+// sustained ingest rate, which must exceed the GOES requirement by a
+// wide margin on one core.
+//
+// Series reported:
+//   * ingest MB/s (counting 4 bytes/point, the instrument's sample
+//     width) for 1 / 8 / 64 concurrent queries;
+//   * per-scan latency;
+//   * delivered frames per scan.
+
+#include <atomic>
+#include <string>
+
+#include "bench_util.h"
+#include "server/dsms_server.h"
+#include "server/scan_schedule.h"
+#include "server/stream_generator.h"
+#include "stream/executor.h"
+
+namespace geostreams {
+namespace {
+
+using bench_util::CheckOk;
+using bench_util::ValueOrDie;
+
+constexpr int64_t kCells = 64 << 10;
+
+InstrumentConfig MakeConfig() {
+  InstrumentConfig config;
+  config.crs_name = "latlon";
+  config.cells_per_sector = kCells;
+  config.bands = {SpectralBand::kNearInfrared, SpectralBand::kVisible};
+  config.name_prefix = "goes";
+  return config;
+}
+
+/// Queries clients would register: regional raw-band subscriptions,
+/// NDVI products, and a re-projected product.
+std::string QueryForClient(int i) {
+  switch (i % 4) {
+    case 0: {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "region(goes.band1, bbox(%d, %d, %d, %d))",
+                    -125 + (i % 7) * 5, 25 + (i % 5) * 3,
+                    -115 + (i % 7) * 5, 33 + (i % 5) * 3);
+      return buf;
+    }
+    case 1:
+      return "region(ndvi(goes.band2, goes.band1), "
+             "bbox(-120, 28, -95, 45))";
+    case 2:
+      return "vrange(goes.band2, 0, 0.3, 1.0)";
+    default:
+      return "region(reproject(ndvi(goes.band2, goes.band1), "
+             "\"mercator\"), bbox(-13000000, 3000000, -10000000, 5500000))";
+  }
+}
+
+void BM_DsmsEndToEnd(benchmark::State& state) {
+  const int num_queries = static_cast<int>(state.range(0));
+  DsmsOptions options;
+  options.shared_restriction = true;
+  DsmsServer server(options);
+  StreamGenerator gen(MakeConfig(), ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+  for (size_t b = 0; b < 2; ++b) {
+    CheckOk(server.RegisterStream(ValueOrDie(gen.Descriptor(b), "desc")),
+            "register stream");
+  }
+  uint64_t frames_delivered = 0;
+  for (int i = 0; i < num_queries; ++i) {
+    auto id = server.RegisterQuery(
+        QueryForClient(i),
+        [&frames_delivered](int64_t, const Raster&,
+                            const std::vector<uint8_t>&) {
+          ++frames_delivered;
+        });
+    CheckOk(id.status(), "register query");
+  }
+  std::vector<EventSink*> sinks = {server.ingest("goes.band2"),
+                                   server.ingest("goes.band1")};
+  int64_t scan = 0;
+  for (auto _ : state) {
+    CheckOk(gen.GenerateScans(scan, 1, sinks), "scan");
+    ++scan;
+  }
+  const double points =
+      static_cast<double>(state.iterations()) * 2.0 * kCells;
+  state.SetItemsProcessed(static_cast<int64_t>(points));
+  // The physical GOES sample is 4 bytes (f32 radiance).
+  state.counters["ingest_MBps"] = benchmark::Counter(
+      points * 4.0 / 1.0e6, benchmark::Counter::kIsRate);
+  state.counters["goes_requirement_MBps"] = 0.7;
+  state.counters["queries"] = num_queries;
+  state.counters["frames_per_scan"] =
+      static_cast<double>(frames_delivered) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DsmsEndToEnd)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_DsmsEndToEnd_PngDelivery(benchmark::State& state) {
+  // Same pipeline with PNG encoding turned on for every frame.
+  DsmsOptions options;
+  options.encode_png = true;
+  DsmsServer server(options);
+  StreamGenerator gen(MakeConfig(), ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+  for (size_t b = 0; b < 2; ++b) {
+    CheckOk(server.RegisterStream(ValueOrDie(gen.Descriptor(b), "desc")),
+            "register stream");
+  }
+  uint64_t png_bytes = 0;
+  auto id = server.RegisterQuery(
+      "region(goes.band1, bbox(-120, 28, -100, 45))",
+      [&png_bytes](int64_t, const Raster&, const std::vector<uint8_t>& png) {
+        png_bytes += png.size();
+      });
+  CheckOk(id.status(), "register query");
+  std::vector<EventSink*> sinks = {server.ingest("goes.band2"),
+                                   server.ingest("goes.band1")};
+  int64_t scan = 0;
+  for (auto _ : state) {
+    CheckOk(gen.GenerateScans(scan, 1, sinks), "scan");
+    ++scan;
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kCells);
+  state.counters["png_bytes_per_scan"] =
+      static_cast<double>(png_bytes) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DsmsEndToEnd_PngDelivery);
+
+void BM_Dsms_ThreadedIngest(benchmark::State& state) {
+  // Ingest decoupled from query processing by a bounded queue
+  // (StageRunner), as a receiving station would run it.
+  DsmsServer server;
+  StreamGenerator gen(MakeConfig(), ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+  for (size_t b = 0; b < 2; ++b) {
+    CheckOk(server.RegisterStream(ValueOrDie(gen.Descriptor(b), "desc")),
+            "register stream");
+  }
+  // One single-band query per band so the two ingest worker threads
+  // drive disjoint plans (operators are single-threaded by design;
+  // cross-band queries would need a serializing stage in front).
+  std::atomic<uint64_t> frames{0};
+  for (const char* q :
+       {"region(goes.band2, bbox(-120, 28, -95, 45))",
+        "vrange(goes.band1, 0, 0.2, 0.9)"}) {
+    auto id = server.RegisterQuery(
+        q, [&frames](int64_t, const Raster&, const std::vector<uint8_t>&) {
+          frames.fetch_add(1, std::memory_order_relaxed);
+        });
+    CheckOk(id.status(), "register query");
+  }
+  for (auto _ : state) {
+    StageRunner nir(server.ingest("goes.band2"), 64);
+    StageRunner vis(server.ingest("goes.band1"), 64);
+    CheckOk(gen.GenerateScans(0, 4, {&nir, &vis}), "scan");
+    CheckOk(nir.Drain(), "drain nir");
+    CheckOk(vis.Drain(), "drain vis");
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * kCells);
+  state.counters["ingest_MBps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 8.0 * kCells * 4.0 / 1.0e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dsms_ThreadedIngest);
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,120 @@
+// Experiment F1 (Fig. 1): point-set organizations of remote-sensing
+// instruments and their spatial/temporal proximity structure.
+//
+// "An important feature of the GeoStreams data model ... is that
+// consecutive points in a GeoStream have a close spatial proximity"
+// — except across frame boundaries (image-by-image) and for
+// point-by-point instruments, where only temporal proximity holds.
+//
+// Series reported per organization:
+//   * generation throughput (the stream generator is the substrate
+//     for every other experiment; it must outrun the operators);
+//   * mean and p99-style max consecutive-point lattice distance — the
+//     quantitative form of Fig. 1: ~1 cell for row-by-row and
+//     image-by-image interiors, large for point-by-point.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "server/scan_schedule.h"
+#include "server/stream_generator.h"
+
+namespace geostreams {
+namespace {
+
+using bench_util::CheckOk;
+using bench_util::ReportPoints;
+
+constexpr int64_t kCells = 64 << 10;
+
+/// Measures consecutive-point lattice distances.
+class ProximityProbe : public EventSink {
+ public:
+  Status Consume(const StreamEvent& event) override {
+    if (event.kind != EventKind::kPointBatch) return Status::OK();
+    const PointBatch& b = *event.batch;
+    for (size_t i = 0; i < b.size(); ++i) {
+      if (has_prev_) {
+        const double dc = b.cols[i] - prev_col_;
+        const double dr = b.rows[i] - prev_row_;
+        const double d = std::sqrt(dc * dc + dr * dr);
+        sum_ += d;
+        if (d > max_) max_ = d;
+        ++count_;
+      }
+      prev_col_ = b.cols[i];
+      prev_row_ = b.rows[i];
+      has_prev_ = true;
+    }
+    return Status::OK();
+  }
+
+  double MeanDistance() const { return count_ ? sum_ / count_ : 0.0; }
+  double MaxDistance() const { return max_; }
+
+ private:
+  bool has_prev_ = false;
+  int32_t prev_col_ = 0;
+  int32_t prev_row_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+void RunOrganization(benchmark::State& state, PointOrganization org) {
+  InstrumentConfig config;
+  config.crs_name = "latlon";
+  config.cells_per_sector = kCells;
+  config.organization = org;
+  config.bands = {SpectralBand::kVisible};
+  StreamGenerator gen(config, ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+  ProximityProbe probe;
+  int64_t scan = 0;
+  for (auto _ : state) {
+    CheckOk(gen.GenerateScans(scan, 1, {&probe}), "scan");
+    ++scan;
+  }
+  ReportPoints(state, kCells);
+  state.SetLabel(PointOrganizationName(org));
+  state.counters["mean_consecutive_cell_distance"] = probe.MeanDistance();
+  state.counters["max_consecutive_cell_distance"] = probe.MaxDistance();
+}
+
+void BM_Organization_RowByRow(benchmark::State& state) {
+  RunOrganization(state, PointOrganization::kRowByRow);
+}
+BENCHMARK(BM_Organization_RowByRow);
+
+void BM_Organization_ImageByImage(benchmark::State& state) {
+  RunOrganization(state, PointOrganization::kImageByImage);
+}
+BENCHMARK(BM_Organization_ImageByImage);
+
+void BM_Organization_PointByPoint(benchmark::State& state) {
+  RunOrganization(state, PointOrganization::kPointByPoint);
+}
+BENCHMARK(BM_Organization_PointByPoint);
+
+void BM_Generator_GeostationaryProjectionCost(benchmark::State& state) {
+  // The geostationary instrument pays inverse projection math per
+  // sample; quantifies the substrate cost vs the lat/lon instrument.
+  InstrumentConfig config;
+  config.crs_name = state.range(0) == 0 ? "latlon" : "geos:-75";
+  config.cells_per_sector = kCells;
+  config.bands = {SpectralBand::kVisible};
+  StreamGenerator gen(config, ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+  NullSink sink;
+  int64_t scan = 0;
+  for (auto _ : state) {
+    CheckOk(gen.GenerateScans(scan, 1, {&sink}), "scan");
+    ++scan;
+  }
+  ReportPoints(state, kCells);
+  state.SetLabel(config.crs_name);
+}
+BENCHMARK(BM_Generator_GeostationaryProjectionCost)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace geostreams

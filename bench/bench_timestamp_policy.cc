@@ -1,0 +1,69 @@
+// Experiment E5 (Sec. 3.3): timestamping policy decides whether a
+// composition can ever produce output.
+//
+// "If incoming points are timestamped based on when the points were
+// measured, a stream composition operator would never produce new
+// image data as respective timestamps would never match. That is why
+// in practice, point data is timestamped using scan-sector
+// identifiers."
+//
+// Series reported per policy in {measurement-time, scan-sector-id}:
+//   * matches and points_out (0 vs full frame);
+//   * peak pending-buffer bytes (eviction keeps measurement-time
+//     bounded, but it still pays a full frame of transient state);
+//   * throughput (the doomed composition still costs hashing work).
+
+#include "bench_util.h"
+#include "ops/compose_op.h"
+#include "server/scan_schedule.h"
+#include "server/stream_generator.h"
+
+namespace geostreams {
+namespace {
+
+using bench_util::CheckOk;
+using bench_util::ReportPoints;
+
+void RunPolicy(benchmark::State& state, TimestampPolicy policy) {
+  const int64_t cells = 64 << 10;
+  InstrumentConfig config;
+  config.crs_name = "latlon";
+  config.cells_per_sector = cells;
+  config.organization = PointOrganization::kRowByRow;
+  config.timestamp_policy = policy;
+  config.bands = {SpectralBand::kNearInfrared, SpectralBand::kVisible};
+  StreamGenerator gen(config, ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+
+  ComposeOp op("ndvi", BinaryValueFn::Ndvi());
+  NullSink sink;
+  op.BindOutput(&sink);
+  int64_t scan = 0;
+  for (auto _ : state) {
+    CheckOk(gen.GenerateScans(scan, 1, {op.input(0), op.input(1)}), "scan");
+    ++scan;
+  }
+  ReportPoints(state, 2 * cells);
+  state.SetLabel(TimestampPolicyName(policy));
+  state.counters["matches"] = static_cast<double>(op.matches());
+  state.counters["points_out"] =
+      static_cast<double>(op.metrics().points_out);
+  state.counters["match_rate_pct"] =
+      100.0 * static_cast<double>(op.matches()) /
+      static_cast<double>(static_cast<int64_t>(state.iterations()) * cells);
+  state.counters["pending_bytes_high_water"] = static_cast<double>(
+      op.metrics().buffered_bytes_high_water);
+}
+
+void BM_Timestamp_ScanSectorId(benchmark::State& state) {
+  RunPolicy(state, TimestampPolicy::kScanSectorId);
+}
+BENCHMARK(BM_Timestamp_ScanSectorId);
+
+void BM_Timestamp_MeasurementTime(benchmark::State& state) {
+  RunPolicy(state, TimestampPolicy::kMeasurementTime);
+}
+BENCHMARK(BM_Timestamp_MeasurementTime);
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,87 @@
+// Shared helpers for the GeoStreams experiment harness.
+//
+// Each bench binary regenerates one experiment from DESIGN.md's
+// index (E1-E9, F1): it builds the workload the paper's claim is
+// about, runs the operators, and reports both wall-clock rates and
+// the structural quantities (buffered bytes, points routed) the
+// paper's cost analysis predicts.
+
+#ifndef GEOSTREAMS_BENCH_BENCH_UTIL_H_
+#define GEOSTREAMS_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/stream_event.h"
+#include "geo/geographic_crs.h"
+#include "geo/lattice.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+namespace bench_util {
+
+/// Aborts the benchmark binary on error (benchmarks have no Status
+/// plumbing; a failed setup is a bug).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+inline T ValueOrDie(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// w x h lat/lon lattice over a CONUS-like window.
+inline GridLattice BenchLattice(int64_t w, int64_t h) {
+  const double step_x = 59.0 / static_cast<double>(w);
+  const double step_y = 26.0 / static_cast<double>(h);
+  return GridLattice(GeographicCrs::Instance(), -125.0 + step_x / 2.0,
+                     50.0 - step_y / 2.0, step_x, -step_y, w, h);
+}
+
+/// Pushes one frame of w x h deterministic points, one batch per row.
+inline void PushBenchFrame(EventSink* sink, const GridLattice& lattice,
+                           int64_t frame_id) {
+  FrameInfo info;
+  info.frame_id = frame_id;
+  info.lattice = lattice;
+  info.expected_points = lattice.num_cells();
+  CheckOk(sink->Consume(StreamEvent::FrameBegin(info)), "FrameBegin");
+  for (int64_t row = 0; row < lattice.height(); ++row) {
+    auto batch = std::make_shared<PointBatch>();
+    batch->frame_id = frame_id;
+    batch->band_count = 1;
+    batch->Reserve(static_cast<size_t>(lattice.width()));
+    for (int64_t col = 0; col < lattice.width(); ++col) {
+      const double v =
+          0.001 * static_cast<double>(col) +
+          0.0001 * static_cast<double>(row) +
+          0.01 * static_cast<double>(frame_id % 10);
+      batch->Append1(static_cast<int32_t>(col), static_cast<int32_t>(row),
+                     frame_id, v);
+    }
+    CheckOk(sink->Consume(StreamEvent::Batch(std::move(batch))), "Batch");
+  }
+  CheckOk(sink->Consume(StreamEvent::FrameEnd(info)), "FrameEnd");
+}
+
+/// Standard throughput counters.
+inline void ReportPoints(benchmark::State& state, int64_t points_per_iter) {
+  state.SetItemsProcessed(state.iterations() * points_per_iter);
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * points_per_iter),
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace bench_util
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_BENCH_BENCH_UTIL_H_

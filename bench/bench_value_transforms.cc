@@ -1,0 +1,143 @@
+// Experiment E2 (Sec. 3.2): pointwise value transforms are O(1) per
+// point with no storage; stretch transforms must buffer the frame, so
+// their space cost scales with the largest frame (the paper quotes
+// ~280 MB for a full-resolution GOES visible frame of 20,840 x
+// 10,820 points).
+//
+// Series reported:
+//   * pointwise transform rates (colour->grey, rescale);
+//   * stretch rates for linear / hist-eq / Gaussian modes;
+//   * buffered_bytes vs frame size for the stretch (linear in frame
+//     size) vs pointwise (always 0);
+//   * extrapolation counter goes_full_frame_mb: measured bytes/point
+//     x the real GOES frame size.
+
+#include "bench_util.h"
+#include "ops/stretch_transform_op.h"
+#include "ops/value_transform_op.h"
+
+namespace geostreams {
+namespace {
+
+using bench_util::BenchLattice;
+using bench_util::PushBenchFrame;
+using bench_util::ReportPoints;
+
+void BM_Pointwise_Rescale(benchmark::State& state) {
+  const int64_t w = 1024, h = 256;
+  GridLattice lattice = BenchLattice(w, h);
+  ValueTransformOp op("v", ValueFn::AffineRescale(1, 255.0, 0.0));
+  NullSink sink;
+  op.BindOutput(&sink);
+  for (auto _ : state) {
+    PushBenchFrame(op.input(0), lattice, 0);
+  }
+  ReportPoints(state, w * h);
+  state.counters["buffered_bytes"] = static_cast<double>(
+      op.metrics().buffered_bytes_high_water);
+}
+BENCHMARK(BM_Pointwise_Rescale);
+
+void BM_Pointwise_ColorToGray(benchmark::State& state) {
+  const int64_t w = 512, h = 256;
+  ValueTransformOp op("v", ValueFn::ColorToGray());
+  NullSink sink;
+  op.BindOutput(&sink);
+  // Pre-built 3-band batch.
+  auto batch = std::make_shared<PointBatch>();
+  batch->band_count = 3;
+  for (int64_t r = 0; r < h; ++r) {
+    for (int64_t c = 0; c < w; ++c) {
+      const double rgb[3] = {static_cast<double>(c % 256),
+                             static_cast<double>(r % 256), 128.0};
+      batch->Append(static_cast<int32_t>(c), static_cast<int32_t>(r), 0,
+                    rgb);
+    }
+  }
+  for (auto _ : state) {
+    bench_util::CheckOk(op.input(0)->Consume(StreamEvent::Batch(batch)),
+                        "batch");
+  }
+  ReportPoints(state, w * h);
+}
+BENCHMARK(BM_Pointwise_ColorToGray);
+
+void BM_Stretch_Modes(benchmark::State& state) {
+  const int64_t w = 512, h = 256;
+  GridLattice lattice = BenchLattice(w, h);
+  StretchOptions opts;
+  opts.mode = static_cast<StretchMode>(state.range(0));
+  opts.in_lo = 0.0;
+  opts.in_hi = 1.5;
+  StretchTransformOp op("s", opts);
+  NullSink sink;
+  op.BindOutput(&sink);
+  for (auto _ : state) {
+    PushBenchFrame(op.input(0), lattice, 0);
+  }
+  ReportPoints(state, w * h);
+  state.SetLabel(StretchModeName(opts.mode));
+  state.counters["buffered_bytes"] = static_cast<double>(
+      op.metrics().buffered_bytes_high_water);
+}
+BENCHMARK(BM_Stretch_Modes)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Stretch_FrameSizeBuffering(benchmark::State& state) {
+  // The paper's claim: "the cost of a stretch transform operator is
+  // determined by the size of the largest frame that can occur".
+  const int64_t n = state.range(0);
+  const int64_t w = 512;
+  const int64_t h = n / w;
+  GridLattice lattice = BenchLattice(w, h);
+  StretchOptions opts;
+  opts.mode = StretchMode::kLinear;
+  opts.in_lo = 0.0;
+  opts.in_hi = 1.5;
+  StretchTransformOp op("s", opts);
+  NullSink sink;
+  op.BindOutput(&sink);
+  for (auto _ : state) {
+    PushBenchFrame(op.input(0), lattice, 0);
+  }
+  ReportPoints(state, n);
+  const double buffered =
+      static_cast<double>(op.metrics().buffered_bytes_high_water);
+  state.counters["frame_points"] = static_cast<double>(n);
+  state.counters["buffered_bytes"] = buffered;
+  state.counters["bytes_per_point"] = buffered / static_cast<double>(n);
+  // Extrapolate to the real GOES visible frame (20,840 x 10,820).
+  state.counters["goes_full_frame_mb"] =
+      buffered / static_cast<double>(n) * 20840.0 * 10820.0 / 1.0e6;
+}
+BENCHMARK(BM_Stretch_FrameSizeBuffering)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Arg(2 << 20);
+
+void BM_Pointwise_NoBufferingControl(benchmark::State& state) {
+  // Same frame sizes as the stretch sweep, pointwise transform:
+  // buffered_bytes must stay 0 regardless of frame size.
+  const int64_t n = state.range(0);
+  const int64_t w = 512;
+  const int64_t h = n / w;
+  GridLattice lattice = BenchLattice(w, h);
+  ValueTransformOp op("v", ValueFn::AffineRescale(1, 2.0, 0.0));
+  NullSink sink;
+  op.BindOutput(&sink);
+  for (auto _ : state) {
+    PushBenchFrame(op.input(0), lattice, 0);
+  }
+  ReportPoints(state, n);
+  state.counters["frame_points"] = static_cast<double>(n);
+  state.counters["buffered_bytes"] = static_cast<double>(
+      op.metrics().buffered_bytes_high_water);
+}
+BENCHMARK(BM_Pointwise_NoBufferingControl)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Arg(2 << 20);
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,65 @@
+// Small numeric helpers shared across the geo and raster layers.
+
+#ifndef GEOSTREAMS_COMMON_MATH_UTIL_H_
+#define GEOSTREAMS_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace geostreams {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+inline constexpr double kHalfPi = kPi / 2.0;
+inline constexpr double kDegToRad = kPi / 180.0;
+inline constexpr double kRadToDeg = 180.0 / kPi;
+
+inline double DegreesToRadians(double deg) { return deg * kDegToRad; }
+inline double RadiansToDegrees(double rad) { return rad * kRadToDeg; }
+
+/// Clamps `v` into [lo, hi].
+template <typename T>
+inline T Clamp(T v, T lo, T hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+/// Linear interpolation between a and b at parameter t in [0,1].
+inline double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// True when |a - b| <= tol.
+inline bool NearlyEqual(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// Wraps a longitude in degrees into [-180, 180).
+inline double WrapLongitudeDeg(double lon) {
+  lon = std::fmod(lon + 180.0, 360.0);
+  if (lon < 0) lon += 360.0;
+  return lon - 180.0;
+}
+
+/// Integer floor division for possibly-negative numerators.
+inline int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) used by the
+/// synthetic workload generators so runs are reproducible.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Maps a 64-bit hash to a double in [0, 1).
+inline double HashToUnit(uint64_t x) {
+  return static_cast<double>(Mix64(x) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_COMMON_MATH_UTIL_H_

@@ -1,0 +1,169 @@
+// Status / Result error model for the GeoStreams library.
+//
+// Hot stream-processing paths avoid exceptions; fallible operations
+// return a Status (or Result<T> when they also produce a value), in the
+// style of RocksDB / Apache Arrow.
+
+#ifndef GEOSTREAMS_COMMON_STATUS_H_
+#define GEOSTREAMS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace geostreams {
+
+/// Category of failure. Mirrors the error situations that arise in a
+/// stream management system: bad queries, incompatible streams,
+/// exhausted resources, and I/O problems.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kPlanError,
+  kCrsMismatch,
+  kLatticeMismatch,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (no
+/// allocation); error states carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status CrsMismatch(std::string msg) {
+    return Status(StatusCode::kCrsMismatch, std::move(msg));
+  }
+  static Status LatticeMismatch(std::string msg) {
+    return Status(StatusCode::kLatticeMismatch, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or a Status describing why none could be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (failure). Constructing from an OK
+  /// status is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define GEOSTREAMS_RETURN_IF_ERROR(expr)       \
+  do {                                         \
+    ::geostreams::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its status, on
+/// success assigns the value to `lhs`.
+#define GEOSTREAMS_ASSIGN_OR_RETURN(lhs, expr) \
+  auto GEOSTREAMS_CONCAT_(_res_, __LINE__) = (expr);                    \
+  if (!GEOSTREAMS_CONCAT_(_res_, __LINE__).ok())                        \
+    return GEOSTREAMS_CONCAT_(_res_, __LINE__).status();                \
+  lhs = std::move(GEOSTREAMS_CONCAT_(_res_, __LINE__)).value()
+
+#define GEOSTREAMS_CONCAT_IMPL_(a, b) a##b
+#define GEOSTREAMS_CONCAT_(a, b) GEOSTREAMS_CONCAT_IMPL_(a, b)
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_COMMON_STATUS_H_

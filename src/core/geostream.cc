@@ -1,0 +1,60 @@
+#include "core/geostream.h"
+
+#include "common/string_util.h"
+
+namespace geostreams {
+
+GeoStreamDescriptor::GeoStreamDescriptor(std::string name, ValueSet value_set,
+                                         GridLattice reference_lattice,
+                                         PointOrganization organization,
+                                         TimestampPolicy timestamp_policy)
+    : name_(std::move(name)),
+      value_set_(std::move(value_set)),
+      reference_lattice_(std::move(reference_lattice)),
+      organization_(organization),
+      timestamp_policy_(timestamp_policy) {}
+
+Status GeoStreamDescriptor::Validate() const {
+  if (name_.empty()) {
+    return Status::InvalidArgument("stream name must not be empty");
+  }
+  GEOSTREAMS_RETURN_IF_ERROR(value_set_.Validate());
+  GEOSTREAMS_RETURN_IF_ERROR(reference_lattice_.Validate());
+  return Status::OK();
+}
+
+GeoStreamDescriptor GeoStreamDescriptor::WithName(std::string name) const {
+  GeoStreamDescriptor d = *this;
+  d.name_ = std::move(name);
+  return d;
+}
+
+GeoStreamDescriptor GeoStreamDescriptor::WithValueSet(ValueSet vs) const {
+  GeoStreamDescriptor d = *this;
+  d.value_set_ = std::move(vs);
+  return d;
+}
+
+GeoStreamDescriptor GeoStreamDescriptor::WithLattice(
+    GridLattice lattice) const {
+  GeoStreamDescriptor d = *this;
+  d.reference_lattice_ = std::move(lattice);
+  return d;
+}
+
+GeoStreamDescriptor GeoStreamDescriptor::WithOrganization(
+    PointOrganization org) const {
+  GeoStreamDescriptor d = *this;
+  d.organization_ = org;
+  return d;
+}
+
+std::string GeoStreamDescriptor::ToString() const {
+  return StringPrintf("geostream(%s: %s, %s, %s, %s)", name_.c_str(),
+                      value_set_.ToString().c_str(),
+                      reference_lattice_.ToString().c_str(),
+                      PointOrganizationName(organization_),
+                      TimestampPolicyName(timestamp_policy_));
+}
+
+}  // namespace geostreams

@@ -1,0 +1,62 @@
+// GeoStream descriptors (Definitions 3-5).
+//
+// A GeoStream is a V-valued function over a point lattice X = S x T
+// whose spatial component carries a coordinate system. The descriptor
+// is the schema of such a stream: its value set, reference lattice
+// (CRS + resolution + nominal extent), point organization, and
+// timestamping policy. Operators consume and produce descriptors so
+// the query analyzer can check CRS/value-set preconditions and the
+// algebra stays closed.
+
+#ifndef GEOSTREAMS_CORE_GEOSTREAM_H_
+#define GEOSTREAMS_CORE_GEOSTREAM_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/stream_event.h"
+#include "core/value.h"
+#include "geo/lattice.h"
+
+namespace geostreams {
+
+/// Schema of a GeoStream.
+class GeoStreamDescriptor {
+ public:
+  GeoStreamDescriptor() = default;
+  GeoStreamDescriptor(std::string name, ValueSet value_set,
+                      GridLattice reference_lattice,
+                      PointOrganization organization,
+                      TimestampPolicy timestamp_policy);
+
+  Status Validate() const;
+
+  const std::string& name() const { return name_; }
+  const ValueSet& value_set() const { return value_set_; }
+  /// The nominal full-coverage lattice of the instrument (individual
+  /// frames scan sub-lattices of it, aligned with it).
+  const GridLattice& reference_lattice() const { return reference_lattice_; }
+  const CrsPtr& crs() const { return reference_lattice_.crs(); }
+  PointOrganization organization() const { return organization_; }
+  TimestampPolicy timestamp_policy() const { return timestamp_policy_; }
+
+  /// Returns a copy with a different name (operators derive output
+  /// descriptors from input ones).
+  GeoStreamDescriptor WithName(std::string name) const;
+  GeoStreamDescriptor WithValueSet(ValueSet vs) const;
+  GeoStreamDescriptor WithLattice(GridLattice lattice) const;
+  GeoStreamDescriptor WithOrganization(PointOrganization org) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  ValueSet value_set_;
+  GridLattice reference_lattice_;
+  PointOrganization organization_ = PointOrganization::kRowByRow;
+  TimestampPolicy timestamp_policy_ = TimestampPolicy::kScanSectorId;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_CORE_GEOSTREAM_H_

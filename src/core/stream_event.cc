@@ -1,0 +1,116 @@
+#include "core/stream_event.h"
+
+#include "common/string_util.h"
+
+namespace geostreams {
+
+const char* PointOrganizationName(PointOrganization org) {
+  switch (org) {
+    case PointOrganization::kImageByImage:
+      return "image-by-image";
+    case PointOrganization::kRowByRow:
+      return "row-by-row";
+    case PointOrganization::kPointByPoint:
+      return "point-by-point";
+  }
+  return "?";
+}
+
+const char* TimestampPolicyName(TimestampPolicy policy) {
+  switch (policy) {
+    case TimestampPolicy::kMeasurementTime:
+      return "measurement-time";
+    case TimestampPolicy::kScanSectorId:
+      return "scan-sector-id";
+  }
+  return "?";
+}
+
+std::string FrameInfo::ToString() const {
+  return StringPrintf("frame %lld %s expected=%lld",
+                      static_cast<long long>(frame_id),
+                      lattice.ToString().c_str(),
+                      static_cast<long long>(expected_points));
+}
+
+void PointBatch::Append(int32_t col, int32_t row, int64_t t,
+                        const double* vals) {
+  cols.push_back(col);
+  rows.push_back(row);
+  timestamps.push_back(t);
+  values.insert(values.end(), vals, vals + band_count);
+}
+
+void PointBatch::Append1(int32_t col, int32_t row, int64_t t, double v) {
+  cols.push_back(col);
+  rows.push_back(row);
+  timestamps.push_back(t);
+  values.push_back(v);
+}
+
+size_t PointBatch::ApproxBytes() const {
+  return cols.capacity() * sizeof(int32_t) +
+         rows.capacity() * sizeof(int32_t) +
+         timestamps.capacity() * sizeof(int64_t) +
+         values.capacity() * sizeof(double);
+}
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFrameBegin:
+      return "FrameBegin";
+    case EventKind::kPointBatch:
+      return "PointBatch";
+    case EventKind::kFrameEnd:
+      return "FrameEnd";
+    case EventKind::kStreamEnd:
+      return "StreamEnd";
+  }
+  return "?";
+}
+
+StreamEvent StreamEvent::FrameBegin(FrameInfo info) {
+  StreamEvent e;
+  e.kind = EventKind::kFrameBegin;
+  e.frame = std::move(info);
+  return e;
+}
+
+StreamEvent StreamEvent::Batch(PointBatchPtr batch) {
+  StreamEvent e;
+  e.kind = EventKind::kPointBatch;
+  e.batch = std::move(batch);
+  return e;
+}
+
+StreamEvent StreamEvent::FrameEnd(FrameInfo info) {
+  StreamEvent e;
+  e.kind = EventKind::kFrameEnd;
+  e.frame = std::move(info);
+  return e;
+}
+
+StreamEvent StreamEvent::StreamEnd() {
+  StreamEvent e;
+  e.kind = EventKind::kStreamEnd;
+  return e;
+}
+
+std::string StreamEvent::ToString() const {
+  switch (kind) {
+    case EventKind::kFrameBegin:
+      return std::string("FrameBegin{") + frame.ToString() + "}";
+    case EventKind::kPointBatch:
+      return StringPrintf("PointBatch{frame=%lld, n=%zu}",
+                          batch ? static_cast<long long>(batch->frame_id) : -1,
+                          batch ? batch->size() : 0);
+    case EventKind::kFrameEnd:
+      return StringPrintf("FrameEnd{frame=%lld}",
+                          static_cast<long long>(frame.frame_id));
+    case EventKind::kStreamEnd:
+      return "StreamEnd{}";
+  }
+  return "?";
+}
+
+}  // namespace geostreams

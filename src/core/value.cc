@@ -1,0 +1,149 @@
+#include "core/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace geostreams {
+
+size_t SampleTypeSize(SampleType t) {
+  switch (t) {
+    case SampleType::kUInt8:
+      return 1;
+    case SampleType::kUInt16:
+    case SampleType::kInt16:
+      return 2;
+    case SampleType::kFloat32:
+      return 4;
+    case SampleType::kFloat64:
+      return 8;
+  }
+  return 8;
+}
+
+const char* SampleTypeName(SampleType t) {
+  switch (t) {
+    case SampleType::kUInt8:
+      return "u8";
+    case SampleType::kUInt16:
+      return "u16";
+    case SampleType::kInt16:
+      return "i16";
+    case SampleType::kFloat32:
+      return "f32";
+    case SampleType::kFloat64:
+      return "f64";
+  }
+  return "?";
+}
+
+ValueSet::ValueSet(std::string name, SampleType sample_type, int bands,
+                   double min_value, double max_value)
+    : name_(std::move(name)),
+      sample_type_(sample_type),
+      bands_(bands),
+      min_value_(min_value),
+      max_value_(max_value) {}
+
+ValueSet ValueSet::GrayscaleU8() {
+  return ValueSet("grayscale", SampleType::kUInt8, 1, 0.0, 255.0);
+}
+ValueSet ValueSet::RgbU8() {
+  return ValueSet("rgb", SampleType::kUInt8, 3, 0.0, 255.0);
+}
+ValueSet ValueSet::RadianceF32() {
+  return ValueSet("radiance", SampleType::kFloat32, 1, 0.0, 1000.0);
+}
+ValueSet ValueSet::ReflectanceF32() {
+  return ValueSet("reflectance", SampleType::kFloat32, 1, 0.0, 1.0);
+}
+ValueSet ValueSet::IndexF32() {
+  return ValueSet("index", SampleType::kFloat32, 1, -1.0, 1.0);
+}
+ValueSet ValueSet::CountsU16() {
+  return ValueSet("counts", SampleType::kUInt16, 1, 0.0, 65535.0);
+}
+
+Status ValueSet::Validate() const {
+  if (bands_ < 1 || bands_ > kMaxBands) {
+    return Status::InvalidArgument(
+        StringPrintf("band count %d outside [1, %d]", bands_, kMaxBands));
+  }
+  if (!(min_value_ <= max_value_)) {
+    return Status::InvalidArgument(
+        StringPrintf("value range [%g, %g] is empty", min_value_,
+                     max_value_));
+  }
+  return Status::OK();
+}
+
+double ValueSet::Clamp(double v) const {
+  if (std::isnan(v)) return min_value_;
+  return std::min(std::max(v, min_value_), max_value_);
+}
+
+bool ValueSet::operator==(const ValueSet& other) const {
+  return name_ == other.name_ && sample_type_ == other.sample_type_ &&
+         bands_ == other.bands_ && min_value_ == other.min_value_ &&
+         max_value_ == other.max_value_;
+}
+
+std::string ValueSet::ToString() const {
+  return StringPrintf("%s(%s x%d, [%g, %g])", name_.c_str(),
+                      SampleTypeName(sample_type_), bands_, min_value_,
+                      max_value_);
+}
+
+bool BandValue::operator==(const BandValue& o) const {
+  if (bands != o.bands) return false;
+  for (int i = 0; i < bands; ++i) {
+    if (samples[static_cast<size_t>(i)] != o.samples[static_cast<size_t>(i)])
+      return false;
+  }
+  return true;
+}
+
+const char* ComposeFnName(ComposeFn fn) {
+  switch (fn) {
+    case ComposeFn::kAdd:
+      return "+";
+    case ComposeFn::kSubtract:
+      return "-";
+    case ComposeFn::kMultiply:
+      return "*";
+    case ComposeFn::kDivide:
+      return "/";
+    case ComposeFn::kSupremum:
+      return "sup";
+    case ComposeFn::kInfimum:
+      return "inf";
+  }
+  return "?";
+}
+
+double ApplyComposeFn(ComposeFn fn, double a, double b) {
+  switch (fn) {
+    case ComposeFn::kAdd:
+      return a + b;
+    case ComposeFn::kSubtract:
+      return a - b;
+    case ComposeFn::kMultiply:
+      return a * b;
+    case ComposeFn::kDivide:
+      if (b == 0.0) {
+        if (a == 0.0) return 0.0;
+        return a > 0.0 ? std::numeric_limits<double>::max()
+                       : std::numeric_limits<double>::lowest();
+      }
+      return a / b;
+    case ComposeFn::kSupremum:
+      return std::max(a, b);
+    case ComposeFn::kInfimum:
+      return std::min(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace geostreams

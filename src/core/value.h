@@ -1,0 +1,128 @@
+// Value sets (Definition 2) and point values.
+//
+// A value set is a homogeneous algebra: a set of values together with
+// operations. Here a ValueSet describes the sample type, band count
+// and valid range of a stream's values; point values themselves are
+// small fixed-capacity band vectors (grey-scale Z, colour Z^3,
+// multi-spectral Z^n, or floating-point radiances).
+
+#ifndef GEOSTREAMS_CORE_VALUE_H_
+#define GEOSTREAMS_CORE_VALUE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace geostreams {
+
+/// Storage/sample type of a value set.
+enum class SampleType : uint8_t {
+  kUInt8,
+  kUInt16,
+  kInt16,
+  kFloat32,
+  kFloat64,
+};
+
+/// Size of one sample in bytes (the physical width used for memory
+/// accounting in buffering operators).
+size_t SampleTypeSize(SampleType t);
+const char* SampleTypeName(SampleType t);
+
+/// Maximum number of spectral bands carried per point. GOES-class
+/// imagers have 5-16 channels, but a single GeoStream in the paper's
+/// model carries one spectral band; multi-band values arise from
+/// compositions and colour products.
+inline constexpr int kMaxBands = 8;
+
+/// Descriptor of a value set V: what values a stream's points map to.
+class ValueSet {
+ public:
+  ValueSet() = default;
+  ValueSet(std::string name, SampleType sample_type, int bands,
+           double min_value, double max_value);
+
+  /// Common instances.
+  static ValueSet GrayscaleU8();       // Z, [0, 255]
+  static ValueSet RgbU8();             // Z^3, [0, 255] per band
+  static ValueSet RadianceF32();       // R, raw sensor radiance
+  static ValueSet ReflectanceF32();    // R, [0, 1]
+  static ValueSet IndexF32();          // R, [-1, 1] (NDVI-style indices)
+  static ValueSet CountsU16();         // Z, [0, 65535] sensor counts
+
+  Status Validate() const;
+
+  const std::string& name() const { return name_; }
+  SampleType sample_type() const { return sample_type_; }
+  int bands() const { return bands_; }
+  double min_value() const { return min_value_; }
+  double max_value() const { return max_value_; }
+
+  /// Bytes occupied by one point value in this value set.
+  size_t BytesPerPoint() const {
+    return SampleTypeSize(sample_type_) * static_cast<size_t>(bands_);
+  }
+
+  bool InRange(double v) const { return v >= min_value_ && v <= max_value_; }
+
+  /// Clamps v into the value range (used after arithmetic compositions
+  /// to keep the algebra closed over the declared value set).
+  double Clamp(double v) const;
+
+  /// Two value sets are compatible for composition when band counts
+  /// match (Definition 10 requires both streams over the same V).
+  bool CompatibleWith(const ValueSet& other) const {
+    return bands_ == other.bands_;
+  }
+
+  bool operator==(const ValueSet& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_ = "empty";
+  SampleType sample_type_ = SampleType::kFloat64;
+  int bands_ = 1;
+  double min_value_ = 0.0;
+  double max_value_ = 0.0;
+};
+
+/// A point value: up to kMaxBands samples. Plain value type.
+struct BandValue {
+  std::array<double, kMaxBands> samples{};
+  int bands = 1;
+
+  BandValue() = default;
+  explicit BandValue(double v) : bands(1) { samples[0] = v; }
+  BandValue(double a, double b, double c) : bands(3) {
+    samples[0] = a;
+    samples[1] = b;
+    samples[2] = c;
+  }
+
+  double& operator[](int i) { return samples[static_cast<size_t>(i)]; }
+  double operator[](int i) const { return samples[static_cast<size_t>(i)]; }
+
+  bool operator==(const BandValue& o) const;
+};
+
+/// The composition operators gamma of Definition 10.
+enum class ComposeFn : uint8_t {
+  kAdd,       // +
+  kSubtract,  // -
+  kMultiply,  // *
+  kDivide,    // / (0/0 -> 0, x/0 -> clamped extreme)
+  kSupremum,  // max
+  kInfimum,   // min
+};
+
+const char* ComposeFnName(ComposeFn fn);
+
+/// Applies gamma bandwise to a pair of samples.
+double ApplyComposeFn(ComposeFn fn, double a, double b);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_CORE_VALUE_H_

@@ -1,0 +1,44 @@
+#include "geo/crs.h"
+
+namespace geostreams {
+
+Status TransformPoint(const CoordinateSystem& from,
+                      const CoordinateSystem& to, double x, double y,
+                      double* out_x, double* out_y) {
+  if (from.Equals(to)) {
+    *out_x = x;
+    *out_y = y;
+    return Status::OK();
+  }
+  double lon = 0.0, lat = 0.0;
+  GEOSTREAMS_RETURN_IF_ERROR(from.ToGeographic(x, y, &lon, &lat));
+  return to.FromGeographic(lon, lat, out_x, out_y);
+}
+
+BoundingBox TransformBoundingBox(const BoundingBox& box,
+                                 const CoordinateSystem& from,
+                                 const CoordinateSystem& to,
+                                 int samples_per_edge) {
+  BoundingBox out;
+  if (box.empty()) return out;
+  if (from.Equals(to)) return box;
+  const int n = samples_per_edge < 2 ? 2 : samples_per_edge;
+  // Sample an (n+1) x (n+1) grid: boundary curvature under non-affine
+  // projections can make the extremes fall anywhere on the edges, and
+  // for projections like geostationary the interior can matter too.
+  for (int i = 0; i <= n; ++i) {
+    const double fx = static_cast<double>(i) / n;
+    const double x = box.min_x + fx * (box.max_x - box.min_x);
+    for (int j = 0; j <= n; ++j) {
+      const double fy = static_cast<double>(j) / n;
+      const double y = box.min_y + fy * (box.max_y - box.min_y);
+      double tx = 0.0, ty = 0.0;
+      if (TransformPoint(from, to, x, y, &tx, &ty).ok()) {
+        out.ExpandToInclude(tx, ty);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace geostreams

@@ -1,0 +1,85 @@
+// Coordinate reference systems for GeoStreams (Definition 5 of the
+// paper requires every stream's spatial component to carry one).
+//
+// All CRSs convert to and from geographic coordinates (longitude /
+// latitude in degrees on WGS84), which serves as the hub for
+// re-projection between any two systems.
+
+#ifndef GEOSTREAMS_GEO_CRS_H_
+#define GEOSTREAMS_GEO_CRS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "geo/bounding_box.h"
+
+namespace geostreams {
+
+/// Families of coordinate systems the library implements.
+enum class CrsKind {
+  kGeographic,           // longitude/latitude degrees
+  kMercator,             // spherical Mercator, metres
+  kTransverseMercator,   // UTM-style, metres
+  kGeostationary,        // GOES-like satellite scan-angle coordinates
+  kLambertConformal,     // conic, metres (CONUS product grids)
+};
+
+/// WGS84 ellipsoid constants used by the projected systems.
+struct Wgs84 {
+  static constexpr double kSemiMajorM = 6378137.0;
+  static constexpr double kInverseFlattening = 298.257223563;
+  static constexpr double kFlattening = 1.0 / kInverseFlattening;
+  static constexpr double kSemiMinorM = kSemiMajorM * (1.0 - kFlattening);
+  // First eccentricity squared.
+  static constexpr double kE2 = kFlattening * (2.0 - kFlattening);
+};
+
+/// A coordinate reference system. Immutable and shareable.
+class CoordinateSystem {
+ public:
+  virtual ~CoordinateSystem() = default;
+
+  /// Canonical name, parseable by CrsRegistry ("latlon", "utm:10n",
+  /// "mercator", "geos:-75").
+  virtual const std::string& name() const = 0;
+
+  virtual CrsKind kind() const = 0;
+
+  /// Converts native coordinates to geographic lon/lat in degrees.
+  /// Fails with OutOfRange for coordinates outside the projection's
+  /// valid domain (e.g. scan angles that miss the Earth disk).
+  virtual Status ToGeographic(double x, double y, double* lon_deg,
+                              double* lat_deg) const = 0;
+
+  /// Converts geographic lon/lat in degrees to native coordinates.
+  virtual Status FromGeographic(double lon_deg, double lat_deg, double* x,
+                                double* y) const = 0;
+
+  /// Two CRSs are the same iff their canonical names match (the paper's
+  /// precondition for binary operators, Sec. 2).
+  bool Equals(const CoordinateSystem& other) const {
+    return name() == other.name();
+  }
+};
+
+using CrsPtr = std::shared_ptr<const CoordinateSystem>;
+
+/// Transforms a point between two CRSs through the geographic hub.
+/// A same-CRS transform is the identity and never fails.
+Status TransformPoint(const CoordinateSystem& from,
+                      const CoordinateSystem& to, double x, double y,
+                      double* out_x, double* out_y);
+
+/// Conservatively maps a bounding box from one CRS to another by
+/// transforming a dense sampling of its boundary and interior grid.
+/// Points that fall outside the target projection's domain are
+/// skipped; if no point maps, returns an empty box.
+BoundingBox TransformBoundingBox(const BoundingBox& box,
+                                 const CoordinateSystem& from,
+                                 const CoordinateSystem& to,
+                                 int samples_per_edge = 16);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_GEO_CRS_H_

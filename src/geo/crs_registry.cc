@@ -1,0 +1,109 @@
+#include "geo/crs_registry.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/math_util.h"
+
+#include "common/string_util.h"
+#include "geo/geographic_crs.h"
+#include "geo/geostationary_crs.h"
+#include "geo/lambert_conformal_crs.h"
+#include "geo/mercator_crs.h"
+#include "geo/transverse_mercator_crs.h"
+
+namespace geostreams {
+
+namespace {
+std::mutex g_cache_mutex;
+std::map<std::string, CrsPtr>& Cache() {
+  static std::map<std::string, CrsPtr> cache;
+  return cache;
+}
+}  // namespace
+
+CrsRegistry& CrsRegistry::Global() {
+  static CrsRegistry registry;
+  return registry;
+}
+
+Result<CrsPtr> CrsRegistry::Resolve(std::string_view name) {
+  const std::string key = ToLower(StripWhitespace(name));
+  {
+    std::lock_guard<std::mutex> lock(g_cache_mutex);
+    auto it = Cache().find(key);
+    if (it != Cache().end()) return it->second;
+  }
+
+  CrsPtr crs;
+  if (key == "latlon" || key == "geographic" || key == "lonlat") {
+    crs = GeographicCrs::Instance();
+  } else if (key == "mercator") {
+    crs = MercatorCrs::Instance();
+  } else if (StartsWith(key, "utm:")) {
+    const std::string spec = key.substr(4);
+    if (spec.size() < 2) {
+      return Status::ParseError("utm spec must be <zone><n|s>: " + key);
+    }
+    const char hemi = spec.back();
+    if (hemi != 'n' && hemi != 's') {
+      return Status::ParseError("utm hemisphere must be n or s: " + key);
+    }
+    char* end = nullptr;
+    const long zone = std::strtol(spec.c_str(), &end, 10);
+    if (end != spec.c_str() + spec.size() - 1 || zone < 1 || zone > 60) {
+      return Status::ParseError("utm zone must be 1..60: " + key);
+    }
+    crs = TransverseMercatorCrs::Utm(static_cast<int>(zone), hemi == 'n');
+  } else if (key == "lcc" || key == "lcc:conus") {
+    crs = LambertConformalCrs::Conus();
+  } else if (StartsWith(key, "lcc:")) {
+    // lcc:<lat1>:<lat2>:<lat0>:<lon0>
+    const std::vector<std::string> parts = Split(key.substr(4), ':');
+    if (parts.size() != 4) {
+      return Status::ParseError(
+          "lcc spec must be lcc:<lat1>:<lat2>:<lat0>:<lon0>: " + key);
+    }
+    double v[4];
+    for (size_t i = 0; i < 4; ++i) {
+      char* end = nullptr;
+      v[i] = std::strtod(parts[i].c_str(), &end);
+      if (end != parts[i].c_str() + parts[i].size()) {
+        return Status::ParseError("bad lcc parameter: " + key);
+      }
+    }
+    if (std::fabs(v[0]) >= 89.0 || std::fabs(v[1]) >= 89.0 ||
+        NearlyEqual(v[0], -v[1])) {
+      return Status::ParseError(
+          "lcc standard parallels must be in (-89, 89) and not "
+          "antisymmetric: " +
+          key);
+    }
+    crs = std::make_shared<LambertConformalCrs>(v[0], v[1], v[2], v[3]);
+  } else if (StartsWith(key, "geos:")) {
+    const std::string spec = key.substr(5);
+    char* end = nullptr;
+    const double lon = std::strtod(spec.c_str(), &end);
+    if (end != spec.c_str() + spec.size() || lon < -180.0 || lon > 180.0) {
+      return Status::ParseError("geos longitude must be in [-180, 180]: " +
+                                key);
+    }
+    crs = std::make_shared<GeostationaryCrs>(lon);
+  } else {
+    return Status::NotFound("unknown CRS: " + std::string(name));
+  }
+
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  auto [it, inserted] = Cache().emplace(key, std::move(crs));
+  (void)inserted;
+  return it->second;
+}
+
+Result<CrsPtr> ResolveCrs(std::string_view name) {
+  return CrsRegistry::Global().Resolve(name);
+}
+
+}  // namespace geostreams

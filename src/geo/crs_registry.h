@@ -1,0 +1,38 @@
+// Registry resolving canonical CRS names to shared instances.
+
+#ifndef GEOSTREAMS_GEO_CRS_REGISTRY_H_
+#define GEOSTREAMS_GEO_CRS_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "geo/crs.h"
+
+namespace geostreams {
+
+/// Resolves a canonical CRS name. Recognized forms:
+///   "latlon"            geographic lon/lat degrees
+///   "mercator"          spherical Mercator metres
+///   "utm:<zone><n|s>"   e.g. "utm:10n"
+///   "geos:<lon>"        geostationary view, sub-satellite longitude
+/// Instances are cached: resolving the same name twice returns the
+/// same shared object. Thread-safe.
+class CrsRegistry {
+ public:
+  /// Global registry instance.
+  static CrsRegistry& Global();
+
+  /// Resolves `name` (case-insensitive) to a CRS.
+  Result<CrsPtr> Resolve(std::string_view name);
+
+ private:
+  CrsRegistry() = default;
+};
+
+/// Convenience wrapper over CrsRegistry::Global().Resolve().
+Result<CrsPtr> ResolveCrs(std::string_view name);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_GEO_CRS_REGISTRY_H_

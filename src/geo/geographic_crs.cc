@@ -1,0 +1,36 @@
+#include "geo/geographic_crs.h"
+
+#include "common/string_util.h"
+
+namespace geostreams {
+
+GeographicCrs::GeographicCrs() : name_("latlon") {}
+
+Status GeographicCrs::ToGeographic(double x, double y, double* lon_deg,
+                                   double* lat_deg) const {
+  if (y < -90.0 || y > 90.0) {
+    return Status::OutOfRange(
+        StringPrintf("latitude %g outside [-90, 90]", y));
+  }
+  *lon_deg = x;
+  *lat_deg = y;
+  return Status::OK();
+}
+
+Status GeographicCrs::FromGeographic(double lon_deg, double lat_deg,
+                                     double* x, double* y) const {
+  if (lat_deg < -90.0 || lat_deg > 90.0) {
+    return Status::OutOfRange(
+        StringPrintf("latitude %g outside [-90, 90]", lat_deg));
+  }
+  *x = lon_deg;
+  *y = lat_deg;
+  return Status::OK();
+}
+
+CrsPtr GeographicCrs::Instance() {
+  static CrsPtr instance = std::make_shared<GeographicCrs>();
+  return instance;
+}
+
+}  // namespace geostreams

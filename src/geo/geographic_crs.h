@@ -1,0 +1,35 @@
+// Geographic (longitude/latitude) coordinate system — the hub CRS.
+
+#ifndef GEOSTREAMS_GEO_GEOGRAPHIC_CRS_H_
+#define GEOSTREAMS_GEO_GEOGRAPHIC_CRS_H_
+
+#include <string>
+
+#include "geo/crs.h"
+
+namespace geostreams {
+
+/// Plate-carree lon/lat degrees: native coordinates are geographic
+/// coordinates themselves. x = longitude, y = latitude.
+class GeographicCrs : public CoordinateSystem {
+ public:
+  GeographicCrs();
+
+  const std::string& name() const override { return name_; }
+  CrsKind kind() const override { return CrsKind::kGeographic; }
+
+  Status ToGeographic(double x, double y, double* lon_deg,
+                      double* lat_deg) const override;
+  Status FromGeographic(double lon_deg, double lat_deg, double* x,
+                        double* y) const override;
+
+  /// Shared singleton instance.
+  static CrsPtr Instance();
+
+ private:
+  std::string name_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_GEO_GEOGRAPHIC_CRS_H_

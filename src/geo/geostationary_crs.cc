@@ -1,0 +1,92 @@
+#include "geo/geostationary_crs.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace geostreams {
+
+namespace {
+constexpr double kReq = Wgs84::kSemiMajorM;            // equatorial radius
+constexpr double kRpol = Wgs84::kSemiMinorM;           // polar radius
+constexpr double kH = GeostationaryCrs::kSatelliteRadiusM;
+constexpr double kReqOverRpol2 = (kReq * kReq) / (kRpol * kRpol);
+constexpr double kRpolOverReq2 = (kRpol * kRpol) / (kReq * kReq);
+// First eccentricity squared of the ellipse traced in the geocentric
+// latitude computation.
+constexpr double kEcc2 = (kReq * kReq - kRpol * kRpol) / (kReq * kReq);
+}  // namespace
+
+GeostationaryCrs::GeostationaryCrs(double sub_satellite_lon_deg)
+    : name_(StringPrintf("geos:%g", sub_satellite_lon_deg)),
+      sub_satellite_lon_deg_(sub_satellite_lon_deg),
+      lambda0_(DegreesToRadians(sub_satellite_lon_deg)) {}
+
+Status GeostationaryCrs::FromGeographic(double lon_deg, double lat_deg,
+                                        double* x, double* y) const {
+  if (std::fabs(lat_deg) > 90.0) {
+    return Status::OutOfRange(
+        StringPrintf("latitude %g outside [-90, 90]", lat_deg));
+  }
+  const double phi = DegreesToRadians(lat_deg);
+  const double lam = DegreesToRadians(lon_deg);
+  // Geocentric latitude of the point on the ellipsoid surface.
+  const double phi_c = std::atan(kRpolOverReq2 * std::tan(phi));
+  const double cos_pc = std::cos(phi_c);
+  const double sin_pc = std::sin(phi_c);
+  const double r_c = kRpol / std::sqrt(1.0 - kEcc2 * cos_pc * cos_pc);
+  const double dlon = lam - lambda0_;
+
+  const double sx = kH - r_c * cos_pc * std::cos(dlon);
+  const double sy = -r_c * cos_pc * std::sin(dlon);
+  const double sz = r_c * sin_pc;
+
+  // Visibility: the surface point must face the satellite, i.e. the
+  // vector from the point to the satellite must have a positive
+  // component along the local position vector. Equivalent to
+  // cos(phi_c) * cos(dlon) > r_c / H.
+  if (cos_pc * std::cos(dlon) <= r_c / kH) {
+    return Status::OutOfRange(StringPrintf(
+        "point (%g, %g) not visible from geostationary longitude %g",
+        lon_deg, lat_deg, sub_satellite_lon_deg_));
+  }
+
+  const double norm = std::sqrt(sx * sx + sy * sy + sz * sz);
+  *x = std::asin(-sy / norm);
+  *y = std::atan(sz / sx);
+  return Status::OK();
+}
+
+Status GeostationaryCrs::ToGeographic(double x, double y, double* lon_deg,
+                                      double* lat_deg) const {
+  const double cos_x = std::cos(x);
+  const double sin_x = std::sin(x);
+  const double cos_y = std::cos(y);
+  const double sin_y = std::sin(y);
+
+  const double a = sin_x * sin_x +
+                   cos_x * cos_x * (cos_y * cos_y +
+                                    kReqOverRpol2 * sin_y * sin_y);
+  const double b = -2.0 * kH * cos_x * cos_y;
+  const double c = kH * kH - kReq * kReq;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) {
+    return Status::OutOfRange(StringPrintf(
+        "scan angle (%g, %g) does not intersect the Earth disk", x, y));
+  }
+  const double r_s = (-b - std::sqrt(disc)) / (2.0 * a);
+
+  const double sx = r_s * cos_x * cos_y;
+  const double sy = -r_s * sin_x;
+  const double sz = r_s * cos_x * sin_y;
+
+  *lat_deg = RadiansToDegrees(std::atan(
+      kReqOverRpol2 * sz / std::sqrt((kH - sx) * (kH - sx) + sy * sy)));
+  *lon_deg = WrapLongitudeDeg(
+      sub_satellite_lon_deg_ -
+      RadiansToDegrees(std::atan2(sy, kH - sx)));
+  return Status::OK();
+}
+
+}  // namespace geostreams

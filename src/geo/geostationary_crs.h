@@ -1,0 +1,51 @@
+// Normalized geostationary projection (GOES fixed-grid style).
+//
+// The paper's prototype ingests GOES imagery in the satellite's native
+// "GOES Variable Format" and re-projects it to latitude/longitude
+// (Sec. 4). We model the native satellite view with the standard
+// normalized geostationary projection (CGMS LRIT/HRIT, also used by
+// the GOES-R fixed grid): native coordinates are E-W / N-S scan
+// angles in radians as seen from the satellite.
+
+#ifndef GEOSTREAMS_GEO_GEOSTATIONARY_CRS_H_
+#define GEOSTREAMS_GEO_GEOSTATIONARY_CRS_H_
+
+#include <string>
+
+#include "geo/crs.h"
+
+namespace geostreams {
+
+/// Geostationary satellite view at a given sub-satellite longitude.
+/// x = east-west scan angle (radians, positive east), y = north-south
+/// elevation angle (radians, positive north). Points whose scan
+/// angles miss the Earth disk are out of range.
+class GeostationaryCrs : public CoordinateSystem {
+ public:
+  explicit GeostationaryCrs(double sub_satellite_lon_deg);
+
+  const std::string& name() const override { return name_; }
+  CrsKind kind() const override { return CrsKind::kGeostationary; }
+
+  Status ToGeographic(double x, double y, double* lon_deg,
+                      double* lat_deg) const override;
+  Status FromGeographic(double lon_deg, double lat_deg, double* x,
+                        double* y) const override;
+
+  double sub_satellite_lon_deg() const { return sub_satellite_lon_deg_; }
+
+  /// Distance from the Earth's centre to the satellite, metres.
+  static constexpr double kSatelliteRadiusM = 42164160.0;
+  /// Approximate half-width of the full-disk scan, radians. The Earth
+  /// disk subtends about +-8.7 degrees from geostationary orbit.
+  static constexpr double kFullDiskHalfAngleRad = 0.1518;
+
+ private:
+  std::string name_;
+  double sub_satellite_lon_deg_;
+  double lambda0_;  // radians
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_GEO_GEOSTATIONARY_CRS_H_

@@ -1,0 +1,85 @@
+#include "geo/lambert_conformal_crs.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace geostreams {
+
+namespace {
+constexpr double kR = Wgs84::kSemiMajorM;  // spherical radius
+
+double TanHalfCoLat(double phi) { return std::tan(kPi / 4.0 + phi / 2.0); }
+}  // namespace
+
+LambertConformalCrs::LambertConformalCrs(double lat1_deg, double lat2_deg,
+                                         double lat0_deg, double lon0_deg)
+    : name_(StringPrintf("lcc:%g:%g:%g:%g", lat1_deg, lat2_deg, lat0_deg,
+                         lon0_deg)),
+      lat0_deg_(lat0_deg),
+      lon0_deg_(lon0_deg) {
+  const double phi1 = DegreesToRadians(lat1_deg);
+  const double phi2 = DegreesToRadians(lat2_deg);
+  const double phi0 = DegreesToRadians(lat0_deg);
+  if (NearlyEqual(lat1_deg, lat2_deg)) {
+    n_ = std::sin(phi1);  // tangent cone
+  } else {
+    n_ = std::log(std::cos(phi1) / std::cos(phi2)) /
+         std::log(TanHalfCoLat(phi2) / TanHalfCoLat(phi1));
+  }
+  f_ = std::cos(phi1) * std::pow(TanHalfCoLat(phi1), n_) / n_;
+  rho0_ = kR * f_ / std::pow(TanHalfCoLat(phi0), n_);
+}
+
+CrsPtr LambertConformalCrs::Conus() {
+  static CrsPtr instance =
+      std::make_shared<LambertConformalCrs>(33.0, 45.0, 39.0, -96.0);
+  return instance;
+}
+
+Status LambertConformalCrs::FromGeographic(double lon_deg, double lat_deg,
+                                           double* x, double* y) const {
+  // The pole opposite the cone apex is a singularity; stay away from
+  // both poles for robustness.
+  if (std::fabs(lat_deg) > 89.5) {
+    return Status::OutOfRange(StringPrintf(
+        "latitude %g outside Lambert conformal domain", lat_deg));
+  }
+  const double phi = DegreesToRadians(lat_deg);
+  const double dlam =
+      DegreesToRadians(WrapLongitudeDeg(lon_deg - lon0_deg_));
+  const double rho = kR * f_ / std::pow(TanHalfCoLat(phi), n_);
+  if (!std::isfinite(rho)) {
+    return Status::OutOfRange(StringPrintf(
+        "latitude %g maps to infinity in Lambert conformal", lat_deg));
+  }
+  const double theta = n_ * dlam;
+  *x = rho * std::sin(theta);
+  *y = rho0_ - rho * std::cos(theta);
+  return Status::OK();
+}
+
+Status LambertConformalCrs::ToGeographic(double x, double y, double* lon_deg,
+                                         double* lat_deg) const {
+  const double sign = n_ >= 0.0 ? 1.0 : -1.0;
+  const double dy = rho0_ - y;
+  const double rho = sign * std::sqrt(x * x + dy * dy);
+  if (rho == 0.0) {
+    // The cone apex: the pole on the cone's side.
+    *lat_deg = sign * 90.0;
+    *lon_deg = lon0_deg_;
+    return Status::OK();
+  }
+  const double theta = std::atan2(sign * x, sign * dy);
+  const double phi =
+      2.0 * std::atan(std::pow(kR * f_ / rho, 1.0 / n_)) - kHalfPi;
+  if (!std::isfinite(phi)) {
+    return Status::OutOfRange("Lambert conformal inverse out of domain");
+  }
+  *lat_deg = RadiansToDegrees(phi);
+  *lon_deg = WrapLongitudeDeg(lon0_deg_ + RadiansToDegrees(theta / n_));
+  return Status::OK();
+}
+
+}  // namespace geostreams

@@ -1,0 +1,52 @@
+// Lambert conformal conic projection (two standard parallels).
+//
+// The workhorse CRS of CONUS weather products derived from GOES
+// imagery (e.g. AWIPS grids). Spherical form of Snyder's equations
+// (USGS PP 1395, eqs. 15-1..15-11) on the WGS84 authalic-ish sphere —
+// conformal enough for product delivery, exactly invertible, and a
+// third projection family for the re-projection operator to exercise.
+
+#ifndef GEOSTREAMS_GEO_LAMBERT_CONFORMAL_CRS_H_
+#define GEOSTREAMS_GEO_LAMBERT_CONFORMAL_CRS_H_
+
+#include <string>
+
+#include "geo/crs.h"
+
+namespace geostreams {
+
+/// Lambert conformal conic; coordinates in metres. Canonical name
+/// "lcc:<lat1>:<lat2>:<lat0>:<lon0>" (degrees).
+class LambertConformalCrs : public CoordinateSystem {
+ public:
+  /// `lat1_deg`, `lat2_deg`: standard parallels (equal => tangent
+  /// cone); `lat0_deg`, `lon0_deg`: projection origin. Parallels must
+  /// be in (-90, 90), non-antisymmetric (lat1 != -lat2).
+  LambertConformalCrs(double lat1_deg, double lat2_deg, double lat0_deg,
+                      double lon0_deg);
+
+  /// The NWS-style CONUS setup: parallels 33N/45N, origin 39N 96W.
+  static CrsPtr Conus();
+
+  const std::string& name() const override { return name_; }
+  CrsKind kind() const override { return CrsKind::kLambertConformal; }
+
+  Status ToGeographic(double x, double y, double* lon_deg,
+                      double* lat_deg) const override;
+  Status FromGeographic(double lon_deg, double lat_deg, double* x,
+                        double* y) const override;
+
+  double cone_constant() const { return n_; }
+
+ private:
+  std::string name_;
+  double lat0_deg_;
+  double lon0_deg_;
+  double n_;    // cone constant
+  double f_;    // scaling constant F
+  double rho0_; // radius at the origin latitude
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_GEO_LAMBERT_CONFORMAL_CRS_H_

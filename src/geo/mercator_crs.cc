@@ -1,0 +1,39 @@
+#include "geo/mercator_crs.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace geostreams {
+
+MercatorCrs::MercatorCrs() : name_("mercator") {}
+
+Status MercatorCrs::ToGeographic(double x, double y, double* lon_deg,
+                                 double* lat_deg) const {
+  const double r = Wgs84::kSemiMajorM;
+  *lon_deg = RadiansToDegrees(x / r);
+  *lat_deg = RadiansToDegrees(2.0 * std::atan(std::exp(y / r)) - kHalfPi);
+  return Status::OK();
+}
+
+Status MercatorCrs::FromGeographic(double lon_deg, double lat_deg, double* x,
+                                   double* y) const {
+  if (std::fabs(lat_deg) > kMaxLatitudeDeg) {
+    return Status::OutOfRange(StringPrintf(
+        "latitude %g outside Mercator domain [-%g, %g]", lat_deg,
+        kMaxLatitudeDeg, kMaxLatitudeDeg));
+  }
+  const double r = Wgs84::kSemiMajorM;
+  *x = r * DegreesToRadians(lon_deg);
+  const double phi = DegreesToRadians(lat_deg);
+  *y = r * std::log(std::tan(kPi / 4.0 + phi / 2.0));
+  return Status::OK();
+}
+
+CrsPtr MercatorCrs::Instance() {
+  static CrsPtr instance = std::make_shared<MercatorCrs>();
+  return instance;
+}
+
+}  // namespace geostreams

@@ -1,0 +1,38 @@
+// Spherical Mercator projection (web-mapping style delivery CRS).
+
+#ifndef GEOSTREAMS_GEO_MERCATOR_CRS_H_
+#define GEOSTREAMS_GEO_MERCATOR_CRS_H_
+
+#include <string>
+
+#include "geo/crs.h"
+
+namespace geostreams {
+
+/// Spherical Mercator on the WGS84 semi-major axis. Latitudes are
+/// limited to ±85.06° (the square web-Mercator domain); coordinates
+/// are metres.
+class MercatorCrs : public CoordinateSystem {
+ public:
+  MercatorCrs();
+
+  const std::string& name() const override { return name_; }
+  CrsKind kind() const override { return CrsKind::kMercator; }
+
+  Status ToGeographic(double x, double y, double* lon_deg,
+                      double* lat_deg) const override;
+  Status FromGeographic(double lon_deg, double lat_deg, double* x,
+                        double* y) const override;
+
+  static CrsPtr Instance();
+
+  /// Largest latitude representable in the square Mercator domain.
+  static constexpr double kMaxLatitudeDeg = 85.05112878;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_GEO_MERCATOR_CRS_H_

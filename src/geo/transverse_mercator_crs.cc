@@ -1,0 +1,154 @@
+#include "geo/transverse_mercator_crs.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace geostreams {
+
+namespace {
+constexpr double kA = Wgs84::kSemiMajorM;
+constexpr double kE2 = Wgs84::kE2;
+constexpr double kE4 = kE2 * kE2;
+constexpr double kE6 = kE4 * kE2;
+// Latitude band where the series expansion is well conditioned; UTM is
+// specified for [-80, 84] so this is generous.
+constexpr double kMaxAbsLatDeg = 89.0;
+}  // namespace
+
+TransverseMercatorCrs::TransverseMercatorCrs(std::string name,
+                                             double central_meridian_deg,
+                                             double scale_factor,
+                                             double false_easting_m,
+                                             double false_northing_m)
+    : name_(std::move(name)),
+      central_meridian_deg_(central_meridian_deg),
+      k0_(scale_factor),
+      false_easting_(false_easting_m),
+      false_northing_(false_northing_m) {
+  m0_coef_ = 1.0 - kE2 / 4.0 - 3.0 * kE4 / 64.0 - 5.0 * kE6 / 256.0;
+  m2_coef_ = 3.0 * kE2 / 8.0 + 3.0 * kE4 / 32.0 + 45.0 * kE6 / 1024.0;
+  m4_coef_ = 15.0 * kE4 / 256.0 + 45.0 * kE6 / 1024.0;
+  m6_coef_ = 35.0 * kE6 / 3072.0;
+  const double sqrt1me2 = std::sqrt(1.0 - kE2);
+  e1_ = (1.0 - sqrt1me2) / (1.0 + sqrt1me2);
+  ep2_ = kE2 / (1.0 - kE2);
+}
+
+CrsPtr TransverseMercatorCrs::Utm(int zone, bool northern) {
+  const double cm = -183.0 + 6.0 * zone;
+  std::string name = StringPrintf("utm:%d%c", zone, northern ? 'n' : 's');
+  return std::make_shared<TransverseMercatorCrs>(
+      std::move(name), cm, 0.9996, 500000.0, northern ? 0.0 : 10000000.0);
+}
+
+double TransverseMercatorCrs::MeridionalArc(double phi) const {
+  return kA * (m0_coef_ * phi - m2_coef_ * std::sin(2.0 * phi) +
+               m4_coef_ * std::sin(4.0 * phi) -
+               m6_coef_ * std::sin(6.0 * phi));
+}
+
+Status TransverseMercatorCrs::FromGeographic(double lon_deg, double lat_deg,
+                                             double* x, double* y) const {
+  if (std::fabs(lat_deg) > kMaxAbsLatDeg) {
+    return Status::OutOfRange(StringPrintf(
+        "latitude %g outside transverse Mercator domain", lat_deg));
+  }
+  double dlon = WrapLongitudeDeg(lon_deg - central_meridian_deg_);
+  if (std::fabs(dlon) > 30.0) {
+    // Far outside the zone the series diverges; refuse instead of
+    // returning garbage coordinates.
+    return Status::OutOfRange(StringPrintf(
+        "longitude %g too far from central meridian %g", lon_deg,
+        central_meridian_deg_));
+  }
+  const double phi = DegreesToRadians(lat_deg);
+  const double lam = DegreesToRadians(dlon);
+  const double sin_phi = std::sin(phi);
+  const double cos_phi = std::cos(phi);
+  const double tan_phi = std::tan(phi);
+
+  const double n = kA / std::sqrt(1.0 - kE2 * sin_phi * sin_phi);
+  const double t = tan_phi * tan_phi;
+  const double c = ep2_ * cos_phi * cos_phi;
+  const double a_term = lam * cos_phi;
+  const double a2 = a_term * a_term;
+  const double a3 = a2 * a_term;
+  const double a4 = a2 * a2;
+  const double a5 = a4 * a_term;
+  const double a6 = a4 * a2;
+  const double m = MeridionalArc(phi);
+
+  *x = false_easting_ +
+       k0_ * n *
+           (a_term + (1.0 - t + c) * a3 / 6.0 +
+            (5.0 - 18.0 * t + t * t + 72.0 * c - 58.0 * ep2_) * a5 / 120.0);
+  *y = false_northing_ +
+       k0_ * (m + n * tan_phi *
+                      (a2 / 2.0 + (5.0 - t + 9.0 * c + 4.0 * c * c) * a4 / 24.0 +
+                       (61.0 - 58.0 * t + t * t + 600.0 * c - 330.0 * ep2_) *
+                           a6 / 720.0));
+  return Status::OK();
+}
+
+Status TransverseMercatorCrs::ToGeographic(double x, double y, double* lon_deg,
+                                           double* lat_deg) const {
+  const double m = (y - false_northing_) / k0_;
+  const double mu = m / (kA * m0_coef_);
+  const double e1 = e1_;
+  const double e1_2 = e1 * e1;
+  const double e1_3 = e1_2 * e1;
+  const double e1_4 = e1_2 * e1_2;
+
+  // Footpoint latitude.
+  const double phi1 =
+      mu + (3.0 * e1 / 2.0 - 27.0 * e1_3 / 32.0) * std::sin(2.0 * mu) +
+      (21.0 * e1_2 / 16.0 - 55.0 * e1_4 / 32.0) * std::sin(4.0 * mu) +
+      (151.0 * e1_3 / 96.0) * std::sin(6.0 * mu) +
+      (1097.0 * e1_4 / 512.0) * std::sin(8.0 * mu);
+
+  const double sin_phi1 = std::sin(phi1);
+  const double cos_phi1 = std::cos(phi1);
+  if (std::fabs(cos_phi1) < 1e-12) {
+    return Status::OutOfRange("inverse transverse Mercator at the pole");
+  }
+  const double tan_phi1 = std::tan(phi1);
+  const double c1 = ep2_ * cos_phi1 * cos_phi1;
+  const double t1 = tan_phi1 * tan_phi1;
+  const double sin2 = sin_phi1 * sin_phi1;
+  const double n1 = kA / std::sqrt(1.0 - kE2 * sin2);
+  const double r1 =
+      kA * (1.0 - kE2) / std::pow(1.0 - kE2 * sin2, 1.5);
+  const double d = (x - false_easting_) / (n1 * k0_);
+  const double d2 = d * d;
+  const double d3 = d2 * d;
+  const double d4 = d2 * d2;
+  const double d5 = d4 * d;
+  const double d6 = d4 * d2;
+
+  const double phi =
+      phi1 -
+      (n1 * tan_phi1 / r1) *
+          (d2 / 2.0 -
+           (5.0 + 3.0 * t1 + 10.0 * c1 - 4.0 * c1 * c1 - 9.0 * ep2_) * d4 /
+               24.0 +
+           (61.0 + 90.0 * t1 + 298.0 * c1 + 45.0 * t1 * t1 - 252.0 * ep2_ -
+            3.0 * c1 * c1) *
+               d6 / 720.0);
+  const double lam =
+      (d - (1.0 + 2.0 * t1 + c1) * d3 / 6.0 +
+       (5.0 - 2.0 * c1 + 28.0 * t1 - 3.0 * c1 * c1 + 8.0 * ep2_ +
+        24.0 * t1 * t1) *
+           d5 / 120.0) /
+      cos_phi1;
+
+  *lat_deg = RadiansToDegrees(phi);
+  *lon_deg = WrapLongitudeDeg(central_meridian_deg_ + RadiansToDegrees(lam));
+  if (std::fabs(*lat_deg) > 90.0) {
+    return Status::OutOfRange("inverse transverse Mercator out of domain");
+  }
+  return Status::OK();
+}
+
+}  // namespace geostreams

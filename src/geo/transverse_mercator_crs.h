@@ -1,0 +1,59 @@
+// Ellipsoidal Transverse Mercator projection and UTM zones.
+//
+// Implements the classic Snyder series expansions ("Map Projections —
+// A Working Manual", USGS PP 1395, eqs. 8-9..8-25) on the WGS84
+// ellipsoid. This stands in for the PROJ.4 dependency of the paper's
+// prototype: the query model re-projects GOES streams to UTM
+// (Sec. 3.4's example query applies f_UTM before a spatial
+// restriction).
+
+#ifndef GEOSTREAMS_GEO_TRANSVERSE_MERCATOR_CRS_H_
+#define GEOSTREAMS_GEO_TRANSVERSE_MERCATOR_CRS_H_
+
+#include <string>
+
+#include "geo/crs.h"
+
+namespace geostreams {
+
+/// Transverse Mercator with configurable central meridian, scale
+/// factor, and false easting/northing. Coordinates are metres.
+class TransverseMercatorCrs : public CoordinateSystem {
+ public:
+  /// General constructor. `name` must be the canonical registry name.
+  TransverseMercatorCrs(std::string name, double central_meridian_deg,
+                        double scale_factor, double false_easting_m,
+                        double false_northing_m);
+
+  /// UTM zone constructor: zone in [1, 60], `northern` selects the
+  /// hemisphere (false northing 0 vs 10,000,000 m). Name "utm:<z><n|s>".
+  static CrsPtr Utm(int zone, bool northern);
+
+  const std::string& name() const override { return name_; }
+  CrsKind kind() const override { return CrsKind::kTransverseMercator; }
+
+  Status ToGeographic(double x, double y, double* lon_deg,
+                      double* lat_deg) const override;
+  Status FromGeographic(double lon_deg, double lat_deg, double* x,
+                        double* y) const override;
+
+  double central_meridian_deg() const { return central_meridian_deg_; }
+
+ private:
+  /// Meridional arc length from the equator to latitude phi (radians).
+  double MeridionalArc(double phi) const;
+
+  std::string name_;
+  double central_meridian_deg_;
+  double k0_;
+  double false_easting_;
+  double false_northing_;
+  // Precomputed series coefficients.
+  double m0_coef_, m2_coef_, m4_coef_, m6_coef_;
+  double e1_;
+  double ep2_;  // second eccentricity squared
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_GEO_TRANSVERSE_MERCATOR_CRS_H_

@@ -1,0 +1,39 @@
+#include "mqo/filter_bank.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace geostreams {
+
+Status FilterBank::Insert(QueryId id, const BoundingBox& box) {
+  for (const auto& [eid, ebox] : entries_) {
+    if (eid == id) {
+      return Status::AlreadyExists(
+          StringPrintf("query %lld already registered",
+                       static_cast<long long>(id)));
+    }
+  }
+  entries_.emplace_back(id, box);
+  return Status::OK();
+}
+
+Status FilterBank::Remove(QueryId id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [id](const auto& e) { return e.first == id; });
+  if (it == entries_.end()) {
+    return Status::NotFound(StringPrintf(
+        "query %lld not registered", static_cast<long long>(id)));
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+void FilterBank::Stab(double x, double y,
+                      std::vector<QueryId>* out) const {
+  for (const auto& [id, box] : entries_) {
+    if (box.Contains(x, y)) out->push_back(id);
+  }
+}
+
+}  // namespace geostreams

@@ -1,0 +1,29 @@
+// Naive per-query filter list: the baseline the cascade tree is
+// measured against (bench E7). Stabbing is O(n) in the number of
+// registered queries.
+
+#ifndef GEOSTREAMS_MQO_FILTER_BANK_H_
+#define GEOSTREAMS_MQO_FILTER_BANK_H_
+
+#include <utility>
+#include <vector>
+
+#include "mqo/region_index.h"
+
+namespace geostreams {
+
+class FilterBank : public RegionIndex {
+ public:
+  Status Insert(QueryId id, const BoundingBox& box) override;
+  Status Remove(QueryId id) override;
+  void Stab(double x, double y, std::vector<QueryId>* out) const override;
+  size_t size() const override { return entries_.size(); }
+  std::string name() const override { return "filter-bank"; }
+
+ private:
+  std::vector<std::pair<QueryId, BoundingBox>> entries_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_MQO_FILTER_BANK_H_

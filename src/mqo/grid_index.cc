@@ -1,0 +1,96 @@
+#include "mqo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace geostreams {
+
+GridIndex::GridIndex(BoundingBox extent, int cols, int rows)
+    : extent_(extent),
+      cols_(cols < 1 ? 1 : cols),
+      rows_(rows < 1 ? 1 : rows),
+      cells_(static_cast<size_t>(cols_) * static_cast<size_t>(rows_)) {}
+
+GridIndex::CellRange GridIndex::CellsOf(const BoundingBox& box) const {
+  const double w = extent_.width() / cols_;
+  const double h = extent_.height() / rows_;
+  // Clamp in double space BEFORE the integer cast: query rectangles can
+  // be astronomically large (e.g. the all() region), and casting an
+  // out-of-range double to int is undefined behaviour.
+  auto cell = [](double v, double origin, double step, int n) {
+    const double t = Clamp(std::floor((v - origin) / step), 0.0,
+                           static_cast<double>(n - 1));
+    return static_cast<int>(t);
+  };
+  CellRange r;
+  r.c0 = cell(box.min_x, extent_.min_x, w, cols_);
+  r.c1 = cell(box.max_x, extent_.min_x, w, cols_);
+  r.r0 = cell(box.min_y, extent_.min_y, h, rows_);
+  r.r1 = cell(box.max_y, extent_.min_y, h, rows_);
+  return r;
+}
+
+Status GridIndex::Insert(QueryId id, const BoundingBox& box) {
+  for (const auto& [eid, ebox] : boxes_) {
+    if (eid == id) {
+      return Status::AlreadyExists(
+          StringPrintf("query %lld already registered",
+                       static_cast<long long>(id)));
+    }
+  }
+  boxes_.emplace_back(id, box);
+  if (box.Intersects(extent_)) {
+    const CellRange r = CellsOf(box);
+    for (int row = r.r0; row <= r.r1; ++row) {
+      for (int col = r.c0; col <= r.c1; ++col) {
+        cells_[static_cast<size_t>(CellIndex(col, row))].emplace_back(id,
+                                                                      box);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status GridIndex::Remove(QueryId id) {
+  auto it = std::find_if(boxes_.begin(), boxes_.end(),
+                         [id](const auto& e) { return e.first == id; });
+  if (it == boxes_.end()) {
+    return Status::NotFound(StringPrintf(
+        "query %lld not registered", static_cast<long long>(id)));
+  }
+  const BoundingBox box = it->second;
+  boxes_.erase(it);
+  if (box.Intersects(extent_)) {
+    const CellRange r = CellsOf(box);
+    for (int row = r.r0; row <= r.r1; ++row) {
+      for (int col = r.c0; col <= r.c1; ++col) {
+        auto& cell = cells_[static_cast<size_t>(CellIndex(col, row))];
+        cell.erase(std::remove_if(cell.begin(), cell.end(),
+                                  [id](const auto& e) {
+                                    return e.first == id;
+                                  }),
+                   cell.end());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void GridIndex::Stab(double x, double y, std::vector<QueryId>* out) const {
+  if (!extent_.Contains(x, y)) return;
+  const double w = extent_.width() / cols_;
+  const double h = extent_.height() / rows_;
+  const int col = Clamp(
+      static_cast<int>(std::floor((x - extent_.min_x) / w)), 0, cols_ - 1);
+  const int row = Clamp(
+      static_cast<int>(std::floor((y - extent_.min_y) / h)), 0, rows_ - 1);
+  for (const auto& [id, box] :
+       cells_[static_cast<size_t>(CellIndex(col, row))]) {
+    if (box.Contains(x, y)) out->push_back(id);
+  }
+}
+
+}  // namespace geostreams

@@ -1,0 +1,42 @@
+// Uniform grid index over query rectangles: the mid-complexity
+// baseline between the naive filter bank and the cascade tree (E7).
+// Each grid cell lists the queries overlapping it; a stab tests only
+// that cell's list.
+
+#ifndef GEOSTREAMS_MQO_GRID_INDEX_H_
+#define GEOSTREAMS_MQO_GRID_INDEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "mqo/region_index.h"
+
+namespace geostreams {
+
+class GridIndex : public RegionIndex {
+ public:
+  GridIndex(BoundingBox extent, int cols, int rows);
+
+  Status Insert(QueryId id, const BoundingBox& box) override;
+  Status Remove(QueryId id) override;
+  void Stab(double x, double y, std::vector<QueryId>* out) const override;
+  size_t size() const override { return boxes_.size(); }
+  std::string name() const override { return "grid-index"; }
+
+ private:
+  struct CellRange {
+    int c0, c1, r0, r1;
+  };
+  CellRange CellsOf(const BoundingBox& box) const;
+  int CellIndex(int c, int r) const { return r * cols_ + c; }
+
+  BoundingBox extent_;
+  int cols_;
+  int rows_;
+  std::vector<std::vector<std::pair<QueryId, BoundingBox>>> cells_;
+  std::vector<std::pair<QueryId, BoundingBox>> boxes_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_MQO_GRID_INDEX_H_

@@ -1,0 +1,47 @@
+// Indexes over many registered query regions (Sec. 4).
+//
+// "Multiple queries against a single GeoStream are optimized using a
+// dynamic cascade tree structure, which acts as a single spatial
+// restriction operator and efficiently streams only the point data of
+// interest to current continuous queries." A RegionIndex answers
+// stabbing queries — which registered regions contain this point? —
+// and supports dynamic registration/removal as clients come and go.
+//
+// Indexes work on the regions' bounding boxes and may return a
+// superset of the true answer; the shared restriction operator
+// applies the exact region predicate to the candidates.
+
+#ifndef GEOSTREAMS_MQO_REGION_INDEX_H_
+#define GEOSTREAMS_MQO_REGION_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/bounding_box.h"
+
+namespace geostreams {
+
+using QueryId = int64_t;
+
+/// Interface for dynamic rectangle stabbing structures.
+class RegionIndex {
+ public:
+  virtual ~RegionIndex() = default;
+
+  virtual Status Insert(QueryId id, const BoundingBox& box) = 0;
+  virtual Status Remove(QueryId id) = 0;
+
+  /// Appends ids whose boxes (conservatively) contain (x, y). The
+  /// output vector is not cleared.
+  virtual void Stab(double x, double y,
+                    std::vector<QueryId>* out) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_MQO_REGION_INDEX_H_

@@ -1,0 +1,164 @@
+#include "ops/aggregate_op.h"
+
+#include "common/string_util.h"
+#include "geo/geographic_crs.h"
+
+namespace geostreams {
+
+const char* AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "count";
+    case AggregateFn::kSum:
+      return "sum";
+    case AggregateFn::kAvg:
+      return "avg";
+    case AggregateFn::kMin:
+      return "min";
+    case AggregateFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+AggregateOp::AggregateOp(std::string name, AggregateFn fn,
+                         std::vector<RegionPtr> regions, int window_frames,
+                         int slide_frames)
+    : UnaryOperator(std::move(name)),
+      fn_(fn),
+      regions_(std::move(regions)),
+      window_frames_(window_frames < 1 ? 1 : window_frames),
+      slide_frames_(slide_frames < 1
+                        ? window_frames_
+                        : (slide_frames > window_frames_ ? window_frames_
+                                                         : slide_frames)) {}
+
+Status AggregateOp::Process(const StreamEvent& event) {
+  switch (event.kind) {
+    case EventKind::kFrameBegin:
+      frame_lattice_ = event.frame.lattice;
+      current_.frame_id = event.frame.frame_id;
+      current_.accums.assign(regions_.size(), Accum());
+      frame_open_ = true;
+      return Status::OK();
+    case EventKind::kPointBatch: {
+      if (!frame_open_) {
+        return Status::FailedPrecondition(
+            "aggregate requires framed input");
+      }
+      const PointBatch& batch = *event.batch;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        const double x = frame_lattice_.CellX(batch.cols[i]);
+        const double y = frame_lattice_.CellY(batch.rows[i]);
+        const double v = batch.ValueAt(i);
+        for (size_t ri = 0; ri < regions_.size(); ++ri) {
+          if (!regions_[ri]->Contains(x, y)) continue;
+          Accum& a = current_.accums[ri];
+          ++a.count;
+          a.sum += v;
+          if (v < a.min) a.min = v;
+          if (v > a.max) a.max = v;
+        }
+      }
+      ReportState();
+      return Status::OK();
+    }
+    case EventKind::kFrameEnd: {
+      if (!frame_open_) return Status::OK();
+      frame_open_ = false;
+      partials_.push_back(std::move(current_));
+      current_ = FramePartial();
+      if (partials_.size() > static_cast<size_t>(window_frames_)) {
+        partials_.pop_front();
+      }
+      ++frames_since_emit_;
+      if (partials_.size() == static_cast<size_t>(window_frames_) &&
+          frames_since_emit_ >= slide_frames_) {
+        frames_since_emit_ = 0;
+        GEOSTREAMS_RETURN_IF_ERROR(EmitWindow());
+      }
+      ReportState();
+      return Status::OK();
+    }
+    case EventKind::kStreamEnd:
+      // Flush a final (possibly short) window covering the frames
+      // accumulated since the last emission.
+      if (!partials_.empty() && frames_since_emit_ > 0) {
+        GEOSTREAMS_RETURN_IF_ERROR(EmitWindow());
+      }
+      partials_.clear();
+      frames_since_emit_ = 0;
+      ReportState();
+      return Emit(event);
+  }
+  return Status::OK();
+}
+
+double AggregateOp::Finalize(const Accum& a) const {
+  switch (fn_) {
+    case AggregateFn::kCount:
+      return static_cast<double>(a.count);
+    case AggregateFn::kSum:
+      return a.sum;
+    case AggregateFn::kAvg:
+      return a.count == 0 ? 0.0 : a.sum / static_cast<double>(a.count);
+    case AggregateFn::kMin:
+      return a.count == 0 ? 0.0 : a.min;
+    case AggregateFn::kMax:
+      return a.count == 0 ? 0.0 : a.max;
+  }
+  return 0.0;
+}
+
+Status AggregateOp::EmitWindow() {
+  if (partials_.empty()) return Status::OK();
+  const int64_t start = partials_.front().frame_id;
+  const int64_t end = partials_.back().frame_id;
+
+  FrameInfo info;
+  info.frame_id = start;
+  info.lattice =
+      GridLattice(GeographicCrs::Instance(), 0.0, 0.0, 1.0, 1.0,
+                  static_cast<int64_t>(regions_.size()), 1);
+  info.expected_points = static_cast<int64_t>(regions_.size());
+  GEOSTREAMS_RETURN_IF_ERROR(Emit(StreamEvent::FrameBegin(info)));
+
+  auto out = std::make_shared<PointBatch>();
+  out->frame_id = start;
+  out->band_count = 1;
+  for (size_t ri = 0; ri < regions_.size(); ++ri) {
+    Accum merged;
+    for (const FramePartial& fp : partials_) {
+      merged.Merge(fp.accums[ri]);
+    }
+    AggregateResult res;
+    res.region_index = static_cast<int>(ri);
+    res.window_start_frame = start;
+    res.window_end_frame = end;
+    res.count = merged.count;
+    res.value = Finalize(merged);
+    results_.push_back(res);
+    out->Append1(static_cast<int32_t>(ri), 0, start, res.value);
+  }
+  GEOSTREAMS_RETURN_IF_ERROR(Emit(StreamEvent::Batch(std::move(out))));
+  GEOSTREAMS_RETURN_IF_ERROR(Emit(StreamEvent::FrameEnd(info)));
+
+  // Tumbling windows restart from scratch; sliding windows keep the
+  // overlapping frames' partials.
+  if (slide_frames_ >= window_frames_) {
+    partials_.clear();
+  } else {
+    for (int i = 0; i < slide_frames_ && !partials_.empty(); ++i) {
+      partials_.pop_front();
+    }
+  }
+  return Status::OK();
+}
+
+void AggregateOp::ReportState() {
+  const size_t frames =
+      partials_.size() + (frame_open_ ? 1 : 0);
+  ReportBuffered(frames * regions_.size() * sizeof(Accum));
+}
+
+}  // namespace geostreams

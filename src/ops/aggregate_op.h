@@ -1,0 +1,94 @@
+// Spatio-temporal aggregates over raster streams.
+//
+// The paper's outlook (Sec. 6) names the integration of the
+// spatio-temporal aggregate operator of Zhang/Gertz/Aksoy (ACM-GIS
+// 2004) as the next extension. This operator computes, for a set of
+// named regions and a window of W consecutive frames (scan sectors),
+// an aggregate of all point values falling inside each region.
+// Windows tumble by default and slide when `slide_frames` < W (the
+// sliding form of [27]); sliding windows keep per-frame partial
+// aggregates so each frame is scanned once. Results are emitted as a
+// 1 x R lattice frame per window (column = region index), keeping the
+// algebra closed, and are also available programmatically.
+
+#ifndef GEOSTREAMS_OPS_AGGREGATE_OP_H_
+#define GEOSTREAMS_OPS_AGGREGATE_OP_H_
+
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "geo/region.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+enum class AggregateFn : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggregateFnName(AggregateFn fn);
+
+/// One completed aggregate value.
+struct AggregateResult {
+  int region_index = 0;
+  int64_t window_start_frame = 0;
+  int64_t window_end_frame = 0;  // inclusive
+  uint64_t count = 0;
+  double value = 0.0;
+};
+
+class AggregateOp : public UnaryOperator {
+ public:
+  /// `window_frames` >= 1 consecutive frames per window;
+  /// `slide_frames` in [1, window_frames] — the default (0) slides by
+  /// the full window (tumbling).
+  AggregateOp(std::string name, AggregateFn fn,
+              std::vector<RegionPtr> regions, int window_frames,
+              int slide_frames = 0);
+
+  const std::vector<AggregateResult>& results() const { return results_; }
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  struct Accum {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+
+    void Merge(const Accum& other) {
+      count += other.count;
+      sum += other.sum;
+      if (other.min < min) min = other.min;
+      if (other.max > max) max = other.max;
+    }
+  };
+
+  /// Per-frame partial aggregates (one Accum per region).
+  struct FramePartial {
+    int64_t frame_id = 0;
+    std::vector<Accum> accums;
+  };
+
+  Status EmitWindow();
+  double Finalize(const Accum& a) const;
+  void ReportState();
+
+  AggregateFn fn_;
+  std::vector<RegionPtr> regions_;
+  int window_frames_;
+  int slide_frames_;
+  GridLattice frame_lattice_;
+  std::deque<FramePartial> partials_;  // at most window_frames_ entries
+  FramePartial current_;
+  bool frame_open_ = false;
+  /// Frames accumulated since the last emission.
+  int frames_since_emit_ = 0;
+  std::vector<AggregateResult> results_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OPS_AGGREGATE_OP_H_

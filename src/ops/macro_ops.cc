@@ -1,0 +1,24 @@
+#include "ops/macro_ops.h"
+
+namespace geostreams {
+
+std::unique_ptr<ComposeOp> MakeNdviOp(std::string name) {
+  return std::make_unique<ComposeOp>(std::move(name), BinaryValueFn::Ndvi());
+}
+
+std::unique_ptr<ComposeOp> MakeNormalizedDifferenceOp(std::string name) {
+  BinaryValueFn f = BinaryValueFn::Ndvi();
+  f.name = "normalized_difference";
+  return std::make_unique<ComposeOp>(std::move(name), std::move(f));
+}
+
+std::unique_ptr<ComposeOp> MakeBandRatioOp(std::string name) {
+  return std::make_unique<ComposeOp>(std::move(name), ComposeFn::kDivide, 1);
+}
+
+std::unique_ptr<ComposeOp> MakeBandDifferenceOp(std::string name) {
+  return std::make_unique<ComposeOp>(std::move(name), ComposeFn::kSubtract,
+                                     1);
+}
+
+}  // namespace geostreams

@@ -1,0 +1,35 @@
+// Macro operators computing standard data products (Sec. 4: "special-
+// ized macro operators that compute specific data products, such as
+// NDVI ... can be directly selected in the user interface, without
+// the need to compose otherwise complex queries").
+//
+// A macro operator fuses a small algebra expression into a single
+// physical operator. The optimizer can also expand the same product
+// into primitive compositions; tests verify both give identical
+// output and the ablation bench compares their costs.
+
+#ifndef GEOSTREAMS_OPS_MACRO_OPS_H_
+#define GEOSTREAMS_OPS_MACRO_OPS_H_
+
+#include <memory>
+
+#include "ops/compose_op.h"
+
+namespace geostreams {
+
+/// NDVI = (NIR - VIS) / (NIR + VIS), fused. Port 0 is NIR, port 1 VIS.
+std::unique_ptr<ComposeOp> MakeNdviOp(std::string name);
+
+/// Normalized difference of two arbitrary bands (same formula, generic
+/// naming — e.g. NDSI with green/swir inputs).
+std::unique_ptr<ComposeOp> MakeNormalizedDifferenceOp(std::string name);
+
+/// Simple ratio a / b (e.g. vegetation ratio index).
+std::unique_ptr<ComposeOp> MakeBandRatioOp(std::string name);
+
+/// Brightness-temperature style difference a - b (split-window).
+std::unique_ptr<ComposeOp> MakeBandDifferenceOp(std::string name);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OPS_MACRO_OPS_H_

@@ -1,0 +1,61 @@
+// Re-projection operator (Sec. 3.2): maps a GeoStream from one
+// coordinate system to another.
+//
+// "One can think of a re-projection as a mathematical framework that
+// specifies for every point y in Y what points in X are necessary to
+// compute y and its point value." The operator buffers the current
+// scan sector (frame), overlays a regular lattice of corresponding
+// size/aspect over the transformed spatial extent, and computes each
+// target point from the nearest source point or a bilinear
+// neighbourhood — the two resampling choices the paper names. Its
+// space cost is the frame size; E3 measures it.
+
+#ifndef GEOSTREAMS_OPS_REPROJECT_OP_H_
+#define GEOSTREAMS_OPS_REPROJECT_OP_H_
+
+#include <optional>
+
+#include "geo/crs.h"
+#include "raster/frame_assembler.h"
+#include "raster/resample.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+class ReprojectOp : public UnaryOperator {
+ public:
+  /// Re-projects into `target_crs`. If `fixed_lattice` is provided the
+  /// output is gathered onto it (the DSMS uses this to serve a fixed
+  /// client viewport); otherwise each frame derives an output lattice
+  /// covering its own transformed extent with approximately as many
+  /// cells as the source sector.
+  ReprojectOp(std::string name, CrsPtr target_crs,
+              ResampleKernel kernel = ResampleKernel::kNearest,
+              std::optional<GridLattice> fixed_lattice = std::nullopt);
+
+  const CrsPtr& target_crs() const { return target_crs_; }
+
+  /// Derives the per-frame output lattice for a source lattice: the
+  /// transformed extent overlaid with a regular grid "corresponding in
+  /// size and aspect" to the source.
+  static Result<GridLattice> DeriveLattice(const GridLattice& source,
+                                           const CrsPtr& target_crs);
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  Status FlushFrame(const FrameInfo& info);
+
+  CrsPtr target_crs_;
+  ResampleKernel kernel_;
+  std::optional<GridLattice> fixed_lattice_;
+  GridLattice out_lattice_;
+  GridLattice in_lattice_;
+  FrameAssembler assembler_;
+  int64_t frame_timestamp_ = 0;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OPS_REPROJECT_OP_H_

@@ -1,0 +1,127 @@
+#include "ops/restriction_ops.h"
+
+namespace geostreams {
+
+namespace {
+
+/// Copies the points of `src` selected by `keep` into a fresh batch.
+/// Returns nullptr when nothing survives.
+PointBatchPtr FilterBatch(const PointBatch& src,
+                          const std::vector<char>& keep, size_t kept) {
+  if (kept == 0) return nullptr;
+  auto out = std::make_shared<PointBatch>();
+  out->frame_id = src.frame_id;
+  out->band_count = src.band_count;
+  out->Reserve(kept);
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (!keep[i]) continue;
+    out->Append(src.cols[i], src.rows[i], src.timestamps[i],
+                &src.values[i * static_cast<size_t>(src.band_count)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpatialRestrictionOp
+
+SpatialRestrictionOp::SpatialRestrictionOp(std::string name, RegionPtr region)
+    : UnaryOperator(std::move(name)), region_(std::move(region)) {}
+
+Status SpatialRestrictionOp::Process(const StreamEvent& event) {
+  switch (event.kind) {
+    case EventKind::kFrameBegin:
+      frame_lattice_ = event.frame.lattice;
+      in_frame_ = true;
+      // Frame-level pruning: a frame whose extent misses the region's
+      // bounding box cannot contribute any point.
+      frame_may_intersect_ =
+          region_->bounds().Intersects(frame_lattice_.Extent());
+      return Emit(event);
+    case EventKind::kFrameEnd:
+      in_frame_ = false;
+      return Emit(event);
+    case EventKind::kStreamEnd:
+      return Emit(event);
+    case EventKind::kPointBatch:
+      break;
+  }
+  const PointBatch& batch = *event.batch;
+  if (in_frame_ && !frame_may_intersect_) return Status::OK();
+  std::vector<char> keep(batch.size(), 0);
+  size_t kept = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const double x = frame_lattice_.CellX(batch.cols[i]);
+    const double y = frame_lattice_.CellY(batch.rows[i]);
+    if (region_->Contains(x, y)) {
+      keep[i] = 1;
+      ++kept;
+    }
+  }
+  if (kept == batch.size()) return Emit(event);  // pass through unchanged
+  PointBatchPtr filtered = FilterBatch(batch, keep, kept);
+  if (!filtered) return Status::OK();
+  return Emit(StreamEvent::Batch(std::move(filtered)));
+}
+
+// ---------------------------------------------------------------------------
+// TemporalRestrictionOp
+
+TemporalRestrictionOp::TemporalRestrictionOp(std::string name, TimeSet times)
+    : UnaryOperator(std::move(name)), times_(std::move(times)) {}
+
+Status TemporalRestrictionOp::Process(const StreamEvent& event) {
+  if (event.kind != EventKind::kPointBatch) return Emit(event);
+  const PointBatch& batch = *event.batch;
+  std::vector<char> keep(batch.size(), 0);
+  size_t kept = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (times_.Contains(batch.timestamps[i])) {
+      keep[i] = 1;
+      ++kept;
+    }
+  }
+  if (kept == batch.size()) return Emit(event);
+  PointBatchPtr filtered = FilterBatch(batch, keep, kept);
+  if (!filtered) return Status::OK();
+  return Emit(StreamEvent::Batch(std::move(filtered)));
+}
+
+// ---------------------------------------------------------------------------
+// ValueRestrictionOp
+
+ValueRestrictionOp::ValueRestrictionOp(std::string name,
+                                       std::vector<ValueBandRange> ranges)
+    : UnaryOperator(std::move(name)), ranges_(std::move(ranges)) {}
+
+Status ValueRestrictionOp::Process(const StreamEvent& event) {
+  if (event.kind != EventKind::kPointBatch) return Emit(event);
+  const PointBatch& batch = *event.batch;
+  std::vector<char> keep(batch.size(), 0);
+  size_t kept = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    bool ok = true;
+    for (const ValueBandRange& r : ranges_) {
+      if (r.band >= batch.band_count) {
+        ok = false;
+        break;
+      }
+      const double v = batch.ValueAt(i, r.band);
+      if (v < r.lo || v > r.hi) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      keep[i] = 1;
+      ++kept;
+    }
+  }
+  if (kept == batch.size()) return Emit(event);
+  PointBatchPtr filtered = FilterBatch(batch, keep, kept);
+  if (!filtered) return Status::OK();
+  return Emit(StreamEvent::Batch(std::move(filtered)));
+}
+
+}  // namespace geostreams

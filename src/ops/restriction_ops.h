@@ -1,0 +1,80 @@
+// Stream restriction operators (Sec. 3.1).
+//
+// All three restrictions filter points against a condition on the
+// spatial, temporal, or value component. They are non-blocking,
+// process points one by one, and keep no intermediate point data —
+// the cost properties E1 measures.
+
+#ifndef GEOSTREAMS_OPS_RESTRICTION_OPS_H_
+#define GEOSTREAMS_OPS_RESTRICTION_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "geo/region.h"
+#include "ops/time_set.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+/// Spatial restriction G|R (Definition 6). The region is expressed in
+/// the stream's CRS; point coordinates are derived from the frame
+/// lattice carried by FrameBegin metadata. Frames whose lattice
+/// extent cannot intersect the region's bounding box are skipped
+/// wholesale (their batches are dropped without per-point tests).
+class SpatialRestrictionOp : public UnaryOperator {
+ public:
+  SpatialRestrictionOp(std::string name, RegionPtr region);
+
+  const Region& region() const { return *region_; }
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  RegionPtr region_;
+  GridLattice frame_lattice_;
+  bool frame_may_intersect_ = false;
+  bool in_frame_ = false;
+};
+
+/// Temporal restriction G|T (Definition 7): keeps points whose
+/// timestamp belongs to the time set.
+class TemporalRestrictionOp : public UnaryOperator {
+ public:
+  TemporalRestrictionOp(std::string name, TimeSet times);
+
+  const TimeSet& times() const { return times_; }
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  TimeSet times_;
+};
+
+/// One conjunct of a value restriction: band sample within [lo, hi].
+struct ValueBandRange {
+  int band = 0;
+  double lo = -1e308;
+  double hi = 1e308;
+};
+
+/// Value restriction G|V: keeps points whose value lies in V,
+/// expressed as a conjunction of per-band ranges.
+class ValueRestrictionOp : public UnaryOperator {
+ public:
+  ValueRestrictionOp(std::string name, std::vector<ValueBandRange> ranges);
+
+  const std::vector<ValueBandRange>& ranges() const { return ranges_; }
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  std::vector<ValueBandRange> ranges_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OPS_RESTRICTION_OPS_H_

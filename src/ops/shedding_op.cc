@@ -1,0 +1,97 @@
+#include "ops/shedding_op.h"
+
+#include "common/math_util.h"
+
+namespace geostreams {
+
+const char* SheddingModeName(SheddingMode mode) {
+  switch (mode) {
+    case SheddingMode::kDropPoints:
+      return "drop-points";
+    case SheddingMode::kDropRows:
+      return "drop-rows";
+    case SheddingMode::kDropFrames:
+      return "drop-frames";
+  }
+  return "?";
+}
+
+LoadSheddingOp::LoadSheddingOp(std::string name, SheddingMode mode,
+                               double keep_fraction, uint64_t seed)
+    : UnaryOperator(std::move(name)),
+      mode_(mode),
+      keep_fraction_(Clamp(keep_fraction, 0.0, 1.0)),
+      seed_(seed) {}
+
+void LoadSheddingOp::set_keep_fraction(double keep) {
+  keep_fraction_.store(Clamp(keep, 0.0, 1.0), std::memory_order_relaxed);
+}
+
+bool LoadSheddingOp::Keep(uint64_t key) const {
+  return HashToUnit(seed_ ^ key) <
+         keep_fraction_.load(std::memory_order_relaxed);
+}
+
+Status LoadSheddingOp::Process(const StreamEvent& event) {
+  switch (event.kind) {
+    case EventKind::kFrameBegin:
+      if (mode_ == SheddingMode::kDropFrames) {
+        current_frame_shed_ =
+            !Keep(static_cast<uint64_t>(event.frame.frame_id) * 0x9E37ULL);
+      }
+      // Frame metadata always flows: downstream buffering operators
+      // rely on scan-sector boundaries even under load.
+      return Emit(event);
+    case EventKind::kFrameEnd:
+    case EventKind::kStreamEnd:
+      return Emit(event);
+    case EventKind::kPointBatch:
+      break;
+  }
+  const PointBatch& in = *event.batch;
+  if (mode_ == SheddingMode::kDropFrames) {
+    if (!current_frame_shed_) return Emit(event);
+    points_shed_ += in.size();
+    return Status::OK();
+  }
+  if (mode_ == SheddingMode::kDropRows) {
+    // A generated batch is usually one scan line, but image-organized
+    // streams pack many rows per batch: test each point's row.
+    auto out = std::make_shared<PointBatch>();
+    out->frame_id = in.frame_id;
+    out->band_count = in.band_count;
+    for (size_t i = 0; i < in.size(); ++i) {
+      const uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(in.rows[i])) << 24) ^
+          static_cast<uint64_t>(in.timestamps[i]);
+      if (!Keep(key)) {
+        ++points_shed_;
+        continue;
+      }
+      out->Append(in.cols[i], in.rows[i], in.timestamps[i],
+                  &in.values[i * static_cast<size_t>(in.band_count)]);
+    }
+    if (out->empty()) return Status::OK();
+    return Emit(StreamEvent::Batch(std::move(out)));
+  }
+  // kDropPoints.
+  auto out = std::make_shared<PointBatch>();
+  out->frame_id = in.frame_id;
+  out->band_count = in.band_count;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(in.cols[i])) << 40) ^
+        (static_cast<uint64_t>(static_cast<uint32_t>(in.rows[i])) << 16) ^
+        static_cast<uint64_t>(in.timestamps[i]);
+    if (!Keep(key)) {
+      ++points_shed_;
+      continue;
+    }
+    out->Append(in.cols[i], in.rows[i], in.timestamps[i],
+                &in.values[i * static_cast<size_t>(in.band_count)]);
+  }
+  if (out->empty()) return Status::OK();
+  return Emit(StreamEvent::Batch(std::move(out)));
+}
+
+}  // namespace geostreams

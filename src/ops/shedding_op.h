@@ -1,0 +1,64 @@
+// Load shedding for image streams.
+//
+// The paper's introduction lists load shedding among the relational
+// DSMS techniques worth adapting ("Most of the proposed techniques,
+// such as adaptive query processing, operator scheduling, and load
+// shedding, exclusively concentrate on simple structured ... data").
+// For raster streams the shedding granularity matters: dropping
+// random points leaves salt-and-pepper holes, dropping whole scan
+// lines degrades resolution smoothly, dropping whole frames reduces
+// the temporal rate. All three policies are deterministic
+// (hash-seeded) so shed streams stay reproducible.
+
+#ifndef GEOSTREAMS_OPS_SHEDDING_OP_H_
+#define GEOSTREAMS_OPS_SHEDDING_OP_H_
+
+#include <atomic>
+#include <string>
+
+#include "stream/operator.h"
+
+namespace geostreams {
+
+enum class SheddingMode : uint8_t {
+  kDropPoints,  // per-point sampling
+  kDropRows,    // per-scan-line sampling
+  kDropFrames,  // per-sector sampling (frame metadata still flows)
+};
+
+const char* SheddingModeName(SheddingMode mode);
+
+class LoadSheddingOp : public UnaryOperator {
+ public:
+  /// Keeps approximately `keep_fraction` of the selected granularity.
+  LoadSheddingOp(std::string name, SheddingMode mode, double keep_fraction,
+                 uint64_t seed = 1);
+
+  SheddingMode mode() const { return mode_; }
+  double keep_fraction() const {
+    return keep_fraction_.load(std::memory_order_relaxed);
+  }
+  uint64_t points_shed() const { return points_shed_; }
+
+  /// Adjusts the keep fraction at runtime (thread-safe): the hook an
+  /// adaptive controller uses to react to backlog. Takes effect at
+  /// the next point for point/row policies and at the next frame for
+  /// the frame policy.
+  void set_keep_fraction(double keep);
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  bool Keep(uint64_t key) const;
+
+  SheddingMode mode_;
+  std::atomic<double> keep_fraction_;
+  uint64_t seed_;
+  bool current_frame_shed_ = false;
+  uint64_t points_shed_ = 0;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OPS_SHEDDING_OP_H_

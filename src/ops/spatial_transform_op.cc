@@ -1,0 +1,245 @@
+#include "ops/spatial_transform_op.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace geostreams {
+
+// ---------------------------------------------------------------------------
+// MagnifyOp
+
+MagnifyOp::MagnifyOp(std::string name, int factor)
+    : UnaryOperator(std::move(name)), factor_(factor) {}
+
+Status MagnifyOp::Process(const StreamEvent& event) {
+  switch (event.kind) {
+    case EventKind::kFrameBegin: {
+      out_lattice_ = event.frame.lattice.Magnified(factor_);
+      FrameInfo info = event.frame;
+      info.lattice = out_lattice_;
+      info.expected_points =
+          event.frame.expected_points * factor_ * factor_;
+      return Emit(StreamEvent::FrameBegin(std::move(info)));
+    }
+    case EventKind::kFrameEnd: {
+      FrameInfo info = event.frame;
+      info.lattice = out_lattice_;
+      return Emit(StreamEvent::FrameEnd(std::move(info)));
+    }
+    case EventKind::kStreamEnd:
+      return Emit(event);
+    case EventKind::kPointBatch:
+      break;
+  }
+  const PointBatch& in = *event.batch;
+  auto out = std::make_shared<PointBatch>();
+  out->frame_id = in.frame_id;
+  out->band_count = in.band_count;
+  const auto k = static_cast<size_t>(factor_);
+  out->Reserve(in.size() * k * k);
+  for (size_t i = 0; i < in.size(); ++i) {
+    const int32_t c0 = in.cols[i] * factor_;
+    const int32_t r0 = in.rows[i] * factor_;
+    const double* vals = &in.values[i * static_cast<size_t>(in.band_count)];
+    for (int dr = 0; dr < factor_; ++dr) {
+      for (int dc = 0; dc < factor_; ++dc) {
+        out->Append(c0 + dc, r0 + dr, in.timestamps[i], vals);
+      }
+    }
+  }
+  return Emit(StreamEvent::Batch(std::move(out)));
+}
+
+// ---------------------------------------------------------------------------
+// ReduceOp
+
+ReduceOp::ReduceOp(std::string name, int factor)
+    : UnaryOperator(std::move(name)), factor_(factor) {}
+
+int32_t ReduceOp::ExpectedContributions(int64_t ocol, int64_t orow) const {
+  // Edge cells cover fewer input cells when the extent is not a
+  // multiple of the factor.
+  const int64_t c0 = ocol * factor_;
+  const int64_t r0 = orow * factor_;
+  const int64_t cw = std::min<int64_t>(factor_, in_lattice_.width() - c0);
+  const int64_t rh = std::min<int64_t>(factor_, in_lattice_.height() - r0);
+  return static_cast<int32_t>(cw * rh);
+}
+
+Status ReduceOp::Process(const StreamEvent& event) {
+  switch (event.kind) {
+    case EventKind::kFrameBegin: {
+      in_lattice_ = event.frame.lattice;
+      out_lattice_ = in_lattice_.Reduced(factor_);
+      in_frame_ = true;
+      frame_id_ = event.frame.frame_id;
+      accum_.clear();
+      FrameInfo info = event.frame;
+      info.lattice = out_lattice_;
+      info.expected_points = out_lattice_.num_cells();
+      return Emit(StreamEvent::FrameBegin(std::move(info)));
+    }
+    case EventKind::kFrameEnd: {
+      GEOSTREAMS_RETURN_IF_ERROR(FlushAll());
+      in_frame_ = false;
+      FrameInfo info = event.frame;
+      info.lattice = out_lattice_;
+      return Emit(StreamEvent::FrameEnd(std::move(info)));
+    }
+    case EventKind::kStreamEnd:
+      if (in_frame_) {
+        GEOSTREAMS_RETURN_IF_ERROR(FlushAll());
+        in_frame_ = false;
+      }
+      return Emit(event);
+    case EventKind::kPointBatch:
+      break;
+  }
+  if (!in_frame_) {
+    return Status::FailedPrecondition(
+        "resolution decrease requires framed input (scan-sector "
+        "metadata bounds the neighbourhood buffers)");
+  }
+  const PointBatch& in = *event.batch;
+  if (in.band_count != 1) {
+    return Status::InvalidArgument("ReduceOp supports single-band streams");
+  }
+  auto out = std::make_shared<PointBatch>();
+  out->frame_id = frame_id_;
+  out->band_count = 1;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const int64_t oc = in.cols[i] / factor_;
+    const int64_t orow = in.rows[i] / factor_;
+    const int64_t key = orow * out_lattice_.width() + oc;
+    CellAccum& cell = accum_[key];
+    if (cell.count == 0) {
+      cell.expected = ExpectedContributions(oc, orow);
+      cell.timestamp = in.timestamps[i];
+    }
+    cell.sum += in.ValueAt(i);
+    ++cell.count;
+    if (cell.count >= cell.expected) {
+      out->Append1(static_cast<int32_t>(oc), static_cast<int32_t>(orow),
+                   cell.timestamp, cell.sum / cell.count);
+      accum_.erase(key);
+    }
+  }
+  ReportBuffered(accum_.size() * (sizeof(int64_t) + sizeof(CellAccum)));
+  if (out->empty()) return Status::OK();
+  return Emit(StreamEvent::Batch(std::move(out)));
+}
+
+Status ReduceOp::FlushAll() {
+  if (accum_.empty()) {
+    ReportBuffered(0);
+    return Status::OK();
+  }
+  // Boundary cells whose neighbourhood never completed (points lost or
+  // sector cut short): emit the average of what arrived.
+  auto out = std::make_shared<PointBatch>();
+  out->frame_id = frame_id_;
+  out->band_count = 1;
+  for (const auto& [key, cell] : accum_) {
+    const int64_t orow = key / out_lattice_.width();
+    const int64_t oc = key % out_lattice_.width();
+    out->Append1(static_cast<int32_t>(oc), static_cast<int32_t>(orow),
+                 cell.timestamp, cell.sum / cell.count);
+  }
+  accum_.clear();
+  ReportBuffered(0);
+  return Emit(StreamEvent::Batch(std::move(out)));
+}
+
+// ---------------------------------------------------------------------------
+// AffineOp
+
+AffineMap AffineMap::RotationAboutCenter(double deg, int64_t w, int64_t h) {
+  const double rad = DegreesToRadians(deg);
+  const double c = std::cos(rad);
+  const double s = std::sin(rad);
+  const double cx = (static_cast<double>(w) - 1.0) / 2.0;
+  const double cy = (static_cast<double>(h) - 1.0) / 2.0;
+  // Inverse rotation (output gathers from input).
+  AffineMap m;
+  m.m00 = c;
+  m.m01 = s;
+  m.m02 = cx - c * cx - s * cy;
+  m.m10 = -s;
+  m.m11 = c;
+  m.m12 = cy + s * cx - c * cy;
+  return m;
+}
+
+AffineOp::AffineOp(std::string name, AffineMap map, GridLattice out_lattice,
+                   ResampleKernel kernel)
+    : UnaryOperator(std::move(name)),
+      map_(map),
+      out_lattice_(std::move(out_lattice)),
+      kernel_(kernel) {}
+
+Status AffineOp::Process(const StreamEvent& event) {
+  switch (event.kind) {
+    case EventKind::kFrameBegin: {
+      GEOSTREAMS_RETURN_IF_ERROR(assembler_.Begin(event.frame, 1));
+      frame_timestamp_ = event.frame.frame_id;
+      FrameInfo info = event.frame;
+      info.lattice = out_lattice_;
+      info.expected_points = out_lattice_.num_cells();
+      return Emit(StreamEvent::FrameBegin(std::move(info)));
+    }
+    case EventKind::kPointBatch: {
+      if (!assembler_.active()) {
+        return Status::FailedPrecondition(
+            "affine transform requires framed input");
+      }
+      GEOSTREAMS_RETURN_IF_ERROR(assembler_.Add(*event.batch));
+      if (!event.batch->empty()) {
+        frame_timestamp_ = event.batch->timestamps.front();
+      }
+      ReportBuffered(assembler_.BufferedBytes());
+      return Status::OK();
+    }
+    case EventKind::kFrameEnd: {
+      GEOSTREAMS_RETURN_IF_ERROR(FlushFrame(event.frame));
+      FrameInfo info = event.frame;
+      info.lattice = out_lattice_;
+      return Emit(StreamEvent::FrameEnd(std::move(info)));
+    }
+    case EventKind::kStreamEnd:
+      return Emit(event);
+  }
+  return Status::OK();
+}
+
+Status AffineOp::FlushFrame(const FrameInfo& info) {
+  GEOSTREAMS_ASSIGN_OR_RETURN(AssembledFrame frame, assembler_.Finish());
+  ReportBuffered(0);
+  auto out = std::make_shared<PointBatch>();
+  out->frame_id = info.frame_id;
+  out->band_count = 1;
+  out->Reserve(static_cast<size_t>(out_lattice_.num_cells()));
+  for (int64_t r = 0; r < out_lattice_.height(); ++r) {
+    for (int64_t c = 0; c < out_lattice_.width(); ++c) {
+      double ic = 0.0, ir = 0.0;
+      map_.Apply(static_cast<double>(c), static_cast<double>(r), &ic, &ir);
+      if (ic < -0.5 || ic > frame.raster.width() - 0.5 || ir < -0.5 ||
+          ir > frame.raster.height() - 0.5) {
+        continue;  // outside the source frame
+      }
+      const int64_t nc = static_cast<int64_t>(std::llround(Clamp(
+          ic, 0.0, static_cast<double>(frame.raster.width() - 1))));
+      const int64_t nr = static_cast<int64_t>(std::llround(Clamp(
+          ir, 0.0, static_cast<double>(frame.raster.height() - 1))));
+      if (!frame.IsFilled(nc, nr)) continue;
+      out->Append1(static_cast<int32_t>(c), static_cast<int32_t>(r),
+                   frame_timestamp_,
+                   SampleRaster(frame.raster, ic, ir, 0, kernel_));
+    }
+  }
+  if (out->empty()) return Status::OK();
+  return Emit(StreamEvent::Batch(std::move(out)));
+}
+
+}  // namespace geostreams

@@ -1,0 +1,116 @@
+// Spatial transform operators G . f_spat (Definition 9, Sec. 3.2).
+//
+// Three concrete transforms:
+//  * MagnifyOp     — resolution increase by k: each incoming point
+//                    yields a k x k block of output points. Needs no
+//                    neighbouring points, hence no buffering.
+//  * ReduceOp      — resolution decrease by 1/k (Fig. 2a): each output
+//                    point needs a k x k input neighbourhood. Output
+//                    points are emitted as soon as their neighbourhood
+//                    completes, so a row-by-row stream buffers only
+//                    ~k input rows, while an image-by-image stream
+//                    buffers up to the frame. FrameEnd metadata flushes
+//                    boundary cells (the paper's "boundary point
+//                    interpolations" from scan-sector metadata).
+//  * AffineOp      — general affine map between lattices (rotation,
+//                    shear, translation, zoom); buffers the frame and
+//                    gathers with a resampling kernel.
+
+#ifndef GEOSTREAMS_OPS_SPATIAL_TRANSFORM_OP_H_
+#define GEOSTREAMS_OPS_SPATIAL_TRANSFORM_OP_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "raster/frame_assembler.h"
+#include "raster/resample.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+/// Resolution increase by an integer factor (zooming).
+class MagnifyOp : public UnaryOperator {
+ public:
+  MagnifyOp(std::string name, int factor);
+
+  int factor() const { return factor_; }
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  int factor_;
+  GridLattice out_lattice_;
+};
+
+/// Resolution decrease by an integer factor with box averaging.
+class ReduceOp : public UnaryOperator {
+ public:
+  ReduceOp(std::string name, int factor);
+
+  int factor() const { return factor_; }
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  struct CellAccum {
+    double sum = 0.0;
+    int32_t count = 0;
+    int32_t expected = 0;
+    int64_t timestamp = 0;
+  };
+
+  Status EmitReady(std::vector<std::pair<int64_t, CellAccum>>* ready);
+  Status FlushAll();
+  int32_t ExpectedContributions(int64_t ocol, int64_t orow) const;
+
+  int factor_;
+  GridLattice in_lattice_;
+  GridLattice out_lattice_;
+  bool in_frame_ = false;
+  int64_t frame_id_ = 0;
+  // Key: orow * out_width + ocol.
+  std::unordered_map<int64_t, CellAccum> accum_;
+};
+
+/// 2x3 affine matrix mapping output lattice cell indices to input
+/// lattice cell indices: (ic, ir) = M * (oc, or, 1).
+struct AffineMap {
+  double m00 = 1.0, m01 = 0.0, m02 = 0.0;
+  double m10 = 0.0, m11 = 1.0, m12 = 0.0;
+
+  void Apply(double oc, double orow, double* ic, double* ir) const {
+    *ic = m00 * oc + m01 * orow + m02;
+    *ir = m10 * oc + m11 * orow + m12;
+  }
+
+  /// Rotation by `deg` about the centre of a w x h output lattice,
+  /// sampling from an equally-sized input lattice.
+  static AffineMap RotationAboutCenter(double deg, int64_t w, int64_t h);
+};
+
+/// General affine spatial transform; frame-buffered.
+class AffineOp : public UnaryOperator {
+ public:
+  /// Output lattice geometry is supplied by the planner (it generally
+  /// differs from the input's).
+  AffineOp(std::string name, AffineMap map, GridLattice out_lattice,
+           ResampleKernel kernel);
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  Status FlushFrame(const FrameInfo& info);
+
+  AffineMap map_;
+  GridLattice out_lattice_;
+  ResampleKernel kernel_;
+  FrameAssembler assembler_;
+  int64_t frame_timestamp_ = 0;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OPS_SPATIAL_TRANSFORM_OP_H_

@@ -1,0 +1,152 @@
+#include "ops/stretch_transform_op.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace geostreams {
+
+const char* StretchModeName(StretchMode mode) {
+  switch (mode) {
+    case StretchMode::kLinear:
+      return "linear";
+    case StretchMode::kHistogramEqualization:
+      return "hist-eq";
+    case StretchMode::kGaussian:
+      return "gaussian";
+  }
+  return "?";
+}
+
+StretchTransformOp::StretchTransformOp(std::string name,
+                                       StretchOptions options)
+    : UnaryOperator(std::move(name)),
+      options_(options),
+      histogram_(options.in_lo, options.in_hi, options.histogram_bins) {}
+
+Status StretchTransformOp::Process(const StreamEvent& event) {
+  switch (event.kind) {
+    case EventKind::kFrameBegin:
+      if (in_frame_) {
+        return Status::FailedPrecondition("nested frame in stretch");
+      }
+      in_frame_ = true;
+      buffer_ = std::make_shared<PointBatch>();
+      buffer_->frame_id = event.frame.frame_id;
+      histogram_.Reset();
+      return Emit(event);
+    case EventKind::kPointBatch: {
+      const PointBatch& in = *event.batch;
+      if (in.band_count != 1) {
+        return Status::InvalidArgument(
+            StringPrintf("stretch transform needs 1 band, stream has %d",
+                         in.band_count));
+      }
+      if (!in_frame_) {
+        // Point-by-point streams carry no frame boundaries; a stretch
+        // over them would block forever (the scenario the paper warns
+        // about). Refuse instead.
+        return Status::FailedPrecondition(
+            "stretch transform requires framed input");
+      }
+      buffer_->band_count = 1;
+      buffer_->cols.insert(buffer_->cols.end(), in.cols.begin(),
+                           in.cols.end());
+      buffer_->rows.insert(buffer_->rows.end(), in.rows.begin(),
+                           in.rows.end());
+      buffer_->timestamps.insert(buffer_->timestamps.end(),
+                                 in.timestamps.begin(), in.timestamps.end());
+      buffer_->values.insert(buffer_->values.end(), in.values.begin(),
+                             in.values.end());
+      histogram_.AddN(in.values.data(), in.values.size());
+      ReportBuffered(buffer_->ApproxBytes());
+      return Status::OK();
+    }
+    case EventKind::kFrameEnd: {
+      GEOSTREAMS_RETURN_IF_ERROR(FlushFrame());
+      in_frame_ = false;
+      return Emit(event);
+    }
+    case EventKind::kStreamEnd:
+      if (in_frame_) {
+        GEOSTREAMS_RETURN_IF_ERROR(FlushFrame());
+        in_frame_ = false;
+      }
+      return Emit(event);
+  }
+  return Status::OK();
+}
+
+Status StretchTransformOp::FlushFrame() {
+  if (!buffer_ || buffer_->empty()) {
+    buffer_.reset();
+    ReportBuffered(0);
+    return Status::OK();
+  }
+  // Frame statistics.
+  switch (options_.mode) {
+    case StretchMode::kLinear:
+      if (options_.clip_fraction > 0.0) {
+        frame_lo_ = histogram_.Quantile(options_.clip_fraction);
+        frame_hi_ = histogram_.Quantile(1.0 - options_.clip_fraction);
+      } else {
+        frame_lo_ = histogram_.Quantile(0.0);
+        frame_hi_ = histogram_.Quantile(1.0);
+        // Exact min/max beat binned quantiles when unclipped.
+        double lo = buffer_->values[0], hi = buffer_->values[0];
+        for (double v : buffer_->values) {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        frame_lo_ = lo;
+        frame_hi_ = hi;
+      }
+      break;
+    case StretchMode::kHistogramEqualization:
+      break;  // uses the histogram CDF directly
+    case StretchMode::kGaussian:
+      frame_mean_ = histogram_.Mean();
+      frame_std_ = histogram_.StdDev();
+      break;
+  }
+  if (frame_hi_ <= frame_lo_) frame_hi_ = frame_lo_ + 1.0;
+  if (frame_std_ <= 0.0) frame_std_ = 1.0;
+
+  auto out = std::make_shared<PointBatch>();
+  out->frame_id = buffer_->frame_id;
+  out->band_count = 1;
+  out->cols = std::move(buffer_->cols);
+  out->rows = std::move(buffer_->rows);
+  out->timestamps = std::move(buffer_->timestamps);
+  out->values.resize(buffer_->values.size());
+  for (size_t i = 0; i < buffer_->values.size(); ++i) {
+    out->values[i] = StretchValue(buffer_->values[i]);
+  }
+  buffer_.reset();
+  ReportBuffered(0);
+  return Emit(StreamEvent::Batch(std::move(out)));
+}
+
+double StretchTransformOp::StretchValue(double v) const {
+  const double span = options_.out_hi - options_.out_lo;
+  switch (options_.mode) {
+    case StretchMode::kLinear: {
+      const double t = (v - frame_lo_) / (frame_hi_ - frame_lo_);
+      return options_.out_lo + span * Clamp(t, 0.0, 1.0);
+    }
+    case StretchMode::kHistogramEqualization:
+      return options_.out_lo + span * histogram_.Cdf(v);
+    case StretchMode::kGaussian: {
+      const double z = (v - frame_mean_) / frame_std_;
+      const double target_mean =
+          options_.out_lo + span * options_.gaussian_mean_frac;
+      const double target_std = span * options_.gaussian_std_frac;
+      return Clamp(target_mean + z * target_std, options_.out_lo,
+                   options_.out_hi);
+    }
+  }
+  return v;
+}
+
+}  // namespace geostreams

@@ -1,0 +1,78 @@
+// Frame-scoped stretch value transforms (Sec. 3.2).
+//
+// To "fully utilize the complete range of values in V, point values
+// can be scaled. Typical approaches include linear contrast stretch,
+// histogram equalization, and Gaussian stretch." These need the
+// frame's value statistics before any point can be emitted, so the
+// operator buffers each frame in full; its space cost is the size of
+// the largest frame in the stream (e.g. ~280 MB for a full GOES
+// visible-band frame) — exactly what E2 measures.
+
+#ifndef GEOSTREAMS_OPS_STRETCH_TRANSFORM_OP_H_
+#define GEOSTREAMS_OPS_STRETCH_TRANSFORM_OP_H_
+
+#include <memory>
+#include <vector>
+
+#include "raster/histogram.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+enum class StretchMode : uint8_t {
+  kLinear,                 // min/max (or percentile-clipped) linear map
+  kHistogramEqualization,  // CDF-based remap
+  kGaussian,               // map to a target mean/stddev
+};
+
+const char* StretchModeName(StretchMode mode);
+
+struct StretchOptions {
+  StretchMode mode = StretchMode::kLinear;
+  /// Output range the stretch fills (the "complete range of V").
+  double out_lo = 0.0;
+  double out_hi = 255.0;
+  /// kLinear: fraction of mass clipped at each tail (0 = pure min/max).
+  double clip_fraction = 0.0;
+  /// kGaussian: target mean/stddev as fractions of the output range.
+  double gaussian_mean_frac = 0.5;
+  double gaussian_std_frac = 0.2;
+  /// Histogram resolution for kHistogramEqualization / clipping.
+  int histogram_bins = 1024;
+  /// Range the input histogram covers.
+  double in_lo = 0.0;
+  double in_hi = 1024.0;
+};
+
+/// Buffers each frame's points, computes the frame statistics on
+/// FrameEnd, and re-emits every point with its stretched value.
+/// Single-band streams only (stretches are applied per channel in
+/// the paper's setting).
+class StretchTransformOp : public UnaryOperator {
+ public:
+  StretchTransformOp(std::string name, StretchOptions options);
+
+  const StretchOptions& options() const { return options_; }
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  Status FlushFrame();
+  double StretchValue(double v) const;
+
+  StretchOptions options_;
+  // Buffered points of the open frame.
+  std::shared_ptr<PointBatch> buffer_;
+  Histogram histogram_;
+  bool in_frame_ = false;
+  // Frame statistics captured at FrameEnd.
+  double frame_lo_ = 0.0;
+  double frame_hi_ = 1.0;
+  double frame_mean_ = 0.0;
+  double frame_std_ = 1.0;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OPS_STRETCH_TRANSFORM_OP_H_

@@ -1,0 +1,159 @@
+#include "ops/time_set.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace geostreams {
+
+bool TimeSet::Recurring::Contains(int64_t t) const {
+  if (period <= 0) return false;
+  const int64_t phase = t - FloorDiv(t, period) * period;
+  return phase >= phase_lo && phase <= phase_hi;
+}
+
+TimeSet TimeSet::All() {
+  TimeSet s;
+  s.all_ = true;
+  return s;
+}
+
+TimeSet TimeSet::Instants(std::vector<int64_t> instants) {
+  TimeSet s;
+  std::sort(instants.begin(), instants.end());
+  instants.erase(std::unique(instants.begin(), instants.end()),
+                 instants.end());
+  s.instants_ = std::move(instants);
+  return s;
+}
+
+TimeSet TimeSet::Range(int64_t lo, int64_t hi) {
+  TimeSet s;
+  s.intervals_.push_back(Interval{lo, hi});
+  return s;
+}
+
+TimeSet TimeSet::Every(int64_t period, int64_t phase_lo, int64_t phase_hi) {
+  TimeSet s;
+  s.recurring_.push_back(Recurring{period, phase_lo, phase_hi});
+  return s;
+}
+
+TimeSet& TimeSet::Add(const TimeSet& other) {
+  if (other.all_) {
+    all_ = true;
+    return *this;
+  }
+  std::vector<int64_t> merged = instants_;
+  merged.insert(merged.end(), other.instants_.begin(),
+                other.instants_.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  instants_ = std::move(merged);
+  intervals_.insert(intervals_.end(), other.intervals_.begin(),
+                    other.intervals_.end());
+  recurring_.insert(recurring_.end(), other.recurring_.begin(),
+                    other.recurring_.end());
+  return *this;
+}
+
+bool TimeSet::Contains(int64_t t) const {
+  if (all_) return true;
+  if (std::binary_search(instants_.begin(), instants_.end(), t)) return true;
+  for (const Interval& iv : intervals_) {
+    if (iv.Contains(t)) return true;
+  }
+  for (const Recurring& r : recurring_) {
+    if (r.Contains(t)) return true;
+  }
+  return false;
+}
+
+bool TimeSet::DisjointFromRange(int64_t lo, int64_t hi) const {
+  if (all_) return false;
+  for (int64_t t : instants_) {
+    if (t >= lo && t <= hi) return false;
+  }
+  for (const Interval& iv : intervals_) {
+    if (iv.lo <= hi && lo <= iv.hi) return false;
+  }
+  if (!recurring_.empty()) {
+    // A recurring window can intersect any sufficiently long range;
+    // only prove disjointness for ranges within one period.
+    for (const Recurring& r : recurring_) {
+      if (r.period <= 0) continue;
+      if (hi - lo + 1 >= r.period) return false;
+      const int64_t plo = lo - FloorDiv(lo, r.period) * r.period;
+      const int64_t phi = plo + (hi - lo);
+      // Window [plo, phi] may wrap around the period boundary.
+      const bool disjoint_nowrap =
+          phi < r.period && (phi < r.phase_lo || plo > r.phase_hi);
+      const bool disjoint_wrap =
+          phi >= r.period && (plo > r.phase_hi) &&
+          (phi - r.period < r.phase_lo);
+      if (!(disjoint_nowrap || disjoint_wrap)) return false;
+    }
+  }
+  return true;
+}
+
+std::string TimeSet::ToQueryString() const {
+  if (all_) return "all()";
+  std::vector<std::string> parts;
+  if (!instants_.empty()) {
+    std::string s = "instants(";
+    for (size_t i = 0; i < instants_.size(); ++i) {
+      if (i) s += ", ";
+      s += StringPrintf("%lld", static_cast<long long>(instants_[i]));
+    }
+    parts.push_back(s + ")");
+  }
+  for (const Interval& iv : intervals_) {
+    parts.push_back(StringPrintf("range(%lld, %lld)",
+                                 static_cast<long long>(iv.lo),
+                                 static_cast<long long>(iv.hi)));
+  }
+  for (const Recurring& r : recurring_) {
+    parts.push_back(StringPrintf(
+        "every(%lld, %lld, %lld)", static_cast<long long>(r.period),
+        static_cast<long long>(r.phase_lo),
+        static_cast<long long>(r.phase_hi)));
+  }
+  if (parts.empty()) return "instants()";  // empty set (unparseable)
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += ", ";
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string TimeSet::ToString() const {
+  if (all_) return "time(all)";
+  std::string s = "time(";
+  bool first = true;
+  for (int64_t t : instants_) {
+    if (!first) s += ", ";
+    s += StringPrintf("%lld", static_cast<long long>(t));
+    first = false;
+  }
+  for (const Interval& iv : intervals_) {
+    if (!first) s += ", ";
+    s += StringPrintf("[%lld, %lld]", static_cast<long long>(iv.lo),
+                      static_cast<long long>(iv.hi));
+    first = false;
+  }
+  for (const Recurring& r : recurring_) {
+    if (!first) s += ", ";
+    s += StringPrintf("every %lld in [%lld, %lld]",
+                      static_cast<long long>(r.period),
+                      static_cast<long long>(r.phase_lo),
+                      static_cast<long long>(r.phase_hi));
+    first = false;
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace geostreams

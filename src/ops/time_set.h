@@ -1,0 +1,76 @@
+// Temporal restriction sets (Definition 7).
+//
+// The paper allows T to be "a collection of points in time, an open
+// interval or a set of (re-occurring) intervals, e.g., if an
+// application requires only data during a specific time period every
+// day". TimeSet models all three.
+
+#ifndef GEOSTREAMS_OPS_TIME_SET_H_
+#define GEOSTREAMS_OPS_TIME_SET_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace geostreams {
+
+/// A predicate over timestamps, closed under union of the paper's
+/// three specification styles.
+class TimeSet {
+ public:
+  struct Interval {
+    int64_t lo = std::numeric_limits<int64_t>::min();
+    int64_t hi = std::numeric_limits<int64_t>::max();  // inclusive
+    bool Contains(int64_t t) const { return t >= lo && t <= hi; }
+  };
+
+  /// Re-occurring window: timestamps t with (t mod period) in
+  /// [phase_lo, phase_hi] (inclusive), e.g. "10:00-14:00 every day".
+  struct Recurring {
+    int64_t period = 1;
+    int64_t phase_lo = 0;
+    int64_t phase_hi = 0;
+    bool Contains(int64_t t) const;
+  };
+
+  TimeSet() = default;
+
+  /// The set of all timestamps.
+  static TimeSet All();
+  /// A finite collection of instants.
+  static TimeSet Instants(std::vector<int64_t> instants);
+  /// One inclusive interval; use int64 min/max for open ends.
+  static TimeSet Range(int64_t lo, int64_t hi);
+  /// A recurring daily-style window.
+  static TimeSet Every(int64_t period, int64_t phase_lo, int64_t phase_hi);
+
+  /// Union with another time set.
+  TimeSet& Add(const TimeSet& other);
+
+  bool Contains(int64_t t) const;
+
+  /// True when the set was built as All() and never narrowed.
+  bool IsAll() const { return all_; }
+
+  /// Conservative: true when no timestamp in [lo, hi] can belong to
+  /// the set (used to skip whole frames).
+  bool DisjointFromRange(int64_t lo, int64_t hi) const;
+
+  std::string ToString() const;
+
+  /// Comma-separated list of time constructors in the query-language
+  /// syntax ("range(0, 100), every(96, 40, 55)"), re-parseable as the
+  /// argument list of time().
+  std::string ToQueryString() const;
+
+ private:
+  bool all_ = false;
+  std::vector<int64_t> instants_;  // sorted
+  std::vector<Interval> intervals_;
+  std::vector<Recurring> recurring_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OPS_TIME_SET_H_

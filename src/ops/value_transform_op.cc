@@ -1,0 +1,87 @@
+#include "ops/value_transform_op.h"
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace geostreams {
+
+ValueFn ValueFn::ColorToGray() {
+  ValueFn f;
+  f.name = "color_to_gray";
+  f.in_bands = 3;
+  f.out_bands = 1;
+  f.fn = [](const double* in, double* out) {
+    // ITU-R BT.601 luma weights.
+    out[0] = 0.299 * in[0] + 0.587 * in[1] + 0.114 * in[2];
+  };
+  return f;
+}
+
+ValueFn ValueFn::AffineRescale(int bands, double scale, double offset) {
+  ValueFn f;
+  f.name = StringPrintf("rescale(%g, %g)", scale, offset);
+  f.in_bands = bands;
+  f.out_bands = bands;
+  f.fn = [bands, scale, offset](const double* in, double* out) {
+    for (int b = 0; b < bands; ++b) out[b] = scale * in[b] + offset;
+  };
+  return f;
+}
+
+ValueFn ValueFn::BandSelect(int in_bands, int band) {
+  ValueFn f;
+  f.name = StringPrintf("band(%d)", band);
+  f.in_bands = in_bands;
+  f.out_bands = 1;
+  f.fn = [band](const double* in, double* out) { out[0] = in[band]; };
+  return f;
+}
+
+ValueFn ValueFn::ClampTo(int bands, double lo, double hi) {
+  ValueFn f;
+  f.name = StringPrintf("clamp(%g, %g)", lo, hi);
+  f.in_bands = bands;
+  f.out_bands = bands;
+  f.fn = [bands, lo, hi](const double* in, double* out) {
+    for (int b = 0; b < bands; ++b) out[b] = Clamp(in[b], lo, hi);
+  };
+  return f;
+}
+
+ValueFn ValueFn::AbsValue(int bands) {
+  ValueFn f;
+  f.name = "abs";
+  f.in_bands = bands;
+  f.out_bands = bands;
+  f.fn = [bands](const double* in, double* out) {
+    for (int b = 0; b < bands; ++b) out[b] = in[b] < 0 ? -in[b] : in[b];
+  };
+  return f;
+}
+
+ValueTransformOp::ValueTransformOp(std::string name, ValueFn fn)
+    : UnaryOperator(std::move(name)), fn_(std::move(fn)) {}
+
+Status ValueTransformOp::Process(const StreamEvent& event) {
+  if (event.kind != EventKind::kPointBatch) return Emit(event);
+  const PointBatch& in = *event.batch;
+  if (in.band_count != fn_.in_bands) {
+    return Status::InvalidArgument(StringPrintf(
+        "value transform %s expects %d bands, stream has %d",
+        fn_.name.c_str(), fn_.in_bands, in.band_count));
+  }
+  auto out = std::make_shared<PointBatch>();
+  out->frame_id = in.frame_id;
+  out->band_count = fn_.out_bands;
+  out->cols = in.cols;
+  out->rows = in.rows;
+  out->timestamps = in.timestamps;
+  out->values.resize(in.size() * static_cast<size_t>(fn_.out_bands));
+  for (size_t i = 0; i < in.size(); ++i) {
+    fn_.fn(&in.values[i * static_cast<size_t>(fn_.in_bands)],
+           &out->values[i * static_cast<size_t>(fn_.out_bands)]);
+  }
+  return Emit(StreamEvent::Batch(std::move(out)));
+}
+
+}  // namespace geostreams

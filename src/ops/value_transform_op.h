@@ -1,0 +1,57 @@
+// Pointwise value transforms f_val . G (Definition 8).
+//
+// These map the value of each point independently — colour to
+// grey-scale, band arithmetic, affine rescaling — and therefore
+// process point by point with no intermediate storage. Frame-scoped
+// stretches that need to see whole frames live in
+// stretch_transform_op.h.
+
+#ifndef GEOSTREAMS_OPS_VALUE_TRANSFORM_OP_H_
+#define GEOSTREAMS_OPS_VALUE_TRANSFORM_OP_H_
+
+#include <functional>
+#include <string>
+
+#include "core/value.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+/// Pointwise function f_val : V -> W. `in` has in_bands samples, `out`
+/// must be filled with out_bands samples.
+struct ValueFn {
+  std::string name;
+  int in_bands = 1;
+  int out_bands = 1;
+  std::function<void(const double* in, double* out)> fn;
+
+  /// Luma-weighted colour (Z^3) to grey-scale (Z).
+  static ValueFn ColorToGray();
+  /// v -> scale * v + offset on every band.
+  static ValueFn AffineRescale(int bands, double scale, double offset);
+  /// Selects one band out of `in_bands`.
+  static ValueFn BandSelect(int in_bands, int band);
+  /// Clamps every band into [lo, hi].
+  static ValueFn ClampTo(int bands, double lo, double hi);
+  /// v -> |v| on every band.
+  static ValueFn AbsValue(int bands);
+};
+
+/// Applies a pointwise value transform, changing a stream over V^X
+/// into a stream over W^X.
+class ValueTransformOp : public UnaryOperator {
+ public:
+  ValueTransformOp(std::string name, ValueFn fn);
+
+  const ValueFn& fn() const { return fn_; }
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  ValueFn fn_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OPS_VALUE_TRANSFORM_OP_H_

@@ -1,0 +1,48 @@
+// Semantic analysis of query expressions.
+//
+// Checks the preconditions of the Sec. 3 operators against a catalog
+// of registered GeoStreams and annotates every node with its output
+// descriptor — the witness that the algebra is closed (each operator
+// result is again a GeoStream with a CRS, value set, lattice and
+// organization).
+//
+// Checked preconditions:
+//  * stream references exist in the catalog;
+//  * composition inputs share the coordinate system (Sec. 2: "one
+//    precondition for applying operations on pairs of image data is
+//    that their point lattices are based on the same coordinate
+//    system"), have aligned lattices and compatible value sets;
+//  * value transforms match the child's band count;
+//  * stretches apply to single-band framed streams;
+//  * re-projection targets resolve in the CRS registry.
+
+#ifndef GEOSTREAMS_QUERY_ANALYZER_H_
+#define GEOSTREAMS_QUERY_ANALYZER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace geostreams {
+
+/// Catalog of available input streams, by name.
+class StreamCatalog {
+ public:
+  Status Register(const GeoStreamDescriptor& desc);
+  Result<GeoStreamDescriptor> Lookup(const std::string& name) const;
+  const std::map<std::string, GeoStreamDescriptor>& streams() const {
+    return streams_;
+  }
+
+ private:
+  std::map<std::string, GeoStreamDescriptor> streams_;
+};
+
+/// Analyzes (and annotates) the tree in place. Idempotent.
+Status AnalyzeQuery(const StreamCatalog& catalog, const ExprPtr& expr);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_QUERY_ANALYZER_H_

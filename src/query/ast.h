@@ -1,0 +1,141 @@
+// Abstract syntax of the GeoStreams query algebra (Sec. 3).
+//
+// The algebra is closed: every node consumes one or two GeoStreams and
+// produces a GeoStream. An Expr tree is built by the parser (or
+// programmatically), annotated with output descriptors by the
+// analyzer, rewritten by the optimizer, and lowered to physical
+// operators by the planner.
+
+#ifndef GEOSTREAMS_QUERY_AST_H_
+#define GEOSTREAMS_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/geostream.h"
+#include "core/value.h"
+#include "geo/region.h"
+#include "ops/aggregate_op.h"
+#include "ops/restriction_ops.h"
+#include "ops/stretch_transform_op.h"
+#include "ops/shedding_op.h"
+#include "ops/time_set.h"
+#include "ops/value_transform_op.h"
+#include "raster/resample.h"
+
+namespace geostreams {
+
+enum class ExprKind : uint8_t {
+  kStreamRef,         // leaf: a registered GeoStream
+  kSpatialRestrict,   // G|R           (Def. 6)
+  kTemporalRestrict,  // G|T           (Def. 7)
+  kValueRestrict,     // G|V           (Sec. 3.1)
+  kValueTransform,    // f_val . G     (Def. 8, pointwise)
+  kStretch,           // frame-scoped stretch (Sec. 3.2)
+  kMagnify,           // resolution increase (Sec. 3.2)
+  kReduce,            // resolution decrease (Fig. 2a)
+  kReproject,         // G . f_crs     (Sec. 3.2 / Fig. 2b)
+  kCompose,           // G1 gamma G2   (Def. 10)
+  kNdviMacro,         // fused NDVI macro operator (Sec. 4)
+  kBandStack,         // band concatenation (colour Z^3 / multi-spectral)
+  kAggregate,         // spatio-temporal aggregate (Sec. 6 outlook)
+  kShed,              // load shedding (intro's DSMS technique, adapted)
+};
+
+const char* ExprKindName(ExprKind kind);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Parsed (not yet band-resolved) value transform. The analyzer
+/// materializes the ValueFn once the child's band count is known.
+struct ValueFnSpec {
+  enum class Kind : uint8_t {
+    kCustom,      // value_fn supplied programmatically
+    kGray,        // gray(e): colour -> luma
+    kRescale,     // rescale(e, a, b): v -> a*v + b
+    kClamp,       // clampv(e, lo, hi)
+    kAbs,         // absv(e)
+    kBandSelect,  // band(e, i)
+  };
+  Kind kind = Kind::kCustom;
+  double a = 0.0;
+  double b = 0.0;
+  int band = 0;
+};
+
+/// One node of a query. A tagged struct rather than a class hierarchy:
+/// the optimizer pattern-matches on kind and rebuilds nodes freely.
+struct Expr {
+  ExprKind kind = ExprKind::kStreamRef;
+  ExprPtr child;  // unary input (left input for kCompose/kNdviMacro)
+  ExprPtr right;  // right input for binary nodes
+
+  // --- payloads (validity depends on kind) ---
+  std::string stream_name;              // kStreamRef
+  RegionPtr region;                     // kSpatialRestrict
+  TimeSet times;                        // kTemporalRestrict
+  std::vector<ValueBandRange> ranges;   // kValueRestrict
+  ValueFn value_fn;                     // kValueTransform
+  ValueFnSpec value_spec;               // kValueTransform (parser form)
+  StretchOptions stretch;               // kStretch
+  int factor = 1;                       // kMagnify / kReduce
+  std::string target_crs;               // kReproject
+  ResampleKernel kernel = ResampleKernel::kNearest;  // kReproject
+  ComposeFn gamma = ComposeFn::kAdd;    // kCompose
+  AggregateFn agg_fn = AggregateFn::kAvg;          // kAggregate
+  std::vector<RegionPtr> agg_regions;   // kAggregate
+  int agg_window = 1;                   // kAggregate
+  int agg_slide = 0;                    // kAggregate (0 = tumbling)
+  SheddingMode shed_mode = SheddingMode::kDropPoints;  // kShed
+  double shed_keep = 1.0;               // kShed
+
+  /// Output stream descriptor; filled in by the analyzer.
+  GeoStreamDescriptor out_desc;
+  bool analyzed = false;
+  /// Set on conservative restrictions the optimizer synthesized below
+  /// a spatial transform (prevents the pushdown rule from re-firing).
+  bool derived_restriction = false;
+  /// Set on a spatial-transform node (reproject/magnify/reduce) once a
+  /// conservative restriction has been planted below it: the pushdown
+  /// keeps chasing the derived restriction further down, so the
+  /// transform itself must remember that the rewrite already happened.
+  bool pushdown_applied = false;
+
+  /// Parseable textual form (round-trips through the parser for all
+  /// region/time shapes the language can express).
+  std::string ToString() const;
+};
+
+// --- construction helpers -------------------------------------------------
+
+ExprPtr MakeStreamRef(std::string name);
+ExprPtr MakeSpatialRestrict(ExprPtr child, RegionPtr region);
+ExprPtr MakeTemporalRestrict(ExprPtr child, TimeSet times);
+ExprPtr MakeValueRestrict(ExprPtr child, std::vector<ValueBandRange> ranges);
+ExprPtr MakeValueTransform(ExprPtr child, ValueFn fn);
+ExprPtr MakeStretch(ExprPtr child, StretchOptions options);
+ExprPtr MakeMagnify(ExprPtr child, int factor);
+ExprPtr MakeReduce(ExprPtr child, int factor);
+ExprPtr MakeReproject(ExprPtr child, std::string target_crs,
+                      ResampleKernel kernel = ResampleKernel::kNearest);
+ExprPtr MakeCompose(ComposeFn gamma, ExprPtr left, ExprPtr right);
+ExprPtr MakeNdvi(ExprPtr nir, ExprPtr vis);
+/// Concatenates the bands of two streams (left bands first).
+ExprPtr MakeBandStack(ExprPtr left, ExprPtr right);
+ExprPtr MakeAggregate(ExprPtr child, AggregateFn fn,
+                      std::vector<RegionPtr> regions, int window,
+                      int slide = 0);
+/// Load shedding: keeps ~`keep` of the stream at the given granularity.
+ExprPtr MakeShed(ExprPtr child, SheddingMode mode, double keep);
+
+/// Deep copy (descriptors and analysis flags are copied too).
+ExprPtr CloneExpr(const ExprPtr& expr);
+
+/// Number of nodes in the tree.
+int ExprSize(const ExprPtr& expr);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_QUERY_AST_H_

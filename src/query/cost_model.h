@@ -1,0 +1,52 @@
+// Analytical cost model for query plans (Sec. 3's cost discussion
+// made quantitative).
+//
+// Costs are estimated per nominal frame of each source stream: how
+// many points flow through each operator (driven by restriction
+// selectivities and resolution changes), a per-point CPU weight, and
+// the intermediate buffering each operator needs. The optimizer's
+// pushdown rules are justified by exactly these numbers; EXPLAIN
+// prints them and E6 validates them against measurements.
+
+#ifndef GEOSTREAMS_QUERY_COST_MODEL_H_
+#define GEOSTREAMS_QUERY_COST_MODEL_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace geostreams {
+
+/// Estimated cost of one node, per nominal frame.
+struct NodeCost {
+  double input_points = 0.0;
+  double output_points = 0.0;
+  /// Abstract CPU units (weighted per-point work).
+  double cpu = 0.0;
+  /// Intermediate state the operator must hold.
+  double buffer_bytes = 0.0;
+  /// Fraction of input points surviving (restrictions) or the
+  /// output/input ratio (transforms).
+  double selectivity = 1.0;
+};
+
+/// Whole-plan summary.
+struct PlanCost {
+  double total_cpu = 0.0;
+  double total_points_processed = 0.0;
+  double max_buffer_bytes = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Estimates the cost of an analyzed query. Per-node details are
+/// keyed by the node pointer when `per_node` is supplied.
+Result<PlanCost> EstimatePlanCost(
+    const ExprPtr& analyzed,
+    std::map<const Expr*, NodeCost>* per_node = nullptr);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_QUERY_COST_MODEL_H_

@@ -1,0 +1,26 @@
+// EXPLAIN: human-readable plan trees with descriptors and costs.
+
+#ifndef GEOSTREAMS_QUERY_EXPLAIN_H_
+#define GEOSTREAMS_QUERY_EXPLAIN_H_
+
+#include <string>
+
+#include "query/ast.h"
+#include "query/planner.h"
+
+namespace geostreams {
+
+/// Renders an analyzed query as an indented operator tree. With
+/// `with_cost`, each node is annotated with the cost model's
+/// estimated input/output points and buffering.
+std::string ExplainQuery(const ExprPtr& analyzed, bool with_cost = true);
+
+/// EXPLAIN ANALYZE: one line per physical operator of a (possibly
+/// running) plan with its ACTUAL counters — points in/out, frames,
+/// peak buffered bytes. Pairs with ExplainQuery's estimates to
+/// validate the cost model against reality.
+std::string ExplainPlanMetrics(const ExecutablePlan& plan);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_QUERY_EXPLAIN_H_

@@ -1,0 +1,81 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace geostreams {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == ':';
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (c == '(') {
+      tok.kind = TokenKind::kLParen;
+      ++i;
+    } else if (c == ')') {
+      tok.kind = TokenKind::kRParen;
+      ++i;
+    } else if (c == ',') {
+      tok.kind = TokenKind::kComma;
+      ++i;
+    } else if (c == '"') {
+      tok.kind = TokenKind::kString;
+      size_t j = i + 1;
+      while (j < n && input[j] != '"') ++j;
+      if (j >= n) {
+        return Status::ParseError(
+            StringPrintf("unterminated string at offset %zu", i));
+      }
+      tok.text = std::string(input.substr(i + 1, j - i - 1));
+      i = j + 1;
+    } else if (IsIdentStart(c)) {
+      tok.kind = TokenKind::kIdentifier;
+      size_t j = i;
+      while (j < n && IsIdentBody(input[j])) ++j;
+      tok.text = std::string(input.substr(i, j - i));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '+') {
+      tok.kind = TokenKind::kNumber;
+      char* end = nullptr;
+      const std::string buf(input.substr(i));
+      tok.number = std::strtod(buf.c_str(), &end);
+      if (end == buf.c_str()) {
+        return Status::ParseError(
+            StringPrintf("bad number at offset %zu", i));
+      }
+      i += static_cast<size_t>(end - buf.c_str());
+    } else {
+      return Status::ParseError(
+          StringPrintf("unexpected character '%c' at offset %zu", c, i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end_tok;
+  end_tok.kind = TokenKind::kEnd;
+  end_tok.offset = n;
+  tokens.push_back(end_tok);
+  return tokens;
+}
+
+}  // namespace geostreams

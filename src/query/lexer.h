@@ -1,0 +1,43 @@
+// Tokenizer for the textual query language.
+//
+// The paper's users submit queries through a front end that converts
+// them into algebra expressions (Sec. 4); our textual language writes
+// the algebra directly in a functional syntax, e.g. the Sec. 3.4
+// example query:
+//
+//   region(reproject(stretch(ndvi(goes.band2, goes.band1), "linear"),
+//                    "utm:10n"), bbox(500000, 4000000, 700000, 4300000))
+
+#ifndef GEOSTREAMS_QUERY_LEXER_H_
+#define GEOSTREAMS_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace geostreams {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // letters, digits, '_', '.', ':' (not starting a digit)
+  kNumber,      // [+-]?digits[.digits][e[+-]digits]
+  kString,      // "..."
+  kLParen,
+  kRParen,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier/string contents
+  double number = 0.0; // kNumber
+  size_t offset = 0;   // position in the input, for error messages
+};
+
+/// Tokenizes `input`; fails on unterminated strings or stray bytes.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_QUERY_LEXER_H_

@@ -1,0 +1,64 @@
+// Rule-based query rewriting (Sec. 3.4).
+//
+// "Rather than performing the composition of all point data from the
+// two streams, followed by a value and spatial transform on all the
+// resulting points, the final spatial restriction R can be pushed
+// inwards and applied first ... The query optimizer has to identify
+// such rewrites in particular for spatial selections, as these result
+// in the most significant space and time gains."
+//
+// Rules (all output-equivalent; conservative rules retain the
+// original restriction on top):
+//  * spatial pushdown through pointwise value transforms and value
+//    restrictions (exact);
+//  * spatial pushdown through compositions, into both inputs (exact);
+//  * spatial pushdown through re-projection: the region's bounding box
+//    is mapped back into the source CRS (the Sec. 3.4 example: R given
+//    in UTM "needs to be mapped to the coordinate system C") and
+//    planted below as a conservative pre-filter (exact overall);
+//  * spatial pushdown through magnify/reduce with an inflated
+//    bounding box (exact overall);
+//  * temporal pushdown through value ops and compositions, and through
+//    spatial transforms under scan-sector timestamping (exact);
+//  * merging of nested spatial restrictions into an intersection;
+//  * removal of trivial (all) restrictions;
+//  * NDVI macro fusion: div(sub(a,b), add(a,b)) -> ndvi(a,b), or macro
+//    expansion in the other direction (for the ablation bench).
+
+#ifndef GEOSTREAMS_QUERY_OPTIMIZER_H_
+#define GEOSTREAMS_QUERY_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "query/analyzer.h"
+#include "query/ast.h"
+
+namespace geostreams {
+
+struct OptimizerOptions {
+  bool spatial_pushdown = true;
+  bool temporal_pushdown = true;
+  bool merge_restrictions = true;
+  bool remove_trivial = true;
+  bool fuse_ndvi_macro = true;
+  /// Expands ndvi(a, b) into div(sub(a, b), add(a, b)) instead of
+  /// fusing (mutually exclusive with fuse_ndvi_macro; expansion wins).
+  bool expand_macros = false;
+  /// Safety valve for the rewrite fixpoint loop.
+  int max_passes = 16;
+};
+
+struct OptimizerStats {
+  int passes = 0;
+  int rewrites = 0;
+};
+
+/// Rewrites a clone of `expr` to fixpoint and returns it analyzed.
+/// `expr` itself must already be analyzed against `catalog`.
+Result<ExprPtr> OptimizeQuery(const StreamCatalog& catalog,
+                              const ExprPtr& expr,
+                              const OptimizerOptions& options = {},
+                              OptimizerStats* stats = nullptr);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_QUERY_OPTIMIZER_H_

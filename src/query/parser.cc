@@ -1,0 +1,430 @@
+#include "query/parser.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "query/lexer.h"
+
+namespace geostreams {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Next() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StringPrintf("%s (at offset %zu)", msg.c_str(), Peek().offset));
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Err(StringPrintf("expected %s", what));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<double> ExpectNumber() {
+    if (Peek().kind != TokenKind::kNumber) return Err("expected a number");
+    return Next().number;
+  }
+
+  Result<int> ExpectInt(const char* what) {
+    GEOSTREAMS_ASSIGN_OR_RETURN(double v, ExpectNumber());
+    if (v != std::floor(v)) {
+      return Err(StringPrintf("%s must be an integer", what));
+    }
+    return static_cast<int>(v);
+  }
+
+  Result<std::string> ExpectString() {
+    if (Peek().kind != TokenKind::kString) {
+      return Err("expected a quoted string");
+    }
+    return Next().text;
+  }
+
+  bool ConsumeComma() {
+    if (Peek().kind == TokenKind::kComma) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Err("expected a stream name or function");
+    }
+    const Token head = Next();
+    if (Peek().kind != TokenKind::kLParen) {
+      // A bare identifier is a stream reference.
+      return MakeStreamRef(head.text);
+    }
+    ++pos_;  // consume '('
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr e, ParseCall(ToLower(head.text)));
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    return e;
+  }
+
+  Result<ExprPtr> ParseCall(const std::string& fn) {
+    if (fn == "region") return ParseRegionCall();
+    if (fn == "time") return ParseTimeCall();
+    if (fn == "vrange") return ParseVrangeCall();
+    if (fn == "gray") return ParseValueFnCall(ValueFnSpec::Kind::kGray, 0);
+    if (fn == "rescale") {
+      return ParseValueFnCall(ValueFnSpec::Kind::kRescale, 2);
+    }
+    if (fn == "clampv") return ParseValueFnCall(ValueFnSpec::Kind::kClamp, 2);
+    if (fn == "absv") return ParseValueFnCall(ValueFnSpec::Kind::kAbs, 0);
+    if (fn == "band") {
+      return ParseValueFnCall(ValueFnSpec::Kind::kBandSelect, -1);
+    }
+    if (fn == "stretch") return ParseStretchCall();
+    if (fn == "magnify" || fn == "reduce") return ParseFactorCall(fn);
+    if (fn == "reproject") return ParseReprojectCall();
+    if (fn == "add") return ParseComposeCall(ComposeFn::kAdd);
+    if (fn == "sub") return ParseComposeCall(ComposeFn::kSubtract);
+    if (fn == "mul") return ParseComposeCall(ComposeFn::kMultiply);
+    if (fn == "div") return ParseComposeCall(ComposeFn::kDivide);
+    if (fn == "sup") return ParseComposeCall(ComposeFn::kSupremum);
+    if (fn == "inf") return ParseComposeCall(ComposeFn::kInfimum);
+    if (fn == "ndvi") return ParseNdviCall();
+    if (fn == "stack") return ParseStackCall();
+    if (fn == "rgb") return ParseRgbCall();
+    if (fn == "aggregate") return ParseAggregateCall();
+    if (fn == "shed") return ParseShedCall();
+    return Err("unknown function '" + fn + "'");
+  }
+
+  // region(expr, regionspec)
+  Result<ExprPtr> ParseRegionCall() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(RegionPtr region, ParseRegionSpec());
+    return MakeSpatialRestrict(std::move(child), std::move(region));
+  }
+
+  Result<RegionPtr> ParseRegionSpec() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Err("expected a region constructor");
+    }
+    const std::string name = ToLower(Next().text);
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    RegionPtr region;
+    if (name == "bbox") {
+      double v[4];
+      for (int i = 0; i < 4; ++i) {
+        if (i) GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+        GEOSTREAMS_ASSIGN_OR_RETURN(v[i], ExpectNumber());
+      }
+      region = MakeBBoxRegion(v[0], v[1], v[2], v[3]);
+    } else if (name == "polygon") {
+      std::vector<std::pair<double, double>> verts;
+      do {
+        GEOSTREAMS_ASSIGN_OR_RETURN(double x, ExpectNumber());
+        GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+        GEOSTREAMS_ASSIGN_OR_RETURN(double y, ExpectNumber());
+        verts.emplace_back(x, y);
+      } while (ConsumeComma());
+      if (verts.size() < 3) return Err("polygon needs at least 3 vertices");
+      region = MakePolygonRegion(std::move(verts));
+    } else if (name == "disk") {
+      GEOSTREAMS_ASSIGN_OR_RETURN(double cx, ExpectNumber());
+      GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+      GEOSTREAMS_ASSIGN_OR_RETURN(double cy, ExpectNumber());
+      GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+      GEOSTREAMS_ASSIGN_OR_RETURN(double r, ExpectNumber());
+      region = ConstraintRegion::Disk(cx, cy, r);
+    } else if (name == "points") {
+      GEOSTREAMS_ASSIGN_OR_RETURN(double cell, ExpectNumber());
+      std::vector<std::pair<double, double>> pts;
+      while (ConsumeComma()) {
+        GEOSTREAMS_ASSIGN_OR_RETURN(double x, ExpectNumber());
+        GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+        GEOSTREAMS_ASSIGN_OR_RETURN(double y, ExpectNumber());
+        pts.emplace_back(x, y);
+      }
+      if (pts.empty()) return Err("points() needs at least one point");
+      region = std::make_shared<EnumeratedRegion>(std::move(pts), cell);
+    } else if (name == "all") {
+      region = AllRegion::Instance();
+    } else if (name == "union" || name == "intersection") {
+      std::vector<RegionPtr> children;
+      do {
+        GEOSTREAMS_ASSIGN_OR_RETURN(RegionPtr r, ParseRegionSpec());
+        children.push_back(std::move(r));
+      } while (ConsumeComma());
+      region = name == "union" ? MakeUnionRegion(std::move(children))
+                               : MakeIntersectionRegion(std::move(children));
+    } else {
+      return Err("unknown region constructor '" + name + "'");
+    }
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    return region;
+  }
+
+  // time(expr, timespec [, timespec]...)
+  Result<ExprPtr> ParseTimeCall() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    TimeSet times;
+    do {
+      GEOSTREAMS_ASSIGN_OR_RETURN(TimeSet t, ParseTimeSpec());
+      times.Add(t);
+    } while (ConsumeComma());
+    return MakeTemporalRestrict(std::move(child), std::move(times));
+  }
+
+  Result<TimeSet> ParseTimeSpec() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Err("expected a time constructor");
+    }
+    const std::string name = ToLower(Next().text);
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "("));
+    TimeSet out;
+    if (name == "range") {
+      GEOSTREAMS_ASSIGN_OR_RETURN(double lo, ExpectNumber());
+      GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+      GEOSTREAMS_ASSIGN_OR_RETURN(double hi, ExpectNumber());
+      out = TimeSet::Range(static_cast<int64_t>(lo),
+                           static_cast<int64_t>(hi));
+    } else if (name == "instants") {
+      std::vector<int64_t> ts;
+      do {
+        GEOSTREAMS_ASSIGN_OR_RETURN(double t, ExpectNumber());
+        ts.push_back(static_cast<int64_t>(t));
+      } while (ConsumeComma());
+      out = TimeSet::Instants(std::move(ts));
+    } else if (name == "every") {
+      GEOSTREAMS_ASSIGN_OR_RETURN(double p, ExpectNumber());
+      GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+      GEOSTREAMS_ASSIGN_OR_RETURN(double lo, ExpectNumber());
+      GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+      GEOSTREAMS_ASSIGN_OR_RETURN(double hi, ExpectNumber());
+      out = TimeSet::Every(static_cast<int64_t>(p), static_cast<int64_t>(lo),
+                           static_cast<int64_t>(hi));
+    } else if (name == "all") {
+      out = TimeSet::All();
+    } else {
+      return Err("unknown time constructor '" + name + "'");
+    }
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, ")"));
+    return out;
+  }
+
+  // vrange(expr, band, lo, hi [, band, lo, hi]...)
+  Result<ExprPtr> ParseVrangeCall() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+    std::vector<ValueBandRange> ranges;
+    while (ConsumeComma()) {
+      ValueBandRange r;
+      GEOSTREAMS_ASSIGN_OR_RETURN(r.band, ExpectInt("band"));
+      GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+      GEOSTREAMS_ASSIGN_OR_RETURN(r.lo, ExpectNumber());
+      GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+      GEOSTREAMS_ASSIGN_OR_RETURN(r.hi, ExpectNumber());
+      ranges.push_back(r);
+    }
+    if (ranges.empty()) return Err("vrange needs at least one band range");
+    return MakeValueRestrict(std::move(child), std::move(ranges));
+  }
+
+  Result<ExprPtr> ParseValueFnCall(ValueFnSpec::Kind kind, int numeric_args) {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+    ValueFnSpec spec;
+    spec.kind = kind;
+    if (kind == ValueFnSpec::Kind::kBandSelect) {
+      GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+      GEOSTREAMS_ASSIGN_OR_RETURN(spec.band, ExpectInt("band"));
+    } else if (numeric_args == 2) {
+      GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+      GEOSTREAMS_ASSIGN_OR_RETURN(spec.a, ExpectNumber());
+      GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+      GEOSTREAMS_ASSIGN_OR_RETURN(spec.b, ExpectNumber());
+    }
+    ExprPtr e = MakeValueTransform(std::move(child), ValueFn());
+    e->value_spec = spec;
+    return e;
+  }
+
+  // stretch(expr, "linear"|"histeq"|"gauss" [, clip_fraction])
+  Result<ExprPtr> ParseStretchCall() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(std::string mode, ExpectString());
+    StretchOptions opts;
+    const std::string m = ToLower(mode);
+    if (m == "linear") {
+      opts.mode = StretchMode::kLinear;
+    } else if (m == "histeq" || m == "hist-eq") {
+      opts.mode = StretchMode::kHistogramEqualization;
+    } else if (m == "gauss" || m == "gaussian") {
+      opts.mode = StretchMode::kGaussian;
+    } else {
+      return Err("unknown stretch mode '" + mode + "'");
+    }
+    if (ConsumeComma()) {
+      GEOSTREAMS_ASSIGN_OR_RETURN(opts.clip_fraction, ExpectNumber());
+    }
+    return MakeStretch(std::move(child), opts);
+  }
+
+  Result<ExprPtr> ParseFactorCall(const std::string& fn) {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(int k, ExpectInt("factor"));
+    if (k < 1) return Err("factor must be >= 1");
+    return fn == "magnify" ? MakeMagnify(std::move(child), k)
+                           : MakeReduce(std::move(child), k);
+  }
+
+  // reproject(expr, "crs" [, "nearest"|"bilinear"])
+  Result<ExprPtr> ParseReprojectCall() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(std::string crs, ExpectString());
+    ResampleKernel kernel = ResampleKernel::kNearest;
+    if (ConsumeComma()) {
+      GEOSTREAMS_ASSIGN_OR_RETURN(std::string k, ExpectString());
+      const std::string kl = ToLower(k);
+      if (kl == "nearest") {
+        kernel = ResampleKernel::kNearest;
+      } else if (kl == "bilinear") {
+        kernel = ResampleKernel::kBilinear;
+      } else {
+        return Err("unknown resample kernel '" + k + "'");
+      }
+    }
+    return MakeReproject(std::move(child), std::move(crs), kernel);
+  }
+
+  Result<ExprPtr> ParseComposeCall(ComposeFn gamma) {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr left, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr right, ParseExpr());
+    return MakeCompose(gamma, std::move(left), std::move(right));
+  }
+
+  Result<ExprPtr> ParseNdviCall() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr nir, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr vis, ParseExpr());
+    return MakeNdvi(std::move(nir), std::move(vis));
+  }
+
+  // stack(e1, e2): band concatenation.
+  Result<ExprPtr> ParseStackCall() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr left, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr right, ParseExpr());
+    return MakeBandStack(std::move(left), std::move(right));
+  }
+
+  // rgb(r, g, b): sugar for stack(stack(r, g), b).
+  Result<ExprPtr> ParseRgbCall() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr r, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr b, ParseExpr());
+    return MakeBandStack(MakeBandStack(std::move(r), std::move(g)),
+                         std::move(b));
+  }
+
+  // shed(expr, "points"|"rows"|"frames", keep_fraction)
+  Result<ExprPtr> ParseShedCall() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(std::string mode_name, ExpectString());
+    SheddingMode mode;
+    const std::string m = ToLower(mode_name);
+    if (m == "points") {
+      mode = SheddingMode::kDropPoints;
+    } else if (m == "rows") {
+      mode = SheddingMode::kDropRows;
+    } else if (m == "frames") {
+      mode = SheddingMode::kDropFrames;
+    } else {
+      return Err("unknown shedding mode '" + mode_name + "'");
+    }
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(double keep, ExpectNumber());
+    if (keep < 0.0 || keep > 1.0) {
+      return Err("keep fraction must be in [0, 1]");
+    }
+    return MakeShed(std::move(child), mode, keep);
+  }
+
+  // aggregate(expr, "fn", window [, slide], regionspec [, regionspec]...)
+  Result<ExprPtr> ParseAggregateCall() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(std::string fn_name, ExpectString());
+    AggregateFn fn;
+    const std::string f = ToLower(fn_name);
+    if (f == "count") {
+      fn = AggregateFn::kCount;
+    } else if (f == "sum") {
+      fn = AggregateFn::kSum;
+    } else if (f == "avg") {
+      fn = AggregateFn::kAvg;
+    } else if (f == "min") {
+      fn = AggregateFn::kMin;
+    } else if (f == "max") {
+      fn = AggregateFn::kMax;
+    } else {
+      return Err("unknown aggregate '" + fn_name + "'");
+    }
+    GEOSTREAMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, ","));
+    GEOSTREAMS_ASSIGN_OR_RETURN(int window, ExpectInt("window"));
+    if (window < 1) return Err("window must be >= 1");
+    int slide = 0;
+    std::vector<RegionPtr> regions;
+    bool first = true;
+    while (ConsumeComma()) {
+      // An optional numeric slide may precede the region list.
+      if (first && Peek().kind == TokenKind::kNumber) {
+        GEOSTREAMS_ASSIGN_OR_RETURN(slide, ExpectInt("slide"));
+        if (slide < 1 || slide > window) {
+          return Err("slide must be in [1, window]");
+        }
+        first = false;
+        continue;
+      }
+      first = false;
+      GEOSTREAMS_ASSIGN_OR_RETURN(RegionPtr r, ParseRegionSpec());
+      regions.push_back(std::move(r));
+    }
+    if (regions.empty()) return Err("aggregate needs at least one region");
+    return MakeAggregate(std::move(child), fn, std::move(regions), window,
+                         slide);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseQuery(std::string_view query) {
+  GEOSTREAMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace geostreams

@@ -1,0 +1,36 @@
+// Recursive-descent parser for the textual query language.
+//
+// Grammar (functional form of the Sec. 3 algebra):
+//
+//   expr      := IDENT                      -- stream reference
+//              | func '(' args ')'
+//   func      := region | time | vrange | gray | rescale | clampv
+//              | absv | band | stretch | magnify | reduce | reproject
+//              | add | sub | mul | div | sup | inf | ndvi | aggregate
+//   regionspec:= bbox(x0,y0,x1,y1) | polygon(x,y, x,y, ...)
+//              | disk(cx,cy,r) | points(cell, x,y, ...) | all()
+//              | union(rs, rs, ...) | intersection(rs, rs, ...)
+//   timespec  := range(lo,hi) | instants(t, ...) | every(p, lo, hi)
+//
+// Examples:
+//   region(goes.band1, bbox(-125, 32, -114, 42))
+//   ndvi(goes.band2, goes.band1)
+//   region(reproject(stretch(ndvi(goes.band2, goes.band1), "linear"),
+//          "utm:10n"), bbox(500000, 3500000, 800000, 4700000))
+
+#ifndef GEOSTREAMS_QUERY_PARSER_H_
+#define GEOSTREAMS_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace geostreams {
+
+/// Parses a query string into an (unanalyzed) expression tree.
+Result<ExprPtr> ParseQuery(std::string_view query);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_QUERY_PARSER_H_

@@ -1,0 +1,51 @@
+#include "raster/checksum.h"
+
+#include <array>
+
+namespace geostreams {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t n = 0; n < 256; ++n) {
+    uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t UpdateCrc32(uint32_t crc, const uint8_t* data, size_t len) {
+  const auto& table = CrcTable();
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  return UpdateCrc32(0xFFFFFFFFu, data, len) ^ 0xFFFFFFFFu;
+}
+
+uint32_t Adler32(uint32_t adler, const uint8_t* data, size_t len) {
+  constexpr uint32_t kMod = 65521;
+  uint32_t a = adler & 0xFFFFu;
+  uint32_t b = (adler >> 16) & 0xFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    a = (a + data[i]) % kMod;
+    b = (b + a) % kMod;
+  }
+  return (b << 16) | a;
+}
+
+}  // namespace geostreams

@@ -1,0 +1,25 @@
+// CRC-32 (PNG chunk checksums) and Adler-32 (zlib stream checksum),
+// implemented locally so PNG delivery has no external dependencies.
+
+#ifndef GEOSTREAMS_RASTER_CHECKSUM_H_
+#define GEOSTREAMS_RASTER_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace geostreams {
+
+/// CRC-32 (ISO 3309 / ITU-T V.42, polynomial 0xEDB88320) as required
+/// by the PNG specification. `crc` chains across calls; start from
+/// 0xFFFFFFFF via Crc32() or pass a previous UpdateCrc32 result.
+uint32_t UpdateCrc32(uint32_t crc, const uint8_t* data, size_t len);
+
+/// One-shot CRC-32 of a buffer (pre/post-conditioned).
+uint32_t Crc32(const uint8_t* data, size_t len);
+
+/// Adler-32 checksum used by the zlib container. Start from 1.
+uint32_t Adler32(uint32_t adler, const uint8_t* data, size_t len);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_RASTER_CHECKSUM_H_

@@ -1,0 +1,70 @@
+#include "raster/frame_assembler.h"
+
+#include "common/string_util.h"
+
+namespace geostreams {
+
+Status FrameAssembler::Begin(const FrameInfo& info, int band_count) {
+  if (active_) {
+    return Status::FailedPrecondition(
+        StringPrintf("frame %lld still open",
+                     static_cast<long long>(frame_id_)));
+  }
+  GEOSTREAMS_RETURN_IF_ERROR(info.lattice.Validate());
+  GEOSTREAMS_ASSIGN_OR_RETURN(
+      raster_, Raster::Create(info.lattice.width(), info.lattice.height(),
+                              band_count, nodata_));
+  raster_.set_lattice(info.lattice);
+  filled_.assign(static_cast<size_t>(raster_.num_pixels()), 0);
+  frame_id_ = info.frame_id;
+  points_seen_ = 0;
+  active_ = true;
+  return Status::OK();
+}
+
+Status FrameAssembler::Add(const PointBatch& batch) {
+  if (!active_) {
+    return Status::FailedPrecondition("no open frame");
+  }
+  if (batch.frame_id != frame_id_) {
+    return Status::InvalidArgument(
+        StringPrintf("batch frame %lld does not match open frame %lld",
+                     static_cast<long long>(batch.frame_id),
+                     static_cast<long long>(frame_id_)));
+  }
+  if (batch.band_count != raster_.bands()) {
+    return Status::InvalidArgument(
+        StringPrintf("batch bands %d != raster bands %d", batch.band_count,
+                     raster_.bands()));
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int64_t c = batch.cols[i];
+    const int64_t r = batch.rows[i];
+    if (!raster_.InBounds(c, r)) {
+      return Status::OutOfRange(
+          StringPrintf("point (%lld, %lld) outside frame lattice",
+                       static_cast<long long>(c),
+                       static_cast<long long>(r)));
+    }
+    for (int b = 0; b < batch.band_count; ++b) {
+      raster_.Set(c, r, b, batch.ValueAt(i, b));
+    }
+    filled_[static_cast<size_t>(r) * static_cast<size_t>(raster_.width()) +
+            static_cast<size_t>(c)] = 1;
+  }
+  points_seen_ += static_cast<int64_t>(batch.size());
+  return Status::OK();
+}
+
+Result<AssembledFrame> FrameAssembler::Finish() {
+  if (!active_) {
+    return Status::FailedPrecondition("no open frame");
+  }
+  active_ = false;
+  AssembledFrame frame;
+  frame.raster = std::move(raster_);
+  frame.filled = std::move(filled_);
+  return frame;
+}
+
+}  // namespace geostreams

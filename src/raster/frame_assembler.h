@@ -1,0 +1,68 @@
+// Assembles point batches of one frame back into a Raster.
+//
+// Frame-scoped operators (stretch transforms, image-organized
+// compositions, delivery) need the points of a frame materialized as
+// an image. The assembler tracks the frame lattice from FrameBegin
+// metadata and fills a raster as batches arrive.
+
+#ifndef GEOSTREAMS_RASTER_FRAME_ASSEMBLER_H_
+#define GEOSTREAMS_RASTER_FRAME_ASSEMBLER_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "core/stream_event.h"
+#include "raster/raster.h"
+
+namespace geostreams {
+
+/// A completed frame: the raster plus the per-cell occupancy mask.
+/// Restricted streams deliver only part of a sector; gather operators
+/// (re-projection, affine transforms) must not fabricate values from
+/// never-filled nodata cells.
+struct AssembledFrame {
+  Raster raster;
+  std::vector<uint8_t> filled;  // 1 per cell that received a point
+
+  bool IsFilled(int64_t col, int64_t row) const {
+    return filled[static_cast<size_t>(row) *
+                      static_cast<size_t>(raster.width()) +
+                  static_cast<size_t>(col)] != 0;
+  }
+};
+
+/// One-frame accumulator. Reusable: Finish() returns the frame and
+/// resets for the next one.
+class FrameAssembler {
+ public:
+  /// `nodata` fills cells no point arrived for.
+  explicit FrameAssembler(double nodata = 0.0) : nodata_(nodata) {}
+
+  /// Starts a frame; allocates the raster from the frame's lattice.
+  Status Begin(const FrameInfo& info, int band_count);
+
+  /// Adds a batch; points outside the frame lattice are rejected.
+  Status Add(const PointBatch& batch);
+
+  /// Completes the frame and returns the assembled raster + mask.
+  Result<AssembledFrame> Finish();
+
+  bool active() const { return active_; }
+  int64_t frame_id() const { return frame_id_; }
+  int64_t points_seen() const { return points_seen_; }
+  /// Bytes currently buffered (drives the memory accounting of
+  /// frame-buffering operators, Sec. 3.2).
+  size_t BufferedBytes() const { return active_ ? raster_.ApproxBytes() : 0; }
+
+ private:
+  double nodata_;
+  bool active_ = false;
+  int64_t frame_id_ = 0;
+  int64_t points_seen_ = 0;
+  Raster raster_;
+  std::vector<uint8_t> filled_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_RASTER_FRAME_ASSEMBLER_H_

@@ -1,0 +1,76 @@
+#include "raster/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace geostreams {
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo),
+      hi_(hi),
+      bin_width_((hi - lo) / (bins > 0 ? bins : 1)),
+      counts_(static_cast<size_t>(bins > 0 ? bins : 1), 0) {}
+
+void Histogram::Add(double v) {
+  if (std::isnan(v)) return;
+  ++counts_[static_cast<size_t>(BinOf(v))];
+  ++total_;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
+void Histogram::AddN(const double* values, size_t n) {
+  for (size_t i = 0; i < n; ++i) Add(values[i]);
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+int Histogram::BinOf(double v) const {
+  const int b = static_cast<int>((v - lo_) / bin_width_);
+  return Clamp(b, 0, bins() - 1);
+}
+
+double Histogram::BinCenter(int bin) const {
+  return lo_ + (bin + 0.5) * bin_width_;
+}
+
+double Histogram::Cdf(double v) const {
+  if (total_ == 0) return 0.0;
+  const int b = BinOf(v);
+  uint64_t below = 0;
+  for (int i = 0; i <= b; ++i) below += counts_[static_cast<size_t>(i)];
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = Clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(
+      q * static_cast<double>(total_));
+  uint64_t seen = 0;
+  for (int i = 0; i < bins(); ++i) {
+    seen += counts_[static_cast<size_t>(i)];
+    if (seen >= target) return BinCenter(i);
+  }
+  return hi_;
+}
+
+double Histogram::Mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double Histogram::StdDev() const {
+  if (total_ == 0) return 0.0;
+  const double m = Mean();
+  const double var = sum_sq_ / static_cast<double>(total_) - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace geostreams

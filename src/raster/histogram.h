@@ -1,0 +1,57 @@
+// Histograms and CDFs backing the stretch value transforms
+// (Sec. 3.2: linear contrast stretch, histogram equalization,
+// Gaussian stretch).
+
+#ifndef GEOSTREAMS_RASTER_HISTOGRAM_H_
+#define GEOSTREAMS_RASTER_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace geostreams {
+
+/// Fixed-bin histogram over a value range [lo, hi].
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double v);
+  void AddN(const double* values, size_t n);
+  void Reset();
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  uint64_t total() const { return total_; }
+  uint64_t count(int bin) const { return counts_[static_cast<size_t>(bin)]; }
+
+  /// Bin index of a value (clamped into range).
+  int BinOf(double v) const;
+  /// Representative (centre) value of a bin.
+  double BinCenter(int bin) const;
+
+  /// Empirical CDF at value v, in [0, 1]. 0 when the histogram is
+  /// empty.
+  double Cdf(double v) const;
+
+  /// Value below which fraction q of the mass lies (q in [0, 1]).
+  double Quantile(double q) const;
+
+  /// Mean and standard deviation of the binned data.
+  double Mean() const;
+  double StdDev() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_RASTER_HISTOGRAM_H_

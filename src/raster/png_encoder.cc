@@ -1,0 +1,154 @@
+#include "raster/png_encoder.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "raster/checksum.h"
+
+namespace geostreams {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+void AppendChunk(std::vector<uint8_t>* out, const char type[4],
+                 const std::vector<uint8_t>& payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  const size_t crc_start = out->size();
+  out->insert(out->end(), type, type + 4);
+  out->insert(out->end(), payload.begin(), payload.end());
+  const uint32_t crc = Crc32(out->data() + crc_start, out->size() - crc_start);
+  PutU32(out, crc);
+}
+
+/// Wraps raw bytes into a zlib stream of stored (type 0) DEFLATE
+/// blocks. Stored blocks carry at most 65535 bytes each.
+std::vector<uint8_t> ZlibStored(const std::vector<uint8_t>& raw) {
+  std::vector<uint8_t> z;
+  z.reserve(raw.size() + raw.size() / 65535 * 5 + 16);
+  z.push_back(0x78);  // CMF: deflate, 32K window
+  z.push_back(0x01);  // FLG: check bits, no dict, fastest
+  size_t pos = 0;
+  do {
+    const size_t n = std::min<size_t>(raw.size() - pos, 65535);
+    const bool final_block = pos + n == raw.size();
+    z.push_back(final_block ? 1 : 0);  // BFINAL, BTYPE=00
+    z.push_back(static_cast<uint8_t>(n & 0xFF));
+    z.push_back(static_cast<uint8_t>(n >> 8));
+    z.push_back(static_cast<uint8_t>(~n & 0xFF));
+    z.push_back(static_cast<uint8_t>((~n >> 8) & 0xFF));
+    z.insert(z.end(), raw.begin() + static_cast<ptrdiff_t>(pos),
+             raw.begin() + static_cast<ptrdiff_t>(pos + n));
+    pos += n;
+  } while (pos < raw.size());
+  const uint32_t adler = Adler32(1, raw.data(), raw.size());
+  PutU32(&z, adler);
+  return z;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> EncodePng(const uint8_t* pixels, int64_t width,
+                                       int64_t height, PngColor color) {
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("PNG dimensions must be positive");
+  }
+  if (width > 0x7FFFFFFF || height > 0x7FFFFFFF) {
+    return Status::OutOfRange("PNG dimensions exceed 2^31-1");
+  }
+  const int channels = color == PngColor::kGray ? 1 : 3;
+  const size_t row_bytes =
+      static_cast<size_t>(width) * static_cast<size_t>(channels);
+
+  std::vector<uint8_t> out;
+  static const uint8_t kSignature[8] = {0x89, 'P', 'N', 'G',
+                                        '\r', '\n', 0x1A, '\n'};
+  out.insert(out.end(), kSignature, kSignature + 8);
+
+  // IHDR.
+  std::vector<uint8_t> ihdr;
+  PutU32(&ihdr, static_cast<uint32_t>(width));
+  PutU32(&ihdr, static_cast<uint32_t>(height));
+  ihdr.push_back(8);  // bit depth
+  ihdr.push_back(static_cast<uint8_t>(color));
+  ihdr.push_back(0);  // compression
+  ihdr.push_back(0);  // filter method
+  ihdr.push_back(0);  // no interlace
+  AppendChunk(&out, "IHDR", ihdr);
+
+  // Raw scanlines, each prefixed by filter byte 0 (None).
+  std::vector<uint8_t> raw;
+  raw.reserve(static_cast<size_t>(height) * (row_bytes + 1));
+  for (int64_t r = 0; r < height; ++r) {
+    raw.push_back(0);
+    const uint8_t* row = pixels + static_cast<size_t>(r) * row_bytes;
+    raw.insert(raw.end(), row, row + row_bytes);
+  }
+  AppendChunk(&out, "IDAT", ZlibStored(raw));
+  AppendChunk(&out, "IEND", {});
+  return out;
+}
+
+Result<std::vector<uint8_t>> RasterToPng(const Raster& raster, double lo,
+                                         double hi) {
+  if (raster.empty()) return Status::InvalidArgument("empty raster");
+  if (raster.bands() != 1 && raster.bands() != 3) {
+    return Status::InvalidArgument(
+        StringPrintf("PNG supports 1 or 3 bands, raster has %d",
+                     raster.bands()));
+  }
+  if (lo == hi) {
+    double mn = 0.0, mx = 0.0;
+    raster.MinMax(0, &mn, &mx);
+    for (int b = 1; b < raster.bands(); ++b) {
+      double bmn = 0.0, bmx = 0.0;
+      raster.MinMax(b, &bmn, &bmx);
+      mn = std::min(mn, bmn);
+      mx = std::max(mx, bmx);
+    }
+    lo = mn;
+    hi = mx > mn ? mx : mn + 1.0;
+  }
+  const double scale = 255.0 / (hi - lo);
+  const int channels = raster.bands();
+  std::vector<uint8_t> pixels(
+      static_cast<size_t>(raster.num_pixels()) *
+      static_cast<size_t>(channels));
+  size_t i = 0;
+  for (int64_t r = 0; r < raster.height(); ++r) {
+    for (int64_t c = 0; c < raster.width(); ++c) {
+      for (int b = 0; b < channels; ++b) {
+        const double v = (raster.At(c, r, b) - lo) * scale;
+        pixels[i++] = static_cast<uint8_t>(Clamp(v, 0.0, 255.0));
+      }
+    }
+  }
+  return EncodePng(pixels.data(), raster.width(), raster.height(),
+                   channels == 1 ? PngColor::kGray : PngColor::kRgb);
+}
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IoError("cannot open " + path);
+  const size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (n != bytes.size()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Status WriteRasterPng(const Raster& raster, const std::string& path,
+                      double lo, double hi) {
+  GEOSTREAMS_ASSIGN_OR_RETURN(std::vector<uint8_t> png,
+                              RasterToPng(raster, lo, hi));
+  return WriteFileBytes(path, png);
+}
+
+}  // namespace geostreams

@@ -1,0 +1,47 @@
+// Self-contained PNG encoder for the delivery operator.
+//
+// The paper's prototype "ships stream results back to clients using
+// the PNG image format" (Sec. 4). This encoder emits standards-
+// conforming PNG files using stored (uncompressed) DEFLATE blocks, so
+// no zlib dependency is needed; any PNG reader can decode the output.
+
+#ifndef GEOSTREAMS_RASTER_PNG_ENCODER_H_
+#define GEOSTREAMS_RASTER_PNG_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "raster/raster.h"
+
+namespace geostreams {
+
+/// PNG colour types supported by the encoder.
+enum class PngColor : uint8_t {
+  kGray = 0,  // 8-bit grayscale
+  kRgb = 2,   // 8-bit RGB
+};
+
+/// Encodes 8-bit image rows into an in-memory PNG. `pixels` holds
+/// height*width samples (gray) or height*width*3 samples (rgb),
+/// row-major.
+Result<std::vector<uint8_t>> EncodePng(const uint8_t* pixels, int64_t width,
+                                       int64_t height, PngColor color);
+
+/// Encodes a raster band (or 3 bands for RGB) to PNG, linearly mapping
+/// [lo, hi] to [0, 255]. With lo == hi the raster min/max are used.
+Result<std::vector<uint8_t>> RasterToPng(const Raster& raster,
+                                         double lo = 0.0, double hi = 0.0);
+
+/// Writes bytes to a file.
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes);
+
+/// Convenience: RasterToPng + WriteFileBytes.
+Status WriteRasterPng(const Raster& raster, const std::string& path,
+                      double lo = 0.0, double hi = 0.0);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_RASTER_PNG_ENCODER_H_

@@ -1,0 +1,115 @@
+#include "raster/pnm_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace geostreams {
+
+Status WriteRasterPnm(const Raster& raster, const std::string& path,
+                      double lo, double hi) {
+  if (raster.empty()) return Status::InvalidArgument("empty raster");
+  if (raster.bands() != 1 && raster.bands() != 3) {
+    return Status::InvalidArgument(
+        StringPrintf("PNM supports 1 or 3 bands, raster has %d",
+                     raster.bands()));
+  }
+  if (lo == hi) {
+    double mn = 0.0, mx = 0.0;
+    raster.MinMax(0, &mn, &mx);
+    lo = mn;
+    hi = mx > mn ? mx : mn + 1.0;
+  }
+  const double scale = 255.0 / (hi - lo);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return Status::IoError("cannot open " + path);
+  std::fprintf(f, "%s\n%lld %lld\n255\n", raster.bands() == 1 ? "P5" : "P6",
+               static_cast<long long>(raster.width()),
+               static_cast<long long>(raster.height()));
+  std::vector<uint8_t> row(static_cast<size_t>(raster.width()) *
+                           static_cast<size_t>(raster.bands()));
+  for (int64_t r = 0; r < raster.height(); ++r) {
+    size_t i = 0;
+    for (int64_t c = 0; c < raster.width(); ++c) {
+      for (int b = 0; b < raster.bands(); ++b) {
+        const double v = (raster.At(c, r, b) - lo) * scale;
+        row[i++] = static_cast<uint8_t>(Clamp(v, 0.0, 255.0));
+      }
+    }
+    if (std::fwrite(row.data(), 1, row.size(), f) != row.size()) {
+      std::fclose(f);
+      return Status::IoError("short write to " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads the next whitespace/comment-delimited integer token.
+bool ReadPnmInt(std::FILE* f, long* out) {
+  int c = std::fgetc(f);
+  while (c != EOF) {
+    if (c == '#') {
+      while (c != EOF && c != '\n') c = std::fgetc(f);
+    } else if (std::isspace(c)) {
+      c = std::fgetc(f);
+    } else {
+      break;
+    }
+  }
+  if (c == EOF || !std::isdigit(c)) return false;
+  long v = 0;
+  while (c != EOF && std::isdigit(c)) {
+    v = v * 10 + (c - '0');
+    c = std::fgetc(f);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Raster> ReadRasterPnm(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IoError("cannot open " + path);
+  char magic[3] = {};
+  if (std::fread(magic, 1, 2, f) != 2 ||
+      (std::strncmp(magic, "P5", 2) != 0 &&
+       std::strncmp(magic, "P6", 2) != 0)) {
+    std::fclose(f);
+    return Status::ParseError("not a binary PGM/PPM file: " + path);
+  }
+  const int bands = magic[1] == '5' ? 1 : 3;
+  long w = 0, h = 0, maxval = 0;
+  if (!ReadPnmInt(f, &w) || !ReadPnmInt(f, &h) || !ReadPnmInt(f, &maxval) ||
+      w <= 0 || h <= 0 || maxval <= 0 || maxval > 255) {
+    std::fclose(f);
+    return Status::ParseError("bad PNM header in " + path);
+  }
+  Raster out(w, h, bands);
+  std::vector<uint8_t> row(static_cast<size_t>(w) *
+                           static_cast<size_t>(bands));
+  for (long r = 0; r < h; ++r) {
+    if (std::fread(row.data(), 1, row.size(), f) != row.size()) {
+      std::fclose(f);
+      return Status::IoError("truncated PNM data in " + path);
+    }
+    size_t i = 0;
+    for (long c = 0; c < w; ++c) {
+      for (int b = 0; b < bands; ++b) {
+        out.Set(c, r, b, static_cast<double>(row[i++]));
+      }
+    }
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace geostreams

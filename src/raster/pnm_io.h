@@ -1,0 +1,25 @@
+// PGM/PPM (binary PNM) raster I/O. Used by examples and tests as a
+// trivially-inspectable alternative to PNG delivery.
+
+#ifndef GEOSTREAMS_RASTER_PNM_IO_H_
+#define GEOSTREAMS_RASTER_PNM_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "raster/raster.h"
+
+namespace geostreams {
+
+/// Writes a 1-band raster as binary PGM (P5) or a 3-band raster as
+/// binary PPM (P6), linearly mapping [lo, hi] to [0, 255]; with
+/// lo == hi the raster min/max are used.
+Status WriteRasterPnm(const Raster& raster, const std::string& path,
+                      double lo = 0.0, double hi = 0.0);
+
+/// Reads a binary PGM/PPM file into a raster with values in [0, 255].
+Result<Raster> ReadRasterPnm(const std::string& path);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_RASTER_PNM_IO_H_

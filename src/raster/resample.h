@@ -1,0 +1,39 @@
+// Resampling kernels used by spatial transforms and re-projection
+// (Sec. 3.2: nearest point, linear interpolation, k x k box averages).
+
+#ifndef GEOSTREAMS_RASTER_RESAMPLE_H_
+#define GEOSTREAMS_RASTER_RESAMPLE_H_
+
+#include "common/status.h"
+#include "raster/raster.h"
+
+namespace geostreams {
+
+enum class ResampleKernel : uint8_t {
+  kNearest,
+  kBilinear,
+};
+
+const char* ResampleKernelName(ResampleKernel k);
+
+/// Samples band `band` of `src` at fractional pixel coordinates
+/// (col, row) where integer coordinates are pixel centres. Coordinates
+/// outside the raster are clamped to the edge.
+double SampleRaster(const Raster& src, double col, double row, int band,
+                    ResampleKernel kernel);
+
+/// Mean of the k x k block of source pixels whose top-left corner is
+/// (col0, row0); out-of-bounds pixels are excluded from the average.
+double BoxAverage(const Raster& src, int64_t col0, int64_t row0, int k,
+                  int band);
+
+/// Full-raster resolution decrease by integer factor k (Fig. 2a).
+Result<Raster> ReduceRaster(const Raster& src, int k);
+
+/// Full-raster magnification by integer factor k: each source pixel
+/// becomes a k x k block (Sec. 3.2's zoom example).
+Result<Raster> MagnifyRaster(const Raster& src, int k);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_RASTER_RESAMPLE_H_

@@ -1,0 +1,291 @@
+#include "server/dsms_server.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "mqo/cascade_tree.h"
+#include "mqo/filter_bank.h"
+#include "mqo/grid_index.h"
+#include "query/explain.h"
+#include "query/parser.h"
+
+namespace geostreams {
+
+namespace {
+
+std::unique_ptr<RegionIndex> MakeIndex(DsmsOptions::IndexKind kind,
+                                       const BoundingBox& extent) {
+  switch (kind) {
+    case DsmsOptions::IndexKind::kCascadeTree:
+      return std::make_unique<CascadeTree>(extent);
+    case DsmsOptions::IndexKind::kGrid:
+      return std::make_unique<GridIndex>(extent, 64, 64);
+    case DsmsOptions::IndexKind::kFilterBank:
+      return std::make_unique<FilterBank>();
+  }
+  return std::make_unique<FilterBank>();
+}
+
+}  // namespace
+
+/// Per-source ingest state: fans events out to unrestricted plan
+/// inputs and to the shared restriction index.
+struct DsmsServer::SourceState : public EventSink {
+  GeoStreamDescriptor desc;
+  std::unique_ptr<SharedRestrictionOp> shared;
+  std::vector<EventSink*> direct_targets;
+  /// True for continuous views: their events arrive from a backing
+  /// plan rather than from an ingest call.
+  bool derived = false;
+
+  Status Consume(const StreamEvent& event) override {
+    for (EventSink* t : direct_targets) {
+      GEOSTREAMS_RETURN_IF_ERROR(t->Consume(event));
+    }
+    if (shared && shared->num_queries() > 0) {
+      return shared->Consume(event);
+    }
+    if (shared && event.kind == EventKind::kStreamEnd) {
+      return shared->Consume(event);
+    }
+    return Status::OK();
+  }
+};
+
+struct DsmsServer::QueryState {
+  QueryId id = 0;
+  std::string text;
+  ExprPtr optimized;
+  std::unique_ptr<DeliveryOp> delivery;
+  NullSink null_sink;
+  std::unique_ptr<ExecutablePlan> plan;
+
+  bool is_derived = false;
+  std::string derived_name;
+
+  struct Peeled {
+    std::string source;
+    RegionPtr region;
+    std::string input_name;
+    QueryId shared_id = 0;
+  };
+  std::vector<Peeled> peeled;
+  /// Direct wirings (source name -> plan input) for unregistration.
+  std::vector<std::pair<std::string, EventSink*>> direct;
+};
+
+DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {}
+DsmsServer::~DsmsServer() = default;
+
+Status DsmsServer::RegisterStream(const GeoStreamDescriptor& desc) {
+  GEOSTREAMS_RETURN_IF_ERROR(catalog_.Register(desc));
+  auto source = std::make_unique<SourceState>();
+  source->desc = desc;
+  if (options_.shared_restriction) {
+    source->shared = std::make_unique<SharedRestrictionOp>(MakeIndex(
+        options_.index_kind, desc.reference_lattice().Extent()));
+  }
+  sources_.emplace(desc.name(), std::move(source));
+  GEOSTREAMS_LOG(kInfo) << "registered stream " << desc.ToString();
+  return Status::OK();
+}
+
+ExprPtr DsmsServer::PeelLeafRestrictions(QueryId id, ExprPtr expr,
+                                         QueryState* query) {
+  if (!expr) return expr;
+  if (expr->kind == ExprKind::kSpatialRestrict &&
+      expr->child->kind == ExprKind::kStreamRef &&
+      sources_.count(expr->child->stream_name) > 0) {
+    QueryState::Peeled peeled;
+    peeled.source = expr->child->stream_name;
+    peeled.region = expr->region;
+    peeled.input_name = StringPrintf("q%lld.in%zu", static_cast<long long>(id),
+                                     query->peeled.size());
+    // Synthetic leaf: carries the original stream's descriptor so the
+    // planner can keep building without re-analysis.
+    ExprPtr leaf = MakeStreamRef(peeled.input_name);
+    leaf->out_desc = expr->child->out_desc;
+    leaf->analyzed = true;
+    query->peeled.push_back(std::move(peeled));
+    return leaf;
+  }
+  expr->child = PeelLeafRestrictions(id, expr->child, query);
+  expr->right = PeelLeafRestrictions(id, expr->right, query);
+  return expr;
+}
+
+Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
+                                          FrameCallback callback) {
+  return RegisterInternal(query_text, std::move(callback), "");
+}
+
+Result<QueryId> DsmsServer::RegisterDerivedStream(
+    const std::string& name, const std::string& query_text) {
+  if (name.empty()) {
+    return Status::InvalidArgument("derived stream needs a name");
+  }
+  if (sources_.count(name) > 0) {
+    return Status::AlreadyExists("stream already registered: " + name);
+  }
+  return RegisterInternal(query_text, nullptr, name);
+}
+
+Result<QueryId> DsmsServer::RegisterInternal(
+    const std::string& query_text, FrameCallback callback,
+    const std::string& derived_name) {
+  GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr parsed, ParseQuery(query_text));
+  GEOSTREAMS_RETURN_IF_ERROR(AnalyzeQuery(catalog_, parsed));
+  GEOSTREAMS_ASSIGN_OR_RETURN(
+      ExprPtr optimized, OptimizeQuery(catalog_, parsed, options_.optimizer));
+
+  const QueryId id = next_query_id_++;
+  auto query = std::make_unique<QueryState>();
+  query->id = id;
+  query->text = query_text;
+  query->optimized = optimized;
+
+  EventSink* plan_sink = nullptr;
+  if (derived_name.empty()) {
+    DeliveryOptions dopts;
+    dopts.encode_png = options_.encode_png;
+    query->delivery = std::make_unique<DeliveryOp>(
+        StringPrintf("q%lld.delivery", static_cast<long long>(id)),
+        std::move(callback), dopts);
+    query->delivery->BindOutput(&query->null_sink);
+    query->delivery->BindMemoryTracker(&memory_);
+    plan_sink = query->delivery->input(0);
+  } else {
+    // Continuous view: the plan output feeds a brand-new source that
+    // later queries subscribe to.
+    query->is_derived = true;
+    query->derived_name = derived_name;
+    const GeoStreamDescriptor view_desc =
+        optimized->out_desc.WithName(derived_name);
+    GEOSTREAMS_RETURN_IF_ERROR(catalog_.Register(view_desc));
+    auto source = std::make_unique<SourceState>();
+    source->desc = view_desc;
+    source->derived = true;
+    if (options_.shared_restriction) {
+      source->shared = std::make_unique<SharedRestrictionOp>(MakeIndex(
+          options_.index_kind, view_desc.reference_lattice().Extent()));
+    }
+    plan_sink = source.get();
+    sources_.emplace(derived_name, std::move(source));
+  }
+
+  ExprPtr plan_expr = CloneExpr(optimized);
+  if (options_.shared_restriction) {
+    plan_expr = PeelLeafRestrictions(id, plan_expr, query.get());
+  }
+  GEOSTREAMS_ASSIGN_OR_RETURN(query->plan,
+                              BuildPlan(plan_expr, plan_sink, &memory_));
+
+  // Wire plan inputs to sources (peeled leaves via the shared
+  // restriction index, the rest directly).
+  for (const std::string& input_name : query->plan->input_names()) {
+    EventSink* entry = query->plan->input(input_name);
+    auto peeled_it = std::find_if(
+        query->peeled.begin(), query->peeled.end(),
+        [&](const QueryState::Peeled& p) {
+          return p.input_name == input_name;
+        });
+    if (peeled_it != query->peeled.end()) {
+      SourceState* source = sources_.at(peeled_it->source).get();
+      peeled_it->shared_id = id * 1000 +
+          static_cast<QueryId>(peeled_it - query->peeled.begin());
+      GEOSTREAMS_RETURN_IF_ERROR(source->shared->RegisterQuery(
+          peeled_it->shared_id, peeled_it->region, entry));
+      continue;
+    }
+    auto source_it = sources_.find(input_name);
+    if (source_it == sources_.end()) {
+      return Status::NotFound("query reads unknown stream: " + input_name);
+    }
+    source_it->second->direct_targets.push_back(entry);
+    query->direct.emplace_back(input_name, entry);
+  }
+
+  GEOSTREAMS_LOG(kInfo) << "registered "
+                        << (query->is_derived ? "derived stream " : "query ")
+                        << id << ": " << query_text;
+  queries_.emplace(id, std::move(query));
+  return id;
+}
+
+Status DsmsServer::UnregisterQuery(QueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StringPrintf(
+        "query %lld not registered", static_cast<long long>(id)));
+  }
+  QueryState& query = *it->second;
+  if (query.is_derived) {
+    return Status::FailedPrecondition(
+        "derived stream '" + query.derived_name +
+        "' cannot be unregistered (other queries may depend on it)");
+  }
+  for (const auto& peeled : query.peeled) {
+    auto source_it = sources_.find(peeled.source);
+    if (source_it != sources_.end() && source_it->second->shared) {
+      Status st = source_it->second->shared->UnregisterQuery(
+          peeled.shared_id);
+      if (!st.ok()) return st;
+    }
+  }
+  for (const auto& [source_name, entry] : query.direct) {
+    auto source_it = sources_.find(source_name);
+    if (source_it == sources_.end()) continue;
+    auto& targets = source_it->second->direct_targets;
+    targets.erase(std::remove(targets.begin(), targets.end(), entry),
+                  targets.end());
+  }
+  queries_.erase(it);
+  return Status::OK();
+}
+
+EventSink* DsmsServer::ingest(const std::string& name) {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+Status DsmsServer::EndAllStreams() {
+  for (auto& [name, source] : sources_) {
+    // Derived streams receive their StreamEnd through the backing
+    // plan when the base streams end.
+    if (source->derived) continue;
+    GEOSTREAMS_RETURN_IF_ERROR(source->Consume(StreamEvent::StreamEnd()));
+  }
+  return Status::OK();
+}
+
+Result<std::string> DsmsServer::Explain(QueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StringPrintf(
+        "query %lld not registered", static_cast<long long>(id)));
+  }
+  return ExplainQuery(it->second->optimized);
+}
+
+Result<std::string> DsmsServer::ExplainAnalyze(QueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StringPrintf(
+        "query %lld not registered", static_cast<long long>(id)));
+  }
+  return ExplainPlanMetrics(*it->second->plan);
+}
+
+Result<uint64_t> DsmsServer::FramesDelivered(QueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StringPrintf(
+        "query %lld not registered", static_cast<long long>(id)));
+  }
+  if (!it->second->delivery) {
+    return Status::FailedPrecondition(
+        "derived streams have no delivery operator");
+  }
+  return it->second->delivery->frames_delivered();
+}
+
+}  // namespace geostreams

@@ -1,0 +1,110 @@
+// The DSMS server of Fig. 3: Stream Generator -> Parser ->
+// Optimization -> Execution -> Delivery, with multi-user continuous
+// queries over the registered GeoStreams.
+//
+// Clients register textual queries; the server parses, analyzes and
+// optimizes them, lowers them to physical plans ending in a PNG-
+// capable delivery operator, and routes ingested stream events to
+// every interested plan. When shared-restriction mode is on (the
+// default), spatial restrictions that the optimizer pushed down to a
+// stream leaf are peeled off and registered with a per-stream dynamic
+// cascade tree, which then acts as the single spatial restriction
+// operator for all queries (Sec. 4).
+
+#ifndef GEOSTREAMS_SERVER_DSMS_SERVER_H_
+#define GEOSTREAMS_SERVER_DSMS_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mqo/shared_restriction.h"
+#include "ops/delivery_op.h"
+#include "query/analyzer.h"
+#include "query/optimizer.h"
+#include "query/planner.h"
+#include "stream/memory_tracker.h"
+
+namespace geostreams {
+
+struct DsmsOptions {
+  /// Peel leaf spatial restrictions into a shared per-stream index.
+  bool shared_restriction = true;
+  /// Index structure for the shared restriction.
+  enum class IndexKind { kCascadeTree, kGrid, kFilterBank };
+  IndexKind index_kind = IndexKind::kCascadeTree;
+  /// Optimizer configuration applied to every registered query.
+  OptimizerOptions optimizer;
+  /// Deliver PNG bytes with every frame (costs CPU).
+  bool encode_png = false;
+};
+
+class DsmsServer {
+ public:
+  explicit DsmsServer(DsmsOptions options = {});
+  ~DsmsServer();
+
+  /// Registers an ingestible source stream (one spectral band).
+  Status RegisterStream(const GeoStreamDescriptor& desc);
+
+  /// Registers a continuous query. Every completed output frame is
+  /// handed to `callback`. Returns the query id.
+  Result<QueryId> RegisterQuery(const std::string& query_text,
+                                FrameCallback callback);
+
+  /// Registers a *derived stream* (a continuous view): the query's
+  /// output becomes a new catalog stream named `name` that later
+  /// queries can reference like any instrument band — the algebra's
+  /// closure property lifted to the system level. Common products
+  /// (e.g. an NDVI stream) are thus computed once and shared.
+  /// Derived streams cannot be unregistered (queries may depend on
+  /// them); they live as long as the server.
+  Result<QueryId> RegisterDerivedStream(const std::string& name,
+                                        const std::string& query_text);
+
+  Status UnregisterQuery(QueryId id);
+
+  /// Entry sink for source stream `name` (the stream generator pushes
+  /// events here). Null for unknown streams.
+  EventSink* ingest(const std::string& name);
+
+  /// Broadcasts StreamEnd to every query.
+  Status EndAllStreams();
+
+  /// Diagnostics.
+  size_t num_queries() const { return queries_.size(); }
+  const StreamCatalog& catalog() const { return catalog_; }
+  const MemoryTracker& memory() const { return memory_; }
+  /// EXPLAIN text of a registered query's optimized plan.
+  Result<std::string> Explain(QueryId id) const;
+  /// EXPLAIN ANALYZE: the physical operators' actual runtime counters.
+  Result<std::string> ExplainAnalyze(QueryId id) const;
+  /// Points delivered to a query's callback so far.
+  Result<uint64_t> FramesDelivered(QueryId id) const;
+
+ private:
+  struct SourceState;
+  struct QueryState;
+
+  Result<QueryId> RegisterInternal(const std::string& query_text,
+                                   FrameCallback callback,
+                                   const std::string& derived_name);
+
+  /// Peels optimizer-pushed leaf restrictions region(stream) out of
+  /// the tree, recording (stream, region) pairs; the peeled leaves get
+  /// unique per-query input names.
+  ExprPtr PeelLeafRestrictions(QueryId id, ExprPtr expr,
+                               QueryState* query);
+
+  DsmsOptions options_;
+  StreamCatalog catalog_;
+  MemoryTracker memory_;
+  std::map<std::string, std::unique_ptr<SourceState>> sources_;
+  std::map<QueryId, std::unique_ptr<QueryState>> queries_;
+  QueryId next_query_id_ = 1;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_SERVER_DSMS_SERVER_H_

@@ -1,0 +1,155 @@
+#include "server/frame_archive.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "geo/crs_registry.h"
+#include "raster/pnm_io.h"
+
+namespace geostreams {
+
+ArchiveWriter::ArchiveWriter(std::string directory, double lo, double hi)
+    : directory_(std::move(directory)), lo_(lo), hi_(hi) {}
+
+Status ArchiveWriter::Consume(const StreamEvent& event) {
+  switch (event.kind) {
+    case EventKind::kFrameBegin:
+      return assembler_.Begin(event.frame, /*band_count=*/1);
+    case EventKind::kPointBatch:
+      if (!assembler_.active()) {
+        return Status::FailedPrecondition("archive requires framed input");
+      }
+      return assembler_.Add(*event.batch);
+    case EventKind::kFrameEnd: {
+      if (!assembler_.active()) return Status::OK();
+      GEOSTREAMS_ASSIGN_OR_RETURN(AssembledFrame frame, assembler_.Finish());
+      double lo = lo_, hi = hi_;
+      if (lo == hi) {
+        frame.raster.MinMax(0, &lo, &hi);
+        if (hi <= lo) hi = lo + 1.0;
+      }
+      const std::string file = StringPrintf(
+          "frame_%08lld.pgm", static_cast<long long>(event.frame.frame_id));
+      GEOSTREAMS_RETURN_IF_ERROR(
+          WriteRasterPnm(frame.raster, directory_ + "/" + file, lo, hi));
+      const GridLattice& lat = frame.raster.lattice();
+      manifest_lines_.push_back(StringPrintf(
+          "%lld %s %s %.17g %.17g %.17g %.17g %lld %lld %.17g %.17g",
+          static_cast<long long>(event.frame.frame_id), file.c_str(),
+          lat.crs()->name().c_str(), lat.origin_x(), lat.origin_y(),
+          lat.dx(), lat.dy(), static_cast<long long>(lat.width()),
+          static_cast<long long>(lat.height()), lo, hi));
+      ++frames_written_;
+      return Status::OK();
+    }
+    case EventKind::kStreamEnd:
+      return Finish();
+  }
+  return Status::OK();
+}
+
+Status ArchiveWriter::Finish() {
+  if (finished_) return Status::OK();
+  const std::string path = directory_ + "/manifest.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status::IoError("cannot open " + path);
+  for (const std::string& line : manifest_lines_) {
+    std::fprintf(f, "%s\n", line.c_str());
+  }
+  std::fclose(f);
+  finished_ = true;
+  return Status::OK();
+}
+
+ReplayGenerator::ReplayGenerator(std::string directory)
+    : directory_(std::move(directory)) {}
+
+Status ReplayGenerator::Open() {
+  const std::string path = directory_ + "/manifest.txt";
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return Status::IoError("cannot open " + path);
+  char line[1024];
+  while (std::fgets(line, sizeof(line), f)) {
+    char file[512] = {0};
+    char crs[128] = {0};
+    long long id = 0, w = 0, h = 0;
+    double ox = 0, oy = 0, dx = 0, dy = 0, lo = 0, hi = 0;
+    const int n =
+        std::sscanf(line, "%lld %511s %127s %lg %lg %lg %lg %lld %lld %lg %lg",
+                    &id, file, crs, &ox, &oy, &dx, &dy, &w, &h, &lo, &hi);
+    if (n != 11) {
+      std::fclose(f);
+      return Status::ParseError("bad manifest line: " + std::string(line));
+    }
+    auto resolved = ResolveCrs(crs);
+    if (!resolved.ok()) {
+      std::fclose(f);
+      return resolved.status();
+    }
+    ArchivedFrame frame;
+    frame.frame_id = id;
+    frame.file = file;
+    frame.lattice = GridLattice(*resolved, ox, oy, dx, dy, w, h);
+    frame.lo = lo;
+    frame.hi = hi;
+    Status st = frame.lattice.Validate();
+    if (!st.ok()) {
+      std::fclose(f);
+      return st;
+    }
+    frames_.push_back(std::move(frame));
+  }
+  std::fclose(f);
+  if (frames_.empty()) {
+    return Status::NotFound("archive is empty: " + directory_);
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Result<GeoStreamDescriptor> ReplayGenerator::Descriptor(
+    const std::string& name) const {
+  if (!open_) return Status::FailedPrecondition("archive not opened");
+  return GeoStreamDescriptor(
+      name, ValueSet("archived", SampleType::kFloat64, 1, -1e308, 1e308),
+      frames_.front().lattice, PointOrganization::kRowByRow,
+      TimestampPolicy::kScanSectorId);
+}
+
+Status ReplayGenerator::Replay(EventSink* sink, bool end_stream) const {
+  if (!open_) return Status::FailedPrecondition("archive not opened");
+  for (const ArchivedFrame& af : frames_) {
+    GEOSTREAMS_ASSIGN_OR_RETURN(
+        Raster raster, ReadRasterPnm(directory_ + "/" + af.file));
+    if (raster.width() != af.lattice.width() ||
+        raster.height() != af.lattice.height()) {
+      return Status::Internal("archived raster does not match manifest: " +
+                              af.file);
+    }
+    FrameInfo info;
+    info.frame_id = af.frame_id;
+    info.lattice = af.lattice;
+    info.expected_points = af.lattice.num_cells();
+    GEOSTREAMS_RETURN_IF_ERROR(sink->Consume(StreamEvent::FrameBegin(info)));
+    const double scale = (af.hi - af.lo) / 255.0;
+    for (int64_t row = 0; row < raster.height(); ++row) {
+      auto batch = std::make_shared<PointBatch>();
+      batch->frame_id = af.frame_id;
+      batch->band_count = 1;
+      batch->Reserve(static_cast<size_t>(raster.width()));
+      for (int64_t col = 0; col < raster.width(); ++col) {
+        batch->Append1(static_cast<int32_t>(col), static_cast<int32_t>(row),
+                       af.frame_id, af.lo + raster.At(col, row) * scale);
+      }
+      GEOSTREAMS_RETURN_IF_ERROR(
+          sink->Consume(StreamEvent::Batch(std::move(batch))));
+    }
+    GEOSTREAMS_RETURN_IF_ERROR(sink->Consume(StreamEvent::FrameEnd(info)));
+  }
+  if (end_stream) {
+    return sink->Consume(StreamEvent::StreamEnd());
+  }
+  return Status::OK();
+}
+
+}  // namespace geostreams

@@ -1,0 +1,94 @@
+// Frame archive and replay.
+//
+// The paper's introduction criticizes file-based batch replication of
+// satellite products — but archival itself is legitimate: receiving
+// stations keep the raw sectors, and analyses are re-run over history.
+// The archive closes that loop inside the stream model: an
+// ArchiveWriter is a delivery target that persists every frame of a
+// (possibly derived) GeoStream to disk with a small text manifest, and
+// a ReplayGenerator turns an archive back into the exact event stream
+// it came from, so any continuous query can run over recorded data
+// unchanged.
+//
+// Layout of an archive directory:
+//   manifest.txt   one line per frame:
+//                  <frame_id> <file> <crs> <ox> <oy> <dx> <dy> <w> <h>
+//                  <lo> <hi>
+//   *.pgm          frame rasters, [lo, hi] linearly mapped to [0, 255]
+//
+// PGM quantizes to 8 bits — archives are products, not raw counts;
+// the round-trip error is bounded by (hi - lo) / 255 / 2 per sample.
+
+#ifndef GEOSTREAMS_SERVER_FRAME_ARCHIVE_H_
+#define GEOSTREAMS_SERVER_FRAME_ARCHIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/geostream.h"
+#include "raster/frame_assembler.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+/// Persists every frame of the consumed stream into a directory.
+/// Single-band streams only (one PGM per frame).
+class ArchiveWriter : public EventSink {
+ public:
+  /// `lo`/`hi`: quantization range; equal values mean per-frame
+  /// min/max (recorded per frame in the manifest either way).
+  ArchiveWriter(std::string directory, double lo = 0.0, double hi = 0.0);
+
+  Status Consume(const StreamEvent& event) override;
+
+  /// Flushes the manifest; call after StreamEnd (also invoked by it).
+  Status Finish();
+
+  int64_t frames_written() const { return frames_written_; }
+
+ private:
+  std::string directory_;
+  double lo_, hi_;
+  FrameAssembler assembler_;
+  std::vector<std::string> manifest_lines_;
+  int64_t frames_written_ = 0;
+  bool finished_ = false;
+};
+
+/// One archived frame's metadata.
+struct ArchivedFrame {
+  int64_t frame_id = 0;
+  std::string file;
+  GridLattice lattice;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Replays an archive as a GeoStream (row-by-row organization,
+/// scan-sector timestamps = archived frame ids).
+class ReplayGenerator {
+ public:
+  explicit ReplayGenerator(std::string directory);
+
+  /// Reads and parses the manifest.
+  Status Open();
+
+  /// Frames available for replay.
+  const std::vector<ArchivedFrame>& frames() const { return frames_; }
+
+  /// Descriptor of the replayed stream (from the first frame).
+  Result<GeoStreamDescriptor> Descriptor(const std::string& name) const;
+
+  /// Emits all archived frames (in manifest order) into `sink`,
+  /// followed by StreamEnd when `end_stream` is set.
+  Status Replay(EventSink* sink, bool end_stream = true) const;
+
+ private:
+  std::string directory_;
+  std::vector<ArchivedFrame> frames_;
+  bool open_ = false;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_SERVER_FRAME_ARCHIVE_H_

@@ -1,0 +1,69 @@
+#include "server/scan_schedule.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "geo/crs.h"
+#include "geo/geographic_crs.h"
+
+namespace geostreams {
+
+ScanSchedule::ScanSchedule(std::vector<SectorSpec> sectors)
+    : sectors_(std::move(sectors)) {
+  if (sectors_.empty()) {
+    sectors_.push_back(SectorSpec{
+        "default", BoundingBox(-60.0, -45.0, 60.0, 45.0), 1, 0});
+  }
+}
+
+ScanSchedule ScanSchedule::GoesRoutine() {
+  // Roughly GOES-East: sub-satellite point 75W.
+  std::vector<SectorSpec> sectors;
+  sectors.push_back(
+      SectorSpec{"full-disk", BoundingBox(-135.0, -60.0, -15.0, 60.0),
+                 /*period=*/12, /*phase=*/0});
+  sectors.push_back(SectorSpec{"northern-hemisphere",
+                               BoundingBox(-135.0, 0.0, -15.0, 55.0),
+                               /*period=*/4, /*phase=*/2});
+  sectors.push_back(SectorSpec{"conus",
+                               BoundingBox(-125.0, 24.0, -66.0, 50.0),
+                               /*period=*/1, /*phase=*/0});
+  return ScanSchedule(std::move(sectors));
+}
+
+const SectorSpec& ScanSchedule::SectorFor(int64_t scan_index) const {
+  for (const SectorSpec& s : sectors_) {
+    if (s.period > 0 && (scan_index % s.period) == s.phase) return s;
+  }
+  return sectors_.back();
+}
+
+Result<GridLattice> SectorLattice(const SectorSpec& sector,
+                                  const CrsPtr& crs, int64_t target_cells) {
+  if (!crs) return Status::InvalidArgument("sector lattice needs a CRS");
+  if (target_cells < 1) {
+    return Status::InvalidArgument("target_cells must be positive");
+  }
+  // Map the geographic sector into the instrument CRS.
+  const BoundingBox native = TransformBoundingBox(
+      sector.geo_bounds, *GeographicCrs::Instance(), *crs, 24);
+  if (native.empty()) {
+    return Status::OutOfRange(
+        StringPrintf("sector %s not visible in CRS %s", sector.name.c_str(),
+                     crs->name().c_str()));
+  }
+  const double aspect = native.width() / native.height();
+  const double h = std::sqrt(static_cast<double>(target_cells) / aspect);
+  const auto height = static_cast<int64_t>(std::llround(h));
+  const auto width = static_cast<int64_t>(
+      std::llround(static_cast<double>(target_cells) / h));
+  const int64_t hh = height < 1 ? 1 : height;
+  const int64_t ww = width < 1 ? 1 : width;
+  const double dx = native.width() / static_cast<double>(ww);
+  const double dy = native.height() / static_cast<double>(hh);
+  // Row 0 at the top (north): negative y step.
+  return GridLattice(crs, native.min_x + dx / 2.0, native.max_y - dy / 2.0,
+                     dx, -dy, ww, hh);
+}
+
+}  // namespace geostreams

@@ -1,0 +1,59 @@
+// GOES-style scan sector schedules.
+//
+// A geostationary imager does not scan the full disk every time: it
+// cycles through sectors (CONUS every quarter hour, full disk every
+// three hours, ...). The schedule decides which sector a given scan
+// index covers; the stream generator turns that into frame lattices.
+
+#ifndef GEOSTREAMS_SERVER_SCAN_SCHEDULE_H_
+#define GEOSTREAMS_SERVER_SCAN_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/bounding_box.h"
+#include "geo/lattice.h"
+
+namespace geostreams {
+
+/// One scannable sector: a named geographic box with a repeat period.
+struct SectorSpec {
+  std::string name;
+  /// Geographic bounds (lon/lat degrees) of the sector.
+  BoundingBox geo_bounds;
+  /// The sector is scanned when scan_index % period == phase.
+  int64_t period = 1;
+  int64_t phase = 0;
+};
+
+/// Round-robin-with-periods schedule over sectors.
+class ScanSchedule {
+ public:
+  explicit ScanSchedule(std::vector<SectorSpec> sectors);
+
+  /// GOES-East-like routine: CONUS most scans, Northern Hemisphere
+  /// every 4th, full disk every 12th.
+  static ScanSchedule GoesRoutine();
+
+  /// The sector scanned at `scan_index` (full-period fallbacks ensure
+  /// exactly one matches; the first matching spec wins).
+  const SectorSpec& SectorFor(int64_t scan_index) const;
+
+  const std::vector<SectorSpec>& sectors() const { return sectors_; }
+
+ private:
+  std::vector<SectorSpec> sectors_;
+};
+
+/// Derives a scan lattice for a geographic sector in the given CRS
+/// with approximately `target_cells` cells, preserving the sector's
+/// aspect ratio. Row 0 is the northern edge (satellites scan north to
+/// south).
+Result<GridLattice> SectorLattice(const SectorSpec& sector,
+                                  const CrsPtr& crs, int64_t target_cells);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_SERVER_SCAN_SCHEDULE_H_

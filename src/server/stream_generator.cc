@@ -1,0 +1,227 @@
+#include "server/stream_generator.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "geo/crs_registry.h"
+
+namespace geostreams {
+
+namespace {
+
+ValueSet BandValueSet(SpectralBand band) {
+  switch (band) {
+    case SpectralBand::kVisible:
+    case SpectralBand::kNearInfrared:
+      return ValueSet::ReflectanceF32();
+    case SpectralBand::kWaterVapor:
+    case SpectralBand::kInfrared:
+    case SpectralBand::kSplitWindow:
+      return ValueSet("brightness_temp", SampleType::kFloat32, 1, 150.0,
+                      340.0);
+  }
+  return ValueSet::RadianceF32();
+}
+
+}  // namespace
+
+StreamGenerator::StreamGenerator(InstrumentConfig config,
+                                 ScanSchedule schedule)
+    : config_(std::move(config)),
+      schedule_(std::move(schedule)),
+      earth_(config_.seed) {}
+
+Status StreamGenerator::Init() {
+  if (initialized_) return Status::OK();
+  GEOSTREAMS_ASSIGN_OR_RETURN(crs_, ResolveCrs(config_.crs_name));
+  if (config_.bands.empty()) {
+    return Status::InvalidArgument("instrument needs at least one band");
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<GeoStreamDescriptor> StreamGenerator::Descriptor(
+    size_t band_index) const {
+  if (!initialized_) {
+    return Status::FailedPrecondition("generator not initialized");
+  }
+  if (band_index >= config_.bands.size()) {
+    return Status::OutOfRange("band index out of range");
+  }
+  // Reference lattice: the largest (first full-period) sector.
+  const SectorSpec& ref_sector = schedule_.SectorFor(0);
+  GEOSTREAMS_ASSIGN_OR_RETURN(
+      GridLattice lattice,
+      SectorLattice(ref_sector, crs_, config_.cells_per_sector));
+  const SpectralBand band = config_.bands[band_index];
+  return GeoStreamDescriptor(
+      StringPrintf("%s.band%d", config_.name_prefix.c_str(),
+                   static_cast<int>(band)),
+      BandValueSet(band), lattice, config_.organization,
+      config_.timestamp_policy);
+}
+
+double StreamGenerator::Sample(size_t band_index, const GridLattice& lattice,
+                               int64_t col, int64_t row,
+                               int64_t scan) const {
+  const double x = lattice.CellX(col);
+  const double y = lattice.CellY(row);
+  double lon = 0.0, lat = 0.0;
+  if (!crs_->ToGeographic(x, y, &lon, &lat).ok()) {
+    return 0.0;  // off-Earth scan angles deliver space-look zeros
+  }
+  return earth_.Radiance(config_.bands[band_index], lon, lat, scan);
+}
+
+Status StreamGenerator::GenerateScans(int64_t first_scan, int64_t count,
+                                      const std::vector<EventSink*>& sinks) {
+  GEOSTREAMS_RETURN_IF_ERROR(Init());
+  if (sinks.size() != config_.bands.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "need one sink per band: %zu sinks for %zu bands", sinks.size(),
+        config_.bands.size()));
+  }
+  for (int64_t scan = first_scan; scan < first_scan + count; ++scan) {
+    const SectorSpec& sector = schedule_.SectorFor(scan);
+    GEOSTREAMS_ASSIGN_OR_RETURN(
+        GridLattice lattice,
+        SectorLattice(sector, crs_, config_.cells_per_sector));
+    switch (config_.organization) {
+      case PointOrganization::kRowByRow:
+        GEOSTREAMS_RETURN_IF_ERROR(GenerateRowByRow(scan, lattice, sinks));
+        break;
+      case PointOrganization::kImageByImage:
+        GEOSTREAMS_RETURN_IF_ERROR(
+            GenerateImageByImage(scan, lattice, sinks));
+        break;
+      case PointOrganization::kPointByPoint:
+        GEOSTREAMS_RETURN_IF_ERROR(
+            GeneratePointByPoint(scan, lattice, sinks));
+        break;
+    }
+    points_per_band_ += lattice.num_cells();
+  }
+  return Status::OK();
+}
+
+Status StreamGenerator::GenerateRowByRow(
+    int64_t scan, const GridLattice& lattice,
+    const std::vector<EventSink*>& sinks) {
+  FrameInfo info;
+  info.frame_id = scan;
+  info.lattice = lattice;
+  info.expected_points = lattice.num_cells();
+  for (EventSink* sink : sinks) {
+    GEOSTREAMS_RETURN_IF_ERROR(sink->Consume(StreamEvent::FrameBegin(info)));
+  }
+  // The imager sweeps north to south; all bands of one line are read
+  // out together, so the per-band streams interleave row by row.
+  for (int64_t row = 0; row < lattice.height(); ++row) {
+    for (size_t b = 0; b < sinks.size(); ++b) {
+      auto batch = std::make_shared<PointBatch>();
+      batch->frame_id = scan;
+      batch->band_count = 1;
+      batch->Reserve(static_cast<size_t>(lattice.width()));
+      const int64_t t = TimestampFor(scan);
+      for (int64_t col = 0; col < lattice.width(); ++col) {
+        batch->Append1(static_cast<int32_t>(col), static_cast<int32_t>(row),
+                       config_.timestamp_policy ==
+                               TimestampPolicy::kMeasurementTime
+                           ? TimestampFor(scan)
+                           : t,
+                       Sample(b, lattice, col, row, scan));
+      }
+      GEOSTREAMS_RETURN_IF_ERROR(
+          sinks[b]->Consume(StreamEvent::Batch(std::move(batch))));
+    }
+  }
+  for (EventSink* sink : sinks) {
+    GEOSTREAMS_RETURN_IF_ERROR(sink->Consume(StreamEvent::FrameEnd(info)));
+  }
+  return Status::OK();
+}
+
+Status StreamGenerator::GenerateImageByImage(
+    int64_t scan, const GridLattice& lattice,
+    const std::vector<EventSink*>& sinks) {
+  FrameInfo info;
+  info.frame_id = scan;
+  info.lattice = lattice;
+  info.expected_points = lattice.num_cells();
+  // Frame cameras deliver a full image per band, bands back to back:
+  // the order that forces a composition to buffer a whole frame
+  // (Sec. 3.3).
+  for (size_t b = 0; b < sinks.size(); ++b) {
+    GEOSTREAMS_RETURN_IF_ERROR(
+        sinks[b]->Consume(StreamEvent::FrameBegin(info)));
+    auto batch = std::make_shared<PointBatch>();
+    batch->frame_id = scan;
+    batch->band_count = 1;
+    for (int64_t row = 0; row < lattice.height(); ++row) {
+      for (int64_t col = 0; col < lattice.width(); ++col) {
+        batch->Append1(static_cast<int32_t>(col), static_cast<int32_t>(row),
+                       TimestampFor(scan), Sample(b, lattice, col, row, scan));
+        if (batch->size() >= static_cast<size_t>(config_.batch_points)) {
+          GEOSTREAMS_RETURN_IF_ERROR(
+              sinks[b]->Consume(StreamEvent::Batch(std::move(batch))));
+          batch = std::make_shared<PointBatch>();
+          batch->frame_id = scan;
+          batch->band_count = 1;
+        }
+      }
+    }
+    if (!batch->empty()) {
+      GEOSTREAMS_RETURN_IF_ERROR(
+          sinks[b]->Consume(StreamEvent::Batch(std::move(batch))));
+    }
+    GEOSTREAMS_RETURN_IF_ERROR(
+        sinks[b]->Consume(StreamEvent::FrameEnd(info)));
+  }
+  return Status::OK();
+}
+
+Status StreamGenerator::GeneratePointByPoint(
+    int64_t scan, const GridLattice& lattice,
+    const std::vector<EventSink*>& sinks) {
+  // LIDAR-like: points ordered by time only, no frame boundaries, a
+  // pseudo-random spatial walk over the sector (Fig. 1c).
+  const int64_t n = lattice.num_cells();
+  for (size_t b = 0; b < sinks.size(); ++b) {
+    auto batch = std::make_shared<PointBatch>();
+    batch->frame_id = scan;
+    batch->band_count = 1;
+    uint64_t state = config_.seed ^ static_cast<uint64_t>(scan) ^
+                     (static_cast<uint64_t>(b) << 48);
+    for (int64_t i = 0; i < n; ++i) {
+      state = Mix64(state + 0x9E3779B97F4A7C15ULL);
+      const int64_t cell = static_cast<int64_t>(state % static_cast<uint64_t>(n));
+      const int64_t col = cell % lattice.width();
+      const int64_t row = cell / lattice.width();
+      batch->Append1(static_cast<int32_t>(col), static_cast<int32_t>(row),
+                     TimestampFor(scan), Sample(b, lattice, col, row, scan));
+      if (batch->size() >= static_cast<size_t>(config_.batch_points)) {
+        GEOSTREAMS_RETURN_IF_ERROR(
+            sinks[b]->Consume(StreamEvent::Batch(std::move(batch))));
+        batch = std::make_shared<PointBatch>();
+        batch->frame_id = scan;
+        batch->band_count = 1;
+      }
+    }
+    if (!batch->empty()) {
+      GEOSTREAMS_RETURN_IF_ERROR(
+          sinks[b]->Consume(StreamEvent::Batch(std::move(batch))));
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamGenerator::Finish(const std::vector<EventSink*>& sinks) {
+  for (EventSink* sink : sinks) {
+    GEOSTREAMS_RETURN_IF_ERROR(sink->Consume(StreamEvent::StreamEnd()));
+  }
+  return Status::OK();
+}
+
+}  // namespace geostreams

@@ -1,0 +1,103 @@
+// Stream generators simulating remote-sensing instruments (Fig. 1).
+//
+// The generator converts "raw instrument data" (the synthetic Earth
+// model) into GeoStream events in the three point organizations the
+// paper identifies:
+//  * row-by-row      — GOES-like scanners; bands of one scan are
+//                      interleaved line by line;
+//  * image-by-image  — airborne frame cameras; each band of a scan is
+//                      delivered as a complete frame, bands back to
+//                      back;
+//  * point-by-point  — LIDAR-like, time-ordered points without frame
+//                      boundaries.
+// Timestamping follows Sec. 3.3: scan-sector identifiers (default) or
+// per-point measurement times.
+
+#ifndef GEOSTREAMS_SERVER_STREAM_GENERATOR_H_
+#define GEOSTREAMS_SERVER_STREAM_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/geostream.h"
+#include "server/scan_schedule.h"
+#include "server/synthetic_earth.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+struct InstrumentConfig {
+  /// Instrument CRS ("geos:-75" for a GOES-East-like imager, "latlon"
+  /// for simpler setups).
+  std::string crs_name = "geos:-75";
+  /// Spectral bands to produce, in emission order.
+  std::vector<SpectralBand> bands = {SpectralBand::kVisible,
+                                     SpectralBand::kNearInfrared};
+  /// Cells per scan sector (scaled-down GOES frames).
+  int64_t cells_per_sector = 64 * 48;
+  PointOrganization organization = PointOrganization::kRowByRow;
+  TimestampPolicy timestamp_policy = TimestampPolicy::kScanSectorId;
+  /// Points per batch for image-by-image / point-by-point output
+  /// (row-by-row emits one row per batch).
+  int batch_points = 4096;
+  /// Stream name prefix; streams are named "<prefix>.band<k>".
+  std::string name_prefix = "goes";
+  uint64_t seed = 20060331;
+};
+
+/// Simulates one multi-band scanning instrument. One generator feeds
+/// one EventSink per band (the per-band GeoStreams of Sec. 3.3).
+class StreamGenerator {
+ public:
+  StreamGenerator(InstrumentConfig config, ScanSchedule schedule);
+
+  Status Init();
+
+  /// Descriptor of band `index` (into config.bands).
+  Result<GeoStreamDescriptor> Descriptor(size_t band_index) const;
+
+  /// Emits scans [first, first + count) into the per-band sinks.
+  /// `sinks` must have one entry per configured band. Frames of one
+  /// scan are interleaved or sequential according to the organization.
+  Status GenerateScans(int64_t first_scan, int64_t count,
+                       const std::vector<EventSink*>& sinks);
+
+  /// Sends StreamEnd to every sink.
+  Status Finish(const std::vector<EventSink*>& sinks);
+
+  /// Points emitted per band so far.
+  int64_t points_per_band() const { return points_per_band_; }
+
+  const InstrumentConfig& config() const { return config_; }
+  const SyntheticEarth& earth() const { return earth_; }
+
+ private:
+  Status GenerateRowByRow(int64_t scan, const GridLattice& lattice,
+                          const std::vector<EventSink*>& sinks);
+  Status GenerateImageByImage(int64_t scan, const GridLattice& lattice,
+                              const std::vector<EventSink*>& sinks);
+  Status GeneratePointByPoint(int64_t scan, const GridLattice& lattice,
+                              const std::vector<EventSink*>& sinks);
+
+  /// Sample value of band b at lattice cell (col, row) of a scan.
+  double Sample(size_t band_index, const GridLattice& lattice, int64_t col,
+                int64_t row, int64_t scan) const;
+
+  int64_t TimestampFor(int64_t scan) {
+    return config_.timestamp_policy == TimestampPolicy::kScanSectorId
+               ? scan
+               : measurement_clock_++;
+  }
+
+  InstrumentConfig config_;
+  ScanSchedule schedule_;
+  SyntheticEarth earth_;
+  CrsPtr crs_;
+  bool initialized_ = false;
+  int64_t measurement_clock_ = 0;
+  int64_t points_per_band_ = 0;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_SERVER_STREAM_GENERATOR_H_

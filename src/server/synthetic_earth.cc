@@ -1,0 +1,160 @@
+#include "server/synthetic_earth.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace geostreams {
+
+SyntheticEarth::SyntheticEarth(uint64_t seed) : seed_(seed) {}
+
+double SyntheticEarth::ValueNoise(double x, double y, uint64_t salt) const {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const auto ix = static_cast<int64_t>(fx);
+  const auto iy = static_cast<int64_t>(fy);
+  const double tx = x - fx;
+  const double ty = y - fy;
+  auto corner = [&](int64_t cx, int64_t cy) {
+    const uint64_t h = Mix64(seed_ ^ salt ^
+                             (static_cast<uint64_t>(cx) * 0x9E3779B97F4A7C15ULL) ^
+                             (static_cast<uint64_t>(cy) * 0xC2B2AE3D27D4EB4FULL));
+    return HashToUnit(h);
+  };
+  // Smoothstep interpolation keeps the field C1-continuous.
+  const double sx = tx * tx * (3.0 - 2.0 * tx);
+  const double sy = ty * ty * (3.0 - 2.0 * ty);
+  const double v00 = corner(ix, iy);
+  const double v10 = corner(ix + 1, iy);
+  const double v01 = corner(ix, iy + 1);
+  const double v11 = corner(ix + 1, iy + 1);
+  return Lerp(Lerp(v00, v10, sx), Lerp(v01, v11, sx), sy);
+}
+
+double SyntheticEarth::Fbm(double x, double y, int octaves,
+                           uint64_t salt) const {
+  double amp = 0.5;
+  double sum = 0.0;
+  double norm = 0.0;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amp * ValueNoise(x, y, salt + static_cast<uint64_t>(o) * 7919);
+    norm += amp;
+    x *= 2.03;
+    y *= 2.03;
+    amp *= 0.5;
+  }
+  return norm > 0.0 ? sum / norm : 0.0;
+}
+
+double SyntheticEarth::LandFraction(double lon_deg, double lat_deg) const {
+  const double n =
+      Fbm(lon_deg / 40.0, lat_deg / 40.0, 4, /*salt=*/0x1A5D);
+  // Threshold with a soft shoreline; ~35% land like the real planet.
+  return Clamp((n - 0.55) * 10.0 + 0.5, 0.0, 1.0);
+}
+
+double SyntheticEarth::Vegetation(double lon_deg, double lat_deg) const {
+  const double land = LandFraction(lon_deg, lat_deg);
+  if (land <= 0.0) return 0.0;
+  // Vegetation favours mid latitudes and humid noise pockets.
+  const double climate =
+      std::exp(-std::pow((std::fabs(lat_deg) - 25.0) / 30.0, 2.0));
+  const double texture =
+      Fbm(lon_deg / 12.0, lat_deg / 12.0, 5, /*salt=*/0xBEEF);
+  return Clamp(land * climate * (0.3 + 0.7 * texture), 0.0, 1.0);
+}
+
+double SyntheticEarth::CloudCover(double lon_deg, double lat_deg,
+                                  int64_t t) const {
+  // Cloud decks drift east ~0.4 degrees per scan sector.
+  const double drift = 0.4 * static_cast<double>(t);
+  const double n = Fbm((lon_deg - drift) / 18.0, lat_deg / 18.0, 4,
+                       /*salt=*/0xC10D);
+  return Clamp((n - 0.6) * 4.0, 0.0, 1.0);
+}
+
+double SyntheticEarth::SurfaceTemperatureK(double lon_deg,
+                                           double lat_deg) const {
+  const double base = 300.0 - 45.0 * std::pow(std::fabs(lat_deg) / 90.0, 1.5);
+  const double texture =
+      (Fbm(lon_deg / 25.0, lat_deg / 25.0, 3, /*salt=*/0x7E4) - 0.5) * 10.0;
+  return base + texture;
+}
+
+double SyntheticEarth::FireIntensity(double lon_deg, double lat_deg,
+                                     int64_t t) const {
+  // Site 0 is pinned in northern California so monitoring examples
+  // over CONUS always have an event to find; the rest are seeded.
+  constexpr int kSites = 8;
+  double intensity = 0.0;
+  for (int s = 0; s < kSites; ++s) {
+    double site_lon, site_lat;
+    int64_t start, duration;
+    if (s == 0) {
+      site_lon = -121.5;
+      site_lat = 39.0;
+      start = 2;
+      duration = 7;
+    } else {
+      const uint64_t base = seed_ ^ (0xF17E0000ULL + static_cast<uint64_t>(s));
+      site_lon = -125.0 + HashToUnit(base + 1) * 55.0;
+      site_lat = 25.0 + HashToUnit(base + 2) * 20.0;
+      start = static_cast<int64_t>(HashToUnit(base + 3) * 20.0);
+      duration = 3 + static_cast<int64_t>(HashToUnit(base + 4) * 9.0);
+    }
+    if (t < start || t > start + duration) continue;
+    const double dlon = lon_deg - site_lon;
+    const double dlat = lat_deg - site_lat;
+    // ~0.3 degree Gaussian footprint.
+    const double d2 = (dlon * dlon + dlat * dlat) / (0.3 * 0.3);
+    if (d2 > 9.0) continue;
+    // Ramp up and die down over the event's life.
+    const double age = static_cast<double>(t - start) /
+                       static_cast<double>(duration);
+    const double life = 4.0 * age * (1.0 - age);
+    intensity += std::exp(-d2) * life;
+  }
+  return Clamp(intensity, 0.0, 1.0);
+}
+
+double SyntheticEarth::Radiance(SpectralBand band, double lon_deg,
+                                double lat_deg, int64_t t) const {
+  const double veg = Vegetation(lon_deg, lat_deg);
+  const double land = LandFraction(lon_deg, lat_deg);
+  const double cloud = CloudCover(lon_deg, lat_deg, t);
+  switch (band) {
+    case SpectralBand::kVisible: {
+      // Water dark, soil moderate, vegetation absorbs red light;
+      // clouds are bright.
+      const double surface = 0.06 + land * (0.22 - 0.16 * veg);
+      return Clamp(Lerp(surface, 0.85, cloud), 0.0, 1.0);
+    }
+    case SpectralBand::kNearInfrared: {
+      // Vegetation reflects strongly in NIR; water nearly black.
+      const double surface = 0.04 + land * (0.18 + 0.55 * veg);
+      return Clamp(Lerp(surface, 0.80, cloud), 0.0, 1.0);
+    }
+    case SpectralBand::kWaterVapor: {
+      const double wv =
+          Fbm(lon_deg / 30.0 - 0.2 * static_cast<double>(t),
+              lat_deg / 30.0, 4, /*salt=*/0x3A7);
+      return 235.0 + 25.0 * wv - 15.0 * cloud;
+    }
+    case SpectralBand::kInfrared: {
+      // Cloud tops are cold in the 10.7um window; fires are hot.
+      const double fire = FireIntensity(lon_deg, lat_deg, t);
+      const double sfc =
+          SurfaceTemperatureK(lon_deg, lat_deg) + 60.0 * fire;
+      return Lerp(sfc, 215.0, cloud * (1.0 - fire));
+    }
+    case SpectralBand::kSplitWindow: {
+      const double fire = FireIntensity(lon_deg, lat_deg, t);
+      const double sfc =
+          SurfaceTemperatureK(lon_deg, lat_deg) - 1.5 + 45.0 * fire;
+      return Lerp(sfc, 213.0, cloud * (1.0 - fire));
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace geostreams

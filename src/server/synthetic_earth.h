@@ -1,0 +1,67 @@
+// Deterministic synthetic Earth radiance fields.
+//
+// Stands in for the live GOES downlink (DESIGN.md substitution
+// table): a procedural, seeded model of surface albedo, vegetation,
+// surface temperature and drifting cloud cover, sampled per
+// (band, lon, lat, time). The fields are smooth (multi-octave value
+// noise), spatially coherent — preserving the "consecutive points
+// have close spatial proximity" property the paper builds on — and
+// constructed so NDVI computed from bands 2/1 recovers the underlying
+// vegetation field (which the tests assert).
+
+#ifndef GEOSTREAMS_SERVER_SYNTHETIC_EARTH_H_
+#define GEOSTREAMS_SERVER_SYNTHETIC_EARTH_H_
+
+#include <cstdint>
+
+namespace geostreams {
+
+/// GOES-Imager-like spectral bands.
+enum class SpectralBand : int {
+  kVisible = 1,     // 0.65 um reflected
+  kNearInfrared = 2,// 0.86 um reflected (vegetation-bright)
+  kWaterVapor = 3,  // 6.5 um emission
+  kInfrared = 4,    // 10.7 um thermal window
+  kSplitWindow = 5, // 12.0 um thermal window
+};
+
+class SyntheticEarth {
+ public:
+  explicit SyntheticEarth(uint64_t seed = 20060331);
+
+  /// Radiance-like sample for a band at (lon, lat) degrees and scan
+  /// time t (scan-sector index). Visible/NIR in [0, 1] reflectance
+  /// units; thermal bands in approximate brightness temperature K.
+  double Radiance(SpectralBand band, double lon_deg, double lat_deg,
+                  int64_t t) const;
+
+  /// Underlying vegetation density in [0, 1] (the ground truth the
+  /// NDVI product should recover).
+  double Vegetation(double lon_deg, double lat_deg) const;
+
+  /// Cloud optical thickness in [0, 1]; drifts eastward with t.
+  double CloudCover(double lon_deg, double lat_deg, int64_t t) const;
+
+  /// Land fraction in [0, 1] (0 = open water).
+  double LandFraction(double lon_deg, double lat_deg) const;
+
+  /// Surface temperature (K), latitude-driven with local texture.
+  double SurfaceTemperatureK(double lon_deg, double lat_deg) const;
+
+  /// Fire intensity in [0, 1] from a small set of seeded transient
+  /// hotspot events (wildfires): each has a location, an active scan
+  /// interval, and a Gaussian footprint. Drives thermal-band spikes
+  /// for disaster-monitoring workloads.
+  double FireIntensity(double lon_deg, double lat_deg, int64_t t) const;
+
+ private:
+  /// Multi-octave value noise in [0, 1], periodic in longitude.
+  double Fbm(double x, double y, int octaves, uint64_t salt) const;
+  double ValueNoise(double x, double y, uint64_t salt) const;
+
+  uint64_t seed_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_SERVER_SYNTHETIC_EARTH_H_

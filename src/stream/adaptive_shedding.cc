@@ -1,0 +1,35 @@
+#include "stream/adaptive_shedding.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace geostreams {
+
+AdaptiveShedController::AdaptiveShedController(
+    std::function<size_t()> backlog_fn, AdaptiveSheddingOptions options)
+    : backlog_fn_(std::move(backlog_fn)), options_(options) {}
+
+void AdaptiveShedController::Control(LoadSheddingOp* op) {
+  ops_.push_back(op);
+  op->set_keep_fraction(keep_);
+}
+
+double AdaptiveShedController::Observe() {
+  const size_t backlog = backlog_fn_ ? backlog_fn_() : 0;
+  double next = keep_;
+  if (backlog > options_.high_watermark) {
+    next = std::max(options_.min_keep, keep_ * options_.decrease_factor);
+    if (next < keep_) ++decreases_;
+  } else if (backlog < options_.low_watermark && keep_ < 1.0) {
+    next = std::min(1.0, keep_ + options_.increase_step);
+    ++increases_;
+  }
+  if (next != keep_) {
+    keep_ = next;
+    for (LoadSheddingOp* op : ops_) op->set_keep_fraction(keep_);
+  }
+  return keep_;
+}
+
+}  // namespace geostreams

@@ -1,0 +1,78 @@
+#include "stream/executor.h"
+
+namespace geostreams {
+
+Status BoundedEventQueue::Push(StreamEvent event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock,
+                 [this] { return queue_.size() < capacity_ || closed_; });
+  if (closed_) return Status::FailedPrecondition("queue closed");
+  queue_.push_back(std::move(event));
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+bool BoundedEventQueue::Pop(StreamEvent* event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return false;
+  *event = std::move(queue_.front());
+  queue_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void BoundedEventQueue::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t BoundedEventQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+StageRunner::StageRunner(EventSink* downstream, size_t queue_capacity)
+    : downstream_(downstream),
+      queue_(queue_capacity),
+      worker_([this] { Run(); }) {}
+
+StageRunner::~StageRunner() {
+  Status ignored = Drain();
+  (void)ignored;
+}
+
+Status StageRunner::Consume(const StreamEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    if (!worker_status_.ok()) return worker_status_;
+  }
+  return queue_.Push(event);
+}
+
+Status StageRunner::Drain() {
+  if (!drained_) {
+    queue_.Close();
+    if (worker_.joinable()) worker_.join();
+    drained_ = true;
+  }
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return worker_status_;
+}
+
+void StageRunner::Run() {
+  StreamEvent event;
+  while (queue_.Pop(&event)) {
+    Status st = downstream_->Consume(event);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(status_mutex_);
+      worker_status_ = st;
+      queue_.Close();
+      return;
+    }
+  }
+}
+
+}  // namespace geostreams

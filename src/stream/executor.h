@@ -1,0 +1,75 @@
+// Threaded execution of pipelines with bounded queues.
+//
+// The DSMS server decouples ingest from query processing: the stream
+// generator produces events into a bounded queue; a worker thread
+// drains it through the registered pipelines. Backpressure is by
+// blocking (the receiving station buffers at most `capacity` events).
+
+#ifndef GEOSTREAMS_STREAM_EXECUTOR_H_
+#define GEOSTREAMS_STREAM_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "stream/operator.h"
+
+namespace geostreams {
+
+/// Bounded multi-producer single-consumer event queue.
+class BoundedEventQueue {
+ public:
+  explicit BoundedEventQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while full; fails after Close().
+  Status Push(StreamEvent event);
+
+  /// Blocks while empty; returns false when closed and drained.
+  bool Pop(StreamEvent* event);
+
+  /// Marks the queue closed; pending events remain poppable.
+  void Close();
+
+  size_t size() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<StreamEvent> queue_;
+  bool closed_ = false;
+};
+
+/// Runs a sink on its own thread, fed through a bounded queue. The
+/// upstream side is itself an EventSink, so a StageRunner can be
+/// spliced anywhere an EventSink is expected.
+class StageRunner : public EventSink {
+ public:
+  /// `downstream` is not owned and must outlive the runner.
+  StageRunner(EventSink* downstream, size_t queue_capacity);
+  ~StageRunner() override;
+
+  /// Enqueues an event for the worker thread.
+  Status Consume(const StreamEvent& event) override;
+
+  /// Closes the queue and joins the worker. Returns the first error
+  /// the downstream sink produced, if any.
+  Status Drain();
+
+ private:
+  void Run();
+
+  EventSink* downstream_;
+  BoundedEventQueue queue_;
+  std::thread worker_;
+  std::mutex status_mutex_;
+  Status worker_status_;
+  bool drained_ = false;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_STREAM_EXECUTOR_H_

@@ -1,0 +1,41 @@
+// Per-operator runtime counters.
+//
+// The paper's cost discussion (Secs. 3.1-3.3) is about per-point cost
+// and buffered state; these metrics make both observable so the bench
+// harness can report them.
+
+#ifndef GEOSTREAMS_STREAM_METRICS_H_
+#define GEOSTREAMS_STREAM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace geostreams {
+
+/// Counters updated by an operator while processing. Not thread-safe;
+/// each operator instance is driven by one thread.
+struct OperatorMetrics {
+  uint64_t events_in = 0;
+  uint64_t points_in = 0;
+  uint64_t points_out = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  /// Bytes of intermediate point data currently held.
+  uint64_t buffered_bytes = 0;
+  /// Largest value buffered_bytes ever took (the paper's space cost).
+  uint64_t buffered_bytes_high_water = 0;
+
+  /// Sets buffered_bytes and maintains the high-water mark.
+  void SetBuffered(uint64_t bytes) {
+    buffered_bytes = bytes;
+    if (bytes > buffered_bytes_high_water) buffered_bytes_high_water = bytes;
+  }
+
+  void Reset() { *this = OperatorMetrics(); }
+
+  std::string ToString() const;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_STREAM_METRICS_H_

@@ -1,0 +1,21 @@
+#include "stream/operator.h"
+
+namespace geostreams {
+
+uint64_t CollectingSink::TotalPoints() const {
+  uint64_t n = 0;
+  for (const StreamEvent& e : events_) {
+    if (e.kind == EventKind::kPointBatch && e.batch) n += e.batch->size();
+  }
+  return n;
+}
+
+uint64_t CollectingSink::NumFrames() const {
+  uint64_t n = 0;
+  for (const StreamEvent& e : events_) {
+    if (e.kind == EventKind::kFrameBegin) ++n;
+  }
+  return n;
+}
+
+}  // namespace geostreams

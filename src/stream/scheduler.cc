@@ -1,0 +1,150 @@
+#include "stream/scheduler.h"
+
+#include <algorithm>
+
+namespace geostreams {
+
+const char* SchedulingPolicyName(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kRoundRobin:
+      return "round-robin";
+    case SchedulingPolicy::kLongestQueueFirst:
+      return "longest-queue-first";
+  }
+  return "?";
+}
+
+struct QueryScheduler::Queue {
+  std::string name;
+  EventSink* downstream = nullptr;
+  std::deque<StreamEvent> events;
+  ScheduledQueueStats stats;
+};
+
+QueryScheduler::QueryScheduler(SchedulingPolicy policy,
+                               size_t queue_capacity)
+    : policy_(policy), capacity_(queue_capacity) {}
+
+QueryScheduler::~QueryScheduler() {
+  Status ignored = Stop();
+  (void)ignored;
+}
+
+EventSink* QueryScheduler::AddPipeline(std::string name,
+                                       EventSink* downstream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto queue = std::make_unique<Queue>();
+  queue->name = std::move(name);
+  queue->downstream = downstream;
+  queue->stats.name = queue->name;
+  queues_.push_back(std::move(queue));
+  entries_.push_back(std::make_unique<EntrySink>(this, queues_.size() - 1));
+  return entries_.back().get();
+}
+
+Status QueryScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return Status::FailedPrecondition("scheduler running");
+  started_ = true;
+  stopping_ = false;
+  worker_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+Status QueryScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return worker_status_;
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+  return worker_status_;
+}
+
+Status QueryScheduler::Enqueue(size_t index, const StreamEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+      return Status::FailedPrecondition("scheduler not started");
+    }
+    Queue& queue = *queues_[index];
+    ++queue.stats.enqueued;
+    // Frame metadata and stream control are never shed: downstream
+    // buffering operators depend on well-formed frame sequences.
+    const bool control = event.kind != EventKind::kPointBatch;
+    if (!control && queue.events.size() >= capacity_) {
+      ++queue.stats.dropped;
+      return Status::OK();
+    }
+    queue.events.push_back(event);
+    queue.stats.queue_high_water = std::max(
+        queue.stats.queue_high_water,
+        static_cast<uint64_t>(queue.events.size()));
+  }
+  work_available_.notify_one();
+  return Status::OK();
+}
+
+int QueryScheduler::PickQueueLocked() {
+  const size_t n = queues_.size();
+  if (n == 0) return -1;
+  if (policy_ == SchedulingPolicy::kLongestQueueFirst) {
+    int best = -1;
+    size_t best_size = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (queues_[i]->events.size() > best_size) {
+        best_size = queues_[i]->events.size();
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+  // Round robin: next non-empty queue after the cursor.
+  for (size_t step = 0; step < n; ++step) {
+    const size_t i = (rr_cursor_ + step) % n;
+    if (!queues_[i]->events.empty()) {
+      rr_cursor_ = (i + 1) % n;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void QueryScheduler::Run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    int index = PickQueueLocked();
+    if (index < 0) {
+      if (stopping_) return;  // drained and asked to stop
+      work_available_.wait(lock, [this] {
+        return stopping_ || PickQueueLocked() >= 0;
+      });
+      continue;
+    }
+    Queue& queue = *queues_[static_cast<size_t>(index)];
+    StreamEvent event = std::move(queue.events.front());
+    queue.events.pop_front();
+    ++queue.stats.processed;
+    EventSink* downstream = queue.downstream;
+    lock.unlock();
+    Status st = downstream->Consume(event);
+    lock.lock();
+    if (!st.ok() && worker_status_.ok()) {
+      worker_status_ = st;
+      return;
+    }
+  }
+}
+
+std::vector<ScheduledQueueStats> QueryScheduler::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ScheduledQueueStats> out;
+  out.reserve(queues_.size());
+  for (const auto& queue : queues_) out.push_back(queue->stats);
+  return out;
+}
+
+}  // namespace geostreams

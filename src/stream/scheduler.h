@@ -1,0 +1,105 @@
+// Operator scheduling across continuous queries.
+//
+// The paper's introduction lists "operator scheduling" among the
+// relational-DSMS techniques to adapt. When one receiving thread
+// serves many registered pipelines, the dispatch order decides
+// latency and memory: round-robin treats queries fairly,
+// longest-queue-first bounds the worst backlog (a Chain-style
+// heuristic at the pipeline granularity). The scheduler owns one
+// bounded queue per pipeline, a single worker thread, and per-queue
+// statistics; enqueue never blocks (overflow is counted and dropped —
+// the shedding decision surfaced, not hidden).
+
+#ifndef GEOSTREAMS_STREAM_SCHEDULER_H_
+#define GEOSTREAMS_STREAM_SCHEDULER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace geostreams {
+
+enum class SchedulingPolicy : uint8_t {
+  kRoundRobin,        // fair rotation over non-empty queues
+  kLongestQueueFirst, // drain the biggest backlog first
+};
+
+const char* SchedulingPolicyName(SchedulingPolicy policy);
+
+/// Statistics for one scheduled pipeline.
+struct ScheduledQueueStats {
+  std::string name;
+  uint64_t enqueued = 0;
+  uint64_t processed = 0;
+  uint64_t dropped = 0;       // overflow shedding
+  uint64_t queue_high_water = 0;
+};
+
+class QueryScheduler {
+ public:
+  /// `queue_capacity`: per-pipeline bound; events beyond it are
+  /// dropped (and counted) rather than blocking the ingest thread.
+  explicit QueryScheduler(SchedulingPolicy policy,
+                          size_t queue_capacity = 1024);
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Adds a pipeline; returns the sink to feed it through. Must be
+  /// called before Start(). `downstream` is not owned.
+  EventSink* AddPipeline(std::string name, EventSink* downstream);
+
+  /// Starts the worker thread.
+  Status Start();
+
+  /// Drains all queues and joins the worker. Returns the first error
+  /// any downstream produced.
+  Status Stop();
+
+  std::vector<ScheduledQueueStats> Stats() const;
+
+ private:
+  struct Queue;
+
+  /// Entry sinks enqueue into their pipeline's queue.
+  class EntrySink : public EventSink {
+   public:
+    EntrySink(QueryScheduler* scheduler, size_t index)
+        : scheduler_(scheduler), index_(index) {}
+    Status Consume(const StreamEvent& event) override {
+      return scheduler_->Enqueue(index_, event);
+    }
+
+   private:
+    QueryScheduler* scheduler_;
+    size_t index_;
+  };
+
+  Status Enqueue(size_t index, const StreamEvent& event);
+  void Run();
+  /// Picks the next queue to service; -1 when all are empty.
+  int PickQueueLocked();
+
+  SchedulingPolicy policy_;
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<EntrySink>> entries_;
+  std::thread worker_;
+  bool started_ = false;
+  bool stopping_ = false;
+  size_t rr_cursor_ = 0;
+  Status worker_status_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_STREAM_SCHEDULER_H_

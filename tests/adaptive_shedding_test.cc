@@ -1,0 +1,99 @@
+#include "stream/adaptive_shedding.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::LatLonLattice;
+using testing_util::PushFrame;
+
+TEST(AdaptiveSheddingTest, DecreasesUnderPressureRecoversOnSlack) {
+  size_t backlog = 0;
+  LoadSheddingOp shed("s", SheddingMode::kDropPoints, 1.0);
+  AdaptiveSheddingOptions options;
+  options.high_watermark = 100;
+  options.low_watermark = 10;
+  AdaptiveShedController controller([&backlog] { return backlog; },
+                                    options);
+  controller.Control(&shed);
+  EXPECT_DOUBLE_EQ(shed.keep_fraction(), 1.0);
+
+  // Sustained pressure: multiplicative decrease toward the floor.
+  backlog = 1000;
+  EXPECT_DOUBLE_EQ(controller.Observe(), 0.5);
+  EXPECT_DOUBLE_EQ(controller.Observe(), 0.25);
+  EXPECT_DOUBLE_EQ(shed.keep_fraction(), 0.25);
+  for (int i = 0; i < 10; ++i) controller.Observe();
+  EXPECT_DOUBLE_EQ(controller.current_keep(), options.min_keep);
+  EXPECT_GT(controller.decreases(), 2u);
+
+  // Slack: additive recovery back to 1.0.
+  backlog = 0;
+  double prev = controller.current_keep();
+  for (int i = 0; i < 50 && controller.current_keep() < 1.0; ++i) {
+    const double now = controller.Observe();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  EXPECT_DOUBLE_EQ(controller.current_keep(), 1.0);
+  EXPECT_DOUBLE_EQ(shed.keep_fraction(), 1.0);
+}
+
+TEST(AdaptiveSheddingTest, HoldsSteadyBetweenWatermarks) {
+  size_t backlog = 50;  // between low (10) and high (100)
+  AdaptiveSheddingOptions options;
+  options.high_watermark = 100;
+  options.low_watermark = 10;
+  AdaptiveShedController controller([&backlog] { return backlog; },
+                                    options);
+  LoadSheddingOp shed("s", SheddingMode::kDropRows, 1.0);
+  controller.Control(&shed);
+  // Drop once, then sit in the dead band: keep must not oscillate.
+  backlog = 1000;
+  controller.Observe();
+  backlog = 50;
+  const double settled = controller.current_keep();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(controller.Observe(), settled);
+  }
+}
+
+TEST(AdaptiveSheddingTest, ControlsMultipleOperators) {
+  size_t backlog = 1000;
+  AdaptiveShedController controller([&backlog] { return backlog; });
+  LoadSheddingOp a("a", SheddingMode::kDropPoints, 1.0);
+  LoadSheddingOp b("b", SheddingMode::kDropFrames, 1.0);
+  controller.Control(&a);
+  controller.Control(&b);
+  controller.Observe();
+  EXPECT_DOUBLE_EQ(a.keep_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(b.keep_fraction(), 0.5);
+}
+
+TEST(AdaptiveSheddingTest, RuntimeKeepChangeAffectsTheStream) {
+  // End to end: halving keep mid-stream halves the delivered points of
+  // later frames only.
+  GridLattice lattice = LatLonLattice(32, 32);
+  LoadSheddingOp shed("s", SheddingMode::kDropPoints, 1.0);
+  CollectingSink sink;
+  shed.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(shed.input(0), lattice, 0));
+  const uint64_t full = sink.TotalPoints();
+  EXPECT_EQ(full, 1024u);
+  shed.set_keep_fraction(0.25);
+  GS_ASSERT_OK(PushFrame(shed.input(0), lattice, 1));
+  const uint64_t after = sink.TotalPoints() - full;
+  EXPECT_NEAR(static_cast<double>(after), 256.0, 70.0);
+}
+
+TEST(AdaptiveSheddingTest, NullBacklogMeansNoPressure) {
+  AdaptiveShedController controller(nullptr);
+  EXPECT_DOUBLE_EQ(controller.Observe(), 1.0);
+  EXPECT_EQ(controller.decreases(), 0u);
+}
+
+}  // namespace
+}  // namespace geostreams

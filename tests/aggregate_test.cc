@@ -1,0 +1,198 @@
+#include "ops/aggregate_op.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::LatLonLattice;
+using testing_util::PushFrame;
+using testing_util::TestValue;
+using testing_util::WellFormedFrames;
+
+RegionPtr WholeExtent() { return MakeBBoxRegion(-130.0, 30.0, -110.0, 50.0); }
+
+TEST(AggregateTest, CountOverWholeFrame) {
+  GridLattice lattice = LatLonLattice(6, 5);
+  AggregateOp op("a", AggregateFn::kCount, {WholeExtent()}, 1);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  ASSERT_EQ(op.results().size(), 1u);
+  EXPECT_EQ(op.results()[0].count, 30u);
+  EXPECT_DOUBLE_EQ(op.results()[0].value, 30.0);
+  EXPECT_TRUE(WellFormedFrames(sink.events()));
+}
+
+TEST(AggregateTest, AvgMinMaxSum) {
+  GridLattice lattice = LatLonLattice(10, 1);
+  // TestValue(0, col, 0) = 0.01 * col for col 0..9.
+  struct Case {
+    AggregateFn fn;
+    double expected;
+  };
+  for (const Case& c :
+       {Case{AggregateFn::kAvg, 0.045}, Case{AggregateFn::kMin, 0.0},
+        Case{AggregateFn::kMax, 0.09}, Case{AggregateFn::kSum, 0.45}}) {
+    AggregateOp op("a", c.fn, {WholeExtent()}, 1);
+    CollectingSink sink;
+    op.BindOutput(&sink);
+    GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+    ASSERT_EQ(op.results().size(), 1u) << AggregateFnName(c.fn);
+    EXPECT_NEAR(op.results()[0].value, c.expected, 1e-12)
+        << AggregateFnName(c.fn);
+  }
+}
+
+TEST(AggregateTest, PerRegionSeparation) {
+  GridLattice lattice = LatLonLattice(10, 8);
+  // Western half vs eastern half of the 10-column extent.
+  auto west = MakeBBoxRegion(-125.0, 40.0, -122.6, 45.0);  // cols 0..4
+  auto east = MakeBBoxRegion(-122.4, 40.0, -120.0, 45.0);  // cols 5..9
+  AggregateOp op("a", AggregateFn::kCount, {west, east}, 1);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  ASSERT_EQ(op.results().size(), 2u);
+  EXPECT_EQ(op.results()[0].count, 5u * 8u);
+  EXPECT_EQ(op.results()[1].count, 5u * 8u);
+}
+
+TEST(AggregateTest, TumblingWindowAcrossFrames) {
+  GridLattice lattice = LatLonLattice(4, 4);
+  AggregateOp op("a", AggregateFn::kCount, {WholeExtent()}, 3);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  for (int64_t f = 0; f < 7; ++f) {
+    GS_ASSERT_OK(PushFrame(op.input(0), lattice, f));
+  }
+  // Two complete windows of 3 frames each (the 7th frame is pending).
+  ASSERT_EQ(op.results().size(), 2u);
+  EXPECT_EQ(op.results()[0].count, 3u * 16u);
+  EXPECT_EQ(op.results()[0].window_start_frame, 0);
+  EXPECT_EQ(op.results()[0].window_end_frame, 2);
+  EXPECT_EQ(op.results()[1].window_start_frame, 3);
+  EXPECT_EQ(op.results()[1].window_end_frame, 5);
+  // StreamEnd flushes the partial window.
+  GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::StreamEnd()));
+  ASSERT_EQ(op.results().size(), 3u);
+  EXPECT_EQ(op.results()[2].count, 16u);
+}
+
+TEST(AggregateTest, EmitsResultsAsClosedStream) {
+  GridLattice lattice = LatLonLattice(4, 4);
+  AggregateOp op("a", AggregateFn::kAvg,
+                 {WholeExtent(), WholeExtent(), WholeExtent()}, 1);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 5));
+  // One output frame with a 3 x 1 lattice (one column per region).
+  ASSERT_EQ(sink.NumFrames(), 1u);
+  for (const StreamEvent& e : sink.events()) {
+    if (e.kind == EventKind::kFrameBegin) {
+      EXPECT_EQ(e.frame.lattice.width(), 3);
+      EXPECT_EQ(e.frame.lattice.height(), 1);
+    }
+  }
+  EXPECT_EQ(sink.TotalPoints(), 3u);
+}
+
+TEST(AggregateTest, EmptyRegionYieldsZeroCount) {
+  GridLattice lattice = LatLonLattice(4, 4);
+  auto far_away = MakeBBoxRegion(0.0, 0.0, 1.0, 1.0);
+  AggregateOp op("a", AggregateFn::kAvg, {far_away}, 1);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  ASSERT_EQ(op.results().size(), 1u);
+  EXPECT_EQ(op.results()[0].count, 0u);
+  EXPECT_DOUBLE_EQ(op.results()[0].value, 0.0);
+}
+
+TEST(AggregateTest, BoundedState) {
+  GridLattice lattice = LatLonLattice(32, 32);
+  AggregateOp op("a", AggregateFn::kSum, {WholeExtent(), WholeExtent()}, 2);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  for (int64_t f = 0; f < 4; ++f) {
+    GS_ASSERT_OK(PushFrame(op.input(0), lattice, f));
+  }
+  // Constant-size accumulators regardless of stream length.
+  EXPECT_LE(op.metrics().buffered_bytes_high_water, 2u * 64u);
+}
+
+
+TEST(AggregateTest, SlidingWindowOverlaps) {
+  GridLattice lattice = LatLonLattice(4, 4);
+  // Window of 3 frames sliding by 1: emissions at frames 2,3,4,5.
+  AggregateOp op("a", AggregateFn::kCount, {WholeExtent()}, 3, 1);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  for (int64_t f = 0; f < 6; ++f) {
+    GS_ASSERT_OK(PushFrame(op.input(0), lattice, f));
+  }
+  ASSERT_EQ(op.results().size(), 4u);
+  for (size_t i = 0; i < op.results().size(); ++i) {
+    EXPECT_EQ(op.results()[i].count, 3u * 16u);
+    EXPECT_EQ(op.results()[i].window_start_frame, static_cast<int64_t>(i));
+    EXPECT_EQ(op.results()[i].window_end_frame,
+              static_cast<int64_t>(i) + 2);
+  }
+}
+
+TEST(AggregateTest, SlidingWindowSlideTwo) {
+  GridLattice lattice = LatLonLattice(2, 2);
+  AggregateOp op("a", AggregateFn::kSum, {WholeExtent()}, 4, 2);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  for (int64_t f = 0; f < 8; ++f) {
+    GS_ASSERT_OK(PushFrame(op.input(0), lattice, f));
+  }
+  // Emissions after frames 3, 5, 7: windows [0-3], [2-5], [4-7].
+  ASSERT_EQ(op.results().size(), 3u);
+  EXPECT_EQ(op.results()[0].window_start_frame, 0);
+  EXPECT_EQ(op.results()[0].window_end_frame, 3);
+  EXPECT_EQ(op.results()[1].window_start_frame, 2);
+  EXPECT_EQ(op.results()[1].window_end_frame, 5);
+  EXPECT_EQ(op.results()[2].window_start_frame, 4);
+  EXPECT_EQ(op.results()[2].window_end_frame, 7);
+}
+
+TEST(AggregateTest, SlidingMatchesTumblingWhenSlideEqualsWindow) {
+  GridLattice lattice = LatLonLattice(4, 4);
+  auto run = [&](int slide) {
+    AggregateOp op("a", AggregateFn::kAvg, {WholeExtent()}, 3, slide);
+    CollectingSink sink;
+    op.BindOutput(&sink);
+    for (int64_t f = 0; f < 9; ++f) {
+      Status st = PushFrame(op.input(0), lattice, f);
+      EXPECT_TRUE(st.ok());
+    }
+    return op.results();
+  };
+  const auto tumbling = run(0);
+  const auto slide3 = run(3);
+  ASSERT_EQ(tumbling.size(), slide3.size());
+  for (size_t i = 0; i < tumbling.size(); ++i) {
+    EXPECT_EQ(tumbling[i].window_start_frame, slide3[i].window_start_frame);
+    EXPECT_DOUBLE_EQ(tumbling[i].value, slide3[i].value);
+  }
+}
+
+TEST(AggregateTest, SlidingStateIsBoundedByWindow) {
+  GridLattice lattice = LatLonLattice(8, 8);
+  AggregateOp op("a", AggregateFn::kAvg, {WholeExtent(), WholeExtent()},
+                 /*window=*/5, /*slide=*/1);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  for (int64_t f = 0; f < 50; ++f) {
+    GS_ASSERT_OK(PushFrame(op.input(0), lattice, f));
+  }
+  // Per-frame partials for at most window+1 frames x 2 regions.
+  EXPECT_LE(op.metrics().buffered_bytes_high_water, 6u * 2u * 40u);
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,162 @@
+#include "server/frame_archive.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "ops/restriction_ops.h"
+#include "query/planner.h"
+#include "server/scan_schedule.h"
+#include "server/stream_generator.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::CollectPoints;
+using testing_util::LatLonLattice;
+using testing_util::PushFrame;
+using testing_util::TestValue;
+using testing_util::WellFormedFrames;
+
+std::string MakeArchiveDir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(ArchiveTest, WriteThenReplayRoundTrips) {
+  const std::string dir = MakeArchiveDir("roundtrip");
+  GridLattice lattice = LatLonLattice(8, 6);
+  {
+    ArchiveWriter writer(dir, /*lo=*/0.0, /*hi=*/1.0);
+    for (int64_t f = 0; f < 3; ++f) {
+      GS_ASSERT_OK(PushFrame(&writer, lattice, f));
+    }
+    GS_ASSERT_OK(writer.Consume(StreamEvent::StreamEnd()));
+    EXPECT_EQ(writer.frames_written(), 3);
+  }
+
+  ReplayGenerator replay(dir);
+  GS_ASSERT_OK(replay.Open());
+  ASSERT_EQ(replay.frames().size(), 3u);
+  EXPECT_EQ(replay.frames()[0].frame_id, 0);
+  EXPECT_EQ(replay.frames()[2].frame_id, 2);
+  EXPECT_TRUE(replay.frames()[0].lattice == lattice);
+
+  CollectingSink sink;
+  GS_ASSERT_OK(replay.Replay(&sink));
+  EXPECT_TRUE(WellFormedFrames(sink.events()));
+  EXPECT_EQ(sink.NumFrames(), 3u);
+  auto points = CollectPoints(sink.events());
+  ASSERT_EQ(points.size(), 3u * 48u);
+  // 8-bit quantization over [0, 1]: error bound ~ 1/255.
+  for (const auto& [key, v] : points) {
+    const double expected =
+        TestValue(std::get<2>(key), std::get<0>(key), std::get<1>(key));
+    EXPECT_NEAR(v, expected, 1.0 / 255.0)
+        << "frame " << std::get<2>(key);
+  }
+  // One StreamEnd at the end.
+  EXPECT_EQ(sink.events().back().kind, EventKind::kStreamEnd);
+}
+
+TEST(ArchiveTest, PerFrameAutoRange) {
+  // lo == hi => per-frame min/max recorded in the manifest, so frames
+  // with very different ranges survive quantization.
+  const std::string dir = MakeArchiveDir("autorange");
+  GridLattice lattice = LatLonLattice(4, 1);
+  {
+    ArchiveWriter writer(dir);
+    FrameInfo info;
+    info.frame_id = 0;
+    info.lattice = lattice;
+    GS_ASSERT_OK(writer.Consume(StreamEvent::FrameBegin(info)));
+    auto batch = std::make_shared<PointBatch>();
+    batch->frame_id = 0;
+    batch->band_count = 1;
+    for (int32_t c = 0; c < 4; ++c) {
+      batch->Append1(c, 0, 0, 1000.0 + 10.0 * c);
+    }
+    GS_ASSERT_OK(writer.Consume(StreamEvent::Batch(batch)));
+    GS_ASSERT_OK(writer.Consume(StreamEvent::FrameEnd(info)));
+    GS_ASSERT_OK(writer.Finish());
+  }
+  ReplayGenerator replay(dir);
+  GS_ASSERT_OK(replay.Open());
+  CollectingSink sink;
+  GS_ASSERT_OK(replay.Replay(&sink));
+  auto points = CollectPoints(sink.events());
+  EXPECT_NEAR(points.at({0, 0, 0}), 1000.0, 0.1);
+  EXPECT_NEAR(points.at({3, 0, 0}), 1030.0, 0.1);
+}
+
+TEST(ArchiveTest, ReplayFeedsQueriesLikeALiveStream) {
+  // Record a generated stream, then run a restriction plan over the
+  // replay — the archive is just another GeoStream.
+  const std::string dir = MakeArchiveDir("queryable");
+  InstrumentConfig config;
+  config.crs_name = "latlon";
+  config.cells_per_sector = 24 * 16;
+  config.bands = {SpectralBand::kVisible};
+  StreamGenerator gen(config, ScanSchedule::GoesRoutine());
+  ASSERT_TRUE(gen.Init().ok());
+  {
+    ArchiveWriter writer(dir, 0.0, 1.0);
+    GS_ASSERT_OK(gen.GenerateScans(0, 2, {&writer}));
+    GS_ASSERT_OK(writer.Finish());
+  }
+
+  ReplayGenerator replay(dir);
+  GS_ASSERT_OK(replay.Open());
+  auto desc = replay.Descriptor("archive.vis");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->name(), "archive.vis");
+  GS_ASSERT_OK(desc->Validate());
+
+  SpatialRestrictionOp op("r", MakeBBoxRegion(-120.0, 28.0, -100.0, 45.0));
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(replay.Replay(op.input(0)));
+  EXPECT_GT(sink.TotalPoints(), 0u);
+  EXPECT_LT(sink.TotalPoints(), 2u * 24u * 16u);
+}
+
+TEST(ArchiveTest, Failures) {
+  // Missing directory / empty archive.
+  ReplayGenerator missing(std::string(::testing::TempDir()) + "/nope");
+  EXPECT_FALSE(missing.Open().ok());
+  const std::string dir = MakeArchiveDir("empty");
+  { ArchiveWriter writer(dir); GS_ASSERT_OK(writer.Finish()); }
+  ReplayGenerator empty(dir);
+  EXPECT_EQ(empty.Open().code(), StatusCode::kNotFound);
+  CollectingSink sink;
+  EXPECT_EQ(empty.Replay(&sink).code(), StatusCode::kFailedPrecondition);
+
+  // Corrupt manifest.
+  const std::string bad_dir = MakeArchiveDir("corrupt");
+  std::FILE* f = std::fopen((bad_dir + "/manifest.txt").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a manifest line\n", f);
+  std::fclose(f);
+  ReplayGenerator corrupt(bad_dir);
+  EXPECT_EQ(corrupt.Open().code(), StatusCode::kParseError);
+
+  // Multi-band input rejected by the writer.
+  ArchiveWriter writer(MakeArchiveDir("multiband"));
+  FrameInfo info;
+  info.frame_id = 0;
+  info.lattice = LatLonLattice(2, 2);
+  GS_ASSERT_OK(writer.Consume(StreamEvent::FrameBegin(info)));
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = 0;
+  batch->band_count = 2;
+  const double v[2] = {0.0, 0.0};
+  batch->Append(0, 0, 0, v);
+  EXPECT_FALSE(writer.Consume(StreamEvent::Batch(batch)).ok());
+}
+
+}  // namespace
+}  // namespace geostreams

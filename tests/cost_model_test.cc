@@ -1,0 +1,148 @@
+#include "query/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::MakeTestCatalog;
+
+Result<ExprPtr> Analyzed(const StreamCatalog& catalog,
+                         const std::string& query) {
+  GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr e, ParseQuery(query));
+  GEOSTREAMS_RETURN_IF_ERROR(AnalyzeQuery(catalog, e));
+  return e;
+}
+
+TEST(CostModelTest, StreamRefEmitsLatticeCells) {
+  StreamCatalog catalog = MakeTestCatalog();
+  auto e = Analyzed(catalog, "g.nir");
+  ASSERT_TRUE(e.ok());
+  std::map<const Expr*, NodeCost> per_node;
+  auto cost = EstimatePlanCost(*e, &per_node);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(per_node.at(e->get()).output_points, 16.0 * 12.0);
+}
+
+TEST(CostModelTest, SpatialSelectivityTracksArea) {
+  StreamCatalog catalog = MakeTestCatalog();
+  // The test lattice extent is [-125, -117] x [39, 45] (16x12 cells of
+  // 0.5 deg). A box covering the western half should have selectivity
+  // about 0.5.
+  auto e = Analyzed(catalog, "region(g.nir, bbox(-125, 39, -121, 45))");
+  ASSERT_TRUE(e.ok());
+  std::map<const Expr*, NodeCost> per_node;
+  auto cost = EstimatePlanCost(*e, &per_node);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_NEAR(per_node.at(e->get()).selectivity, 0.5, 0.01);
+  // Fully covering box: selectivity 1; disjoint box: 0.
+  auto all = Analyzed(catalog, "region(g.nir, bbox(-130, 30, -110, 50))");
+  ASSERT_TRUE(all.ok());
+  per_node.clear();
+  ASSERT_TRUE(EstimatePlanCost(*all, &per_node).ok());
+  EXPECT_DOUBLE_EQ(per_node.at(all->get()).selectivity, 1.0);
+  auto none = Analyzed(catalog, "region(g.nir, bbox(0, 0, 10, 10))");
+  ASSERT_TRUE(none.ok());
+  per_node.clear();
+  ASSERT_TRUE(EstimatePlanCost(*none, &per_node).ok());
+  EXPECT_DOUBLE_EQ(per_node.at(none->get()).selectivity, 0.0);
+}
+
+TEST(CostModelTest, MagnifyAndReduceScalePoints) {
+  StreamCatalog catalog = MakeTestCatalog();
+  auto mag = Analyzed(catalog, "magnify(g.nir, 3)");
+  ASSERT_TRUE(mag.ok());
+  std::map<const Expr*, NodeCost> per_node;
+  ASSERT_TRUE(EstimatePlanCost(*mag, &per_node).ok());
+  EXPECT_DOUBLE_EQ(per_node.at(mag->get()).output_points,
+                   16.0 * 12.0 * 9.0);
+  auto red = Analyzed(catalog, "reduce(g.nir, 4)");
+  ASSERT_TRUE(red.ok());
+  per_node.clear();
+  ASSERT_TRUE(EstimatePlanCost(*red, &per_node).ok());
+  EXPECT_DOUBLE_EQ(per_node.at(red->get()).output_points, 12.0);
+}
+
+TEST(CostModelTest, StretchBuffersFrame) {
+  StreamCatalog catalog = MakeTestCatalog();
+  auto e = Analyzed(catalog, "stretch(g.nir, \"linear\")");
+  ASSERT_TRUE(e.ok());
+  std::map<const Expr*, NodeCost> per_node;
+  ASSERT_TRUE(EstimatePlanCost(*e, &per_node).ok());
+  EXPECT_GT(per_node.at(e->get()).buffer_bytes, 0.0);
+}
+
+TEST(CostModelTest, ComposeBufferingDependsOnOrganization) {
+  StreamCatalog catalog = MakeTestCatalog();
+  // g.* streams are row-by-row: buffering ~ one row.
+  auto row = Analyzed(catalog, "sub(g.nir, g.vis)");
+  ASSERT_TRUE(row.ok());
+  std::map<const Expr*, NodeCost> per_node;
+  ASSERT_TRUE(EstimatePlanCost(*row, &per_node).ok());
+  const double row_buffer = per_node.at(row->get()).buffer_bytes;
+
+  // Image-organized copies of the same bands: buffering ~ a frame.
+  StreamCatalog catalog2;
+  GridLattice lattice = testing_util::LatLonLattice(16, 12);
+  for (const char* name : {"i.nir", "i.vis"}) {
+    GS_ASSERT_OK(catalog2.Register(GeoStreamDescriptor(
+        name, ValueSet::ReflectanceF32(), lattice,
+        PointOrganization::kImageByImage, TimestampPolicy::kScanSectorId)));
+  }
+  auto image = Analyzed(catalog2, "sub(i.nir, i.vis)");
+  ASSERT_TRUE(image.ok());
+  per_node.clear();
+  ASSERT_TRUE(EstimatePlanCost(*image, &per_node).ok());
+  const double image_buffer = per_node.at(image->get()).buffer_bytes;
+  EXPECT_GT(image_buffer, row_buffer * 5.0);
+}
+
+TEST(CostModelTest, PushdownReducesEstimatedCost) {
+  // The Sec. 3.4 claim, in the cost model: the optimized NDVI query
+  // costs less than the naive one.
+  StreamCatalog catalog = MakeTestCatalog();
+  auto e = Analyzed(catalog,
+                    "region(rescale(ndvi(g.nir, g.vis), 100, 0), "
+                    "bbox(-125, 42, -123, 45))");
+  ASSERT_TRUE(e.ok());
+  OptimizerOptions naive_opts;
+  naive_opts.spatial_pushdown = false;
+  naive_opts.merge_restrictions = false;
+  auto naive = OptimizeQuery(catalog, *e, naive_opts);
+  ASSERT_TRUE(naive.ok());
+  auto optimized = OptimizeQuery(catalog, *e);
+  ASSERT_TRUE(optimized.ok());
+  auto naive_cost = EstimatePlanCost(*naive);
+  auto optimized_cost = EstimatePlanCost(*optimized);
+  ASSERT_TRUE(naive_cost.ok());
+  ASSERT_TRUE(optimized_cost.ok());
+  EXPECT_LT(optimized_cost->total_cpu, naive_cost->total_cpu * 0.6)
+      << "optimized=" << optimized_cost->ToString()
+      << " naive=" << naive_cost->ToString();
+  EXPECT_LT(optimized_cost->total_points_processed,
+            naive_cost->total_points_processed);
+}
+
+TEST(CostModelTest, RequiresAnalyzedQuery) {
+  auto parsed = ParseQuery("g.nir");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(EstimatePlanCost(*parsed).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CostModelTest, PlanCostToString) {
+  PlanCost cost;
+  cost.total_cpu = 100.0;
+  cost.total_points_processed = 42.0;
+  cost.max_buffer_bytes = 7.0;
+  const std::string s = cost.ToString();
+  EXPECT_NE(s.find("cpu=100"), std::string::npos);
+  EXPECT_NE(s.find("points=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,152 @@
+#include "stream/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "stream/pipeline.h"
+#include "ops/restriction_ops.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::LatLonLattice;
+using testing_util::PushFrame;
+
+StreamEvent MakeBatchEvent(int64_t frame, int32_t col) {
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = frame;
+  batch->band_count = 1;
+  batch->Append1(col, 0, frame, 1.0);
+  return StreamEvent::Batch(batch);
+}
+
+TEST(BoundedEventQueueTest, FifoOrder) {
+  BoundedEventQueue queue(8);
+  GS_ASSERT_OK(queue.Push(MakeBatchEvent(0, 1)));
+  GS_ASSERT_OK(queue.Push(MakeBatchEvent(0, 2)));
+  queue.Close();
+  StreamEvent e;
+  ASSERT_TRUE(queue.Pop(&e));
+  EXPECT_EQ(e.batch->cols[0], 1);
+  ASSERT_TRUE(queue.Pop(&e));
+  EXPECT_EQ(e.batch->cols[0], 2);
+  EXPECT_FALSE(queue.Pop(&e));  // closed and drained
+}
+
+TEST(BoundedEventQueueTest, PushAfterCloseFails) {
+  BoundedEventQueue queue(2);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(MakeBatchEvent(0, 0)).ok());
+}
+
+TEST(BoundedEventQueueTest, BlocksWhenFullUntilConsumed) {
+  BoundedEventQueue queue(1);
+  GS_ASSERT_OK(queue.Push(MakeBatchEvent(0, 0)));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    Status st = queue.Push(MakeBatchEvent(0, 1));
+    EXPECT_TRUE(st.ok());
+    second_pushed.store(true);
+  });
+  // Give the producer a chance to block on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  StreamEvent e;
+  ASSERT_TRUE(queue.Pop(&e));  // frees capacity
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(StageRunnerTest, DeliversAllEventsToDownstream) {
+  CollectingSink sink;
+  {
+    StageRunner runner(&sink, 16);
+    for (int i = 0; i < 100; ++i) {
+      GS_ASSERT_OK(runner.Consume(MakeBatchEvent(0, i)));
+    }
+    GS_ASSERT_OK(runner.Drain());
+  }
+  EXPECT_EQ(sink.TotalPoints(), 100u);
+  // Order preserved.
+  int32_t expected = 0;
+  for (const StreamEvent& e : sink.events()) {
+    EXPECT_EQ(e.batch->cols[0], expected++);
+  }
+}
+
+TEST(StageRunnerTest, PropagatesDownstreamErrors) {
+  class FailingSink : public EventSink {
+   public:
+    Status Consume(const StreamEvent&) override {
+      return Status::Internal("boom");
+    }
+  };
+  FailingSink failing;
+  StageRunner runner(&failing, 4);
+  // The first push may enqueue before the error is seen; eventually
+  // pushes start failing and Drain reports the error.
+  Status st = Status::OK();
+  for (int i = 0; i < 100 && st.ok(); ++i) {
+    st = runner.Consume(MakeBatchEvent(0, i));
+  }
+  Status drain = runner.Drain();
+  EXPECT_FALSE(drain.ok());
+  EXPECT_EQ(drain.code(), StatusCode::kInternal);
+}
+
+TEST(StageRunnerTest, PipelineBehindARunner) {
+  // A whole operator chain running on the worker thread.
+  auto pipeline = std::make_unique<Pipeline>();
+  pipeline->Add(std::make_unique<SpatialRestrictionOp>(
+      "r", MakeBBoxRegion(-125.0, 40.0, -123.9, 45.0)));
+  CollectingSink sink;
+  GS_ASSERT_OK(pipeline->Finish(&sink));
+  {
+    StageRunner runner(pipeline.get(), 32);
+    GridLattice lattice = LatLonLattice(10, 8);
+    GS_ASSERT_OK(PushFrame(&runner, lattice, 0));
+    GS_ASSERT_OK(runner.Drain());
+  }
+  EXPECT_EQ(sink.TotalPoints(), 2u * 8u);
+}
+
+TEST(PipelineTest, EmptyPipelinePassesThrough) {
+  Pipeline pipeline;
+  CollectingSink sink;
+  GS_ASSERT_OK(pipeline.Finish(&sink));
+  GS_ASSERT_OK(pipeline.Consume(MakeBatchEvent(0, 7)));
+  EXPECT_EQ(sink.TotalPoints(), 1u);
+}
+
+TEST(PipelineTest, ChainsOperatorsInOrder) {
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<SpatialRestrictionOp>(
+      "r", MakeBBoxRegion(-125.0, 40.0, -122.0, 45.0)));
+  pipeline.Add(std::make_unique<TemporalRestrictionOp>(
+      "t", TimeSet::Instants({1})));
+  CollectingSink sink;
+  GS_ASSERT_OK(pipeline.Finish(&sink));
+  EXPECT_EQ(pipeline.size(), 2u);
+  GridLattice lattice = LatLonLattice(10, 8);
+  GS_ASSERT_OK(PushFrame(&pipeline, lattice, 0));
+  GS_ASSERT_OK(PushFrame(&pipeline, lattice, 1));
+  auto points = testing_util::CollectPoints(sink.events());
+  ASSERT_GT(points.size(), 0u);
+  for (const auto& [key, v] : points) {
+    EXPECT_EQ(std::get<2>(key), 1);
+  }
+}
+
+TEST(PipelineTest, CannotConsumeBeforeFinish) {
+  Pipeline pipeline;
+  EXPECT_FALSE(pipeline.Consume(MakeBatchEvent(0, 0)).ok());
+  CollectingSink sink;
+  GS_ASSERT_OK(pipeline.Finish(&sink));
+  EXPECT_FALSE(pipeline.Finish(&sink).ok());  // double finish
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,185 @@
+// Failure injection (DESIGN.md §5): malformed event sequences, stream
+// protocol violations, and degenerate inputs must surface as Status
+// errors — never as silent corruption or crashes.
+
+#include <gtest/gtest.h>
+
+#include "geo/geographic_crs.h"
+#include "ops/compose_op.h"
+#include "ops/reproject_op.h"
+#include "ops/spatial_transform_op.h"
+#include "ops/stretch_transform_op.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "query/planner.h"
+#include "server/dsms_server.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::LatLonLattice;
+using testing_util::MakeTestCatalog;
+using testing_util::PushFrame;
+
+StreamEvent BeginFor(const GridLattice& lattice, int64_t id) {
+  FrameInfo info;
+  info.frame_id = id;
+  info.lattice = lattice;
+  return StreamEvent::FrameBegin(info);
+}
+
+StreamEvent EndFor(const GridLattice& lattice, int64_t id) {
+  FrameInfo info;
+  info.frame_id = id;
+  info.lattice = lattice;
+  return StreamEvent::FrameEnd(info);
+}
+
+TEST(FailureTest, NestedFrameBeginRejectedByStretch) {
+  GridLattice lattice = LatLonLattice(4, 4);
+  StretchOptions opts;
+  opts.in_lo = 0.0;
+  opts.in_hi = 1.0;
+  StretchTransformOp op("s", opts);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(op.input(0)->Consume(BeginFor(lattice, 0)));
+  EXPECT_EQ(op.input(0)->Consume(BeginFor(lattice, 1)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FailureTest, ComposeDoubleBeginAndOrphanEvents) {
+  GridLattice lattice = LatLonLattice(4, 4);
+  ComposeOp op("c", ComposeFn::kAdd);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(op.input(0)->Consume(BeginFor(lattice, 0)));
+  // Same frame beginning twice on the same port.
+  EXPECT_EQ(op.input(0)->Consume(BeginFor(lattice, 0)).code(),
+            StatusCode::kFailedPrecondition);
+  // FrameEnd for a frame that never began on that port.
+  EXPECT_EQ(op.input(1)->Consume(EndFor(lattice, 0)).code(),
+            StatusCode::kFailedPrecondition);
+  // Batch for an unknown frame.
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = 99;
+  batch->band_count = 1;
+  batch->Append1(0, 0, 99, 1.0);
+  EXPECT_EQ(op.input(0)->Consume(StreamEvent::Batch(batch)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FailureTest, ComposeOutOfOrderFramesOnOnePort) {
+  // Frames arrive in increasing id order per stream; a regression
+  // (lower id after higher) must not deadlock the serializer — the
+  // stale frame begins both sides and is emitted, in order, when the
+  // open frame closes. Here we inject: port 0 begins 5 then 3.
+  GridLattice lattice = LatLonLattice(2, 2);
+  ComposeOp op("c", ComposeFn::kAdd);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(op.input(0)->Consume(BeginFor(lattice, 5)));
+  GS_ASSERT_OK(op.input(1)->Consume(BeginFor(lattice, 5)));
+  GS_ASSERT_OK(op.input(0)->Consume(BeginFor(lattice, 3)));
+  GS_ASSERT_OK(op.input(1)->Consume(BeginFor(lattice, 3)));
+  GS_ASSERT_OK(op.input(0)->Consume(EndFor(lattice, 3)));
+  GS_ASSERT_OK(op.input(1)->Consume(EndFor(lattice, 3)));
+  GS_ASSERT_OK(op.input(0)->Consume(EndFor(lattice, 5)));
+  GS_ASSERT_OK(op.input(1)->Consume(EndFor(lattice, 5)));
+  GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::StreamEnd()));
+  GS_ASSERT_OK(op.input(1)->Consume(StreamEvent::StreamEnd()));
+  EXPECT_TRUE(testing_util::WellFormedFrames(sink.events()));
+  EXPECT_EQ(sink.NumFrames(), 2u);
+}
+
+TEST(FailureTest, EmptySectorsFlowThrough) {
+  // Sectors that deliver zero points (instrument gap) keep the
+  // pipeline healthy.
+  GridLattice lattice = LatLonLattice(4, 4);
+  ReduceOp op("r", 2);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(op.input(0)->Consume(BeginFor(lattice, 0)));
+  GS_ASSERT_OK(op.input(0)->Consume(EndFor(lattice, 0)));
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 1));
+  EXPECT_EQ(sink.NumFrames(), 2u);
+  EXPECT_EQ(sink.TotalPoints(), 4u);  // only frame 1 contributes
+}
+
+TEST(FailureTest, BatchOutsideLatticeRejectedByBufferingOps) {
+  GridLattice lattice = LatLonLattice(4, 4);
+  ReprojectOp op("p", GeographicCrs::Instance());
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(op.input(0)->Consume(BeginFor(lattice, 0)));
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = 0;
+  batch->band_count = 1;
+  batch->Append1(99, 99, 0, 1.0);  // outside the 4x4 sector
+  EXPECT_EQ(op.input(0)->Consume(StreamEvent::Batch(batch)).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(FailureTest, AnalyzerRejectsMalformedQueriesWithoutCrashing) {
+  StreamCatalog catalog = MakeTestCatalog();
+  const char* bad_queries[] = {
+      "add(g.nir, missing.stream)",
+      "reproject(lidar.z, \"latlon\")",
+      "stack(cam.rgb, cam.rgb, cam.rgb)",  // arity
+      "region(g.nir, bbox(0,0,1))",
+      "ndvi(g.nir)",
+      "time(g.nir)",
+      "stretch(g.nir)",
+      "band(g.nir, -1)",
+  };
+  for (const char* q : bad_queries) {
+    auto parsed = ParseQuery(q);
+    if (!parsed.ok()) continue;  // parser already refused: fine
+    EXPECT_FALSE(AnalyzeQuery(catalog, *parsed).ok()) << q;
+  }
+}
+
+TEST(FailureTest, StackedBandsOverflowRejected) {
+  StreamCatalog catalog = MakeTestCatalog();
+  // 3+3+3 = 9 bands > kMaxBands (8).
+  auto parsed =
+      ParseQuery("stack(stack(cam.rgb, cam.rgb), cam.rgb)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(AnalyzeQuery(catalog, *parsed).ok());
+}
+
+TEST(FailureTest, ServerSurvivesQueryChurnUnderLoad) {
+  DsmsServer server;
+  StreamCatalog catalog = MakeTestCatalog();
+  GS_ASSERT_OK(server.RegisterStream(*catalog.Lookup("g.nir")));
+  GridLattice lattice = LatLonLattice(16, 12);
+  // Register/ingest/unregister repeatedly; nothing may leak or fail.
+  for (int round = 0; round < 10; ++round) {
+    auto id = server.RegisterQuery(
+        "region(g.nir, bbox(-125, 40, -121, 45))",
+        [](int64_t, const Raster&, const std::vector<uint8_t>&) {});
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    GS_ASSERT_OK(PushFrame(server.ingest("g.nir"), lattice, round));
+    GS_ASSERT_OK(server.UnregisterQuery(*id));
+  }
+  EXPECT_EQ(server.num_queries(), 0u);
+  // Ingest with zero registered queries is a no-op, not an error.
+  GS_ASSERT_OK(PushFrame(server.ingest("g.nir"), lattice, 99));
+}
+
+TEST(FailureTest, ZeroAreaRegionDeliversNothing) {
+  StreamCatalog catalog = MakeTestCatalog();
+  auto parsed = ParseQuery("region(g.nir, bbox(-120, 42, -120, 42))");
+  ASSERT_TRUE(parsed.ok());
+  GS_ASSERT_OK(AnalyzeQuery(catalog, *parsed));
+  CollectingSink sink;
+  auto plan = BuildPlan(*parsed, &sink);
+  ASSERT_TRUE(plan.ok());
+  GridLattice lattice = LatLonLattice(16, 12);
+  GS_ASSERT_OK(PushFrame((*plan)->input("g.nir"), lattice, 0));
+  EXPECT_EQ(sink.TotalPoints(), 0u);
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,193 @@
+#include "server/stream_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geo/crs_registry.h"
+#include "server/scan_schedule.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::CollectPoints;
+using testing_util::WellFormedFrames;
+
+InstrumentConfig SmallConfig(PointOrganization org) {
+  InstrumentConfig config;
+  config.crs_name = "latlon";
+  config.cells_per_sector = 256;
+  config.organization = org;
+  config.bands = {SpectralBand::kVisible, SpectralBand::kNearInfrared};
+  return config;
+}
+
+TEST(ScanScheduleTest, GoesRoutineCyclesSectors) {
+  ScanSchedule schedule = ScanSchedule::GoesRoutine();
+  EXPECT_EQ(schedule.SectorFor(0).name, "full-disk");
+  EXPECT_EQ(schedule.SectorFor(1).name, "conus");
+  EXPECT_EQ(schedule.SectorFor(2).name, "northern-hemisphere");
+  EXPECT_EQ(schedule.SectorFor(6).name, "northern-hemisphere");
+  EXPECT_EQ(schedule.SectorFor(12).name, "full-disk");
+  EXPECT_EQ(schedule.SectorFor(13).name, "conus");
+}
+
+TEST(ScanScheduleTest, EmptyScheduleGetsDefault) {
+  ScanSchedule schedule({});
+  EXPECT_EQ(schedule.SectorFor(0).name, "default");
+}
+
+TEST(SectorLatticeTest, TargetCellsAndAspect) {
+  SectorSpec sector{"t", BoundingBox(-120.0, 30.0, -100.0, 40.0), 1, 0};
+  auto crs = ResolveCrs("latlon");
+  ASSERT_TRUE(crs.ok());
+  auto lattice = SectorLattice(sector, *crs, 800);
+  ASSERT_TRUE(lattice.ok());
+  // About 800 cells with a 2:1 aspect: 40 x 20.
+  EXPECT_NEAR(static_cast<double>(lattice->num_cells()), 800.0, 80.0);
+  EXPECT_NEAR(static_cast<double>(lattice->width()) / lattice->height(),
+              2.0, 0.3);
+  // Row 0 at the northern edge.
+  EXPECT_LT(lattice->dy(), 0.0);
+  EXPECT_NEAR(lattice->CellY(0), 40.0 + lattice->dy() / 2.0, 1e-9);
+}
+
+TEST(StreamGeneratorTest, DescriptorsMatchConfig) {
+  StreamGenerator gen(SmallConfig(PointOrganization::kRowByRow),
+                      ScanSchedule::GoesRoutine());
+  ASSERT_TRUE(gen.Init().ok());
+  auto d0 = gen.Descriptor(0);
+  ASSERT_TRUE(d0.ok());
+  EXPECT_EQ(d0->name(), "goes.band1");
+  EXPECT_EQ(d0->organization(), PointOrganization::kRowByRow);
+  auto d1 = gen.Descriptor(1);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->name(), "goes.band2");
+  EXPECT_FALSE(gen.Descriptor(2).ok());
+}
+
+TEST(StreamGeneratorTest, RowByRowShape) {
+  // Fig. 1(b): rows arrive one line at a time, bands interleaved.
+  StreamGenerator gen(SmallConfig(PointOrganization::kRowByRow),
+                      ScanSchedule::GoesRoutine());
+  CollectingSink band1, band2;
+  GS_ASSERT_OK(gen.GenerateScans(0, 1, {&band1, &band2}));
+  EXPECT_TRUE(WellFormedFrames(band1.events()));
+  EXPECT_TRUE(WellFormedFrames(band2.events()));
+  // Every batch is exactly one row.
+  for (const StreamEvent& e : band1.events()) {
+    if (e.kind != EventKind::kPointBatch) continue;
+    const PointBatch& b = *e.batch;
+    for (size_t i = 1; i < b.size(); ++i) {
+      EXPECT_EQ(b.rows[i], b.rows[0]);
+      EXPECT_EQ(b.cols[i], b.cols[i - 1] + 1);  // close spatial proximity
+    }
+  }
+  EXPECT_EQ(band1.TotalPoints(), band2.TotalPoints());
+  EXPECT_GT(band1.TotalPoints(), 100u);
+}
+
+TEST(StreamGeneratorTest, ImageByImageShape) {
+  // Fig. 1(a): whole frames at a time.
+  StreamGenerator gen(SmallConfig(PointOrganization::kImageByImage),
+                      ScanSchedule::GoesRoutine());
+  CollectingSink band1, band2;
+  GS_ASSERT_OK(gen.GenerateScans(0, 2, {&band1, &band2}));
+  EXPECT_TRUE(WellFormedFrames(band1.events()));
+  EXPECT_EQ(band1.NumFrames(), 2u);
+}
+
+TEST(StreamGeneratorTest, PointByPointShape) {
+  // Fig. 1(c): no frame boundaries, points in time order only.
+  StreamGenerator gen(SmallConfig(PointOrganization::kPointByPoint),
+                      ScanSchedule::GoesRoutine());
+  CollectingSink band1, band2;
+  GS_ASSERT_OK(gen.GenerateScans(0, 1, {&band1, &band2}));
+  EXPECT_EQ(band1.NumFrames(), 0u);
+  EXPECT_GT(band1.TotalPoints(), 100u);
+}
+
+TEST(StreamGeneratorTest, ScanSectorTimestampsEqualFrameId) {
+  StreamGenerator gen(SmallConfig(PointOrganization::kRowByRow),
+                      ScanSchedule::GoesRoutine());
+  CollectingSink band1, band2;
+  GS_ASSERT_OK(gen.GenerateScans(3, 2, {&band1, &band2}));
+  for (const StreamEvent& e : band1.events()) {
+    if (e.kind != EventKind::kPointBatch) continue;
+    for (size_t i = 0; i < e.batch->size(); ++i) {
+      EXPECT_EQ(e.batch->timestamps[i], e.batch->frame_id);
+    }
+  }
+}
+
+TEST(StreamGeneratorTest, MeasurementTimestampsAreUnique) {
+  InstrumentConfig config = SmallConfig(PointOrganization::kRowByRow);
+  config.timestamp_policy = TimestampPolicy::kMeasurementTime;
+  StreamGenerator gen(config, ScanSchedule::GoesRoutine());
+  CollectingSink band1, band2;
+  GS_ASSERT_OK(gen.GenerateScans(0, 1, {&band1, &band2}));
+  std::set<int64_t> seen;
+  for (const CollectingSink* sink : {&band1, &band2}) {
+    for (const StreamEvent& e : sink->events()) {
+      if (e.kind != EventKind::kPointBatch) continue;
+      for (int64_t t : e.batch->timestamps) {
+        EXPECT_TRUE(seen.insert(t).second) << "duplicate timestamp " << t;
+      }
+    }
+  }
+}
+
+TEST(StreamGeneratorTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    StreamGenerator gen(SmallConfig(PointOrganization::kRowByRow),
+                        ScanSchedule::GoesRoutine());
+    CollectingSink band1, band2;
+    Status st = gen.GenerateScans(0, 2, {&band1, &band2});
+    EXPECT_TRUE(st.ok());
+    return CollectPoints(band1.events());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(StreamGeneratorTest, BandsDiffer) {
+  StreamGenerator gen(SmallConfig(PointOrganization::kRowByRow),
+                      ScanSchedule::GoesRoutine());
+  CollectingSink band1, band2;
+  GS_ASSERT_OK(gen.GenerateScans(0, 1, {&band1, &band2}));
+  EXPECT_NE(CollectPoints(band1.events()), CollectPoints(band2.events()));
+}
+
+TEST(StreamGeneratorTest, SinkCountMustMatchBands) {
+  StreamGenerator gen(SmallConfig(PointOrganization::kRowByRow),
+                      ScanSchedule::GoesRoutine());
+  CollectingSink only_one;
+  EXPECT_FALSE(gen.GenerateScans(0, 1, {&only_one}).ok());
+}
+
+TEST(StreamGeneratorTest, GeostationaryInstrument) {
+  InstrumentConfig config = SmallConfig(PointOrganization::kRowByRow);
+  config.crs_name = "geos:-75";
+  StreamGenerator gen(config, ScanSchedule::GoesRoutine());
+  CollectingSink band1, band2;
+  GS_ASSERT_OK(gen.GenerateScans(0, 1, {&band1, &band2}));
+  EXPECT_GT(band1.TotalPoints(), 100u);
+  auto d = gen.Descriptor(0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->crs()->name(), "geos:-75");
+  // Scan-angle extents are small (radians).
+  EXPECT_LT(std::fabs(d->reference_lattice().Extent().max_x), 0.2);
+}
+
+TEST(StreamGeneratorTest, FinishSendsStreamEnd) {
+  StreamGenerator gen(SmallConfig(PointOrganization::kRowByRow),
+                      ScanSchedule::GoesRoutine());
+  CollectingSink band1, band2;
+  GS_ASSERT_OK(gen.Finish({&band1, &band2}));
+  ASSERT_EQ(band1.events().size(), 1u);
+  EXPECT_EQ(band1.events()[0].kind, EventKind::kStreamEnd);
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,119 @@
+#include "geo/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geographic_crs.h"
+#include "geo/mercator_crs.h"
+
+namespace geostreams {
+namespace {
+
+GridLattice MakeLattice() {
+  // 10 x 8 cells, 0.5 degree spacing, row 0 at the north.
+  return GridLattice(GeographicCrs::Instance(), -124.75, 44.75, 0.5, -0.5,
+                     10, 8);
+}
+
+TEST(GridLatticeTest, Validate) {
+  EXPECT_TRUE(MakeLattice().Validate().ok());
+  EXPECT_FALSE(GridLattice().Validate().ok());  // no CRS
+  EXPECT_FALSE(GridLattice(GeographicCrs::Instance(), 0, 0, 0.5, -0.5, 0, 8)
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(GridLattice(GeographicCrs::Instance(), 0, 0, 0.0, -0.5, 8, 8)
+                   .Validate()
+                   .ok());
+}
+
+TEST(GridLatticeTest, CellCoordinates) {
+  GridLattice lat = MakeLattice();
+  EXPECT_DOUBLE_EQ(lat.CellX(0), -124.75);
+  EXPECT_DOUBLE_EQ(lat.CellX(9), -120.25);
+  EXPECT_DOUBLE_EQ(lat.CellY(0), 44.75);
+  EXPECT_DOUBLE_EQ(lat.CellY(7), 41.25);
+}
+
+TEST(GridLatticeTest, NearestCellRoundTrips) {
+  GridLattice lat = MakeLattice();
+  for (int64_t r = 0; r < lat.height(); ++r) {
+    for (int64_t c = 0; c < lat.width(); ++c) {
+      int64_t col = -1, row = -1;
+      lat.NearestCell(lat.CellX(c), lat.CellY(r), &col, &row);
+      EXPECT_EQ(col, c);
+      EXPECT_EQ(row, r);
+    }
+  }
+}
+
+TEST(GridLatticeTest, NearestCellOutside) {
+  GridLattice lat = MakeLattice();
+  int64_t col, row;
+  lat.NearestCell(-130.0, 50.0, &col, &row);
+  EXPECT_FALSE(lat.ContainsCell(col, row));
+}
+
+TEST(GridLatticeTest, ExtentPadsHalfCell) {
+  GridLattice lat = MakeLattice();
+  BoundingBox ext = lat.Extent();
+  EXPECT_DOUBLE_EQ(ext.min_x, -125.0);
+  EXPECT_DOUBLE_EQ(ext.max_x, -120.0);
+  EXPECT_DOUBLE_EQ(ext.max_y, 45.0);
+  EXPECT_DOUBLE_EQ(ext.min_y, 41.0);
+}
+
+TEST(GridLatticeTest, AlignedWith) {
+  GridLattice a = MakeLattice();
+  // Same grid shifted by whole cells: aligned.
+  GridLattice b(GeographicCrs::Instance(), -124.75 + 2 * 0.5, 44.75 - 0.5,
+                0.5, -0.5, 5, 5);
+  EXPECT_TRUE(a.AlignedWith(b));
+  EXPECT_TRUE(b.AlignedWith(a));
+  // Shifted by half a cell: not aligned.
+  GridLattice c(GeographicCrs::Instance(), -124.5, 44.75, 0.5, -0.5, 5, 5);
+  EXPECT_FALSE(a.AlignedWith(c));
+  // Different spacing: not aligned.
+  GridLattice d(GeographicCrs::Instance(), -124.75, 44.75, 0.25, -0.25, 5,
+                5);
+  EXPECT_FALSE(a.AlignedWith(d));
+  // Different CRS: not aligned.
+  GridLattice e(MercatorCrs::Instance(), -124.75, 44.75, 0.5, -0.5, 10, 8);
+  EXPECT_FALSE(a.AlignedWith(e));
+}
+
+TEST(GridLatticeTest, EqualityIsExact) {
+  EXPECT_TRUE(MakeLattice() == MakeLattice());
+  GridLattice other(GeographicCrs::Instance(), -124.75, 44.75, 0.5, -0.5,
+                    10, 9);
+  EXPECT_FALSE(MakeLattice() == other);
+}
+
+TEST(GridLatticeTest, MagnifiedPreservesExtent) {
+  GridLattice lat = MakeLattice();
+  GridLattice mag = lat.Magnified(3);
+  EXPECT_EQ(mag.width(), 30);
+  EXPECT_EQ(mag.height(), 24);
+  const BoundingBox a = lat.Extent();
+  const BoundingBox b = mag.Extent();
+  EXPECT_NEAR(a.min_x, b.min_x, 1e-9);
+  EXPECT_NEAR(a.max_x, b.max_x, 1e-9);
+  EXPECT_NEAR(a.min_y, b.min_y, 1e-9);
+  EXPECT_NEAR(a.max_y, b.max_y, 1e-9);
+}
+
+TEST(GridLatticeTest, ReducedRoundsUp) {
+  GridLattice lat = MakeLattice();  // 10 x 8
+  GridLattice red = lat.Reduced(3);
+  EXPECT_EQ(red.width(), 4);   // ceil(10/3)
+  EXPECT_EQ(red.height(), 3);  // ceil(8/3)
+  EXPECT_DOUBLE_EQ(red.dx(), 1.5);
+  EXPECT_DOUBLE_EQ(red.dy(), -1.5);
+}
+
+TEST(GridLatticeTest, MagnifyThenReduceRestoresGeometry) {
+  GridLattice lat = MakeLattice();
+  GridLattice back = lat.Magnified(4).Reduced(4);
+  EXPECT_TRUE(lat == back) << lat.ToString() << " vs " << back.ToString();
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,64 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace geostreams {
+namespace {
+
+TEST(MathUtilTest, DegreesRadians) {
+  EXPECT_DOUBLE_EQ(DegreesToRadians(180.0), kPi);
+  EXPECT_DOUBLE_EQ(RadiansToDegrees(kPi / 2.0), 90.0);
+  EXPECT_NEAR(RadiansToDegrees(DegreesToRadians(37.25)), 37.25, 1e-12);
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(5, 0, 10), 5);
+  EXPECT_EQ(Clamp(-5, 0, 10), 0);
+  EXPECT_EQ(Clamp(15, 0, 10), 10);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtilTest, Lerp) {
+  EXPECT_DOUBLE_EQ(Lerp(0.0, 10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Lerp(0.0, 10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 4.0, 0.5), 3.0);
+}
+
+TEST(MathUtilTest, WrapLongitude) {
+  EXPECT_DOUBLE_EQ(WrapLongitudeDeg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(WrapLongitudeDeg(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(WrapLongitudeDeg(-190.0), 170.0);
+  EXPECT_DOUBLE_EQ(WrapLongitudeDeg(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(WrapLongitudeDeg(-180.0), -180.0);
+}
+
+TEST(MathUtilTest, FloorDiv) {
+  EXPECT_EQ(FloorDiv(7, 2), 3);
+  EXPECT_EQ(FloorDiv(-7, 2), -4);
+  EXPECT_EQ(FloorDiv(-4, 2), -2);
+  EXPECT_EQ(FloorDiv(7, -2), -4);
+}
+
+TEST(MathUtilTest, Mix64Deterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+TEST(MathUtilTest, HashToUnitRange) {
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const double v = HashToUnit(i);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(MathUtilTest, HashToUnitIsSpread) {
+  // Crude uniformity check: mean of many samples near 0.5.
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += HashToUnit(static_cast<uint64_t>(i));
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace geostreams

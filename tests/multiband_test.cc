@@ -1,0 +1,204 @@
+// Whole-instrument integration tests: all five GOES-like bands through
+// the DSMS at once, exercising products that cross bands and the
+// scheduler-driven multi-query path against the synchronous one.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "server/dsms_server.h"
+#include "server/scan_schedule.h"
+#include "server/stream_generator.h"
+#include "stream/scheduler.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+InstrumentConfig FiveBandConfig() {
+  InstrumentConfig config;
+  config.crs_name = "latlon";
+  config.cells_per_sector = 32 * 24;
+  config.bands = {SpectralBand::kVisible, SpectralBand::kNearInfrared,
+                  SpectralBand::kWaterVapor, SpectralBand::kInfrared,
+                  SpectralBand::kSplitWindow};
+  config.name_prefix = "goes";
+  return config;
+}
+
+class FiveBandFixture {
+ public:
+  explicit FiveBandFixture(DsmsOptions options = {})
+      : server_(options), gen_(FiveBandConfig(), ScanSchedule::GoesRoutine()) {
+    Status st = gen_.Init();
+    EXPECT_TRUE(st.ok());
+    for (size_t b = 0; b < 5; ++b) {
+      auto d = gen_.Descriptor(b);
+      EXPECT_TRUE(d.ok());
+      st = server_.RegisterStream(*d);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+  }
+
+  std::vector<EventSink*> IngestSinks() {
+    std::vector<EventSink*> sinks;
+    for (int b = 1; b <= 5; ++b) {
+      sinks.push_back(server_.ingest("goes.band" + std::to_string(b)));
+    }
+    return sinks;
+  }
+
+  DsmsServer& server() { return server_; }
+  StreamGenerator& generator() { return gen_; }
+
+ private:
+  DsmsServer server_;
+  StreamGenerator gen_;
+};
+
+TEST(MultibandTest, SplitWindowDifferenceProduct) {
+  // The classic split-window moisture proxy: band4 - band5, always a
+  // small positive-ish number for our synthetic fields.
+  FiveBandFixture fixture;
+  std::vector<Raster> frames;
+  auto id = fixture.server().RegisterQuery(
+      "sub(goes.band4, goes.band5)",
+      [&frames](int64_t, const Raster& raster, const std::vector<uint8_t>&) {
+        frames.push_back(raster);
+      });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  GS_ASSERT_OK(fixture.generator().GenerateScans(0, 2,
+                                                 fixture.IngestSinks()));
+  ASSERT_EQ(frames.size(), 2u);
+  double lo, hi;
+  frames[0].MinMax(0, &lo, &hi);
+  EXPECT_GT(hi, 0.0);
+  EXPECT_LT(hi, 25.0);  // a few kelvin, not a whole temperature
+  EXPECT_GT(lo, -25.0);
+}
+
+TEST(MultibandTest, FalseColorComposite) {
+  FiveBandFixture fixture;
+  Raster captured;
+  auto id = fixture.server().RegisterQuery(
+      "rgb(goes.band2, goes.band1, goes.band4)",
+      [&captured](int64_t, const Raster& raster,
+                  const std::vector<uint8_t>&) { captured = raster; });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  GS_ASSERT_OK(fixture.generator().GenerateScans(0, 1,
+                                                 fixture.IngestSinks()));
+  ASSERT_EQ(captured.bands(), 3);
+  // Bands really are different channels: reflective bands in [0, 1],
+  // the thermal band in the hundreds of kelvin.
+  double lo, hi;
+  captured.MinMax(0, &lo, &hi);
+  EXPECT_LE(hi, 1.0);
+  captured.MinMax(2, &lo, &hi);
+  EXPECT_GT(hi, 150.0);
+}
+
+TEST(MultibandTest, ManyProductsShareTheScan) {
+  FiveBandFixture fixture;
+  std::map<std::string, int> delivered;
+  const char* products[] = {
+      "ndvi(goes.band2, goes.band1)",
+      "sub(goes.band4, goes.band5)",
+      "vrange(goes.band4, 0, 300, 400)",
+      "region(goes.band3, bbox(-120, 28, -100, 45))",
+      "aggregate(goes.band4, \"max\", 1, bbox(-125, 24, -66, 50))",
+  };
+  for (const char* q : products) {
+    std::string name = q;
+    auto id = fixture.server().RegisterQuery(
+        q, [&delivered, name](int64_t, const Raster&,
+                              const std::vector<uint8_t>&) {
+          ++delivered[name];
+        });
+    ASSERT_TRUE(id.ok()) << q << ": " << id.status().ToString();
+  }
+  GS_ASSERT_OK(fixture.generator().GenerateScans(0, 3,
+                                                 fixture.IngestSinks()));
+  for (const char* q : products) {
+    EXPECT_EQ(delivered[q], 3) << q;
+  }
+}
+
+TEST(MultibandTest, FireDetectionOnThermalAnomaly) {
+  // The pinned synthetic wildfire (active scans 2..9 near 121.5W,
+  // 39N) must surface through a hot-pixel query and be absent before.
+  FiveBandFixture fixture;
+  std::map<int64_t, uint64_t> hot_pixels_by_scan;
+  auto id = fixture.server().RegisterQuery(
+      "vrange(region(goes.band4, bbox(-124, 36, -119, 42)), 0, 305, 400)",
+      [&hot_pixels_by_scan](int64_t scan, const Raster& raster,
+                            const std::vector<uint8_t>&) {
+        uint64_t hot = 0;
+        for (int64_t r = 0; r < raster.height(); ++r) {
+          for (int64_t c = 0; c < raster.width(); ++c) {
+            if (raster.At(c, r) >= 305.0) ++hot;
+          }
+        }
+        hot_pixels_by_scan[scan] = hot;
+      });
+  ASSERT_TRUE(id.ok());
+  GS_ASSERT_OK(fixture.generator().GenerateScans(0, 8,
+                                                 fixture.IngestSinks()));
+  EXPECT_EQ(hot_pixels_by_scan[0], 0u);
+  EXPECT_EQ(hot_pixels_by_scan[1], 0u);
+  uint64_t during = 0;
+  for (int64_t scan = 3; scan <= 7; ++scan) {
+    during += hot_pixels_by_scan[scan];
+  }
+  EXPECT_GT(during, 0u) << "fire never detected";
+}
+
+TEST(MultibandTest, SchedulerDrivenIngestMatchesSynchronous) {
+  // Route the five band streams through the QueryScheduler (one queue
+  // per band) and verify the delivered product is identical to the
+  // synchronous path.
+  auto run = [](bool scheduled) {
+    FiveBandFixture fixture;
+    std::vector<Raster> frames;
+    auto id = fixture.server().RegisterQuery(
+        "ndvi(goes.band2, goes.band1)",
+        [&frames](int64_t, const Raster& raster,
+                  const std::vector<uint8_t>&) { frames.push_back(raster); });
+    EXPECT_TRUE(id.ok());
+    if (!scheduled) {
+      Status st = fixture.generator().GenerateScans(0, 2,
+                                                    fixture.IngestSinks());
+      EXPECT_TRUE(st.ok());
+      return frames;
+    }
+    // One scheduler queue per band keeps each band's event order; all
+    // five drain on one worker thread, so cross-band operators stay
+    // single-threaded.
+    QueryScheduler scheduler(SchedulingPolicy::kRoundRobin,
+                             /*queue_capacity=*/1 << 16);
+    std::vector<EventSink*> direct = fixture.IngestSinks();
+    std::vector<EventSink*> queued;
+    for (size_t b = 0; b < direct.size(); ++b) {
+      queued.push_back(scheduler.AddPipeline("band" + std::to_string(b),
+                                             direct[b]));
+    }
+    Status st = scheduler.Start();
+    EXPECT_TRUE(st.ok());
+    st = fixture.generator().GenerateScans(0, 2, queued);
+    EXPECT_TRUE(st.ok());
+    st = scheduler.Stop();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return frames;
+  };
+  auto sync_frames = run(false);
+  auto sched_frames = run(true);
+  ASSERT_EQ(sync_frames.size(), 2u);
+  ASSERT_EQ(sched_frames.size(), 2u);
+  for (size_t f = 0; f < 2; ++f) {
+    auto diff = Raster::AbsDifference(sync_frames[f], sched_frames[f]);
+    ASSERT_TRUE(diff.ok());
+    EXPECT_NEAR(*diff, 0.0, 1e-12) << "frame " << f;
+  }
+}
+
+}  // namespace
+}  // namespace geostreams

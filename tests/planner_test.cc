@@ -1,0 +1,216 @@
+#include "query/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "query/explain.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "server/scan_schedule.h"
+#include "server/stream_generator.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::CollectPoints;
+using testing_util::LatLonLattice;
+using testing_util::MakeTestCatalog;
+using testing_util::PushFrame;
+using testing_util::WellFormedFrames;
+
+Result<ExprPtr> Analyzed(const StreamCatalog& catalog,
+                         const std::string& query) {
+  GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr e, ParseQuery(query));
+  GEOSTREAMS_RETURN_IF_ERROR(AnalyzeQuery(catalog, e));
+  return e;
+}
+
+TEST(PlannerTest, SingleChainPlan) {
+  StreamCatalog catalog = MakeTestCatalog();
+  auto e = Analyzed(catalog,
+                    "vrange(region(g.nir, bbox(-125,40,-123,45)), 0, 0, 1)");
+  ASSERT_TRUE(e.ok());
+  CollectingSink sink;
+  auto plan = BuildPlan(*e, &sink);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->operators().size(), 2u);
+  EXPECT_EQ((*plan)->input_names(), std::vector<std::string>{"g.nir"});
+  EXPECT_NE((*plan)->input("g.nir"), nullptr);
+  EXPECT_EQ((*plan)->input("g.vis"), nullptr);
+  EXPECT_EQ((*plan)->output_descriptor().name(), (*e)->out_desc.name());
+}
+
+TEST(PlannerTest, ExecutesChain) {
+  StreamCatalog catalog = MakeTestCatalog();
+  auto e = Analyzed(catalog,
+                    "rescale(region(g.nir, bbox(-125,43,-123.4,45)), 10, 0)");
+  ASSERT_TRUE(e.ok());
+  CollectingSink sink;
+  auto plan = BuildPlan(*e, &sink);
+  ASSERT_TRUE(plan.ok());
+  GridLattice lattice = LatLonLattice(16, 12);
+  GS_ASSERT_OK(PushFrame((*plan)->input("g.nir"), lattice, 0));
+  auto points = CollectPoints(sink.events());
+  // Columns 0..2 of rows 0..3 fall in the box (0.5-degree lattice from
+  // (-124.75, 44.75), box x<=-123.4 keeps 3 columns, y>=43 keeps 4
+  // rows).
+  EXPECT_EQ(points.size(), 3u * 4u);
+  for (const auto& [key, v] : points) {
+    EXPECT_NEAR(v, 10.0 * testing_util::TestValue(0, std::get<0>(key),
+                                                  std::get<1>(key)),
+                1e-9);
+  }
+}
+
+TEST(PlannerTest, BinaryPlanHasTwoInputs) {
+  StreamCatalog catalog = MakeTestCatalog();
+  auto e = Analyzed(catalog, "ndvi(g.nir, g.vis)");
+  ASSERT_TRUE(e.ok());
+  CollectingSink sink;
+  auto plan = BuildPlan(*e, &sink);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->operators().size(), 1u);
+  EXPECT_EQ((*plan)->input_names().size(), 2u);
+  EXPECT_NE((*plan)->input("g.nir"), nullptr);
+  EXPECT_NE((*plan)->input("g.vis"), nullptr);
+}
+
+TEST(PlannerTest, SharedStreamBroadcasts) {
+  // div(sub(a,b), add(a,b)) references each stream twice; the plan
+  // fans each input out to both composition ports.
+  StreamCatalog catalog = MakeTestCatalog();
+  auto parsed = ParseQuery("div(sub(g.nir, g.vis), add(g.nir, g.vis))");
+  ASSERT_TRUE(parsed.ok());
+  GS_ASSERT_OK(AnalyzeQuery(catalog, *parsed));
+  CollectingSink sink;
+  auto plan = BuildPlan(*parsed, &sink);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->operators().size(), 3u);
+  EXPECT_EQ((*plan)->input_names().size(), 2u);
+
+  // Execute: NDVI of the expanded form must match the macro form.
+  GridLattice lattice = LatLonLattice(16, 12);
+  auto push_band = [&](const char* name, double bias) {
+    EventSink* in = (*plan)->input(name);
+    ASSERT_NE(in, nullptr);
+    FrameInfo info;
+    info.frame_id = 0;
+    info.lattice = lattice;
+    GS_ASSERT_OK(in->Consume(StreamEvent::FrameBegin(info)));
+    auto batch = std::make_shared<PointBatch>();
+    batch->frame_id = 0;
+    batch->band_count = 1;
+    for (int64_t r = 0; r < lattice.height(); ++r) {
+      for (int64_t c = 0; c < lattice.width(); ++c) {
+        batch->Append1(static_cast<int32_t>(c), static_cast<int32_t>(r), 0,
+                       testing_util::TestValue(0, c, r) + bias);
+      }
+    }
+    GS_ASSERT_OK(in->Consume(StreamEvent::Batch(batch)));
+    GS_ASSERT_OK(in->Consume(StreamEvent::FrameEnd(info)));
+  };
+  push_band("g.nir", 0.6);
+  push_band("g.vis", 0.2);
+  auto points = CollectPoints(sink.events());
+  ASSERT_EQ(points.size(), 16u * 12u);
+  for (const auto& [key, v] : points) {
+    const double base =
+        testing_util::TestValue(0, std::get<0>(key), std::get<1>(key));
+    EXPECT_NEAR(v, 0.4 / (2.0 * base + 0.8), 1e-9);
+  }
+}
+
+TEST(PlannerTest, Sec34QueryEndToEnd) {
+  // The full paper example over generated GOES-like streams, with the
+  // optimizer on: NDVI -> value transform -> reproject to UTM ->
+  // spatial restriction in UTM coordinates.
+  InstrumentConfig config;
+  config.crs_name = "latlon";
+  config.cells_per_sector = 32 * 16;
+  config.bands = {SpectralBand::kNearInfrared, SpectralBand::kVisible};
+  config.name_prefix = "goes";
+  StreamGenerator gen(config, ScanSchedule::GoesRoutine());
+  ASSERT_TRUE(gen.Init().ok());
+  StreamCatalog catalog;
+  for (size_t b = 0; b < 2; ++b) {
+    auto d = gen.Descriptor(b);
+    ASSERT_TRUE(d.ok());
+    GS_ASSERT_OK(catalog.Register(*d));
+  }
+
+  auto parsed = ParseQuery(
+      "region(reproject(rescale(ndvi(goes.band2, goes.band1), 100, 100), "
+      "\"utm:10n\"), bbox(300000, 3000000, 900000, 5200000))");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  GS_ASSERT_OK(AnalyzeQuery(catalog, *parsed));
+  auto optimized = OptimizeQuery(catalog, *parsed);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+
+  CollectingSink sink;
+  auto plan = BuildPlan(*optimized, &sink);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::vector<EventSink*> sinks = {(*plan)->input("goes.band2"),
+                                   (*plan)->input("goes.band1")};
+  ASSERT_NE(sinks[0], nullptr);
+  ASSERT_NE(sinks[1], nullptr);
+  GS_ASSERT_OK(gen.GenerateScans(0, 2, sinks));
+  GS_ASSERT_OK(gen.Finish(sinks));
+
+  EXPECT_TRUE(WellFormedFrames(sink.events()));
+  auto points = CollectPoints(sink.events());
+  ASSERT_GT(points.size(), 0u);
+  // NDVI rescaled by (100, +100) stays within [0, 200].
+  for (const auto& [key, v] : points) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 200.0);
+  }
+  // The output descriptor is in UTM (closure through the whole chain).
+  EXPECT_EQ((*plan)->output_descriptor().crs()->name(), "utm:10n");
+}
+
+TEST(PlannerTest, RequiresAnalyzedTree) {
+  auto parsed = ParseQuery("g.nir");
+  ASSERT_TRUE(parsed.ok());
+  CollectingSink sink;
+  EXPECT_EQ(BuildPlan(*parsed, &sink).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PlannerTest, RequiresSink) {
+  StreamCatalog catalog = MakeTestCatalog();
+  auto e = Analyzed(catalog, "g.nir");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(BuildPlan(*e, nullptr).ok());
+}
+
+TEST(PlannerTest, MetricsAccounting) {
+  StreamCatalog catalog = MakeTestCatalog();
+  auto e = Analyzed(catalog, "region(g.nir, bbox(-125,43,-123.4,45))");
+  ASSERT_TRUE(e.ok());
+  CollectingSink sink;
+  MemoryTracker tracker;
+  auto plan = BuildPlan(*e, &sink, &tracker);
+  ASSERT_TRUE(plan.ok());
+  GridLattice lattice = LatLonLattice(16, 12);
+  GS_ASSERT_OK(PushFrame((*plan)->input("g.nir"), lattice, 0));
+  EXPECT_EQ((*plan)->PointsProcessed(), 16u * 12u);
+  EXPECT_EQ((*plan)->BufferedHighWater(), 0u);  // pure filter
+}
+
+TEST(ExplainTest, ShowsTreeAndCosts) {
+  StreamCatalog catalog = MakeTestCatalog();
+  auto e = Analyzed(catalog,
+                    "region(ndvi(g.nir, g.vis), bbox(-125,40,-123,45))");
+  ASSERT_TRUE(e.ok());
+  const std::string text = ExplainQuery(*e);
+  EXPECT_NE(text.find("SpatialRestrict"), std::string::npos);
+  EXPECT_NE(text.find("NdviMacro"), std::string::npos);
+  EXPECT_NE(text.find("Stream g.nir"), std::string::npos);
+  EXPECT_NE(text.find("in="), std::string::npos);  // cost annotations
+  // Two levels of indentation.
+  EXPECT_NE(text.find("\n  "), std::string::npos);
+  EXPECT_NE(text.find("\n    "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,217 @@
+#include "raster/png_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "raster/checksum.h"
+#include "raster/pnm_io.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ChecksumTest, Crc32KnownVectors) {
+  // Standard test vector: CRC-32 of "123456789" is 0xCBF43926.
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(digits, sizeof(digits)), 0xCBF43926u);
+  // CRC-32 of the empty string is 0.
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  // CRC-32 of "IEND" (the chunk every PNG ends with) is 0xAE426082.
+  const uint8_t iend[] = {'I', 'E', 'N', 'D'};
+  EXPECT_EQ(Crc32(iend, 4), 0xAE426082u);
+}
+
+TEST(ChecksumTest, Crc32Chaining) {
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  uint32_t crc = UpdateCrc32(0xFFFFFFFFu, digits, 4);
+  crc = UpdateCrc32(crc, digits + 4, 5);
+  EXPECT_EQ(crc ^ 0xFFFFFFFFu, 0xCBF43926u);
+}
+
+TEST(ChecksumTest, Adler32KnownVectors) {
+  // Adler-32 of "Wikipedia" is 0x11E60398.
+  const uint8_t wiki[] = {'W', 'i', 'k', 'i', 'p', 'e', 'd', 'i', 'a'};
+  EXPECT_EQ(Adler32(1, wiki, sizeof(wiki)), 0x11E60398u);
+  EXPECT_EQ(Adler32(1, nullptr, 0), 1u);
+}
+
+TEST(PngEncoderTest, EmitsValidStructure) {
+  const uint8_t pixels[] = {0, 64, 128, 255};
+  auto png = EncodePng(pixels, 2, 2, PngColor::kGray);
+  ASSERT_TRUE(png.ok());
+  const std::vector<uint8_t>& bytes = *png;
+  ASSERT_GE(bytes.size(), 8u + 25u + 12u);
+  // Signature.
+  EXPECT_EQ(bytes[0], 0x89);
+  EXPECT_EQ(bytes[1], 'P');
+  EXPECT_EQ(bytes[2], 'N');
+  EXPECT_EQ(bytes[3], 'G');
+  // IHDR chunk follows: length 13, type IHDR.
+  EXPECT_EQ(bytes[8 + 3], 13);
+  EXPECT_EQ(std::string(bytes.begin() + 12, bytes.begin() + 16), "IHDR");
+  // Width/height big-endian.
+  EXPECT_EQ(bytes[16 + 3], 2);  // width = 2
+  EXPECT_EQ(bytes[20 + 3], 2);  // height = 2
+  EXPECT_EQ(bytes[24], 8);      // bit depth
+  EXPECT_EQ(bytes[25], 0);      // gray
+  // File ends with IEND and its fixed CRC.
+  const size_t n = bytes.size();
+  EXPECT_EQ(std::string(bytes.begin() + n - 8, bytes.begin() + n - 4),
+            "IEND");
+  EXPECT_EQ(bytes[n - 4], 0xAE);
+  EXPECT_EQ(bytes[n - 3], 0x42);
+  EXPECT_EQ(bytes[n - 2], 0x60);
+  EXPECT_EQ(bytes[n - 1], 0x82);
+}
+
+TEST(PngEncoderTest, ChunkCrcsAreConsistent) {
+  const uint8_t pixels[] = {1, 2, 3, 4, 5, 6};
+  auto png = EncodePng(pixels, 2, 1, PngColor::kRgb);
+  ASSERT_TRUE(png.ok());
+  const std::vector<uint8_t>& b = *png;
+  // Walk chunks, verifying each CRC.
+  size_t pos = 8;
+  int chunks = 0;
+  while (pos + 12 <= b.size()) {
+    const uint32_t len = (static_cast<uint32_t>(b[pos]) << 24) |
+                         (static_cast<uint32_t>(b[pos + 1]) << 16) |
+                         (static_cast<uint32_t>(b[pos + 2]) << 8) |
+                         b[pos + 3];
+    ASSERT_LE(pos + 12 + len, b.size());
+    const uint32_t expected = Crc32(b.data() + pos + 4, len + 4);
+    const size_t cp = pos + 8 + len;
+    const uint32_t stored = (static_cast<uint32_t>(b[cp]) << 24) |
+                            (static_cast<uint32_t>(b[cp + 1]) << 16) |
+                            (static_cast<uint32_t>(b[cp + 2]) << 8) |
+                            b[cp + 3];
+    EXPECT_EQ(stored, expected) << "chunk " << chunks;
+    pos = cp + 4;
+    ++chunks;
+  }
+  EXPECT_EQ(chunks, 3);  // IHDR, IDAT, IEND
+  EXPECT_EQ(pos, b.size());
+}
+
+TEST(PngEncoderTest, ZlibStreamChecksumIsValid) {
+  // Decode our own stored-deflate stream and verify the Adler-32.
+  const uint8_t pixels[] = {10, 20, 30, 40};
+  auto png = EncodePng(pixels, 2, 2, PngColor::kGray);
+  ASSERT_TRUE(png.ok());
+  const std::vector<uint8_t>& b = *png;
+  // IDAT starts after the 8-byte signature and 25-byte IHDR chunk.
+  size_t pos = 8 + 25;
+  const uint32_t idat_len = (static_cast<uint32_t>(b[pos]) << 24) |
+                            (static_cast<uint32_t>(b[pos + 1]) << 16) |
+                            (static_cast<uint32_t>(b[pos + 2]) << 8) |
+                            b[pos + 3];
+  ASSERT_EQ(std::string(b.begin() + pos + 4, b.begin() + pos + 8), "IDAT");
+  const uint8_t* z = b.data() + pos + 8;
+  // zlib header.
+  EXPECT_EQ(z[0], 0x78);
+  EXPECT_EQ((z[0] * 256 + z[1]) % 31, 0);  // FCHECK property
+  // Stored block: BFINAL=1 BTYPE=00, LEN, ~LEN, payload.
+  EXPECT_EQ(z[2], 1);
+  const uint16_t len = static_cast<uint16_t>(z[3] | (z[4] << 8));
+  const uint16_t nlen = static_cast<uint16_t>(z[5] | (z[6] << 8));
+  EXPECT_EQ(static_cast<uint16_t>(~len), nlen);
+  EXPECT_EQ(len, 2u * (2u + 1u));  // 2 rows of (filter byte + 2 pixels)
+  const uint8_t* raw = z + 7;
+  const uint32_t adler = Adler32(1, raw, len);
+  const uint8_t* tail = z + 7 + len;
+  const uint32_t stored_adler = (static_cast<uint32_t>(tail[0]) << 24) |
+                                (static_cast<uint32_t>(tail[1]) << 16) |
+                                (static_cast<uint32_t>(tail[2]) << 8) |
+                                tail[3];
+  EXPECT_EQ(stored_adler, adler);
+  EXPECT_EQ(static_cast<size_t>(idat_len), 2u + 5u + len + 4u);
+}
+
+TEST(PngEncoderTest, RejectsBadInputs) {
+  const uint8_t px[] = {0};
+  EXPECT_FALSE(EncodePng(px, 0, 1, PngColor::kGray).ok());
+  Raster two_band(2, 2, 2);
+  EXPECT_FALSE(RasterToPng(two_band).ok());
+  EXPECT_FALSE(RasterToPng(Raster()).ok());
+}
+
+TEST(PngEncoderTest, RasterScalingUsesRange) {
+  Raster r(2, 1, 1);
+  r.Set(0, 0, 0.0);
+  r.Set(1, 0, 1.0);
+  auto png = RasterToPng(r, 0.0, 1.0);
+  ASSERT_TRUE(png.ok());
+  // Payload bytes: filter 0, then 0 and 255.
+  const std::vector<uint8_t>& b = *png;
+  size_t pos = 8 + 25 + 8;  // into IDAT payload
+  const uint8_t* z = b.data() + pos;
+  const uint8_t* raw = z + 7;
+  EXPECT_EQ(raw[0], 0);    // filter byte
+  EXPECT_EQ(raw[1], 0);    // 0.0 -> 0
+  EXPECT_EQ(raw[2], 255);  // 1.0 -> 255
+}
+
+TEST(PngEncoderTest, WriteFile) {
+  Raster r(3, 3, 1, 0.5);
+  const std::string path = TempPath("out.png");
+  GS_ASSERT_OK(WriteRasterPng(r, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  uint8_t sig[4] = {};
+  ASSERT_EQ(std::fread(sig, 1, 4, f), 4u);
+  std::fclose(f);
+  EXPECT_EQ(sig[1], 'P');
+  std::remove(path.c_str());
+}
+
+TEST(PnmIoTest, GrayRoundTrip) {
+  Raster r(4, 2, 1);
+  for (int64_t y = 0; y < 2; ++y) {
+    for (int64_t x = 0; x < 4; ++x) {
+      r.Set(x, y, static_cast<double>(x * 60 + y * 20));
+    }
+  }
+  const std::string path = TempPath("gray.pgm");
+  GS_ASSERT_OK(WriteRasterPnm(r, path, 0.0, 255.0));
+  auto back = ReadRasterPnm(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->width(), 4);
+  EXPECT_EQ(back->height(), 2);
+  EXPECT_EQ(back->bands(), 1);
+  EXPECT_DOUBLE_EQ(back->At(3, 1), 200.0);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIoTest, RgbRoundTrip) {
+  Raster r(2, 2, 3);
+  r.Set(0, 0, 0, 255.0);
+  r.Set(1, 1, 2, 128.0);
+  const std::string path = TempPath("color.ppm");
+  GS_ASSERT_OK(WriteRasterPnm(r, path, 0.0, 255.0));
+  auto back = ReadRasterPnm(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->bands(), 3);
+  EXPECT_DOUBLE_EQ(back->At(0, 0, 0), 255.0);
+  EXPECT_DOUBLE_EQ(back->At(1, 1, 2), 128.0);
+  EXPECT_DOUBLE_EQ(back->At(0, 1, 1), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(PnmIoTest, ReadRejectsGarbage) {
+  const std::string path = TempPath("garbage.pgm");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOT A PNM", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadRasterPnm(path).ok());
+  EXPECT_FALSE(ReadRasterPnm(TempPath("missing.pgm")).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,252 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/lexer.h"
+
+namespace geostreams {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("region(g1, bbox(-1.5, 2, 3e2, \"x\"))");
+  ASSERT_TRUE(tokens.ok());
+  const std::vector<Token>& t = *tokens;
+  EXPECT_EQ(t[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(t[0].text, "region");
+  EXPECT_EQ(t[1].kind, TokenKind::kLParen);
+  EXPECT_EQ(t[2].text, "g1");
+  EXPECT_EQ(t[3].kind, TokenKind::kComma);
+  EXPECT_EQ(t[4].text, "bbox");
+  EXPECT_EQ(t[6].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(t[6].number, -1.5);
+  EXPECT_DOUBLE_EQ(t[10].number, 300.0);
+  EXPECT_EQ(t[12].kind, TokenKind::kString);
+  EXPECT_EQ(t[12].text, "x");
+  EXPECT_EQ(t.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAllowDotsAndColons) {
+  auto tokens = Tokenize("goes.band1 utm:10n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "goes.band1");
+  EXPECT_EQ((*tokens)[1].text, "utm:10n");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("region($)").ok());
+}
+
+TEST(ParserTest, BareStreamRef) {
+  auto e = ParseQuery("goes.band1");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kStreamRef);
+  EXPECT_EQ((*e)->stream_name, "goes.band1");
+}
+
+TEST(ParserTest, RegionBBox) {
+  auto e = ParseQuery("region(g, bbox(-125, 32, -114, 42))");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kSpatialRestrict);
+  EXPECT_EQ((*e)->region->kind(), RegionKind::kBBox);
+  EXPECT_TRUE((*e)->region->Contains(-120.0, 38.0));
+  EXPECT_FALSE((*e)->region->Contains(-100.0, 38.0));
+}
+
+TEST(ParserTest, RegionShapes) {
+  EXPECT_TRUE(ParseQuery("region(g, polygon(0,0, 10,0, 5,8))").ok());
+  EXPECT_TRUE(ParseQuery("region(g, disk(1, 2, 3))").ok());
+  EXPECT_TRUE(ParseQuery("region(g, all())").ok());
+  EXPECT_TRUE(ParseQuery("region(g, points(0.5, 1,2, 3,4))").ok());
+  auto u = ParseQuery(
+      "region(g, union(bbox(0,0,1,1), disk(5,5,1)))");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ((*u)->region->kind(), RegionKind::kUnion);
+  auto i = ParseQuery(
+      "region(g, intersection(bbox(0,0,4,4), bbox(2,2,6,6)))");
+  ASSERT_TRUE(i.ok());
+  EXPECT_TRUE((*i)->region->Contains(3.0, 3.0));
+  EXPECT_FALSE((*i)->region->Contains(1.0, 1.0));
+}
+
+TEST(ParserTest, RegionErrors) {
+  EXPECT_FALSE(ParseQuery("region(g, bbox(1, 2, 3))").ok());
+  EXPECT_FALSE(ParseQuery("region(g, polygon(0,0, 1,1))").ok());
+  EXPECT_FALSE(ParseQuery("region(g, blob(1))").ok());
+  EXPECT_FALSE(ParseQuery("region(g)").ok());
+}
+
+TEST(ParserTest, TimeSpecs) {
+  auto e = ParseQuery("time(g, range(5, 10), instants(20), every(96, 40, 55))");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kTemporalRestrict);
+  EXPECT_TRUE((*e)->times.Contains(7));
+  EXPECT_TRUE((*e)->times.Contains(20));
+  EXPECT_TRUE((*e)->times.Contains(96 + 50));
+  EXPECT_FALSE((*e)->times.Contains(15));
+}
+
+TEST(ParserTest, ValueRestrictions) {
+  auto e = ParseQuery("vrange(g, 0, 0.2, 0.8)");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ((*e)->ranges.size(), 1u);
+  EXPECT_EQ((*e)->ranges[0].band, 0);
+  EXPECT_DOUBLE_EQ((*e)->ranges[0].lo, 0.2);
+  auto multi = ParseQuery("vrange(g, 0, 0, 1, 2, -5, 5)");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ((*multi)->ranges.size(), 2u);
+  EXPECT_FALSE(ParseQuery("vrange(g)").ok());
+  EXPECT_FALSE(ParseQuery("vrange(g, 0.5, 0, 1)").ok());  // band not int
+}
+
+TEST(ParserTest, ValueTransforms) {
+  auto g = ParseQuery("gray(g)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->kind, ExprKind::kValueTransform);
+  EXPECT_EQ((*g)->value_spec.kind, ValueFnSpec::Kind::kGray);
+  auto r = ParseQuery("rescale(g, 2.0, -1.0)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)->value_spec.a, 2.0);
+  EXPECT_DOUBLE_EQ((*r)->value_spec.b, -1.0);
+  EXPECT_TRUE(ParseQuery("clampv(g, 0, 1)").ok());
+  EXPECT_TRUE(ParseQuery("absv(g)").ok());
+  auto b = ParseQuery("band(g, 2)");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->value_spec.band, 2);
+}
+
+TEST(ParserTest, StretchModes) {
+  auto lin = ParseQuery("stretch(g, \"linear\")");
+  ASSERT_TRUE(lin.ok());
+  EXPECT_EQ((*lin)->stretch.mode, StretchMode::kLinear);
+  auto he = ParseQuery("stretch(g, \"histeq\")");
+  ASSERT_TRUE(he.ok());
+  EXPECT_EQ((*he)->stretch.mode, StretchMode::kHistogramEqualization);
+  auto ga = ParseQuery("stretch(g, \"gauss\")");
+  ASSERT_TRUE(ga.ok());
+  EXPECT_EQ((*ga)->stretch.mode, StretchMode::kGaussian);
+  auto clip = ParseQuery("stretch(g, \"linear\", 0.02)");
+  ASSERT_TRUE(clip.ok());
+  EXPECT_DOUBLE_EQ((*clip)->stretch.clip_fraction, 0.02);
+  EXPECT_FALSE(ParseQuery("stretch(g, \"cubic\")").ok());
+}
+
+TEST(ParserTest, SpatialTransforms) {
+  auto m = ParseQuery("magnify(g, 3)");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)->kind, ExprKind::kMagnify);
+  EXPECT_EQ((*m)->factor, 3);
+  auto r = ParseQuery("reduce(g, 2)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind, ExprKind::kReduce);
+  EXPECT_FALSE(ParseQuery("magnify(g, 0)").ok());
+  EXPECT_FALSE(ParseQuery("reduce(g, 1.5)").ok());
+}
+
+TEST(ParserTest, Reproject) {
+  auto e = ParseQuery("reproject(g, \"utm:10n\")");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kReproject);
+  EXPECT_EQ((*e)->target_crs, "utm:10n");
+  EXPECT_EQ((*e)->kernel, ResampleKernel::kNearest);
+  auto bi = ParseQuery("reproject(g, \"latlon\", \"bilinear\")");
+  ASSERT_TRUE(bi.ok());
+  EXPECT_EQ((*bi)->kernel, ResampleKernel::kBilinear);
+  EXPECT_FALSE(ParseQuery("reproject(g, \"latlon\", \"cubic\")").ok());
+}
+
+TEST(ParserTest, Compositions) {
+  for (const char* fn : {"add", "sub", "mul", "div", "sup", "inf"}) {
+    auto e = ParseQuery(std::string(fn) + "(a, b)");
+    ASSERT_TRUE(e.ok()) << fn;
+    EXPECT_EQ((*e)->kind, ExprKind::kCompose) << fn;
+  }
+  auto ndvi = ParseQuery("ndvi(nir, vis)");
+  ASSERT_TRUE(ndvi.ok());
+  EXPECT_EQ((*ndvi)->kind, ExprKind::kNdviMacro);
+}
+
+TEST(ParserTest, Aggregate) {
+  auto e = ParseQuery(
+      "aggregate(g, \"avg\", 4, bbox(0,0,1,1), bbox(2,2,3,3))");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kAggregate);
+  EXPECT_EQ((*e)->agg_fn, AggregateFn::kAvg);
+  EXPECT_EQ((*e)->agg_window, 4);
+  EXPECT_EQ((*e)->agg_regions.size(), 2u);
+  EXPECT_FALSE(ParseQuery("aggregate(g, \"avg\", 4)").ok());
+  EXPECT_FALSE(ParseQuery("aggregate(g, \"median\", 4, bbox(0,0,1,1))").ok());
+  EXPECT_FALSE(ParseQuery("aggregate(g, \"avg\", 0, bbox(0,0,1,1))").ok());
+}
+
+TEST(ParserTest, Sec34ExampleQuery) {
+  // The paper's example: NDVI, value transform, re-projection to UTM,
+  // then a spatial restriction in UTM coordinates.
+  auto e = ParseQuery(
+      "region(reproject(rescale(div(sub(g1, g2), add(g1, g2)), 100, 0), "
+      "\"utm:10n\"), bbox(500000, 3500000, 800000, 4700000))");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kSpatialRestrict);
+  EXPECT_EQ((*e)->child->kind, ExprKind::kReproject);
+  EXPECT_EQ((*e)->child->child->kind, ExprKind::kValueTransform);
+  EXPECT_EQ((*e)->child->child->child->kind, ExprKind::kCompose);
+  EXPECT_EQ((*e)->child->child->child->gamma, ComposeFn::kDivide);
+}
+
+TEST(ParserTest, NestedQueriesRoundTripThroughToString) {
+  const char* queries[] = {
+      "region(goes.band1, bbox(-125, 32, -114, 42))",
+      "ndvi(goes.band2, goes.band1)",
+      "time(vrange(goes.band4, 0, 200, 250), range(0, 100))",
+      "reduce(magnify(goes.band1, 2), 2)",
+      "aggregate(ndvi(a, b), \"avg\", 3, bbox(0, 0, 1, 1))",
+  };
+  for (const char* q : queries) {
+    auto e1 = ParseQuery(q);
+    ASSERT_TRUE(e1.ok()) << q;
+    auto e2 = ParseQuery((*e1)->ToString());
+    ASSERT_TRUE(e2.ok()) << "re-parse of " << (*e1)->ToString();
+    EXPECT_EQ((*e1)->ToString(), (*e2)->ToString()) << q;
+  }
+}
+
+TEST(ParserTest, GeneralErrors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("region(g, bbox(0,0,1,1)) trailing").ok());
+  EXPECT_FALSE(ParseQuery("unknownfn(g)").ok());
+  EXPECT_FALSE(ParseQuery("add(a)").ok());
+  EXPECT_FALSE(ParseQuery("add(a, b, c)").ok());
+  EXPECT_FALSE(ParseQuery("region(g, bbox(0,0,1,1)").ok());  // missing )
+}
+
+
+TEST(ParserTest, StackAndRgb) {
+  auto st = ParseQuery("stack(a, b)");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ((*st)->kind, ExprKind::kBandStack);
+  auto rgb = ParseQuery("rgb(r, g, b)");
+  ASSERT_TRUE(rgb.ok());
+  EXPECT_EQ((*rgb)->kind, ExprKind::kBandStack);
+  EXPECT_EQ((*rgb)->child->kind, ExprKind::kBandStack);
+  EXPECT_EQ((*rgb)->right->stream_name, "b");
+  EXPECT_EQ((*rgb)->child->child->stream_name, "r");
+  EXPECT_FALSE(ParseQuery("stack(a)").ok());
+  EXPECT_FALSE(ParseQuery("rgb(a, b)").ok());
+}
+
+TEST(ParserTest, AggregateSlide) {
+  auto e = ParseQuery("aggregate(g, \"avg\", 6, 2, bbox(0,0,1,1))");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->agg_window, 6);
+  EXPECT_EQ((*e)->agg_slide, 2);
+  // Round-trips through ToString.
+  auto again = ParseQuery((*e)->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->agg_slide, 2);
+  // Slide must be in [1, window].
+  EXPECT_FALSE(ParseQuery("aggregate(g, \"avg\", 6, 9, bbox(0,0,1,1))").ok());
+  EXPECT_FALSE(ParseQuery("aggregate(g, \"avg\", 6, 0, bbox(0,0,1,1))").ok());
+}
+
+}  // namespace
+}  // namespace geostreams

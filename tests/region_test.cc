@@ -1,0 +1,186 @@
+#include "geo/region.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace geostreams {
+namespace {
+
+TEST(BoundingBoxTest, Basics) {
+  BoundingBox box(10.0, 20.0, 30.0, 40.0);
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.width(), 20.0);
+  EXPECT_DOUBLE_EQ(box.height(), 20.0);
+  EXPECT_DOUBLE_EQ(box.area(), 400.0);
+  EXPECT_TRUE(box.Contains(10.0, 20.0));  // closed boundary
+  EXPECT_TRUE(box.Contains(30.0, 40.0));
+  EXPECT_FALSE(box.Contains(9.99, 20.0));
+}
+
+TEST(BoundingBoxTest, CornerOrderNormalized) {
+  BoundingBox box(30.0, 40.0, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(box.min_x, 10.0);
+  EXPECT_DOUBLE_EQ(box.max_y, 40.0);
+}
+
+TEST(BoundingBoxTest, DefaultIsEmpty) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_FALSE(box.Contains(0.0, 0.0));
+  EXPECT_DOUBLE_EQ(box.area(), 0.0);
+}
+
+TEST(BoundingBoxTest, IntersectionAndContains) {
+  BoundingBox a(0, 0, 10, 10);
+  BoundingBox b(5, 5, 15, 15);
+  EXPECT_TRUE(a.Intersects(b));
+  BoundingBox c = a.Intersection(b);
+  EXPECT_DOUBLE_EQ(c.min_x, 5.0);
+  EXPECT_DOUBLE_EQ(c.max_x, 10.0);
+  EXPECT_TRUE(a.ContainsBox(BoundingBox(1, 1, 9, 9)));
+  EXPECT_FALSE(a.ContainsBox(b));
+  EXPECT_FALSE(a.Intersects(BoundingBox(20, 20, 30, 30)));
+}
+
+TEST(BoundingBoxTest, ExpandToInclude) {
+  BoundingBox box;
+  box.ExpandToInclude(3.0, 4.0);
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains(3.0, 4.0));
+  box.ExpandToInclude(-1.0, 10.0);
+  EXPECT_TRUE(box.Contains(0.0, 7.0));
+}
+
+TEST(BBoxRegionTest, ContainsMatchesBox) {
+  BBoxRegion region(0.0, 0.0, 4.0, 2.0);
+  EXPECT_EQ(region.kind(), RegionKind::kBBox);
+  EXPECT_TRUE(region.Contains(2.0, 1.0));
+  EXPECT_FALSE(region.Contains(5.0, 1.0));
+  EXPECT_EQ(region.bounds(), BoundingBox(0.0, 0.0, 4.0, 2.0));
+}
+
+TEST(PolygonRegionTest, Triangle) {
+  PolygonRegion tri({{0, 0}, {10, 0}, {0, 10}});
+  EXPECT_TRUE(tri.Contains(1.0, 1.0));
+  EXPECT_TRUE(tri.Contains(4.0, 4.0));
+  EXPECT_FALSE(tri.Contains(6.0, 6.0));  // beyond the hypotenuse
+  EXPECT_FALSE(tri.Contains(-1.0, 1.0));
+}
+
+TEST(PolygonRegionTest, ConcavePolygon) {
+  // A "U" shape: the notch in the middle is outside.
+  PolygonRegion u({{0, 0}, {10, 0}, {10, 10}, {7, 10}, {7, 3},
+                   {3, 3}, {3, 10}, {0, 10}});
+  EXPECT_TRUE(u.Contains(1.0, 8.0));   // left arm
+  EXPECT_TRUE(u.Contains(9.0, 8.0));   // right arm
+  EXPECT_TRUE(u.Contains(5.0, 1.0));   // base
+  EXPECT_FALSE(u.Contains(5.0, 8.0));  // notch
+}
+
+TEST(PolygonRegionTest, RectanglePolygonMatchesBBox) {
+  PolygonRegion rect({{2, 3}, {8, 3}, {8, 7}, {2, 7}});
+  BBoxRegion box(2, 3, 8, 7);
+  for (double x = 0.25; x < 10.0; x += 0.5) {
+    for (double y = 0.25; y < 10.0; y += 0.5) {
+      EXPECT_EQ(rect.Contains(x, y), box.Contains(x, y))
+          << "at (" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(ConstraintRegionTest, Disk) {
+  auto disk = ConstraintRegion::Disk(5.0, 5.0, 2.0);
+  EXPECT_EQ(disk->kind(), RegionKind::kConstraint);
+  EXPECT_TRUE(disk->Contains(5.0, 5.0));
+  EXPECT_TRUE(disk->Contains(6.9, 5.0));
+  EXPECT_FALSE(disk->Contains(7.1, 5.0));
+  EXPECT_FALSE(disk->Contains(6.5, 6.5));  // sqrt(2*1.5^2) > 2
+  EXPECT_TRUE(disk->bounds().Contains(3.0, 3.0));
+}
+
+TEST(ConstraintRegionTest, HalfPlane) {
+  // x + y - 10 <= 0.
+  PolynomialConstraint c;
+  c.terms = {{1.0, 1, 0}, {1.0, 0, 1}, {-10.0, 0, 0}};
+  ConstraintRegion region({c}, BoundingBox(0, 0, 10, 10));
+  EXPECT_TRUE(region.Contains(4.0, 4.0));
+  EXPECT_FALSE(region.Contains(6.0, 6.0));
+}
+
+TEST(EnumeratedRegionTest, SnapsToCells) {
+  EnumeratedRegion region({{1.0, 1.0}, {2.0, 3.0}}, /*cell_size=*/1.0);
+  EXPECT_EQ(region.size(), 2u);
+  EXPECT_TRUE(region.Contains(1.0, 1.0));
+  EXPECT_TRUE(region.Contains(1.2, 0.9));   // same cell after rounding
+  EXPECT_FALSE(region.Contains(1.6, 1.0));  // next cell
+  EXPECT_TRUE(region.Contains(2.0, 3.0));
+  EXPECT_FALSE(region.Contains(3.0, 2.0));
+}
+
+TEST(EnumeratedRegionTest, DeduplicatesPoints) {
+  EnumeratedRegion region({{1.0, 1.0}, {1.1, 1.1}, {0.9, 0.9}}, 1.0);
+  EXPECT_EQ(region.size(), 1u);
+}
+
+TEST(CompositeRegionTest, UnionAndIntersection) {
+  auto a = MakeBBoxRegion(0, 0, 4, 4);
+  auto b = MakeBBoxRegion(2, 2, 6, 6);
+  auto u = MakeUnionRegion({a, b});
+  auto i = MakeIntersectionRegion({a, b});
+  EXPECT_TRUE(u->Contains(1.0, 1.0));
+  EXPECT_TRUE(u->Contains(5.0, 5.0));
+  EXPECT_FALSE(u->Contains(5.0, 1.0));
+  EXPECT_TRUE(i->Contains(3.0, 3.0));
+  EXPECT_FALSE(i->Contains(1.0, 1.0));
+  EXPECT_FALSE(i->Contains(5.0, 5.0));
+  // Bounds: union covers both, intersection only the overlap.
+  EXPECT_TRUE(u->bounds().Contains(6.0, 6.0));
+  EXPECT_FALSE(i->bounds().Contains(1.0, 1.0));
+}
+
+TEST(CompositeRegionTest, EmptyIntersectionContainsNothing) {
+  CompositeRegion empty(RegionKind::kIntersection, {});
+  EXPECT_FALSE(empty.Contains(0.0, 0.0));
+}
+
+TEST(AllRegionTest, ContainsEverything) {
+  auto all = AllRegion::Instance();
+  EXPECT_TRUE(all->Contains(1e9, -1e9));
+  EXPECT_EQ(all->kind(), RegionKind::kAll);
+}
+
+// Property: for random rectangles, the polygon form and bbox form of
+// the same rectangle agree everywhere.
+class RectangleEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectangleEquivalence, PolygonMatchesBBox) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const double x0 = HashToUnit(seed * 4 + 0) * 100.0;
+  const double y0 = HashToUnit(seed * 4 + 1) * 100.0;
+  const double w = HashToUnit(seed * 4 + 2) * 50.0 + 0.1;
+  const double h = HashToUnit(seed * 4 + 3) * 50.0 + 0.1;
+  PolygonRegion poly({{x0, y0}, {x0 + w, y0}, {x0 + w, y0 + h}, {x0, y0 + h}});
+  BBoxRegion box(x0, y0, x0 + w, y0 + h);
+  for (int i = 0; i < 200; ++i) {
+    const double px = HashToUnit(seed * 1000 + static_cast<uint64_t>(i) * 2) *
+                      160.0 - 5.0;
+    const double py =
+        HashToUnit(seed * 1000 + static_cast<uint64_t>(i) * 2 + 1) * 160.0 -
+        5.0;
+    // Skip points within epsilon of the boundary where the even-odd
+    // rule and the closed bbox legitimately differ.
+    if (std::fabs(px - x0) < 1e-6 || std::fabs(px - (x0 + w)) < 1e-6 ||
+        std::fabs(py - y0) < 1e-6 || std::fabs(py - (y0 + h)) < 1e-6) {
+      continue;
+    }
+    EXPECT_EQ(poly.Contains(px, py), box.Contains(px, py))
+        << "seed " << seed << " point (" << px << ", " << py << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RectangleEquivalence,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace geostreams

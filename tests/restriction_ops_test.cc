@@ -1,0 +1,190 @@
+#include "ops/restriction_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::CollectPoints;
+using testing_util::LatLonLattice;
+using testing_util::PushFrame;
+using testing_util::TestValue;
+using testing_util::WellFormedFrames;
+
+TEST(SpatialRestrictionTest, KeepsOnlyPointsInRegion) {
+  // Lattice: 10 x 8 cells of 0.5 deg starting at (-124.75, 44.75).
+  GridLattice lattice = LatLonLattice(10, 8);
+  // Region covering the first 2 columns (x <= -123.75 boundary is
+  // inclusive; use a box strictly between cell centres).
+  SpatialRestrictionOp op("r", MakeBBoxRegion(-125.0, 40.0, -123.9, 45.0));
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 1));
+  GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::StreamEnd()));
+
+  EXPECT_TRUE(WellFormedFrames(sink.events()));
+  auto points = CollectPoints(sink.events());
+  EXPECT_EQ(points.size(), 2u * 8u);
+  for (const auto& [key, value] : points) {
+    EXPECT_LT(std::get<0>(key), 2);  // only columns 0 and 1 survive
+  }
+}
+
+TEST(SpatialRestrictionTest, AllRegionPassesEverythingUnchanged) {
+  GridLattice lattice = LatLonLattice(6, 5);
+  SpatialRestrictionOp op("r", AllRegion::Instance());
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 2));
+  auto points = CollectPoints(sink.events());
+  EXPECT_EQ(points.size(), 30u);
+  EXPECT_DOUBLE_EQ(points.at({3, 2, 2}), TestValue(2, 3, 2));
+}
+
+TEST(SpatialRestrictionTest, DisjointFramePrunedWithoutPointTests) {
+  GridLattice lattice = LatLonLattice(10, 8);
+  // Region far away from the lattice extent.
+  SpatialRestrictionOp op("r", MakeBBoxRegion(0.0, 0.0, 10.0, 10.0));
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 1));
+  EXPECT_EQ(sink.TotalPoints(), 0u);
+  // Frame metadata still flows (frames are forwarded for downstream
+  // bookkeeping).
+  EXPECT_EQ(sink.NumFrames(), 1u);
+}
+
+TEST(SpatialRestrictionTest, NonBlockingNoBuffering) {
+  GridLattice lattice = LatLonLattice(20, 20);
+  SpatialRestrictionOp op("r", MakeBBoxRegion(-124.0, 41.0, -121.0, 44.0));
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 1));
+  EXPECT_EQ(op.metrics().buffered_bytes_high_water, 0u);
+  EXPECT_GT(op.metrics().points_in, 0u);
+}
+
+TEST(SpatialRestrictionTest, PolygonRegionExactTest) {
+  GridLattice lattice = LatLonLattice(10, 8);
+  // Triangle covering roughly the north-west corner of the extent.
+  auto tri = MakePolygonRegion(
+      {{-125.0, 45.0}, {-122.0, 45.0}, {-125.0, 42.0}});
+  SpatialRestrictionOp op("r", tri);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 1));
+  auto points = CollectPoints(sink.events());
+  ASSERT_GT(points.size(), 0u);
+  for (const auto& [key, value] : points) {
+    const double x = lattice.CellX(std::get<0>(key));
+    const double y = lattice.CellY(std::get<1>(key));
+    EXPECT_TRUE(tri->Contains(x, y)) << "(" << x << ", " << y << ")";
+  }
+}
+
+TEST(TemporalRestrictionTest, FiltersByTimestamp) {
+  GridLattice lattice = LatLonLattice(4, 4);
+  TemporalRestrictionOp op("t", TimeSet::Range(2, 3));
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  for (int64_t f = 0; f < 6; ++f) {
+    GS_ASSERT_OK(PushFrame(op.input(0), lattice, f));
+  }
+  auto points = CollectPoints(sink.events());
+  EXPECT_EQ(points.size(), 2u * 16u);
+  for (const auto& [key, value] : points) {
+    const int64_t t = std::get<2>(key);
+    EXPECT_TRUE(t == 2 || t == 3);
+  }
+  // Frames still forwarded (6 of them).
+  EXPECT_EQ(sink.NumFrames(), 6u);
+}
+
+TEST(TemporalRestrictionTest, RecurringWindow) {
+  GridLattice lattice = LatLonLattice(2, 2);
+  TemporalRestrictionOp op("t", TimeSet::Every(4, 0, 0));
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  for (int64_t f = 0; f < 8; ++f) {
+    GS_ASSERT_OK(PushFrame(op.input(0), lattice, f));
+  }
+  auto points = CollectPoints(sink.events());
+  EXPECT_EQ(points.size(), 2u * 4u);  // frames 0 and 4
+}
+
+TEST(ValueRestrictionTest, FiltersByRange) {
+  GridLattice lattice = LatLonLattice(10, 1);
+  // TestValue(1, col, 0) = 0.01 * col + 0.1; keep [0.12, 0.15].
+  ValueRestrictionOp op("v", {{0, 0.115, 0.155}});
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 1));
+  auto points = CollectPoints(sink.events());
+  EXPECT_EQ(points.size(), 4u);  // cols 2, 3, 4, 5
+  for (const auto& [key, value] : points) {
+    EXPECT_GE(value, 0.115);
+    EXPECT_LE(value, 0.155);
+  }
+}
+
+TEST(ValueRestrictionTest, ConjunctionOfRanges) {
+  PointBatch batch;
+  batch.band_count = 2;
+  const double a[2] = {1.0, 10.0};
+  const double b[2] = {1.0, 20.0};
+  const double c[2] = {2.0, 10.0};
+  batch.Append(0, 0, 0, a);
+  batch.Append(1, 0, 0, b);
+  batch.Append(2, 0, 0, c);
+  ValueRestrictionOp op("v", {{0, 0.5, 1.5}, {1, 5.0, 15.0}});
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(op.input(0)->Consume(
+      StreamEvent::Batch(std::make_shared<PointBatch>(batch))));
+  auto points = CollectPoints(sink.events());
+  ASSERT_EQ(points.size(), 1u);  // only point (0,0) passes both
+  EXPECT_EQ(std::get<0>(points.begin()->first), 0);
+}
+
+TEST(ValueRestrictionTest, BandOutOfRangeFails) {
+  PointBatch batch;
+  batch.band_count = 1;
+  batch.Append1(0, 0, 0, 1.0);
+  ValueRestrictionOp op("v", {{3, 0.0, 1.0}});
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  // A predicate on a missing band cannot match: the point is dropped.
+  GS_ASSERT_OK(op.input(0)->Consume(
+      StreamEvent::Batch(std::make_shared<PointBatch>(batch))));
+  EXPECT_EQ(sink.TotalPoints(), 0u);
+}
+
+TEST(RestrictionsTest, ComposeInSequence) {
+  // Chained restrictions behave like a conjunction.
+  GridLattice lattice = LatLonLattice(10, 8);
+  SpatialRestrictionOp spatial("r",
+                               MakeBBoxRegion(-124.3, 40.0, -122.0, 45.0));
+  TemporalRestrictionOp temporal("t", TimeSet::Instants({5}));
+  CollectingSink sink;
+  spatial.BindOutput(temporal.input(0));
+  temporal.BindOutput(&sink);
+  for (int64_t f = 4; f <= 6; ++f) {
+    GS_ASSERT_OK(PushFrame(spatial.input(0), lattice, f));
+  }
+  auto points = CollectPoints(sink.events());
+  ASSERT_GT(points.size(), 0u);
+  for (const auto& [key, value] : points) {
+    EXPECT_EQ(std::get<2>(key), 5);
+  }
+}
+
+TEST(RestrictionsTest, ErrorWithoutBoundOutput) {
+  SpatialRestrictionOp op("r", AllRegion::Instance());
+  GridLattice lattice = LatLonLattice(2, 2);
+  EXPECT_FALSE(PushFrame(op.input(0), lattice, 1).ok());
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,168 @@
+#include "stream/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ops/restriction_ops.h"
+#include "stream/pipeline.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::LatLonLattice;
+using testing_util::PushFrame;
+
+StreamEvent OnePointBatch(int64_t frame, int32_t col) {
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = frame;
+  batch->band_count = 1;
+  batch->Append1(col, 0, frame, 1.0);
+  return StreamEvent::Batch(batch);
+}
+
+TEST(SchedulerTest, DeliversToAllPipelines) {
+  CollectingSink a, b;
+  QueryScheduler scheduler(SchedulingPolicy::kRoundRobin);
+  EventSink* in_a = scheduler.AddPipeline("a", &a);
+  EventSink* in_b = scheduler.AddPipeline("b", &b);
+  GS_ASSERT_OK(scheduler.Start());
+  GridLattice lattice = LatLonLattice(6, 4);
+  GS_ASSERT_OK(PushFrame(in_a, lattice, 0));
+  GS_ASSERT_OK(PushFrame(in_b, lattice, 0));
+  GS_ASSERT_OK(scheduler.Stop());
+  EXPECT_EQ(a.TotalPoints(), 24u);
+  EXPECT_EQ(b.TotalPoints(), 24u);
+  EXPECT_TRUE(testing_util::WellFormedFrames(a.events()));
+}
+
+TEST(SchedulerTest, PerQueueOrderPreserved) {
+  CollectingSink sink;
+  QueryScheduler scheduler(SchedulingPolicy::kRoundRobin);
+  EventSink* in = scheduler.AddPipeline("q", &sink);
+  GS_ASSERT_OK(scheduler.Start());
+  for (int i = 0; i < 200; ++i) {
+    GS_ASSERT_OK(in->Consume(OnePointBatch(0, i)));
+  }
+  GS_ASSERT_OK(scheduler.Stop());
+  ASSERT_EQ(sink.events().size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sink.events()[static_cast<size_t>(i)].batch->cols[0], i);
+  }
+}
+
+TEST(SchedulerTest, OverflowShedsBatchesButNeverControlEvents) {
+  // A pipeline that can never drain (scheduler not started yet can't
+  // be used; instead use a tiny capacity and burst before the worker
+  // catches up is racy) — so test the bound directly: enqueue from the
+  // worker's own perspective by using capacity 4 and a slow consumer.
+  class SlowSink : public EventSink {
+   public:
+    Status Consume(const StreamEvent& event) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++consumed_;
+      if (event.kind != EventKind::kPointBatch) ++control_;
+      return Status::OK();
+    }
+    std::atomic<int> consumed_{0};
+    std::atomic<int> control_{0};
+  };
+  SlowSink slow;
+  QueryScheduler scheduler(SchedulingPolicy::kRoundRobin,
+                           /*queue_capacity=*/4);
+  EventSink* in = scheduler.AddPipeline("slow", &slow);
+  GS_ASSERT_OK(scheduler.Start());
+  GridLattice lattice = LatLonLattice(4, 4);
+  // Burst far more than capacity.
+  FrameInfo info;
+  info.frame_id = 0;
+  info.lattice = lattice;
+  GS_ASSERT_OK(in->Consume(StreamEvent::FrameBegin(info)));
+  for (int i = 0; i < 200; ++i) {
+    GS_ASSERT_OK(in->Consume(OnePointBatch(0, i % 4)));
+  }
+  GS_ASSERT_OK(in->Consume(StreamEvent::FrameEnd(info)));
+  GS_ASSERT_OK(scheduler.Stop());
+  auto stats = scheduler.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].enqueued, 202u);
+  EXPECT_GT(stats[0].dropped, 0u);
+  EXPECT_EQ(stats[0].processed + stats[0].dropped, 202u);
+  // Frame metadata survived the shedding.
+  EXPECT_EQ(slow.control_.load(), 2);
+}
+
+TEST(SchedulerTest, LongestQueueFirstDrainsBacklog) {
+  CollectingSink a, b;
+  QueryScheduler scheduler(SchedulingPolicy::kLongestQueueFirst);
+  EventSink* in_a = scheduler.AddPipeline("a", &a);
+  EventSink* in_b = scheduler.AddPipeline("b", &b);
+  GS_ASSERT_OK(scheduler.Start());
+  for (int i = 0; i < 50; ++i) {
+    GS_ASSERT_OK(in_a->Consume(OnePointBatch(0, i)));
+    if (i % 10 == 0) {
+      GS_ASSERT_OK(in_b->Consume(OnePointBatch(0, i)));
+    }
+  }
+  GS_ASSERT_OK(scheduler.Stop());
+  EXPECT_EQ(a.TotalPoints(), 50u);
+  EXPECT_EQ(b.TotalPoints(), 5u);
+}
+
+TEST(SchedulerTest, RunsRealPipelines) {
+  // Scheduler feeding an actual operator chain.
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<SpatialRestrictionOp>(
+      "r", MakeBBoxRegion(-125.0, 40.0, -123.9, 45.0)));
+  CollectingSink sink;
+  GS_ASSERT_OK(pipeline.Finish(&sink));
+  QueryScheduler scheduler(SchedulingPolicy::kRoundRobin);
+  EventSink* in = scheduler.AddPipeline("restricted", &pipeline);
+  GS_ASSERT_OK(scheduler.Start());
+  GridLattice lattice = LatLonLattice(10, 8);
+  GS_ASSERT_OK(PushFrame(in, lattice, 0));
+  GS_ASSERT_OK(scheduler.Stop());
+  EXPECT_EQ(sink.TotalPoints(), 2u * 8u);
+}
+
+TEST(SchedulerTest, Lifecycle) {
+  CollectingSink sink;
+  QueryScheduler scheduler(SchedulingPolicy::kRoundRobin);
+  EventSink* in = scheduler.AddPipeline("q", &sink);
+  // Enqueue before Start is rejected.
+  EXPECT_EQ(in->Consume(OnePointBatch(0, 0)).code(),
+            StatusCode::kFailedPrecondition);
+  GS_ASSERT_OK(scheduler.Start());
+  EXPECT_EQ(scheduler.Start().code(), StatusCode::kFailedPrecondition);
+  GS_ASSERT_OK(in->Consume(OnePointBatch(0, 0)));
+  GS_ASSERT_OK(scheduler.Stop());
+  // Stop is idempotent.
+  GS_ASSERT_OK(scheduler.Stop());
+  EXPECT_EQ(sink.TotalPoints(), 1u);
+}
+
+TEST(SchedulerTest, PropagatesDownstreamErrors) {
+  class FailingSink : public EventSink {
+   public:
+    Status Consume(const StreamEvent&) override {
+      return Status::Internal("boom");
+    }
+  };
+  FailingSink failing;
+  QueryScheduler scheduler(SchedulingPolicy::kRoundRobin);
+  EventSink* in = scheduler.AddPipeline("failing", &failing);
+  GS_ASSERT_OK(scheduler.Start());
+  GS_ASSERT_OK(in->Consume(OnePointBatch(0, 0)));
+  EXPECT_EQ(scheduler.Stop().code(), StatusCode::kInternal);
+}
+
+TEST(SchedulerTest, PolicyNames) {
+  EXPECT_STREQ(SchedulingPolicyName(SchedulingPolicy::kRoundRobin),
+               "round-robin");
+  EXPECT_STREQ(SchedulingPolicyName(SchedulingPolicy::kLongestQueueFirst),
+               "longest-queue-first");
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,136 @@
+#include "ops/shedding_op.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ops/aggregate_op.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::CollectPoints;
+using testing_util::LatLonLattice;
+using testing_util::PushFrame;
+using testing_util::WellFormedFrames;
+
+TEST(SheddingTest, KeepAllIsIdentity) {
+  GridLattice lattice = LatLonLattice(8, 8);
+  LoadSheddingOp op("s", SheddingMode::kDropPoints, 1.0);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  EXPECT_EQ(sink.TotalPoints(), 64u);
+  EXPECT_EQ(op.points_shed(), 0u);
+}
+
+TEST(SheddingTest, KeepNoneDropsEverythingButMetadata) {
+  GridLattice lattice = LatLonLattice(8, 8);
+  LoadSheddingOp op("s", SheddingMode::kDropPoints, 0.0);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  EXPECT_EQ(sink.TotalPoints(), 0u);
+  EXPECT_EQ(op.points_shed(), 64u);
+  EXPECT_EQ(sink.NumFrames(), 1u);  // frame metadata still flows
+}
+
+TEST(SheddingTest, PointSamplingApproximatesFraction) {
+  GridLattice lattice = LatLonLattice(64, 64);
+  LoadSheddingOp op("s", SheddingMode::kDropPoints, 0.3);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  const double kept =
+      static_cast<double>(sink.TotalPoints()) / (64.0 * 64.0);
+  EXPECT_NEAR(kept, 0.3, 0.05);
+}
+
+TEST(SheddingTest, RowSamplingKeepsWholeRows) {
+  GridLattice lattice = LatLonLattice(16, 32);
+  LoadSheddingOp op("s", SheddingMode::kDropRows, 0.5);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  // Every surviving row must be complete (16 points).
+  std::map<int32_t, int> row_counts;
+  for (const auto& [key, v] : CollectPoints(sink.events())) {
+    ++row_counts[std::get<1>(key)];
+  }
+  ASSERT_GT(row_counts.size(), 4u);
+  ASSERT_LT(row_counts.size(), 28u);
+  for (const auto& [row, count] : row_counts) {
+    EXPECT_EQ(count, 16) << "row " << row << " partially shed";
+  }
+}
+
+TEST(SheddingTest, FrameSamplingDropsWholeSectors) {
+  GridLattice lattice = LatLonLattice(8, 8);
+  LoadSheddingOp op("s", SheddingMode::kDropFrames, 0.5);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  const int frames = 40;
+  for (int64_t f = 0; f < frames; ++f) {
+    GS_ASSERT_OK(PushFrame(op.input(0), lattice, f));
+  }
+  EXPECT_TRUE(WellFormedFrames(sink.events()));
+  EXPECT_EQ(sink.NumFrames(), static_cast<uint64_t>(frames));
+  // Surviving frames are complete; shed frames contribute nothing.
+  std::map<int64_t, uint64_t> per_frame;
+  for (const auto& [key, v] : CollectPoints(sink.events())) {
+    ++per_frame[std::get<2>(key)];
+  }
+  for (const auto& [frame, count] : per_frame) {
+    EXPECT_EQ(count, 64u);
+  }
+  const double kept_frames =
+      static_cast<double>(per_frame.size()) / frames;
+  EXPECT_NEAR(kept_frames, 0.5, 0.25);
+  EXPECT_GT(op.points_shed(), 0u);
+}
+
+TEST(SheddingTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    GridLattice lattice = LatLonLattice(16, 16);
+    LoadSheddingOp op("s", SheddingMode::kDropPoints, 0.4, /*seed=*/7);
+    CollectingSink sink;
+    op.BindOutput(&sink);
+    Status st = PushFrame(op.input(0), lattice, 0);
+    EXPECT_TRUE(st.ok());
+    return CollectPoints(sink.events());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SheddingTest, AggregateDegradesGracefully) {
+  // The point of shedding: an average over a shed stream stays close
+  // to the exact average (sampling, not bias).
+  GridLattice lattice = LatLonLattice(64, 64);
+  auto region = MakeBBoxRegion(-130.0, 0.0, -90.0, 50.0);
+
+  auto run = [&](double keep) {
+    LoadSheddingOp shed("s", SheddingMode::kDropPoints, keep);
+    AggregateOp agg("a", AggregateFn::kAvg, {region}, 1);
+    CollectingSink sink;
+    shed.BindOutput(agg.input(0));
+    agg.BindOutput(&sink);
+    Status st = PushFrame(shed.input(0), lattice, 0);
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(agg.results().size(), 1u);
+    return agg.results()[0].value;
+  };
+  const double exact = run(1.0);
+  const double quarter = run(0.25);
+  EXPECT_NEAR(quarter, exact, std::fabs(exact) * 0.05 + 0.01);
+}
+
+TEST(SheddingTest, ModeNames) {
+  EXPECT_STREQ(SheddingModeName(SheddingMode::kDropPoints), "drop-points");
+  EXPECT_STREQ(SheddingModeName(SheddingMode::kDropRows), "drop-rows");
+  EXPECT_STREQ(SheddingModeName(SheddingMode::kDropFrames), "drop-frames");
+}
+
+}  // namespace
+}  // namespace geostreams

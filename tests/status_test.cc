@@ -1,0 +1,89 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace geostreams {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad lattice");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad lattice");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad lattice");
+}
+
+TEST(StatusTest, EveryFactoryProducesItsCode) {
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ParseError("").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::PlanError("").code(), StatusCode::kPlanError);
+  EXPECT_EQ(Status::CrsMismatch("").code(), StatusCode::kCrsMismatch);
+  EXPECT_EQ(Status::LatticeMismatch("").code(),
+            StatusCode::kLatticeMismatch);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("geostreams"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "geostreams");
+}
+
+namespace helpers {
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseMacro(int x, int* out) {
+  GEOSTREAMS_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::OK();
+}
+}  // namespace helpers
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(helpers::UseMacro(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(helpers::UseMacro(-1, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,116 @@
+#include "core/stream_event.h"
+
+#include <gtest/gtest.h>
+
+#include "core/geostream.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::LatLonLattice;
+using testing_util::TestDescriptor;
+
+TEST(PointBatchTest, AppendAndAccess) {
+  PointBatch batch;
+  batch.band_count = 2;
+  const double v0[2] = {1.0, 2.0};
+  const double v1[2] = {3.0, 4.0};
+  batch.Append(1, 2, 100, v0);
+  batch.Append(3, 4, 101, v1);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.cols[1], 3);
+  EXPECT_EQ(batch.rows[0], 2);
+  EXPECT_EQ(batch.timestamps[1], 101);
+  EXPECT_DOUBLE_EQ(batch.ValueAt(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(batch.ValueAt(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(batch.ValueAt(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(batch.ValueAt(1, 1), 4.0);
+}
+
+TEST(PointBatchTest, Append1) {
+  PointBatch batch;
+  batch.Append1(5, 6, 7, 0.25);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_DOUBLE_EQ(batch.ValueAt(0), 0.25);
+}
+
+TEST(PointBatchTest, ApproxBytesGrows) {
+  PointBatch batch;
+  const size_t empty = batch.ApproxBytes();
+  for (int i = 0; i < 1000; ++i) batch.Append1(i, i, i, 0.0);
+  EXPECT_GT(batch.ApproxBytes(), empty + 1000 * 20);
+}
+
+TEST(StreamEventTest, Factories) {
+  FrameInfo info;
+  info.frame_id = 9;
+  info.lattice = LatLonLattice(4, 4);
+  StreamEvent begin = StreamEvent::FrameBegin(info);
+  EXPECT_EQ(begin.kind, EventKind::kFrameBegin);
+  EXPECT_EQ(begin.frame.frame_id, 9);
+
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = 9;
+  StreamEvent be = StreamEvent::Batch(batch);
+  EXPECT_EQ(be.kind, EventKind::kPointBatch);
+  EXPECT_EQ(be.batch->frame_id, 9);
+
+  EXPECT_EQ(StreamEvent::FrameEnd(info).kind, EventKind::kFrameEnd);
+  EXPECT_EQ(StreamEvent::StreamEnd().kind, EventKind::kStreamEnd);
+}
+
+TEST(StreamEventTest, ToStringIsInformative) {
+  FrameInfo info;
+  info.frame_id = 3;
+  info.lattice = LatLonLattice(4, 4);
+  EXPECT_NE(StreamEvent::FrameBegin(info).ToString().find("3"),
+            std::string::npos);
+  EXPECT_NE(StreamEvent::StreamEnd().ToString().find("StreamEnd"),
+            std::string::npos);
+}
+
+TEST(GeoStreamDescriptorTest, ValidateAndAccessors) {
+  GeoStreamDescriptor desc = TestDescriptor("goes.band1");
+  EXPECT_TRUE(desc.Validate().ok());
+  EXPECT_EQ(desc.name(), "goes.band1");
+  EXPECT_EQ(desc.crs()->name(), "latlon");
+  EXPECT_EQ(desc.organization(), PointOrganization::kRowByRow);
+  EXPECT_EQ(desc.timestamp_policy(), TimestampPolicy::kScanSectorId);
+}
+
+TEST(GeoStreamDescriptorTest, ValidationFailures) {
+  EXPECT_FALSE(GeoStreamDescriptor().Validate().ok());  // empty name
+  GeoStreamDescriptor no_lattice("x", ValueSet::ReflectanceF32(),
+                                 GridLattice(),
+                                 PointOrganization::kRowByRow,
+                                 TimestampPolicy::kScanSectorId);
+  EXPECT_FALSE(no_lattice.Validate().ok());
+}
+
+TEST(GeoStreamDescriptorTest, WithersDeriveNewDescriptors) {
+  GeoStreamDescriptor desc = TestDescriptor("a");
+  GeoStreamDescriptor renamed = desc.WithName("b");
+  EXPECT_EQ(renamed.name(), "b");
+  EXPECT_EQ(desc.name(), "a");  // original untouched
+  GeoStreamDescriptor reorg =
+      desc.WithOrganization(PointOrganization::kImageByImage);
+  EXPECT_EQ(reorg.organization(), PointOrganization::kImageByImage);
+  GeoStreamDescriptor revalued = desc.WithValueSet(ValueSet::IndexF32());
+  EXPECT_EQ(revalued.value_set().name(), "index");
+}
+
+TEST(EnumNamesTest, OrganizationsAndPolicies) {
+  EXPECT_STREQ(PointOrganizationName(PointOrganization::kImageByImage),
+               "image-by-image");
+  EXPECT_STREQ(PointOrganizationName(PointOrganization::kRowByRow),
+               "row-by-row");
+  EXPECT_STREQ(PointOrganizationName(PointOrganization::kPointByPoint),
+               "point-by-point");
+  EXPECT_STREQ(TimestampPolicyName(TimestampPolicy::kScanSectorId),
+               "scan-sector-id");
+  EXPECT_STREQ(EventKindName(EventKind::kPointBatch), "PointBatch");
+}
+
+}  // namespace
+}  // namespace geostreams

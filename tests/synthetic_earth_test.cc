@@ -1,0 +1,173 @@
+#include "server/synthetic_earth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geostreams {
+namespace {
+
+TEST(SyntheticEarthTest, Deterministic) {
+  SyntheticEarth a(42), b(42), c(43);
+  EXPECT_DOUBLE_EQ(a.Radiance(SpectralBand::kVisible, -100.0, 35.0, 0),
+                   b.Radiance(SpectralBand::kVisible, -100.0, 35.0, 0));
+  EXPECT_NE(a.Radiance(SpectralBand::kVisible, -100.0, 35.0, 0),
+            c.Radiance(SpectralBand::kVisible, -100.0, 35.0, 0));
+}
+
+TEST(SyntheticEarthTest, ReflectiveBandsInUnitRange) {
+  SyntheticEarth earth;
+  for (int i = 0; i < 500; ++i) {
+    const double lon = -180.0 + i * 0.7;
+    const double lat = -80.0 + (i % 160);
+    for (SpectralBand band :
+         {SpectralBand::kVisible, SpectralBand::kNearInfrared}) {
+      const double v = earth.Radiance(band, lon, lat, i % 7);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(SyntheticEarthTest, ThermalBandsLookLikeBrightnessTemps) {
+  SyntheticEarth earth;
+  for (int i = 0; i < 300; ++i) {
+    const double lon = -140.0 + i * 0.4;
+    const double lat = -60.0 + (i % 120);
+    for (SpectralBand band : {SpectralBand::kWaterVapor,
+                              SpectralBand::kInfrared,
+                              SpectralBand::kSplitWindow}) {
+      const double v = earth.Radiance(band, lon, lat, 0);
+      EXPECT_GT(v, 150.0);
+      EXPECT_LT(v, 370.0);  // fire hotspots can spike ~60 K above sfc
+    }
+  }
+}
+
+TEST(SyntheticEarthTest, FieldsAreSpatiallySmooth) {
+  // Consecutive points have close values: the coherence property the
+  // paper's stream model relies on.
+  SyntheticEarth earth;
+  double prev = earth.Radiance(SpectralBand::kVisible, -120.0, 38.0, 0);
+  for (int i = 1; i < 200; ++i) {
+    const double v = earth.Radiance(SpectralBand::kVisible,
+                                    -120.0 + i * 0.01, 38.0, 0);
+    EXPECT_LT(std::fabs(v - prev), 0.12) << "jump at step " << i;
+    prev = v;
+  }
+}
+
+TEST(SyntheticEarthTest, NdviRecoversVegetation) {
+  // The headline data product: (NIR - VIS) / (NIR + VIS) computed from
+  // the two reflective bands must correlate with the underlying
+  // vegetation field on cloud-free land.
+  SyntheticEarth earth;
+  double correlation_num = 0.0, veg_var = 0.0, ndvi_var = 0.0;
+  double veg_mean = 0.0, ndvi_mean = 0.0;
+  std::vector<std::pair<double, double>> samples;
+  for (int i = 0; i < 4000; ++i) {
+    const double lon = -130.0 + (i % 80) * 0.9;
+    const double lat = 20.0 + (i / 80) * 0.6;
+    if (earth.CloudCover(lon, lat, 0) > 0.05) continue;
+    if (earth.LandFraction(lon, lat) < 0.9) continue;
+    const double nir =
+        earth.Radiance(SpectralBand::kNearInfrared, lon, lat, 0);
+    const double vis = earth.Radiance(SpectralBand::kVisible, lon, lat, 0);
+    const double ndvi = (nir - vis) / (nir + vis);
+    samples.emplace_back(earth.Vegetation(lon, lat), ndvi);
+  }
+  ASSERT_GT(samples.size(), 100u);
+  for (const auto& [veg, ndvi] : samples) {
+    veg_mean += veg;
+    ndvi_mean += ndvi;
+  }
+  veg_mean /= samples.size();
+  ndvi_mean /= samples.size();
+  for (const auto& [veg, ndvi] : samples) {
+    correlation_num += (veg - veg_mean) * (ndvi - ndvi_mean);
+    veg_var += (veg - veg_mean) * (veg - veg_mean);
+    ndvi_var += (ndvi - ndvi_mean) * (ndvi - ndvi_mean);
+  }
+  const double r = correlation_num / std::sqrt(veg_var * ndvi_var);
+  EXPECT_GT(r, 0.9) << "NDVI/vegetation correlation too weak";
+}
+
+TEST(SyntheticEarthTest, CloudsDriftWithTime) {
+  // The cloud deck translates eastward 0.4 degrees per scan: the field
+  // at time t equals the t=0 field shifted west by 0.4*t.
+  SyntheticEarth earth;
+  int cloudy_samples = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double lon = -140.0 + (i % 40) * 1.7;
+    const double lat = -40.0 + (i / 40) * 8.0;
+    const double later = earth.CloudCover(lon, lat, 50);
+    const double shifted = earth.CloudCover(lon - 0.4 * 50, lat, 0);
+    EXPECT_NEAR(later, shifted, 1e-12);
+    if (later > 0.0) ++cloudy_samples;
+  }
+  EXPECT_GT(cloudy_samples, 5);  // the sample actually saw clouds
+}
+
+TEST(SyntheticEarthTest, CloudsBrightenVisible) {
+  SyntheticEarth earth;
+  // Find a heavily clouded point and a clear point over water.
+  double clouded_vis = -1.0, clear_vis = -1.0;
+  for (int i = 0; i < 20000 && (clouded_vis < 0 || clear_vis < 0); ++i) {
+    const double lon = -170.0 + (i % 200) * 0.8;
+    const double lat = -50.0 + (i / 200) * 0.7;
+    if (earth.LandFraction(lon, lat) > 0.0) continue;  // water only
+    const double cloud = earth.CloudCover(lon, lat, 0);
+    const double vis = earth.Radiance(SpectralBand::kVisible, lon, lat, 0);
+    if (cloud > 0.9 && clouded_vis < 0) clouded_vis = vis;
+    if (cloud == 0.0 && clear_vis < 0) clear_vis = vis;
+  }
+  ASSERT_GE(clouded_vis, 0.0) << "no clouded water point found";
+  ASSERT_GE(clear_vis, 0.0) << "no clear water point found";
+  EXPECT_GT(clouded_vis, clear_vis + 0.3);
+}
+
+TEST(SyntheticEarthTest, InfraredCloudTopsAreCold) {
+  SyntheticEarth earth;
+  for (int i = 0; i < 20000; ++i) {
+    const double lon = -170.0 + (i % 200) * 0.8;
+    const double lat = -50.0 + (i / 200) * 0.7;
+    if (earth.CloudCover(lon, lat, 0) > 0.95) {
+      const double ir = earth.Radiance(SpectralBand::kInfrared, lon, lat, 0);
+      EXPECT_LT(ir, 230.0);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no opaque cloud found in the sample";
+}
+
+TEST(SyntheticEarthTest, FireHotspotsAreTransientThermalAnomalies) {
+  SyntheticEarth earth;
+  // The pinned northern-California event: active scans 2..9, peaked
+  // mid-life, absent before and after.
+  EXPECT_DOUBLE_EQ(earth.FireIntensity(-121.5, 39.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(earth.FireIntensity(-121.5, 39.0, 20), 0.0);
+  EXPECT_GT(earth.FireIntensity(-121.5, 39.0, 5), 0.5);
+  // The anomaly shows in the thermal window against the quiet scene.
+  const double before =
+      earth.Radiance(SpectralBand::kInfrared, -121.5, 39.0, 0);
+  const double during =
+      earth.Radiance(SpectralBand::kInfrared, -121.5, 39.0, 5);
+  EXPECT_GT(during, before + 20.0);
+  // Away from any site the field is unaffected.
+  EXPECT_DOUBLE_EQ(earth.FireIntensity(0.0, 0.0, 5), 0.0);
+  // Spatially localized: a few degrees away the intensity has decayed.
+  EXPECT_LT(earth.FireIntensity(-124.0, 39.0, 5), 0.01);
+}
+
+TEST(SyntheticEarthTest, TemperatureDropsTowardPoles) {
+  SyntheticEarth earth;
+  double equator_sum = 0.0, polar_sum = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    equator_sum += earth.SurfaceTemperatureK(-150.0 + i * 3.0, 0.0);
+    polar_sum += earth.SurfaceTemperatureK(-150.0 + i * 3.0, 75.0);
+  }
+  EXPECT_GT(equator_sum / 50.0, polar_sum / 50.0 + 15.0);
+}
+
+}  // namespace
+}  // namespace geostreams

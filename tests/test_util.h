@@ -1,0 +1,208 @@
+// Shared helpers for the GeoStreams test suite.
+
+#ifndef GEOSTREAMS_TESTS_TEST_UTIL_H_
+#define GEOSTREAMS_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/geostream.h"
+#include "core/stream_event.h"
+#include "geo/geographic_crs.h"
+#include "raster/frame_assembler.h"
+#include "raster/raster.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+namespace testing_util {
+
+#define GS_ASSERT_OK(expr)                                        \
+  do {                                                            \
+    const ::geostreams::Status _st = (expr);                      \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                      \
+  } while (0)
+
+#define GS_EXPECT_OK(expr)                                        \
+  do {                                                            \
+    const ::geostreams::Status _st = (expr);                      \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                      \
+  } while (0)
+
+/// A small lat/lon lattice around a configurable origin: w x h cells
+/// of `step` degrees, row 0 at the northern edge.
+inline GridLattice LatLonLattice(int64_t w, int64_t h, double step = 0.5,
+                                 double west = -125.0,
+                                 double north = 45.0) {
+  return GridLattice(GeographicCrs::Instance(), west + step / 2.0,
+                     north - step / 2.0, step, -step, w, h);
+}
+
+/// A deterministic descriptor over LatLonLattice.
+inline GeoStreamDescriptor TestDescriptor(
+    const std::string& name, int64_t w = 16, int64_t h = 12,
+    PointOrganization org = PointOrganization::kRowByRow) {
+  return GeoStreamDescriptor(name, ValueSet::ReflectanceF32(),
+                             LatLonLattice(w, h), org,
+                             TimestampPolicy::kScanSectorId);
+}
+
+/// Value function used by synthetic frames: deterministic, smooth in
+/// cell coordinates, distinct per frame id.
+inline double TestValue(int64_t frame, int64_t col, int64_t row) {
+  return 0.01 * static_cast<double>(col) +
+         0.001 * static_cast<double>(row) +
+         0.1 * static_cast<double>(frame % 7);
+}
+
+/// Pushes one full frame (row-by-row batches) into `sink` using the
+/// lattice geometry. Timestamps equal the frame id.
+inline Status PushFrame(EventSink* sink, const GridLattice& lattice,
+                        int64_t frame_id) {
+  FrameInfo info;
+  info.frame_id = frame_id;
+  info.lattice = lattice;
+  info.expected_points = lattice.num_cells();
+  GEOSTREAMS_RETURN_IF_ERROR(sink->Consume(StreamEvent::FrameBegin(info)));
+  for (int64_t row = 0; row < lattice.height(); ++row) {
+    auto batch = std::make_shared<PointBatch>();
+    batch->frame_id = frame_id;
+    batch->band_count = 1;
+    for (int64_t col = 0; col < lattice.width(); ++col) {
+      batch->Append1(static_cast<int32_t>(col), static_cast<int32_t>(row),
+                     frame_id, TestValue(frame_id, col, row));
+    }
+    GEOSTREAMS_RETURN_IF_ERROR(
+        sink->Consume(StreamEvent::Batch(std::move(batch))));
+  }
+  return sink->Consume(StreamEvent::FrameEnd(info));
+}
+
+/// Collects the points of all batches into (col, row, t) -> value.
+inline std::map<std::tuple<int32_t, int32_t, int64_t>, double>
+CollectPoints(const std::vector<StreamEvent>& events, int band = 0) {
+  std::map<std::tuple<int32_t, int32_t, int64_t>, double> out;
+  for (const StreamEvent& e : events) {
+    if (e.kind != EventKind::kPointBatch || !e.batch) continue;
+    const PointBatch& b = *e.batch;
+    for (size_t i = 0; i < b.size(); ++i) {
+      out[{b.cols[i], b.rows[i], b.timestamps[i]}] = b.ValueAt(i, band);
+    }
+  }
+  return out;
+}
+
+/// Assembles the first complete frame in `events` into a raster.
+inline Result<Raster> AssembleFirstFrame(
+    const std::vector<StreamEvent>& events, int band_count = 1) {
+  FrameAssembler assembler(/*nodata=*/-999.0);
+  bool assembled_any = false;
+  for (const StreamEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kFrameBegin:
+        GEOSTREAMS_RETURN_IF_ERROR(assembler.Begin(e.frame, band_count));
+        assembled_any = true;
+        break;
+      case EventKind::kPointBatch:
+        if (assembler.active()) {
+          GEOSTREAMS_RETURN_IF_ERROR(assembler.Add(*e.batch));
+        }
+        break;
+      case EventKind::kFrameEnd:
+        if (assembler.active()) {
+          GEOSTREAMS_ASSIGN_OR_RETURN(AssembledFrame frame,
+                                      assembler.Finish());
+          return std::move(frame.raster);
+        }
+        break;
+      case EventKind::kStreamEnd:
+        break;
+    }
+  }
+  if (assembled_any && assembler.active()) {
+    GEOSTREAMS_ASSIGN_OR_RETURN(AssembledFrame frame, assembler.Finish());
+    return std::move(frame.raster);
+  }
+  return Status::NotFound("no complete frame in events");
+}
+
+/// Checks frame events are well-formed: begins/ends alternate, ids
+/// match, batches only inside frames (or entirely outside for
+/// point-by-point streams).
+inline ::testing::AssertionResult WellFormedFrames(
+    const std::vector<StreamEvent>& events) {
+  bool in_frame = false;
+  int64_t current = -1;
+  for (const StreamEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kFrameBegin:
+        if (in_frame) {
+          return ::testing::AssertionFailure()
+                 << "nested FrameBegin for frame " << e.frame.frame_id;
+        }
+        in_frame = true;
+        current = e.frame.frame_id;
+        break;
+      case EventKind::kFrameEnd:
+        if (!in_frame || e.frame.frame_id != current) {
+          return ::testing::AssertionFailure()
+                 << "unmatched FrameEnd for frame " << e.frame.frame_id;
+        }
+        in_frame = false;
+        break;
+      case EventKind::kPointBatch:
+        if (in_frame && e.batch && e.batch->frame_id != current) {
+          return ::testing::AssertionFailure()
+                 << "batch for frame " << e.batch->frame_id
+                 << " inside frame " << current;
+        }
+        break;
+      case EventKind::kStreamEnd:
+        if (in_frame) {
+          return ::testing::AssertionFailure()
+                 << "StreamEnd inside frame " << current;
+        }
+        break;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace testing_util
+}  // namespace geostreams
+
+// Catalog helpers need the analyzer; keep the include at the end so
+// lightweight tests that only need the helpers above stay cheap.
+#include "query/analyzer.h"
+
+namespace geostreams {
+namespace testing_util {
+
+/// Standard test catalog: two aligned single-band GOES-style bands
+/// ("g.nir", "g.vis"), a 3-band airborne camera ("cam.rgb",
+/// image-by-image), and a point-by-point LIDAR stream ("lidar.z").
+inline StreamCatalog MakeTestCatalog() {
+  StreamCatalog catalog;
+  GridLattice lattice = LatLonLattice(16, 12);
+  auto st = catalog.Register(GeoStreamDescriptor(
+      "g.nir", ValueSet::ReflectanceF32(), lattice,
+      PointOrganization::kRowByRow, TimestampPolicy::kScanSectorId));
+  st = catalog.Register(GeoStreamDescriptor(
+      "g.vis", ValueSet::ReflectanceF32(), lattice,
+      PointOrganization::kRowByRow, TimestampPolicy::kScanSectorId));
+  st = catalog.Register(GeoStreamDescriptor(
+      "cam.rgb", ValueSet::RgbU8(), LatLonLattice(8, 8, 0.25),
+      PointOrganization::kImageByImage, TimestampPolicy::kScanSectorId));
+  st = catalog.Register(GeoStreamDescriptor(
+      "lidar.z", ValueSet::RadianceF32(), LatLonLattice(8, 8, 0.125),
+      PointOrganization::kPointByPoint, TimestampPolicy::kMeasurementTime));
+  (void)st;
+  return catalog;
+}
+
+}  // namespace testing_util
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,138 @@
+#include "ops/time_set.h"
+
+#include <gtest/gtest.h>
+
+namespace geostreams {
+namespace {
+
+TEST(TimeSetTest, DefaultContainsNothing) {
+  TimeSet empty;
+  EXPECT_FALSE(empty.Contains(0));
+  EXPECT_FALSE(empty.IsAll());
+}
+
+TEST(TimeSetTest, All) {
+  TimeSet all = TimeSet::All();
+  EXPECT_TRUE(all.IsAll());
+  EXPECT_TRUE(all.Contains(-1000));
+  EXPECT_TRUE(all.Contains(1LL << 40));
+  EXPECT_FALSE(all.DisjointFromRange(0, 0));
+}
+
+TEST(TimeSetTest, Instants) {
+  TimeSet s = TimeSet::Instants({5, 3, 5, 9});
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(TimeSetTest, Range) {
+  TimeSet s = TimeSet::Range(10, 20);
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_TRUE(s.Contains(20));  // inclusive
+  EXPECT_TRUE(s.Contains(15));
+  EXPECT_FALSE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(21));
+}
+
+TEST(TimeSetTest, RecurringDailyWindow) {
+  // Period 96 (15-minute sectors per day), window sectors 40..55.
+  TimeSet s = TimeSet::Every(96, 40, 55);
+  EXPECT_TRUE(s.Contains(40));
+  EXPECT_TRUE(s.Contains(55));
+  EXPECT_TRUE(s.Contains(96 + 47));
+  EXPECT_TRUE(s.Contains(96 * 10 + 40));
+  EXPECT_FALSE(s.Contains(39));
+  EXPECT_FALSE(s.Contains(96 + 56));
+}
+
+TEST(TimeSetTest, RecurringWithNegativeTimes) {
+  TimeSet s = TimeSet::Every(10, 2, 4);
+  EXPECT_TRUE(s.Contains(-8));   // -8 mod 10 == 2
+  EXPECT_FALSE(s.Contains(-10));  // phase 0
+}
+
+TEST(TimeSetTest, UnionOfSpecs) {
+  TimeSet s = TimeSet::Instants({1});
+  s.Add(TimeSet::Range(10, 12));
+  s.Add(TimeSet::Every(100, 50, 51));
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(11));
+  EXPECT_TRUE(s.Contains(150));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(52));
+}
+
+TEST(TimeSetTest, AddAllAbsorbs) {
+  TimeSet s = TimeSet::Instants({1});
+  s.Add(TimeSet::All());
+  EXPECT_TRUE(s.IsAll());
+  EXPECT_TRUE(s.Contains(123456));
+}
+
+TEST(TimeSetTest, DisjointFromRangeInstants) {
+  TimeSet s = TimeSet::Instants({5, 100});
+  EXPECT_TRUE(s.DisjointFromRange(6, 99));
+  EXPECT_FALSE(s.DisjointFromRange(0, 5));
+  EXPECT_FALSE(s.DisjointFromRange(100, 200));
+}
+
+TEST(TimeSetTest, DisjointFromRangeIntervals) {
+  TimeSet s = TimeSet::Range(10, 20);
+  EXPECT_TRUE(s.DisjointFromRange(21, 30));
+  EXPECT_TRUE(s.DisjointFromRange(0, 9));
+  EXPECT_FALSE(s.DisjointFromRange(20, 25));
+  EXPECT_FALSE(s.DisjointFromRange(0, 10));
+  EXPECT_FALSE(s.DisjointFromRange(12, 13));
+}
+
+TEST(TimeSetTest, DisjointFromRangeRecurring) {
+  TimeSet s = TimeSet::Every(100, 10, 20);
+  // A range longer than the period always intersects.
+  EXPECT_FALSE(s.DisjointFromRange(0, 150));
+  // Within one period, outside the phase window.
+  EXPECT_TRUE(s.DisjointFromRange(30, 90));
+  EXPECT_FALSE(s.DisjointFromRange(15, 17));
+  EXPECT_FALSE(s.DisjointFromRange(5, 12));
+  // Range wrapping the period boundary into the next window.
+  EXPECT_FALSE(s.DisjointFromRange(95, 112));
+  EXPECT_TRUE(s.DisjointFromRange(21, 29));
+}
+
+// Property: DisjointFromRange never contradicts Contains.
+class DisjointConsistency : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DisjointConsistency, NoFalseDisjointness) {
+  const int64_t p = GetParam();
+  TimeSet s = TimeSet::Every(p, p / 4, p / 2);
+  s.Add(TimeSet::Instants({3, p + 1}));
+  s.Add(TimeSet::Range(5 * p, 5 * p + 2));
+  for (int64_t lo = 0; lo < 3 * p; lo += 7) {
+    const int64_t hi = lo + 11;
+    if (s.DisjointFromRange(lo, hi)) {
+      for (int64_t t = lo; t <= hi; ++t) {
+        EXPECT_FALSE(s.Contains(t))
+            << "period " << p << " claims disjoint [" << lo << "," << hi
+            << "] but contains " << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DisjointConsistency,
+                         ::testing::Values(16, 24, 50, 96, 97));
+
+TEST(TimeSetTest, ToStringMentionsPieces) {
+  TimeSet s = TimeSet::Instants({7});
+  s.Add(TimeSet::Range(1, 2));
+  s.Add(TimeSet::Every(10, 3, 4));
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("7"), std::string::npos);
+  EXPECT_NE(str.find("[1, 2]"), std::string::npos);
+  EXPECT_NE(str.find("every 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geostreams

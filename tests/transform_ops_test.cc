@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/spatial_transform_op.h"
+#include "ops/stretch_transform_op.h"
+#include "ops/value_transform_op.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using testing_util::CollectPoints;
+using testing_util::LatLonLattice;
+using testing_util::PushFrame;
+using testing_util::TestValue;
+using testing_util::WellFormedFrames;
+
+// --- Pointwise value transforms ----------------------------------------------
+
+TEST(ValueTransformTest, AffineRescale) {
+  GridLattice lattice = LatLonLattice(4, 2);
+  ValueTransformOp op("v", ValueFn::AffineRescale(1, 10.0, 1.0));
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 3));
+  auto points = CollectPoints(sink.events());
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_NEAR(points.at({2, 1, 3}), 10.0 * TestValue(3, 2, 1) + 1.0, 1e-12);
+}
+
+TEST(ValueTransformTest, ColorToGray) {
+  ValueTransformOp op("v", ValueFn::ColorToGray());
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  auto batch = std::make_shared<PointBatch>();
+  batch->band_count = 3;
+  const double white[3] = {255.0, 255.0, 255.0};
+  const double red[3] = {255.0, 0.0, 0.0};
+  batch->Append(0, 0, 0, white);
+  batch->Append(1, 0, 0, red);
+  GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::Batch(batch)));
+  auto points = CollectPoints(sink.events());
+  EXPECT_NEAR(points.at({0, 0, 0}), 255.0, 1e-9);
+  EXPECT_NEAR(points.at({1, 0, 0}), 0.299 * 255.0, 1e-9);
+}
+
+TEST(ValueTransformTest, BandSelectAndClampAndAbs) {
+  {
+    ValueTransformOp op("v", ValueFn::BandSelect(2, 1));
+    CollectingSink sink;
+    op.BindOutput(&sink);
+    auto batch = std::make_shared<PointBatch>();
+    batch->band_count = 2;
+    const double v[2] = {1.0, 42.0};
+    batch->Append(0, 0, 0, v);
+    GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::Batch(batch)));
+    EXPECT_DOUBLE_EQ(CollectPoints(sink.events()).at({0, 0, 0}), 42.0);
+  }
+  {
+    ValueTransformOp op("v", ValueFn::ClampTo(1, 0.0, 1.0));
+    CollectingSink sink;
+    op.BindOutput(&sink);
+    auto batch = std::make_shared<PointBatch>();
+    batch->band_count = 1;
+    batch->Append1(0, 0, 0, 7.0);
+    batch->Append1(1, 0, 0, -7.0);
+    GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::Batch(batch)));
+    auto pts = CollectPoints(sink.events());
+    EXPECT_DOUBLE_EQ(pts.at({0, 0, 0}), 1.0);
+    EXPECT_DOUBLE_EQ(pts.at({1, 0, 0}), 0.0);
+  }
+  {
+    ValueTransformOp op("v", ValueFn::AbsValue(1));
+    CollectingSink sink;
+    op.BindOutput(&sink);
+    auto batch = std::make_shared<PointBatch>();
+    batch->band_count = 1;
+    batch->Append1(0, 0, 0, -3.5);
+    GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::Batch(batch)));
+    EXPECT_DOUBLE_EQ(CollectPoints(sink.events()).at({0, 0, 0}), 3.5);
+  }
+}
+
+TEST(ValueTransformTest, BandMismatchFails) {
+  ValueTransformOp op("v", ValueFn::ColorToGray());
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  auto batch = std::make_shared<PointBatch>();
+  batch->band_count = 1;
+  batch->Append1(0, 0, 0, 1.0);
+  EXPECT_FALSE(op.input(0)->Consume(StreamEvent::Batch(batch)).ok());
+}
+
+TEST(ValueTransformTest, PointwiseIsNonBlocking) {
+  GridLattice lattice = LatLonLattice(32, 32);
+  ValueTransformOp op("v", ValueFn::AffineRescale(1, 2.0, 0.0));
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  EXPECT_EQ(op.metrics().buffered_bytes_high_water, 0u);
+}
+
+// --- Stretch transforms -------------------------------------------------------
+
+StretchOptions LinearOptions() {
+  StretchOptions opts;
+  opts.mode = StretchMode::kLinear;
+  opts.in_lo = 0.0;
+  opts.in_hi = 1.0;
+  return opts;
+}
+
+TEST(StretchTransformTest, LinearFillsOutputRange) {
+  GridLattice lattice = LatLonLattice(10, 1);
+  StretchTransformOp op("s", LinearOptions());
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  auto points = CollectPoints(sink.events());
+  ASSERT_EQ(points.size(), 10u);
+  // TestValue(0, col, 0) = 0.01 * col: min at col 0, max at col 9.
+  EXPECT_NEAR(points.at({0, 0, 0}), 0.0, 1e-9);
+  EXPECT_NEAR(points.at({9, 0, 0}), 255.0, 1e-9);
+  // Linearity in between.
+  EXPECT_NEAR(points.at({3, 0, 0}), 255.0 * 3.0 / 9.0, 1e-9);
+}
+
+TEST(StretchTransformTest, PerFrameStatistics) {
+  // Two frames with different value ranges both stretch to [0, 255]
+  // using their own frame statistics.
+  GridLattice lattice = LatLonLattice(5, 1);
+  StretchTransformOp op("s", LinearOptions());
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));  // values 0.00..0.04
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 3));  // values 0.30..0.34
+  auto points = CollectPoints(sink.events());
+  EXPECT_NEAR(points.at({0, 0, 0}), 0.0, 1e-9);
+  EXPECT_NEAR(points.at({4, 0, 0}), 255.0, 1e-9);
+  EXPECT_NEAR(points.at({0, 0, 3}), 0.0, 1e-9);
+  EXPECT_NEAR(points.at({4, 0, 3}), 255.0, 1e-9);
+}
+
+TEST(StretchTransformTest, BuffersWholeFrame) {
+  GridLattice lattice = LatLonLattice(64, 64);
+  StretchTransformOp op("s", LinearOptions());
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  // The high-water mark is at least the frame's point payload
+  // (64*64 points x (col+row+t+value) ≈ 24B per point).
+  EXPECT_GE(op.metrics().buffered_bytes_high_water, 64u * 64u * 24u);
+  // After the frame, the buffer is released.
+  EXPECT_EQ(op.metrics().buffered_bytes, 0u);
+}
+
+TEST(StretchTransformTest, HistogramEqualizationIsMonotone) {
+  StretchOptions opts;
+  opts.mode = StretchMode::kHistogramEqualization;
+  opts.in_lo = 0.0;
+  opts.in_hi = 1.0;
+  GridLattice lattice = LatLonLattice(50, 1);
+  StretchTransformOp op("s", opts);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  auto points = CollectPoints(sink.events());
+  double prev = -1.0;
+  for (int col = 0; col < 50; ++col) {
+    const double v = points.at({col, 0, 0});
+    EXPECT_GE(v, prev) << "hist-eq must be monotone, col " << col;
+    prev = v;
+  }
+  EXPECT_NEAR(prev, 255.0, 1e-6);
+}
+
+TEST(StretchTransformTest, GaussianCentresTheMean) {
+  StretchOptions opts;
+  opts.mode = StretchMode::kGaussian;
+  opts.in_lo = 0.0;
+  opts.in_hi = 1.0;
+  GridLattice lattice = LatLonLattice(100, 1);
+  StretchTransformOp op("s", opts);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  auto points = CollectPoints(sink.events());
+  double sum = 0.0;
+  for (const auto& [key, v] : points) sum += v;
+  EXPECT_NEAR(sum / points.size(), 127.5, 3.0);
+}
+
+TEST(StretchTransformTest, RejectsUnframedInput) {
+  StretchTransformOp op("s", LinearOptions());
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  auto batch = std::make_shared<PointBatch>();
+  batch->band_count = 1;
+  batch->Append1(0, 0, 0, 1.0);
+  EXPECT_FALSE(op.input(0)->Consume(StreamEvent::Batch(batch)).ok());
+}
+
+TEST(StretchTransformTest, FlushesOnStreamEnd) {
+  GridLattice lattice = LatLonLattice(4, 1);
+  StretchTransformOp op("s", LinearOptions());
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  FrameInfo info;
+  info.frame_id = 0;
+  info.lattice = lattice;
+  GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::FrameBegin(info)));
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = 0;
+  batch->band_count = 1;
+  batch->Append1(0, 0, 0, 0.0);
+  batch->Append1(1, 0, 0, 1.0);
+  GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::Batch(batch)));
+  // StreamEnd without FrameEnd still flushes the buffered frame.
+  GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::StreamEnd()));
+  EXPECT_EQ(sink.TotalPoints(), 2u);
+}
+
+// --- Magnify -------------------------------------------------------------------
+
+TEST(MagnifyTest, EmitsKSquaredPointsPerInput) {
+  GridLattice lattice = LatLonLattice(4, 3);
+  MagnifyOp op("m", 3);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 1));
+  EXPECT_EQ(sink.TotalPoints(), 4u * 3u * 9u);
+  EXPECT_TRUE(WellFormedFrames(sink.events()));
+  // The output frame advertises the magnified lattice.
+  for (const StreamEvent& e : sink.events()) {
+    if (e.kind == EventKind::kFrameBegin) {
+      EXPECT_EQ(e.frame.lattice.width(), 12);
+      EXPECT_EQ(e.frame.lattice.height(), 9);
+    }
+  }
+}
+
+TEST(MagnifyTest, ReplicatesValuesIntoBlocks) {
+  GridLattice lattice = LatLonLattice(2, 1);
+  MagnifyOp op("m", 2);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  auto points = CollectPoints(sink.events());
+  const double v0 = TestValue(0, 0, 0);
+  const double v1 = TestValue(0, 1, 0);
+  EXPECT_DOUBLE_EQ(points.at({0, 0, 0}), v0);
+  EXPECT_DOUBLE_EQ(points.at({1, 1, 0}), v0);
+  EXPECT_DOUBLE_EQ(points.at({2, 0, 0}), v1);
+  EXPECT_DOUBLE_EQ(points.at({3, 1, 0}), v1);
+}
+
+TEST(MagnifyTest, NeedsNoBuffering) {
+  GridLattice lattice = LatLonLattice(16, 16);
+  MagnifyOp op("m", 4);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  EXPECT_EQ(op.metrics().buffered_bytes_high_water, 0u);
+}
+
+// --- Reduce --------------------------------------------------------------------
+
+TEST(ReduceTest, BoxAveragesBlocks) {
+  GridLattice lattice = LatLonLattice(4, 4);
+  ReduceOp op("r", 2);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  auto points = CollectPoints(sink.events());
+  ASSERT_EQ(points.size(), 4u);
+  // Output (0,0) = mean of input block {(0,0),(1,0),(0,1),(1,1)}.
+  const double expected =
+      (TestValue(0, 0, 0) + TestValue(0, 1, 0) + TestValue(0, 0, 1) +
+       TestValue(0, 1, 1)) /
+      4.0;
+  EXPECT_NEAR(points.at({0, 0, 0}), expected, 1e-12);
+}
+
+TEST(ReduceTest, RowByRowBuffersOnlyActiveRows) {
+  // 64 wide, 32 tall, factor 4: the accumulator should never hold
+  // more than ~one output row of cells (16 cells + epsilon), far less
+  // than the whole frame (128 cells after reduction).
+  GridLattice lattice = LatLonLattice(64, 32);
+  ReduceOp op("r", 4);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  const uint64_t entry = sizeof(int64_t) + 24;  // key + accumulator
+  EXPECT_LE(op.metrics().buffered_bytes_high_water, 17 * entry);
+  EXPECT_EQ(sink.TotalPoints(), 16u * 8u);
+}
+
+TEST(ReduceTest, EdgeBlocksUsePartialNeighbourhoods) {
+  // 5 x 5 with factor 2: edge cells average fewer inputs but all
+  // output cells appear.
+  GridLattice lattice = LatLonLattice(5, 5);
+  ReduceOp op("r", 2);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  auto points = CollectPoints(sink.events());
+  EXPECT_EQ(points.size(), 9u);  // ceil(5/2)^2
+  // Bottom-right output cell covers exactly input (4,4).
+  EXPECT_NEAR(points.at({2, 2, 0}), TestValue(0, 4, 4), 1e-12);
+}
+
+TEST(ReduceTest, RejectsUnframedInput) {
+  ReduceOp op("r", 2);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  auto batch = std::make_shared<PointBatch>();
+  batch->band_count = 1;
+  batch->Append1(0, 0, 0, 1.0);
+  EXPECT_FALSE(op.input(0)->Consume(StreamEvent::Batch(batch)).ok());
+}
+
+TEST(ReduceTest, FrameAdvertisesReducedLattice) {
+  GridLattice lattice = LatLonLattice(10, 8);
+  ReduceOp op("r", 3);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  for (const StreamEvent& e : sink.events()) {
+    if (e.kind == EventKind::kFrameBegin) {
+      EXPECT_EQ(e.frame.lattice.width(), 4);
+      EXPECT_EQ(e.frame.lattice.height(), 3);
+    }
+  }
+}
+
+// --- Affine --------------------------------------------------------------------
+
+TEST(AffineTest, IdentityMapCopiesFrame) {
+  GridLattice lattice = LatLonLattice(6, 4);
+  AffineOp op("a", AffineMap(), lattice, ResampleKernel::kNearest);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 2));
+  GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::StreamEnd()));
+  auto points = CollectPoints(sink.events());
+  ASSERT_EQ(points.size(), 24u);
+  EXPECT_DOUBLE_EQ(points.at({5, 3, 2}), TestValue(2, 5, 3));
+}
+
+TEST(AffineTest, Rotation90MovesCorners) {
+  const int64_t n = 5;
+  GridLattice lattice = LatLonLattice(n, n);
+  AffineOp op("a", AffineMap::RotationAboutCenter(90.0, n, n), lattice,
+              ResampleKernel::kNearest);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  auto points = CollectPoints(sink.events());
+  ASSERT_EQ(points.size(), static_cast<size_t>(n * n));
+  // Centre is fixed under rotation.
+  EXPECT_NEAR(points.at({2, 2, 0}), TestValue(0, 2, 2), 1e-12);
+  // The gather map is ic = orow, ir = (n-1) - oc: output (0, 0)
+  // samples input (col 0, row 4).
+  EXPECT_NEAR(points.at({0, 0, 0}), TestValue(0, 0, 4), 1e-12);
+}
+
+TEST(AffineTest, RotationIsBuffered) {
+  GridLattice lattice = LatLonLattice(16, 16);
+  AffineOp op("a", AffineMap::RotationAboutCenter(30.0, 16, 16), lattice,
+              ResampleKernel::kBilinear);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  GS_ASSERT_OK(PushFrame(op.input(0), lattice, 0));
+  EXPECT_GE(op.metrics().buffered_bytes_high_water,
+            16u * 16u * sizeof(double));
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,0 +1,93 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace geostreams {
+namespace {
+
+TEST(ValueSetTest, FactoriesAreValid) {
+  EXPECT_TRUE(ValueSet::GrayscaleU8().Validate().ok());
+  EXPECT_TRUE(ValueSet::RgbU8().Validate().ok());
+  EXPECT_TRUE(ValueSet::RadianceF32().Validate().ok());
+  EXPECT_TRUE(ValueSet::ReflectanceF32().Validate().ok());
+  EXPECT_TRUE(ValueSet::IndexF32().Validate().ok());
+  EXPECT_TRUE(ValueSet::CountsU16().Validate().ok());
+}
+
+TEST(ValueSetTest, BytesPerPoint) {
+  EXPECT_EQ(ValueSet::GrayscaleU8().BytesPerPoint(), 1u);
+  EXPECT_EQ(ValueSet::RgbU8().BytesPerPoint(), 3u);
+  EXPECT_EQ(ValueSet::RadianceF32().BytesPerPoint(), 4u);
+  EXPECT_EQ(ValueSet::CountsU16().BytesPerPoint(), 2u);
+}
+
+TEST(ValueSetTest, ValidationRejectsBadConfigs) {
+  EXPECT_FALSE(ValueSet("x", SampleType::kUInt8, 0, 0, 1).Validate().ok());
+  EXPECT_FALSE(
+      ValueSet("x", SampleType::kUInt8, kMaxBands + 1, 0, 1).Validate().ok());
+  EXPECT_FALSE(ValueSet("x", SampleType::kUInt8, 1, 5, 1).Validate().ok());
+}
+
+TEST(ValueSetTest, ClampAndRange) {
+  ValueSet vs = ValueSet::GrayscaleU8();
+  EXPECT_TRUE(vs.InRange(128.0));
+  EXPECT_FALSE(vs.InRange(300.0));
+  EXPECT_DOUBLE_EQ(vs.Clamp(300.0), 255.0);
+  EXPECT_DOUBLE_EQ(vs.Clamp(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(vs.Clamp(std::nan("")), 0.0);
+}
+
+TEST(ValueSetTest, Compatibility) {
+  EXPECT_TRUE(
+      ValueSet::ReflectanceF32().CompatibleWith(ValueSet::RadianceF32()));
+  EXPECT_FALSE(ValueSet::RgbU8().CompatibleWith(ValueSet::GrayscaleU8()));
+}
+
+TEST(BandValueTest, ConstructionAndEquality) {
+  BandValue gray(0.5);
+  EXPECT_EQ(gray.bands, 1);
+  EXPECT_DOUBLE_EQ(gray[0], 0.5);
+  BandValue rgb(1.0, 2.0, 3.0);
+  EXPECT_EQ(rgb.bands, 3);
+  EXPECT_DOUBLE_EQ(rgb[2], 3.0);
+  EXPECT_TRUE(BandValue(0.5) == BandValue(0.5));
+  EXPECT_FALSE(BandValue(0.5) == BandValue(0.6));
+  EXPECT_FALSE(gray == rgb);
+}
+
+TEST(ComposeFnTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(ApplyComposeFn(ComposeFn::kAdd, 2.0, 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(ApplyComposeFn(ComposeFn::kSubtract, 2.0, 3.0), -1.0);
+  EXPECT_DOUBLE_EQ(ApplyComposeFn(ComposeFn::kMultiply, 2.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(ApplyComposeFn(ComposeFn::kDivide, 6.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(ApplyComposeFn(ComposeFn::kSupremum, 2.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(ApplyComposeFn(ComposeFn::kInfimum, 2.0, 3.0), 2.0);
+}
+
+TEST(ComposeFnTest, DivisionByZeroIsTotal) {
+  // The value algebra is total: x/0 saturates instead of trapping.
+  EXPECT_DOUBLE_EQ(ApplyComposeFn(ComposeFn::kDivide, 0.0, 0.0), 0.0);
+  EXPECT_EQ(ApplyComposeFn(ComposeFn::kDivide, 5.0, 0.0),
+            std::numeric_limits<double>::max());
+  EXPECT_EQ(ApplyComposeFn(ComposeFn::kDivide, -5.0, 0.0),
+            std::numeric_limits<double>::lowest());
+}
+
+TEST(ComposeFnTest, Names) {
+  EXPECT_STREQ(ComposeFnName(ComposeFn::kAdd), "+");
+  EXPECT_STREQ(ComposeFnName(ComposeFn::kSupremum), "sup");
+}
+
+TEST(SampleTypeTest, SizesAndNames) {
+  EXPECT_EQ(SampleTypeSize(SampleType::kUInt8), 1u);
+  EXPECT_EQ(SampleTypeSize(SampleType::kInt16), 2u);
+  EXPECT_EQ(SampleTypeSize(SampleType::kFloat32), 4u);
+  EXPECT_EQ(SampleTypeSize(SampleType::kFloat64), 8u);
+  EXPECT_STREQ(SampleTypeName(SampleType::kFloat32), "f32");
+}
+
+}  // namespace
+}  // namespace geostreams
