@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cascade_tree.dir/bench_cascade_tree.cc.o"
+  "CMakeFiles/bench_cascade_tree.dir/bench_cascade_tree.cc.o.d"
+  "bench_cascade_tree"
+  "bench_cascade_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cascade_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_restrictions.dir/bench_restrictions.cc.o"
+  "CMakeFiles/bench_restrictions.dir/bench_restrictions.cc.o.d"
+  "bench_restrictions"
+  "bench_restrictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restrictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

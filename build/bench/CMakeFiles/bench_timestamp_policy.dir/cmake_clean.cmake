@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timestamp_policy.dir/bench_timestamp_policy.cc.o"
+  "CMakeFiles/bench_timestamp_policy.dir/bench_timestamp_policy.cc.o.d"
+  "bench_timestamp_policy"
+  "bench_timestamp_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timestamp_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoquery.dir/geoquery.cpp.o"
+  "CMakeFiles/geoquery.dir/geoquery.cpp.o.d"
+  "geoquery"
+  "geoquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_server.dir/regional_server.cpp.o"
+  "CMakeFiles/regional_server.dir/regional_server.cpp.o.d"
+  "regional_server"
+  "regional_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

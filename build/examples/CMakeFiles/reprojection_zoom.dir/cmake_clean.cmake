@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reprojection_zoom.dir/reprojection_zoom.cpp.o"
+  "CMakeFiles/reprojection_zoom.dir/reprojection_zoom.cpp.o.d"
+  "reprojection_zoom"
+  "reprojection_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reprojection_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reprojection_zoom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildfire_monitoring.dir/wildfire_monitoring.cpp.o"
+  "CMakeFiles/wildfire_monitoring.dir/wildfire_monitoring.cpp.o.d"
+  "wildfire_monitoring"
+  "wildfire_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildfire_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/geostreams.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/geostreams.dir/common/status.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/geostreams.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/geostream.cc" "src/CMakeFiles/geostreams.dir/core/geostream.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/core/geostream.cc.o.d"
+  "/root/repo/src/core/stream_event.cc" "src/CMakeFiles/geostreams.dir/core/stream_event.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/core/stream_event.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/CMakeFiles/geostreams.dir/core/value.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/core/value.cc.o.d"
+  "/root/repo/src/geo/crs.cc" "src/CMakeFiles/geostreams.dir/geo/crs.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/geo/crs.cc.o.d"
+  "/root/repo/src/geo/crs_registry.cc" "src/CMakeFiles/geostreams.dir/geo/crs_registry.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/geo/crs_registry.cc.o.d"
+  "/root/repo/src/geo/geographic_crs.cc" "src/CMakeFiles/geostreams.dir/geo/geographic_crs.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/geo/geographic_crs.cc.o.d"
+  "/root/repo/src/geo/geostationary_crs.cc" "src/CMakeFiles/geostreams.dir/geo/geostationary_crs.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/geo/geostationary_crs.cc.o.d"
+  "/root/repo/src/geo/lambert_conformal_crs.cc" "src/CMakeFiles/geostreams.dir/geo/lambert_conformal_crs.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/geo/lambert_conformal_crs.cc.o.d"
+  "/root/repo/src/geo/lattice.cc" "src/CMakeFiles/geostreams.dir/geo/lattice.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/geo/lattice.cc.o.d"
+  "/root/repo/src/geo/mercator_crs.cc" "src/CMakeFiles/geostreams.dir/geo/mercator_crs.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/geo/mercator_crs.cc.o.d"
+  "/root/repo/src/geo/region.cc" "src/CMakeFiles/geostreams.dir/geo/region.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/geo/region.cc.o.d"
+  "/root/repo/src/geo/transverse_mercator_crs.cc" "src/CMakeFiles/geostreams.dir/geo/transverse_mercator_crs.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/geo/transverse_mercator_crs.cc.o.d"
+  "/root/repo/src/mqo/cascade_tree.cc" "src/CMakeFiles/geostreams.dir/mqo/cascade_tree.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/mqo/cascade_tree.cc.o.d"
+  "/root/repo/src/mqo/filter_bank.cc" "src/CMakeFiles/geostreams.dir/mqo/filter_bank.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/mqo/filter_bank.cc.o.d"
+  "/root/repo/src/mqo/grid_index.cc" "src/CMakeFiles/geostreams.dir/mqo/grid_index.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/mqo/grid_index.cc.o.d"
+  "/root/repo/src/mqo/shared_restriction.cc" "src/CMakeFiles/geostreams.dir/mqo/shared_restriction.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/mqo/shared_restriction.cc.o.d"
+  "/root/repo/src/ops/aggregate_op.cc" "src/CMakeFiles/geostreams.dir/ops/aggregate_op.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/aggregate_op.cc.o.d"
+  "/root/repo/src/ops/compose_op.cc" "src/CMakeFiles/geostreams.dir/ops/compose_op.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/compose_op.cc.o.d"
+  "/root/repo/src/ops/delivery_op.cc" "src/CMakeFiles/geostreams.dir/ops/delivery_op.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/delivery_op.cc.o.d"
+  "/root/repo/src/ops/macro_ops.cc" "src/CMakeFiles/geostreams.dir/ops/macro_ops.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/macro_ops.cc.o.d"
+  "/root/repo/src/ops/reproject_op.cc" "src/CMakeFiles/geostreams.dir/ops/reproject_op.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/reproject_op.cc.o.d"
+  "/root/repo/src/ops/restriction_ops.cc" "src/CMakeFiles/geostreams.dir/ops/restriction_ops.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/restriction_ops.cc.o.d"
+  "/root/repo/src/ops/shedding_op.cc" "src/CMakeFiles/geostreams.dir/ops/shedding_op.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/shedding_op.cc.o.d"
+  "/root/repo/src/ops/spatial_transform_op.cc" "src/CMakeFiles/geostreams.dir/ops/spatial_transform_op.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/spatial_transform_op.cc.o.d"
+  "/root/repo/src/ops/stretch_transform_op.cc" "src/CMakeFiles/geostreams.dir/ops/stretch_transform_op.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/stretch_transform_op.cc.o.d"
+  "/root/repo/src/ops/time_set.cc" "src/CMakeFiles/geostreams.dir/ops/time_set.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/time_set.cc.o.d"
+  "/root/repo/src/ops/value_transform_op.cc" "src/CMakeFiles/geostreams.dir/ops/value_transform_op.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/ops/value_transform_op.cc.o.d"
+  "/root/repo/src/query/analyzer.cc" "src/CMakeFiles/geostreams.dir/query/analyzer.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/query/analyzer.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/geostreams.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/cost_model.cc" "src/CMakeFiles/geostreams.dir/query/cost_model.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/query/cost_model.cc.o.d"
+  "/root/repo/src/query/explain.cc" "src/CMakeFiles/geostreams.dir/query/explain.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/query/explain.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/geostreams.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/optimizer.cc" "src/CMakeFiles/geostreams.dir/query/optimizer.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/query/optimizer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/geostreams.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/geostreams.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/query/planner.cc.o.d"
+  "/root/repo/src/raster/checksum.cc" "src/CMakeFiles/geostreams.dir/raster/checksum.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/raster/checksum.cc.o.d"
+  "/root/repo/src/raster/frame_assembler.cc" "src/CMakeFiles/geostreams.dir/raster/frame_assembler.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/raster/frame_assembler.cc.o.d"
+  "/root/repo/src/raster/histogram.cc" "src/CMakeFiles/geostreams.dir/raster/histogram.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/raster/histogram.cc.o.d"
+  "/root/repo/src/raster/png_encoder.cc" "src/CMakeFiles/geostreams.dir/raster/png_encoder.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/raster/png_encoder.cc.o.d"
+  "/root/repo/src/raster/pnm_io.cc" "src/CMakeFiles/geostreams.dir/raster/pnm_io.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/raster/pnm_io.cc.o.d"
+  "/root/repo/src/raster/raster.cc" "src/CMakeFiles/geostreams.dir/raster/raster.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/raster/raster.cc.o.d"
+  "/root/repo/src/raster/resample.cc" "src/CMakeFiles/geostreams.dir/raster/resample.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/raster/resample.cc.o.d"
+  "/root/repo/src/server/dsms_server.cc" "src/CMakeFiles/geostreams.dir/server/dsms_server.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/server/dsms_server.cc.o.d"
+  "/root/repo/src/server/frame_archive.cc" "src/CMakeFiles/geostreams.dir/server/frame_archive.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/server/frame_archive.cc.o.d"
+  "/root/repo/src/server/scan_schedule.cc" "src/CMakeFiles/geostreams.dir/server/scan_schedule.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/server/scan_schedule.cc.o.d"
+  "/root/repo/src/server/stream_generator.cc" "src/CMakeFiles/geostreams.dir/server/stream_generator.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/server/stream_generator.cc.o.d"
+  "/root/repo/src/server/synthetic_earth.cc" "src/CMakeFiles/geostreams.dir/server/synthetic_earth.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/server/synthetic_earth.cc.o.d"
+  "/root/repo/src/stream/adaptive_shedding.cc" "src/CMakeFiles/geostreams.dir/stream/adaptive_shedding.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/stream/adaptive_shedding.cc.o.d"
+  "/root/repo/src/stream/executor.cc" "src/CMakeFiles/geostreams.dir/stream/executor.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/stream/executor.cc.o.d"
+  "/root/repo/src/stream/memory_tracker.cc" "src/CMakeFiles/geostreams.dir/stream/memory_tracker.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/stream/memory_tracker.cc.o.d"
+  "/root/repo/src/stream/metrics.cc" "src/CMakeFiles/geostreams.dir/stream/metrics.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/stream/metrics.cc.o.d"
+  "/root/repo/src/stream/operator.cc" "src/CMakeFiles/geostreams.dir/stream/operator.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/stream/operator.cc.o.d"
+  "/root/repo/src/stream/pipeline.cc" "src/CMakeFiles/geostreams.dir/stream/pipeline.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/stream/pipeline.cc.o.d"
+  "/root/repo/src/stream/scheduler.cc" "src/CMakeFiles/geostreams.dir/stream/scheduler.cc.o" "gcc" "src/CMakeFiles/geostreams.dir/stream/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

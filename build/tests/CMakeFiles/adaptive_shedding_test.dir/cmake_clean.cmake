@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_shedding_test.dir/adaptive_shedding_test.cc.o"
+  "CMakeFiles/adaptive_shedding_test.dir/adaptive_shedding_test.cc.o.d"
+  "adaptive_shedding_test"
+  "adaptive_shedding_test.pdb"
+  "adaptive_shedding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_shedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiband_test.dir/multiband_test.cc.o"
+  "CMakeFiles/multiband_test.dir/multiband_test.cc.o.d"
+  "multiband_test"
+  "multiband_test.pdb"
+  "multiband_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiband_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproject_test.dir/reproject_test.cc.o"
+  "CMakeFiles/reproject_test.dir/reproject_test.cc.o.d"
+  "reproject_test"
+  "reproject_test.pdb"
+  "reproject_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

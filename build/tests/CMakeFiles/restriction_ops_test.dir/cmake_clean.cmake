@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restriction_ops_test.dir/restriction_ops_test.cc.o"
+  "CMakeFiles/restriction_ops_test.dir/restriction_ops_test.cc.o.d"
+  "restriction_ops_test"
+  "restriction_ops_test.pdb"
+  "restriction_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restriction_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shedding_test.dir/shedding_test.cc.o"
+  "CMakeFiles/shedding_test.dir/shedding_test.cc.o.d"
+  "shedding_test"
+  "shedding_test.pdb"
+  "shedding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_earth_test.dir/synthetic_earth_test.cc.o"
+  "CMakeFiles/synthetic_earth_test.dir/synthetic_earth_test.cc.o.d"
+  "synthetic_earth_test"
+  "synthetic_earth_test.pdb"
+  "synthetic_earth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_earth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

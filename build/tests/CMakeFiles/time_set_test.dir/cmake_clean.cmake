@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_set_test.dir/time_set_test.cc.o"
+  "CMakeFiles/time_set_test.dir/time_set_test.cc.o.d"
+  "time_set_test"
+  "time_set_test.pdb"
+  "time_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_ops_test.dir/transform_ops_test.cc.o"
+  "CMakeFiles/transform_ops_test.dir/transform_ops_test.cc.o.d"
+  "transform_ops_test"
+  "transform_ops_test.pdb"
+  "transform_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
