@@ -136,6 +136,62 @@ void BM_DsmsEndToEnd_PngDelivery(benchmark::State& state) {
 }
 BENCHMARK(BM_DsmsEndToEnd_PngDelivery);
 
+void BM_DsmsEndToEnd_WorkerPool(benchmark::State& state) {
+  // Worker-pool scaling: 16 per-query plans (restriction / NDVI /
+  // vrange / reproject mix) executed by a pool of 1/2/4/8 workers.
+  // Shared restriction is off so each query's full plan is real work
+  // for its pipeline, and the ingest thread only enqueues. On a
+  // multi-core host the series demonstrates near-linear scaling until
+  // workers exceed cores; `workers=0` rows in BM_DsmsEndToEnd are the
+  // synchronous baseline.
+  const size_t workers = static_cast<size_t>(state.range(0));
+  constexpr int kQueries = 16;
+  DsmsOptions options;
+  options.shared_restriction = false;
+  options.workers = workers;
+  options.worker_queue_capacity = 1 << 16;  // measure throughput, not shedding
+  DsmsServer server(options);
+  StreamGenerator gen(MakeConfig(), ScanSchedule::GoesRoutine());
+  CheckOk(gen.Init(), "init");
+  for (size_t b = 0; b < 2; ++b) {
+    CheckOk(server.RegisterStream(ValueOrDie(gen.Descriptor(b), "desc")),
+            "register stream");
+  }
+  // Callbacks fire concurrently across queries on pool workers.
+  std::atomic<uint64_t> frames_delivered{0};
+  for (int i = 0; i < kQueries; ++i) {
+    auto id = server.RegisterQuery(
+        QueryForClient(i),
+        [&frames_delivered](int64_t, const Raster&,
+                            const std::vector<uint8_t>&) {
+          frames_delivered.fetch_add(1, std::memory_order_relaxed);
+        });
+    CheckOk(id.status(), "register query");
+  }
+  std::vector<EventSink*> sinks = {server.ingest("goes.band2"),
+                                   server.ingest("goes.band1")};
+  int64_t scan = 0;
+  for (auto _ : state) {
+    CheckOk(gen.GenerateScans(scan, 1, sinks), "scan");
+    // Each iteration measures fully processed scans: enqueue + drain.
+    CheckOk(server.Flush(), "flush");
+    ++scan;
+  }
+  const double points =
+      static_cast<double>(state.iterations()) * 2.0 * kCells;
+  state.SetItemsProcessed(static_cast<int64_t>(points));
+  state.counters["ingest_MBps"] = benchmark::Counter(
+      points * 4.0 / 1.0e6, benchmark::Counter::kIsRate);
+  state.counters["workers"] = static_cast<double>(server.num_workers());
+  state.counters["frames_per_scan"] =
+      static_cast<double>(frames_delivered.load()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DsmsEndToEnd_WorkerPool)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Dsms_ThreadedIngest(benchmark::State& state) {
   // Ingest decoupled from query processing by a bounded queue
   // (StageRunner), as a receiving station would run it.

@@ -6,10 +6,16 @@
 // ingest runs decoupled from a consumer thread through a bounded
 // queue, like a receiving station would operate.
 //
-//   ./regional_server [num_clients] [num_scans]
+//   ./regional_server [num_clients] [num_scans] [--workers=N]
+//
+// With --workers=N the server runs its query worker pool: every
+// client query becomes one scheduler pipeline and N threads execute
+// them in parallel (N=0, the default, keeps execution synchronous on
+// the ingest thread).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -31,8 +37,22 @@ int Fail(const Status& status, const char* what) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int num_clients = argc > 1 ? std::atoi(argv[1]) : 40;
-  const int num_scans = argc > 2 ? std::atoi(argv[2]) : 6;
+  int num_clients = 40;
+  int num_scans = 6;
+  size_t workers = 0;
+  int positional = 0;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--workers=", 10) == 0) {
+      const int parsed = std::atoi(argv[a] + 10);
+      workers = parsed > 0 ? static_cast<size_t>(parsed) : 0;
+    } else if (positional == 0) {
+      num_clients = std::atoi(argv[a]);
+      ++positional;
+    } else {
+      num_scans = std::atoi(argv[a]);
+      ++positional;
+    }
+  }
 
   InstrumentConfig config;
   config.crs_name = "latlon";
@@ -45,7 +65,11 @@ int main(int argc, char** argv) {
   DsmsOptions options;
   options.shared_restriction = true;
   options.index_kind = DsmsOptions::IndexKind::kCascadeTree;
+  options.workers = workers;
   DsmsServer server(options);
+  if (workers > 0) {
+    std::printf("query worker pool: %zu threads\n", server.num_workers());
+  }
   auto desc = generator.Descriptor(0);
   if (!desc.ok()) return Fail(desc.status(), "descriptor");
   if (Status st = server.RegisterStream(*desc); !st.ok()) {
@@ -111,6 +135,11 @@ int main(int argc, char** argv) {
   std::printf("... (%zu clients total, %llu pixels delivered overall)\n",
               clients.size(),
               static_cast<unsigned long long>(total_pixels));
+  std::printf("operator memory: %llu bytes across %zu owners (peak %llu)\n",
+              static_cast<unsigned long long>(server.memory().TotalBytes()),
+              server.memory().Snapshot().size(),
+              static_cast<unsigned long long>(
+                  server.memory().HighWaterBytes()));
 
   if (Status st = server.UnregisterQuery(clients[0]->id); !st.ok()) {
     return Fail(st, "unregister");

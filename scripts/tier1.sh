@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + ctest, then the concurrency-
+# sensitive tests (scheduler / executor / multiband) rebuilt and run
+# under ThreadSanitizer in a separate build tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "== tier-1: TSan lane (scheduler/executor/multiband) =="
+cmake -B build-tsan -S . -DGEOSTREAMS_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j "${JOBS}" \
+      --target scheduler_test executor_test multiband_test
+(cd build-tsan && \
+ ctest --output-on-failure -j "${JOBS}" \
+       -R '^(SchedulerTest|StageRunnerTest|BoundedEventQueueTest|PipelineTest|MultibandTest)')
+
+echo "tier-1 OK"

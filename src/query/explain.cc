@@ -88,8 +88,10 @@ std::string ExplainPlanMetrics(const ExecutablePlan& plan) {
   std::string out;
   out += StringPrintf("plan output: %s\n",
                       plan.output_descriptor().ToString().c_str());
+  OperatorMetrics total;
   for (const auto& op : plan.operators()) {
     const OperatorMetrics& m = op->metrics();
+    total.MergeFrom(m);
     out += StringPrintf(
         "%-22s points_in=%-10llu points_out=%-10llu frames=%llu "
         "buffered_peak=%lluB\n",
@@ -98,6 +100,13 @@ std::string ExplainPlanMetrics(const ExecutablePlan& plan) {
         static_cast<unsigned long long>(m.frames_in),
         static_cast<unsigned long long>(m.buffered_bytes_high_water));
   }
+  out += StringPrintf(
+      "%-22s points_in=%-10llu points_out=%-10llu frames=%llu "
+      "buffered_peak<=%lluB\n",
+      "(total)", static_cast<unsigned long long>(total.points_in),
+      static_cast<unsigned long long>(total.points_out),
+      static_cast<unsigned long long>(total.frames_in),
+      static_cast<unsigned long long>(total.buffered_bytes_high_water));
   return out;
 }
 

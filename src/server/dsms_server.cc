@@ -58,6 +58,10 @@ struct DsmsServer::QueryState {
   std::unique_ptr<DeliveryOp> delivery;
   NullSink null_sink;
   std::unique_ptr<ExecutablePlan> plan;
+  /// Scheduler pipeline id when the server runs a worker pool; all of
+  /// the plan's inputs share this pipeline so one worker at a time
+  /// drives the plan.
+  size_t sched_pipeline = SIZE_MAX;
 
   bool is_derived = false;
   std::string derived_name;
@@ -73,8 +77,32 @@ struct DsmsServer::QueryState {
   std::vector<std::pair<std::string, EventSink*>> direct;
 };
 
-DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {}
-DsmsServer::~DsmsServer() = default;
+DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
+  if (options_.workers > 0) {
+    SchedulerOptions sched;
+    sched.policy = options_.worker_policy;
+    sched.queue_capacity = options_.worker_queue_capacity;
+    sched.workers = options_.workers;
+    scheduler_ = std::make_unique<QueryScheduler>(sched);
+    Status st = scheduler_->Start();
+    if (!st.ok()) {
+      GEOSTREAMS_LOG(kError) << "worker pool failed to start: "
+                             << st.ToString();
+      scheduler_.reset();
+    } else {
+      GEOSTREAMS_LOG(kInfo) << "query worker pool: "
+                            << scheduler_->num_workers() << " threads, "
+                            << SchedulingPolicyName(sched.policy);
+    }
+  }
+}
+
+DsmsServer::~DsmsServer() {
+  if (scheduler_) {
+    Status ignored = scheduler_->Stop();
+    (void)ignored;
+  }
+}
 
 Status DsmsServer::RegisterStream(const GeoStreamDescriptor& desc) {
   GEOSTREAMS_RETURN_IF_ERROR(catalog_.Register(desc));
@@ -180,9 +208,19 @@ Result<QueryId> DsmsServer::RegisterInternal(
                               BuildPlan(plan_expr, plan_sink, &memory_));
 
   // Wire plan inputs to sources (peeled leaves via the shared
-  // restriction index, the rest directly).
+  // restriction index, the rest directly). With a worker pool, every
+  // plan input is wrapped in a scheduler entry for the query's single
+  // pipeline: sources enqueue cheaply, and the plan itself runs on
+  // whichever worker claims the pipeline.
   for (const std::string& input_name : query->plan->input_names()) {
     EventSink* entry = query->plan->input(input_name);
+    if (scheduler_) {
+      if (query->sched_pipeline == SIZE_MAX) {
+        query->sched_pipeline = scheduler_->AddPipelineGroup(
+            StringPrintf("q%lld", static_cast<long long>(id)));
+      }
+      entry = scheduler_->AddPipelineInput(query->sched_pipeline, entry);
+    }
     auto peeled_it = std::find_if(
         query->peeled.begin(), query->peeled.end(),
         [&](const QueryState::Peeled& p) {
@@ -238,8 +276,20 @@ Status DsmsServer::UnregisterQuery(QueryId id) {
     targets.erase(std::remove(targets.begin(), targets.end(), entry),
                   targets.end());
   }
+  if (scheduler_) {
+    // The query is detached from every source; drain whatever is
+    // still queued before the plan it targets is destroyed. (The
+    // query's now-empty pipeline stays registered — pipelines are
+    // never removed — and simply never receives events again.)
+    GEOSTREAMS_RETURN_IF_ERROR(scheduler_->WaitIdle());
+  }
   queries_.erase(it);
   return Status::OK();
+}
+
+Status DsmsServer::Flush() {
+  if (!scheduler_) return Status::OK();
+  return scheduler_->WaitIdle();
 }
 
 EventSink* DsmsServer::ingest(const std::string& name) {
@@ -254,7 +304,7 @@ Status DsmsServer::EndAllStreams() {
     if (source->derived) continue;
     GEOSTREAMS_RETURN_IF_ERROR(source->Consume(StreamEvent::StreamEnd()));
   }
-  return Status::OK();
+  return Flush();
 }
 
 Result<std::string> DsmsServer::Explain(QueryId id) const {

@@ -25,6 +25,7 @@
 #include "query/optimizer.h"
 #include "query/planner.h"
 #include "stream/memory_tracker.h"
+#include "stream/scheduler.h"
 
 namespace geostreams {
 
@@ -38,6 +39,19 @@ struct DsmsOptions {
   OptimizerOptions optimizer;
   /// Deliver PNG bytes with every frame (costs CPU).
   bool encode_png = false;
+  /// Query-execution worker pool (the server's `--workers` knob).
+  /// 0 = synchronous: plans run inline on the ingest thread, one core
+  /// total. N > 0 = a QueryScheduler pool of N threads; every query
+  /// becomes one scheduler pipeline, so distinct queries run in
+  /// parallel while each query's events stay in order. Frame
+  /// callbacks then fire on worker threads — possibly concurrently
+  /// across queries — and must be thread-safe.
+  size_t workers = 0;
+  /// Per-query bounded queue when workers > 0; point batches beyond
+  /// it are shed (frame/stream control events are never shed).
+  size_t worker_queue_capacity = 1 << 14;
+  /// Dispatch policy of the worker pool.
+  SchedulingPolicy worker_policy = SchedulingPolicy::kRoundRobin;
 };
 
 class DsmsServer {
@@ -69,11 +83,26 @@ class DsmsServer {
   /// events here). Null for unknown streams.
   EventSink* ingest(const std::string& name);
 
-  /// Broadcasts StreamEnd to every query.
+  /// Broadcasts StreamEnd to every query, then (when a worker pool is
+  /// configured) waits until every queue has drained.
   Status EndAllStreams();
+
+  /// Blocks until all queued work has been processed. No-op without a
+  /// worker pool. Call before reading delivery counters or
+  /// ExplainAnalyze when workers > 0.
+  Status Flush();
 
   /// Diagnostics.
   size_t num_queries() const { return queries_.size(); }
+  /// Worker threads executing query plans (0 = synchronous).
+  size_t num_workers() const {
+    return scheduler_ ? scheduler_->num_workers() : 0;
+  }
+  /// Per-query scheduler queue statistics (empty when workers = 0).
+  std::vector<ScheduledQueueStats> SchedulerStats() const {
+    return scheduler_ ? scheduler_->Stats()
+                      : std::vector<ScheduledQueueStats>{};
+  }
   const StreamCatalog& catalog() const { return catalog_; }
   const MemoryTracker& memory() const { return memory_; }
   /// EXPLAIN text of a registered query's optimized plan.
@@ -100,6 +129,12 @@ class DsmsServer {
   DsmsOptions options_;
   StreamCatalog catalog_;
   MemoryTracker memory_;
+  /// Worker pool (null when options_.workers == 0). Started in the
+  /// constructor; pipelines are added as queries register. Query
+  /// (un)registration and catalog mutation are NOT thread-safe
+  /// against concurrent ingest — same contract as the seed; only
+  /// event flow is parallelized.
+  std::unique_ptr<QueryScheduler> scheduler_;
   std::map<std::string, std::unique_ptr<SourceState>> sources_;
   std::map<QueryId, std::unique_ptr<QueryState>> queries_;
   QueryId next_query_id_ = 1;

@@ -53,10 +53,13 @@ Status StageRunner::Consume(const StreamEvent& event) {
 }
 
 Status StageRunner::Drain() {
-  if (!drained_) {
-    queue_.Close();
-    if (worker_.joinable()) worker_.join();
-    drained_ = true;
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    if (!drained_) {
+      queue_.Close();
+      if (worker_.joinable()) worker_.join();
+      drained_ = true;
+    }
   }
   std::lock_guard<std::mutex> lock(status_mutex_);
   return worker_status_;

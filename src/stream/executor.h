@@ -56,7 +56,10 @@ class StageRunner : public EventSink {
   Status Consume(const StreamEvent& event) override;
 
   /// Closes the queue and joins the worker. Returns the first error
-  /// the downstream sink produced, if any.
+  /// the downstream sink produced, if any. Idempotent and safe to
+  /// call from several threads concurrently (including the implicit
+  /// call from the destructor): exactly one caller performs the
+  /// close+join, the rest wait for it and return the same status.
   Status Drain();
 
  private:
@@ -65,9 +68,13 @@ class StageRunner : public EventSink {
   EventSink* downstream_;
   BoundedEventQueue queue_;
   std::thread worker_;
+  /// Serializes Drain callers and guards drained_. Distinct from
+  /// status_mutex_ so no caller holds the status lock across join()
+  /// while the worker may be recording an error under it.
+  std::mutex drain_mutex_;
+  bool drained_ = false;
   std::mutex status_mutex_;
   Status worker_status_;
-  bool drained_ = false;
 };
 
 }  // namespace geostreams

@@ -28,6 +28,11 @@ uint64_t MemoryTracker::OwnerHighWater(const std::string& owner) const {
   return it == owner_high_water_.end() ? 0 : it->second;
 }
 
+std::map<std::string, uint64_t> MemoryTracker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
 void MemoryTracker::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   current_.clear();

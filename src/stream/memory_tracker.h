@@ -24,6 +24,10 @@ class MemoryTracker {
   uint64_t HighWaterBytes() const;
   /// High-water for a single owner (0 when unknown).
   uint64_t OwnerHighWater(const std::string& owner) const;
+  /// Consistent copy of every owner's current figure (one lock
+  /// acquisition, so the per-owner numbers are mutually coherent even
+  /// while worker threads keep reporting).
+  std::map<std::string, uint64_t> Snapshot() const;
 
   void Reset();
 

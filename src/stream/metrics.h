@@ -12,8 +12,15 @@
 
 namespace geostreams {
 
-/// Counters updated by an operator while processing. Not thread-safe;
-/// each operator instance is driven by one thread.
+/// Counters updated by an operator while processing. The counters are
+/// plain integers, not atomics: an operator instance is driven by at
+/// most one thread *at a time*. Under the QueryScheduler worker pool
+/// this is the per-pipeline claim invariant — successive events of a
+/// pipeline may run on different workers, but the scheduler's queue
+/// mutex at claim/release orders those accesses, so updates made on
+/// one worker are visible to the next. Aggregating metrics across
+/// operators (which may be running on other workers) must happen at a
+/// quiescent point — after Stop()/WaitIdle() — via MergeFrom.
 struct OperatorMetrics {
   uint64_t events_in = 0;
   uint64_t points_in = 0;
@@ -29,6 +36,19 @@ struct OperatorMetrics {
   void SetBuffered(uint64_t bytes) {
     buffered_bytes = bytes;
     if (bytes > buffered_bytes_high_water) buffered_bytes_high_water = bytes;
+  }
+
+  /// Accumulates `other` into this struct. Counters add; the
+  /// buffered-bytes high water becomes a sum of per-operator peaks —
+  /// an upper bound, since the peaks need not coincide in time.
+  void MergeFrom(const OperatorMetrics& other) {
+    events_in += other.events_in;
+    points_in += other.points_in;
+    points_out += other.points_out;
+    frames_in += other.frames_in;
+    frames_out += other.frames_out;
+    buffered_bytes += other.buffered_bytes;
+    buffered_bytes_high_water += other.buffered_bytes_high_water;
   }
 
   void Reset() { *this = OperatorMetrics(); }

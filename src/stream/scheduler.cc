@@ -16,14 +16,26 @@ const char* SchedulingPolicyName(SchedulingPolicy policy) {
 
 struct QueryScheduler::Queue {
   std::string name;
-  EventSink* downstream = nullptr;
-  std::deque<StreamEvent> events;
+  std::deque<Item> events;
   ScheduledQueueStats stats;
+  /// True while a worker is delivering an event from this queue; the
+  /// queue is then invisible to SelectQueueLocked, which is what keeps
+  /// per-pipeline order under a multi-worker pool.
+  bool busy = false;
 };
 
-QueryScheduler::QueryScheduler(SchedulingPolicy policy,
-                               size_t queue_capacity)
-    : policy_(policy), capacity_(queue_capacity) {}
+QueryScheduler::QueryScheduler(SchedulerOptions options)
+    : options_(options) {
+  resolved_workers_ = options_.workers;
+  if (resolved_workers_ == 0) {
+    resolved_workers_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+QueryScheduler::QueryScheduler(SchedulingPolicy policy, size_t queue_capacity)
+    : QueryScheduler(SchedulerOptions{policy, queue_capacity,
+                                      /*workers=*/1,
+                                      /*report_drops=*/false}) {}
 
 QueryScheduler::~QueryScheduler() {
   Status ignored = Stop();
@@ -32,13 +44,24 @@ QueryScheduler::~QueryScheduler() {
 
 EventSink* QueryScheduler::AddPipeline(std::string name,
                                        EventSink* downstream) {
+  const size_t pipeline = AddPipelineGroup(std::move(name));
+  return AddPipelineInput(pipeline, downstream);
+}
+
+size_t QueryScheduler::AddPipelineGroup(std::string name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto queue = std::make_unique<Queue>();
   queue->name = std::move(name);
-  queue->downstream = downstream;
   queue->stats.name = queue->name;
   queues_.push_back(std::move(queue));
-  entries_.push_back(std::make_unique<EntrySink>(this, queues_.size() - 1));
+  return queues_.size() - 1;
+}
+
+EventSink* QueryScheduler::AddPipelineInput(size_t pipeline,
+                                            EventSink* downstream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(
+      std::make_unique<EntrySink>(this, pipeline, downstream));
   return entries_.back().get();
 }
 
@@ -47,7 +70,11 @@ Status QueryScheduler::Start() {
   if (started_) return Status::FailedPrecondition("scheduler running");
   started_ = true;
   stopping_ = false;
-  worker_ = std::thread([this] { Run(); });
+  aborted_ = false;
+  workers_.reserve(resolved_workers_);
+  for (size_t i = 0; i < resolved_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
   return Status::OK();
 }
 
@@ -58,28 +85,52 @@ Status QueryScheduler::Stop() {
     stopping_ = true;
   }
   work_available_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
   std::lock_guard<std::mutex> lock(mutex_);
+  workers_.clear();
   started_ = false;
+  idle_.notify_all();
   return worker_status_;
 }
 
-Status QueryScheduler::Enqueue(size_t index, const StreamEvent& event) {
+Status QueryScheduler::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] {
+    return aborted_ || !started_ ||
+           (busy_count_ == 0 && AllQueuesEmptyLocked());
+  });
+  return worker_status_;
+}
+
+Status QueryScheduler::Enqueue(size_t index, EventSink* downstream,
+                               const StreamEvent& event) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!started_) {
       return Status::FailedPrecondition("scheduler not started");
     }
+    if (aborted_) return worker_status_;
     Queue& queue = *queues_[index];
-    ++queue.stats.enqueued;
     // Frame metadata and stream control are never shed: downstream
-    // buffering operators depend on well-formed frame sequences.
+    // buffering operators depend on well-formed frame sequences. They
+    // are admitted above capacity, but the overshoot is counted.
     const bool control = event.kind != EventKind::kPointBatch;
-    if (!control && queue.events.size() >= capacity_) {
-      ++queue.stats.dropped;
-      return Status::OK();
+    const bool over = queue.events.size() >= options_.queue_capacity;
+    if (over) {
+      if (!control) {
+        ++queue.stats.dropped;
+        if (options_.report_drops) {
+          return Status::ResourceExhausted("queue full, batch shed: " +
+                                           queue.name);
+        }
+        return Status::OK();
+      }
+      ++queue.stats.control_overflow;
     }
-    queue.events.push_back(event);
+    ++queue.stats.enqueued;
+    queue.events.push_back(Item{downstream, event});
     queue.stats.queue_high_water = std::max(
         queue.stats.queue_high_water,
         static_cast<uint64_t>(queue.events.size()));
@@ -88,54 +139,82 @@ Status QueryScheduler::Enqueue(size_t index, const StreamEvent& event) {
   return Status::OK();
 }
 
-int QueryScheduler::PickQueueLocked() {
+int QueryScheduler::SelectQueueLocked() const {
   const size_t n = queues_.size();
   if (n == 0) return -1;
-  if (policy_ == SchedulingPolicy::kLongestQueueFirst) {
+  if (options_.policy == SchedulingPolicy::kLongestQueueFirst) {
     int best = -1;
     size_t best_size = 0;
     for (size_t i = 0; i < n; ++i) {
-      if (queues_[i]->events.size() > best_size) {
-        best_size = queues_[i]->events.size();
+      const Queue& queue = *queues_[i];
+      if (!queue.busy && queue.events.size() > best_size) {
+        best_size = queue.events.size();
         best = static_cast<int>(i);
       }
     }
     return best;
   }
-  // Round robin: next non-empty queue after the cursor.
+  // Round robin: next claimable queue at or after the cursor. The
+  // cursor is NOT advanced here — selection must stay side-effect
+  // free so it can serve as a wait predicate.
   for (size_t step = 0; step < n; ++step) {
     const size_t i = (rr_cursor_ + step) % n;
-    if (!queues_[i]->events.empty()) {
-      rr_cursor_ = (i + 1) % n;
-      return static_cast<int>(i);
-    }
+    const Queue& queue = *queues_[i];
+    if (!queue.busy && !queue.events.empty()) return static_cast<int>(i);
   }
   return -1;
 }
 
-void QueryScheduler::Run() {
+void QueryScheduler::AdvanceCursorLocked(size_t claimed) {
+  rr_cursor_ = (claimed + 1) % queues_.size();
+}
+
+bool QueryScheduler::AllQueuesEmptyLocked() const {
+  for (const auto& queue : queues_) {
+    if (!queue->events.empty()) return false;
+  }
+  return true;
+}
+
+void QueryScheduler::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    int index = PickQueueLocked();
+    work_available_.wait(lock, [this] {
+      return aborted_ || stopping_ || SelectQueueLocked() >= 0;
+    });
+    if (aborted_) return;
+    const int index = SelectQueueLocked();
     if (index < 0) {
-      if (stopping_) return;  // drained and asked to stop
-      work_available_.wait(lock, [this] {
-        return stopping_ || PickQueueLocked() >= 0;
-      });
+      // Nothing claimable. Busy queues still holding events are
+      // finished by the workers that claimed them, so on stop this
+      // worker can leave without abandoning work.
+      if (stopping_) return;
       continue;
     }
     Queue& queue = *queues_[static_cast<size_t>(index)];
-    StreamEvent event = std::move(queue.events.front());
+    AdvanceCursorLocked(static_cast<size_t>(index));
+    queue.busy = true;
+    ++busy_count_;
+    Item item = std::move(queue.events.front());
     queue.events.pop_front();
     ++queue.stats.processed;
-    EventSink* downstream = queue.downstream;
     lock.unlock();
-    Status st = downstream->Consume(event);
+    // The claim invariant makes this call single-threaded per
+    // pipeline; the mutex acquire/release around claim and release
+    // orders operator state (incl. OperatorMetrics) across workers.
+    Status st = item.downstream->Consume(item.event);
     lock.lock();
-    if (!st.ok() && worker_status_.ok()) {
-      worker_status_ = st;
+    queue.busy = false;
+    --busy_count_;
+    if (!st.ok()) {
+      if (worker_status_.ok()) worker_status_ = st;
+      aborted_ = true;
+      work_available_.notify_all();
+      idle_.notify_all();
       return;
     }
+    if (!queue.events.empty()) work_available_.notify_one();
+    if (busy_count_ == 0 && AllQueuesEmptyLocked()) idle_.notify_all();
   }
 }
 
@@ -145,6 +224,14 @@ std::vector<ScheduledQueueStats> QueryScheduler::Stats() const {
   out.reserve(queues_.size());
   for (const auto& queue : queues_) out.push_back(queue->stats);
   return out;
+}
+
+ScheduledQueueStats QueryScheduler::AggregateStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScheduledQueueStats total;
+  total.name = "total";
+  for (const auto& queue : queues_) total.MergeFrom(queue->stats);
+  return total;
 }
 
 }  // namespace geostreams

@@ -1,14 +1,28 @@
 // Operator scheduling across continuous queries.
 //
 // The paper's introduction lists "operator scheduling" among the
-// relational-DSMS techniques to adapt. When one receiving thread
-// serves many registered pipelines, the dispatch order decides
-// latency and memory: round-robin treats queries fairly,
-// longest-queue-first bounds the worst backlog (a Chain-style
-// heuristic at the pipeline granularity). The scheduler owns one
-// bounded queue per pipeline, a single worker thread, and per-queue
-// statistics; enqueue never blocks (overflow is counted and dropped —
-// the shedding decision surfaced, not hidden).
+// relational-DSMS techniques to adapt. The scheduler owns one bounded
+// queue per registered pipeline and a pool of worker threads that
+// claim queues and drain them. The central invariant: **at most one
+// worker drains a given pipeline's queue at any moment** (a per-queue
+// busy flag taken under the scheduler mutex), so per-pipeline event
+// order — which `ComposeOp`/`StretchTransformOp` frame buffering
+// depends on — is preserved while distinct pipelines run in parallel.
+//
+// Dispatch order between pipelines decides latency and memory:
+// round-robin treats queries fairly, longest-queue-first bounds the
+// worst backlog (a Chain-style heuristic at the pipeline granularity).
+// Enqueue never blocks: point batches beyond capacity are shed (the
+// shedding decision is surfaced through stats and, optionally, a
+// ResourceExhausted status); frame/stream control events are always
+// admitted so downstream buffering operators see well-formed frame
+// sequences, with overshoot counted in `control_overflow`.
+//
+// Error handling: the first non-OK status any downstream returns
+// aborts the whole pool — every worker exits, later Enqueue calls
+// return that status to the producers, and Stop()/WaitIdle() report
+// it. Graceful shutdown (Stop without error) drains every queue
+// before joining the workers.
 
 #ifndef GEOSTREAMS_STREAM_SCHEDULER_H_
 #define GEOSTREAMS_STREAM_SCHEDULER_H_
@@ -32,19 +46,50 @@ enum class SchedulingPolicy : uint8_t {
 
 const char* SchedulingPolicyName(SchedulingPolicy policy);
 
-/// Statistics for one scheduled pipeline.
+struct SchedulerOptions {
+  SchedulingPolicy policy = SchedulingPolicy::kRoundRobin;
+  /// Per-pipeline bound; point batches beyond it are shed (and
+  /// counted) rather than blocking the ingest thread.
+  size_t queue_capacity = 1024;
+  /// Worker threads draining the queues. 0 resolves to
+  /// std::thread::hardware_concurrency().
+  size_t workers = 1;
+  /// When true, Enqueue returns ResourceExhausted for a shed batch so
+  /// producers can react; when false (default) shedding is silent and
+  /// only visible in Stats().
+  bool report_drops = false;
+};
+
+/// Statistics for one scheduled pipeline. `enqueued` counts events
+/// accepted into the queue; shed events are counted in `dropped`
+/// only, so `enqueued + dropped` is the total offered and — after a
+/// full drain — `processed == enqueued`.
 struct ScheduledQueueStats {
   std::string name;
   uint64_t enqueued = 0;
   uint64_t processed = 0;
-  uint64_t dropped = 0;       // overflow shedding
+  uint64_t dropped = 0;           // overflow shedding (batches only)
+  uint64_t control_overflow = 0;  // control events admitted above capacity
   uint64_t queue_high_water = 0;
+
+  /// Accumulates `other` into this entry (used for pool-wide totals).
+  void MergeFrom(const ScheduledQueueStats& other) {
+    enqueued += other.enqueued;
+    processed += other.processed;
+    dropped += other.dropped;
+    control_overflow += other.control_overflow;
+    if (other.queue_high_water > queue_high_water) {
+      queue_high_water = other.queue_high_water;
+    }
+  }
 };
 
 class QueryScheduler {
  public:
-  /// `queue_capacity`: per-pipeline bound; events beyond it are
-  /// dropped (and counted) rather than blocking the ingest thread.
+  explicit QueryScheduler(SchedulerOptions options);
+  /// Legacy single-worker form: callers that route several queues into
+  /// one shared plan (e.g. per-band queues feeding a cross-band
+  /// operator) rely on one worker serializing all queues.
   explicit QueryScheduler(SchedulingPolicy policy,
                           size_t queue_capacity = 1024);
   ~QueryScheduler();
@@ -52,50 +97,90 @@ class QueryScheduler {
   QueryScheduler(const QueryScheduler&) = delete;
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
-  /// Adds a pipeline; returns the sink to feed it through. Must be
-  /// called before Start(). `downstream` is not owned.
+  /// Adds a pipeline with a single input; returns the sink to feed it
+  /// through. `downstream` is not owned. May be called before Start()
+  /// or while the pool is running (pipelines are never removed).
   EventSink* AddPipeline(std::string name, EventSink* downstream);
 
-  /// Starts the worker thread.
+  /// Multi-input form for plans that read several sources: all inputs
+  /// added to one pipeline share its queue, so one worker at a time
+  /// drives the whole plan and cross-input operators stay effectively
+  /// single-threaded. Returns the pipeline's id.
+  size_t AddPipelineGroup(std::string name);
+  /// Adds an input to pipeline `pipeline`; events pushed into the
+  /// returned sink are delivered, in enqueue order, to `downstream`.
+  EventSink* AddPipelineInput(size_t pipeline, EventSink* downstream);
+
+  /// Starts the worker pool.
   Status Start();
 
-  /// Drains all queues and joins the worker. Returns the first error
-  /// any downstream produced.
+  /// Drains all queues and joins the workers. Returns the first error
+  /// any downstream produced (in which case remaining queued events
+  /// were discarded, not drained).
   Status Stop();
 
+  /// Blocks until every queue is empty and no worker is mid-event, or
+  /// the pool aborted on error. Returns the first error, if any.
+  Status WaitIdle();
+
   std::vector<ScheduledQueueStats> Stats() const;
+  /// Pool-wide totals across all pipelines (thread-safe snapshot).
+  ScheduledQueueStats AggregateStats() const;
+
+  size_t num_workers() const { return resolved_workers_; }
 
  private:
   struct Queue;
+  /// One queued unit of work: the event plus the plan input it is
+  /// destined for (pipelines can have several inputs).
+  struct Item {
+    EventSink* downstream;
+    StreamEvent event;
+  };
 
   /// Entry sinks enqueue into their pipeline's queue.
   class EntrySink : public EventSink {
    public:
-    EntrySink(QueryScheduler* scheduler, size_t index)
-        : scheduler_(scheduler), index_(index) {}
+    EntrySink(QueryScheduler* scheduler, size_t index, EventSink* downstream)
+        : scheduler_(scheduler), index_(index), downstream_(downstream) {}
     Status Consume(const StreamEvent& event) override {
-      return scheduler_->Enqueue(index_, event);
+      return scheduler_->Enqueue(index_, downstream_, event);
     }
 
    private:
     QueryScheduler* scheduler_;
     size_t index_;
+    EventSink* downstream_;
   };
 
-  Status Enqueue(size_t index, const StreamEvent& event);
-  void Run();
-  /// Picks the next queue to service; -1 when all are empty.
-  int PickQueueLocked();
+  Status Enqueue(size_t index, EventSink* downstream,
+                 const StreamEvent& event);
+  void WorkerLoop();
+  /// Picks the next claimable queue (non-empty and not busy); -1 when
+  /// none. Const: safe as a condvar wait predicate — it must never
+  /// mutate scheduler state (a previous version advanced the
+  /// round-robin cursor here, so every spurious wakeup skewed the
+  /// rotation; see SchedulerTest.RoundRobinRotationIsExact).
+  int SelectQueueLocked() const;
+  /// Advances the round-robin cursor past a queue that was actually
+  /// claimed. Called only when an event is taken.
+  void AdvanceCursorLocked(size_t claimed);
+  bool AllQueuesEmptyLocked() const;
 
-  SchedulingPolicy policy_;
-  size_t capacity_;
+  SchedulerOptions options_;
+  size_t resolved_workers_ = 1;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
+  std::condition_variable idle_;
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::unique_ptr<EntrySink>> entries_;
-  std::thread worker_;
+  std::vector<std::thread> workers_;
   bool started_ = false;
   bool stopping_ = false;
+  /// Set by the first worker that sees a downstream error; stops the
+  /// whole pool and is surfaced to producers via Enqueue.
+  bool aborted_ = false;
+  size_t busy_count_ = 0;
   size_t rr_cursor_ = 0;
   Status worker_status_;
 };

@@ -406,6 +406,91 @@ TEST(DsmsServerTest, ShedQueryThroughServer) {
 }
 
 
+TEST(DsmsServerTest, WorkerPoolMatchesSynchronousDelivery) {
+  // The same queries through a 4-worker pool and synchronously must
+  // deliver pixel-identical frames (per-query event order is the
+  // scheduler's ordering invariant).
+  const char* queries[] = {
+      "region(goes.band1, bbox(-120, 28, -100, 45))",
+      "ndvi(goes.band2, goes.band1)",
+      "vrange(goes.band2, 0, 0.3, 1.0)",
+  };
+  auto run = [&](size_t workers) {
+    DsmsOptions options;
+    options.workers = workers;
+    ServerFixture fixture(options);
+    // Callbacks fire on worker threads; captures are per-query, and
+    // one query's callbacks are serialized by the pipeline claim, so
+    // plain vectors are safe (TSan would flag violations).
+    std::vector<std::unique_ptr<Capture>> captures;
+    for (const char* q : queries) {
+      captures.push_back(std::make_unique<Capture>());
+      auto id = fixture.server().RegisterQuery(q, captures.back()->Callback());
+      EXPECT_TRUE(id.ok()) << id.status().ToString();
+    }
+    Status st = fixture.Ingest(0, 3);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    st = fixture.server().Flush();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return captures;
+  };
+  auto pooled = run(4);
+  auto sync = run(0);
+  ASSERT_EQ(pooled.size(), sync.size());
+  for (size_t q = 0; q < sync.size(); ++q) {
+    ASSERT_EQ(pooled[q]->frames.size(), sync[q]->frames.size())
+        << "query " << q;
+    for (size_t f = 0; f < sync[q]->frames.size(); ++f) {
+      EXPECT_EQ(pooled[q]->frames[f].first, sync[q]->frames[f].first);
+      auto diff = Raster::AbsDifference(pooled[q]->frames[f].second,
+                                        sync[q]->frames[f].second);
+      ASSERT_TRUE(diff.ok());
+      EXPECT_EQ(*diff, 0.0) << "query " << q << " frame " << f;
+    }
+  }
+}
+
+TEST(DsmsServerTest, WorkerPoolEndAllStreamsDrains) {
+  DsmsOptions options;
+  options.workers = 2;
+  ServerFixture fixture(options);
+  EXPECT_EQ(fixture.server().num_workers(), 2u);
+  Capture capture;
+  auto id = fixture.server().RegisterQuery("goes.band1", capture.Callback());
+  ASSERT_TRUE(id.ok());
+  GS_ASSERT_OK(fixture.Ingest(0, 2));
+  // EndAllStreams flushes the pool, so delivery counters are final.
+  GS_ASSERT_OK(fixture.server().EndAllStreams());
+  EXPECT_EQ(capture.frames.size(), 2u);
+  auto delivered = fixture.server().FramesDelivered(*id);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 2u);
+  auto stats = fixture.server().SchedulerStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].processed, stats[0].enqueued);
+  EXPECT_EQ(stats[0].dropped, 0u);
+}
+
+TEST(DsmsServerTest, WorkerPoolUnregisterStopsDelivery) {
+  DsmsOptions options;
+  options.workers = 2;
+  ServerFixture fixture(options);
+  Capture keep, drop;
+  auto id_keep =
+      fixture.server().RegisterQuery("goes.band1", keep.Callback());
+  auto id_drop =
+      fixture.server().RegisterQuery("goes.band2", drop.Callback());
+  ASSERT_TRUE(id_keep.ok());
+  ASSERT_TRUE(id_drop.ok());
+  GS_ASSERT_OK(fixture.Ingest(0, 1));
+  GS_ASSERT_OK(fixture.server().Flush());
+  GS_ASSERT_OK(fixture.server().UnregisterQuery(*id_drop));
+  GS_ASSERT_OK(fixture.Ingest(1, 1));
+  GS_ASSERT_OK(fixture.server().Flush());
+  EXPECT_EQ(keep.frames.size(), 2u);
+  EXPECT_EQ(drop.frames.size(), 1u);
+}
+
 TEST(DsmsServerTest, ExplainAnalyzeShowsRuntimeCounters) {
   ServerFixture fixture;
   Capture capture;
