@@ -141,6 +141,39 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   server.memory().HighWaterBytes()));
 
+  if (workers > 0) {
+    // Supervision summary: per-health query counts plus pool-wide
+    // fault counters (all zero on a clean run).
+    size_t healthy = 0, degraded = 0, quarantined = 0;
+    for (const auto& client : clients) {
+      auto health = server.QueryHealth(client->id);
+      if (!health.ok()) continue;
+      switch (*health) {
+        case PipelineHealth::kRunning:
+          ++healthy;
+          break;
+        case PipelineHealth::kDegraded:
+          ++degraded;
+          break;
+        case PipelineHealth::kQuarantined:
+          ++quarantined;
+          std::printf("  quarantined query %lld: %s\n",
+                      static_cast<long long>(client->id),
+                      server.QueryError(client->id).ToString().c_str());
+          break;
+      }
+    }
+    ScheduledQueueStats totals;
+    for (const auto& qs : server.SchedulerStats()) totals.MergeFrom(qs);
+    std::printf(
+        "query health: %zu running, %zu degraded, %zu quarantined "
+        "(%llu dead-lettered, %llu restarts, %llu rejected)\n",
+        healthy, degraded, quarantined,
+        static_cast<unsigned long long>(totals.dead_letters),
+        static_cast<unsigned long long>(totals.restarts),
+        static_cast<unsigned long long>(totals.rejected));
+  }
+
   if (Status st = server.UnregisterQuery(clients[0]->id); !st.ok()) {
     return Fail(st, "unregister");
   }

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kIoError:
       return "IoError";
     case StatusCode::kParseError:

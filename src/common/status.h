@@ -27,6 +27,8 @@ enum class StatusCode {
   kUnimplemented,
   kResourceExhausted,
   kFailedPrecondition,
+  /// A dependency is temporarily unreachable; retrying may succeed.
+  kUnavailable,
   kIoError,
   kParseError,
   kPlanError,
@@ -66,6 +68,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));

@@ -48,6 +48,27 @@ void PointBatch::Append1(int32_t col, int32_t row, int64_t t, double v) {
   values.push_back(v);
 }
 
+uint64_t PointBatch::ComputeChecksum() const {
+  // FNV-1a over the logical content (not vector capacities), so a
+  // copied batch hashes identically and any flipped payload byte is
+  // detected downstream.
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  auto mix = [&h](const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  mix(&frame_id, sizeof(frame_id));
+  mix(&band_count, sizeof(band_count));
+  mix(cols.data(), cols.size() * sizeof(int32_t));
+  mix(rows.data(), rows.size() * sizeof(int32_t));
+  mix(timestamps.data(), timestamps.size() * sizeof(int64_t));
+  mix(values.data(), values.size() * sizeof(double));
+  return h == 0 ? 1 : h;  // 0 is reserved for "unset"
+}
+
 size_t PointBatch::ApproxBytes() const {
   return cols.capacity() * sizeof(int32_t) +
          rows.capacity() * sizeof(int32_t) +

@@ -65,9 +65,22 @@ struct PointBatch {
   std::vector<int32_t> rows;
   std::vector<int64_t> timestamps;
   std::vector<double> values;
+  /// FNV-1a digest over the point data, attached by instruments that
+  /// checksum their downlink. 0 means "no checksum attached";
+  /// ComputeChecksum never returns 0.
+  uint64_t checksum = 0;
 
   size_t size() const { return cols.size(); }
   bool empty() const { return cols.empty(); }
+
+  /// Digest of frame_id, band_count and all point arrays. Deterministic
+  /// across runs; never 0 (0 is reserved for "unset").
+  uint64_t ComputeChecksum() const;
+
+  /// True when no checksum is attached or the attached one matches.
+  bool ChecksumValid() const {
+    return checksum == 0 || checksum == ComputeChecksum();
+  }
 
   /// Value of band b at point index i.
   double ValueAt(size_t i, int b = 0) const {

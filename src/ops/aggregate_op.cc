@@ -33,6 +33,14 @@ AggregateOp::AggregateOp(std::string name, AggregateFn fn,
                         : (slide_frames > window_frames_ ? window_frames_
                                                          : slide_frames)) {}
 
+void AggregateOp::Reset() {
+  // Drop the open (partially scanned) frame; completed window partials
+  // survive so a recovered stream resumes its window where it left off.
+  current_ = FramePartial();
+  frame_open_ = false;
+  ReportState();
+}
+
 Status AggregateOp::Process(const StreamEvent& event) {
   switch (event.kind) {
     case EventKind::kFrameBegin:

@@ -48,6 +48,8 @@ class AggregateOp : public UnaryOperator {
 
   const std::vector<AggregateResult>& results() const { return results_; }
 
+  void Reset() override;
+
  protected:
   Status Process(const StreamEvent& event) override;
 

@@ -246,6 +246,15 @@ Status ComposeOp::HandleStreamEnd() {
   return Emit(StreamEvent::StreamEnd());
 }
 
+void ComposeOp::Reset() {
+  pending_[0].clear();
+  pending_[1].clear();
+  frames_.clear();
+  open_frame_.reset();
+  stream_ends_ = 0;
+  UpdateBuffered();
+}
+
 void ComposeOp::UpdateBuffered() {
   const int widest = std::max(std::max(in_bands_[0], in_bands_[1]), 1);
   const size_t entry_bytes =

@@ -59,6 +59,8 @@ class ComposeOp : public BinaryOperator {
   /// Points matched and emitted so far.
   uint64_t matches() const { return matches_; }
 
+  void Reset() override;
+
  protected:
   Status Process(int port, const StreamEvent& event) override;
 

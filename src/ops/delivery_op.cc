@@ -9,6 +9,12 @@ DeliveryOp::DeliveryOp(std::string name, FrameCallback callback,
       options_(options),
       assembler_(options.nodata) {}
 
+void DeliveryOp::Reset() {
+  assembler_.Abort();
+  frame_pending_ = false;
+  ReportBuffered(0);
+}
+
 Status DeliveryOp::Process(const StreamEvent& event) {
   switch (event.kind) {
     case EventKind::kFrameBegin:

@@ -43,6 +43,8 @@ class DeliveryOp : public UnaryOperator {
   uint64_t frames_delivered() const { return frames_delivered_; }
   uint64_t bytes_encoded() const { return bytes_encoded_; }
 
+  void Reset() override;
+
  protected:
   Status Process(const StreamEvent& event) override;
 

@@ -1,0 +1,72 @@
+#include "ops/fault_injector_op.h"
+
+#include "common/string_util.h"
+
+namespace geostreams {
+
+namespace {
+
+Status MakeStatus(StatusCode code, const std::string& message) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
+    case StatusCode::kIoError:
+      return Status::IoError(message);
+    default:
+      return Status::Internal(message);
+  }
+}
+
+}  // namespace
+
+FaultInjectorOp::FaultInjectorOp(std::string name,
+                                 std::vector<InjectedFault> faults,
+                                 bool verify_checksums)
+    : UnaryOperator(std::move(name)),
+      faults_(std::move(faults)),
+      verify_checksums_(verify_checksums) {}
+
+Status FaultInjectorOp::Process(const StreamEvent& event) {
+  if (next_fault_ < faults_.size() &&
+      cursor_ == faults_[next_fault_].at_event) {
+    const InjectedFault& f = faults_[next_fault_];
+    if (fails_remaining_ < 0) fails_remaining_ = f.times;
+    if (fails_remaining_ > 0) {
+      --fails_remaining_;
+      ++faults_injected_;
+      if (!IsTransient(f.code)) {
+        // Poison / permanent: the supervisor dead-letters or
+        // quarantines — either way this event will not come back.
+        ++cursor_;
+        ++next_fault_;
+        fails_remaining_ = -1;
+      }
+      // Transient: the cursor stays put so the supervisor's retry
+      // redelivers the same ordinal.
+      return MakeStatus(f.code, f.message);
+    }
+    // Transient fault exhausted its failure budget: this delivery
+    // succeeds. Retire the fault and fall through.
+    ++next_fault_;
+    fails_remaining_ = -1;
+  }
+  if (verify_checksums_ && event.kind == EventKind::kPointBatch &&
+      event.batch && !event.batch->ChecksumValid()) {
+    ++checksum_failures_;
+    ++cursor_;  // the corrupt batch is dropped, not retried
+    return Status::FailedPrecondition(StringPrintf(
+        "point batch checksum mismatch (frame %lld, %zu points)",
+        static_cast<long long>(event.batch->frame_id),
+        event.batch->size()));
+  }
+  ++cursor_;
+  return Emit(event);
+}
+
+}  // namespace geostreams

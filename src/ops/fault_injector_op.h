@@ -1,0 +1,78 @@
+// Deterministic fault injection for the supervision harness.
+//
+// FaultInjectorOp sits at the head of a pipeline (or anywhere inside
+// it) and passes events through unchanged, except that it
+//  * fails on-schedule: a list of InjectedFault entries names event
+//    ordinals at which Process returns a chosen non-OK Status. The
+//    scheduler's supervisor then exercises its real recovery paths —
+//    transient codes (ResourceExhausted / Unavailable) are retried
+//    with the SAME event, so the injector's cursor only advances once
+//    an event reaches a final disposition (success or dead-letter);
+//  * verifies downlink checksums: a PointBatch carrying a non-zero
+//    checksum that does not match its content is rejected with
+//    FailedPrecondition — the poison path of corrupted instrument
+//    data (see StreamGenerator::SetCorruption).
+//
+// The op is deliberately NOT reset by Operator::Reset(): its
+// injection schedule and cursor describe the experiment, not
+// per-frame stream state, and must survive supervised restarts.
+
+#ifndef GEOSTREAMS_OPS_FAULT_INJECTOR_OP_H_
+#define GEOSTREAMS_OPS_FAULT_INJECTOR_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace geostreams {
+
+/// One scheduled failure. Ordinals count every event the op sees
+/// (FrameBegin, each PointBatch, FrameEnd, StreamEnd), starting at 0.
+/// Entries must be sorted by `at_event`, strictly increasing.
+struct InjectedFault {
+  uint64_t at_event = 0;
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message = "injected fault";
+  /// Consecutive failures before the event passes (transient codes
+  /// only — poison/permanent codes consume the event on first fire,
+  /// mirroring the supervisor's dead-letter/quarantine disposition).
+  int times = 1;
+};
+
+class FaultInjectorOp : public UnaryOperator {
+ public:
+  FaultInjectorOp(std::string name, std::vector<InjectedFault> faults,
+                  bool verify_checksums = true);
+
+  /// Events that reached a final disposition (passed or dead-lettered).
+  uint64_t events_seen() const { return cursor_; }
+  /// Non-OK returns produced by the schedule (retries each count).
+  uint64_t faults_injected() const { return faults_injected_; }
+  /// Batches rejected for checksum mismatch.
+  uint64_t checksum_failures() const { return checksum_failures_; }
+
+  /// Intentionally keeps the schedule and cursor: see file comment.
+  void Reset() override {}
+
+ protected:
+  Status Process(const StreamEvent& event) override;
+
+ private:
+  static bool IsTransient(StatusCode code) {
+    return code == StatusCode::kResourceExhausted ||
+           code == StatusCode::kUnavailable;
+  }
+
+  std::vector<InjectedFault> faults_;
+  bool verify_checksums_;
+  uint64_t cursor_ = 0;       // ordinal of the next final disposition
+  size_t next_fault_ = 0;     // index into faults_
+  int fails_remaining_ = -1;  // -1: current fault not yet armed
+  uint64_t faults_injected_ = 0;
+  uint64_t checksum_failures_ = 0;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OPS_FAULT_INJECTOR_OP_H_

@@ -34,6 +34,11 @@ Result<GridLattice> ReprojectOp::DeriveLattice(const GridLattice& source,
                      dx, -dy, w, h);
 }
 
+void ReprojectOp::Reset() {
+  assembler_.Abort();
+  ReportBuffered(0);
+}
+
 Status ReprojectOp::Process(const StreamEvent& event) {
   switch (event.kind) {
     case EventKind::kFrameBegin: {

@@ -41,6 +41,8 @@ class ReprojectOp : public UnaryOperator {
   static Result<GridLattice> DeriveLattice(const GridLattice& source,
                                            const CrsPtr& target_crs);
 
+  void Reset() override;
+
  protected:
   Status Process(const StreamEvent& event) override;
 

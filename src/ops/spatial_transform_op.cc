@@ -58,6 +58,12 @@ Status MagnifyOp::Process(const StreamEvent& event) {
 ReduceOp::ReduceOp(std::string name, int factor)
     : UnaryOperator(std::move(name)), factor_(factor) {}
 
+void ReduceOp::Reset() {
+  accum_.clear();
+  in_frame_ = false;
+  ReportBuffered(0);
+}
+
 int32_t ReduceOp::ExpectedContributions(int64_t ocol, int64_t orow) const {
   // Edge cells cover fewer input cells when the extent is not a
   // multiple of the factor.
@@ -178,6 +184,11 @@ AffineOp::AffineOp(std::string name, AffineMap map, GridLattice out_lattice,
       map_(map),
       out_lattice_(std::move(out_lattice)),
       kernel_(kernel) {}
+
+void AffineOp::Reset() {
+  assembler_.Abort();
+  ReportBuffered(0);
+}
 
 Status AffineOp::Process(const StreamEvent& event) {
   switch (event.kind) {

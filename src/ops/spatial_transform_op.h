@@ -50,6 +50,8 @@ class ReduceOp : public UnaryOperator {
 
   int factor() const { return factor_; }
 
+  void Reset() override;
+
  protected:
   Status Process(const StreamEvent& event) override;
 
@@ -97,6 +99,8 @@ class AffineOp : public UnaryOperator {
   /// differs from the input's).
   AffineOp(std::string name, AffineMap map, GridLattice out_lattice,
            ResampleKernel kernel);
+
+  void Reset() override;
 
  protected:
   Status Process(const StreamEvent& event) override;

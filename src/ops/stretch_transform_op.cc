@@ -128,6 +128,13 @@ Status StretchTransformOp::FlushFrame() {
   return Emit(StreamEvent::Batch(std::move(out)));
 }
 
+void StretchTransformOp::Reset() {
+  buffer_.reset();
+  in_frame_ = false;
+  histogram_.Reset();
+  ReportBuffered(0);
+}
+
 double StretchTransformOp::StretchValue(double v) const {
   const double span = options_.out_hi - options_.out_lo;
   switch (options_.mode) {

@@ -54,6 +54,8 @@ class StretchTransformOp : public UnaryOperator {
 
   const StretchOptions& options() const { return options_; }
 
+  void Reset() override;
+
  protected:
   Status Process(const StreamEvent& event) override;
 

@@ -25,6 +25,10 @@ std::vector<std::string> ExecutablePlan::input_names() const {
   return names;
 }
 
+void ExecutablePlan::Reset() {
+  for (auto& op : ops_) op->Reset();
+}
+
 uint64_t ExecutablePlan::BufferedHighWater() const {
   uint64_t total = 0;
   for (const auto& op : ops_) {

@@ -55,6 +55,12 @@ class ExecutablePlan {
     return ops_;
   }
 
+  /// Drops buffered frame state in every operator (fault recovery;
+  /// see Operator::Reset). Must not run concurrently with event
+  /// delivery — the scheduler guarantees this by holding the
+  /// pipeline's claim while resetting.
+  void Reset();
+
   /// Sum of current and high-water buffered bytes across operators.
   uint64_t BufferedHighWater() const;
   /// Total points the operators emitted downstream.

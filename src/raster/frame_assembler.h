@@ -47,6 +47,14 @@ class FrameAssembler {
   /// Completes the frame and returns the assembled raster + mask.
   Result<AssembledFrame> Finish();
 
+  /// Abandons the open frame and frees its buffer (fault recovery).
+  void Abort() {
+    active_ = false;
+    points_seen_ = 0;
+    raster_ = Raster();
+    filled_.clear();
+  }
+
   bool active() const { return active_; }
   int64_t frame_id() const { return frame_id_; }
   int64_t points_seen() const { return points_seen_; }

@@ -51,6 +51,30 @@ struct DsmsServer::SourceState : public EventSink {
   }
 };
 
+/// Shields ingest fan-out from a failed query: a quarantined
+/// pipeline's Enqueue returns that pipeline's own error, which must
+/// not abort delivery to the remaining (healthy) queries. The error
+/// stays observable through QueryHealth/QueryError and the scheduler's
+/// `rejected` counter.
+class DsmsServer::IsolatedEntrySink : public EventSink {
+ public:
+  explicit IsolatedEntrySink(EventSink* entry) : entry_(entry) {}
+
+  Status Consume(const StreamEvent& event) override {
+    Status st = entry_->Consume(event);
+    if (!st.ok() && !warned_) {
+      warned_ = true;
+      GEOSTREAMS_LOG(kWarning) << "query pipeline rejects events: "
+                            << st.ToString();
+    }
+    return Status::OK();
+  }
+
+ private:
+  EventSink* entry_;
+  bool warned_ = false;
+};
+
 struct DsmsServer::QueryState {
   QueryId id = 0;
   std::string text;
@@ -58,6 +82,9 @@ struct DsmsServer::QueryState {
   std::unique_ptr<DeliveryOp> delivery;
   NullSink null_sink;
   std::unique_ptr<ExecutablePlan> plan;
+  /// Isolation wrappers around the scheduler entry sinks (empty when
+  /// the server is synchronous).
+  std::vector<std::unique_ptr<IsolatedEntrySink>> isolated;
   /// Scheduler pipeline id when the server runs a worker pool; all of
   /// the plan's inputs share this pipeline so one worker at a time
   /// drives the plan.
@@ -83,6 +110,7 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
     sched.policy = options_.worker_policy;
     sched.queue_capacity = options_.worker_queue_capacity;
     sched.workers = options_.workers;
+    sched.supervisor = options_.worker_supervisor;
     scheduler_ = std::make_unique<QueryScheduler>(sched);
     Status st = scheduler_->Start();
     if (!st.ok()) {
@@ -218,8 +246,14 @@ Result<QueryId> DsmsServer::RegisterInternal(
       if (query->sched_pipeline == SIZE_MAX) {
         query->sched_pipeline = scheduler_->AddPipelineGroup(
             StringPrintf("q%lld", static_cast<long long>(id)));
+        ExecutablePlan* plan = query->plan.get();
+        scheduler_->SetPipelineReset(query->sched_pipeline,
+                                     [plan] { plan->Reset(); });
       }
       entry = scheduler_->AddPipelineInput(query->sched_pipeline, entry);
+      query->isolated.push_back(
+          std::make_unique<IsolatedEntrySink>(entry));
+      entry = query->isolated.back().get();
     }
     auto peeled_it = std::find_if(
         query->peeled.begin(), query->peeled.end(),
@@ -276,15 +310,39 @@ Status DsmsServer::UnregisterQuery(QueryId id) {
     targets.erase(std::remove(targets.begin(), targets.end(), entry),
                   targets.end());
   }
-  if (scheduler_) {
-    // The query is detached from every source; drain whatever is
-    // still queued before the plan it targets is destroyed. (The
-    // query's now-empty pipeline stays registered — pipelines are
-    // never removed — and simply never receives events again.)
-    GEOSTREAMS_RETURN_IF_ERROR(scheduler_->WaitIdle());
+  if (scheduler_ && query.sched_pipeline != SIZE_MAX) {
+    // The query is detached from every source; remove its queue and
+    // entry sinks before the plan they target is destroyed. Still-
+    // queued events are discarded — the client is gone.
+    GEOSTREAMS_RETURN_IF_ERROR(
+        scheduler_->RemovePipeline(query.sched_pipeline));
   }
   queries_.erase(it);
   return Status::OK();
+}
+
+Result<PipelineHealth> DsmsServer::QueryHealth(QueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StringPrintf(
+        "query %lld not registered", static_cast<long long>(id)));
+  }
+  if (!scheduler_ || it->second->sched_pipeline == SIZE_MAX) {
+    return PipelineHealth::kRunning;
+  }
+  return scheduler_->Health(it->second->sched_pipeline);
+}
+
+Status DsmsServer::QueryError(QueryId id) const {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StringPrintf(
+        "query %lld not registered", static_cast<long long>(id)));
+  }
+  if (!scheduler_ || it->second->sched_pipeline == SIZE_MAX) {
+    return Status::OK();
+  }
+  return scheduler_->PipelineError(it->second->sched_pipeline);
 }
 
 Status DsmsServer::Flush() {

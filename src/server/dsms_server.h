@@ -52,6 +52,10 @@ struct DsmsOptions {
   size_t worker_queue_capacity = 1 << 14;
   /// Dispatch policy of the worker pool.
   SchedulingPolicy worker_policy = SchedulingPolicy::kRoundRobin;
+  /// Per-query failure handling when workers > 0: restart backoff,
+  /// poison dead-lettering, quarantine thresholds. A failing query is
+  /// its own failure domain — ingest and the other queries continue.
+  SupervisorOptions worker_supervisor;
 };
 
 class DsmsServer {
@@ -112,9 +116,18 @@ class DsmsServer {
   /// Points delivered to a query's callback so far.
   Result<uint64_t> FramesDelivered(QueryId id) const;
 
+  /// Supervision health of a query's pipeline. Always kRunning when
+  /// the server is synchronous (workers = 0): without a pool there is
+  /// no supervisor and plan errors surface on the ingest call instead.
+  Result<PipelineHealth> QueryHealth(QueryId id) const;
+  /// The error that degraded or quarantined the query; OK while the
+  /// query is healthy. NotFound for unknown ids.
+  Status QueryError(QueryId id) const;
+
  private:
   struct SourceState;
   struct QueryState;
+  class IsolatedEntrySink;
 
   Result<QueryId> RegisterInternal(const std::string& query_text,
                                    FrameCallback callback,

@@ -24,6 +24,14 @@ ValueSet BandValueSet(SpectralBand band) {
   return ValueSet::RadianceF32();
 }
 
+bool ContainsOrdinal(const std::vector<uint64_t>& list, uint64_t v) {
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+bool ContainsScan(const std::vector<int64_t>& list, int64_t v) {
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
 }  // namespace
 
 StreamGenerator::StreamGenerator(InstrumentConfig config,
@@ -31,6 +39,85 @@ StreamGenerator::StreamGenerator(InstrumentConfig config,
     : config_(std::move(config)),
       schedule_(std::move(schedule)),
       earth_(config_.seed) {}
+
+void StreamGenerator::SetCorruption(CorruptionConfig corruption) {
+  corruption_ = std::move(corruption);
+  corruption_stats_ = CorruptionStats();
+  batch_ordinal_.assign(config_.bands.size(), 0);
+  held_.assign(config_.bands.size(), nullptr);
+}
+
+Status StreamGenerator::FlushHeld(size_t band, EventSink* sink) {
+  if (band >= held_.size() || !held_[band]) return Status::OK();
+  PointBatchPtr held = std::move(held_[band]);
+  held_[band] = nullptr;
+  return sink->Consume(StreamEvent::Batch(std::move(held)));
+}
+
+Status StreamGenerator::Deliver(size_t band, EventSink* sink,
+                                StreamEvent event) {
+  const bool targeted =
+      band == static_cast<size_t>(corruption_.target_band);
+  switch (event.kind) {
+    case EventKind::kPointBatch: {
+      if (band >= batch_ordinal_.size()) {
+        batch_ordinal_.resize(config_.bands.size(), 0);
+        held_.resize(config_.bands.size(), nullptr);
+      }
+      const uint64_t ordinal = batch_ordinal_[band]++;
+      ++corruption_stats_.batches_emitted;
+      PointBatchPtr batch = event.batch;
+      if (corruption_.checksum_batches) {
+        auto stamped = std::make_shared<PointBatch>(*batch);
+        stamped->checksum = stamped->ComputeChecksum();
+        batch = std::move(stamped);
+        ++corruption_stats_.checksums_attached;
+      }
+      if (targeted &&
+          ContainsOrdinal(corruption_.corrupt_value_batches, ordinal) &&
+          !batch->values.empty()) {
+        // Damage the payload after checksumming, like a downlink bit
+        // flip: the digest goes stale and verification fails.
+        auto corrupt = std::make_shared<PointBatch>(*batch);
+        corrupt->values[0] = corrupt->values[0] + 1.0;
+        batch = std::move(corrupt);
+        ++corruption_stats_.values_corrupted;
+      }
+      const bool reorder =
+          targeted && ContainsOrdinal(corruption_.reorder_batches, ordinal);
+      const bool duplicate =
+          targeted &&
+          ContainsOrdinal(corruption_.duplicate_batches, ordinal);
+      if (reorder && !held_[band]) {
+        held_[band] = std::move(batch);
+        ++corruption_stats_.batches_reordered;
+        return Status::OK();
+      }
+      GEOSTREAMS_RETURN_IF_ERROR(
+          sink->Consume(StreamEvent::Batch(batch)));
+      if (duplicate) {
+        ++corruption_stats_.batches_duplicated;
+        GEOSTREAMS_RETURN_IF_ERROR(
+            sink->Consume(StreamEvent::Batch(batch)));
+      }
+      return FlushHeld(band, sink);
+    }
+    case EventKind::kFrameEnd:
+      GEOSTREAMS_RETURN_IF_ERROR(FlushHeld(band, sink));
+      if (targeted &&
+          ContainsScan(corruption_.drop_frame_end_scans,
+                       event.frame.frame_id)) {
+        ++corruption_stats_.frame_ends_dropped;
+        return Status::OK();
+      }
+      return sink->Consume(std::move(event));
+    case EventKind::kFrameBegin:
+    case EventKind::kStreamEnd:
+      GEOSTREAMS_RETURN_IF_ERROR(FlushHeld(band, sink));
+      return sink->Consume(std::move(event));
+  }
+  return sink->Consume(std::move(event));
+}
 
 Status StreamGenerator::Init() {
   if (initialized_) return Status::OK();
@@ -113,8 +200,9 @@ Status StreamGenerator::GenerateRowByRow(
   info.frame_id = scan;
   info.lattice = lattice;
   info.expected_points = lattice.num_cells();
-  for (EventSink* sink : sinks) {
-    GEOSTREAMS_RETURN_IF_ERROR(sink->Consume(StreamEvent::FrameBegin(info)));
+  for (size_t b = 0; b < sinks.size(); ++b) {
+    GEOSTREAMS_RETURN_IF_ERROR(
+        Deliver(b, sinks[b], StreamEvent::FrameBegin(info)));
   }
   // The imager sweeps north to south; all bands of one line are read
   // out together, so the per-band streams interleave row by row.
@@ -134,11 +222,12 @@ Status StreamGenerator::GenerateRowByRow(
                        Sample(b, lattice, col, row, scan));
       }
       GEOSTREAMS_RETURN_IF_ERROR(
-          sinks[b]->Consume(StreamEvent::Batch(std::move(batch))));
+          Deliver(b, sinks[b], StreamEvent::Batch(std::move(batch))));
     }
   }
-  for (EventSink* sink : sinks) {
-    GEOSTREAMS_RETURN_IF_ERROR(sink->Consume(StreamEvent::FrameEnd(info)));
+  for (size_t b = 0; b < sinks.size(); ++b) {
+    GEOSTREAMS_RETURN_IF_ERROR(
+        Deliver(b, sinks[b], StreamEvent::FrameEnd(info)));
   }
   return Status::OK();
 }
@@ -155,7 +244,7 @@ Status StreamGenerator::GenerateImageByImage(
   // (Sec. 3.3).
   for (size_t b = 0; b < sinks.size(); ++b) {
     GEOSTREAMS_RETURN_IF_ERROR(
-        sinks[b]->Consume(StreamEvent::FrameBegin(info)));
+        Deliver(b, sinks[b], StreamEvent::FrameBegin(info)));
     auto batch = std::make_shared<PointBatch>();
     batch->frame_id = scan;
     batch->band_count = 1;
@@ -165,7 +254,7 @@ Status StreamGenerator::GenerateImageByImage(
                        TimestampFor(scan), Sample(b, lattice, col, row, scan));
         if (batch->size() >= static_cast<size_t>(config_.batch_points)) {
           GEOSTREAMS_RETURN_IF_ERROR(
-              sinks[b]->Consume(StreamEvent::Batch(std::move(batch))));
+              Deliver(b, sinks[b], StreamEvent::Batch(std::move(batch))));
           batch = std::make_shared<PointBatch>();
           batch->frame_id = scan;
           batch->band_count = 1;
@@ -174,10 +263,10 @@ Status StreamGenerator::GenerateImageByImage(
     }
     if (!batch->empty()) {
       GEOSTREAMS_RETURN_IF_ERROR(
-          sinks[b]->Consume(StreamEvent::Batch(std::move(batch))));
+          Deliver(b, sinks[b], StreamEvent::Batch(std::move(batch))));
     }
     GEOSTREAMS_RETURN_IF_ERROR(
-        sinks[b]->Consume(StreamEvent::FrameEnd(info)));
+        Deliver(b, sinks[b], StreamEvent::FrameEnd(info)));
   }
   return Status::OK();
 }
@@ -203,7 +292,7 @@ Status StreamGenerator::GeneratePointByPoint(
                      TimestampFor(scan), Sample(b, lattice, col, row, scan));
       if (batch->size() >= static_cast<size_t>(config_.batch_points)) {
         GEOSTREAMS_RETURN_IF_ERROR(
-            sinks[b]->Consume(StreamEvent::Batch(std::move(batch))));
+            Deliver(b, sinks[b], StreamEvent::Batch(std::move(batch))));
         batch = std::make_shared<PointBatch>();
         batch->frame_id = scan;
         batch->band_count = 1;
@@ -211,15 +300,16 @@ Status StreamGenerator::GeneratePointByPoint(
     }
     if (!batch->empty()) {
       GEOSTREAMS_RETURN_IF_ERROR(
-          sinks[b]->Consume(StreamEvent::Batch(std::move(batch))));
+          Deliver(b, sinks[b], StreamEvent::Batch(std::move(batch))));
     }
   }
   return Status::OK();
 }
 
 Status StreamGenerator::Finish(const std::vector<EventSink*>& sinks) {
-  for (EventSink* sink : sinks) {
-    GEOSTREAMS_RETURN_IF_ERROR(sink->Consume(StreamEvent::StreamEnd()));
+  for (size_t b = 0; b < sinks.size(); ++b) {
+    GEOSTREAMS_RETURN_IF_ERROR(
+        Deliver(b, sinks[b], StreamEvent::StreamEnd()));
   }
   return Status::OK();
 }

@@ -45,6 +45,39 @@ struct InstrumentConfig {
   uint64_t seed = 20060331;
 };
 
+/// Deterministic downlink corruption, for the fault-injection harness.
+/// Batch ordinals are per band, 0-based, counting batches as emitted;
+/// everything except `checksum_batches` applies to `target_band` only,
+/// so exactly the queries reading that band see the fault.
+struct CorruptionConfig {
+  int target_band = 0;
+  /// Attach a ComputeChecksum() digest to every batch of every band
+  /// (the clean downlink the FaultInjectorOp verifies against).
+  bool checksum_batches = false;
+  /// Flip a payload byte of these batches AFTER checksumming: the
+  /// batch arrives with a stale digest and fails verification.
+  std::vector<uint64_t> corrupt_value_batches;
+  /// Swallow the FrameEnd of these scans: the next FrameBegin nests,
+  /// which buffering operators reject (FailedPrecondition -> poison).
+  std::vector<int64_t> drop_frame_end_scans;
+  /// Emit these batches twice back to back (duplicated rows).
+  std::vector<uint64_t> duplicate_batches;
+  /// Hold these batches and emit them after the following batch of the
+  /// same band (reordered rows; flushed before FrameEnd).
+  std::vector<uint64_t> reorder_batches;
+};
+
+/// What the corruption hooks actually did, for asserting that
+/// dead-letter counters downstream match the injected damage.
+struct CorruptionStats {
+  uint64_t batches_emitted = 0;
+  uint64_t checksums_attached = 0;
+  uint64_t values_corrupted = 0;
+  uint64_t frame_ends_dropped = 0;
+  uint64_t batches_duplicated = 0;
+  uint64_t batches_reordered = 0;
+};
+
 /// Simulates one multi-band scanning instrument. One generator feeds
 /// one EventSink per band (the per-band GeoStreams of Sec. 3.3).
 class StreamGenerator {
@@ -52,6 +85,14 @@ class StreamGenerator {
   StreamGenerator(InstrumentConfig config, ScanSchedule schedule);
 
   Status Init();
+
+  /// Arms the corruption hooks; call before generating. Replaces any
+  /// previous config and resets the corruption statistics.
+  void SetCorruption(CorruptionConfig corruption);
+
+  const CorruptionStats& corruption_stats() const {
+    return corruption_stats_;
+  }
 
   /// Descriptor of band `index` (into config.bands).
   Result<GeoStreamDescriptor> Descriptor(size_t band_index) const;
@@ -83,6 +124,12 @@ class StreamGenerator {
   double Sample(size_t band_index, const GridLattice& lattice, int64_t col,
                 int64_t row, int64_t scan) const;
 
+  /// All generator output funnels through here so the corruption
+  /// hooks see every event. `band` indexes config.bands.
+  Status Deliver(size_t band, EventSink* sink, StreamEvent event);
+  /// Emits the held (reordered) batch of `band`, if any.
+  Status FlushHeld(size_t band, EventSink* sink);
+
   int64_t TimestampFor(int64_t scan) {
     return config_.timestamp_policy == TimestampPolicy::kScanSectorId
                ? scan
@@ -96,6 +143,12 @@ class StreamGenerator {
   bool initialized_ = false;
   int64_t measurement_clock_ = 0;
   int64_t points_per_band_ = 0;
+
+  CorruptionConfig corruption_;
+  CorruptionStats corruption_stats_;
+  /// Per-band batch ordinals and held (reordered) batches.
+  std::vector<uint64_t> batch_ordinal_;
+  std::vector<PointBatchPtr> held_;
 };
 
 }  // namespace geostreams

@@ -83,6 +83,14 @@ class Operator {
   /// Sink for input port `port` in [0, num_inputs()).
   virtual EventSink* input(int port) = 0;
 
+  /// Drops buffered per-frame state so the operator can accept a
+  /// fresh, well-formed event sequence after a fault (the supervisor
+  /// calls this before redelivering an event and after dead-lettering
+  /// a poison event). Metrics and learned stream properties survive;
+  /// only in-flight frame buffers are discarded. Default: no-op, for
+  /// stateless operators.
+  virtual void Reset() {}
+
   /// Binds the output; must be called before events arrive.
   void BindOutput(EventSink* out) { out_ = out; }
   /// Optional memory tracker for buffering reports.

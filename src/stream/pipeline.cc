@@ -27,6 +27,10 @@ Status Pipeline::Consume(const StreamEvent& event) {
   return entry_->Consume(event);
 }
 
+void Pipeline::Reset() {
+  for (auto& op : ops_) op->Reset();
+}
+
 uint64_t Pipeline::BufferedBytes() const {
   uint64_t n = 0;
   for (const auto& op : ops_) n += op->metrics().buffered_bytes;

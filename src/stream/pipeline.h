@@ -30,6 +30,9 @@ class Pipeline : public EventSink {
   /// Pushes one event through the whole chain.
   Status Consume(const StreamEvent& event) override;
 
+  /// Drops buffered frame state in every operator (fault recovery).
+  void Reset();
+
   size_t size() const { return ops_.size(); }
   const UnaryOperator& op(size_t i) const { return *ops_[i]; }
   UnaryOperator& op(size_t i) { return *ops_[i]; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace geostreams {
 
 const char* SchedulingPolicyName(SchedulingPolicy policy) {
@@ -16,16 +18,30 @@ const char* SchedulingPolicyName(SchedulingPolicy policy) {
 
 struct QueryScheduler::Queue {
   std::string name;
+  size_t index = 0;
   std::deque<Item> events;
   ScheduledQueueStats stats;
   /// True while a worker is delivering an event from this queue; the
   /// queue is then invisible to SelectQueueLocked, which is what keeps
   /// per-pipeline order under a multi-worker pool.
   bool busy = false;
+  // --- supervision state (per failure domain) ---
+  bool quarantined = false;
+  /// The status that quarantined the pipeline; returned by later
+  /// Enqueue calls on it.
+  Status error;
+  /// Consecutive transient redeliveries of the head event; a
+  /// successful delivery resets it.
+  int attempts = 0;
+  /// Head event is waiting out a retry backoff until `retry_at`.
+  bool retry_pending = false;
+  Clock::time_point retry_at{};
+  /// Operator-chain reset hook, run before redelivery (claim held).
+  std::function<void()> reset;
 };
 
 QueryScheduler::QueryScheduler(SchedulerOptions options)
-    : options_(options) {
+    : options_(options), supervisor_(options.supervisor) {
   resolved_workers_ = options_.workers;
   if (resolved_workers_ == 0) {
     resolved_workers_ = std::max(1u, std::thread::hardware_concurrency());
@@ -35,7 +51,8 @@ QueryScheduler::QueryScheduler(SchedulerOptions options)
 QueryScheduler::QueryScheduler(SchedulingPolicy policy, size_t queue_capacity)
     : QueryScheduler(SchedulerOptions{policy, queue_capacity,
                                       /*workers=*/1,
-                                      /*report_drops=*/false}) {}
+                                      /*report_drops=*/false,
+                                      SupervisorOptions{}}) {}
 
 QueryScheduler::~QueryScheduler() {
   Status ignored = Stop();
@@ -53,6 +70,14 @@ size_t QueryScheduler::AddPipelineGroup(std::string name) {
   auto queue = std::make_unique<Queue>();
   queue->name = std::move(name);
   queue->stats.name = queue->name;
+  if (!free_slots_.empty()) {
+    const size_t index = free_slots_.back();
+    free_slots_.pop_back();
+    queue->index = index;
+    queues_[index] = std::move(queue);
+    return index;
+  }
+  queue->index = queues_.size();
   queues_.push_back(std::move(queue));
   return queues_.size() - 1;
 }
@@ -65,12 +90,41 @@ EventSink* QueryScheduler::AddPipelineInput(size_t pipeline,
   return entries_.back().get();
 }
 
+void QueryScheduler::SetPipelineReset(size_t pipeline,
+                                      std::function<void()> reset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pipeline < queues_.size() && queues_[pipeline]) {
+    queues_[pipeline]->reset = std::move(reset);
+  }
+}
+
+Status QueryScheduler::RemovePipeline(size_t pipeline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (pipeline >= queues_.size() || !queues_[pipeline]) {
+    return Status::NotFound("pipeline not registered");
+  }
+  // Wait out an in-flight delivery so the downstream plan can be
+  // destroyed safely after this returns.
+  ++removals_waiting_;
+  idle_.wait(lock, [&] { return !queues_[pipeline]->busy; });
+  --removals_waiting_;
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [pipeline](const std::unique_ptr<EntrySink>& e) {
+                       return e->index() == pipeline;
+                     }),
+      entries_.end());
+  queues_[pipeline].reset();
+  free_slots_.push_back(pipeline);
+  if (busy_count_ == 0 && AllQueuesEmptyLocked()) idle_.notify_all();
+  return Status::OK();
+}
+
 Status QueryScheduler::Start() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (started_) return Status::FailedPrecondition("scheduler running");
   started_ = true;
   stopping_ = false;
-  aborted_ = false;
   workers_.reserve(resolved_workers_);
   for (size_t i = 0; i < resolved_workers_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -81,7 +135,7 @@ Status QueryScheduler::Start() {
 Status QueryScheduler::Stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!started_) return worker_status_;
+    if (!started_) return Status::OK();
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -92,16 +146,15 @@ Status QueryScheduler::Stop() {
   workers_.clear();
   started_ = false;
   idle_.notify_all();
-  return worker_status_;
+  return Status::OK();
 }
 
 Status QueryScheduler::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] {
-    return aborted_ || !started_ ||
-           (busy_count_ == 0 && AllQueuesEmptyLocked());
+    return !started_ || (busy_count_ == 0 && AllQueuesEmptyLocked());
   });
-  return worker_status_;
+  return Status::OK();
 }
 
 Status QueryScheduler::Enqueue(size_t index, EventSink* downstream,
@@ -111,8 +164,14 @@ Status QueryScheduler::Enqueue(size_t index, EventSink* downstream,
     if (!started_) {
       return Status::FailedPrecondition("scheduler not started");
     }
-    if (aborted_) return worker_status_;
+    if (index >= queues_.size() || !queues_[index]) {
+      return Status::NotFound("pipeline removed");
+    }
     Queue& queue = *queues_[index];
+    if (queue.quarantined) {
+      ++queue.stats.rejected;
+      return queue.error;
+    }
     // Frame metadata and stream control are never shed: downstream
     // buffering operators depend on well-formed frame sequences. They
     // are admitted above capacity, but the overshoot is counted.
@@ -139,15 +198,23 @@ Status QueryScheduler::Enqueue(size_t index, EventSink* downstream,
   return Status::OK();
 }
 
-int QueryScheduler::SelectQueueLocked() const {
+bool QueryScheduler::ClaimableLocked(const Queue& queue,
+                                     Clock::time_point now) const {
+  if (queue.busy || queue.quarantined || queue.events.empty()) return false;
+  if (queue.retry_pending && now < queue.retry_at) return false;
+  return true;
+}
+
+int QueryScheduler::SelectQueueLocked(Clock::time_point now) const {
   const size_t n = queues_.size();
   if (n == 0) return -1;
   if (options_.policy == SchedulingPolicy::kLongestQueueFirst) {
     int best = -1;
     size_t best_size = 0;
     for (size_t i = 0; i < n; ++i) {
+      if (!queues_[i]) continue;
       const Queue& queue = *queues_[i];
-      if (!queue.busy && queue.events.size() > best_size) {
+      if (ClaimableLocked(queue, now) && queue.events.size() > best_size) {
         best_size = queue.events.size();
         best = static_cast<int>(i);
       }
@@ -159,8 +226,8 @@ int QueryScheduler::SelectQueueLocked() const {
   // free so it can serve as a wait predicate.
   for (size_t step = 0; step < n; ++step) {
     const size_t i = (rr_cursor_ + step) % n;
-    const Queue& queue = *queues_[i];
-    if (!queue.busy && !queue.events.empty()) return static_cast<int>(i);
+    if (!queues_[i]) continue;
+    if (ClaimableLocked(*queues_[i], now)) return static_cast<int>(i);
   }
   return -1;
 }
@@ -171,58 +238,173 @@ void QueryScheduler::AdvanceCursorLocked(size_t claimed) {
 
 bool QueryScheduler::AllQueuesEmptyLocked() const {
   for (const auto& queue : queues_) {
-    if (!queue->events.empty()) return false;
+    if (queue && !queue->events.empty()) return false;
   }
   return true;
+}
+
+std::optional<QueryScheduler::Clock::time_point>
+QueryScheduler::EarliestRetryLocked() const {
+  std::optional<Clock::time_point> earliest;
+  for (const auto& queue : queues_) {
+    if (!queue || queue->busy || queue->quarantined) continue;
+    if (!queue->retry_pending || queue->events.empty()) continue;
+    if (!earliest || queue->retry_at < *earliest) earliest = queue->retry_at;
+  }
+  return earliest;
+}
+
+void QueryScheduler::QuarantineLocked(Queue& queue, const Status& status) {
+  queue.quarantined = true;
+  queue.error = status;
+  if (first_error_.ok()) first_error_ = status;
+  queue.stats.discarded += queue.events.size();
+  queue.events.clear();
+  queue.retry_pending = false;
+  GEOSTREAMS_LOG(kError) << "pipeline '" << queue.name
+                         << "' quarantined: " << status.ToString();
+}
+
+void QueryScheduler::HandleFailureLocked(std::unique_lock<std::mutex>& lock,
+                                         Queue& queue, Item item,
+                                         const Status& status) {
+  const SupervisorDecision decision =
+      supervisor_.Decide(status, queue.attempts, queue.stats.dead_letters);
+  bool run_reset = false;
+  switch (decision.action) {
+    case SupervisorDecision::Action::kRetry: {
+      const uint32_t backoff =
+          supervisor_.BackoffMs(queue.index, queue.attempts);
+      ++queue.attempts;
+      ++queue.stats.restarts;
+      queue.events.push_front(std::move(item));
+      queue.retry_pending = true;
+      queue.retry_at =
+          Clock::now() + std::chrono::milliseconds(backoff);
+      run_reset = true;
+      break;
+    }
+    case SupervisorDecision::Action::kDeadLetter:
+      // The event is poison: drop it, count it, keep the pipeline. The
+      // chain may hold trashed mid-frame state, so reset it too.
+      ++queue.stats.dead_letters;
+      queue.attempts = 0;
+      run_reset = true;
+      break;
+    case SupervisorDecision::Action::kQuarantine:
+      // The triggering event is discarded along with the queue, which
+      // keeps `processed + dead_letters + discarded == enqueued`.
+      ++queue.stats.discarded;
+      QuarantineLocked(queue, status);
+      break;
+  }
+  if (run_reset && queue.reset) {
+    // The claim is still held, so the reset cannot race a delivery;
+    // run it outside the lock like any downstream call.
+    auto reset = queue.reset;
+    lock.unlock();
+    reset();
+    lock.lock();
+  }
 }
 
 void QueryScheduler::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    work_available_.wait(lock, [this] {
-      return aborted_ || stopping_ || SelectQueueLocked() >= 0;
-    });
-    if (aborted_) return;
-    const int index = SelectQueueLocked();
+    const int index = SelectQueueLocked(Clock::now());
     if (index < 0) {
-      // Nothing claimable. Busy queues still holding events are
-      // finished by the workers that claimed them, so on stop this
-      // worker can leave without abandoning work.
-      if (stopping_) return;
+      // Nothing claimable. Pipelines in backoff need a timed wake; on
+      // stop, busy queues still holding events are finished by the
+      // workers that claimed them, so this worker can leave once no
+      // retry is pending either.
+      const auto deadline = EarliestRetryLocked();
+      if (deadline.has_value()) {
+        work_available_.wait_until(lock, *deadline);
+      } else if (stopping_) {
+        return;
+      } else {
+        work_available_.wait(lock);
+      }
       continue;
     }
     Queue& queue = *queues_[static_cast<size_t>(index)];
     AdvanceCursorLocked(static_cast<size_t>(index));
     queue.busy = true;
+    queue.retry_pending = false;
     ++busy_count_;
     Item item = std::move(queue.events.front());
     queue.events.pop_front();
-    ++queue.stats.processed;
     lock.unlock();
     // The claim invariant makes this call single-threaded per
     // pipeline; the mutex acquire/release around claim and release
     // orders operator state (incl. OperatorMetrics) across workers.
     Status st = item.downstream->Consume(item.event);
     lock.lock();
+    if (st.ok()) {
+      ++queue.stats.processed;
+      queue.attempts = 0;
+    } else {
+      HandleFailureLocked(lock, queue, std::move(item), st);
+    }
     queue.busy = false;
     --busy_count_;
-    if (!st.ok()) {
-      if (worker_status_.ok()) worker_status_ = st;
-      aborted_ = true;
-      work_available_.notify_all();
-      idle_.notify_all();
-      return;
-    }
+    if (removals_waiting_ > 0) idle_.notify_all();
     if (!queue.events.empty()) work_available_.notify_one();
     if (busy_count_ == 0 && AllQueuesEmptyLocked()) idle_.notify_all();
   }
+}
+
+PipelineHealth QueryScheduler::HealthLocked(const Queue& queue) const {
+  if (queue.quarantined) return PipelineHealth::kQuarantined;
+  if (queue.retry_pending || queue.attempts > 0 ||
+      queue.stats.dead_letters > 0) {
+    return PipelineHealth::kDegraded;
+  }
+  return PipelineHealth::kRunning;
+}
+
+PipelineHealth QueryScheduler::Health(size_t pipeline) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pipeline >= queues_.size() || !queues_[pipeline]) {
+    // Removed pipelines are no longer serviceable.
+    return PipelineHealth::kQuarantined;
+  }
+  return HealthLocked(*queues_[pipeline]);
+}
+
+Status QueryScheduler::PipelineError(size_t pipeline) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pipeline >= queues_.size() || !queues_[pipeline]) {
+    return Status::NotFound("pipeline not registered");
+  }
+  return queues_[pipeline]->error;
+}
+
+Status QueryScheduler::FirstPipelineError() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_error_;
+}
+
+size_t QueryScheduler::num_pipelines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& queue : queues_) {
+    if (queue) ++n;
+  }
+  return n;
 }
 
 std::vector<ScheduledQueueStats> QueryScheduler::Stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<ScheduledQueueStats> out;
   out.reserve(queues_.size());
-  for (const auto& queue : queues_) out.push_back(queue->stats);
+  for (const auto& queue : queues_) {
+    if (!queue) continue;
+    ScheduledQueueStats stats = queue->stats;
+    stats.health = HealthLocked(*queue);
+    stats.error = queue->error.ok() ? "" : queue->error.ToString();
+    out.push_back(std::move(stats));
+  }
   return out;
 }
 
@@ -230,7 +412,13 @@ ScheduledQueueStats QueryScheduler::AggregateStats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ScheduledQueueStats total;
   total.name = "total";
-  for (const auto& queue : queues_) total.MergeFrom(queue->stats);
+  for (const auto& queue : queues_) {
+    if (!queue) continue;
+    ScheduledQueueStats stats = queue->stats;
+    stats.health = HealthLocked(*queue);
+    stats.error = queue->error.ok() ? "" : queue->error.ToString();
+    total.MergeFrom(stats);
+  }
   return total;
 }
 

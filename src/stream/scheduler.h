@@ -18,24 +18,32 @@
 // admitted so downstream buffering operators see well-formed frame
 // sequences, with overshoot counted in `control_overflow`.
 //
-// Error handling: the first non-OK status any downstream returns
-// aborts the whole pool — every worker exits, later Enqueue calls
-// return that status to the producers, and Stop()/WaitIdle() report
-// it. Graceful shutdown (Stop without error) drains every queue
-// before joining the workers.
+// Failure domains: each pipeline is its own failure domain. A non-OK
+// status from a pipeline's operator chain is handed to the
+// PipelineSupervisor, which classifies it (see stream/supervisor.h):
+// transient failures are retried after a backoff (with the chain's
+// frame-buffer state reset first), poison events are dead-lettered,
+// and permanent failures quarantine *that pipeline only* — its error
+// is recorded, its queued events discarded, and later Enqueue calls
+// on it return its own error. All other pipelines keep running;
+// Stop()/WaitIdle() drain the healthy pipelines and return OK.
 
 #ifndef GEOSTREAMS_STREAM_SCHEDULER_H_
 #define GEOSTREAMS_STREAM_SCHEDULER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "stream/operator.h"
+#include "stream/supervisor.h"
 
 namespace geostreams {
 
@@ -58,12 +66,17 @@ struct SchedulerOptions {
   /// producers can react; when false (default) shedding is silent and
   /// only visible in Stats().
   bool report_drops = false;
+  /// Per-pipeline failure handling (restart/backoff/poison policy).
+  SupervisorOptions supervisor;
 };
 
 /// Statistics for one scheduled pipeline. `enqueued` counts events
 /// accepted into the queue; shed events are counted in `dropped`
-/// only, so `enqueued + dropped` is the total offered and — after a
-/// full drain — `processed == enqueued`.
+/// only, so `enqueued + dropped` is the total offered. After a full
+/// drain of a healthy pipeline `processed == enqueued`; in general
+/// `processed + dead_letters + discarded == enqueued` once the queue
+/// is empty (dead-lettered events were dropped as poison; discarded
+/// ones were thrown away when the pipeline quarantined).
 struct ScheduledQueueStats {
   std::string name;
   uint64_t enqueued = 0;
@@ -71,6 +84,14 @@ struct ScheduledQueueStats {
   uint64_t dropped = 0;           // overflow shedding (batches only)
   uint64_t control_overflow = 0;  // control events admitted above capacity
   uint64_t queue_high_water = 0;
+  // --- supervision ---
+  PipelineHealth health = PipelineHealth::kRunning;
+  /// ToString() of the pipeline's recorded error; empty while healthy.
+  std::string error;
+  uint64_t dead_letters = 0; // poison events dropped
+  uint64_t restarts = 0;     // transient redelivery attempts
+  uint64_t rejected = 0;     // enqueues refused after quarantine
+  uint64_t discarded = 0;    // queued events thrown away at quarantine
 
   /// Accumulates `other` into this entry (used for pool-wide totals).
   void MergeFrom(const ScheduledQueueStats& other) {
@@ -81,6 +102,12 @@ struct ScheduledQueueStats {
     if (other.queue_high_water > queue_high_water) {
       queue_high_water = other.queue_high_water;
     }
+    if (other.health > health) health = other.health;
+    if (error.empty()) error = other.error;
+    dead_letters += other.dead_letters;
+    restarts += other.restarts;
+    rejected += other.rejected;
+    discarded += other.discarded;
   }
 };
 
@@ -99,38 +126,63 @@ class QueryScheduler {
 
   /// Adds a pipeline with a single input; returns the sink to feed it
   /// through. `downstream` is not owned. May be called before Start()
-  /// or while the pool is running (pipelines are never removed).
+  /// or while the pool is running.
   EventSink* AddPipeline(std::string name, EventSink* downstream);
 
   /// Multi-input form for plans that read several sources: all inputs
   /// added to one pipeline share its queue, so one worker at a time
   /// drives the whole plan and cross-input operators stay effectively
-  /// single-threaded. Returns the pipeline's id.
+  /// single-threaded. Returns the pipeline's id (ids of removed
+  /// pipelines are reused).
   size_t AddPipelineGroup(std::string name);
   /// Adds an input to pipeline `pipeline`; events pushed into the
   /// returned sink are delivered, in enqueue order, to `downstream`.
   EventSink* AddPipelineInput(size_t pipeline, EventSink* downstream);
 
+  /// Registers the hook the supervisor runs before redelivering an
+  /// event after a transient failure (and after dead-lettering a
+  /// poison event mid-frame): typically {Pipeline,ExecutablePlan}::
+  /// Reset, dropping buffered frame state so the chain accepts a
+  /// fresh sequence. Runs on a worker thread while the pipeline's
+  /// claim is held, so it never races event delivery.
+  void SetPipelineReset(size_t pipeline, std::function<void()> reset);
+
+  /// Removes a pipeline: waits for any in-flight event to finish,
+  /// discards whatever is still queued, frees the queue and its entry
+  /// sinks, and recycles the id. The caller must have detached all
+  /// producers first (entry sinks become dangling).
+  Status RemovePipeline(size_t pipeline);
+
   /// Starts the worker pool.
   Status Start();
 
-  /// Drains all queues and joins the workers. Returns the first error
-  /// any downstream produced (in which case remaining queued events
-  /// were discarded, not drained).
+  /// Drains every healthy queue and joins the workers. Per-pipeline
+  /// failures do not fail Stop(); they are visible in Stats() and
+  /// FirstPipelineError().
   Status Stop();
 
-  /// Blocks until every queue is empty and no worker is mid-event, or
-  /// the pool aborted on error. Returns the first error, if any.
+  /// Blocks until every healthy queue is empty and no worker is
+  /// mid-event. Pipelines waiting out a retry backoff count as
+  /// non-idle until the redelivery resolves.
   Status WaitIdle();
+
+  /// Health / recorded error of one pipeline.
+  PipelineHealth Health(size_t pipeline) const;
+  Status PipelineError(size_t pipeline) const;
+  /// First error that quarantined any pipeline (OK when none has).
+  Status FirstPipelineError() const;
 
   std::vector<ScheduledQueueStats> Stats() const;
   /// Pool-wide totals across all pipelines (thread-safe snapshot).
   ScheduledQueueStats AggregateStats() const;
 
   size_t num_workers() const { return resolved_workers_; }
+  /// Currently registered (not removed) pipelines.
+  size_t num_pipelines() const;
 
  private:
   struct Queue;
+  using Clock = std::chrono::steady_clock;
   /// One queued unit of work: the event plus the plan input it is
   /// destined for (pipelines can have several inputs).
   struct Item {
@@ -146,6 +198,7 @@ class QueryScheduler {
     Status Consume(const StreamEvent& event) override {
       return scheduler_->Enqueue(index_, downstream_, event);
     }
+    size_t index() const { return index_; }
 
    private:
     QueryScheduler* scheduler_;
@@ -156,33 +209,50 @@ class QueryScheduler {
   Status Enqueue(size_t index, EventSink* downstream,
                  const StreamEvent& event);
   void WorkerLoop();
-  /// Picks the next claimable queue (non-empty and not busy); -1 when
-  /// none. Const: safe as a condvar wait predicate — it must never
-  /// mutate scheduler state (a previous version advanced the
-  /// round-robin cursor here, so every spurious wakeup skewed the
-  /// rotation; see SchedulerTest.RoundRobinRotationIsExact).
-  int SelectQueueLocked() const;
+  /// Handles a non-OK delivery status for the claimed queue. Called
+  /// with the lock held and the claim still taken; may drop the lock
+  /// to run the pipeline's reset hook. `item` is the failed delivery.
+  void HandleFailureLocked(std::unique_lock<std::mutex>& lock, Queue& queue,
+                           Item item, const Status& status);
+  /// Quarantines `queue` with `status`: records the error, discards
+  /// queued events, and wakes idle waiters. Lock held.
+  void QuarantineLocked(Queue& queue, const Status& status);
+  /// True when a worker may deliver from `queue` right now.
+  bool ClaimableLocked(const Queue& queue, Clock::time_point now) const;
+  /// Picks the next claimable queue (non-empty, not busy, not in
+  /// backoff, not quarantined); -1 when none. Const: safe as a
+  /// condvar wait predicate — it must never mutate scheduler state (a
+  /// previous version advanced the round-robin cursor here, so every
+  /// spurious wakeup skewed the rotation; see
+  /// SchedulerTest.RoundRobinRotationIsExact).
+  int SelectQueueLocked(Clock::time_point now) const;
   /// Advances the round-robin cursor past a queue that was actually
   /// claimed. Called only when an event is taken.
   void AdvanceCursorLocked(size_t claimed);
   bool AllQueuesEmptyLocked() const;
+  /// Earliest pending retry deadline, if any pipeline is in backoff.
+  std::optional<Clock::time_point> EarliestRetryLocked() const;
+  PipelineHealth HealthLocked(const Queue& queue) const;
 
   SchedulerOptions options_;
+  PipelineSupervisor supervisor_;
   size_t resolved_workers_ = 1;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
+  /// Removed pipelines leave a null slot, recycled by free_slots_.
   std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<size_t> free_slots_;
   std::vector<std::unique_ptr<EntrySink>> entries_;
   std::vector<std::thread> workers_;
   bool started_ = false;
   bool stopping_ = false;
-  /// Set by the first worker that sees a downstream error; stops the
-  /// whole pool and is surfaced to producers via Enqueue.
-  bool aborted_ = false;
   size_t busy_count_ = 0;
+  size_t removals_waiting_ = 0;
   size_t rr_cursor_ = 0;
-  Status worker_status_;
+  /// First status that quarantined a pipeline (diagnostics only; the
+  /// pool itself never aborts).
+  Status first_error_;
 };
 
 }  // namespace geostreams

@@ -1,0 +1,86 @@
+#include "stream/supervisor.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace geostreams {
+
+const char* PipelineHealthName(PipelineHealth health) {
+  switch (health) {
+    case PipelineHealth::kRunning:
+      return "RUNNING";
+    case PipelineHealth::kDegraded:
+      return "DEGRADED";
+    case PipelineHealth::kQuarantined:
+      return "QUARANTINED";
+  }
+  return "?";
+}
+
+const char* FaultClassName(FaultClass fault_class) {
+  switch (fault_class) {
+    case FaultClass::kTransient:
+      return "transient";
+    case FaultClass::kPoison:
+      return "poison";
+    case FaultClass::kPermanent:
+      return "permanent";
+  }
+  return "?";
+}
+
+FaultClass ClassifyFault(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+      return FaultClass::kTransient;
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInvalidArgument:
+      return FaultClass::kPoison;
+    default:
+      return FaultClass::kPermanent;
+  }
+}
+
+SupervisorDecision PipelineSupervisor::Decide(
+    const Status& status, int prior_attempts,
+    uint64_t prior_dead_letters) const {
+  SupervisorDecision decision;
+  switch (ClassifyFault(status)) {
+    case FaultClass::kTransient:
+      if (prior_attempts >= options_.max_restart_attempts) {
+        decision.action = SupervisorDecision::Action::kQuarantine;
+      } else {
+        decision.action = SupervisorDecision::Action::kRetry;
+        decision.backoff_ms = 0;  // scheduler fills in BackoffMs
+      }
+      return decision;
+    case FaultClass::kPoison:
+      decision.action = prior_dead_letters + 1 >= options_.poison_limit
+                            ? SupervisorDecision::Action::kQuarantine
+                            : SupervisorDecision::Action::kDeadLetter;
+      return decision;
+    case FaultClass::kPermanent:
+      decision.action = SupervisorDecision::Action::kQuarantine;
+      return decision;
+  }
+  return decision;
+}
+
+uint32_t PipelineSupervisor::BackoffMs(uint64_t pipeline_token,
+                                       int attempt) const {
+  const int shift = std::min(attempt, 20);
+  uint64_t base = static_cast<uint64_t>(options_.backoff_initial_ms) << shift;
+  base = std::min<uint64_t>(base, options_.backoff_max_ms);
+  uint64_t jitter = 0;
+  if (options_.backoff_jitter_ms > 0) {
+    jitter = Mix64(pipeline_token * 0x9E3779B97F4A7C15ULL +
+                   static_cast<uint64_t>(attempt)) %
+             (static_cast<uint64_t>(options_.backoff_jitter_ms) + 1);
+  }
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(base + jitter, options_.backoff_max_ms));
+}
+
+}  // namespace geostreams

@@ -1,0 +1,111 @@
+// Pipeline supervision policy (failure domains & recovery).
+//
+// Continuous queries run over unbounded, noisy sensor streams where
+// malformed scan rows, dropped frames, and transient operator hiccups
+// are the norm. The supervisor decides, per pipeline, what a non-OK
+// status from the operator chain means:
+//
+//  * transient   (ResourceExhausted, Unavailable) — the event is
+//    eligible for redelivery after an exponential backoff with
+//    deterministic jitter; the operator chain's frame-buffer state is
+//    reset first (Operator::Reset). A cap on consecutive attempts
+//    turns a persistently-transient pipeline into a quarantined one.
+//  * poison      (FailedPrecondition, InvalidArgument) — the event
+//    itself is bad (corrupt batch, protocol violation). It is dropped
+//    into a per-pipeline dead-letter count; once the count reaches
+//    `poison_limit` the pipeline is quarantined.
+//  * permanent   (everything else) — the pipeline is quarantined
+//    immediately: its error is recorded, its queue discarded, and
+//    later enqueues are rejected with that error. Other pipelines are
+//    unaffected.
+//
+// The supervisor itself is a stateless policy engine: the scheduler
+// owns the per-pipeline counters and asks for a decision per failure.
+// Backoff jitter is derived from a hash of (pipeline, attempt), so
+// recovery schedules are deterministic and testable.
+
+#ifndef GEOSTREAMS_STREAM_SUPERVISOR_H_
+#define GEOSTREAMS_STREAM_SUPERVISOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace geostreams {
+
+/// Health of one scheduled pipeline, worst-first ordering so merged
+/// (aggregate) stats can take the max.
+enum class PipelineHealth : uint8_t {
+  kRunning = 0,     // processing normally
+  kDegraded = 1,    // in backoff/retry, or has dead-lettered events
+  kQuarantined = 2, // permanently failed; enqueues rejected
+};
+
+const char* PipelineHealthName(PipelineHealth health);
+
+/// What kind of failure a non-OK operator status represents.
+enum class FaultClass : uint8_t {
+  kTransient, // retry may succeed (ResourceExhausted, Unavailable)
+  kPoison,    // the event is bad; drop it (FailedPrecondition,
+              // InvalidArgument)
+  kPermanent, // the pipeline is broken (everything else)
+};
+
+const char* FaultClassName(FaultClass fault_class);
+
+/// Maps a non-OK status to its fault class. Must not be called with
+/// an OK status.
+FaultClass ClassifyFault(const Status& status);
+
+struct SupervisorOptions {
+  /// Consecutive transient failures tolerated on one event before the
+  /// pipeline is quarantined. A successful delivery resets the count.
+  int max_restart_attempts = 3;
+  /// Backoff before redelivery attempt k is
+  ///   min(backoff_max_ms, backoff_initial_ms << k) + jitter,
+  /// jitter in [0, backoff_jitter_ms] from a (pipeline, attempt) hash.
+  uint32_t backoff_initial_ms = 1;
+  uint32_t backoff_max_ms = 100;
+  uint32_t backoff_jitter_ms = 1;
+  /// Dead-lettered (poison) events tolerated before the pipeline is
+  /// quarantined. The default quarantines on the first poison event;
+  /// raise it to keep a pipeline limping along past bad input.
+  uint64_t poison_limit = 1;
+};
+
+/// The action the scheduler should take for one failed delivery.
+struct SupervisorDecision {
+  enum class Action : uint8_t {
+    kRetry,      // redeliver the event after `backoff_ms`
+    kDeadLetter, // drop the event, count it, keep the pipeline
+    kQuarantine, // fail the pipeline permanently
+  };
+  Action action = Action::kQuarantine;
+  uint32_t backoff_ms = 0; // meaningful for kRetry only
+};
+
+class PipelineSupervisor {
+ public:
+  explicit PipelineSupervisor(SupervisorOptions options)
+      : options_(options) {}
+
+  /// Decides the disposition of a failed delivery. `prior_attempts` is
+  /// the number of transient redeliveries already performed for the
+  /// event at the head of the queue; `prior_dead_letters` the
+  /// pipeline's dead-letter count before this failure.
+  SupervisorDecision Decide(const Status& status, int prior_attempts,
+                            uint64_t prior_dead_letters) const;
+
+  /// Deterministic backoff (with jitter) before redelivery attempt
+  /// `attempt` (0-based) on pipeline `pipeline_token`.
+  uint32_t BackoffMs(uint64_t pipeline_token, int attempt) const;
+
+  const SupervisorOptions& options() const { return options_; }
+
+ private:
+  SupervisorOptions options_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_STREAM_SUPERVISOR_H_

@@ -189,5 +189,60 @@ TEST(StreamGeneratorTest, FinishSendsStreamEnd) {
   EXPECT_EQ(band1.events()[0].kind, EventKind::kStreamEnd);
 }
 
+TEST(StreamGeneratorTest, CorruptionHooksReportWhatTheyDid) {
+  StreamGenerator gen(SmallConfig(PointOrganization::kRowByRow),
+                      ScanSchedule::GoesRoutine());
+  GS_ASSERT_OK(gen.Init());
+  CorruptionConfig corruption;
+  corruption.target_band = 0;
+  corruption.checksum_batches = true;
+  corruption.corrupt_value_batches = {3};
+  corruption.duplicate_batches = {5};
+  corruption.reorder_batches = {8};
+  corruption.drop_frame_end_scans = {1};
+  gen.SetCorruption(corruption);
+  CollectingSink band1, band2;
+  GS_ASSERT_OK(gen.GenerateScans(0, 2, {&band1, &band2}));
+
+  const CorruptionStats& stats = gen.corruption_stats();
+  EXPECT_EQ(stats.values_corrupted, 1u);
+  EXPECT_EQ(stats.batches_duplicated, 1u);
+  EXPECT_EQ(stats.batches_reordered, 1u);
+  EXPECT_EQ(stats.frame_ends_dropped, 1u);
+  EXPECT_GT(stats.checksums_attached, 0u);
+
+  size_t b1_batches = 0, b1_ends = 0, b1_bad = 0;
+  for (const auto& event : band1.events()) {
+    if (event.kind == EventKind::kPointBatch) {
+      ++b1_batches;
+      if (!event.batch->ChecksumValid()) ++b1_bad;
+    } else if (event.kind == EventKind::kFrameEnd) {
+      ++b1_ends;
+    }
+  }
+  size_t b2_batches = 0, b2_ends = 0, b2_bad = 0;
+  for (const auto& event : band2.events()) {
+    if (event.kind == EventKind::kPointBatch) {
+      ++b2_batches;
+      if (!event.batch->ChecksumValid()) ++b2_bad;
+    } else if (event.kind == EventKind::kFrameEnd) {
+      ++b2_ends;
+    }
+  }
+  // The duplicated row shows up as one extra batch on band 0; exactly
+  // the one corrupted batch fails verification; one FrameEnd is
+  // missing. The untargeted band is fully intact (checksummed, since
+  // checksum_batches applies to every band).
+  EXPECT_EQ(b1_batches, b2_batches + 1);
+  EXPECT_EQ(b1_bad, 1u);
+  EXPECT_EQ(b1_ends + 1, b2_ends);
+  EXPECT_EQ(b2_bad, 0u);
+  EXPECT_TRUE(WellFormedFrames(band2.events()));
+  // Every point still arrives (reorder holds, never drops), plus the
+  // duplicated row's extra copy.
+  uint64_t b1_points = band1.TotalPoints(), b2_points = band2.TotalPoints();
+  EXPECT_GT(b1_points, b2_points);
+}
+
 }  // namespace
 }  // namespace geostreams

@@ -176,7 +176,10 @@ TEST(SchedulerTest, Lifecycle) {
   EXPECT_EQ(sink.TotalPoints(), 1u);
 }
 
-TEST(SchedulerTest, PropagatesDownstreamErrors) {
+TEST(SchedulerTest, PermanentErrorQuarantinesPipeline) {
+  // A permanent (unclassified) error quarantines the pipeline: the
+  // error is recorded and retrievable, but the pool itself stays
+  // healthy — Stop() and WaitIdle() return OK.
   class FailingSink : public EventSink {
    public:
     Status Consume(const StreamEvent&) override {
@@ -185,10 +188,15 @@ TEST(SchedulerTest, PropagatesDownstreamErrors) {
   };
   FailingSink failing;
   QueryScheduler scheduler(SchedulingPolicy::kRoundRobin);
-  EventSink* in = scheduler.AddPipeline("failing", &failing);
+  const size_t pipeline = scheduler.AddPipelineGroup("failing");
+  EventSink* in = scheduler.AddPipelineInput(pipeline, &failing);
   GS_ASSERT_OK(scheduler.Start());
   GS_ASSERT_OK(in->Consume(OnePointBatch(0, 0)));
-  EXPECT_EQ(scheduler.Stop().code(), StatusCode::kInternal);
+  GS_ASSERT_OK(scheduler.WaitIdle());
+  EXPECT_EQ(scheduler.Health(pipeline), PipelineHealth::kQuarantined);
+  EXPECT_EQ(scheduler.PipelineError(pipeline).code(), StatusCode::kInternal);
+  EXPECT_EQ(scheduler.FirstPipelineError().code(), StatusCode::kInternal);
+  GS_ASSERT_OK(scheduler.Stop());
 }
 
 // --- Worker pool ------------------------------------------------------------
@@ -282,7 +290,11 @@ TEST(SchedulerTest, MultiInputPipelineStaysSerialized) {
   }
 }
 
-TEST(SchedulerTest, FirstErrorStopsAllWorkers) {
+TEST(SchedulerTest, FailureIsIsolatedToOnePipeline) {
+  // The old pool killed every worker on the first error; pipelines are
+  // now independent failure domains. The failed pipeline rejects new
+  // events with ITS OWN status, the healthy one keeps accepting and
+  // processing everything.
   class FailingSink : public EventSink {
    public:
     Status Consume(const StreamEvent&) override {
@@ -302,21 +314,30 @@ TEST(SchedulerTest, FirstErrorStopsAllWorkers) {
   QueryScheduler scheduler(options);
   FailingSink failing;
   CountingSink healthy;
-  EventSink* bad = scheduler.AddPipeline("bad", &failing);
-  EventSink* good = scheduler.AddPipeline("good", &healthy);
+  const size_t bad_id = scheduler.AddPipelineGroup("bad");
+  EventSink* bad = scheduler.AddPipelineInput(bad_id, &failing);
+  const size_t good_id = scheduler.AddPipelineGroup("good");
+  EventSink* good = scheduler.AddPipelineInput(good_id, &healthy);
   GS_ASSERT_OK(scheduler.Start());
   GS_ASSERT_OK(bad->Consume(OnePointBatch(0, 0)));
-  // Once a worker hits the error the whole pool aborts and producers
-  // start seeing the first error from Enqueue.
-  Status seen = Status::OK();
-  for (int i = 0; i < 10000 && seen.ok(); ++i) {
-    seen = good->Consume(OnePointBatch(0, i));
-    if (seen.ok()) std::this_thread::sleep_for(std::chrono::microseconds(50));
+  GS_ASSERT_OK(scheduler.WaitIdle());
+  EXPECT_EQ(scheduler.Health(bad_id), PipelineHealth::kQuarantined);
+  // Enqueue on the quarantined pipeline returns that pipeline's error.
+  EXPECT_EQ(bad->Consume(OnePointBatch(0, 1)).code(), StatusCode::kInternal);
+  // Enqueue on the healthy pipeline keeps succeeding — never the
+  // stale first error of the old pool-wide abort.
+  for (int i = 0; i < 1000; ++i) {
+    GS_ASSERT_OK(good->Consume(OnePointBatch(0, i)));
   }
-  EXPECT_EQ(seen.code(), StatusCode::kInternal);
-  EXPECT_EQ(scheduler.Stop().code(), StatusCode::kInternal);
-  // WaitIdle after an abort reports the same error instead of hanging.
-  EXPECT_EQ(scheduler.WaitIdle().code(), StatusCode::kInternal);
+  GS_ASSERT_OK(scheduler.WaitIdle());
+  EXPECT_EQ(scheduler.Health(good_id), PipelineHealth::kRunning);
+  EXPECT_EQ(healthy.count_.load(), 1000u);
+  GS_ASSERT_OK(scheduler.Stop());
+  auto stats = scheduler.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].rejected, 1u);
+  EXPECT_FALSE(stats[0].error.empty());
+  EXPECT_EQ(stats[1].processed, stats[1].enqueued);
 }
 
 TEST(SchedulerTest, DropAccountingSumsUnderContention) {

@@ -1,0 +1,397 @@
+// Supervision-layer tests: fault classification and restart policy
+// (PipelineSupervisor), per-pipeline failure domains in the scheduler
+// (retry with reset, dead-lettering, quarantine), and the
+// deterministic fault-injection harness (FaultInjectorOp).
+
+#include "stream/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ops/fault_injector_op.h"
+#include "stream/pipeline.h"
+#include "stream/scheduler.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+StreamEvent OnePointBatch(int64_t frame, int32_t col) {
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = frame;
+  batch->band_count = 1;
+  batch->Append1(col, 0, frame, 1.0);
+  return StreamEvent::Batch(batch);
+}
+
+// --- Policy engine ----------------------------------------------------------
+
+TEST(SupervisorTest, ClassifiesFaults) {
+  EXPECT_EQ(ClassifyFault(Status::ResourceExhausted("x")),
+            FaultClass::kTransient);
+  EXPECT_EQ(ClassifyFault(Status::Unavailable("x")), FaultClass::kTransient);
+  EXPECT_EQ(ClassifyFault(Status::FailedPrecondition("x")),
+            FaultClass::kPoison);
+  EXPECT_EQ(ClassifyFault(Status::InvalidArgument("x")), FaultClass::kPoison);
+  EXPECT_EQ(ClassifyFault(Status::Internal("x")), FaultClass::kPermanent);
+  EXPECT_EQ(ClassifyFault(Status::IoError("x")), FaultClass::kPermanent);
+  EXPECT_EQ(ClassifyFault(Status::NotFound("x")), FaultClass::kPermanent);
+}
+
+TEST(SupervisorTest, Names) {
+  EXPECT_STREQ(PipelineHealthName(PipelineHealth::kRunning), "RUNNING");
+  EXPECT_STREQ(PipelineHealthName(PipelineHealth::kDegraded), "DEGRADED");
+  EXPECT_STREQ(PipelineHealthName(PipelineHealth::kQuarantined),
+               "QUARANTINED");
+  EXPECT_STREQ(FaultClassName(FaultClass::kTransient), "transient");
+  EXPECT_STREQ(FaultClassName(FaultClass::kPoison), "poison");
+  EXPECT_STREQ(FaultClassName(FaultClass::kPermanent), "permanent");
+}
+
+TEST(SupervisorTest, TransientRetriesUntilAttemptCap) {
+  SupervisorOptions options;
+  options.max_restart_attempts = 3;
+  PipelineSupervisor supervisor(options);
+  const Status transient = Status::Unavailable("link down");
+  for (int attempts = 0; attempts < 3; ++attempts) {
+    EXPECT_EQ(supervisor.Decide(transient, attempts, 0).action,
+              SupervisorDecision::Action::kRetry)
+        << "attempts=" << attempts;
+  }
+  EXPECT_EQ(supervisor.Decide(transient, 3, 0).action,
+            SupervisorDecision::Action::kQuarantine);
+}
+
+TEST(SupervisorTest, PoisonDeadLettersUntilLimit) {
+  SupervisorOptions options;
+  options.poison_limit = 3;
+  PipelineSupervisor supervisor(options);
+  const Status poison = Status::FailedPrecondition("corrupt row");
+  EXPECT_EQ(supervisor.Decide(poison, 0, 0).action,
+            SupervisorDecision::Action::kDeadLetter);
+  EXPECT_EQ(supervisor.Decide(poison, 0, 1).action,
+            SupervisorDecision::Action::kDeadLetter);
+  // The third poison event reaches the limit.
+  EXPECT_EQ(supervisor.Decide(poison, 0, 2).action,
+            SupervisorDecision::Action::kQuarantine);
+  // Default policy: the first poison event quarantines.
+  PipelineSupervisor strict{SupervisorOptions{}};
+  EXPECT_EQ(strict.Decide(poison, 0, 0).action,
+            SupervisorDecision::Action::kQuarantine);
+}
+
+TEST(SupervisorTest, PermanentQuarantinesImmediately) {
+  PipelineSupervisor supervisor{SupervisorOptions{}};
+  EXPECT_EQ(supervisor.Decide(Status::Internal("bug"), 0, 0).action,
+            SupervisorDecision::Action::kQuarantine);
+}
+
+TEST(SupervisorTest, BackoffIsDeterministicBoundedAndGrows) {
+  SupervisorOptions options;
+  options.backoff_initial_ms = 2;
+  options.backoff_max_ms = 50;
+  options.backoff_jitter_ms = 3;
+  PipelineSupervisor supervisor(options);
+  // Deterministic: same (pipeline, attempt) -> same backoff.
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const uint32_t ms = supervisor.BackoffMs(7, attempt);
+    EXPECT_EQ(ms, supervisor.BackoffMs(7, attempt));
+    EXPECT_LE(ms, options.backoff_max_ms);
+    // Exponential base: at least initial << attempt until the cap.
+    const uint64_t base = std::min<uint64_t>(
+        static_cast<uint64_t>(options.backoff_initial_ms)
+            << std::min(attempt, 20),
+        options.backoff_max_ms);
+    EXPECT_GE(ms, base);
+  }
+  // Jitter decorrelates pipelines: not every pipeline shares one
+  // schedule (checked across a handful of tokens).
+  std::set<uint32_t> seen;
+  for (uint64_t token = 0; token < 8; ++token) {
+    seen.insert(supervisor.BackoffMs(token, 1));
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+// --- Scheduler failure domains ----------------------------------------------
+
+/// Fails the first `failures` deliveries with `status`, then succeeds.
+class FlakySink : public EventSink {
+ public:
+  FlakySink(int failures, Status status)
+      : remaining_(failures), status_(std::move(status)) {}
+
+  Status Consume(const StreamEvent&) override {
+    ++deliveries_;
+    if (remaining_ > 0) {
+      --remaining_;
+      return status_;
+    }
+    ++succeeded_;
+    return Status::OK();
+  }
+
+  int deliveries() const { return deliveries_; }
+  int succeeded() const { return succeeded_; }
+
+ private:
+  int remaining_;
+  Status status_;
+  int deliveries_ = 0;
+  int succeeded_ = 0;
+};
+
+TEST(SchedulerSupervisionTest, TransientFailureRecoversAfterBackoff) {
+  FlakySink flaky(/*failures=*/2, Status::Unavailable("uplink hiccup"));
+  SchedulerOptions options;
+  options.workers = 2;
+  QueryScheduler scheduler(options);
+  const size_t pipeline = scheduler.AddPipelineGroup("flaky");
+  EventSink* in = scheduler.AddPipelineInput(pipeline, &flaky);
+  GS_ASSERT_OK(scheduler.Start());
+  GS_ASSERT_OK(in->Consume(OnePointBatch(0, 0)));
+  // WaitIdle covers the whole retry dance: the queue stays non-empty
+  // while the event waits out its backoff.
+  GS_ASSERT_OK(scheduler.WaitIdle());
+  EXPECT_EQ(flaky.deliveries(), 3);
+  EXPECT_EQ(flaky.succeeded(), 1);
+  // Recovered: running again, counters pin the two redeliveries.
+  EXPECT_EQ(scheduler.Health(pipeline), PipelineHealth::kRunning);
+  GS_EXPECT_OK(scheduler.PipelineError(pipeline));
+  GS_ASSERT_OK(scheduler.Stop());
+  auto stats = scheduler.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].restarts, 2u);
+  EXPECT_EQ(stats[0].processed, 1u);
+  EXPECT_EQ(stats[0].enqueued, 1u);
+}
+
+TEST(SchedulerSupervisionTest, ResetHookRunsBeforeEveryRedelivery) {
+  FlakySink flaky(/*failures=*/3, Status::ResourceExhausted("no memory"));
+  SchedulerOptions options;
+  options.supervisor.max_restart_attempts = 5;
+  QueryScheduler scheduler(options);
+  const size_t pipeline = scheduler.AddPipelineGroup("flaky");
+  EventSink* in = scheduler.AddPipelineInput(pipeline, &flaky);
+  std::atomic<int> resets{0};
+  scheduler.SetPipelineReset(pipeline, [&resets] { ++resets; });
+  GS_ASSERT_OK(scheduler.Start());
+  GS_ASSERT_OK(in->Consume(OnePointBatch(0, 0)));
+  GS_ASSERT_OK(scheduler.WaitIdle());
+  EXPECT_EQ(resets.load(), 3);
+  EXPECT_EQ(flaky.succeeded(), 1);
+  GS_ASSERT_OK(scheduler.Stop());
+}
+
+TEST(SchedulerSupervisionTest, PersistentTransientFailureQuarantines) {
+  // Never succeeds: retries are capped, then the pipeline quarantines
+  // with the transient error recorded.
+  FlakySink dead(/*failures=*/1000, Status::Unavailable("down for good"));
+  SchedulerOptions options;
+  options.supervisor.max_restart_attempts = 2;
+  QueryScheduler scheduler(options);
+  const size_t pipeline = scheduler.AddPipelineGroup("dead");
+  EventSink* in = scheduler.AddPipelineInput(pipeline, &dead);
+  GS_ASSERT_OK(scheduler.Start());
+  GS_ASSERT_OK(in->Consume(OnePointBatch(0, 0)));
+  GS_ASSERT_OK(scheduler.WaitIdle());
+  // Initial delivery + 2 redeliveries, then quarantine.
+  EXPECT_EQ(dead.deliveries(), 3);
+  EXPECT_EQ(scheduler.Health(pipeline), PipelineHealth::kQuarantined);
+  EXPECT_EQ(scheduler.PipelineError(pipeline).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(in->Consume(OnePointBatch(0, 1)).code(),
+            StatusCode::kUnavailable);
+  GS_ASSERT_OK(scheduler.Stop());
+  auto stats = scheduler.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].restarts, 2u);
+  EXPECT_EQ(stats[0].rejected, 1u);
+  EXPECT_EQ(stats[0].health, PipelineHealth::kQuarantined);
+  // enqueued(1) = processed(0) + dead_letters(0) + discarded(1).
+  EXPECT_EQ(stats[0].discarded, 1u);
+  EXPECT_EQ(stats[0].processed, 0u);
+}
+
+/// Rejects batches whose first col is `poison_col` as poison.
+class PickySink : public EventSink {
+ public:
+  explicit PickySink(int32_t poison_col) : poison_col_(poison_col) {}
+
+  Status Consume(const StreamEvent& event) override {
+    if (event.kind == EventKind::kPointBatch &&
+        event.batch->cols[0] == poison_col_) {
+      return Status::FailedPrecondition("corrupt scan row");
+    }
+    ++accepted_;
+    return Status::OK();
+  }
+  int accepted() const { return accepted_; }
+
+ private:
+  int32_t poison_col_;
+  int accepted_ = 0;
+};
+
+TEST(SchedulerSupervisionTest, PoisonEventsAreDeadLettered) {
+  PickySink picky(/*poison_col=*/113);
+  SchedulerOptions options;
+  options.supervisor.poison_limit = 100;  // tolerate poison, count it
+  QueryScheduler scheduler(options);
+  const size_t pipeline = scheduler.AddPipelineGroup("picky");
+  EventSink* in = scheduler.AddPipelineInput(pipeline, &picky);
+  GS_ASSERT_OK(scheduler.Start());
+  for (int i = 0; i < 20; ++i) {
+    // One poison batch hides mid-stream, one more arrives at the end.
+    GS_ASSERT_OK(in->Consume(OnePointBatch(0, i == 7 ? 113 : i)));
+  }
+  GS_ASSERT_OK(in->Consume(OnePointBatch(0, 113)));
+  GS_ASSERT_OK(scheduler.WaitIdle());
+  // Both poison events dropped, the pipeline kept running.
+  EXPECT_EQ(picky.accepted(), 19);
+  EXPECT_EQ(scheduler.Health(pipeline), PipelineHealth::kDegraded);
+  GS_EXPECT_OK(scheduler.PipelineError(pipeline));
+  GS_ASSERT_OK(scheduler.Stop());
+  auto stats = scheduler.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].dead_letters, 2u);
+  EXPECT_EQ(stats[0].processed, 19u);
+  EXPECT_EQ(stats[0].enqueued, 21u);
+  EXPECT_EQ(stats[0].restarts, 0u);
+}
+
+TEST(SchedulerSupervisionTest, RemovePipelineChurnReturnsToBaseline) {
+  // Satellite: 1k register/unregister cycles must not leak queues or
+  // grow the slot table — removed ids are recycled.
+  CollectingSink keeper_sink;
+  SchedulerOptions options;
+  options.workers = 2;
+  QueryScheduler scheduler(options);
+  const size_t keeper = scheduler.AddPipelineGroup("keeper");
+  EventSink* keeper_in = scheduler.AddPipelineInput(keeper, &keeper_sink);
+  GS_ASSERT_OK(scheduler.Start());
+  const size_t baseline = scheduler.num_pipelines();
+  ASSERT_EQ(baseline, 1u);
+  for (int i = 0; i < 1000; ++i) {
+    CollectingSink sink;
+    const size_t id =
+        scheduler.AddPipelineGroup("churn" + std::to_string(i));
+    EventSink* in = scheduler.AddPipelineInput(id, &sink);
+    GS_ASSERT_OK(in->Consume(OnePointBatch(0, i)));
+    GS_ASSERT_OK(keeper_in->Consume(OnePointBatch(0, i)));
+    GS_ASSERT_OK(scheduler.RemovePipeline(id));
+    // Removed ids answer NotFound, not stale data (the entry sink
+    // itself is destroyed with the pipeline).
+    EXPECT_EQ(scheduler.PipelineError(id).code(), StatusCode::kNotFound);
+  }
+  EXPECT_EQ(scheduler.num_pipelines(), baseline);
+  EXPECT_EQ(scheduler.Stats().size(), baseline);
+  GS_ASSERT_OK(scheduler.WaitIdle());
+  EXPECT_EQ(keeper_sink.TotalPoints(), 1000u);
+  GS_ASSERT_OK(scheduler.Stop());
+  // Slot table stayed bounded: ids were recycled, not appended.
+  const size_t late = scheduler.AddPipelineGroup("late");
+  EXPECT_LE(late, baseline + 1);
+}
+
+// --- Fault-injection harness ------------------------------------------------
+
+TEST(FaultInjectorTest, InjectsOnScheduleThroughScheduler) {
+  // Transient fault at event 2 (twice), poison at event 5. The
+  // pipeline retries through the former and dead-letters the latter.
+  std::vector<InjectedFault> faults;
+  faults.push_back({2, StatusCode::kUnavailable, "transient glitch", 2});
+  faults.push_back({5, StatusCode::kFailedPrecondition, "poison row", 1});
+  auto injector_op =
+      std::make_unique<FaultInjectorOp>("inject", std::move(faults));
+  FaultInjectorOp* injector = injector_op.get();
+  Pipeline pipeline;
+  pipeline.Add(std::move(injector_op));
+  CollectingSink sink;
+  GS_ASSERT_OK(pipeline.Finish(&sink));
+  SchedulerOptions options;
+  options.supervisor.poison_limit = 100;
+  QueryScheduler scheduler(options);
+  const size_t id = scheduler.AddPipelineGroup("injected");
+  EventSink* in = scheduler.AddPipelineInput(id, &pipeline);
+  scheduler.SetPipelineReset(id, [&pipeline] { pipeline.Reset(); });
+  GS_ASSERT_OK(scheduler.Start());
+  for (int i = 0; i < 10; ++i) {
+    GS_ASSERT_OK(in->Consume(OnePointBatch(0, i)));
+  }
+  GS_ASSERT_OK(scheduler.WaitIdle());
+  GS_ASSERT_OK(scheduler.Stop());
+  // Event 5 (col 5) was dead-lettered; everything else got through,
+  // including event 2 after its retries.
+  EXPECT_EQ(sink.TotalPoints(), 9u);
+  EXPECT_EQ(injector->faults_injected(), 3u);
+  EXPECT_EQ(injector->events_seen(), 10u);
+  auto stats = scheduler.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].restarts, 2u);
+  EXPECT_EQ(stats[0].dead_letters, 1u);
+  EXPECT_EQ(stats[0].processed, 9u);
+  EXPECT_EQ(stats[0].health, PipelineHealth::kDegraded);
+}
+
+TEST(FaultInjectorTest, VerifiesChecksums) {
+  FaultInjectorOp op("verify", {});
+  CollectingSink sink;
+  op.BindOutput(&sink);
+
+  auto good = std::make_shared<PointBatch>();
+  good->frame_id = 0;
+  good->band_count = 1;
+  good->Append1(0, 0, 0, 1.5);
+  good->checksum = good->ComputeChecksum();
+  GS_ASSERT_OK(op.Consume(StreamEvent::Batch(good)));
+
+  // Corrupt after checksumming: a flipped payload byte must surface
+  // as poison, not silently pass.
+  auto bad = std::make_shared<PointBatch>(*good);
+  bad->values[0] += 1.0;
+  EXPECT_EQ(op.Consume(StreamEvent::Batch(bad)).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Unchecksummed batches are never rejected (checksum 0 = unset).
+  auto unset = std::make_shared<PointBatch>();
+  unset->frame_id = 0;
+  unset->band_count = 1;
+  unset->Append1(1, 0, 0, 2.0);
+  GS_ASSERT_OK(op.Consume(StreamEvent::Batch(unset)));
+
+  EXPECT_EQ(op.checksum_failures(), 1u);
+  EXPECT_EQ(sink.TotalPoints(), 2u);
+}
+
+TEST(FaultInjectorTest, ChecksumNeverZeroAndDetectsEachField) {
+  PointBatch batch;
+  batch.frame_id = 3;
+  batch.band_count = 1;
+  batch.Append1(4, 5, 6, 7.0);
+  const uint64_t digest = batch.ComputeChecksum();
+  EXPECT_NE(digest, 0u);
+  EXPECT_TRUE(batch.ChecksumValid());  // unset checksum: always valid
+  batch.checksum = digest;
+  EXPECT_TRUE(batch.ChecksumValid());
+
+  PointBatch tweaked = batch;
+  tweaked.cols[0] = 40;
+  EXPECT_NE(tweaked.ComputeChecksum(), digest);
+  tweaked = batch;
+  tweaked.timestamps[0] = 60;
+  EXPECT_NE(tweaked.ComputeChecksum(), digest);
+  tweaked = batch;
+  tweaked.values[0] = 7.5;
+  EXPECT_NE(tweaked.ComputeChecksum(), digest);
+  EXPECT_FALSE(tweaked.ChecksumValid());
+}
+
+}  // namespace
+}  // namespace geostreams
