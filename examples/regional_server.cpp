@@ -7,19 +7,30 @@
 // queue, like a receiving station would operate.
 //
 //   ./regional_server [num_clients] [num_scans] [--workers=N]
+//                     [--port=P] [--delay-ms=D]
 //
 // With --workers=N the server runs its query worker pool: every
 // client query becomes one scheduler pipeline and N threads execute
 // them in parallel (N=0, the default, keeps execution synchronous on
 // the ingest thread).
+//
+// With --port=P the example turns into a real TCP server: instead of
+// simulating clients in-process it listens on 127.0.0.1:P (P=0 picks
+// an ephemeral port and prints it), streams num_scans scans with
+// --delay-ms between them so remote clients (`nc 127.0.0.1 P`) can
+// register queries and watch frames arrive, then exits — it never
+// runs forever, so scripted runs cannot hang.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/math_util.h"
+#include "net/net_server.h"
 #include "server/dsms_server.h"
 #include "server/scan_schedule.h"
 #include "server/stream_generator.h"
@@ -40,11 +51,19 @@ int main(int argc, char** argv) {
   int num_clients = 40;
   int num_scans = 6;
   size_t workers = 0;
+  bool serve = false;
+  uint16_t port = 0;
+  int delay_ms = 150;
   int positional = 0;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--workers=", 10) == 0) {
       const int parsed = std::atoi(argv[a] + 10);
       workers = parsed > 0 ? static_cast<size_t>(parsed) : 0;
+    } else if (std::strncmp(argv[a], "--port=", 7) == 0) {
+      serve = true;
+      port = static_cast<uint16_t>(std::atoi(argv[a] + 7));
+    } else if (std::strncmp(argv[a], "--delay-ms=", 11) == 0) {
+      delay_ms = std::atoi(argv[a] + 11);
     } else if (positional == 0) {
       num_clients = std::atoi(argv[a]);
       ++positional;
@@ -74,6 +93,34 @@ int main(int argc, char** argv) {
   if (!desc.ok()) return Fail(desc.status(), "descriptor");
   if (Status st = server.RegisterStream(*desc); !st.ok()) {
     return Fail(st, "register stream");
+  }
+
+  if (serve) {
+    // Real TCP mode: remote clients register their own queries over
+    // the control plane while this thread plays instrument.
+    NetServerOptions net_options;
+    net_options.port = port;
+    NetServer net(&server, net_options);
+    if (Status st = net.Start(); !st.ok()) return Fail(st, "net start");
+    std::printf("listening on 127.0.0.1:%u (%d scans, %d ms apart)\n",
+                net.port(), num_scans, delay_ms);
+    std::printf("  try:  nc 127.0.0.1 %u\n", net.port());
+    std::printf(
+        "        QUERY region(goes.band1, bbox(-105, 35, -100, 40))\n");
+    for (int scan = 0; scan < num_scans; ++scan) {
+      if (Status st =
+              generator.GenerateScans(scan, 1, {server.ingest("goes.band1")});
+          !st.ok()) {
+        return Fail(st, "generate");
+      }
+      if (Status st = server.Flush(); !st.ok()) return Fail(st, "flush");
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    if (Status st = server.EndAllStreams(); !st.ok()) return Fail(st, "end");
+    net.Stop();
+    std::printf("served %d scans to %zu connected clients; exiting\n",
+                num_scans, net.num_sessions());
+    return 0;
   }
 
   // Each "client" subscribes to a random city-to-state-sized window

@@ -1,0 +1,111 @@
+#include "net/command_dispatch.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "server/dsms_server.h"
+
+namespace geostreams {
+
+namespace {
+
+std::string ErrResponse(const Status& status) {
+  return StringPrintf("ERR %s %s", StatusCodeName(status.code()),
+                      status.message().c_str());
+}
+
+/// Parses the one-integer argument commands share. `rest` must be a
+/// bare decimal id with nothing trailing.
+Result<QueryId> ParseQueryId(std::string_view rest) {
+  const std::string token(StripWhitespace(rest));
+  if (token.empty()) {
+    return Status::InvalidArgument("missing query id");
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || value < 0) {
+    return Status::InvalidArgument("not a query id: " + token);
+  }
+  return static_cast<QueryId>(value);
+}
+
+std::string HandleHealth(DsmsServer* server) {
+  const std::vector<QueryId> ids = server->QueryIds();
+  std::string out = StringPrintf("OK HEALTH n=%zu", ids.size());
+  for (QueryId id : ids) {
+    Result<PipelineHealth> health = server->QueryHealth(id);
+    out += StringPrintf(
+        " %lld=%s", static_cast<long long>(id),
+        health.ok() ? PipelineHealthName(*health) : "UNKNOWN");
+  }
+  return out;
+}
+
+std::string HandleDlq(DsmsServer* server, std::string_view rest) {
+  Result<QueryId> id = ParseQueryId(rest);
+  if (!id.ok()) return ErrResponse(id.status());
+  Result<std::vector<DeadLetter>> letters = server->DeadLetters(*id);
+  if (!letters.ok()) return ErrResponse(letters.status());
+  // `total` counts ever dead-lettered (ordinals keep climbing after
+  // ring eviction); `kept` is how many lines follow.
+  const uint64_t total =
+      letters->empty() ? 0 : letters->back().ordinal + 1;
+  std::string out =
+      StringPrintf("OK DLQ %lld total=%llu kept=%zu",
+                   static_cast<long long>(*id),
+                   static_cast<unsigned long long>(total), letters->size());
+  for (const DeadLetter& letter : *letters) {
+    out += StringPrintf("\nDL %llu %s",
+                        static_cast<unsigned long long>(letter.ordinal),
+                        letter.error.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
+                           const std::string& line) {
+  const std::string_view stripped = StripWhitespace(line);
+  if (stripped.empty()) {
+    return ErrResponse(Status::InvalidArgument("empty command"));
+  }
+  const size_t space = stripped.find(' ');
+  const std::string verb =
+      ToLower(stripped.substr(0, space));
+  const std::string_view rest =
+      space == std::string_view::npos ? std::string_view{}
+                                      : stripped.substr(space + 1);
+
+  if (verb == "ping") return "OK PONG";
+  if (verb == "query") {
+    const std::string text(StripWhitespace(rest));
+    if (text.empty()) {
+      return ErrResponse(Status::InvalidArgument("QUERY needs query text"));
+    }
+    Result<QueryId> id = hooks->RegisterClientQuery(text);
+    if (!id.ok()) return ErrResponse(id.status());
+    return StringPrintf("OK QUERY %lld", static_cast<long long>(*id));
+  }
+  if (verb == "unregister") {
+    Result<QueryId> id = ParseQueryId(rest);
+    if (!id.ok()) return ErrResponse(id.status());
+    Status st = hooks->UnregisterClientQuery(*id);
+    if (!st.ok()) return ErrResponse(st);
+    return StringPrintf("OK UNREGISTER %lld", static_cast<long long>(*id));
+  }
+  if (verb == "health") return HandleHealth(server);
+  if (verb == "stats") return "OK STATS " + hooks->SessionStatsLine();
+  if (verb == "restart") {
+    Result<QueryId> id = ParseQueryId(rest);
+    if (!id.ok()) return ErrResponse(id.status());
+    Status st = server->RestartQuery(*id);
+    if (!st.ok()) return ErrResponse(st);
+    return StringPrintf("OK RESTART %lld", static_cast<long long>(*id));
+  }
+  if (verb == "dlq") return HandleDlq(server, rest);
+  return ErrResponse(
+      Status::InvalidArgument("unknown command: " + verb));
+}
+
+}  // namespace geostreams

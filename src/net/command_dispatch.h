@@ -1,0 +1,57 @@
+// Text control plane: one command line in, one response out.
+//
+//   QUERY <text>       register a continuous query; its result frames
+//                      start streaming to this connection
+//                      -> "OK QUERY <id>"
+//   UNREGISTER <id>    stop and remove this connection's query
+//                      -> "OK UNREGISTER <id>"
+//   HEALTH             supervision health of every registered query
+//                      -> "OK HEALTH n=<N> <id>=<STATE>..."
+//   STATS              this connection's delivery stats (shedding!)
+//                      -> "OK STATS enqueued=... dropped=... keep=..."
+//   RESTART <id>       un-quarantine a failed query in place
+//                      -> "OK RESTART <id>"
+//   DLQ <id>           the query's retained dead-lettered events
+//                      -> "OK DLQ <id> total=<t> kept=<k>" followed by
+//                         k lines "DL <ordinal> <error>"
+//   PING               liveness -> "OK PONG"
+//
+// Failures respond "ERR <CodeName> <message>". Dispatch is a free
+// function over two narrow interfaces — the engine (DsmsServer) and
+// the per-connection hooks — so the whole command surface unit-tests
+// without a socket in sight.
+
+#ifndef GEOSTREAMS_NET_COMMAND_DISPATCH_H_
+#define GEOSTREAMS_NET_COMMAND_DISPATCH_H_
+
+#include <string>
+
+#include "mqo/region_index.h"
+#include "common/status.h"
+
+namespace geostreams {
+
+class DsmsServer;
+
+/// What a command needs from the connection it arrived on. The
+/// NetServer session implements this; tests use fakes.
+class SessionHooks {
+ public:
+  virtual ~SessionHooks() = default;
+  /// Registers `text` as a continuous query whose frames stream back
+  /// over this connection.
+  virtual Result<QueryId> RegisterClientQuery(const std::string& text) = 0;
+  /// Detaches and unregisters a query this connection registered.
+  virtual Status UnregisterClientQuery(QueryId id) = 0;
+  /// The connection's delivery statistics (ClientSession::StatsLine).
+  virtual std::string SessionStatsLine() = 0;
+};
+
+/// Executes one control line and returns the complete response —
+/// possibly multi-line ('\n'-separated, no trailing newline).
+std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
+                           const std::string& line);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_NET_COMMAND_DISPATCH_H_

@@ -1,0 +1,104 @@
+#include "net/geostreams_client.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "net/socket_util.h"
+
+namespace geostreams {
+
+GeoStreamsClient::~GeoStreamsClient() { Close(); }
+
+Status GeoStreamsClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  GEOSTREAMS_ASSIGN_OR_RETURN(fd_, ConnectTcp(host, port));
+  return Status::OK();
+}
+
+void GeoStreamsClient::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+Status GeoStreamsClient::Send(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string wire = line;
+  wire.push_back('\n');
+  return WriteAll(fd_, reinterpret_cast<const uint8_t*>(wire.data()),
+                  wire.size());
+}
+
+Result<FrameDecoder::Unit> GeoStreamsClient::ReadUnit(int timeout_ms,
+                                                      bool* eof) {
+  *eof = false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    GEOSTREAMS_ASSIGN_OR_RETURN(std::optional<FrameDecoder::Unit> unit,
+                                decoder_.Next());
+    if (unit) return std::move(*unit);
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status::Unavailable("timed out waiting for server data");
+    }
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    GEOSTREAMS_ASSIGN_OR_RETURN(bool readable,
+                                PollReadable(fd_, std::max(wait_ms, 1)));
+    if (!readable) continue;
+    uint8_t buf[8192];
+    GEOSTREAMS_ASSIGN_OR_RETURN(size_t n, ReadSome(fd_, buf, sizeof(buf)));
+    if (n == 0) {
+      *eof = true;
+      return FrameDecoder::Unit{};
+    }
+    decoder_.Feed(buf, n);
+  }
+}
+
+Result<GeoStreamsClient::Incoming> GeoStreamsClient::ReadNext(
+    int timeout_ms) {
+  Incoming incoming;
+  if (!parked_frames_.empty()) {
+    incoming.frame = std::move(parked_frames_.front());
+    parked_frames_.pop_front();
+    return incoming;
+  }
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  bool eof = false;
+  GEOSTREAMS_ASSIGN_OR_RETURN(FrameDecoder::Unit unit,
+                              ReadUnit(timeout_ms, &eof));
+  incoming.eof = eof;
+  incoming.line = std::move(unit.line);
+  incoming.frame = std::move(unit.frame);
+  return incoming;
+}
+
+Result<std::string> GeoStreamsClient::Command(const std::string& line,
+                                              int timeout_ms) {
+  GEOSTREAMS_RETURN_IF_ERROR(Send(line));
+  for (;;) {
+    bool eof = false;
+    GEOSTREAMS_ASSIGN_OR_RETURN(FrameDecoder::Unit unit,
+                                ReadUnit(timeout_ms, &eof));
+    if (eof) {
+      return Status::Unavailable("connection closed awaiting response");
+    }
+    if (unit.line) return std::move(*unit.line);
+    if (unit.frame) parked_frames_.push_back(std::move(*unit.frame));
+  }
+}
+
+Result<FrameMessage> GeoStreamsClient::ReadFrame(int timeout_ms) {
+  for (;;) {
+    GEOSTREAMS_ASSIGN_OR_RETURN(Incoming incoming, ReadNext(timeout_ms));
+    if (incoming.frame) return std::move(*incoming.frame);
+    if (incoming.eof) {
+      return Status::Unavailable("connection closed awaiting frame");
+    }
+    // A stray text line (e.g. a late response) is skipped.
+  }
+}
+
+}  // namespace geostreams

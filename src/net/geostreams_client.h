@@ -1,0 +1,65 @@
+// Minimal synchronous client for the network protocol — the test
+// harness's and example tooling's view of a NetServer. One thread,
+// one socket: Send() writes command lines, ReadNext() demultiplexes
+// whatever arrives (text response or binary result frame) via
+// FrameDecoder, and Command() pairs the two while parking any frames
+// that stream in between.
+
+#ifndef GEOSTREAMS_NET_GEOSTREAMS_CLIENT_H_
+#define GEOSTREAMS_NET_GEOSTREAMS_CLIENT_H_
+
+#include <deque>
+#include <string>
+
+#include "net/wire_protocol.h"
+
+namespace geostreams {
+
+class GeoStreamsClient {
+ public:
+  GeoStreamsClient() = default;
+  ~GeoStreamsClient();
+
+  GeoStreamsClient(const GeoStreamsClient&) = delete;
+  GeoStreamsClient& operator=(const GeoStreamsClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes one command line (newline appended).
+  Status Send(const std::string& line);
+
+  /// Next unit from the connection, in arrival order. Frames parked
+  /// by Command() are returned first. `line` empty + `frame` empty
+  /// means EOF. Unavailable on timeout.
+  struct Incoming {
+    std::optional<std::string> line;
+    std::optional<FrameMessage> frame;
+    bool eof = false;
+  };
+  Result<Incoming> ReadNext(int timeout_ms = 5000);
+
+  /// Sends `line` and returns the first response line, parking result
+  /// frames that arrive in between (drain them with TakeFrame).
+  Result<std::string> Command(const std::string& line,
+                              int timeout_ms = 5000);
+
+  /// Reads until a frame arrives (parked or fresh).
+  Result<FrameMessage> ReadFrame(int timeout_ms = 5000);
+
+  size_t pending_frames() const { return parked_frames_.size(); }
+
+ private:
+  /// Blocks for one decoded unit straight off the wire (ignores the
+  /// parked queue).
+  Result<FrameDecoder::Unit> ReadUnit(int timeout_ms, bool* eof);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::deque<FrameMessage> parked_frames_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_NET_GEOSTREAMS_CLIENT_H_

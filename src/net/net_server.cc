@@ -1,0 +1,242 @@
+#include "net/net_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "net/socket_util.h"
+#include "net/wire_protocol.h"
+#include "server/dsms_server.h"
+
+namespace geostreams {
+
+/// One connected client: the reader thread (command lines in), the
+/// ClientSession (responses and frames out), and the queries this
+/// connection registered. Implements the dispatch hooks.
+class NetServer::Connection : public SessionHooks {
+ public:
+  Connection(NetServer* server, int fd, uint64_t id)
+      : server_(server),
+        session_(std::make_shared<ClientSession>(fd, id,
+                                                 server->options_.session)) {}
+
+  ~Connection() override { Shutdown(); }
+
+  void Start() {
+    reader_ = std::thread([this] { ReaderLoop(); });
+  }
+
+  /// Wakes the reader (socket shutdown) and joins it. The reader
+  /// unregisters this connection's queries on the way out.
+  void Shutdown() {
+    session_->Close();
+    if (reader_.joinable()) reader_.join();
+  }
+
+  bool done() const { return done_.load(); }
+  const std::shared_ptr<ClientSession>& session() const { return session_; }
+
+  Result<QueryId> RegisterClientQuery(const std::string& text) override {
+    // Subscribe-then-register: the delivery callback sees this
+    // session from its very first frame.
+    auto sub = std::make_shared<Subscription>();
+    sub->sessions.push_back(session_);
+    DsmsServer* dsms = server_->dsms_;
+    auto callback = [sub](int64_t frame_id, const Raster& raster,
+                          const std::vector<uint8_t>& png) {
+      // Encode once; every subscriber shares the buffer. Enqueue is
+      // non-blocking by construction — a slow or closed session sheds
+      // and its status is ignored here (visible in its STATS).
+      auto buffer = std::make_shared<const std::vector<uint8_t>>(
+          EncodeResultFrame(sub->query_id.load(), frame_id, raster, png));
+      std::lock_guard<std::mutex> lock(sub->mu);
+      for (const auto& session : sub->sessions) {
+        Status ignored = session->EnqueueFrame(buffer);
+        (void)ignored;
+      }
+    };
+    Result<QueryId> id = dsms->RegisterQuery(text, std::move(callback));
+    if (!id.ok()) return id;
+    sub->query_id.store(*id);
+    {
+      std::lock_guard<std::mutex> lock(server_->net_mu_);
+      server_->subscriptions_.emplace(*id, std::move(sub));
+    }
+    owned_.push_back(*id);
+    return id;
+  }
+
+  Status UnregisterClientQuery(QueryId id) override {
+    auto it = std::find(owned_.begin(), owned_.end(), id);
+    if (it == owned_.end()) {
+      return Status::NotFound(StringPrintf(
+          "query %lld was not registered by this connection",
+          static_cast<long long>(id)));
+    }
+    GEOSTREAMS_RETURN_IF_ERROR(server_->DropQuery(id));
+    owned_.erase(it);
+    return Status::OK();
+  }
+
+  std::string SessionStatsLine() override { return session_->StatsLine(); }
+
+ private:
+  void ReaderLoop() {
+    const int fd = session_->fd();
+    std::string pending;
+    uint8_t buf[4096];
+    while (!server_->stopping_.load() && !session_->closed()) {
+      Result<bool> readable =
+          PollReadable(fd, server_->options_.poll_interval_ms);
+      if (!readable.ok()) break;
+      if (!*readable) continue;
+      Result<size_t> n = ReadSome(fd, buf, sizeof(buf));
+      if (!n.ok() || *n == 0) break;  // error or orderly EOF
+      pending.append(reinterpret_cast<const char*>(buf), *n);
+      size_t eol;
+      while ((eol = pending.find('\n')) != std::string::npos) {
+        std::string line = pending.substr(0, eol);
+        pending.erase(0, eol + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        const std::string response =
+            ExecuteCommand(server_->dsms_, this, line);
+        if (!session_->EnqueueControl(response).ok()) break;
+      }
+    }
+    // The client is gone (or the server is stopping): its queries go
+    // with it — continuous delivery to nobody is pure waste.
+    session_->Close();
+    for (QueryId id : owned_) {
+      Status st = server_->DropQuery(id);
+      if (!st.ok()) {
+        GEOSTREAMS_LOG(kWarning)
+            << "session " << session_->id() << ": dropping query " << id
+            << " on disconnect failed: " << st.ToString();
+      }
+    }
+    owned_.clear();
+    done_.store(true);
+  }
+
+  NetServer* server_;
+  std::shared_ptr<ClientSession> session_;
+  /// Queries registered over this connection. Reader-thread-only.
+  std::vector<QueryId> owned_;
+  std::thread reader_;
+  std::atomic<bool> done_{false};
+};
+
+NetServer::NetServer(DsmsServer* dsms, NetServerOptions options)
+    : dsms_(dsms), options_(options) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  GEOSTREAMS_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.port));
+  GEOSTREAMS_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
+  started_ = true;
+  stopping_.store(false);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  GEOSTREAMS_LOG(kInfo) << "network server listening on 127.0.0.1:"
+                        << port_;
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  // Connections shut down one at a time outside net_mu_ (their reader
+  // threads call DropQuery, which takes it).
+  for (;;) {
+    std::unique_ptr<Connection> victim;
+    {
+      std::lock_guard<std::mutex> lock(net_mu_);
+      if (connections_.empty()) break;
+      victim = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    victim->Shutdown();
+  }
+  started_ = false;
+}
+
+size_t NetServer::num_sessions() const {
+  std::lock_guard<std::mutex> lock(net_mu_);
+  size_t live = 0;
+  for (const auto& connection : connections_) {
+    if (!connection->done()) ++live;
+  }
+  return live;
+}
+
+Status NetServer::DropQuery(QueryId id) {
+  std::shared_ptr<Subscription> sub;
+  {
+    std::lock_guard<std::mutex> lock(net_mu_);
+    auto it = subscriptions_.find(id);
+    if (it != subscriptions_.end()) {
+      sub = std::move(it->second);
+      subscriptions_.erase(it);
+    }
+  }
+  if (sub) {
+    // Detach the fan-out before unregistering: a callback already
+    // in flight holds its own shared_ptr and finishes harmlessly
+    // against the emptied list.
+    std::lock_guard<std::mutex> lock(sub->mu);
+    sub->sessions.clear();
+  }
+  return dsms_->UnregisterQuery(id);
+}
+
+void NetServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    Result<bool> readable =
+        PollReadable(listen_fd_, options_.poll_interval_ms);
+    if (!readable.ok()) {
+      GEOSTREAMS_LOG(kError) << "accept poll failed: "
+                             << readable.status().ToString();
+      return;
+    }
+    // Reap finished connections (their readers already unregistered
+    // their queries) so long-lived servers do not accumulate stubs.
+    // `finished` outlives the lock scope: destruction joins the
+    // reader thread, which must not happen under net_mu_.
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+      std::lock_guard<std::mutex> lock(net_mu_);
+      for (auto& connection : connections_) {
+        if (connection->done()) finished.push_back(std::move(connection));
+      }
+      connections_.erase(
+          std::remove(connections_.begin(), connections_.end(), nullptr),
+          connections_.end());
+    }
+    finished.clear();
+    if (!*readable) continue;
+    Result<int> client = AcceptClient(listen_fd_);
+    if (!client.ok()) {
+      if (stopping_.load()) return;
+      GEOSTREAMS_LOG(kWarning) << "accept failed: "
+                               << client.status().ToString();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(net_mu_);
+    if (connections_.size() >= options_.max_clients) {
+      GEOSTREAMS_LOG(kWarning) << "rejecting client: at max_clients="
+                               << options_.max_clients;
+      CloseFd(*client);
+      continue;
+    }
+    auto connection =
+        std::make_unique<Connection>(this, *client, next_session_id_++);
+    connection->Start();
+    connections_.push_back(std::move(connection));
+  }
+}
+
+}  // namespace geostreams

@@ -1,0 +1,109 @@
+// TCP front door for a DsmsServer: the control plane of
+// command_dispatch.h plus streaming result delivery over the same
+// connection, one ClientSession (bounded queue + writer thread) per
+// client.
+//
+// Threading model, per connection:
+//   reader thread (owned here)  — reads command lines, dispatches,
+//                                 queues responses;
+//   writer thread (ClientSession) — drains the outbound queue;
+//   delivery callbacks          — run on the engine's scheduler
+//                                 workers (or the ingest thread when
+//                                 the engine is synchronous), encode
+//                                 each frame ONCE, and fan the shared
+//                                 buffer out to every subscribed
+//                                 session with a non-blocking
+//                                 enqueue. A slow client sheds frames
+//                                 (its problem); it never stalls a
+//                                 worker (everyone's problem).
+//
+// The subscriber list is in place before the query registers with the
+// engine, so no frame can slip out unobserved between registration
+// and subscription.
+
+#ifndef GEOSTREAMS_NET_NET_SERVER_H_
+#define GEOSTREAMS_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/client_session.h"
+#include "net/command_dispatch.h"
+
+namespace geostreams {
+
+struct NetServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+  /// Outbound queue / shedding policy applied to every session.
+  ClientSessionOptions session;
+  /// Connections beyond this are accepted and immediately closed.
+  size_t max_clients = 64;
+  /// Poll granularity of the accept/reader loops (bounds Stop latency).
+  int poll_interval_ms = 50;
+};
+
+class NetServer {
+ public:
+  /// `dsms` is not owned and must outlive this object.
+  NetServer(DsmsServer* dsms, NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop.
+  Status Start();
+  /// Disconnects every client (unregistering their queries) and joins
+  /// all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (the ephemeral choice when options.port was 0).
+  uint16_t port() const { return port_; }
+  /// Currently connected clients.
+  size_t num_sessions() const;
+
+ private:
+  /// One query's fan-out target set. The delivery callback holds a
+  /// shared_ptr to this (never to the NetServer), so an in-flight
+  /// callback stays safe across disconnects and even server teardown.
+  struct Subscription {
+    std::mutex mu;
+    std::vector<std::shared_ptr<ClientSession>> sessions;
+    /// Set right after RegisterQuery returns; frames racing that
+    /// window would carry -1 (cannot happen for queries registered
+    /// before their source streams, the protocol's normal order).
+    std::atomic<int64_t> query_id{-1};
+  };
+
+  class Connection;
+
+  void AcceptLoop();
+  /// Removes the subscription and unregisters the query with the
+  /// engine. Never called with net_mu_ or a Subscription::mu held:
+  /// unregistration waits out in-flight delivery callbacks, which
+  /// take Subscription::mu themselves.
+  Status DropQuery(QueryId id);
+
+  DsmsServer* dsms_;
+  NetServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread acceptor_;
+  uint64_t next_session_id_ = 1;
+
+  mutable std::mutex net_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<QueryId, std::shared_ptr<Subscription>> subscriptions_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_NET_NET_SERVER_H_

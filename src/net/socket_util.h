@@ -1,0 +1,54 @@
+// Thin POSIX socket helpers for the network boundary. Standard
+// Berkeley sockets only — the subsystem stays dependency-free, and
+// everything returns Status instead of errno so callers compose with
+// the rest of the library.
+
+#ifndef GEOSTREAMS_NET_SOCKET_UTIL_H_
+#define GEOSTREAMS_NET_SOCKET_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace geostreams {
+
+/// Opens a TCP listener on 127.0.0.1:`port` (port 0 = kernel-chosen
+/// ephemeral port — tests run in parallel without colliding). Returns
+/// the listening fd.
+Result<int> ListenTcp(uint16_t port, int backlog = 16);
+
+/// The locally bound port of a socket (resolves ephemeral binds).
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocks up to `timeout_ms` for `fd` to become readable. Returns
+/// true when readable, false on timeout. Interrupted polls retry.
+Result<bool> PollReadable(int fd, int timeout_ms);
+
+/// Accepts one pending connection (call after PollReadable says so).
+Result<int> AcceptClient(int listen_fd);
+
+/// Connects to `host`:`port` (numeric IPv4 host, e.g. "127.0.0.1").
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Writes the whole buffer, resuming across partial writes and EINTR.
+/// SIGPIPE is suppressed (MSG_NOSIGNAL); a closed peer surfaces as an
+/// Unavailable status instead of killing the process.
+Status WriteAll(int fd, const uint8_t* data, size_t len);
+
+/// Reads up to `len` bytes; 0 means orderly EOF. EINTR retries.
+Result<size_t> ReadSome(int fd, uint8_t* buf, size_t len);
+
+/// Caps the socket's kernel send buffer (SO_SNDBUF). Best effort.
+void SetSendBuffer(int fd, int bytes);
+
+/// Half-closes the write side (peer sees EOF) without racing reads.
+void ShutdownFd(int fd);
+
+/// Closes the descriptor (no-op for fd < 0).
+void CloseFd(int fd);
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_NET_SOCKET_UTIL_H_

@@ -1,0 +1,236 @@
+#include "net/wire_protocol.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+#include "raster/checksum.h"
+
+namespace geostreams {
+
+namespace {
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xFF));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrameMessage(const FrameMessage& message) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kFramePreambleSize +
+                  (message.png ? message.png_bytes.size()
+                               : message.samples.size() * sizeof(double)));
+  PutU64(payload, static_cast<uint64_t>(message.query_id));
+  PutU64(payload, static_cast<uint64_t>(message.frame_id));
+  PutU32(payload, message.width);
+  PutU32(payload, message.height);
+  PutU16(payload, message.bands);
+  PutU16(payload, 0);  // reserved
+  if (message.png) {
+    payload.insert(payload.end(), message.png_bytes.begin(),
+                   message.png_bytes.end());
+  } else {
+    for (double sample : message.samples) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &sample, sizeof(bits));
+      PutU64(payload, bits);
+    }
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderSize + payload.size());
+  out.insert(out.end(), kWireMagic, kWireMagic + 4);
+  out.push_back(static_cast<uint8_t>(MessageType::kResultFrame));
+  out.push_back(message.png ? kFlagPng : 0);
+  PutU16(out, kWireVersion);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<uint8_t> EncodeResultFrame(int64_t query_id, int64_t frame_id,
+                                       const Raster& raster,
+                                       const std::vector<uint8_t>& png) {
+  FrameMessage message;
+  message.query_id = query_id;
+  message.frame_id = frame_id;
+  message.width = static_cast<uint32_t>(raster.width());
+  message.height = static_cast<uint32_t>(raster.height());
+  message.bands = static_cast<uint16_t>(raster.bands());
+  if (!png.empty()) {
+    message.png = true;
+    message.png_bytes = png;
+  } else {
+    message.samples = raster.data();
+  }
+  return EncodeFrameMessage(message);
+}
+
+Result<FrameMessage> DecodeFrameMessage(const uint8_t* data, size_t len) {
+  if (len < kWireHeaderSize) {
+    return Status::InvalidArgument(StringPrintf(
+        "wire message truncated: %zu bytes, header needs %zu", len,
+        kWireHeaderSize));
+  }
+  if (std::memcmp(data, kWireMagic, 4) != 0) {
+    return Status::InvalidArgument("wire message lacks GSF1 magic");
+  }
+  const uint8_t type = data[4];
+  const uint8_t flags = data[5];
+  const uint16_t version = GetU16(data + 6);
+  const uint32_t payload_len = GetU32(data + 8);
+  const uint32_t payload_crc = GetU32(data + 12);
+  if (type != static_cast<uint8_t>(MessageType::kResultFrame)) {
+    return Status::InvalidArgument(
+        StringPrintf("unknown wire message type %u", type));
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(StringPrintf(
+        "wire version %u not supported (speak %u)", version, kWireVersion));
+  }
+  if (payload_len > kMaxWirePayload) {
+    return Status::InvalidArgument(StringPrintf(
+        "wire payload length %u exceeds limit %u (desynchronized?)",
+        payload_len, kMaxWirePayload));
+  }
+  if (len != kWireHeaderSize + payload_len) {
+    return Status::InvalidArgument(StringPrintf(
+        "wire payload truncated: header promises %u bytes, %zu present",
+        payload_len, len - kWireHeaderSize));
+  }
+  const uint8_t* payload = data + kWireHeaderSize;
+  const uint32_t crc = Crc32(payload, payload_len);
+  if (crc != payload_crc) {
+    return Status::InvalidArgument(StringPrintf(
+        "wire payload checksum mismatch: header %08x, computed %08x",
+        payload_crc, crc));
+  }
+  if (payload_len < kFramePreambleSize) {
+    return Status::InvalidArgument(StringPrintf(
+        "frame payload too short for preamble: %u bytes", payload_len));
+  }
+
+  FrameMessage message;
+  message.query_id = static_cast<int64_t>(GetU64(payload));
+  message.frame_id = static_cast<int64_t>(GetU64(payload + 8));
+  message.width = GetU32(payload + 16);
+  message.height = GetU32(payload + 20);
+  message.bands = GetU16(payload + 24);
+  message.png = (flags & kFlagPng) != 0;
+  const uint8_t* body = payload + kFramePreambleSize;
+  const size_t body_len = payload_len - kFramePreambleSize;
+  if (message.png) {
+    message.png_bytes.assign(body, body + body_len);
+    return message;
+  }
+  const uint64_t expected =
+      static_cast<uint64_t>(message.width) * message.height * message.bands;
+  if (body_len != expected * sizeof(double)) {
+    return Status::InvalidArgument(StringPrintf(
+        "frame body holds %zu bytes, %llu samples of %ux%ux%u need %llu",
+        body_len, static_cast<unsigned long long>(expected), message.width,
+        message.height, message.bands,
+        static_cast<unsigned long long>(expected * sizeof(double))));
+  }
+  message.samples.resize(expected);
+  for (uint64_t i = 0; i < expected; ++i) {
+    const uint64_t bits = GetU64(body + i * sizeof(double));
+    std::memcpy(&message.samples[i], &bits, sizeof(double));
+  }
+  return message;
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t len) {
+  buffer_.insert(buffer_.end(), data, data + len);
+}
+
+void FrameDecoder::Compact() {
+  if (consumed_ == 0) return;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+  consumed_ = 0;
+}
+
+Result<std::optional<FrameDecoder::Unit>> FrameDecoder::Next() {
+  if (!poisoned_.ok()) return poisoned_;
+  const uint8_t* data = buffer_.data() + consumed_;
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail == 0) {
+    Compact();
+    return std::optional<Unit>{};
+  }
+  if (data[0] == static_cast<uint8_t>(kWireMagic[0])) {
+    // Binary message. Wait for the header, validate its length field,
+    // then wait for the payload.
+    if (avail < kWireHeaderSize) return std::optional<Unit>{};
+    if (std::memcmp(data, kWireMagic, 4) != 0) {
+      poisoned_ = Status::InvalidArgument(
+          "stream desynchronized: 'G' not followed by GSF1 magic");
+      return poisoned_;
+    }
+    const uint32_t payload_len = GetU32(data + 8);
+    if (payload_len > kMaxWirePayload) {
+      poisoned_ = Status::InvalidArgument(StringPrintf(
+          "wire payload length %u exceeds limit %u (desynchronized?)",
+          payload_len, kMaxWirePayload));
+      return poisoned_;
+    }
+    const size_t total = kWireHeaderSize + payload_len;
+    if (avail < total) return std::optional<Unit>{};
+    Result<FrameMessage> decoded = DecodeFrameMessage(data, total);
+    if (!decoded.ok()) {
+      poisoned_ = decoded.status();
+      return poisoned_;
+    }
+    consumed_ += total;
+    Compact();
+    Unit unit;
+    unit.frame = std::move(decoded).value();
+    return std::optional<Unit>(std::move(unit));
+  }
+  // Text line.
+  for (size_t i = 0; i < avail; ++i) {
+    if (data[i] == '\n') {
+      size_t end = i;
+      while (end > 0 && data[end - 1] == '\r') --end;
+      Unit unit;
+      unit.line = std::string(reinterpret_cast<const char*>(data), end);
+      consumed_ += i + 1;
+      Compact();
+      return std::optional<Unit>(std::move(unit));
+    }
+  }
+  return std::optional<Unit>{};
+}
+
+}  // namespace geostreams

@@ -1,0 +1,118 @@
+// Wire framing for streaming result delivery.
+//
+// The network boundary speaks two planes over one TCP connection:
+// a line-based text control plane (commands and their "OK ..."/"ERR
+// ..." responses) and a binary data plane carrying query result
+// frames. Binary messages are self-delimiting and integrity-checked:
+//
+//   header (16 bytes)
+//     0   magic        "GSF1"
+//     4   type         u8   (MessageType)
+//     5   flags        u8   (kFlagPng: payload is PNG, not doubles)
+//     6   version      u16  LE (kWireVersion)
+//     8   payload_len  u32  LE
+//     12  payload_crc  u32  LE (CRC-32 of the payload bytes)
+//
+//   result-frame payload (preamble, 28 bytes)
+//     0   query_id     i64  LE
+//     8   frame_id     i64  LE
+//     16  width        u32  LE
+//     20  height       u32  LE
+//     24  bands        u16  LE
+//     26  reserved     u16
+//   followed by width*height*bands doubles (LE bit patterns), or by
+//   PNG bytes when kFlagPng is set.
+//
+// The two planes demultiplex on the first byte: no text response
+// begins with 'G' (responses start "OK "/"ERR "/"DL "), so a leading
+// 'G' always opens a binary header. Decoding is strict — truncated,
+// magic-less, oversized, or checksum-failing input yields
+// InvalidArgument, never a crash or a silent partial frame.
+
+#ifndef GEOSTREAMS_NET_WIRE_PROTOCOL_H_
+#define GEOSTREAMS_NET_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "raster/raster.h"
+
+namespace geostreams {
+
+inline constexpr char kWireMagic[4] = {'G', 'S', 'F', '1'};
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kWireHeaderSize = 16;
+inline constexpr size_t kFramePreambleSize = 28;
+/// Upper bound on one payload; larger lengths are treated as garbage
+/// (a desynchronized or hostile peer must not drive allocation).
+inline constexpr uint32_t kMaxWirePayload = 256u << 20;
+
+enum class MessageType : uint8_t {
+  kResultFrame = 1,
+};
+
+inline constexpr uint8_t kFlagPng = 0x1;
+
+/// One decoded result frame.
+struct FrameMessage {
+  int64_t query_id = 0;
+  int64_t frame_id = 0;
+  uint32_t width = 0;
+  uint32_t height = 0;
+  uint16_t bands = 1;
+  bool png = false;
+  /// Raw samples, band-interleaved, width*height*bands (when !png).
+  std::vector<double> samples;
+  /// PNG bytes (when png).
+  std::vector<uint8_t> png_bytes;
+};
+
+/// Encodes a complete message (header + payload) ready for the wire.
+std::vector<uint8_t> EncodeFrameMessage(const FrameMessage& message);
+
+/// Convenience: builds the message for one delivered frame. When
+/// `png` is non-empty it is shipped as-is (kFlagPng); otherwise the
+/// raster's raw samples are.
+std::vector<uint8_t> EncodeResultFrame(int64_t query_id, int64_t frame_id,
+                                       const Raster& raster,
+                                       const std::vector<uint8_t>& png);
+
+/// Decodes one complete message (header + payload). Strict: anything
+/// malformed — short buffer, bad magic, unknown type/version, length
+/// over kMaxWirePayload, CRC mismatch, truncated or trailing bytes —
+/// is InvalidArgument.
+Result<FrameMessage> DecodeFrameMessage(const uint8_t* data, size_t len);
+
+/// Incremental decoder over a byte stream that interleaves text lines
+/// and binary messages (the client side of one connection). Feed()
+/// appends received bytes; Next() pulls decoded units in order.
+class FrameDecoder {
+ public:
+  /// One demultiplexed unit: exactly one of `frame` / `line` is set.
+  struct Unit {
+    std::optional<FrameMessage> frame;
+    std::optional<std::string> line;
+  };
+
+  void Feed(const uint8_t* data, size_t len);
+
+  /// Next complete unit; nullopt when more bytes are needed. A
+  /// malformed binary message poisons the stream: the error is
+  /// returned now and on every later call (framing is lost for good).
+  Result<std::optional<Unit>> Next();
+
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  void Compact();
+
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+  Status poisoned_ = Status::OK();
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_NET_WIRE_PROTOCOL_H_

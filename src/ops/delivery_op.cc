@@ -12,12 +12,14 @@ DeliveryOp::DeliveryOp(std::string name, FrameCallback callback,
 void DeliveryOp::Reset() {
   assembler_.Abort();
   frame_pending_ = false;
+  points_pending_ = 0;
   ReportBuffered(0);
 }
 
 Status DeliveryOp::Process(const StreamEvent& event) {
   switch (event.kind) {
     case EventKind::kFrameBegin:
+      points_pending_ = 0;
       if (band_count_known_) {
         GEOSTREAMS_RETURN_IF_ERROR(assembler_.Begin(event.frame, band_count_));
         frame_pending_ = false;
@@ -39,6 +41,7 @@ Status DeliveryOp::Process(const StreamEvent& event) {
         return Status::FailedPrecondition("delivery requires framed input");
       }
       GEOSTREAMS_RETURN_IF_ERROR(assembler_.Add(*event.batch));
+      points_pending_ += event.batch->size();
       ReportBuffered(assembler_.BufferedBytes());
       return Emit(event);
     }
@@ -62,6 +65,8 @@ Status DeliveryOp::Process(const StreamEvent& event) {
           bytes_encoded_ += png.size();
         }
         ++frames_delivered_;
+        points_delivered_ += points_pending_;
+        points_pending_ = 0;
         if (callback_) callback_(event.frame.frame_id, frame.raster, png);
       }
       return Emit(event);

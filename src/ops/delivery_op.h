@@ -41,6 +41,9 @@ class DeliveryOp : public UnaryOperator {
              DeliveryOptions options = {});
 
   uint64_t frames_delivered() const { return frames_delivered_; }
+  /// Points assembled into delivered frames (shed or aborted frames'
+  /// points never count).
+  uint64_t points_delivered() const { return points_delivered_; }
   uint64_t bytes_encoded() const { return bytes_encoded_; }
 
   void Reset() override;
@@ -55,7 +58,11 @@ class DeliveryOp : public UnaryOperator {
   int band_count_ = 1;
   bool band_count_known_ = false;
   uint64_t frames_delivered_ = 0;
+  uint64_t points_delivered_ = 0;
   uint64_t bytes_encoded_ = 0;
+  /// Points in the frame currently being assembled; folded into
+  /// points_delivered_ only when the frame actually ships.
+  uint64_t points_pending_ = 0;
   // Batches seen before band count is known get replayed into the
   // assembler lazily; in practice the first batch fixes it.
   FrameInfo pending_frame_;

@@ -42,8 +42,12 @@ struct InjectedFault {
 
 class FaultInjectorOp : public UnaryOperator {
  public:
+  /// Checksum verification is opt-in here: the production check lives
+  /// at the DsmsServer ingest boundary (verify_ingest_checksums),
+  /// where corruption is dead-lettered before it enters any chain.
+  /// Pass true to verify mid-pipeline in supervision experiments.
   FaultInjectorOp(std::string name, std::vector<InjectedFault> faults,
-                  bool verify_checksums = true);
+                  bool verify_checksums = false);
 
   /// Events that reached a final disposition (passed or dead-lettered).
   uint64_t events_seen() const { return cursor_; }

@@ -36,6 +36,18 @@ struct DsmsServer::SourceState : public EventSink {
   /// True for continuous views: their events arrive from a backing
   /// plan rather than from an ingest call.
   bool derived = false;
+  /// Boundary guard handed out by DsmsServer::ingest() (and used as
+  /// the backing plan's sink for derived streams under a worker
+  /// pool): takes the server's state lock in shared mode and runs the
+  /// opt-in checksum check.
+  std::unique_ptr<GuardedIngestSink> guard;
+  /// Corrupt batches rejected at this boundary. `boundary_mu` guards
+  /// the dead-letter ring and counter: several producers may ingest
+  /// concurrently, each holding the state lock only in shared mode.
+  std::mutex boundary_mu;
+  std::unique_ptr<DeadLetterQueue> boundary_dead_letters;
+  uint64_t checksum_failures = 0;
+  bool warned_corrupt = false;
 
   Status Consume(const StreamEvent& event) override {
     for (EventSink* t : direct_targets) {
@@ -75,6 +87,46 @@ class DsmsServer::IsolatedEntrySink : public EventSink {
   bool warned_ = false;
 };
 
+/// The ingest boundary (Fig. 3's arrow from the stream generator into
+/// the server). Every event takes the server's state lock in shared
+/// mode, so producers and the control plane (network sessions
+/// registering queries) can run concurrently; with
+/// verify_ingest_checksums on, a batch whose attached FNV-1a digest
+/// does not match its content is dead-lettered here — it never enters
+/// any query chain, and the producer keeps streaming.
+class DsmsServer::GuardedIngestSink : public EventSink {
+ public:
+  GuardedIngestSink(DsmsServer* server, SourceState* source)
+      : server_(server), source_(source) {}
+
+  Status Consume(const StreamEvent& event) override {
+    std::shared_lock<std::shared_mutex> lock(server_->state_mu_);
+    if (server_->options_.verify_ingest_checksums &&
+        event.kind == EventKind::kPointBatch && event.batch &&
+        !event.batch->ChecksumValid()) {
+      const Status error = Status::FailedPrecondition(StringPrintf(
+          "ingest checksum mismatch on %s (frame %lld, %zu points)",
+          source_->desc.name().c_str(),
+          static_cast<long long>(event.batch->frame_id),
+          event.batch->size()));
+      std::lock_guard<std::mutex> boundary(source_->boundary_mu);
+      ++source_->checksum_failures;
+      source_->boundary_dead_letters->Push(event, error);
+      if (!source_->warned_corrupt) {
+        source_->warned_corrupt = true;
+        GEOSTREAMS_LOG(kWarning) << error.ToString()
+                                 << " (further corruption logged once)";
+      }
+      return Status::OK();  // shed at the boundary; downlink continues
+    }
+    return source_->Consume(event);
+  }
+
+ private:
+  DsmsServer* server_;
+  SourceState* source_;
+};
+
 struct DsmsServer::QueryState {
   QueryId id = 0;
   std::string text;
@@ -92,6 +144,9 @@ struct DsmsServer::QueryState {
 
   bool is_derived = false;
   std::string derived_name;
+  /// Set (under the exclusive lock) by the UnregisterQuery call that
+  /// claimed this query; a concurrent second unregister backs off.
+  bool unregistering = false;
 
   struct Peeled {
     std::string source;
@@ -111,6 +166,9 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
     sched.queue_capacity = options_.worker_queue_capacity;
     sched.workers = options_.workers;
     sched.supervisor = options_.worker_supervisor;
+    sched.dead_letter_capacity = options_.dead_letter_capacity;
+    sched.dead_letter_max_bytes = options_.dead_letter_max_bytes;
+    sched.memory = &memory_;
     scheduler_ = std::make_unique<QueryScheduler>(sched);
     Status st = scheduler_->Start();
     if (!st.ok()) {
@@ -133,6 +191,7 @@ DsmsServer::~DsmsServer() {
 }
 
 Status DsmsServer::RegisterStream(const GeoStreamDescriptor& desc) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   GEOSTREAMS_RETURN_IF_ERROR(catalog_.Register(desc));
   auto source = std::make_unique<SourceState>();
   source->desc = desc;
@@ -140,6 +199,11 @@ Status DsmsServer::RegisterStream(const GeoStreamDescriptor& desc) {
     source->shared = std::make_unique<SharedRestrictionOp>(MakeIndex(
         options_.index_kind, desc.reference_lattice().Extent()));
   }
+  source->guard = std::make_unique<GuardedIngestSink>(this, source.get());
+  source->boundary_dead_letters = std::make_unique<DeadLetterQueue>(
+      options_.dead_letter_capacity, options_.dead_letter_max_bytes);
+  source->boundary_dead_letters->BindMemoryTracker(&memory_,
+                                                   "dlq." + desc.name());
   sources_.emplace(desc.name(), std::move(source));
   GEOSTREAMS_LOG(kInfo) << "registered stream " << desc.ToString();
   return Status::OK();
@@ -171,11 +235,13 @@ ExprPtr DsmsServer::PeelLeafRestrictions(QueryId id, ExprPtr expr,
 
 Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
                                           FrameCallback callback) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   return RegisterInternal(query_text, std::move(callback), "");
 }
 
 Result<QueryId> DsmsServer::RegisterDerivedStream(
     const std::string& name, const std::string& query_text) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   if (name.empty()) {
     return Status::InvalidArgument("derived stream needs a name");
   }
@@ -224,7 +290,18 @@ Result<QueryId> DsmsServer::RegisterInternal(
       source->shared = std::make_unique<SharedRestrictionOp>(MakeIndex(
           options_.index_kind, view_desc.reference_lattice().Extent()));
     }
-    plan_sink = source.get();
+    source->guard = std::make_unique<GuardedIngestSink>(this, source.get());
+    source->boundary_dead_letters = std::make_unique<DeadLetterQueue>(
+        options_.dead_letter_capacity, options_.dead_letter_max_bytes);
+    source->boundary_dead_letters->BindMemoryTracker(&memory_,
+                                                     "dlq." + derived_name);
+    // With a worker pool the backing plan runs on a worker thread, so
+    // the view's fan-out must take the state lock itself (via the
+    // guard). Synchronously (workers = 0) the plan already runs under
+    // the ingest call's shared lock — re-locking here would be a
+    // recursive shared_mutex acquisition (UB), so feed the source raw.
+    plan_sink = scheduler_ ? static_cast<EventSink*>(source->guard.get())
+                           : static_cast<EventSink*>(source.get());
     sources_.emplace(derived_name, std::move(source));
   }
 
@@ -246,9 +323,17 @@ Result<QueryId> DsmsServer::RegisterInternal(
       if (query->sched_pipeline == SIZE_MAX) {
         query->sched_pipeline = scheduler_->AddPipelineGroup(
             StringPrintf("q%lld", static_cast<long long>(id)));
+        // The delivery operator sits downstream of the plan (it is
+        // the plan's sink, not one of its ops), so its assembler must
+        // be reset explicitly or a restart would resume into a frame
+        // left open by the fault (null for derived streams).
         ExecutablePlan* plan = query->plan.get();
+        DeliveryOp* delivery = query->delivery.get();
         scheduler_->SetPipelineReset(query->sched_pipeline,
-                                     [plan] { plan->Reset(); });
+                                     [plan, delivery] {
+                                       plan->Reset();
+                                       if (delivery) delivery->Reset();
+                                     });
       }
       entry = scheduler_->AddPipelineInput(query->sched_pipeline, entry);
       query->isolated.push_back(
@@ -284,44 +369,128 @@ Result<QueryId> DsmsServer::RegisterInternal(
 }
 
 Status DsmsServer::UnregisterQuery(QueryId id) {
+  size_t pipeline = SIZE_MAX;
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) {
+      return Status::NotFound(StringPrintf(
+          "query %lld not registered", static_cast<long long>(id)));
+    }
+    QueryState& query = *it->second;
+    if (query.is_derived) {
+      return Status::FailedPrecondition(
+          "derived stream '" + query.derived_name +
+          "' cannot be unregistered (other queries may depend on it)");
+    }
+    if (query.unregistering) {
+      return Status::FailedPrecondition(StringPrintf(
+          "query %lld is already being unregistered",
+          static_cast<long long>(id)));
+    }
+    query.unregistering = true;
+    for (const auto& peeled : query.peeled) {
+      auto source_it = sources_.find(peeled.source);
+      if (source_it != sources_.end() && source_it->second->shared) {
+        Status st = source_it->second->shared->UnregisterQuery(
+            peeled.shared_id);
+        if (!st.ok()) return st;
+      }
+    }
+    for (const auto& [source_name, entry] : query.direct) {
+      auto source_it = sources_.find(source_name);
+      if (source_it == sources_.end()) continue;
+      auto& targets = source_it->second->direct_targets;
+      targets.erase(std::remove(targets.begin(), targets.end(), entry),
+                    targets.end());
+    }
+    pipeline = query.sched_pipeline;
+  }
+  if (scheduler_ && pipeline != SIZE_MAX) {
+    // The query is detached from every source; remove its queue and
+    // entry sinks before the plan they target is destroyed. Still-
+    // queued events are discarded — the client is gone. This waits
+    // for any in-flight event, so it must run with the state lock
+    // RELEASED: the worker mid-event may be taking the shared lock to
+    // feed a derived stream (see state_mu_'s comment). The query is
+    // already invisible to new producers (`unregistering` + detached
+    // sources), so nothing re-wires it while we wait.
+    GEOSTREAMS_RETURN_IF_ERROR(scheduler_->RemovePipeline(pipeline));
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  queries_.erase(id);
+  return Status::OK();
+}
+
+Status DsmsServer::RestartQuery(QueryId id) {
+  size_t pipeline = SIZE_MAX;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) {
+      return Status::NotFound(StringPrintf(
+          "query %lld not registered", static_cast<long long>(id)));
+    }
+    pipeline = it->second->sched_pipeline;
+  }
+  if (!scheduler_ || pipeline == SIZE_MAX) {
+    // Synchronous server: no supervisor, nothing quarantines.
+    return Status::OK();
+  }
+  // RestartPipeline waits for the pipeline's in-flight event; run it
+  // with the state lock released (same reasoning as UnregisterQuery).
+  return scheduler_->RestartPipeline(pipeline);
+}
+
+Result<std::vector<DeadLetter>> DsmsServer::DeadLetters(QueryId id) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound(StringPrintf(
         "query %lld not registered", static_cast<long long>(id)));
   }
-  QueryState& query = *it->second;
-  if (query.is_derived) {
-    return Status::FailedPrecondition(
-        "derived stream '" + query.derived_name +
-        "' cannot be unregistered (other queries may depend on it)");
+  if (!scheduler_ || it->second->sched_pipeline == SIZE_MAX) {
+    return std::vector<DeadLetter>{};
   }
-  for (const auto& peeled : query.peeled) {
-    auto source_it = sources_.find(peeled.source);
-    if (source_it != sources_.end() && source_it->second->shared) {
-      Status st = source_it->second->shared->UnregisterQuery(
-          peeled.shared_id);
-      if (!st.ok()) return st;
-    }
+  return scheduler_->DeadLetters(it->second->sched_pipeline);
+}
+
+Result<std::vector<DeadLetter>> DsmsServer::SourceDeadLetters(
+    const std::string& stream) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  auto it = sources_.find(stream);
+  if (it == sources_.end()) {
+    return Status::NotFound("stream not registered: " + stream);
   }
-  for (const auto& [source_name, entry] : query.direct) {
-    auto source_it = sources_.find(source_name);
-    if (source_it == sources_.end()) continue;
-    auto& targets = source_it->second->direct_targets;
-    targets.erase(std::remove(targets.begin(), targets.end(), entry),
-                  targets.end());
+  std::lock_guard<std::mutex> boundary(it->second->boundary_mu);
+  return it->second->boundary_dead_letters->Snapshot();
+}
+
+uint64_t DsmsServer::IngestChecksumFailures() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  uint64_t total = 0;
+  for (const auto& [name, source] : sources_) {
+    std::lock_guard<std::mutex> boundary(source->boundary_mu);
+    total += source->checksum_failures;
   }
-  if (scheduler_ && query.sched_pipeline != SIZE_MAX) {
-    // The query is detached from every source; remove its queue and
-    // entry sinks before the plan they target is destroyed. Still-
-    // queued events are discarded — the client is gone.
-    GEOSTREAMS_RETURN_IF_ERROR(
-        scheduler_->RemovePipeline(query.sched_pipeline));
-  }
-  queries_.erase(it);
-  return Status::OK();
+  return total;
+}
+
+size_t DsmsServer::num_queries() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return queries_.size();
+}
+
+std::vector<QueryId> DsmsServer::QueryIds() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  std::vector<QueryId> ids;
+  ids.reserve(queries_.size());
+  for (const auto& [id, query] : queries_) ids.push_back(id);
+  return ids;
 }
 
 Result<PipelineHealth> DsmsServer::QueryHealth(QueryId id) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound(StringPrintf(
@@ -334,6 +503,7 @@ Result<PipelineHealth> DsmsServer::QueryHealth(QueryId id) const {
 }
 
 Status DsmsServer::QueryError(QueryId id) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound(StringPrintf(
@@ -351,21 +521,36 @@ Status DsmsServer::Flush() {
 }
 
 EventSink* DsmsServer::ingest(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   auto it = sources_.find(name);
-  return it == sources_.end() ? nullptr : it->second.get();
+  return it == sources_.end()
+             ? nullptr
+             : static_cast<EventSink*>(it->second->guard.get());
 }
 
 Status DsmsServer::EndAllStreams() {
-  for (auto& [name, source] : sources_) {
-    // Derived streams receive their StreamEnd through the backing
-    // plan when the base streams end.
-    if (source->derived) continue;
-    GEOSTREAMS_RETURN_IF_ERROR(source->Consume(StreamEvent::StreamEnd()));
+  // Snapshot the guards first: each Consume takes the state lock in
+  // shared mode itself, and a recursive shared acquisition while a
+  // writer waits would deadlock. Sources are never removed, so the
+  // snapshot cannot dangle.
+  std::vector<GuardedIngestSink*> guards;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    for (auto& [name, source] : sources_) {
+      // Derived streams receive their StreamEnd through the backing
+      // plan when the base streams end.
+      if (source->derived) continue;
+      guards.push_back(source->guard.get());
+    }
+  }
+  for (GuardedIngestSink* guard : guards) {
+    GEOSTREAMS_RETURN_IF_ERROR(guard->Consume(StreamEvent::StreamEnd()));
   }
   return Flush();
 }
 
 Result<std::string> DsmsServer::Explain(QueryId id) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound(StringPrintf(
@@ -375,6 +560,7 @@ Result<std::string> DsmsServer::Explain(QueryId id) const {
 }
 
 Result<std::string> DsmsServer::ExplainAnalyze(QueryId id) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound(StringPrintf(
@@ -384,6 +570,7 @@ Result<std::string> DsmsServer::ExplainAnalyze(QueryId id) const {
 }
 
 Result<uint64_t> DsmsServer::FramesDelivered(QueryId id) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) {
     return Status::NotFound(StringPrintf(

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,18 @@ struct DsmsOptions {
   /// poison dead-lettering, quarantine thresholds. A failing query is
   /// its own failure domain — ingest and the other queries continue.
   SupervisorOptions worker_supervisor;
+  /// Verify FNV-1a PointBatch checksums at the ingest boundary:
+  /// a batch carrying a non-zero checksum that does not match its
+  /// content is dead-lettered into the source's queue (inspectable
+  /// via SourceDeadLetters) instead of entering any query chain.
+  /// Opt-in — instruments that do not checksum their downlink pay
+  /// nothing (checksum 0 is never verified).
+  bool verify_ingest_checksums = false;
+  /// Dead-letter retention per pipeline / per source: most recent
+  /// poisoned events kept for inspection, capped by count and bytes
+  /// (bytes reported to the server's MemoryTracker as "dlq.<name>").
+  size_t dead_letter_capacity = 16;
+  size_t dead_letter_max_bytes = 1 << 20;
 };
 
 class DsmsServer {
@@ -84,7 +97,11 @@ class DsmsServer {
   Status UnregisterQuery(QueryId id);
 
   /// Entry sink for source stream `name` (the stream generator pushes
-  /// events here). Null for unknown streams.
+  /// events here). Null for unknown streams. The sink is safe to
+  /// drive while other threads (e.g. network sessions) register and
+  /// unregister queries: every event holds the server's state lock in
+  /// shared mode, and opt-in checksum verification rejects corrupt
+  /// batches at this boundary (see verify_ingest_checksums).
   EventSink* ingest(const std::string& name);
 
   /// Broadcasts StreamEnd to every query, then (when a worker pool is
@@ -97,7 +114,7 @@ class DsmsServer {
   Status Flush();
 
   /// Diagnostics.
-  size_t num_queries() const { return queries_.size(); }
+  size_t num_queries() const;
   /// Worker threads executing query plans (0 = synchronous).
   size_t num_workers() const {
     return scheduler_ ? scheduler_->num_workers() : 0;
@@ -123,11 +140,34 @@ class DsmsServer {
   /// The error that degraded or quarantined the query; OK while the
   /// query is healthy. NotFound for unknown ids.
   Status QueryError(QueryId id) const;
+  /// Registered query ids, ascending (derived streams included).
+  std::vector<QueryId> QueryIds() const;
+
+  /// Un-quarantines a query (the control plane's `RESTART <id>`):
+  /// clears the recorded error, resets the operator chain, and grants
+  /// a fresh poison budget so events flow again without the client
+  /// reconnecting or re-registering. No-op for healthy or
+  /// unsupervised (workers = 0) queries; NotFound for unknown ids.
+  Status RestartQuery(QueryId id);
+
+  /// The query pipeline's retained dead-lettered events, oldest
+  /// first (empty when workers = 0 — without a supervisor nothing is
+  /// dead-lettered). NotFound for unknown ids.
+  Result<std::vector<DeadLetter>> DeadLetters(QueryId id) const;
+
+  /// Dead letters caught at the ingest boundary of a source stream
+  /// (checksum verification; see verify_ingest_checksums). NotFound
+  /// for unknown streams.
+  Result<std::vector<DeadLetter>> SourceDeadLetters(
+      const std::string& stream) const;
+  /// Corrupt batches rejected at ingest across all sources.
+  uint64_t IngestChecksumFailures() const;
 
  private:
   struct SourceState;
   struct QueryState;
   class IsolatedEntrySink;
+  class GuardedIngestSink;
 
   Result<QueryId> RegisterInternal(const std::string& query_text,
                                    FrameCallback callback,
@@ -142,11 +182,18 @@ class DsmsServer {
   DsmsOptions options_;
   StreamCatalog catalog_;
   MemoryTracker memory_;
+  /// Control plane vs data plane: every ingest event takes this in
+  /// shared mode (via the per-source GuardedIngestSink), while
+  /// registration, unregistration, and restart take it exclusively —
+  /// remote clients can (un)register queries over the network while
+  /// the instrument keeps scanning. Blocking scheduler operations
+  /// (RemovePipeline's and RestartPipeline's wait for the in-flight
+  /// event) run with the lock RELEASED: a worker mid-event may itself
+  /// be acquiring the shared lock to feed a derived stream, and
+  /// holding the exclusive lock across the wait would deadlock.
+  mutable std::shared_mutex state_mu_;
   /// Worker pool (null when options_.workers == 0). Started in the
-  /// constructor; pipelines are added as queries register. Query
-  /// (un)registration and catalog mutation are NOT thread-safe
-  /// against concurrent ingest — same contract as the seed; only
-  /// event flow is parallelized.
+  /// constructor; pipelines are added as queries register.
   std::unique_ptr<QueryScheduler> scheduler_;
   std::map<std::string, std::unique_ptr<SourceState>> sources_;
   std::map<QueryId, std::unique_ptr<QueryState>> queries_;

@@ -38,6 +38,12 @@ struct QueryScheduler::Queue {
   Clock::time_point retry_at{};
   /// Operator-chain reset hook, run before redelivery (claim held).
   std::function<void()> reset;
+  /// Retained poisoned events (bounded ring; see SchedulerOptions).
+  std::unique_ptr<DeadLetterQueue> dead_letters;
+  /// stats.dead_letters at the last RestartPipeline: poison events
+  /// before the restart neither count toward `poison_limit` nor mark
+  /// the pipeline DEGRADED.
+  uint64_t dead_letters_baseline = 0;
 };
 
 QueryScheduler::QueryScheduler(SchedulerOptions options)
@@ -70,6 +76,10 @@ size_t QueryScheduler::AddPipelineGroup(std::string name) {
   auto queue = std::make_unique<Queue>();
   queue->name = std::move(name);
   queue->stats.name = queue->name;
+  queue->dead_letters = std::make_unique<DeadLetterQueue>(
+      options_.dead_letter_capacity, options_.dead_letter_max_bytes);
+  queue->dead_letters->BindMemoryTracker(options_.memory,
+                                         "dlq." + queue->name);
   if (!free_slots_.empty()) {
     const size_t index = free_slots_.back();
     free_slots_.pop_back();
@@ -108,6 +118,8 @@ Status QueryScheduler::RemovePipeline(size_t pipeline) {
   ++removals_waiting_;
   idle_.wait(lock, [&] { return !queues_[pipeline]->busy; });
   --removals_waiting_;
+  // Drop the ring's MemoryTracker figure before the owner vanishes.
+  queues_[pipeline]->dead_letters->Clear();
   entries_.erase(
       std::remove_if(entries_.begin(), entries_.end(),
                      [pipeline](const std::unique_ptr<EntrySink>& e) {
@@ -268,8 +280,9 @@ void QueryScheduler::QuarantineLocked(Queue& queue, const Status& status) {
 void QueryScheduler::HandleFailureLocked(std::unique_lock<std::mutex>& lock,
                                          Queue& queue, Item item,
                                          const Status& status) {
-  const SupervisorDecision decision =
-      supervisor_.Decide(status, queue.attempts, queue.stats.dead_letters);
+  const SupervisorDecision decision = supervisor_.Decide(
+      status, queue.attempts,
+      queue.stats.dead_letters - queue.dead_letters_baseline);
   bool run_reset = false;
   switch (decision.action) {
     case SupervisorDecision::Action::kRetry: {
@@ -285,15 +298,23 @@ void QueryScheduler::HandleFailureLocked(std::unique_lock<std::mutex>& lock,
       break;
     }
     case SupervisorDecision::Action::kDeadLetter:
-      // The event is poison: drop it, count it, keep the pipeline. The
-      // chain may hold trashed mid-frame state, so reset it too.
+      // The event is poison: drop it, count it, keep it inspectable,
+      // keep the pipeline. The chain may hold trashed mid-frame
+      // state, so reset it too.
       ++queue.stats.dead_letters;
+      queue.dead_letters->Push(item.event, status);
       queue.attempts = 0;
       run_reset = true;
       break;
     case SupervisorDecision::Action::kQuarantine:
       // The triggering event is discarded along with the queue, which
-      // keeps `processed + dead_letters + discarded == enqueued`.
+      // keeps `processed + dead_letters + discarded == enqueued`. A
+      // poison event that trips the limit is still retained in the
+      // ring — with the default poison_limit of 1 it would otherwise
+      // never be inspectable.
+      if (ClassifyFault(status) == FaultClass::kPoison) {
+        queue.dead_letters->Push(item.event, status);
+      }
       ++queue.stats.discarded;
       QuarantineLocked(queue, status);
       break;
@@ -357,10 +378,58 @@ void QueryScheduler::WorkerLoop() {
 PipelineHealth QueryScheduler::HealthLocked(const Queue& queue) const {
   if (queue.quarantined) return PipelineHealth::kQuarantined;
   if (queue.retry_pending || queue.attempts > 0 ||
-      queue.stats.dead_letters > 0) {
+      queue.stats.dead_letters > queue.dead_letters_baseline) {
     return PipelineHealth::kDegraded;
   }
   return PipelineHealth::kRunning;
+}
+
+Status QueryScheduler::RestartPipeline(size_t pipeline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (pipeline >= queues_.size() || !queues_[pipeline]) {
+    return Status::NotFound("pipeline not registered");
+  }
+  if (HealthLocked(*queues_[pipeline]) == PipelineHealth::kRunning) {
+    return Status::OK();  // already healthy
+  }
+  // Take the pipeline's claim so the reset cannot race an in-flight
+  // delivery (quarantine can land while a worker is mid-event).
+  ++removals_waiting_;
+  idle_.wait(lock, [&] {
+    return !queues_[pipeline] || !queues_[pipeline]->busy;
+  });
+  --removals_waiting_;
+  if (!queues_[pipeline]) {
+    return Status::NotFound("pipeline removed during restart");
+  }
+  Queue& queue = *queues_[pipeline];
+  queue.quarantined = false;
+  queue.error = Status::OK();
+  queue.attempts = 0;
+  queue.retry_pending = false;
+  queue.dead_letters_baseline = queue.stats.dead_letters;
+  if (queue.reset) {
+    queue.busy = true;
+    ++busy_count_;
+    auto reset = queue.reset;
+    lock.unlock();
+    reset();
+    lock.lock();
+    queue.busy = false;
+    --busy_count_;
+    if (removals_waiting_ > 0) idle_.notify_all();
+    if (busy_count_ == 0 && AllQueuesEmptyLocked()) idle_.notify_all();
+  }
+  GEOSTREAMS_LOG(kInfo) << "pipeline '" << queue.name
+                        << "' restarted (un-quarantined)";
+  if (!queue.events.empty()) work_available_.notify_one();
+  return Status::OK();
+}
+
+std::vector<DeadLetter> QueryScheduler::DeadLetters(size_t pipeline) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pipeline >= queues_.size() || !queues_[pipeline]) return {};
+  return queues_[pipeline]->dead_letters->Snapshot();
 }
 
 PipelineHealth QueryScheduler::Health(size_t pipeline) const {

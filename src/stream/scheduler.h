@@ -68,6 +68,15 @@ struct SchedulerOptions {
   bool report_drops = false;
   /// Per-pipeline failure handling (restart/backoff/poison policy).
   SupervisorOptions supervisor;
+  /// Dead-letter retention: each pipeline keeps its most recent
+  /// poisoned events (including the one that tripped quarantine) in a
+  /// bounded ring for inspection via DeadLetters(), capped by entry
+  /// count and approximate bytes.
+  size_t dead_letter_capacity = 16;
+  size_t dead_letter_max_bytes = 1 << 20;
+  /// Optional tracker the dead-letter rings report their byte usage
+  /// to (owner "dlq.<pipeline name>"). Not owned; may be null.
+  MemoryTracker* memory = nullptr;
 };
 
 /// Statistics for one scheduled pipeline. `enqueued` counts events
@@ -171,6 +180,19 @@ class QueryScheduler {
   Status PipelineError(size_t pipeline) const;
   /// First error that quarantined any pipeline (OK when none has).
   Status FirstPipelineError() const;
+
+  /// Un-quarantines a pipeline (the admin `RESTART` path): clears the
+  /// recorded error, runs the reset hook under the pipeline's claim so
+  /// the chain starts from clean frame state, and grants a fresh
+  /// poison budget (prior dead-letters no longer count toward
+  /// `poison_limit`, and no longer mark the pipeline DEGRADED).
+  /// Retained dead letters stay inspectable. Idempotent: restarting a
+  /// healthy pipeline is a no-op. NotFound for removed pipelines.
+  Status RestartPipeline(size_t pipeline);
+
+  /// The pipeline's retained dead-lettered events, oldest first
+  /// (empty for unknown/removed pipelines).
+  std::vector<DeadLetter> DeadLetters(size_t pipeline) const;
 
   std::vector<ScheduledQueueStats> Stats() const;
   /// Pool-wide totals across all pipelines (thread-safe snapshot).

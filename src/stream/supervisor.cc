@@ -43,6 +43,52 @@ FaultClass ClassifyFault(const Status& status) {
   }
 }
 
+uint64_t ApproxEventBytes(const StreamEvent& event) {
+  // Control events (frame boundaries, stream end) retain only the
+  // fixed-size FrameInfo; batches retain their point arrays.
+  uint64_t bytes = sizeof(StreamEvent);
+  if (event.kind == EventKind::kPointBatch && event.batch) {
+    bytes += event.batch->ApproxBytes();
+  }
+  return bytes;
+}
+
+void DeadLetterQueue::BindMemoryTracker(MemoryTracker* tracker,
+                                        std::string owner) {
+  tracker_ = tracker;
+  owner_ = std::move(owner);
+}
+
+void DeadLetterQueue::Push(const StreamEvent& event, const Status& status) {
+  DeadLetter entry;
+  entry.ordinal = total_++;
+  entry.error = status.ToString();
+  entry.event = event;
+  const uint64_t entry_bytes = ApproxEventBytes(event);
+  ring_.push_back(std::move(entry));
+  bytes_ += entry_bytes;
+  while (!ring_.empty() &&
+         (ring_.size() > max_events_ || bytes_ > max_bytes_)) {
+    bytes_ -= ApproxEventBytes(ring_.front().event);
+    ring_.pop_front();
+  }
+  ReportBytes();
+}
+
+std::vector<DeadLetter> DeadLetterQueue::Snapshot() const {
+  return std::vector<DeadLetter>(ring_.begin(), ring_.end());
+}
+
+void DeadLetterQueue::Clear() {
+  ring_.clear();
+  bytes_ = 0;
+  ReportBytes();
+}
+
+void DeadLetterQueue::ReportBytes() {
+  if (tracker_) tracker_->Update(owner_, bytes_);
+}
+
 SupervisorDecision PipelineSupervisor::Decide(
     const Status& status, int prior_attempts,
     uint64_t prior_dead_letters) const {

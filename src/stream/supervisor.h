@@ -28,8 +28,13 @@
 #define GEOSTREAMS_STREAM_SUPERVISOR_H_
 
 #include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "core/stream_event.h"
+#include "stream/memory_tracker.h"
 
 namespace geostreams {
 
@@ -56,6 +61,62 @@ const char* FaultClassName(FaultClass fault_class);
 /// Maps a non-OK status to its fault class. Must not be called with
 /// an OK status.
 FaultClass ClassifyFault(const Status& status);
+
+/// One dead-lettered (poison) event, kept for inspection: what was
+/// dropped, why, and its ordinal in the pipeline's dead-letter
+/// history (ordinals keep counting even after older entries are
+/// evicted from the bounded ring).
+struct DeadLetter {
+  uint64_t ordinal = 0;
+  std::string error;
+  StreamEvent event;
+};
+
+/// Approximate heap footprint of one event, for dead-letter byte
+/// accounting (batches dominate; control events count a flat minimum).
+uint64_t ApproxEventBytes(const StreamEvent& event);
+
+/// Bounded ring of the most recent dead-lettered events of one
+/// pipeline. Capped by entry count and by approximate bytes; the
+/// oldest entries are evicted first. NOT internally synchronized —
+/// the owner (scheduler queue, server source state) serializes
+/// access. Byte usage is optionally reported to a MemoryTracker
+/// under `owner` so poisoned-event retention shows up in the
+/// server's memory accounting.
+class DeadLetterQueue {
+ public:
+  DeadLetterQueue(size_t max_events, size_t max_bytes)
+      : max_events_(max_events), max_bytes_(max_bytes) {}
+
+  /// Binds the byte-usage report target (not owned; may be null).
+  void BindMemoryTracker(MemoryTracker* tracker, std::string owner);
+
+  /// Records one poisoned event; evicts oldest entries beyond the
+  /// caps. An event larger than the byte cap by itself is recorded
+  /// with an empty ring (the count still advances).
+  void Push(const StreamEvent& event, const Status& status);
+
+  /// Copies the retained entries, oldest first.
+  std::vector<DeadLetter> Snapshot() const;
+
+  /// Entries currently retained / ever pushed / retained bytes.
+  size_t size() const { return ring_.size(); }
+  uint64_t total_pushed() const { return total_; }
+  size_t bytes() const { return bytes_; }
+
+  void Clear();
+
+ private:
+  void ReportBytes();
+
+  size_t max_events_;
+  size_t max_bytes_;
+  MemoryTracker* tracker_ = nullptr;
+  std::string owner_;
+  std::deque<DeadLetter> ring_;
+  size_t bytes_ = 0;
+  uint64_t total_ = 0;
+};
 
 struct SupervisorOptions {
   /// Consecutive transient failures tolerated on one event before the

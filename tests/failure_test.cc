@@ -346,8 +346,8 @@ TEST(FaultInjectionE2eTest, DeadLetterCountMatchesInjectedCorruption) {
   SchedulerOptions options;
   options.supervisor.poison_limit = 100;  // count poison, keep running
   QueryScheduler scheduler(options);
-  FaultInjectorOp verifier0("verify0", {});
-  FaultInjectorOp verifier1("verify1", {});
+  FaultInjectorOp verifier0("verify0", {}, /*verify_checksums=*/true);
+  FaultInjectorOp verifier1("verify1", {}, /*verify_checksums=*/true);
   CollectingSink sink0, sink1;
   verifier0.BindOutput(&sink0);
   verifier1.BindOutput(&sink1);

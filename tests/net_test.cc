@@ -1,0 +1,617 @@
+// Network boundary tests: wire framing (strict decode), command
+// dispatch (no sockets), per-client backpressure, and loopback
+// end-to-end runs of the full TCP stack — control plane, streaming
+// delivery, slow-consumer shedding, and RESTART recovery. Every
+// server binds port 0 (ephemeral), so tests parallelize safely.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/string_util.h"
+
+#include "net/client_session.h"
+#include "net/command_dispatch.h"
+#include "net/geostreams_client.h"
+#include "net/net_server.h"
+#include "net/socket_util.h"
+#include "net/wire_protocol.h"
+#include "server/dsms_server.h"
+#include "server/scan_schedule.h"
+#include "server/stream_generator.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+FrameMessage SampleMessage() {
+  FrameMessage message;
+  message.query_id = 42;
+  message.frame_id = 7;
+  message.width = 3;
+  message.height = 2;
+  message.bands = 1;
+  message.samples = {0.0, 1.5, -2.25, 3.125, 1e300, -0.5};
+  return message;
+}
+
+TEST(WireProtocolTest, RoundTripSamples) {
+  const FrameMessage original = SampleMessage();
+  const std::vector<uint8_t> wire = EncodeFrameMessage(original);
+  ASSERT_GE(wire.size(), kWireHeaderSize + kFramePreambleSize);
+  auto decoded = DecodeFrameMessage(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->query_id, 42);
+  EXPECT_EQ(decoded->frame_id, 7);
+  EXPECT_EQ(decoded->width, 3u);
+  EXPECT_EQ(decoded->height, 2u);
+  EXPECT_EQ(decoded->bands, 1u);
+  EXPECT_FALSE(decoded->png);
+  EXPECT_EQ(decoded->samples, original.samples);
+}
+
+TEST(WireProtocolTest, RoundTripPng) {
+  FrameMessage message;
+  message.query_id = 1;
+  message.frame_id = 2;
+  message.width = 8;
+  message.height = 8;
+  message.bands = 1;
+  message.png = true;
+  message.png_bytes = {0x89, 'P', 'N', 'G', 0x0D, 0x0A, 0x1A, 0x0A, 0x00};
+  const std::vector<uint8_t> wire = EncodeFrameMessage(message);
+  auto decoded = DecodeFrameMessage(wire.data(), wire.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->png);
+  EXPECT_EQ(decoded->png_bytes, message.png_bytes);
+}
+
+TEST(WireProtocolTest, RejectsMalformedInputWithoutCrashing) {
+  const std::vector<uint8_t> wire = EncodeFrameMessage(SampleMessage());
+
+  // Truncations at every prefix length: never OK, never a crash.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto r = DecodeFrameMessage(wire.data(), len);
+    EXPECT_FALSE(r.ok()) << "accepted a " << len << "-byte prefix";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // Bad magic.
+  std::vector<uint8_t> bad = wire;
+  bad[0] = 'X';
+  EXPECT_EQ(DecodeFrameMessage(bad.data(), bad.size()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Flipped payload byte fails the CRC.
+  bad = wire;
+  bad[kWireHeaderSize + kFramePreambleSize + 3] ^= 0x40;
+  auto r = DecodeFrameMessage(bad.data(), bad.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+
+  // Length field pointing far beyond the limit.
+  bad = wire;
+  bad[8] = 0xFF;
+  bad[9] = 0xFF;
+  bad[10] = 0xFF;
+  bad[11] = 0xFF;
+  EXPECT_EQ(DecodeFrameMessage(bad.data(), bad.size()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Pure garbage.
+  std::vector<uint8_t> garbage(64, 0xA5);
+  EXPECT_EQ(
+      DecodeFrameMessage(garbage.data(), garbage.size()).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(FrameDecoderTest, DemultiplexesTextAndBinaryAcrossChunks) {
+  const std::vector<uint8_t> wire = EncodeFrameMessage(SampleMessage());
+  std::vector<uint8_t> stream;
+  const std::string line1 = "OK QUERY 42\r\n";
+  stream.insert(stream.end(), line1.begin(), line1.end());
+  stream.insert(stream.end(), wire.begin(), wire.end());
+  const std::string line2 = "OK PONG\n";
+  stream.insert(stream.end(), line2.begin(), line2.end());
+
+  FrameDecoder decoder;
+  std::vector<FrameDecoder::Unit> units;
+  // Dribble the bytes in 5-byte chunks; incomplete input must yield
+  // nullopt, never an error or a partial unit.
+  for (size_t off = 0; off < stream.size(); off += 5) {
+    decoder.Feed(stream.data() + off, std::min<size_t>(5, stream.size() - off));
+    for (;;) {
+      auto unit = decoder.Next();
+      ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+      if (!unit->has_value()) break;
+      units.push_back(std::move(**unit));
+    }
+  }
+  ASSERT_EQ(units.size(), 3u);
+  ASSERT_TRUE(units[0].line.has_value());
+  EXPECT_EQ(*units[0].line, "OK QUERY 42");  // \r\n stripped
+  ASSERT_TRUE(units[1].frame.has_value());
+  EXPECT_EQ(units[1].frame->query_id, 42);
+  ASSERT_TRUE(units[2].line.has_value());
+  EXPECT_EQ(*units[2].line, "OK PONG");
+}
+
+TEST(FrameDecoderTest, GarbageAfterMagicPoisonsTheStream) {
+  FrameDecoder decoder;
+  std::vector<uint8_t> junk(kWireHeaderSize, 0x00);
+  junk[0] = 'G';  // looks binary, is not
+  decoder.Feed(junk.data(), junk.size());
+  auto first = decoder.Next();
+  EXPECT_FALSE(first.ok());
+  auto second = decoder.Next();  // the error is sticky
+  EXPECT_FALSE(second.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Command dispatch (no sockets)
+
+class FakeHooks : public SessionHooks {
+ public:
+  Result<QueryId> RegisterClientQuery(const std::string& text) override {
+    last_query = text;
+    if (fail_register) return Status::ParseError("bad query");
+    return QueryId{7};
+  }
+  Status UnregisterClientQuery(QueryId id) override {
+    last_unregistered = id;
+    return Status::OK();
+  }
+  std::string SessionStatsLine() override {
+    return "enqueued=1 dropped=0 keep=1.00";
+  }
+
+  std::string last_query;
+  QueryId last_unregistered = -1;
+  bool fail_register = false;
+};
+
+TEST(CommandDispatchTest, CoreVerbs) {
+  DsmsServer server;  // empty engine is enough for HEALTH
+  FakeHooks hooks;
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "PING"), "OK PONG");
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "  ping  "), "OK PONG");
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "QUERY ndvi(a.b, a.c)"),
+            "OK QUERY 7");
+  EXPECT_EQ(hooks.last_query, "ndvi(a.b, a.c)");
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "UNREGISTER 7"),
+            "OK UNREGISTER 7");
+  EXPECT_EQ(hooks.last_unregistered, 7);
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "HEALTH"), "OK HEALTH n=0");
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "STATS"),
+            "OK STATS enqueued=1 dropped=0 keep=1.00");
+}
+
+TEST(CommandDispatchTest, ErrorsAreErrResponses) {
+  DsmsServer server;
+  FakeHooks hooks;
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, ""),
+            "ERR InvalidArgument empty command");
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "FROBNICATE"),
+                         "ERR InvalidArgument unknown command"));
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "QUERY"),
+                         "ERR InvalidArgument"));
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "UNREGISTER abc"),
+                         "ERR InvalidArgument"));
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "RESTART 99"),
+                         "ERR NotFound"));
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "DLQ 99"),
+                         "ERR NotFound"));
+  hooks.fail_register = true;
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "QUERY x"),
+                         "ERR ParseError"));
+}
+
+// ---------------------------------------------------------------------------
+// ClientSession backpressure (raw socket pair)
+
+struct SocketPair {
+  int server_fd = -1;
+  int client_fd = -1;
+  int listen_fd = -1;
+
+  Status Open() {
+    GEOSTREAMS_ASSIGN_OR_RETURN(listen_fd, ListenTcp(0));
+    GEOSTREAMS_ASSIGN_OR_RETURN(uint16_t port, LocalPort(listen_fd));
+    GEOSTREAMS_ASSIGN_OR_RETURN(client_fd, ConnectTcp("127.0.0.1", port));
+    GEOSTREAMS_ASSIGN_OR_RETURN(server_fd, AcceptClient(listen_fd));
+    return Status::OK();
+  }
+  ~SocketPair() {
+    CloseFd(client_fd);
+    CloseFd(listen_fd);
+    // server_fd is owned by the ClientSession under test.
+  }
+};
+
+TEST(ClientSessionTest, SlowConsumerShedsThenDisconnects) {
+  SocketPair pair;
+  GS_ASSERT_OK(pair.Open());
+  ClientSessionOptions options;
+  options.max_queue_events = 2;
+  options.max_consecutive_drops = 5;
+  options.send_buffer_bytes = 4096;
+  ClientSession session(pair.server_fd, 1, options);
+
+  // 256 KiB frames against an unread 4 KiB socket buffer: the writer
+  // jams on the first frame, the queue caps at two, and every further
+  // enqueue sheds until the consecutive-drop limit closes the session.
+  auto frame = std::make_shared<const std::vector<uint8_t>>(
+      std::vector<uint8_t>(256 * 1024, 0xCD));
+  bool disconnected = false;
+  for (int i = 0; i < 64 && !disconnected; ++i) {
+    Status st = session.EnqueueFrame(frame);
+    if (session.closed()) disconnected = true;
+    if (!st.ok()) {
+      EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+    }
+  }
+  EXPECT_TRUE(disconnected);
+  const auto stats = session.Stats();
+  EXPECT_GE(stats.frames_dropped, options.max_consecutive_drops);
+  EXPECT_TRUE(stats.closed);
+  // Closed session refuses everything, quietly.
+  EXPECT_EQ(session.EnqueueFrame(frame).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback end-to-end
+
+/// A 2-band GOES-like instrument (band2 = near-infrared, band1 =
+/// visible) behind a DsmsServer + NetServer on an ephemeral port.
+class NetFixture {
+ public:
+  explicit NetFixture(DsmsOptions options = {},
+                      NetServerOptions net_options = {},
+                      size_t cells_per_sector = 24 * 16)
+      : server_(options),
+        net_(&server_, net_options),
+        gen_(MakeConfig(cells_per_sector), ScanSchedule::GoesRoutine()) {
+    Status st = gen_.Init();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    for (size_t b = 0; b < 2; ++b) {
+      auto d = gen_.Descriptor(b);
+      EXPECT_TRUE(d.ok());
+      st = server_.RegisterStream(*d);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    st = net_.Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  static InstrumentConfig MakeConfig(size_t cells_per_sector) {
+    InstrumentConfig config;
+    config.crs_name = "latlon";
+    config.cells_per_sector = cells_per_sector;
+    config.bands = {SpectralBand::kNearInfrared, SpectralBand::kVisible};
+    config.name_prefix = "goes";
+    return config;
+  }
+
+  Status Ingest(int64_t first_scan, int64_t count) {
+    std::vector<EventSink*> sinks = {server_.ingest("goes.band2"),
+                                     server_.ingest("goes.band1")};
+    GEOSTREAMS_RETURN_IF_ERROR(gen_.GenerateScans(first_scan, count, sinks));
+    return server_.Flush();
+  }
+
+  DsmsServer& server() { return server_; }
+  NetServer& net() { return net_; }
+  StreamGenerator& generator() { return gen_; }
+
+ private:
+  DsmsServer server_;
+  NetServer net_;
+  StreamGenerator gen_;
+};
+
+int64_t ParseIdFromOk(const std::string& response) {
+  // "OK QUERY <id>"
+  const size_t last_space = response.rfind(' ');
+  return std::stoll(response.substr(last_space + 1));
+}
+
+TEST(NetServerE2eTest, NdviOverTcpDeliversVerifiedFrames) {
+  DsmsOptions options;
+  options.workers = 1;
+  NetFixture fixture(options);
+
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
+  auto pong = client.Command("PING");
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(*pong, "OK PONG");
+
+  auto response = client.Command("QUERY ndvi(goes.band2, goes.band1)");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(StartsWith(*response, "OK QUERY "));
+  const int64_t id = ParseIdFromOk(*response);
+  EXPECT_EQ(fixture.server().num_queries(), 1u);
+
+  GS_ASSERT_OK(fixture.Ingest(0, 3));
+
+  // Three frames stream in; the decoder CRC-checks each payload.
+  for (int64_t expect_frame = 0; expect_frame < 3; ++expect_frame) {
+    auto frame = client.ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->query_id, id);
+    EXPECT_EQ(frame->frame_id, expect_frame);
+    EXPECT_EQ(frame->bands, 1u);
+    ASSERT_EQ(frame->samples.size(),
+              static_cast<size_t>(frame->width) * frame->height);
+    for (double v : frame->samples) {
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);  // NDVI range
+    }
+  }
+
+  auto unregister = client.Command(StringPrintf("UNREGISTER %lld",
+                                                static_cast<long long>(id)));
+  ASSERT_TRUE(unregister.ok()) << unregister.status().ToString();
+  EXPECT_TRUE(StartsWith(*unregister, "OK UNREGISTER"));
+  EXPECT_EQ(fixture.server().num_queries(), 0u);
+}
+
+TEST(NetServerE2eTest, DisconnectUnregistersTheClientsQueries) {
+  DsmsOptions options;
+  options.workers = 1;
+  NetFixture fixture(options);
+  {
+    GeoStreamsClient client;
+    GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
+    auto response = client.Command("QUERY goes.band1");
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(StartsWith(*response, "OK QUERY "));
+    EXPECT_EQ(fixture.server().num_queries(), 1u);
+  }  // client destructs: TCP FIN
+  // The reader notices EOF and unregisters; poll until it has.
+  for (int i = 0; i < 100 && fixture.server().num_queries() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(fixture.server().num_queries(), 0u);
+}
+
+TEST(NetServerE2eTest, SlowConsumerShedsWhileHealthyClientSeesEveryFrame) {
+  DsmsOptions options;
+  options.workers = 1;
+  NetServerOptions net_options;
+  net_options.session.max_queue_events = 4;
+  net_options.session.max_consecutive_drops = 1u << 20;  // shed, don't drop
+  net_options.session.send_buffer_bytes = 4096;
+  // Big frames (96x64 cells => ~49 KiB each) so a stalled reader's
+  // 4 KiB socket buffer jams after the first frame.
+  NetFixture fixture(options, net_options, /*cells_per_sector=*/96 * 64);
+
+  GeoStreamsClient healthy, slow;
+  GS_ASSERT_OK(healthy.Connect("127.0.0.1", fixture.net().port()));
+  GS_ASSERT_OK(slow.Connect("127.0.0.1", fixture.net().port()));
+  auto healthy_resp = healthy.Command("QUERY goes.band1");
+  ASSERT_TRUE(healthy_resp.ok());
+  const int64_t healthy_id = ParseIdFromOk(*healthy_resp);
+  auto slow_resp = slow.Command("QUERY goes.band1");
+  ASSERT_TRUE(slow_resp.ok());
+
+  constexpr int kScans = 24;
+  // The healthy client drains in lockstep with ingest, so its queue
+  // never backs up and it must receive every frame (each payload
+  // CRC-verified by the decoder). The slow client reads NOTHING the
+  // whole time: its writer jams against the 4 KiB socket buffer, its
+  // queue caps at four frames, and the shedding controller takes the
+  // rest.
+  for (int i = 0; i < kScans; ++i) {
+    GS_ASSERT_OK(fixture.Ingest(i, 1));
+    auto frame = healthy.ReadFrame(20000);
+    ASSERT_TRUE(frame.ok()) << "scan " << i << ": "
+                            << frame.status().ToString();
+    EXPECT_EQ(frame->query_id, healthy_id);
+    EXPECT_EQ(frame->frame_id, i);
+  }
+
+  // Now the slow client wakes up and asks for its own damage report.
+  // STATS is control-plane: always admitted, never shed. Frames
+  // queued ahead of the response arrive first; Command parks them.
+  auto stats = slow.Command("STATS", 20000);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(StartsWith(*stats, "OK STATS ")) << *stats;
+  const std::string line = *stats;
+  const size_t dropped_at = line.find("dropped=");
+  ASSERT_NE(dropped_at, std::string::npos);
+  const uint64_t dropped =
+      std::stoull(line.substr(dropped_at + std::string("dropped=").size()));
+  EXPECT_GT(dropped, 0u) << line;
+  // Shedding reduced the keep fraction below 1.
+  const size_t keep_at = line.find("keep=");
+  ASSERT_NE(keep_at, std::string::npos);
+  EXPECT_LT(std::stod(line.substr(keep_at + 5)), 1.0) << line;
+}
+
+TEST(NetServerE2eTest, RestartRecoversQuarantinedQueryInPlace) {
+  DsmsOptions options;
+  options.workers = 1;  // supervised execution
+  NetFixture fixture(options);
+  // Swallow scan 0's FrameEnd on band 2: scan 1's FrameBegin then
+  // nests, the chain rejects it (FailedPrecondition = poison), and
+  // the default poison_limit=1 quarantines the query.
+  CorruptionConfig corruption;
+  corruption.target_band = 0;  // kNearInfrared = goes.band2
+  corruption.drop_frame_end_scans = {0};
+  fixture.generator().SetCorruption(corruption);
+
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
+  auto response = client.Command("QUERY goes.band2");
+  ASSERT_TRUE(response.ok());
+  const int64_t id = ParseIdFromOk(*response);
+
+  GS_ASSERT_OK(fixture.Ingest(0, 2));
+  auto health = client.Command("HEALTH");
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health->find(StringPrintf("%lld=QUARANTINED",
+                                      static_cast<long long>(id))),
+            std::string::npos)
+      << *health;
+
+  // The poison event is inspectable through the dead-letter queue.
+  auto dlq = client.Command(StringPrintf("DLQ %lld",
+                                         static_cast<long long>(id)));
+  ASSERT_TRUE(dlq.ok());
+  ASSERT_TRUE(StartsWith(*dlq, "OK DLQ ")) << *dlq;
+  EXPECT_NE(dlq->find("kept=1"), std::string::npos) << *dlq;
+  auto dl_line = client.ReadNext();
+  ASSERT_TRUE(dl_line.ok());
+  ASSERT_TRUE(dl_line->line.has_value());
+  EXPECT_TRUE(StartsWith(*dl_line->line, "DL ")) << *dl_line->line;
+
+  // RESTART un-quarantines in place: same connection, same query id.
+  auto restart = client.Command(StringPrintf("RESTART %lld",
+                                             static_cast<long long>(id)));
+  ASSERT_TRUE(restart.ok());
+  EXPECT_TRUE(StartsWith(*restart, "OK RESTART")) << *restart;
+  health = client.Command("HEALTH");
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health->find(StringPrintf("%lld=RUNNING",
+                                      static_cast<long long>(id))),
+            std::string::npos)
+      << *health;
+
+  // Clean scans flow again, to the same subscription.
+  GS_ASSERT_OK(fixture.Ingest(2, 2));
+  auto frame = client.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->query_id, id);
+  EXPECT_GE(frame->frame_id, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Ingest-boundary checksum verification
+
+TEST(IngestChecksumTest, CorruptBatchesAreDeadLetteredAtTheBoundary) {
+  DsmsOptions options;
+  options.verify_ingest_checksums = true;
+  NetFixture fixture(options);
+  CorruptionConfig corruption;
+  corruption.target_band = 0;  // goes.band2
+  corruption.checksum_batches = true;
+  corruption.corrupt_value_batches = {1, 4, 7};
+  fixture.generator().SetCorruption(corruption);
+
+  // A query over the corrupted band still completes every frame —
+  // the poisoned rows are shed at the boundary, not mid-chain.
+  std::atomic<int> frames{0};
+  auto id = fixture.server().RegisterQuery(
+      "goes.band2", [&](int64_t, const Raster&, const std::vector<uint8_t>&) {
+        ++frames;
+      });
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  GS_ASSERT_OK(fixture.Ingest(0, 3));
+  EXPECT_EQ(frames.load(), 3);
+
+  const auto& stats = fixture.generator().corruption_stats();
+  EXPECT_EQ(stats.values_corrupted, 3u);
+  EXPECT_EQ(fixture.server().IngestChecksumFailures(), 3u);
+  auto letters = fixture.server().SourceDeadLetters("goes.band2");
+  ASSERT_TRUE(letters.ok()) << letters.status().ToString();
+  ASSERT_EQ(letters->size(), 3u);
+  for (const DeadLetter& letter : *letters) {
+    EXPECT_NE(letter.error.find("checksum mismatch"), std::string::npos);
+    EXPECT_EQ(letter.event.kind, EventKind::kPointBatch);
+  }
+  // The clean band saw no failures.
+  auto clean = fixture.server().SourceDeadLetters("goes.band1");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean->empty());
+  EXPECT_FALSE(fixture.server().SourceDeadLetters("nope.band1").ok());
+}
+
+TEST(IngestChecksumTest, VerificationIsOptIn) {
+  // Default server: same corruption, nothing dead-lettered (checksums
+  // are not even attached unless the generator is asked to).
+  NetFixture fixture;
+  CorruptionConfig corruption;
+  corruption.target_band = 0;
+  corruption.checksum_batches = true;
+  corruption.corrupt_value_batches = {1};
+  fixture.generator().SetCorruption(corruption);
+  GS_ASSERT_OK(fixture.Ingest(0, 2));
+  EXPECT_EQ(fixture.server().IngestChecksumFailures(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Server-level dead letters & restart (no sockets)
+
+TEST(ServerDlqTest, RestartQueryGrantsFreshPoisonBudget) {
+  DsmsOptions options;
+  options.workers = 1;
+  NetFixture fixture(options);
+  CorruptionConfig corruption;
+  corruption.target_band = 0;
+  corruption.drop_frame_end_scans = {0};
+  fixture.generator().SetCorruption(corruption);
+
+  std::atomic<int> frames{0};
+  auto id = fixture.server().RegisterQuery(
+      "goes.band2", [&](int64_t, const Raster&, const std::vector<uint8_t>&) {
+        ++frames;
+      });
+  ASSERT_TRUE(id.ok());
+
+  GS_ASSERT_OK(fixture.Ingest(0, 2));
+  auto health = fixture.server().QueryHealth(*id);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(*health, PipelineHealth::kQuarantined);
+  EXPECT_FALSE(fixture.server().QueryError(*id).ok());
+  auto letters = fixture.server().DeadLetters(*id);
+  ASSERT_TRUE(letters.ok());
+  ASSERT_EQ(letters->size(), 1u);
+
+  GS_ASSERT_OK(fixture.server().RestartQuery(*id));
+  health = fixture.server().QueryHealth(*id);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(*health, PipelineHealth::kRunning);
+  GS_ASSERT_OK(fixture.server().QueryError(*id));
+  // Retained dead letters stay inspectable after the restart.
+  letters = fixture.server().DeadLetters(*id);
+  ASSERT_TRUE(letters.ok());
+  EXPECT_EQ(letters->size(), 1u);
+
+  const int before = frames.load();
+  GS_ASSERT_OK(fixture.Ingest(2, 2));
+  EXPECT_EQ(frames.load(), before + 2);
+
+  // Restarting a healthy query is a harmless no-op; unknown ids fail.
+  GS_ASSERT_OK(fixture.server().RestartQuery(*id));
+  EXPECT_FALSE(fixture.server().RestartQuery(9999).ok());
+  EXPECT_FALSE(fixture.server().DeadLetters(9999).ok());
+}
+
+TEST(ServerDlqTest, SynchronousServerHasEmptyDlqAndNoopRestart) {
+  NetFixture fixture;  // workers = 0
+  std::atomic<int> frames{0};
+  auto id = fixture.server().RegisterQuery(
+      "goes.band1", [&](int64_t, const Raster&, const std::vector<uint8_t>&) {
+        ++frames;
+      });
+  ASSERT_TRUE(id.ok());
+  auto letters = fixture.server().DeadLetters(*id);
+  ASSERT_TRUE(letters.ok());
+  EXPECT_TRUE(letters->empty());
+  GS_ASSERT_OK(fixture.server().RestartQuery(*id));
+}
+
+}  // namespace
+}  // namespace geostreams

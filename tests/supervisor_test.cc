@@ -341,7 +341,7 @@ TEST(FaultInjectorTest, InjectsOnScheduleThroughScheduler) {
 }
 
 TEST(FaultInjectorTest, VerifiesChecksums) {
-  FaultInjectorOp op("verify", {});
+  FaultInjectorOp op("verify", {}, /*verify_checksums=*/true);
   CollectingSink sink;
   op.BindOutput(&sink);
 
