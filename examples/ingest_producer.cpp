@@ -1,0 +1,128 @@
+// Remote instrument feeding regional_server's ingest plane.
+//
+// The GOES-like StreamGenerator that normally runs inside the server
+// process runs here instead, publishing through a ProducerClient —
+// an EventSink, so the generator cannot tell the difference between
+// the in-process ingest boundary and a TCP link. Every event travels
+// as a sequenced, checksummed GSF1 ingest message; the client holds
+// it in a bounded replay buffer until the server's cumulative ack
+// covers it, reconnects with backoff when the link drops, and resumes
+// idempotently from the server's `ATTACH` answer.
+//
+//   ./regional_server --port=7070 --ingest-port=7071 --delay-ms=500 1 20 &
+//   ./ingest_producer --port=7071 --scans=20 --delay-ms=400
+//
+//   ./ingest_producer --port=P [--host=H] [--scans=N] [--delay-ms=D]
+//                     [--chaos[=seed]]
+//
+// --chaos wraps the connection in the deterministic fault injector
+// (partial writes, mid-frame resets, dropped and delayed acks) and
+// prints the fault counters at the end: the stream still arrives
+// exactly once because the transport is at-least-once and the server
+// deduplicates by sequence number.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "net/producer_client.h"
+#include "server/scan_schedule.h"
+#include "server/stream_generator.h"
+
+using namespace geostreams;
+
+namespace {
+
+int Fail(const Status& status, const char* what) {
+  std::fprintf(stderr, "error (%s): %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ProducerClientOptions options;
+  options.source = "goes.band1";
+  int num_scans = 6;
+  int delay_ms = 150;
+  bool chaos = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--host=", 7) == 0) {
+      options.host = argv[a] + 7;
+    } else if (std::strncmp(argv[a], "--port=", 7) == 0) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[a] + 7));
+    } else if (std::strncmp(argv[a], "--scans=", 8) == 0) {
+      num_scans = std::atoi(argv[a] + 8);
+    } else if (std::strncmp(argv[a], "--delay-ms=", 11) == 0) {
+      delay_ms = std::atoi(argv[a] + 11);
+    } else if (std::strncmp(argv[a], "--chaos", 7) == 0) {
+      chaos = true;
+      options.flaky.seed = argv[a][7] == '=' ? std::atoll(argv[a] + 8) : 7;
+      options.flaky.partial_write_p = 0.05;
+      options.flaky.reset_write_p = 0.01;
+      options.flaky.drop_read_p = 0.2;
+      options.flaky.delay_read_p = 0.1;
+    }
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr,
+                 "usage: ingest_producer --port=P [--host=H] [--scans=N] "
+                 "[--delay-ms=D] [--chaos[=seed]]\n");
+    return 2;
+  }
+
+  // The same instrument regional_server simulates in-process — the
+  // server registered `goes.band1` from an identical config, so the
+  // lattices line up.
+  InstrumentConfig config;
+  config.crs_name = "latlon";
+  config.cells_per_sector = 128 * 96;
+  config.bands = {SpectralBand::kVisible};
+  config.name_prefix = "goes";
+  StreamGenerator generator(config, ScanSchedule::GoesRoutine());
+  if (Status st = generator.Init(); !st.ok()) return Fail(st, "generator");
+
+  ProducerClient producer(options);
+  if (Status st = producer.Connect(); !st.ok()) return Fail(st, "connect");
+  std::printf("attached to %s:%u as producer of %s%s\n",
+              options.host.c_str(), options.port, options.source.c_str(),
+              chaos ? " (chaos faults on)" : "");
+
+  for (int scan = 0; scan < num_scans; ++scan) {
+    if (Status st = generator.GenerateScans(scan, 1, {&producer}); !st.ok()) {
+      return Fail(st, "generate");
+    }
+    // Paced like a real downlink; the heartbeat keeps the server's
+    // liveness sweep off our back through longer pauses.
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    if (Status st = producer.Heartbeat(); !st.ok()) return Fail(st, "ping");
+  }
+  // Drain the replay buffer: done only when every batch is acked.
+  // Stream-end authority stays with the server, so a later producer
+  // run can attach again and resume from the last ack.
+  if (Status st = producer.Flush(10000); !st.ok()) return Fail(st, "flush");
+
+  const ProducerClientStats& stats = producer.stats();
+  std::printf(
+      "published=%llu acked=%llu retransmits=%llu reconnects=%llu "
+      "nacks=%llu\n",
+      static_cast<unsigned long long>(stats.published),
+      static_cast<unsigned long long>(stats.acked),
+      static_cast<unsigned long long>(stats.retransmits),
+      static_cast<unsigned long long>(stats.reconnects),
+      static_cast<unsigned long long>(stats.nacks));
+  if (chaos) {
+    const FlakySocketStats faults = producer.TotalSocketStats();
+    std::printf(
+        "faults survived: partial_writes=%llu resets=%llu "
+        "dropped_acks=%llu delayed_acks=%llu\n",
+        static_cast<unsigned long long>(faults.partial_writes),
+        static_cast<unsigned long long>(faults.resets),
+        static_cast<unsigned long long>(faults.dropped_reads),
+        static_cast<unsigned long long>(faults.delayed_reads));
+  }
+  producer.Close();
+  return stats.acked == stats.published ? 0 : 1;
+}

@@ -7,7 +7,7 @@
 // queue, like a receiving station would operate.
 //
 //   ./regional_server [num_clients] [num_scans] [--workers=N]
-//                     [--port=P] [--delay-ms=D]
+//                     [--port=P] [--delay-ms=D] [--ingest-port=P]
 //
 // With --workers=N the server runs its query worker pool: every
 // client query becomes one scheduler pipeline and N threads execute
@@ -20,6 +20,14 @@
 // --delay-ms between them so remote clients (`nc 127.0.0.1 P`) can
 // register queries and watch frames arrive, then exits — it never
 // runs forever, so scripted runs cannot hang.
+//
+// With --ingest-port=P (implies server mode) the instrument moves out
+// of this process entirely: a second listener accepts remote
+// producers (see ingest_producer.cpp) that stream sequenced GSF1
+// ingest batches into `goes.band1`, while clients keep registering
+// queries on the main port. The server waits a bounded window
+// (num_scans * delay_ms), reports the source's ingest counters, and
+// exits.
 
 #include <chrono>
 #include <cstdio>
@@ -53,6 +61,7 @@ int main(int argc, char** argv) {
   size_t workers = 0;
   bool serve = false;
   uint16_t port = 0;
+  int ingest_port = -1;  // -1 = no producer listener
   int delay_ms = 150;
   int positional = 0;
   for (int a = 1; a < argc; ++a) {
@@ -62,6 +71,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[a], "--port=", 7) == 0) {
       serve = true;
       port = static_cast<uint16_t>(std::atoi(argv[a] + 7));
+    } else if (std::strncmp(argv[a], "--ingest-port=", 14) == 0) {
+      serve = true;
+      ingest_port = std::atoi(argv[a] + 14);
     } else if (std::strncmp(argv[a], "--delay-ms=", 11) == 0) {
       delay_ms = std::atoi(argv[a] + 11);
     } else if (positional == 0) {
@@ -100,6 +112,7 @@ int main(int argc, char** argv) {
     // the control plane while this thread plays instrument.
     NetServerOptions net_options;
     net_options.port = port;
+    net_options.ingest_port = ingest_port;
     NetServer net(&server, net_options);
     if (Status st = net.Start(); !st.ok()) return Fail(st, "net start");
     std::printf("listening on 127.0.0.1:%u (%d scans, %d ms apart)\n",
@@ -107,6 +120,34 @@ int main(int argc, char** argv) {
     std::printf("  try:  nc 127.0.0.1 %u\n", net.port());
     std::printf(
         "        QUERY region(goes.band1, bbox(-105, 35, -100, 40))\n");
+    if (ingest_port >= 0) {
+      // Remote-fed mode: the instrument lives in a producer process
+      // (ingest_producer.cpp). Wait a bounded window for its batches,
+      // report the source's ingest counters, and exit — this process
+      // keeps stream-end authority, so a producer that merely
+      // disconnects can attach again and resume from the last ack.
+      std::printf("ingest plane on 127.0.0.1:%u\n", net.ingest_port());
+      std::printf("  feed it:  ./ingest_producer --port=%u --scans=%d\n",
+                  net.ingest_port(), num_scans);
+      for (int scan = 0; scan < num_scans; ++scan) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      if (auto stats = net.IngestStats("goes.band1"); stats.ok()) {
+        std::printf(
+            "ingest: delivered=%llu duplicates=%llu gaps=%llu next=%llu\n",
+            static_cast<unsigned long long>(stats->delivered),
+            static_cast<unsigned long long>(stats->duplicates),
+            static_cast<unsigned long long>(stats->gaps),
+            static_cast<unsigned long long>(stats->next_expected));
+      } else {
+        std::printf("ingest: no producer attached\n");
+      }
+      if (Status st = server.EndAllStreams(); !st.ok()) return Fail(st, "end");
+      net.Stop();
+      std::printf("ingest window closed after %d x %d ms; exiting\n",
+                  num_scans, delay_ms);
+      return 0;
+    }
     for (int scan = 0; scan < num_scans; ++scan) {
       if (Status st =
               generator.GenerateScans(scan, 1, {server.ingest("goes.band1")});

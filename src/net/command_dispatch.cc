@@ -29,6 +29,30 @@ Result<QueryId> ParseQueryId(std::string_view rest) {
   return static_cast<QueryId>(value);
 }
 
+/// A bare decimal token (and nothing else)? Then `QUERY 7` is an
+/// attach to query 7, and `RESTART goes-east` restarts a source.
+bool IsBareNumber(std::string_view rest) {
+  const std::string token(StripWhitespace(rest));
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+/// Validates a source-name argument: source names travel inside
+/// space-delimited ACK/NACK lines, so they must be single tokens.
+Result<std::string> ParseSourceName(std::string_view rest) {
+  const std::string token(StripWhitespace(rest));
+  if (token.empty()) {
+    return Status::InvalidArgument("missing source name");
+  }
+  if (token.find(' ') != std::string::npos) {
+    return Status::InvalidArgument("source name cannot contain spaces");
+  }
+  return token;
+}
+
 std::string HandleHealth(DsmsServer* server) {
   const std::vector<QueryId> ids = server->QueryIds();
   std::string out = StringPrintf("OK HEALTH n=%zu", ids.size());
@@ -83,6 +107,17 @@ std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
     if (text.empty()) {
       return ErrResponse(Status::InvalidArgument("QUERY needs query text"));
     }
+    if (IsBareNumber(text)) {
+      // No query text is a bare number, so a bare number is an id:
+      // attach to the existing query's fan-out instead of
+      // registering a copy of the plan.
+      Result<QueryId> parsed = ParseQueryId(text);
+      if (!parsed.ok()) return ErrResponse(parsed.status());
+      Result<QueryId> attached = hooks->AttachClientQuery(*parsed);
+      if (!attached.ok()) return ErrResponse(attached.status());
+      return StringPrintf("OK QUERY %lld",
+                          static_cast<long long>(*attached));
+    }
     Result<QueryId> id = hooks->RegisterClientQuery(text);
     if (!id.ok()) return ErrResponse(id.status());
     return StringPrintf("OK QUERY %lld", static_cast<long long>(*id));
@@ -97,11 +132,34 @@ std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
   if (verb == "health") return HandleHealth(server);
   if (verb == "stats") return "OK STATS " + hooks->SessionStatsLine();
   if (verb == "restart") {
+    if (!IsBareNumber(rest)) {
+      // Non-numeric argument: an ingest source, not a query id.
+      Result<std::string> name = ParseSourceName(rest);
+      if (!name.ok()) return ErrResponse(name.status());
+      Status st = hooks->RestartIngestSource(*name);
+      if (!st.ok()) return ErrResponse(st);
+      return "OK RESTART " + *name;
+    }
     Result<QueryId> id = ParseQueryId(rest);
     if (!id.ok()) return ErrResponse(id.status());
     Status st = server->RestartQuery(*id);
     if (!st.ok()) return ErrResponse(st);
     return StringPrintf("OK RESTART %lld", static_cast<long long>(*id));
+  }
+  if (verb == "attach") {
+    Result<std::string> name = ParseSourceName(rest);
+    if (!name.ok()) return ErrResponse(name.status());
+    Result<uint64_t> next = hooks->AttachIngestSource(*name);
+    if (!next.ok()) return ErrResponse(next.status());
+    return StringPrintf("OK ATTACH %s next=%llu", name->c_str(),
+                        static_cast<unsigned long long>(*next));
+  }
+  if (verb == "istats") {
+    Result<std::string> name = ParseSourceName(rest);
+    if (!name.ok()) return ErrResponse(name.status());
+    Result<std::string> stats = hooks->IngestStatsLine(*name);
+    if (!stats.ok()) return ErrResponse(stats.status());
+    return "OK ISTATS " + *stats;
   }
   if (verb == "dlq") return HandleDlq(server, rest);
   return ErrResponse(

@@ -3,14 +3,30 @@
 //   QUERY <text>       register a continuous query; its result frames
 //                      start streaming to this connection
 //                      -> "OK QUERY <id>"
-//   UNREGISTER <id>    stop and remove this connection's query
-//                      -> "OK UNREGISTER <id>"
+//   QUERY <id>         attach to an already-registered query's result
+//                      stream (a bare decimal argument is an id, never
+//                      query text): several connections can watch one
+//                      continuous query, each with its own shedding
+//                      -> "OK QUERY <id>"
+//   UNREGISTER <id>    detach this connection from the query; the
+//                      engine unregisters it when the last subscriber
+//                      leaves -> "OK UNREGISTER <id>"
 //   HEALTH             supervision health of every registered query
 //                      -> "OK HEALTH n=<N> <id>=<STATE>..."
 //   STATS              this connection's delivery stats (shedding!)
 //                      -> "OK STATS enqueued=... dropped=... keep=..."
 //   RESTART <id>       un-quarantine a failed query in place
 //                      -> "OK RESTART <id>"
+//   RESTART <name>     un-quarantine an ingest source (a non-numeric
+//                      argument names a source stream): ingest flows
+//                      again after a liveness quarantine
+//                      -> "OK RESTART <name>"
+//   ATTACH <source>    attach this connection as a producer for the
+//                      source stream; sequenced binary INGEST
+//                      messages may follow
+//                      -> "OK ATTACH <source> next=<seq>"
+//   ISTATS <source>    the source's ingest-session counters
+//                      -> "OK ISTATS source=... next=... ..."
 //   DLQ <id>           the query's retained dead-lettered events
 //                      -> "OK DLQ <id> total=<t> kept=<k>" followed by
 //                         k lines "DL <ordinal> <error>"
@@ -45,6 +61,33 @@ class SessionHooks {
   virtual Status UnregisterClientQuery(QueryId id) = 0;
   /// The connection's delivery statistics (ClientSession::StatsLine).
   virtual std::string SessionStatsLine() = 0;
+
+  // Ingest-plane hooks (net_server.h). Defaults answer Unimplemented
+  // so command surfaces without an ingest plane — unit-test fakes,
+  // embedded dispatchers — keep compiling unchanged.
+
+  /// Attaches this connection to an existing query's result stream
+  /// (`QUERY <id>` with a bare decimal argument).
+  virtual Result<QueryId> AttachClientQuery(QueryId id) {
+    (void)id;
+    return Status::Unimplemented("query attach not supported here");
+  }
+  /// Attaches this connection as a producer for `source`; returns the
+  /// next expected sequence number (the producer resumes from it).
+  virtual Result<uint64_t> AttachIngestSource(const std::string& source) {
+    (void)source;
+    return Status::Unimplemented("ingest not supported here");
+  }
+  /// Un-quarantines an ingest source (`RESTART <name>`).
+  virtual Status RestartIngestSource(const std::string& name) {
+    (void)name;
+    return Status::Unimplemented("ingest not supported here");
+  }
+  /// The source's IngestSession counters (`ISTATS <source>`).
+  virtual Result<std::string> IngestStatsLine(const std::string& source) {
+    (void)source;
+    return Status::Unimplemented("ingest not supported here");
+  }
 };
 
 /// Executes one control line and returns the complete response —

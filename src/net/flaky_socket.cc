@@ -1,0 +1,131 @@
+#include "net/flaky_socket.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/math_util.h"
+#include "net/socket_util.h"
+
+namespace geostreams {
+
+namespace {
+
+/// Distinct hash streams per fault kind so enabling one fault never
+/// shifts another's schedule.
+constexpr uint64_t kPartialStream = 0x70617274;  // 'part'
+constexpr uint64_t kCorruptStream = 0x636f7272;  // 'corr'
+constexpr uint64_t kResetStream = 0x72736574;    // 'rset'
+constexpr uint64_t kDropStream = 0x64726f70;     // 'drop'
+constexpr uint64_t kDelayStream = 0x646c6179;    // 'dlay'
+
+}  // namespace
+
+FlakySocket::FlakySocket(int fd, FlakySocketOptions options)
+    : fd_(fd), options_(options) {}
+
+FlakySocket::~FlakySocket() { Close(); }
+
+bool FlakySocket::Roll(uint64_t stream, uint64_t counter, double p) const {
+  if (p <= 0.0) return false;
+  return HashToUnit(Mix64(options_.seed * 0x9E3779B97F4A7C15ULL + stream) ^
+                    Mix64(counter + 1)) < p;
+}
+
+Status FlakySocket::Write(const uint8_t* data, size_t len) {
+  if (broken_ || fd_ < 0) {
+    return Status::Unavailable("flaky socket: connection reset");
+  }
+  const uint64_t op = stats_.writes++;
+  std::vector<uint8_t> scratch;
+  if (Roll(kCorruptStream, op, options_.corrupt_write_p) && len > 0) {
+    ++stats_.corrupted_writes;
+    scratch.assign(data, data + len);
+    // Flip one deterministic byte — enough to fail the payload CRC
+    // (or, if it lands in the header, the magic/length validation).
+    scratch[Mix64(options_.seed ^ op) % scratch.size()] ^= 0x20;
+    data = scratch.data();
+  }
+  if (Roll(kResetStream, op, options_.reset_write_p)) {
+    // Send a prefix so the peer is left holding a truncated frame,
+    // then kill the connection for real.
+    ++stats_.resets;
+    const size_t prefix = len / 2;
+    if (prefix > 0) {
+      Status ignored = WriteAll(fd_, data, prefix);
+      (void)ignored;
+    }
+    ShutdownFd(fd_);
+    broken_ = true;
+    return Status::Unavailable("flaky socket: injected connection reset");
+  }
+  if (Roll(kPartialStream, op, options_.partial_write_p) && len > 1) {
+    // Split the buffer: send a short prefix, then the remainder in a
+    // separate syscall. The peer sees two TCP segments and must
+    // reassemble mid-frame.
+    ++stats_.partial_writes;
+    const size_t prefix = 1 + Mix64(options_.seed + op) % (len - 1);
+    GEOSTREAMS_RETURN_IF_ERROR(WriteAll(fd_, data, prefix));
+    return WriteAll(fd_, data + prefix, len - prefix);
+  }
+  return WriteAll(fd_, data, len);
+}
+
+Result<size_t> FlakySocket::Read(uint8_t* buf, size_t len) {
+  if (fd_ < 0) return Status::Unavailable("flaky socket: closed");
+  if (!delayed_.empty()) {
+    const size_t n = std::min(len, delayed_.size());
+    std::memcpy(buf, delayed_.data(), n);
+    delayed_.erase(delayed_.begin(),
+                   delayed_.begin() + static_cast<ptrdiff_t>(n));
+    return n;
+  }
+  for (;;) {
+    const uint64_t op = stats_.reads++;
+    GEOSTREAMS_ASSIGN_OR_RETURN(size_t n, ReadSome(fd_, buf, len));
+    if (n == 0) return n;  // EOF is never injected away
+    if (Roll(kDropStream, op, options_.drop_read_p)) {
+      // Swallow the chunk (a lost ack batch). Loop for more data; if
+      // none is pending the caller's poll loop supplies the waiting.
+      ++stats_.dropped_reads;
+      GEOSTREAMS_ASSIGN_OR_RETURN(bool readable,
+                                  geostreams::PollReadable(fd_, 0));
+      if (!readable) return Status::Unavailable(
+          "flaky socket: chunk dropped, no more data pending");
+      continue;
+    }
+    if (Roll(kDelayStream, op, options_.delay_read_p)) {
+      // Hold this chunk; it is delivered in front of the next read.
+      ++stats_.delayed_reads;
+      delayed_.assign(buf, buf + n);
+      GEOSTREAMS_ASSIGN_OR_RETURN(bool readable,
+                                  geostreams::PollReadable(fd_, 0));
+      if (!readable) {
+        // Nothing newer to reorder against: deliver it now after all.
+        delayed_.clear();
+        return n;
+      }
+      GEOSTREAMS_ASSIGN_OR_RETURN(size_t m, ReadSome(fd_, buf, len));
+      if (m == 0) {
+        delayed_.clear();
+        return n;  // peer closed; deliver the held chunk as-is
+      }
+      // `buf` now holds the newer chunk; the held one follows on the
+      // next Read call.
+      return m;
+    }
+    return n;
+  }
+}
+
+Result<bool> FlakySocket::PollReadable(int timeout_ms) {
+  if (!delayed_.empty()) return true;
+  if (fd_ < 0) return Status::Unavailable("flaky socket: closed");
+  return geostreams::PollReadable(fd_, timeout_ms);
+}
+
+void FlakySocket::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+}  // namespace geostreams

@@ -1,0 +1,110 @@
+// Fault injection at the socket boundary — the network half of the
+// chaos-testing harness (the PR 2 FaultInjectorOp / StreamGenerator
+// corruption hooks cover the in-process half).
+//
+// A FlakySocket wraps a connected fd and misbehaves on a
+// deterministic schedule derived from a seed and per-direction
+// operation counters, so every failure a test provokes reproduces
+// from the same seed:
+//
+//   * partial writes — a Write is split and only a prefix is sent
+//     before the call returns short success; the caller's resume
+//     logic (and the peer's incremental decoder) get exercised;
+//   * byte corruption — one byte of the outgoing buffer is flipped;
+//     the peer's CRC-32 rejects the message and poisons its decoder,
+//     which a resilient producer must treat as connection loss;
+//   * mid-frame resets — the socket is shut down partway through a
+//     Write (Unavailable), leaving the peer with a truncated frame;
+//   * dropped reads — an incoming chunk (e.g. a batch of acks) is
+//     swallowed entirely, forcing sender-side replay;
+//   * delayed reads — an incoming chunk is stashed and delivered in
+//     front of the NEXT read, reordering ack arrival against the
+//     producer's send schedule.
+//
+// All probabilities are evaluated with a counter-indexed hash (no
+// shared RNG state), so concurrent sockets with different seeds stay
+// independently deterministic. A default-constructed options struct
+// injects nothing — the wrapper is then a plain blocking socket.
+
+#ifndef GEOSTREAMS_NET_FLAKY_SOCKET_H_
+#define GEOSTREAMS_NET_FLAKY_SOCKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace geostreams {
+
+struct FlakySocketOptions {
+  /// Seed for the deterministic fault schedule. Two sockets with the
+  /// same seed and the same call sequence fault identically.
+  uint64_t seed = 1;
+  /// Probability a Write sends only a prefix (resumed by the caller).
+  double partial_write_p = 0.0;
+  /// Probability a Write flips one payload byte before sending.
+  double corrupt_write_p = 0.0;
+  /// Probability a Write aborts mid-buffer with a connection reset.
+  double reset_write_p = 0.0;
+  /// Probability a received chunk is dropped outright.
+  double drop_read_p = 0.0;
+  /// Probability a received chunk is delayed behind the next one.
+  double delay_read_p = 0.0;
+};
+
+/// What the wrapper actually did — asserted against in chaos tests so
+/// a "passing" run provably exercised the faults it configured.
+struct FlakySocketStats {
+  uint64_t writes = 0;
+  uint64_t partial_writes = 0;
+  uint64_t corrupted_writes = 0;
+  uint64_t resets = 0;
+  uint64_t reads = 0;
+  uint64_t dropped_reads = 0;
+  uint64_t delayed_reads = 0;
+};
+
+/// Owns `fd`. Single-threaded like the clients that use it: one
+/// thread drives Write/Read/Close.
+class FlakySocket {
+ public:
+  FlakySocket(int fd, FlakySocketOptions options = {});
+  ~FlakySocket();
+
+  FlakySocket(const FlakySocket&) = delete;
+  FlakySocket& operator=(const FlakySocket&) = delete;
+
+  /// Writes the buffer, subject to injected faults. Unavailable after
+  /// an injected (or real) reset.
+  Status Write(const uint8_t* data, size_t len);
+
+  /// Reads up to `len` bytes (0 = orderly EOF), subject to injected
+  /// drops/delays. A drop returns as a 0-progress success would be
+  /// indistinguishable from EOF, so drops retry the underlying read
+  /// once more and time out through the caller's poll loop instead.
+  Result<size_t> Read(uint8_t* buf, size_t len);
+
+  /// Blocks up to `timeout_ms` for readable data. True early when a
+  /// delayed chunk is pending delivery.
+  Result<bool> PollReadable(int timeout_ms);
+
+  void Close();
+  bool broken() const { return broken_; }
+  int fd() const { return fd_; }
+  const FlakySocketStats& stats() const { return stats_; }
+
+ private:
+  /// Deterministic Bernoulli roll: hash(seed, stream, counter) < p.
+  bool Roll(uint64_t stream, uint64_t counter, double p) const;
+
+  int fd_;
+  FlakySocketOptions options_;
+  FlakySocketStats stats_;
+  bool broken_ = false;
+  /// Chunk held back by a delayed read, delivered before the next.
+  std::vector<uint8_t> delayed_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_NET_FLAKY_SOCKET_H_

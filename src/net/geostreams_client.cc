@@ -9,9 +9,10 @@ namespace geostreams {
 
 GeoStreamsClient::~GeoStreamsClient() { Close(); }
 
-Status GeoStreamsClient::Connect(const std::string& host, uint16_t port) {
+Status GeoStreamsClient::Connect(const std::string& host, uint16_t port,
+                                 int timeout_ms) {
   if (fd_ >= 0) return Status::FailedPrecondition("already connected");
-  GEOSTREAMS_ASSIGN_OR_RETURN(fd_, ConnectTcp(host, port));
+  GEOSTREAMS_ASSIGN_OR_RETURN(fd_, ConnectTcp(host, port, timeout_ms));
   return Status::OK();
 }
 
@@ -28,11 +29,9 @@ Status GeoStreamsClient::Send(const std::string& line) {
                   wire.size());
 }
 
-Result<FrameDecoder::Unit> GeoStreamsClient::ReadUnit(int timeout_ms,
-                                                      bool* eof) {
+Result<FrameDecoder::Unit> GeoStreamsClient::ReadUnitUntil(Deadline deadline,
+                                                           bool* eof) {
   *eof = false;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
   for (;;) {
     GEOSTREAMS_ASSIGN_OR_RETURN(std::optional<FrameDecoder::Unit> unit,
                                 decoder_.Next());
@@ -68,7 +67,7 @@ Result<GeoStreamsClient::Incoming> GeoStreamsClient::ReadNext(
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   bool eof = false;
   GEOSTREAMS_ASSIGN_OR_RETURN(FrameDecoder::Unit unit,
-                              ReadUnit(timeout_ms, &eof));
+                              ReadUnitUntil(After(timeout_ms), &eof));
   incoming.eof = eof;
   incoming.line = std::move(unit.line);
   incoming.frame = std::move(unit.frame);
@@ -78,26 +77,39 @@ Result<GeoStreamsClient::Incoming> GeoStreamsClient::ReadNext(
 Result<std::string> GeoStreamsClient::Command(const std::string& line,
                                               int timeout_ms) {
   GEOSTREAMS_RETURN_IF_ERROR(Send(line));
+  const Deadline deadline = After(timeout_ms);
   for (;;) {
     bool eof = false;
     GEOSTREAMS_ASSIGN_OR_RETURN(FrameDecoder::Unit unit,
-                                ReadUnit(timeout_ms, &eof));
+                                ReadUnitUntil(deadline, &eof));
     if (eof) {
       return Status::Unavailable("connection closed awaiting response");
     }
     if (unit.line) return std::move(*unit.line);
     if (unit.frame) parked_frames_.push_back(std::move(*unit.frame));
+    // `unit.ingest` cannot arrive here (servers do not send it), and
+    // either way the shared deadline still bounds the wait.
   }
 }
 
 Result<FrameMessage> GeoStreamsClient::ReadFrame(int timeout_ms) {
+  if (!parked_frames_.empty()) {
+    FrameMessage frame = std::move(parked_frames_.front());
+    parked_frames_.pop_front();
+    return frame;
+  }
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const Deadline deadline = After(timeout_ms);
   for (;;) {
-    GEOSTREAMS_ASSIGN_OR_RETURN(Incoming incoming, ReadNext(timeout_ms));
-    if (incoming.frame) return std::move(*incoming.frame);
-    if (incoming.eof) {
+    bool eof = false;
+    GEOSTREAMS_ASSIGN_OR_RETURN(FrameDecoder::Unit unit,
+                                ReadUnitUntil(deadline, &eof));
+    if (eof) {
       return Status::Unavailable("connection closed awaiting frame");
     }
-    // A stray text line (e.g. a late response) is skipped.
+    if (unit.frame) return std::move(*unit.frame);
+    // A stray text line (e.g. a late response) is skipped — against
+    // the same deadline, so a line trickle cannot stall us forever.
   }
 }
 

@@ -8,6 +8,7 @@
 #ifndef GEOSTREAMS_NET_GEOSTREAMS_CLIENT_H_
 #define GEOSTREAMS_NET_GEOSTREAMS_CLIENT_H_
 
+#include <chrono>
 #include <deque>
 #include <string>
 
@@ -23,7 +24,11 @@ class GeoStreamsClient {
   GeoStreamsClient(const GeoStreamsClient&) = delete;
   GeoStreamsClient& operator=(const GeoStreamsClient&) = delete;
 
-  Status Connect(const std::string& host, uint16_t port);
+  /// `host` may be a hostname or a numeric IPv4/IPv6 address
+  /// (socket_util's ConnectTcp). `timeout_ms` bounds the connect so a
+  /// black-holed server cannot hang the caller; <= 0 blocks.
+  Status Connect(const std::string& host, uint16_t port,
+                 int timeout_ms = -1);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
@@ -41,19 +46,31 @@ class GeoStreamsClient {
   Result<Incoming> ReadNext(int timeout_ms = 5000);
 
   /// Sends `line` and returns the first response line, parking result
-  /// frames that arrive in between (drain them with TakeFrame).
+  /// frames that arrive in between (drain them with ReadFrame).
+  /// `timeout_ms` is one overall deadline — frames trickling in do
+  /// not extend it.
   Result<std::string> Command(const std::string& line,
                               int timeout_ms = 5000);
 
-  /// Reads until a frame arrives (parked or fresh).
+  /// Reads until a frame arrives (parked or fresh). One overall
+  /// deadline: skipped text lines do not extend it.
   Result<FrameMessage> ReadFrame(int timeout_ms = 5000);
 
   size_t pending_frames() const { return parked_frames_.size(); }
 
  private:
-  /// Blocks for one decoded unit straight off the wire (ignores the
-  /// parked queue).
-  Result<FrameDecoder::Unit> ReadUnit(int timeout_ms, bool* eof);
+  using Deadline = std::chrono::steady_clock::time_point;
+  static Deadline After(int timeout_ms) {
+    return std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(timeout_ms);
+  }
+
+  /// Blocks until `deadline` for one decoded unit straight off the
+  /// wire (ignores the parked queue). Every multi-read loop in this
+  /// client shares one deadline through here, so a peer trickling
+  /// bytes (or interleaving other units) cannot stretch a 5-second
+  /// timeout into forever.
+  Result<FrameDecoder::Unit> ReadUnitUntil(Deadline deadline, bool* eof);
 
   int fd_ = -1;
   FrameDecoder decoder_;

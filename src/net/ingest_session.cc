@@ -1,0 +1,157 @@
+#include "net/ingest_session.h"
+
+#include "common/string_util.h"
+
+namespace geostreams {
+
+IngestSession::IngestSession(std::string source, EventSink* target,
+                             IngestSessionOptions options)
+    : source_(std::move(source)), target_(target), options_(options) {}
+
+uint64_t IngestSession::Attach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  attached_ever_ = true;
+  last_activity_ = Clock::now();
+  return expected_;
+}
+
+std::string IngestSession::Ack(uint64_t upto) const {
+  return StringPrintf("ACK %s %llu", source_.c_str(),
+                      static_cast<unsigned long long>(upto));
+}
+
+std::string IngestSession::Nack(uint64_t seq, const Status& status) const {
+  return StringPrintf("NACK %s %llu %s %s", source_.c_str(),
+                      static_cast<unsigned long long>(seq),
+                      StatusCodeName(status.code()),
+                      status.message().c_str());
+}
+
+std::string IngestSession::Handle(const IngestMessage& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_activity_ = Clock::now();
+  attached_ever_ = true;
+  ++stats_.received;
+
+  if (message.seq < expected_) {
+    // Already delivered (the producer replayed after losing our ack).
+    // Re-ack cumulatively, do not re-deliver: this is where
+    // at-least-once transport becomes exactly-once delivery.
+    ++stats_.duplicates;
+    return Ack(expected_ - 1);
+  }
+  if (message.seq > expected_) {
+    // A gap: something between was lost (or the producer restarted
+    // with fresh state). Tell it where to rewind to.
+    ++stats_.gaps;
+    return Nack(message.seq,
+                Status::OutOfRange(StringPrintf(
+                    "sequence gap: expected=%llu",
+                    static_cast<unsigned long long>(expected_))));
+  }
+  if (quarantined_) {
+    return Nack(message.seq,
+                Status::FailedPrecondition(StringPrintf(
+                    "source quarantined: %s",
+                    quarantine_error_.message().c_str())));
+  }
+
+  const bool is_batch = message.event.kind == EventKind::kPointBatch;
+  if (is_batch && options_.memory != nullptr &&
+      options_.admission_max_bytes > 0) {
+    const uint64_t total = options_.memory->TotalBytes();
+    if (total > options_.admission_max_bytes) {
+      if (options_.overload_policy ==
+          IngestSessionOptions::OverloadPolicy::kNack) {
+        ++stats_.overload_nacks;
+        return Nack(message.seq,
+                    Status::ResourceExhausted(StringPrintf(
+                        "ingest admission: %llu tracked bytes exceed "
+                        "budget %llu",
+                        static_cast<unsigned long long>(total),
+                        static_cast<unsigned long long>(
+                            options_.admission_max_bytes))));
+      }
+      // kShed: accept responsibility for the batch and drop it, the
+      // boundary equivalent of the scheduler's load shedding. The ack
+      // keeps the producer's replay buffer (and the network) from
+      // amplifying the overload.
+      ++stats_.overload_shed;
+      expected_ = message.seq + 1;
+      return Ack(message.seq);
+    }
+  }
+
+  const Status delivered = target_->Consume(message.event);
+  if (!delivered.ok()) {
+    // Leave `expected_` where it is: the producer may retry the same
+    // sequence number once the chain recovers (transient errors) or
+    // after an admin RESTART (quarantine/poison).
+    ++stats_.delivery_errors;
+    return Nack(message.seq, delivered);
+  }
+  ++stats_.delivered;
+  expected_ = message.seq + 1;
+  if (message.event.kind == EventKind::kStreamEnd) ended_ = true;
+  return Ack(message.seq);
+}
+
+void IngestSession::Touch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_activity_ = Clock::now();
+}
+
+Status IngestSession::CheckLiveness() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.idle_timeout_ms == 0 || quarantined_ || ended_ ||
+      !attached_ever_) {
+    return Status::OK();
+  }
+  const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        Clock::now() - last_activity_)
+                        .count();
+  if (idle < static_cast<int64_t>(options_.idle_timeout_ms)) {
+    return Status::OK();
+  }
+  quarantined_ = true;
+  quarantine_error_ = Status::Unavailable(StringPrintf(
+      "source '%s' silent for %lld ms (idle timeout %llu ms)",
+      source_.c_str(), static_cast<long long>(idle),
+      static_cast<unsigned long long>(options_.idle_timeout_ms)));
+  return quarantine_error_;
+}
+
+void IngestSession::Unquarantine() {
+  std::lock_guard<std::mutex> lock(mu_);
+  quarantined_ = false;
+  quarantine_error_ = Status::OK();
+  last_activity_ = Clock::now();
+}
+
+IngestSessionStats IngestSession::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestSessionStats out = stats_;
+  out.next_expected = expected_;
+  out.quarantined = quarantined_;
+  out.ended = ended_;
+  return out;
+}
+
+std::string IngestSession::StatsLine() const {
+  const IngestSessionStats s = Stats();
+  return StringPrintf(
+      "source=%s next=%llu received=%llu delivered=%llu duplicates=%llu "
+      "gaps=%llu overload_nacks=%llu overload_shed=%llu "
+      "delivery_errors=%llu quarantined=%d ended=%d",
+      source_.c_str(), static_cast<unsigned long long>(s.next_expected),
+      static_cast<unsigned long long>(s.received),
+      static_cast<unsigned long long>(s.delivered),
+      static_cast<unsigned long long>(s.duplicates),
+      static_cast<unsigned long long>(s.gaps),
+      static_cast<unsigned long long>(s.overload_nacks),
+      static_cast<unsigned long long>(s.overload_shed),
+      static_cast<unsigned long long>(s.delivery_errors),
+      s.quarantined ? 1 : 0, s.ended ? 1 : 0);
+}
+
+}  // namespace geostreams

@@ -1,0 +1,148 @@
+// Server-side state of one ingest source: the resilient half of the
+// binary ingest plane (the producer half is ProducerClient).
+//
+// A producer attaches to a source with `ATTACH <source>` and then
+// streams GSF1 kIngest messages, each carrying one StreamEvent under
+// a per-source monotonic sequence number (1-based). The session is
+// the paper's "stream generator -> server" arrow made fault
+// tolerant:
+//
+//   * ordering   — exactly the next expected sequence number is
+//     delivered into the query chain; anything already acked is a
+//     duplicate (re-acked, dropped — replay after a reconnect is
+//     idempotent) and anything beyond the expectation is a gap
+//     (NACKed with the expected number so the producer rewinds);
+//   * acks       — cumulative: `ACK <source> <n>` promises every
+//     sequence number <= n was delivered (or deliberately shed), so
+//     the producer can trim its replay buffer;
+//   * admission  — before a point batch enters the chain the session
+//     consults the server's MemoryTracker; past the configured byte
+//     budget the batch is refused at the front door with
+//     `NACK ... ResourceExhausted` (producer backs off and replays —
+//     graceful degradation) or, under the kShed policy, acked-but-
+//     dropped like the scheduler's own load shedding. Control events
+//     (frame boundaries, stream end) are always admitted so
+//     downstream buffering operators keep seeing well-formed frames;
+//   * liveness   — a source that stops sending (no ingest message or
+//     heartbeat for `idle_timeout_ms`) is quarantined: the owner
+//     (NetServer) dead-letters the silence into the source's DLQ and
+//     later ingest is NACKed until an admin `RESTART <source>`
+//     un-quarantines it.
+//
+// Sessions outlive connections on purpose: sequence state is keyed by
+// source, so a producer that reconnects resumes from the server's
+// last ack instead of re-delivering (or skipping) history.
+//
+// Thread-safe: the connection reader delivering messages, the
+// liveness sweeper, and admin commands from other connections all
+// take the internal mutex. Delivery into the chain happens with the
+// mutex held, serializing one source's events — the same guarantee an
+// in-process producer has.
+
+#ifndef GEOSTREAMS_NET_INGEST_SESSION_H_
+#define GEOSTREAMS_NET_INGEST_SESSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "net/wire_protocol.h"
+#include "stream/memory_tracker.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+struct IngestSessionOptions {
+  /// Quarantine the source after this long without an ingest message
+  /// or heartbeat (0 = liveness not enforced). Measured from the
+  /// producer's first attach; a delivered StreamEnd disarms it.
+  uint64_t idle_timeout_ms = 0;
+  /// Memory figure consulted for admission control (not owned; null =
+  /// no admission control).
+  const MemoryTracker* memory = nullptr;
+  /// Admission budget in tracked bytes (0 = unlimited): point batches
+  /// arriving while MemoryTracker::TotalBytes() exceeds this are
+  /// refused at the boundary instead of growing queues.
+  uint64_t admission_max_bytes = 0;
+  /// What "refused" means: kNack preserves at-least-once (producer
+  /// retries after backoff); kShed acknowledges and drops, trading
+  /// completeness for producer progress like shedding_op does for
+  /// query output.
+  enum class OverloadPolicy : uint8_t { kNack, kShed };
+  OverloadPolicy overload_policy = OverloadPolicy::kNack;
+};
+
+struct IngestSessionStats {
+  uint64_t received = 0;         // ingest messages handled
+  uint64_t delivered = 0;        // events delivered into the chain
+  uint64_t duplicates = 0;       // seq already acked; re-acked
+  uint64_t gaps = 0;             // seq ahead of expectation; NACKed
+  uint64_t overload_nacks = 0;   // admission refusals (kNack)
+  uint64_t overload_shed = 0;    // admission drops (kShed)
+  uint64_t delivery_errors = 0;  // chain refused the event; NACKed
+  uint64_t next_expected = 1;    // next in-order sequence number
+  bool quarantined = false;
+  bool ended = false;            // StreamEnd delivered
+};
+
+class IngestSession {
+ public:
+  /// `target` (the server's ingest sink for `source`) is not owned
+  /// and must outlive the session.
+  IngestSession(std::string source, EventSink* target,
+                IngestSessionOptions options);
+
+  const std::string& source() const { return source_; }
+
+  /// A producer attached (or re-attached after reconnect). Returns
+  /// the next expected sequence number, from which the producer must
+  /// (re)send.
+  uint64_t Attach();
+
+  /// Handles one sequenced message and returns the response line to
+  /// send back ("ACK <source> <n>" or "NACK <source> <seq> <Code>
+  /// <detail>").
+  std::string Handle(const IngestMessage& message);
+
+  /// Records liveness without data (the producer's PING).
+  void Touch();
+
+  /// Liveness check, run periodically by the owner. When the idle
+  /// timeout has newly expired this quarantines the session and
+  /// returns the error to record (e.g. into the source's dead-letter
+  /// queue); returns OK otherwise.
+  Status CheckLiveness();
+
+  /// Admin un-quarantine (`RESTART <source>`): clears the error and
+  /// re-arms the idle clock.
+  void Unquarantine();
+
+  IngestSessionStats Stats() const;
+  /// The ISTATS command's value part.
+  std::string StatsLine() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::string Ack(uint64_t upto) const;
+  std::string Nack(uint64_t seq, const Status& status) const;
+
+  const std::string source_;
+  EventSink* target_;
+  const IngestSessionOptions options_;
+
+  mutable std::mutex mu_;
+  uint64_t expected_ = 1;
+  bool attached_ever_ = false;
+  bool ended_ = false;
+  bool quarantined_ = false;
+  Status quarantine_error_ = Status::OK();
+  Clock::time_point last_activity_ = Clock::now();
+  IngestSessionStats stats_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_NET_INGEST_SESSION_H_

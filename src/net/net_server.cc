@@ -1,5 +1,9 @@
 #include "net/net_server.h"
 
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+
 #include <algorithm>
 
 #include "common/logging.h"
@@ -73,9 +77,40 @@ class NetServer::Connection : public SessionHooks {
           "query %lld was not registered by this connection",
           static_cast<long long>(id)));
     }
-    GEOSTREAMS_RETURN_IF_ERROR(server_->DropQuery(id));
+    GEOSTREAMS_RETURN_IF_ERROR(server_->DetachQuery(id, session_));
     owned_.erase(it);
     return Status::OK();
+  }
+
+  Result<QueryId> AttachClientQuery(QueryId id) override {
+    if (std::find(owned_.begin(), owned_.end(), id) != owned_.end()) {
+      return Status::AlreadyExists(StringPrintf(
+          "query %lld already streams to this connection",
+          static_cast<long long>(id)));
+    }
+    GEOSTREAMS_RETURN_IF_ERROR(server_->AttachQuery(id, session_));
+    owned_.push_back(id);
+    return id;
+  }
+
+  Result<uint64_t> AttachIngestSource(const std::string& source) override {
+    GEOSTREAMS_ASSIGN_OR_RETURN(std::shared_ptr<IngestSession> session,
+                                server_->IngestSessionFor(source));
+    const uint64_t next = session->Attach();
+    attached_[source] = std::move(session);
+    return next;
+  }
+
+  Status RestartIngestSource(const std::string& name) override {
+    return server_->RestartIngestSource(name);
+  }
+
+  Result<std::string> IngestStatsLine(const std::string& source) override {
+    auto it = attached_.find(source);
+    if (it != attached_.end()) return it->second->StatsLine();
+    GEOSTREAMS_ASSIGN_OR_RETURN(std::shared_ptr<IngestSession> session,
+                                server_->IngestSessionFor(source));
+    return session->StatsLine();
   }
 
   std::string SessionStatsLine() override { return session_->StatsLine(); }
@@ -83,31 +118,48 @@ class NetServer::Connection : public SessionHooks {
  private:
   void ReaderLoop() {
     const int fd = session_->fd();
-    std::string pending;
+    FrameDecoder decoder;
     uint8_t buf[4096];
-    while (!server_->stopping_.load() && !session_->closed()) {
+    bool protocol_error = false;
+    while (!protocol_error && !server_->stopping_.load() &&
+           !session_->closed()) {
       Result<bool> readable =
           PollReadable(fd, server_->options_.poll_interval_ms);
       if (!readable.ok()) break;
       if (!*readable) continue;
       Result<size_t> n = ReadSome(fd, buf, sizeof(buf));
       if (!n.ok() || *n == 0) break;  // error or orderly EOF
-      pending.append(reinterpret_cast<const char*>(buf), *n);
-      size_t eol;
-      while ((eol = pending.find('\n')) != std::string::npos) {
-        std::string line = pending.substr(0, eol);
-        pending.erase(0, eol + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        const std::string response =
-            ExecuteCommand(server_->dsms_, this, line);
-        if (!session_->EnqueueControl(response).ok()) break;
+      decoder.Feed(buf, *n);
+      // Any inbound traffic proves the producer behind this
+      // connection is alive.
+      for (const auto& [source, ingest] : attached_) ingest->Touch();
+      for (;;) {
+        Result<std::optional<FrameDecoder::Unit>> unit = decoder.Next();
+        if (!unit.ok()) {
+          // Malformed binary input: framing is lost for good (the
+          // decoder stays poisoned). Tell the peer why and hang up;
+          // a resilient producer reconnects and replays.
+          Status ignored = session_->EnqueueControl(
+              StringPrintf("ERR %s %s",
+                           StatusCodeName(unit.status().code()),
+                           unit.status().message().c_str()));
+          (void)ignored;
+          protocol_error = true;
+          break;
+        }
+        if (!unit->has_value()) break;
+        if (!HandleUnit(**unit)) {
+          protocol_error = true;
+          break;
+        }
       }
     }
     // The client is gone (or the server is stopping): its queries go
-    // with it — continuous delivery to nobody is pure waste.
+    // with it — continuous delivery to nobody is pure waste. Ingest
+    // sessions stay behind in the server so the producer can resume.
     session_->Close();
     for (QueryId id : owned_) {
-      Status st = server_->DropQuery(id);
+      Status st = server_->DetachQuery(id, session_);
       if (!st.ok()) {
         GEOSTREAMS_LOG(kWarning)
             << "session " << session_->id() << ": dropping query " << id
@@ -118,10 +170,42 @@ class NetServer::Connection : public SessionHooks {
     done_.store(true);
   }
 
+  /// Dispatches one demultiplexed unit. False ends the connection.
+  bool HandleUnit(const FrameDecoder::Unit& unit) {
+    if (unit.line) {
+      const std::string response =
+          ExecuteCommand(server_->dsms_, this, *unit.line);
+      return session_->EnqueueControl(response).ok();
+    }
+    if (unit.ingest) {
+      auto it = attached_.find(unit.ingest->source);
+      std::string response;
+      if (it == attached_.end()) {
+        // The handshake is mandatory: it is what tells the producer
+        // where to resume, and it pins the session before data races
+        // the liveness sweep.
+        response = StringPrintf(
+            "NACK %s %llu FailedPrecondition ATTACH before INGEST",
+            unit.ingest->source.c_str(),
+            static_cast<unsigned long long>(unit.ingest->seq));
+      } else {
+        response = it->second->Handle(*unit.ingest);
+      }
+      return session_->EnqueueControl(response).ok();
+    }
+    // A result frame from a client is backwards.
+    Status ignored = session_->EnqueueControl(
+        "ERR InvalidArgument result frames flow server to client");
+    (void)ignored;
+    return false;
+  }
+
   NetServer* server_;
   std::shared_ptr<ClientSession> session_;
-  /// Queries registered over this connection. Reader-thread-only.
+  /// Queries streaming to this connection. Reader-thread-only.
   std::vector<QueryId> owned_;
+  /// Ingest sessions this connection attached to. Reader-thread-only.
+  std::map<std::string, std::shared_ptr<IngestSession>> attached_;
   std::thread reader_;
   std::atomic<bool> done_{false};
 };
@@ -135,11 +219,33 @@ Status NetServer::Start() {
   if (started_) return Status::FailedPrecondition("already started");
   GEOSTREAMS_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.port));
   GEOSTREAMS_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
+  if (options_.ingest_port >= 0) {
+    Result<int> ingest_fd =
+        ListenTcp(static_cast<uint16_t>(options_.ingest_port));
+    if (!ingest_fd.ok()) {
+      CloseFd(listen_fd_);
+      listen_fd_ = -1;
+      return ingest_fd.status();
+    }
+    ingest_listen_fd_ = *ingest_fd;
+    Result<uint16_t> bound = LocalPort(ingest_listen_fd_);
+    if (!bound.ok()) {
+      CloseFd(listen_fd_);
+      CloseFd(ingest_listen_fd_);
+      listen_fd_ = ingest_listen_fd_ = -1;
+      return bound.status();
+    }
+    ingest_port_ = *bound;
+  }
   started_ = true;
   stopping_.store(false);
   acceptor_ = std::thread([this] { AcceptLoop(); });
   GEOSTREAMS_LOG(kInfo) << "network server listening on 127.0.0.1:"
                         << port_;
+  if (ingest_listen_fd_ >= 0) {
+    GEOSTREAMS_LOG(kInfo) << "ingest listener on 127.0.0.1:"
+                          << ingest_port_;
+  }
   return Status::OK();
 }
 
@@ -148,7 +254,8 @@ void NetServer::Stop() {
   stopping_.store(true);
   if (acceptor_.joinable()) acceptor_.join();
   CloseFd(listen_fd_);
-  listen_fd_ = -1;
+  CloseFd(ingest_listen_fd_);
+  listen_fd_ = ingest_listen_fd_ = -1;
   // Connections shut down one at a time outside net_mu_ (their reader
   // threads call DropQuery, which takes it).
   for (;;) {
@@ -173,33 +280,151 @@ size_t NetServer::num_sessions() const {
   return live;
 }
 
-Status NetServer::DropQuery(QueryId id) {
-  std::shared_ptr<Subscription> sub;
+Result<IngestSessionStats> NetServer::IngestStats(
+    const std::string& source) const {
+  std::lock_guard<std::mutex> lock(net_mu_);
+  auto it = ingest_sessions_.find(source);
+  if (it == ingest_sessions_.end()) {
+    return Status::NotFound("no producer has attached to " + source);
+  }
+  return it->second->Stats();
+}
+
+Status NetServer::AttachQuery(QueryId id,
+                              const std::shared_ptr<ClientSession>& session) {
+  std::lock_guard<std::mutex> lock(net_mu_);
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) {
+    return Status::NotFound(StringPrintf(
+        "query %lld has no active subscription",
+        static_cast<long long>(id)));
+  }
+  std::lock_guard<std::mutex> sub_lock(it->second->mu);
+  it->second->sessions.push_back(session);
+  return Status::OK();
+}
+
+Status NetServer::DetachQuery(QueryId id,
+                              const std::shared_ptr<ClientSession>& session) {
+  bool last = false;
   {
     std::lock_guard<std::mutex> lock(net_mu_);
     auto it = subscriptions_.find(id);
-    if (it != subscriptions_.end()) {
-      sub = std::move(it->second);
-      subscriptions_.erase(it);
+    if (it == subscriptions_.end()) {
+      return Status::NotFound(StringPrintf(
+          "query %lld has no active subscription",
+          static_cast<long long>(id)));
+    }
+    // net_mu_ serializes the last-subscriber decision against
+    // concurrent attaches, so exactly one detacher unregisters.
+    std::lock_guard<std::mutex> sub_lock(it->second->mu);
+    auto& sessions = it->second->sessions;
+    sessions.erase(std::remove(sessions.begin(), sessions.end(), session),
+                   sessions.end());
+    last = sessions.empty();
+    if (last) subscriptions_.erase(it);
+  }
+  if (!last) return Status::OK();
+  // The engine call runs with no lock held: unregistration waits out
+  // in-flight delivery callbacks, which take Subscription::mu.
+  return dsms_->UnregisterQuery(id);
+}
+
+Result<std::shared_ptr<IngestSession>> NetServer::IngestSessionFor(
+    const std::string& source) {
+  std::lock_guard<std::mutex> lock(net_mu_);
+  auto it = ingest_sessions_.find(source);
+  if (it != ingest_sessions_.end()) return it->second;
+  EventSink* sink = options_.ingest_resolver ? options_.ingest_resolver(source)
+                                             : dsms_->ingest(source);
+  if (sink == nullptr) {
+    return Status::NotFound("stream not registered: " + source);
+  }
+  IngestSessionOptions opts = options_.ingest;
+  if (opts.memory == nullptr) opts.memory = &dsms_->memory();
+  auto session = std::make_shared<IngestSession>(source, sink, opts);
+  ingest_sessions_.emplace(source, session);
+  return session;
+}
+
+Status NetServer::RestartIngestSource(const std::string& name) {
+  std::shared_ptr<IngestSession> session;
+  {
+    std::lock_guard<std::mutex> lock(net_mu_);
+    auto it = ingest_sessions_.find(name);
+    if (it != ingest_sessions_.end()) session = it->second;
+  }
+  if (session == nullptr) {
+    return Status::NotFound("no producer has attached to " + name);
+  }
+  // Engine first (its guard must admit events again), then the
+  // session (so its very next ACK is honest about delivery).
+  GEOSTREAMS_RETURN_IF_ERROR(dsms_->RestartSource(name));
+  session->Unquarantine();
+  return Status::OK();
+}
+
+void NetServer::SweepIngestLiveness() {
+  std::vector<std::shared_ptr<IngestSession>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(net_mu_);
+    sessions.reserve(ingest_sessions_.size());
+    for (const auto& [source, session] : ingest_sessions_) {
+      sessions.push_back(session);
     }
   }
-  if (sub) {
-    // Detach the fan-out before unregistering: a callback already
-    // in flight holds its own shared_ptr and finishes harmlessly
-    // against the emptied list.
-    std::lock_guard<std::mutex> lock(sub->mu);
-    sub->sessions.clear();
+  for (const auto& session : sessions) {
+    const Status verdict = session->CheckLiveness();
+    if (verdict.ok()) continue;  // alive (or already quarantined)
+    Status st = dsms_->QuarantineSource(session->source(), verdict);
+    if (!st.ok()) {
+      GEOSTREAMS_LOG(kWarning)
+          << "quarantining source '" << session->source()
+          << "' failed: " << st.ToString();
+    }
   }
-  return dsms_->UnregisterQuery(id);
+}
+
+void NetServer::AcceptOne(int listen_fd) {
+  Result<int> client = AcceptClient(listen_fd);
+  if (!client.ok()) {
+    if (!stopping_.load()) {
+      GEOSTREAMS_LOG(kWarning) << "accept failed: "
+                               << client.status().ToString();
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lock(net_mu_);
+  if (connections_.size() >= options_.max_clients) {
+    GEOSTREAMS_LOG(kWarning) << "rejecting client: at max_clients="
+                             << options_.max_clients;
+    CloseFd(*client);
+    return;
+  }
+  auto connection =
+      std::make_unique<Connection>(this, *client, next_session_id_++);
+  connection->Start();
+  connections_.push_back(std::move(connection));
 }
 
 void NetServer::AcceptLoop() {
   while (!stopping_.load()) {
-    Result<bool> readable =
-        PollReadable(listen_fd_, options_.poll_interval_ms);
-    if (!readable.ok()) {
+    pollfd pfds[2];
+    nfds_t nfds = 0;
+    pfds[nfds].fd = listen_fd_;
+    pfds[nfds].events = POLLIN;
+    pfds[nfds].revents = 0;
+    ++nfds;
+    if (ingest_listen_fd_ >= 0) {
+      pfds[nfds].fd = ingest_listen_fd_;
+      pfds[nfds].events = POLLIN;
+      pfds[nfds].revents = 0;
+      ++nfds;
+    }
+    const int rc = ::poll(pfds, nfds, options_.poll_interval_ms);
+    if (rc < 0 && errno != EINTR) {
       GEOSTREAMS_LOG(kError) << "accept poll failed: "
-                             << readable.status().ToString();
+                             << std::strerror(errno);
       return;
     }
     // Reap finished connections (their readers already unregistered
@@ -217,25 +442,14 @@ void NetServer::AcceptLoop() {
           connections_.end());
     }
     finished.clear();
-    if (!*readable) continue;
-    Result<int> client = AcceptClient(listen_fd_);
-    if (!client.ok()) {
-      if (stopping_.load()) return;
-      GEOSTREAMS_LOG(kWarning) << "accept failed: "
-                               << client.status().ToString();
-      continue;
+    // Sources whose producers died (connection or process) never see
+    // another Touch; the sweep is what turns that silence into a
+    // quarantine + dead letter.
+    SweepIngestLiveness();
+    if (rc <= 0) continue;
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if (pfds[i].revents != 0) AcceptOne(pfds[i].fd);
     }
-    std::lock_guard<std::mutex> lock(net_mu_);
-    if (connections_.size() >= options_.max_clients) {
-      GEOSTREAMS_LOG(kWarning) << "rejecting client: at max_clients="
-                               << options_.max_clients;
-      CloseFd(*client);
-      continue;
-    }
-    auto connection =
-        std::make_unique<Connection>(this, *client, next_session_id_++);
-    connection->Start();
-    connections_.push_back(std::move(connection));
   }
 }
 

@@ -3,6 +3,8 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -22,16 +24,27 @@ Status ErrnoStatus(const char* what) {
 
 }  // namespace
 
-Result<int> ListenTcp(uint16_t port, int backlog) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+Result<int> ListenTcp(uint16_t port, int backlog, bool ipv6) {
+  const int fd = ::socket(ipv6 ? AF_INET6 : AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return ErrnoStatus("socket");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  int rc;
+  if (ipv6) {
+    ::setsockopt(fd, IPPROTO_IPV6, IPV6_V6ONLY, &one, sizeof(one));
+    sockaddr_in6 addr{};
+    addr.sin6_family = AF_INET6;
+    addr.sin6_addr = in6addr_loopback;
+    addr.sin6_port = htons(port);
+    rc = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    rc = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc != 0) {
     Status st = ErrnoStatus("bind");
     ::close(fd);
     return st;
@@ -45,12 +58,15 @@ Result<int> ListenTcp(uint16_t port, int backlog) {
 }
 
 Result<uint16_t> LocalPort(int fd) {
-  sockaddr_in addr{};
+  sockaddr_storage addr{};
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
     return ErrnoStatus("getsockname");
   }
-  return ntohs(addr.sin_port);
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
 }
 
 Result<bool> PollReadable(int fd, int timeout_ms) {
@@ -83,28 +99,91 @@ Result<int> AcceptClient(int listen_fd) {
   }
 }
 
-Result<int> ConnectTcp(const std::string& host, uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+namespace {
+
+/// One connect attempt against a resolved address. With a positive
+/// timeout the socket goes non-blocking for the handshake (poll for
+/// writability, then read SO_ERROR) and returns to blocking mode on
+/// success; without one this is a plain blocking connect.
+Result<int> ConnectOne(const addrinfo& ai, int timeout_ms) {
+  const int fd = ::socket(ai.ai_family, ai.ai_socktype, ai.ai_protocol);
   if (fd < 0) return ErrnoStatus("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("not a numeric IPv4 host: " + host);
-  }
-  for (;;) {
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
-        0) {
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      return fd;
+  Status st = Status::OK();
+  if (timeout_ms <= 0) {
+    for (;;) {
+      if (::connect(fd, ai.ai_addr, ai.ai_addrlen) == 0) break;
+      if (errno == EINTR) continue;
+      st = ErrnoStatus("connect");
+      break;
     }
-    if (errno == EINTR) continue;
-    Status st = ErrnoStatus("connect");
+  } else {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, ai.ai_addr, ai.ai_addrlen);
+    if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+      st = ErrnoStatus("connect");
+    } else if (rc != 0) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      for (;;) {
+        rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0 && errno == EINTR) continue;
+        break;
+      }
+      if (rc < 0) {
+        st = ErrnoStatus("poll");
+      } else if (rc == 0) {
+        st = Status::Unavailable(StringPrintf(
+            "connect timed out after %d ms", timeout_ms));
+      } else {
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+        if (so_error != 0) {
+          st = Status::IoError(StringPrintf("connect: %s",
+                                            std::strerror(so_error)));
+        }
+      }
+    }
+    if (st.ok()) ::fcntl(fd, F_SETFL, flags);
+  }
+  if (!st.ok()) {
     ::close(fd);
     return st;
   }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;  // IPv4 and IPv6 alike
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  const std::string service = StringPrintf("%u", port);
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                               &results);
+  if (rc != 0) {
+    return Status::InvalidArgument(StringPrintf(
+        "cannot resolve %s: %s", host.c_str(), ::gai_strerror(rc)));
+  }
+  Status last = Status::Unavailable("no addresses resolved for " + host);
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    Result<int> fd = ConnectOne(*ai, timeout_ms);
+    if (fd.ok()) {
+      ::freeaddrinfo(results);
+      return fd;
+    }
+    last = fd.status();
+  }
+  ::freeaddrinfo(results);
+  return last;
 }
 
 Status WriteAll(int fd, const uint8_t* data, size_t len) {

@@ -16,8 +16,10 @@ namespace geostreams {
 
 /// Opens a TCP listener on 127.0.0.1:`port` (port 0 = kernel-chosen
 /// ephemeral port — tests run in parallel without colliding). Returns
-/// the listening fd.
-Result<int> ListenTcp(uint16_t port, int backlog = 16);
+/// the listening fd. With `ipv6` the listener binds [::1] instead
+/// (fails where the kernel has IPv6 disabled — callers should treat
+/// that as "not supported here", not as a bug).
+Result<int> ListenTcp(uint16_t port, int backlog = 16, bool ipv6 = false);
 
 /// The locally bound port of a socket (resolves ephemeral binds).
 Result<uint16_t> LocalPort(int fd);
@@ -29,8 +31,14 @@ Result<bool> PollReadable(int fd, int timeout_ms);
 /// Accepts one pending connection (call after PollReadable says so).
 Result<int> AcceptClient(int listen_fd);
 
-/// Connects to `host`:`port` (numeric IPv4 host, e.g. "127.0.0.1").
-Result<int> ConnectTcp(const std::string& host, uint16_t port);
+/// Connects to `host`:`port`. `host` may be a numeric IPv4 address
+/// ("127.0.0.1"), a numeric IPv6 address ("::1"), or a hostname
+/// ("localhost") — resolution goes through getaddrinfo and every
+/// returned address is tried in order. `timeout_ms` bounds each
+/// address's connect attempt (a black-holed server cannot hang the
+/// caller); <= 0 means the OS default (blocking connect).
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms = -1);
 
 /// Writes the whole buffer, resuming across partial writes and EINTR.
 /// SIGPIPE is suppressed (MSG_NOSIGNAL); a closed peer surfaces as an

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "geo/crs_registry.h"
 #include "raster/checksum.h"
 
 namespace geostreams {
@@ -42,6 +43,169 @@ uint64_t GetU64(const uint8_t* p) {
   return v;
 }
 
+void PutF64(std::vector<uint8_t>& out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked sequential reader over a payload. Every Get fails
+/// closed: once `ok` is false the cursor stops moving and the caller
+/// reports one truncation error at the end.
+struct PayloadReader {
+  const uint8_t* p;
+  size_t remaining;
+  bool ok = true;
+
+  bool Need(size_t n) {
+    if (!ok || remaining < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint8_t GetU8() {
+    if (!Need(1)) return 0;
+    const uint8_t v = *p;
+    p += 1;
+    remaining -= 1;
+    return v;
+  }
+  uint16_t Get16() {
+    if (!Need(2)) return 0;
+    const uint16_t v = GetU16(p);
+    p += 2;
+    remaining -= 2;
+    return v;
+  }
+  uint32_t Get32() {
+    if (!Need(4)) return 0;
+    const uint32_t v = GetU32(p);
+    p += 4;
+    remaining -= 4;
+    return v;
+  }
+  uint64_t Get64() {
+    if (!Need(8)) return 0;
+    const uint64_t v = GetU64(p);
+    p += 8;
+    remaining -= 8;
+    return v;
+  }
+  int64_t GetI64() { return static_cast<int64_t>(Get64()); }
+  double GetF64() {
+    const uint64_t bits = Get64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string GetString(size_t n) {
+    if (!Need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(p), n);
+    p += n;
+    remaining -= n;
+    return s;
+  }
+};
+
+/// Shared header validation: magic, type, version, length, CRC.
+/// On success `*payload`/`*payload_len`/`*flags` describe the body.
+Status ValidateHeader(const uint8_t* data, size_t len, MessageType expected,
+                      const uint8_t** payload, uint32_t* payload_len,
+                      uint8_t* flags) {
+  if (len < kWireHeaderSize) {
+    return Status::InvalidArgument(StringPrintf(
+        "wire message truncated: %zu bytes, header needs %zu", len,
+        kWireHeaderSize));
+  }
+  if (std::memcmp(data, kWireMagic, 4) != 0) {
+    return Status::InvalidArgument("wire message lacks GSF1 magic");
+  }
+  const uint8_t type = data[4];
+  *flags = data[5];
+  const uint16_t version = GetU16(data + 6);
+  const uint32_t promised = GetU32(data + 8);
+  const uint32_t payload_crc = GetU32(data + 12);
+  if (type != static_cast<uint8_t>(expected)) {
+    return Status::InvalidArgument(
+        StringPrintf("unexpected wire message type %u", type));
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(StringPrintf(
+        "wire version %u not supported (speak %u)", version, kWireVersion));
+  }
+  if (promised > kMaxWirePayload) {
+    return Status::InvalidArgument(StringPrintf(
+        "wire payload length %u exceeds limit %u (desynchronized?)",
+        promised, kMaxWirePayload));
+  }
+  if (len != kWireHeaderSize + promised) {
+    return Status::InvalidArgument(StringPrintf(
+        "wire payload truncated: header promises %u bytes, %zu present",
+        promised, len - kWireHeaderSize));
+  }
+  *payload = data + kWireHeaderSize;
+  *payload_len = promised;
+  const uint32_t crc = Crc32(*payload, promised);
+  if (crc != payload_crc) {
+    return Status::InvalidArgument(StringPrintf(
+        "wire payload checksum mismatch: header %08x, computed %08x",
+        payload_crc, crc));
+  }
+  return Status::OK();
+}
+
+/// Wraps `payload` in a ready-to-send message (header prepended).
+std::vector<uint8_t> FinishMessage(MessageType type, uint8_t flags,
+                                   const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kWireHeaderSize + payload.size());
+  for (size_t i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(kWireMagic[i]));
+  }
+  out.push_back(static_cast<uint8_t>(type));
+  out.push_back(flags);
+  PutU16(out, kWireVersion);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void PutLattice(std::vector<uint8_t>& out, const GridLattice& lattice) {
+  PutString(out, lattice.crs() ? lattice.crs()->name() : std::string());
+  PutF64(out, lattice.origin_x());
+  PutF64(out, lattice.origin_y());
+  PutF64(out, lattice.dx());
+  PutF64(out, lattice.dy());
+  PutU64(out, static_cast<uint64_t>(lattice.width()));
+  PutU64(out, static_cast<uint64_t>(lattice.height()));
+}
+
+Result<GridLattice> GetLattice(PayloadReader& reader) {
+  const uint16_t crs_len = reader.Get16();
+  const std::string crs_name = reader.GetString(crs_len);
+  const double origin_x = reader.GetF64();
+  const double origin_y = reader.GetF64();
+  const double dx = reader.GetF64();
+  const double dy = reader.GetF64();
+  const int64_t width = reader.GetI64();
+  const int64_t height = reader.GetI64();
+  if (!reader.ok) {
+    return Status::InvalidArgument("ingest lattice truncated");
+  }
+  CrsPtr crs;
+  if (!crs_name.empty()) {
+    GEOSTREAMS_ASSIGN_OR_RETURN(crs, ResolveCrs(crs_name));
+  }
+  return GridLattice(crs, origin_x, origin_y, dx, dy, width, height);
+}
+
 }  // namespace
 
 std::vector<uint8_t> EncodeFrameMessage(const FrameMessage& message) {
@@ -66,16 +230,8 @@ std::vector<uint8_t> EncodeFrameMessage(const FrameMessage& message) {
     }
   }
 
-  std::vector<uint8_t> out;
-  out.reserve(kWireHeaderSize + payload.size());
-  out.insert(out.end(), kWireMagic, kWireMagic + 4);
-  out.push_back(static_cast<uint8_t>(MessageType::kResultFrame));
-  out.push_back(message.png ? kFlagPng : 0);
-  PutU16(out, kWireVersion);
-  PutU32(out, static_cast<uint32_t>(payload.size()));
-  PutU32(out, Crc32(payload.data(), payload.size()));
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
+  return FinishMessage(MessageType::kResultFrame,
+                       message.png ? kFlagPng : 0, payload);
 }
 
 std::vector<uint8_t> EncodeResultFrame(int64_t query_id, int64_t frame_id,
@@ -97,44 +253,11 @@ std::vector<uint8_t> EncodeResultFrame(int64_t query_id, int64_t frame_id,
 }
 
 Result<FrameMessage> DecodeFrameMessage(const uint8_t* data, size_t len) {
-  if (len < kWireHeaderSize) {
-    return Status::InvalidArgument(StringPrintf(
-        "wire message truncated: %zu bytes, header needs %zu", len,
-        kWireHeaderSize));
-  }
-  if (std::memcmp(data, kWireMagic, 4) != 0) {
-    return Status::InvalidArgument("wire message lacks GSF1 magic");
-  }
-  const uint8_t type = data[4];
-  const uint8_t flags = data[5];
-  const uint16_t version = GetU16(data + 6);
-  const uint32_t payload_len = GetU32(data + 8);
-  const uint32_t payload_crc = GetU32(data + 12);
-  if (type != static_cast<uint8_t>(MessageType::kResultFrame)) {
-    return Status::InvalidArgument(
-        StringPrintf("unknown wire message type %u", type));
-  }
-  if (version != kWireVersion) {
-    return Status::InvalidArgument(StringPrintf(
-        "wire version %u not supported (speak %u)", version, kWireVersion));
-  }
-  if (payload_len > kMaxWirePayload) {
-    return Status::InvalidArgument(StringPrintf(
-        "wire payload length %u exceeds limit %u (desynchronized?)",
-        payload_len, kMaxWirePayload));
-  }
-  if (len != kWireHeaderSize + payload_len) {
-    return Status::InvalidArgument(StringPrintf(
-        "wire payload truncated: header promises %u bytes, %zu present",
-        payload_len, len - kWireHeaderSize));
-  }
-  const uint8_t* payload = data + kWireHeaderSize;
-  const uint32_t crc = Crc32(payload, payload_len);
-  if (crc != payload_crc) {
-    return Status::InvalidArgument(StringPrintf(
-        "wire payload checksum mismatch: header %08x, computed %08x",
-        payload_crc, crc));
-  }
+  const uint8_t* payload = nullptr;
+  uint32_t payload_len = 0;
+  uint8_t flags = 0;
+  GEOSTREAMS_RETURN_IF_ERROR(ValidateHeader(
+      data, len, MessageType::kResultFrame, &payload, &payload_len, &flags));
   if (payload_len < kFramePreambleSize) {
     return Status::InvalidArgument(StringPrintf(
         "frame payload too short for preamble: %u bytes", payload_len));
@@ -166,6 +289,151 @@ Result<FrameMessage> DecodeFrameMessage(const uint8_t* data, size_t len) {
   for (uint64_t i = 0; i < expected; ++i) {
     const uint64_t bits = GetU64(body + i * sizeof(double));
     std::memcpy(&message.samples[i], &bits, sizeof(double));
+  }
+  return message;
+}
+
+std::vector<uint8_t> EncodeIngestMessage(const IngestMessage& message) {
+  std::vector<uint8_t> payload;
+  const StreamEvent& event = message.event;
+  size_t body_hint = 64;
+  if (event.kind == EventKind::kPointBatch && event.batch) {
+    body_hint += event.batch->size() *
+                 (sizeof(int32_t) * 2 + sizeof(int64_t) +
+                  sizeof(double) * static_cast<size_t>(
+                                       event.batch->band_count));
+  }
+  payload.reserve(message.source.size() + body_hint);
+  PutString(payload, message.source);
+  PutU64(payload, message.seq);
+  payload.push_back(static_cast<uint8_t>(event.kind));
+  switch (event.kind) {
+    case EventKind::kFrameBegin:
+    case EventKind::kFrameEnd:
+      PutU64(payload, static_cast<uint64_t>(event.frame.frame_id));
+      PutU64(payload, static_cast<uint64_t>(event.frame.expected_points));
+      PutLattice(payload, event.frame.lattice);
+      break;
+    case EventKind::kPointBatch: {
+      static const PointBatch kEmpty;
+      const PointBatch& batch = event.batch ? *event.batch : kEmpty;
+      PutU64(payload, static_cast<uint64_t>(batch.frame_id));
+      PutU32(payload, static_cast<uint32_t>(batch.band_count));
+      PutU64(payload, batch.checksum);
+      PutU32(payload, static_cast<uint32_t>(batch.size()));
+      for (int32_t col : batch.cols) {
+        PutU32(payload, static_cast<uint32_t>(col));
+      }
+      for (int32_t row : batch.rows) {
+        PutU32(payload, static_cast<uint32_t>(row));
+      }
+      for (int64_t t : batch.timestamps) {
+        PutU64(payload, static_cast<uint64_t>(t));
+      }
+      for (double v : batch.values) PutF64(payload, v);
+      break;
+    }
+    case EventKind::kStreamEnd:
+      break;
+  }
+  return FinishMessage(MessageType::kIngest, 0, payload);
+}
+
+Result<IngestMessage> DecodeIngestMessage(const uint8_t* data, size_t len) {
+  const uint8_t* payload = nullptr;
+  uint32_t payload_len = 0;
+  uint8_t flags = 0;
+  GEOSTREAMS_RETURN_IF_ERROR(ValidateHeader(
+      data, len, MessageType::kIngest, &payload, &payload_len, &flags));
+  PayloadReader reader{payload, payload_len};
+
+  IngestMessage message;
+  const uint16_t source_len = reader.Get16();
+  if (source_len > kMaxIngestSourceLen) {
+    return Status::InvalidArgument(StringPrintf(
+        "ingest source name length %u exceeds %zu", source_len,
+        kMaxIngestSourceLen));
+  }
+  message.source = reader.GetString(source_len);
+  message.seq = reader.Get64();
+  const uint8_t kind = reader.GetU8();
+  if (!reader.ok) {
+    return Status::InvalidArgument("ingest preamble truncated");
+  }
+  if (message.source.empty()) {
+    return Status::InvalidArgument("ingest message lacks a source name");
+  }
+  switch (static_cast<EventKind>(kind)) {
+    case EventKind::kFrameBegin:
+    case EventKind::kFrameEnd: {
+      FrameInfo info;
+      info.frame_id = reader.GetI64();
+      info.expected_points = reader.GetI64();
+      GEOSTREAMS_ASSIGN_OR_RETURN(info.lattice, GetLattice(reader));
+      message.event = static_cast<EventKind>(kind) == EventKind::kFrameBegin
+                          ? StreamEvent::FrameBegin(std::move(info))
+                          : StreamEvent::FrameEnd(std::move(info));
+      break;
+    }
+    case EventKind::kPointBatch: {
+      auto batch = std::make_shared<PointBatch>();
+      batch->frame_id = reader.GetI64();
+      const uint32_t band_count = reader.Get32();
+      batch->checksum = reader.Get64();
+      const uint32_t n = reader.Get32();
+      if (!reader.ok) {
+        return Status::InvalidArgument("ingest batch preamble truncated");
+      }
+      if (band_count == 0 || band_count > 4096) {
+        return Status::InvalidArgument(
+            StringPrintf("ingest batch band_count %u out of range",
+                         band_count));
+      }
+      // Sized up front so a lying count cannot drive allocation past
+      // the (already CRC-validated) payload length.
+      const uint64_t need =
+          static_cast<uint64_t>(n) * (4 + 4 + 8) +
+          static_cast<uint64_t>(n) * band_count * 8;
+      if (need != reader.remaining) {
+        return Status::InvalidArgument(StringPrintf(
+            "ingest batch body holds %zu bytes, %u points x %u bands "
+            "need %llu",
+            reader.remaining, n, band_count,
+            static_cast<unsigned long long>(need)));
+      }
+      batch->band_count = static_cast<int>(band_count);
+      batch->Reserve(n);
+      batch->cols.resize(n);
+      batch->rows.resize(n);
+      batch->timestamps.resize(n);
+      batch->values.resize(static_cast<size_t>(n) * band_count);
+      for (uint32_t i = 0; i < n; ++i) {
+        batch->cols[i] = static_cast<int32_t>(reader.Get32());
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        batch->rows[i] = static_cast<int32_t>(reader.Get32());
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        batch->timestamps[i] = reader.GetI64();
+      }
+      for (auto& v : batch->values) v = reader.GetF64();
+      message.event = StreamEvent::Batch(std::move(batch));
+      break;
+    }
+    case EventKind::kStreamEnd:
+      message.event = StreamEvent::StreamEnd();
+      break;
+    default:
+      return Status::InvalidArgument(
+          StringPrintf("ingest message carries unknown event kind %u",
+                       kind));
+  }
+  if (!reader.ok) {
+    return Status::InvalidArgument("ingest event body truncated");
+  }
+  if (reader.remaining != 0) {
+    return Status::InvalidArgument(StringPrintf(
+        "ingest event body has %zu trailing bytes", reader.remaining));
   }
   return message;
 }
@@ -207,15 +475,24 @@ Result<std::optional<FrameDecoder::Unit>> FrameDecoder::Next() {
     }
     const size_t total = kWireHeaderSize + payload_len;
     if (avail < total) return std::optional<Unit>{};
-    Result<FrameMessage> decoded = DecodeFrameMessage(data, total);
-    if (!decoded.ok()) {
-      poisoned_ = decoded.status();
-      return poisoned_;
+    Unit unit;
+    if (data[4] == static_cast<uint8_t>(MessageType::kIngest)) {
+      Result<IngestMessage> decoded = DecodeIngestMessage(data, total);
+      if (!decoded.ok()) {
+        poisoned_ = decoded.status();
+        return poisoned_;
+      }
+      unit.ingest = std::move(decoded).value();
+    } else {
+      Result<FrameMessage> decoded = DecodeFrameMessage(data, total);
+      if (!decoded.ok()) {
+        poisoned_ = decoded.status();
+        return poisoned_;
+      }
+      unit.frame = std::move(decoded).value();
     }
     consumed_ += total;
     Compact();
-    Unit unit;
-    unit.frame = std::move(decoded).value();
     return std::optional<Unit>(std::move(unit));
   }
   // Text line.

@@ -23,10 +23,25 @@
 //   followed by width*height*bands doubles (LE bit patterns), or by
 //   PNG bytes when kFlagPng is set.
 //
+//   ingest payload (kIngest — producer -> server)
+//     0   source_len   u16  LE
+//     2   source       source_len bytes (stream name)
+//         seq          u64  LE   per-source monotonic sequence number
+//         event_kind   u8        (EventKind)
+//     followed by the kind-specific event body:
+//       kFrameBegin / kFrameEnd:
+//         frame_id i64, expected_points i64, crs_len u16, crs bytes,
+//         origin_x/origin_y/dx/dy f64, width i64, height i64
+//       kPointBatch:
+//         frame_id i64, band_count u32, checksum u64 (FNV-1a or 0),
+//         n u32, cols n*i32, rows n*i32, timestamps n*i64,
+//         values n*band_count*f64
+//       kStreamEnd: empty
+//
 // The two planes demultiplex on the first byte: no text response
-// begins with 'G' (responses start "OK "/"ERR "/"DL "), so a leading
-// 'G' always opens a binary header. Decoding is strict — truncated,
-// magic-less, oversized, or checksum-failing input yields
+// begins with 'G' (responses start "OK "/"ERR "/"DL "/"ACK "/"NACK "),
+// so a leading 'G' always opens a binary header. Decoding is strict —
+// truncated, magic-less, oversized, or checksum-failing input yields
 // InvalidArgument, never a crash or a silent partial frame.
 
 #ifndef GEOSTREAMS_NET_WIRE_PROTOCOL_H_
@@ -34,9 +49,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/stream_event.h"
 #include "raster/raster.h"
 
 namespace geostreams {
@@ -51,7 +68,12 @@ inline constexpr uint32_t kMaxWirePayload = 256u << 20;
 
 enum class MessageType : uint8_t {
   kResultFrame = 1,
+  kIngest = 2,
 };
+
+/// Source names longer than this are rejected (they share the wire
+/// with attacker-controllable length fields).
+inline constexpr size_t kMaxIngestSourceLen = 256;
 
 inline constexpr uint8_t kFlagPng = 0x1;
 
@@ -85,14 +107,33 @@ std::vector<uint8_t> EncodeResultFrame(int64_t query_id, int64_t frame_id,
 /// is InvalidArgument.
 Result<FrameMessage> DecodeFrameMessage(const uint8_t* data, size_t len);
 
+/// One sequenced ingest event from a producer: which source stream it
+/// belongs to, its per-source monotonic sequence number, and the
+/// StreamEvent it carries. The ingest plane's unit of ack/replay.
+struct IngestMessage {
+  std::string source;
+  uint64_t seq = 0;
+  StreamEvent event;
+};
+
+/// Encodes a complete kIngest message (header + payload).
+std::vector<uint8_t> EncodeIngestMessage(const IngestMessage& message);
+
+/// Decodes one complete kIngest message. Strict, like
+/// DecodeFrameMessage; lattice CRS names are resolved through the
+/// global registry, so an unknown CRS is InvalidArgument too.
+Result<IngestMessage> DecodeIngestMessage(const uint8_t* data, size_t len);
+
 /// Incremental decoder over a byte stream that interleaves text lines
 /// and binary messages (the client side of one connection). Feed()
 /// appends received bytes; Next() pulls decoded units in order.
 class FrameDecoder {
  public:
-  /// One demultiplexed unit: exactly one of `frame` / `line` is set.
+  /// One demultiplexed unit: exactly one of `frame` / `ingest` /
+  /// `line` is set.
   struct Unit {
     std::optional<FrameMessage> frame;
+    std::optional<IngestMessage> ingest;
     std::optional<std::string> line;
   };
 

@@ -48,6 +48,10 @@ struct DsmsServer::SourceState : public EventSink {
   std::unique_ptr<DeadLetterQueue> boundary_dead_letters;
   uint64_t checksum_failures = 0;
   bool warned_corrupt = false;
+  /// Quarantine verdict (also under boundary_mu): a quarantined
+  /// source's events are refused at the guard until RestartSource.
+  bool quarantined = false;
+  Status quarantine_error = Status::OK();
 
   Status Consume(const StreamEvent& event) override {
     for (EventSink* t : direct_targets) {
@@ -101,6 +105,14 @@ class DsmsServer::GuardedIngestSink : public EventSink {
 
   Status Consume(const StreamEvent& event) override {
     std::shared_lock<std::shared_mutex> lock(server_->state_mu_);
+    {
+      std::lock_guard<std::mutex> boundary(source_->boundary_mu);
+      if (source_->quarantined) {
+        return Status::FailedPrecondition(StringPrintf(
+            "source '%s' quarantined: %s", source_->desc.name().c_str(),
+            source_->quarantine_error.message().c_str()));
+      }
+    }
     if (server_->options_.verify_ingest_checksums &&
         event.kind == EventKind::kPointBatch && event.batch &&
         !event.batch->ChecksumValid()) {
@@ -464,6 +476,56 @@ Result<std::vector<DeadLetter>> DsmsServer::SourceDeadLetters(
   }
   std::lock_guard<std::mutex> boundary(it->second->boundary_mu);
   return it->second->boundary_dead_letters->Snapshot();
+}
+
+Status DsmsServer::QuarantineSource(const std::string& stream,
+                                    const Status& error) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  auto it = sources_.find(stream);
+  if (it == sources_.end()) {
+    return Status::NotFound("stream not registered: " + stream);
+  }
+  SourceState* source = it->second.get();
+  if (source->derived) {
+    return Status::InvalidArgument(
+        "derived stream '" + stream +
+        "' is fed by a query pipeline; restart the query instead");
+  }
+  std::lock_guard<std::mutex> boundary(source->boundary_mu);
+  if (source->quarantined) return Status::OK();  // keep the first verdict
+  source->quarantined = true;
+  source->quarantine_error =
+      error.ok() ? Status::Unavailable("source quarantined") : error;
+  // Record the verdict where operators already look for boundary
+  // trouble: the source's dead-letter queue (there is no poisoned
+  // event for silence, so the entry carries a stream-end marker).
+  source->boundary_dead_letters->Push(StreamEvent::StreamEnd(),
+                                      source->quarantine_error);
+  GEOSTREAMS_LOG(kWarning) << "source '" << stream << "' quarantined: "
+                           << source->quarantine_error.ToString();
+  return Status::OK();
+}
+
+Status DsmsServer::RestartSource(const std::string& stream) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  auto it = sources_.find(stream);
+  if (it == sources_.end()) {
+    return Status::NotFound("stream not registered: " + stream);
+  }
+  std::lock_guard<std::mutex> boundary(it->second->boundary_mu);
+  it->second->quarantined = false;
+  it->second->quarantine_error = Status::OK();
+  return Status::OK();
+}
+
+Status DsmsServer::SourceError(const std::string& stream) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  auto it = sources_.find(stream);
+  if (it == sources_.end()) {
+    return Status::NotFound("stream not registered: " + stream);
+  }
+  std::lock_guard<std::mutex> boundary(it->second->boundary_mu);
+  return it->second->quarantine_error;
 }
 
 uint64_t DsmsServer::IngestChecksumFailures() const {

@@ -156,12 +156,29 @@ class DsmsServer {
   Result<std::vector<DeadLetter>> DeadLetters(QueryId id) const;
 
   /// Dead letters caught at the ingest boundary of a source stream
-  /// (checksum verification; see verify_ingest_checksums). NotFound
-  /// for unknown streams.
+  /// (checksum verification and quarantine records; see
+  /// verify_ingest_checksums). NotFound for unknown streams.
   Result<std::vector<DeadLetter>> SourceDeadLetters(
       const std::string& stream) const;
   /// Corrupt batches rejected at ingest across all sources.
   uint64_t IngestChecksumFailures() const;
+
+  /// Quarantines a source stream: `error` (why — e.g. the ingest
+  /// plane's liveness timeout) is recorded in the source's boundary
+  /// dead-letter queue and every subsequent ingest event for the
+  /// source is refused with FailedPrecondition until RestartSource.
+  /// The source's queries stay registered and healthy — a silent
+  /// instrument must not take its consumers down with it. NotFound
+  /// for unknown streams; InvalidArgument for derived streams (their
+  /// producer is a query pipeline, supervised by RestartQuery).
+  Status QuarantineSource(const std::string& stream, const Status& error);
+  /// Un-quarantines a source (the control plane's `RESTART <name>`):
+  /// clears the recorded error so ingest flows again. No-op when the
+  /// source is not quarantined; NotFound for unknown streams.
+  Status RestartSource(const std::string& stream);
+  /// The quarantine error of a source; OK while ingest is admitted.
+  /// NotFound for unknown streams.
+  Status SourceError(const std::string& stream) const;
 
  private:
   struct SourceState;

@@ -114,19 +114,26 @@ SupervisorDecision PipelineSupervisor::Decide(
   return decision;
 }
 
+uint32_t BackoffDelayMs(uint32_t initial_ms, uint32_t max_ms,
+                        uint32_t jitter_ms, uint64_t token, int attempt) {
+  const int shift = std::min(attempt, 20);
+  uint64_t base = static_cast<uint64_t>(initial_ms) << shift;
+  base = std::min<uint64_t>(base, max_ms);
+  uint64_t jitter = 0;
+  if (jitter_ms > 0) {
+    jitter = Mix64(token * 0x9E3779B97F4A7C15ULL +
+                   static_cast<uint64_t>(attempt)) %
+             (static_cast<uint64_t>(jitter_ms) + 1);
+  }
+  return static_cast<uint32_t>(std::min<uint64_t>(base + jitter, max_ms));
+}
+
 uint32_t PipelineSupervisor::BackoffMs(uint64_t pipeline_token,
                                        int attempt) const {
-  const int shift = std::min(attempt, 20);
-  uint64_t base = static_cast<uint64_t>(options_.backoff_initial_ms) << shift;
-  base = std::min<uint64_t>(base, options_.backoff_max_ms);
-  uint64_t jitter = 0;
-  if (options_.backoff_jitter_ms > 0) {
-    jitter = Mix64(pipeline_token * 0x9E3779B97F4A7C15ULL +
-                   static_cast<uint64_t>(attempt)) %
-             (static_cast<uint64_t>(options_.backoff_jitter_ms) + 1);
-  }
-  return static_cast<uint32_t>(
-      std::min<uint64_t>(base + jitter, options_.backoff_max_ms));
+  return BackoffDelayMs(options_.backoff_initial_ms,
+                        options_.backoff_max_ms,
+                        options_.backoff_jitter_ms, pipeline_token,
+                        attempt);
 }
 
 }  // namespace geostreams

@@ -145,6 +145,15 @@ struct SupervisorDecision {
   uint32_t backoff_ms = 0; // meaningful for kRetry only
 };
 
+/// Deterministic exponential backoff with bounded jitter — the shape
+/// every retry loop in the system shares (scheduler redelivery,
+/// ProducerClient reconnects):
+///   min(max_ms, initial_ms << attempt) + jitter,  capped at max_ms,
+/// jitter in [0, jitter_ms] hashed from (token, attempt) so distinct
+/// actors spread out without any shared RNG state.
+uint32_t BackoffDelayMs(uint32_t initial_ms, uint32_t max_ms,
+                        uint32_t jitter_ms, uint64_t token, int attempt);
+
 class PipelineSupervisor {
  public:
   explicit PipelineSupervisor(SupervisorOptions options)

@@ -613,5 +613,187 @@ TEST(ServerDlqTest, SynchronousServerHasEmptyDlqAndNoopRestart) {
   GS_ASSERT_OK(fixture.server().RestartQuery(*id));
 }
 
+// ---------------------------------------------------------------------------
+// Multi-connection subscription: QUERY <id> attaches to the fan-out
+
+TEST(NetServerE2eTest, SecondClientAttachesToExistingQuery) {
+  DsmsOptions options;
+  options.workers = 1;
+  NetFixture fixture(options);
+
+  GeoStreamsClient first;
+  GS_ASSERT_OK(first.Connect("127.0.0.1", fixture.net().port()));
+  auto registered = first.Command("QUERY ndvi(goes.band2, goes.band1)");
+  ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+  ASSERT_TRUE(StartsWith(*registered, "OK QUERY "));
+  const int64_t id = ParseIdFromOk(*registered);
+
+  // A second connection attaches to the SAME query by id — the
+  // engine still sees one query; the frame is encoded once and fanned
+  // out to both.
+  GeoStreamsClient second;
+  GS_ASSERT_OK(second.Connect("127.0.0.1", fixture.net().port()));
+  auto attached = second.Command(StringPrintf("QUERY %lld",
+                                              static_cast<long long>(id)));
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  EXPECT_EQ(*attached, StringPrintf("OK QUERY %lld",
+                                    static_cast<long long>(id)));
+  EXPECT_EQ(fixture.server().num_queries(), 1u);
+
+  GS_ASSERT_OK(fixture.Ingest(0, 2));
+  for (int64_t expect_frame = 0; expect_frame < 2; ++expect_frame) {
+    auto from_first = first.ReadFrame(10000);
+    ASSERT_TRUE(from_first.ok()) << from_first.status().ToString();
+    auto from_second = second.ReadFrame(10000);
+    ASSERT_TRUE(from_second.ok()) << from_second.status().ToString();
+    EXPECT_EQ(from_first->frame_id, expect_frame);
+    EXPECT_EQ(from_second->frame_id, expect_frame);
+    EXPECT_EQ(from_first->samples, from_second->samples);
+  }
+
+  // One subscriber leaving does not unregister the query...
+  second.Close();
+  const auto still_there =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fixture.net().num_sessions() > 1 &&
+         std::chrono::steady_clock::now() < still_there) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fixture.server().num_queries(), 1u);
+  GS_ASSERT_OK(fixture.Ingest(2, 1));
+  auto third_frame = first.ReadFrame(10000);
+  ASSERT_TRUE(third_frame.ok()) << third_frame.status().ToString();
+  EXPECT_EQ(third_frame->frame_id, 2);
+
+  // ... but the LAST subscriber leaving does.
+  first.Close();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fixture.server().num_queries() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fixture.server().num_queries(), 0u);
+}
+
+TEST(NetServerE2eTest, AttachToUnknownOrDuplicateQueryIdIsRefused) {
+  NetFixture fixture;
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
+  auto unknown = client.Command("QUERY 12345");
+  ASSERT_TRUE(unknown.ok()) << unknown.status().ToString();
+  EXPECT_TRUE(StartsWith(*unknown, "ERR NotFound")) << *unknown;
+
+  // Attaching twice from one connection is a client bug, not a second
+  // subscription.
+  auto registered = client.Command("QUERY goes.band1");
+  ASSERT_TRUE(registered.ok());
+  ASSERT_TRUE(StartsWith(*registered, "OK QUERY "));
+  const int64_t id = ParseIdFromOk(*registered);
+  auto duplicate = client.Command(StringPrintf("QUERY %lld",
+                                               static_cast<long long>(id)));
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_TRUE(StartsWith(*duplicate, "ERR AlreadyExists")) << *duplicate;
+}
+
+// ---------------------------------------------------------------------------
+// Client deadline discipline and ConnectTcp resolution
+
+TEST(GeoStreamsClientTest, TrickledLinesDoNotExtendReadFrameDeadline) {
+  // A peer that sends a noise line every 30 ms would reset a
+  // per-read-deadline forever; ReadFrame must give up on ONE overall
+  // deadline regardless.
+  auto listener = ListenTcp(0);
+  GS_ASSERT_OK(listener.status());
+  auto port = LocalPort(*listener);
+  GS_ASSERT_OK(port.status());
+
+  std::atomic<bool> stop{false};
+  std::thread noisy([listen_fd = *listener, &stop] {
+    auto accepted = AcceptClient(listen_fd);
+    if (!accepted.ok()) return;
+    const std::string noise = "OK NOISE\n";
+    while (!stop.load()) {
+      Status sent = WriteAll(
+          *accepted, reinterpret_cast<const uint8_t*>(noise.data()),
+          noise.size());
+      if (!sent.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    CloseFd(*accepted);
+  });
+
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", *port, 2000));
+  const auto start = std::chrono::steady_clock::now();
+  auto frame = client.ReadFrame(300);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+  // Generous upper bound (sanitizer builds are slow), but far below
+  // the forever that per-line deadline extension would allow.
+  EXPECT_LT(elapsed_ms, 5000);
+  EXPECT_GE(elapsed_ms, 250);
+
+  stop.store(true);
+  client.Close();
+  noisy.join();
+  CloseFd(*listener);
+}
+
+TEST(SocketUtilTest, ConnectsByHostname) {
+  NetFixture fixture;
+  auto fd = ConnectTcp("localhost", fixture.net().port(), 2000);
+  if (!fd.ok()) {
+    GTEST_SKIP() << "localhost does not resolve here: "
+                 << fd.status().ToString();
+  }
+  CloseFd(*fd);
+}
+
+TEST(SocketUtilTest, ListensAndConnectsOverIpv6Loopback) {
+  auto listener = ListenTcp(0, 16, /*ipv6=*/true);
+  if (!listener.ok()) {
+    GTEST_SKIP() << "IPv6 unavailable: " << listener.status().ToString();
+  }
+  auto port = LocalPort(*listener);
+  GS_ASSERT_OK(port.status());
+  auto fd = ConnectTcp("::1", *port, 2000);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  auto readable = PollReadable(*listener, 1000);
+  ASSERT_TRUE(readable.ok());
+  ASSERT_TRUE(*readable);
+  auto accepted = AcceptClient(*listener);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  CloseFd(*accepted);
+  CloseFd(*fd);
+  CloseFd(*listener);
+}
+
+TEST(SocketUtilTest, ConnectTimeoutIsBounded) {
+  // RFC 5737 TEST-NET-1 is guaranteed non-routable: the connect can
+  // only time out (or fail fast where the sandbox rejects the route).
+  // Either way it must not block anywhere near the OS default.
+  const auto start = std::chrono::steady_clock::now();
+  auto fd = ConnectTcp("192.0.2.1", 9, 200);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  if (fd.ok()) {
+    CloseFd(*fd);
+    GTEST_SKIP() << "sandbox intercepted the blackhole address";
+  }
+  EXPECT_LT(elapsed_ms, 5000);
+  if (elapsed_ms >= 200) {
+    // The timeout (not a fast kernel error) is what fired.
+    EXPECT_NE(fd.status().message().find("timed out"), std::string::npos)
+        << fd.status().ToString();
+  }
+}
+
 }  // namespace
 }  // namespace geostreams

@@ -30,6 +30,60 @@ StreamEvent OnePointBatch(int64_t frame, int32_t col) {
   return StreamEvent::Batch(batch);
 }
 
+// --- Dead-letter queue ------------------------------------------------------
+
+StreamEvent WideBatch(int64_t frame, size_t points) {
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = frame;
+  batch->band_count = 1;
+  for (size_t i = 0; i < points; ++i) {
+    batch->Append1(static_cast<int32_t>(i), 0, frame, 0.5);
+  }
+  return StreamEvent::Batch(batch);
+}
+
+TEST(DeadLetterQueueTest, ByteCapEvictsOldestFirstAndKeepsOrdinals) {
+  const StreamEvent sample = WideBatch(0, 64);
+  const uint64_t each = ApproxEventBytes(sample);
+  // Room for three retained batches, well under the count cap: the
+  // byte cap is what drives eviction here.
+  DeadLetterQueue dlq(/*max_events=*/100, /*max_bytes=*/each * 3 + 1);
+
+  MemoryTracker tracker;
+  dlq.BindMemoryTracker(&tracker, "dlq.test");
+
+  for (int64_t i = 0; i < 10; ++i) {
+    dlq.Push(WideBatch(i, 64), Status::InvalidArgument("poison"));
+    EXPECT_LE(dlq.bytes(), each * 3 + 1);
+    EXPECT_EQ(tracker.Snapshot()["dlq.test"], dlq.bytes());
+  }
+  EXPECT_EQ(dlq.total_pushed(), 10u);
+  EXPECT_EQ(dlq.size(), 3u);
+
+  // The survivors are the three NEWEST, oldest first, with ordinals
+  // that kept climbing through the evictions.
+  const std::vector<DeadLetter> retained = dlq.Snapshot();
+  ASSERT_EQ(retained.size(), 3u);
+  for (size_t i = 0; i < retained.size(); ++i) {
+    EXPECT_EQ(retained[i].ordinal, 7 + i);
+    ASSERT_TRUE(retained[i].event.batch);
+    EXPECT_EQ(retained[i].event.batch->frame_id,
+              static_cast<int64_t>(7 + i));
+  }
+
+  // An event bigger than the whole byte budget empties the ring but
+  // still counts (the failure happened; we just cannot retain it).
+  dlq.Push(WideBatch(99, 4096), Status::InvalidArgument("huge"));
+  EXPECT_EQ(dlq.total_pushed(), 11u);
+  EXPECT_EQ(dlq.size(), 0u);
+  EXPECT_EQ(dlq.bytes(), 0u);
+  EXPECT_EQ(tracker.Snapshot()["dlq.test"], 0u);
+
+  dlq.Push(WideBatch(100, 64), Status::InvalidArgument("poison"));
+  ASSERT_EQ(dlq.size(), 1u);
+  EXPECT_EQ(dlq.Snapshot()[0].ordinal, 11u);
+}
+
 // --- Policy engine ----------------------------------------------------------
 
 TEST(SupervisorTest, ClassifiesFaults) {
