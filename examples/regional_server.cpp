@@ -8,6 +8,13 @@
 //
 //   ./regional_server [num_clients] [num_scans] [--workers=N]
 //                     [--port=P] [--delay-ms=D] [--ingest-port=P]
+//                     [--metrics-interval=MS] [--trace-every=N]
+//
+// With --metrics-interval=MS a background thread prints one summary
+// line (DsmsServer::SummaryLine) every MS milliseconds — the
+// minute-by-minute operator's view; the full registry is one METRICS
+// command away. With --trace-every=N every Nth ingested batch carries
+// a trace context (TRACE <query-id> shows the sampled spans).
 //
 // With --workers=N the server runs its query worker pool: every
 // client query becomes one scheduler pipeline and N threads execute
@@ -29,11 +36,14 @@
 // (num_scans * delay_ms), reports the source's ingest counters, and
 // exits.
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -53,6 +63,47 @@ int Fail(const Status& status, const char* what) {
   return 1;
 }
 
+/// Background one-line-summary printer (--metrics-interval). Wakes on
+/// a condition variable so shutdown never waits a full interval.
+class SummaryPrinter {
+ public:
+  SummaryPrinter(DsmsServer* server, int interval_ms)
+      : server_(server), interval_ms_(interval_ms) {
+    if (interval_ms_ > 0) {
+      thread_ = std::thread([this] { Loop(); });
+    }
+  }
+  ~SummaryPrinter() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stop_; });
+      if (stop_) return;
+      lock.unlock();
+      std::printf("[metrics] %s\n", server_->SummaryLine().c_str());
+      std::fflush(stdout);
+      lock.lock();
+    }
+  }
+
+  DsmsServer* server_;
+  const int interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,6 +114,8 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   int ingest_port = -1;  // -1 = no producer listener
   int delay_ms = 150;
+  int metrics_interval_ms = 0;
+  int trace_every = 0;
   int positional = 0;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--workers=", 10) == 0) {
@@ -76,6 +129,10 @@ int main(int argc, char** argv) {
       ingest_port = std::atoi(argv[a] + 14);
     } else if (std::strncmp(argv[a], "--delay-ms=", 11) == 0) {
       delay_ms = std::atoi(argv[a] + 11);
+    } else if (std::strncmp(argv[a], "--metrics-interval=", 19) == 0) {
+      metrics_interval_ms = std::atoi(argv[a] + 19);
+    } else if (std::strncmp(argv[a], "--trace-every=", 14) == 0) {
+      trace_every = std::atoi(argv[a] + 14);
     } else if (positional == 0) {
       num_clients = std::atoi(argv[a]);
       ++positional;
@@ -97,10 +154,18 @@ int main(int argc, char** argv) {
   options.shared_restriction = true;
   options.index_kind = DsmsOptions::IndexKind::kCascadeTree;
   options.workers = workers;
+  if (trace_every > 0) {
+    options.trace_sample_every = static_cast<size_t>(trace_every);
+  }
   DsmsServer server(options);
   if (workers > 0) {
     std::printf("query worker pool: %zu threads\n", server.num_workers());
   }
+  if (trace_every > 0) {
+    std::printf("tracing every %dth ingested batch (TRACE <id> to dump)\n",
+                trace_every);
+  }
+  SummaryPrinter summaries(&server, metrics_interval_ms);
   auto desc = generator.Descriptor(0);
   if (!desc.ok()) return Fail(desc.status(), "descriptor");
   if (Status st = server.RegisterStream(*desc); !st.ok()) {
@@ -120,6 +185,10 @@ int main(int argc, char** argv) {
     std::printf("  try:  nc 127.0.0.1 %u\n", net.port());
     std::printf(
         "        QUERY region(goes.band1, bbox(-105, 35, -100, 40))\n");
+    std::printf("        METRICS            (Prometheus exposition)\n");
+    if (trace_every > 0) {
+      std::printf("        TRACE <query-id>   (sampled span records)\n");
+    }
     if (ingest_port >= 0) {
       // Remote-fed mode: the instrument lives in a producer process
       // (ingest_producer.cpp). Wait a bounded window for its batches,

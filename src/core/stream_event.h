@@ -20,6 +20,8 @@
 
 namespace geostreams {
 
+class TraceContext;
+
 /// Point-set organizations of Figure 1.
 enum class PointOrganization : uint8_t {
   kImageByImage,  // airborne frame cameras: whole frames at a time
@@ -121,6 +123,12 @@ struct StreamEvent {
   FrameInfo frame;
   /// Valid for kPointBatch.
   PointBatchPtr batch;
+  /// Sampled pipeline trace riding this event across async queue
+  /// boundaries (null = untraced, the common case; copying a null
+  /// shared_ptr is free). Within a synchronous operator chain the
+  /// thread-local ActiveTrace() is authoritative instead, because
+  /// operators emit freshly-built events. See src/obs/trace.h.
+  std::shared_ptr<TraceContext> trace;
 
   static StreamEvent FrameBegin(FrameInfo info);
   static StreamEvent Batch(PointBatchPtr batch);

@@ -73,7 +73,11 @@ Status SharedRestrictionOp::Consume(const StreamEvent& event) {
   }
   for (auto& [id, q] : queries_) {
     if (!q.pending) continue;
-    Status st = q.sink->Consume(StreamEvent::Batch(q.pending));
+    StreamEvent out = StreamEvent::Batch(q.pending);
+    // Carry the sampled trace across the shared-restriction split so
+    // per-query pipelines downstream (the scheduler fork) still see it.
+    out.trace = event.trace;
+    Status st = q.sink->Consume(out);
     q.pending.reset();
     GEOSTREAMS_RETURN_IF_ERROR(st);
   }

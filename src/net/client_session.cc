@@ -34,6 +34,17 @@ ClientSession::ClientSession(int fd, uint64_t id,
   if (options_.send_buffer_bytes > 0) {
     SetSendBuffer(fd_, options_.send_buffer_bytes);
   }
+  if (options_.metrics != nullptr) {
+    m_frames_enqueued_ = options_.metrics->GetCounter(
+        "geostreams_client_frames_enqueued_total",
+        "Result frames queued for delivery across all client sessions");
+    m_frames_shed_ = options_.metrics->GetCounter(
+        "geostreams_client_frames_shed_total",
+        "Result frames shed by per-client backpressure");
+    m_bytes_written_ = options_.metrics->GetCounter(
+        "geostreams_client_bytes_written_total",
+        "Bytes written to client sockets");
+  }
   writer_ = std::thread([this] { WriterLoop(); });
 }
 
@@ -81,6 +92,7 @@ Status ClientSession::EnqueueFrame(
   }
   if (!admit) {
     ++frames_dropped_;
+    if (m_frames_shed_) m_frames_shed_->Increment();
     if (++consecutive_drops_ >= options_.max_consecutive_drops) {
       GEOSTREAMS_LOG(kWarning)
           << "session " << id_ << ": " << consecutive_drops_
@@ -96,6 +108,7 @@ Status ClientSession::EnqueueFrame(
   }
   consecutive_drops_ = 0;
   ++frames_enqueued_;
+  if (m_frames_enqueued_) m_frames_enqueued_->Increment();
   Outbound item;
   item.frame = std::move(frame);
   queue_bytes_ += frame_bytes;
@@ -182,6 +195,7 @@ void ClientSession::WriterLoop() {
       return;
     }
     bytes_written_ += written;
+    if (m_bytes_written_) m_bytes_written_->Increment(written);
   }
 }
 

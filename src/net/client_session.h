@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics_registry.h"
 #include "stream/adaptive_shedding.h"
 
 namespace geostreams {
@@ -53,6 +54,11 @@ struct ClientSessionOptions {
   /// is only as honest as the kernel buffer is small: a huge send
   /// buffer hides a stalled reader from the shedding controller.
   int send_buffer_bytes = 0;
+  /// Optional registry: sessions share the unlabeled
+  /// `geostreams_client_{frames_enqueued,frames_shed,bytes_written}_total`
+  /// counters (aggregated — per-session figures stay in STATS, where
+  /// cardinality is naturally bounded). Not owned; may be null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class ClientSession {
@@ -129,6 +135,11 @@ class ClientSession {
   uint64_t frames_dropped_ = 0;
   uint64_t consecutive_drops_ = 0;
   uint64_t bytes_written_ = 0;
+
+  /// Shared registry counters (null without a registry).
+  Counter* m_frames_enqueued_ = nullptr;
+  Counter* m_frames_shed_ = nullptr;
+  Counter* m_bytes_written_ = nullptr;
 
   std::thread writer_;
 };

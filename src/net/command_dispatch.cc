@@ -86,6 +86,48 @@ std::string HandleDlq(DsmsServer* server, std::string_view rest) {
   return out;
 }
 
+std::string HandleMetrics(DsmsServer* server) {
+  const std::string body = server->RenderMetrics();
+  // Count payload lines so the client knows how many ReadNext calls
+  // follow the header (the exposition has no terminator of its own).
+  size_t lines = 0;
+  if (!body.empty()) {
+    lines = 1;
+    for (char c : body) {
+      if (c == '\n') ++lines;
+    }
+    // RenderPrometheus ends each line with '\n'; the response joins
+    // lines without a trailing newline, so drop the final count.
+    if (body.back() == '\n') --lines;
+  }
+  std::string out = StringPrintf("OK METRICS lines=%zu", lines);
+  if (lines > 0) {
+    out.push_back('\n');
+    out.append(body);
+    if (out.back() == '\n') out.pop_back();
+  }
+  return out;
+}
+
+std::string HandleTrace(DsmsServer* server, std::string_view rest) {
+  Result<QueryId> id = ParseQueryId(rest);
+  if (!id.ok()) return ErrResponse(id.status());
+  Result<TraceRing::Snapshot> traces = server->QueryTraces(*id);
+  if (!traces.ok()) return ErrResponse(traces.status());
+  // `total` counts ever recorded (ordinals keep climbing after ring
+  // eviction); `kept` is how many lines follow.
+  std::string out =
+      StringPrintf("OK TRACE %lld total=%llu kept=%zu",
+                   static_cast<long long>(*id),
+                   static_cast<unsigned long long>(traces->total),
+                   traces->records.size());
+  for (const TraceRecord& record : traces->records) {
+    out.push_back('\n');
+    out.append(record.ToString());
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
@@ -162,6 +204,8 @@ std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
     return "OK ISTATS " + *stats;
   }
   if (verb == "dlq") return HandleDlq(server, rest);
+  if (verb == "metrics") return HandleMetrics(server);
+  if (verb == "trace") return HandleTrace(server, rest);
   return ErrResponse(
       Status::InvalidArgument("unknown command: " + verb));
 }

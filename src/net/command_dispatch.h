@@ -30,6 +30,14 @@
 //   DLQ <id>           the query's retained dead-lettered events
 //                      -> "OK DLQ <id> total=<t> kept=<k>" followed by
 //                         k lines "DL <ordinal> <error>"
+//   METRICS            the server's metrics registry in Prometheus
+//                      text exposition format
+//                      -> "OK METRICS lines=<n>" followed by n lines
+//                         of "# HELP ...", "# TYPE ..." and samples
+//   TRACE <id>         sampled per-batch trace records for the query
+//                      (queue wait plus per-operator timings)
+//                      -> "OK TRACE <id> total=<t> kept=<k>" followed
+//                         by k lines "TR <ordinal> trace=... ..."
 //   PING               liveness -> "OK PONG"
 //
 // Failures respond "ERR <CodeName> <message>". Dispatch is a free

@@ -6,7 +6,35 @@ namespace geostreams {
 
 IngestSession::IngestSession(std::string source, EventSink* target,
                              IngestSessionOptions options)
-    : source_(std::move(source)), target_(target), options_(options) {}
+    : source_(std::move(source)), target_(target), options_(options) {
+  if (options_.metrics != nullptr) {
+    MetricsRegistry& reg = *options_.metrics;
+    const MetricLabels labels{{"source", source_}};
+    m_acks_ = reg.GetCounter("geostreams_ingest_acks_total",
+                             "Ingest messages acknowledged", labels);
+    m_nacks_ = reg.GetCounter("geostreams_ingest_nacks_total",
+                              "Ingest messages refused", labels);
+    m_replays_ = reg.GetCounter(
+        "geostreams_ingest_replays_total",
+        "Duplicate sequence numbers re-acked after producer replay",
+        labels);
+    m_gaps_ = reg.GetCounter("geostreams_ingest_gaps_total",
+                             "Sequence gaps NACKed with a rewind point",
+                             labels);
+    m_delivered_ = reg.GetCounter("geostreams_ingest_delivered_total",
+                                  "Events delivered into the query chain",
+                                  labels);
+    m_shed_events_ = reg.GetCounter(
+        "geostreams_ingest_shed_events_total",
+        "Batches acked-but-dropped by kShed admission control", labels);
+    m_shed_points_ = reg.GetCounter("geostreams_ingest_shed_points_total",
+                                    "Points inside kShed-dropped batches",
+                                    labels);
+    m_shed_bytes_ = reg.GetCounter(
+        "geostreams_ingest_shed_bytes_total",
+        "Approximate bytes inside kShed-dropped batches", labels);
+  }
+}
 
 uint64_t IngestSession::Attach() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -38,18 +66,23 @@ std::string IngestSession::Handle(const IngestMessage& message) {
     // Re-ack cumulatively, do not re-deliver: this is where
     // at-least-once transport becomes exactly-once delivery.
     ++stats_.duplicates;
+    if (m_replays_) m_replays_->Increment();
+    if (m_acks_) m_acks_->Increment();
     return Ack(expected_ - 1);
   }
   if (message.seq > expected_) {
     // A gap: something between was lost (or the producer restarted
     // with fresh state). Tell it where to rewind to.
     ++stats_.gaps;
+    if (m_gaps_) m_gaps_->Increment();
+    if (m_nacks_) m_nacks_->Increment();
     return Nack(message.seq,
                 Status::OutOfRange(StringPrintf(
                     "sequence gap: expected=%llu",
                     static_cast<unsigned long long>(expected_))));
   }
   if (quarantined_) {
+    if (m_nacks_) m_nacks_->Increment();
     return Nack(message.seq,
                 Status::FailedPrecondition(StringPrintf(
                     "source quarantined: %s",
@@ -64,6 +97,7 @@ std::string IngestSession::Handle(const IngestMessage& message) {
       if (options_.overload_policy ==
           IngestSessionOptions::OverloadPolicy::kNack) {
         ++stats_.overload_nacks;
+        if (m_nacks_) m_nacks_->Increment();
         return Nack(message.seq,
                     Status::ResourceExhausted(StringPrintf(
                         "ingest admission: %llu tracked bytes exceed "
@@ -77,6 +111,16 @@ std::string IngestSession::Handle(const IngestMessage& message) {
       // keeps the producer's replay buffer (and the network) from
       // amplifying the overload.
       ++stats_.overload_shed;
+      const uint64_t points =
+          message.event.batch ? message.event.batch->size() : 0;
+      const uint64_t bytes =
+          message.event.batch ? message.event.batch->ApproxBytes() : 0;
+      stats_.overload_shed_points += points;
+      stats_.overload_shed_bytes += bytes;
+      if (m_shed_events_) m_shed_events_->Increment();
+      if (m_shed_points_) m_shed_points_->Increment(points);
+      if (m_shed_bytes_) m_shed_bytes_->Increment(bytes);
+      if (m_acks_) m_acks_->Increment();
       expected_ = message.seq + 1;
       return Ack(message.seq);
     }
@@ -88,9 +132,12 @@ std::string IngestSession::Handle(const IngestMessage& message) {
     // sequence number once the chain recovers (transient errors) or
     // after an admin RESTART (quarantine/poison).
     ++stats_.delivery_errors;
+    if (m_nacks_) m_nacks_->Increment();
     return Nack(message.seq, delivered);
   }
   ++stats_.delivered;
+  if (m_delivered_) m_delivered_->Increment();
+  if (m_acks_) m_acks_->Increment();
   expected_ = message.seq + 1;
   if (message.event.kind == EventKind::kStreamEnd) ended_ = true;
   return Ack(message.seq);
@@ -142,6 +189,7 @@ std::string IngestSession::StatsLine() const {
   return StringPrintf(
       "source=%s next=%llu received=%llu delivered=%llu duplicates=%llu "
       "gaps=%llu overload_nacks=%llu overload_shed=%llu "
+      "shed_points=%llu shed_bytes=%llu "
       "delivery_errors=%llu quarantined=%d ended=%d",
       source_.c_str(), static_cast<unsigned long long>(s.next_expected),
       static_cast<unsigned long long>(s.received),
@@ -150,6 +198,8 @@ std::string IngestSession::StatsLine() const {
       static_cast<unsigned long long>(s.gaps),
       static_cast<unsigned long long>(s.overload_nacks),
       static_cast<unsigned long long>(s.overload_shed),
+      static_cast<unsigned long long>(s.overload_shed_points),
+      static_cast<unsigned long long>(s.overload_shed_bytes),
       static_cast<unsigned long long>(s.delivery_errors),
       s.quarantined ? 1 : 0, s.ended ? 1 : 0);
 }

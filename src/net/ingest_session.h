@@ -49,6 +49,7 @@
 
 #include "common/status.h"
 #include "net/wire_protocol.h"
+#include "obs/metrics_registry.h"
 #include "stream/memory_tracker.h"
 #include "stream/operator.h"
 
@@ -72,6 +73,11 @@ struct IngestSessionOptions {
   /// query output.
   enum class OverloadPolicy : uint8_t { kNack, kShed };
   OverloadPolicy overload_policy = OverloadPolicy::kNack;
+  /// Optional registry: the session keeps per-source
+  /// `geostreams_ingest_*_total{source=...}` counters (acks, nacks,
+  /// replays, gaps, delivered events, shed events/points/bytes) in
+  /// sync with its internal stats. Not owned; may be null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct IngestSessionStats {
@@ -80,7 +86,9 @@ struct IngestSessionStats {
   uint64_t duplicates = 0;       // seq already acked; re-acked
   uint64_t gaps = 0;             // seq ahead of expectation; NACKed
   uint64_t overload_nacks = 0;   // admission refusals (kNack)
-  uint64_t overload_shed = 0;    // admission drops (kShed)
+  uint64_t overload_shed = 0;    // admission drops (kShed), in events
+  uint64_t overload_shed_points = 0;  // points inside shed batches
+  uint64_t overload_shed_bytes = 0;   // approx bytes inside shed batches
   uint64_t delivery_errors = 0;  // chain refused the event; NACKed
   uint64_t next_expected = 1;    // next in-order sequence number
   bool quarantined = false;
@@ -141,6 +149,17 @@ class IngestSession {
   Status quarantine_error_ = Status::OK();
   Clock::time_point last_activity_ = Clock::now();
   IngestSessionStats stats_;
+
+  /// Registry counters labeled {source=...}; null when no registry
+  /// was supplied. Incremented on the Handle path (relaxed atomics).
+  Counter* m_acks_ = nullptr;
+  Counter* m_nacks_ = nullptr;
+  Counter* m_replays_ = nullptr;
+  Counter* m_gaps_ = nullptr;
+  Counter* m_delivered_ = nullptr;
+  Counter* m_shed_events_ = nullptr;
+  Counter* m_shed_points_ = nullptr;
+  Counter* m_shed_bytes_ = nullptr;
 };
 
 }  // namespace geostreams

@@ -217,6 +217,11 @@ NetServer::~NetServer() { Stop(); }
 
 Status NetServer::Start() {
   if (started_) return Status::FailedPrecondition("already started");
+  // Sessions report into the engine's registry unless the caller
+  // supplied their own.
+  if (options_.session.metrics == nullptr) {
+    options_.session.metrics = dsms_->metrics_registry();
+  }
   GEOSTREAMS_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.port));
   GEOSTREAMS_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
   if (options_.ingest_port >= 0) {
@@ -342,6 +347,7 @@ Result<std::shared_ptr<IngestSession>> NetServer::IngestSessionFor(
   }
   IngestSessionOptions opts = options_.ingest;
   if (opts.memory == nullptr) opts.memory = &dsms_->memory();
+  if (opts.metrics == nullptr) opts.metrics = dsms_->metrics_registry();
   auto session = std::make_shared<IngestSession>(source, sink, opts);
   ingest_sessions_.emplace(source, session);
   return session;

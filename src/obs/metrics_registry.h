@@ -1,0 +1,189 @@
+// System-wide metrics: counters, gauges, and latency histograms with
+// Prometheus text exposition.
+//
+// The paper costs the query model in per-point processing time and
+// per-operator buffered state (Secs. 3.1-3.3); the registry turns
+// both — plus everything the runtime grew around them (scheduler
+// queues, supervision, the ingest/client network planes) — into one
+// scrapeable surface. Design constraints, in order:
+//
+//  1. Update paths are lock-light. Counter/Gauge/MetricHistogram updates
+//     are relaxed atomics on pre-resolved pointers; the registry
+//     mutex is taken only at registration and at scrape time.
+//  2. Series are stable. GetCounter/GetGauge/GetHistogram return the
+//     same instance for the same (name, labels) forever; handles
+//     never dangle even after the registering component is gone.
+//  3. Mirrored sources stay authoritative. Components that already
+//     keep counters under their own locks (scheduler stats, memory
+//     tracker) register a collector callback that refreshes registry
+//     values at scrape time instead of double-counting on hot paths.
+//
+// Naming scheme (see DESIGN.md §11): every family is
+// `geostreams_<component>_<what>[_unit][_total]`, latencies are
+// microseconds (`_us`), byte figures `_bytes`. Label cardinality is
+// bounded by construction: operators are labeled by operator *kind*
+// (not instance), ingest by source name, and client sessions are
+// aggregated unlabeled.
+
+#ifndef GEOSTREAMS_OBS_METRICS_REGISTRY_H_
+#define GEOSTREAMS_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace geostreams {
+
+/// Monotonic counter. Increment from hot paths; Set() exists for
+/// collectors mirroring a counter whose source of truth lives behind
+/// another component's lock (the mirrored value must itself be
+/// monotonic or Prometheus rate() breaks).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time figure (queue depth, tracked bytes, health counts).
+class Gauge {
+ public:
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples
+/// (microseconds, queue depths). Buckets are cumulative-upper-bound
+/// ("le") like Prometheus: bucket i counts samples <= bounds[i], with
+/// an implicit +Inf bucket after the last bound. Observe() is three
+/// relaxed atomic adds after a binary search over ~20 bounds; merging
+/// and percentile extraction work on snapshots, so a concurrent
+/// Observe skews a scrape by at most the in-flight samples.
+class MetricHistogram {
+ public:
+  /// `bounds` must be strictly ascending and non-empty.
+  explicit MetricHistogram(std::vector<uint64_t> bounds);
+
+  /// start, start*factor, start*factor^2, ... (count bounds, deduped
+  /// after rounding — factor must be > 1).
+  static std::vector<uint64_t> ExponentialBuckets(uint64_t start,
+                                                  double factor,
+                                                  size_t count);
+  /// Log-spaced microsecond latency bounds: 1us .. ~16s, factor 4.
+  static const std::vector<uint64_t>& LatencyBucketsUs();
+  /// Log-spaced small-count bounds (queue depths): 1 .. 65536.
+  static const std::vector<uint64_t>& DepthBuckets();
+
+  void Observe(uint64_t value);
+
+  struct Snapshot {
+    std::vector<uint64_t> bounds;
+    /// counts.size() == bounds.size() + 1; the last entry is +Inf.
+    std::vector<uint64_t> counts;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+
+    /// Percentile p in [0, 100] by linear interpolation inside the
+    /// owning bucket; samples in the +Inf bucket answer with the last
+    /// finite bound. 0 when empty.
+    double Percentile(double p) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Accumulates another histogram's counts (same bounds required;
+  /// mismatched shapes are ignored). The OperatorMetrics::MergeFrom
+  /// idiom for distributions.
+  void MergeFrom(const MetricHistogram& other);
+
+  double Percentile(double p) const { return TakeSnapshot().Percentile(p); }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Label set, rendered in the given order. Keep values low-cardinality
+/// (operator kinds, source names — never per-event data).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registration is get-or-create keyed on (name, labels); the help
+  /// text of the first registration wins. Returned pointers live as
+  /// long as the registry. A name already registered as a different
+  /// metric type returns nullptr (callers treat that as "metrics
+  /// off") — it is a programming error, logged once.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      MetricLabels labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  MetricLabels labels = {});
+  MetricHistogram* GetHistogram(const std::string& name, const std::string& help,
+                          MetricLabels labels = {},
+                          std::vector<uint64_t> bounds = {});
+
+  /// Scrape hook: runs (outside the registry lock, in registration
+  /// order) at the start of RenderPrometheus. Components whose
+  /// counters live behind their own locks refresh mirror metrics
+  /// here, so the hot path never double-counts.
+  void AddCollector(std::function<void()> collect);
+
+  /// Prometheus text exposition (version 0.0.4): families sorted by
+  /// name with # HELP / # TYPE headers, histogram series expanded
+  /// into cumulative `_bucket{le=...}` plus `_sum`/`_count`. Ends
+  /// with a newline.
+  std::string RenderPrometheus();
+
+  /// Number of registered series across all families (tests).
+  size_t NumSeries() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<MetricHistogram> histogram;
+  };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    bool kind_conflict_logged = false;
+    /// Keyed by the rendered label string so lookup and output order
+    /// agree.
+    std::map<std::string, Series> series;
+  };
+
+  Series* GetSeries(const std::string& name, const std::string& help,
+                    Kind kind, MetricLabels labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::vector<std::function<void()>> collectors_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,127 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics_registry.h"
+
+namespace geostreams {
+
+namespace {
+thread_local TraceContext* g_active_trace = nullptr;
+}  // namespace
+
+uint64_t TraceNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string TraceRecord::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "TR %llu trace=%llu pipeline=%s origin=%s queue_us=%llu "
+                "total_us=%llu",
+                static_cast<unsigned long long>(ordinal),
+                static_cast<unsigned long long>(trace_id),
+                pipeline.empty() ? "-" : pipeline.c_str(),
+                origin.empty() ? "-" : origin.c_str(),
+                static_cast<unsigned long long>(queue_wait_us),
+                static_cast<unsigned long long>(total_us));
+  std::string out = buf;
+  for (const TraceSpan& span : spans) {
+    std::snprintf(buf, sizeof(buf), " %s=%llu/%llu", span.name.c_str(),
+                  static_cast<unsigned long long>(span.exclusive_us),
+                  static_cast<unsigned long long>(span.inclusive_us));
+    out += buf;
+  }
+  return out;
+}
+
+TraceContext::TraceContext(uint64_t trace_id, std::string origin)
+    : trace_id_(trace_id), origin_(std::move(origin)), born_us_(TraceNowUs()) {}
+
+std::shared_ptr<TraceContext> TraceContext::Fork(std::string pipeline) const {
+  auto fork = std::make_shared<TraceContext>(trace_id_, origin_);
+  fork->pipeline_ = std::move(pipeline);
+  fork->born_us_ = born_us_;
+  return fork;
+}
+
+uint64_t TraceContext::MarkDequeued() {
+  if (enqueued_us_ == 0) return 0;
+  uint64_t now = TraceNowUs();
+  queue_wait_us_ = now > enqueued_us_ ? now - enqueued_us_ : 0;
+  return queue_wait_us_;
+}
+
+TraceRecord TraceContext::Finish() const {
+  TraceRecord record;
+  record.trace_id = trace_id_;
+  record.origin = origin_;
+  record.pipeline = pipeline_;
+  record.queue_wait_us = queue_wait_us_;
+  uint64_t now = TraceNowUs();
+  record.total_us = now > born_us_ ? now - born_us_ : 0;
+  // SpanTimer destructors fire innermost-first; flip to delivery order.
+  record.spans.assign(spans_.rbegin(), spans_.rend());
+  return record;
+}
+
+SpanTimer::SpanTimer(TraceContext* trace, const std::string& name,
+                     MetricHistogram* histogram)
+    : trace_(trace),
+      name_(name),
+      histogram_(histogram),
+      start_us_(TraceNowUs()),
+      saved_child_us_(trace->child_us_) {
+  trace_->child_us_ = 0;
+}
+
+SpanTimer::~SpanTimer() {
+  uint64_t now = TraceNowUs();
+  uint64_t inclusive = now > start_us_ ? now - start_us_ : 0;
+  uint64_t children = trace_->child_us_;
+  uint64_t exclusive = inclusive > children ? inclusive - children : 0;
+  // This span is itself a child of whatever encloses it.
+  trace_->child_us_ = saved_child_us_ + inclusive;
+  TraceSpan span;
+  span.name = name_;
+  span.exclusive_us = exclusive;
+  span.inclusive_us = inclusive;
+  trace_->spans_.push_back(std::move(span));
+  if (histogram_ != nullptr) histogram_->Observe(exclusive);
+}
+
+TraceContext* ActiveTrace() { return g_active_trace; }
+
+ScopedTraceActivation::ScopedTraceActivation(TraceContext* trace)
+    : previous_(g_active_trace) {
+  g_active_trace = trace;
+}
+
+ScopedTraceActivation::~ScopedTraceActivation() { g_active_trace = previous_; }
+
+void TraceRing::Push(TraceRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.ordinal = total_++;
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+TraceRing::Snapshot TraceRing::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.total = total_;
+  snap.records.assign(records_.begin(), records_.end());
+  return snap;
+}
+
+uint64_t TraceRing::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace geostreams

@@ -1,0 +1,170 @@
+// Per-batch pipeline tracing.
+//
+// A sampled batch gets a TraceContext at the ingest boundary; the
+// scheduler forks it per fan-out pipeline (each fork lives on exactly
+// one pipeline, so — by the scheduler's claim invariant — it is only
+// ever mutated by one thread at a time), stamps queue entry/exit, and
+// activates it around chain delivery so every operator on the chain
+// records a span. Operators run as a synchronous push chain: an
+// upstream operator's Consume *includes* all downstream work, so spans
+// carry both the inclusive wall time and the exclusive time with the
+// child subtree subtracted out (SpanTimer does the subtree
+// accounting). Finished traces land in a bounded per-pipeline
+// TraceRing dumped by `TRACE <query-id>` — same ordinal-survives-
+// eviction contract as the DeadLetterQueue.
+//
+// The untraced hot path costs one thread-local load and a branch per
+// operator (see bench/bench_tracing.cc).
+
+#ifndef GEOSTREAMS_OBS_TRACE_H_
+#define GEOSTREAMS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace geostreams {
+
+class MetricHistogram;
+
+/// Monotonic (steady-clock) microseconds. The zero point is arbitrary;
+/// only differences are meaningful.
+uint64_t TraceNowUs();
+
+/// One operator's slice of a traced delivery.
+struct TraceSpan {
+  std::string name;          // operator instance name, e.g. "op1.region"
+  uint64_t exclusive_us = 0; // wall time minus downstream subtree
+  uint64_t inclusive_us = 0; // wall time including downstream subtree
+};
+
+/// A finished trace, as kept in the ring and dumped over the control
+/// plane.
+struct TraceRecord {
+  uint64_t ordinal = 0;   // assigned by the ring; survives eviction
+  uint64_t trace_id = 0;
+  std::string origin;     // source stream name
+  std::string pipeline;   // scheduler queue name ("" when inline)
+  uint64_t queue_wait_us = 0;
+  uint64_t total_us = 0;  // ingest stamp -> Finish()
+  std::vector<TraceSpan> spans;  // delivery order (outermost first)
+
+  /// One line: `TR <ordinal> trace=<id> pipeline=<p> origin=<o>
+  /// queue_us=<n> total_us=<n> <span>=<excl>/<incl>...` (span times in
+  /// microseconds, exclusive/inclusive).
+  std::string ToString() const;
+};
+
+/// Mutable state of one in-flight trace. Not thread-safe: each
+/// instance is owned by a single delivery path (fork per pipeline
+/// before crossing a queue).
+class TraceContext {
+ public:
+  TraceContext(uint64_t trace_id, std::string origin);
+
+  uint64_t trace_id() const { return trace_id_; }
+  const std::string& origin() const { return origin_; }
+  const std::string& pipeline() const { return pipeline_; }
+
+  /// A fresh context for one fan-out pipeline: same id/origin/birth
+  /// stamp, no spans. Called by the scheduler before enqueue so
+  /// concurrent pipelines never share mutable trace state.
+  std::shared_ptr<TraceContext> Fork(std::string pipeline) const;
+
+  /// Queue boundary stamps. MarkDequeued returns the queue wait in
+  /// microseconds (0 if MarkEnqueued was never called).
+  void MarkEnqueued() { enqueued_us_ = TraceNowUs(); }
+  uint64_t MarkDequeued();
+  uint64_t queue_wait_us() const { return queue_wait_us_; }
+
+  /// Snapshot for the ring. total_us covers birth -> now.
+  TraceRecord Finish() const;
+
+ private:
+  friend class SpanTimer;
+
+  uint64_t trace_id_;
+  std::string origin_;
+  std::string pipeline_;
+  uint64_t born_us_;
+  uint64_t enqueued_us_ = 0;
+  uint64_t queue_wait_us_ = 0;
+  /// Inclusive time of already-finished child spans at the current
+  /// nesting level; SpanTimer saves/zeroes/restores it around each
+  /// span to compute exclusive time.
+  uint64_t child_us_ = 0;
+  std::vector<TraceSpan> spans_;
+};
+
+/// RAII span: construct around an operator's Process call. Records the
+/// span into `trace` on destruction and, when `histogram` is non-null,
+/// observes the *exclusive* microseconds there. `name` must outlive
+/// the timer (operators pass their own name).
+class SpanTimer {
+ public:
+  SpanTimer(TraceContext* trace, const std::string& name,
+            MetricHistogram* histogram);
+  ~SpanTimer();
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  TraceContext* trace_;
+  const std::string& name_;
+  MetricHistogram* histogram_;
+  uint64_t start_us_;
+  uint64_t saved_child_us_;
+};
+
+/// The trace active on this thread's current delivery chain, or null.
+/// Operators consult this (one thread-local load + branch) instead of
+/// the event, because operators emit freshly-built events that do not
+/// carry the upstream event's trace pointer.
+TraceContext* ActiveTrace();
+
+/// Activates `trace` (may be null = deactivate) for the current scope;
+/// restores the previous active trace on destruction.
+class ScopedTraceActivation {
+ public:
+  explicit ScopedTraceActivation(TraceContext* trace);
+  ~ScopedTraceActivation();
+
+  ScopedTraceActivation(const ScopedTraceActivation&) = delete;
+  ScopedTraceActivation& operator=(const ScopedTraceActivation&) = delete;
+
+ private:
+  TraceContext* previous_;
+};
+
+/// Bounded ring of finished traces. Thread-safe (the synchronous
+/// ingest path can push from multiple producer threads). Ordinals are
+/// assigned at push and survive eviction, like DeadLetterQueue.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  void Push(TraceRecord record);
+
+  struct Snapshot {
+    uint64_t total = 0;                // pushed since creation
+    std::vector<TraceRecord> records;  // oldest kept first
+  };
+  Snapshot TakeSnapshot() const;
+
+  uint64_t total() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::deque<TraceRecord> records_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OBS_TRACE_H_

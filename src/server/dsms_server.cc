@@ -25,6 +25,19 @@ std::unique_ptr<RegionIndex> MakeIndex(DsmsOptions::IndexKind kind,
   return std::make_unique<FilterBank>();
 }
 
+/// Operator-kind label for the shared latency histogram family: the
+/// planner names operators "op<N>.<kind>" (delivery ops
+/// "q<N>.delivery"), so the suffix after the first '.' is the kind —
+/// labeling by kind instead of instance keeps series cardinality
+/// bounded no matter how many queries register.
+std::string OpKindLabel(const std::string& name) {
+  const size_t dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+constexpr char kOperatorLatencyHelp[] =
+    "Exclusive microseconds spent in one operator per traced delivery";
+
 }  // namespace
 
 /// Per-source ingest state: fans events out to unrestricted plan
@@ -48,6 +61,10 @@ struct DsmsServer::SourceState : public EventSink {
   std::unique_ptr<DeadLetterQueue> boundary_dead_letters;
   uint64_t checksum_failures = 0;
   bool warned_corrupt = false;
+  /// Point batches seen at this boundary, for trace sampling (every
+  /// Nth batch per source). Atomic: several producers may ingest one
+  /// source concurrently under the shared state lock.
+  std::atomic<uint64_t> trace_ticks{0};
   /// Quarantine verdict (also under boundary_mu): a quarantined
   /// source's events are refused at the guard until RestartSource.
   bool quarantined = false;
@@ -131,10 +148,37 @@ class DsmsServer::GuardedIngestSink : public EventSink {
       }
       return Status::OK();  // shed at the boundary; downlink continues
     }
+    const size_t sample_every = server_->options_.trace_sample_every;
+    if (sample_every > 0 && event.kind == EventKind::kPointBatch) {
+      const uint64_t tick =
+          source_->trace_ticks.fetch_add(1, std::memory_order_relaxed);
+      if (tick % sample_every == 0) return ConsumeTraced(event);
+    }
     return source_->Consume(event);
   }
 
  private:
+  /// Delivers one sampled batch with a fresh TraceContext attached.
+  /// With a worker pool the context just rides the event — the
+  /// scheduler forks it per pipeline at enqueue and does all the
+  /// timing. Synchronously the whole fan-out runs right here on the
+  /// ingest thread, so activate the trace around it and push the
+  /// record into the server-wide inline ring (spans of all queries
+  /// appear in one record — they really did run as one chain).
+  Status ConsumeTraced(const StreamEvent& event) {
+    StreamEvent traced = event;
+    traced.trace = std::make_shared<TraceContext>(
+        server_->next_trace_id_.fetch_add(1, std::memory_order_relaxed),
+        source_->desc.name());
+    if (server_->scheduler_) return source_->Consume(traced);
+    ScopedTraceActivation activate(traced.trace.get());
+    Status st = source_->Consume(traced);
+    if (st.ok() && server_->inline_traces_) {
+      server_->inline_traces_->Push(traced.trace->Finish());
+    }
+    return st;
+  }
+
   DsmsServer* server_;
   SourceState* source_;
 };
@@ -172,6 +216,7 @@ struct DsmsServer::QueryState {
 };
 
 DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
+  inline_traces_ = std::make_unique<TraceRing>(options_.trace_ring_capacity);
   if (options_.workers > 0) {
     SchedulerOptions sched;
     sched.policy = options_.worker_policy;
@@ -181,6 +226,8 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
     sched.dead_letter_capacity = options_.dead_letter_capacity;
     sched.dead_letter_max_bytes = options_.dead_letter_max_bytes;
     sched.memory = &memory_;
+    sched.metrics = &metrics_registry_;
+    sched.trace_ring_capacity = options_.trace_ring_capacity;
     scheduler_ = std::make_unique<QueryScheduler>(sched);
     Status st = scheduler_->Start();
     if (!st.ok()) {
@@ -193,6 +240,87 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
                             << SchedulingPolicyName(sched.policy);
     }
   }
+  RegisterCollectors();
+}
+
+void DsmsServer::RegisterCollectors() {
+  MetricsRegistry& reg = metrics_registry_;
+  // Scheduler counters live behind the scheduler mutex; mirror them
+  // into the registry at scrape time rather than double-counting in
+  // the enqueue/claim paths.
+  Counter* enqueued = reg.GetCounter("geostreams_scheduler_enqueued_total",
+                                     "Events accepted into pipeline queues");
+  Counter* processed = reg.GetCounter(
+      "geostreams_scheduler_processed_total",
+      "Events delivered through operator chains by the worker pool");
+  Counter* shed = reg.GetCounter(
+      "geostreams_scheduler_shed_total",
+      "Point batches shed because a pipeline queue was full");
+  Counter* control_overflow =
+      reg.GetCounter("geostreams_scheduler_control_overflow_total",
+                     "Control events admitted above queue capacity");
+  Counter* rejected =
+      reg.GetCounter("geostreams_scheduler_rejected_total",
+                     "Enqueues refused by quarantined pipelines");
+  Counter* discarded =
+      reg.GetCounter("geostreams_scheduler_discarded_total",
+                     "Queued events thrown away when a pipeline quarantined");
+  Counter* restarts =
+      reg.GetCounter("geostreams_pipeline_restarts_total",
+                     "Supervised transient redelivery attempts");
+  Counter* dead_letters =
+      reg.GetCounter("geostreams_pipeline_dead_letters_total",
+                     "Poison events dropped by the supervisor");
+  Gauge* queued = reg.GetGauge("geostreams_scheduler_queued",
+                               "Events currently waiting in pipeline queues");
+  Gauge* queries = reg.GetGauge("geostreams_queries",
+                                "Registered queries (derived views included)");
+  Gauge* degraded = reg.GetGauge("geostreams_queries_degraded",
+                                 "Queries currently DEGRADED");
+  Gauge* quarantined = reg.GetGauge("geostreams_queries_quarantined",
+                                    "Queries currently QUARANTINED");
+  Gauge* mem_bytes = reg.GetGauge("geostreams_memory_tracked_bytes",
+                                  "Bytes currently tracked across operators");
+  Gauge* mem_peak = reg.GetGauge("geostreams_memory_high_water_bytes",
+                                 "Largest tracked-byte total ever observed");
+  Counter* checksum_failures =
+      reg.GetCounter("geostreams_ingest_checksum_failures_total",
+                     "Corrupt batches rejected at the ingest boundary");
+  reg.AddCollector([=, this] {
+    if (scheduler_) {
+      const ScheduledQueueStats total = scheduler_->AggregateStats();
+      enqueued->Set(total.enqueued);
+      processed->Set(total.processed);
+      shed->Set(total.dropped);
+      control_overflow->Set(total.control_overflow);
+      rejected->Set(total.rejected);
+      discarded->Set(total.discarded);
+      restarts->Set(total.restarts);
+      dead_letters->Set(total.dead_letters);
+      queued->Set(total.queued);
+    }
+    uint64_t n_queries = 0, n_degraded = 0, n_quarantined = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      n_queries = queries_.size();
+      if (scheduler_) {
+        for (const auto& [id, query] : queries_) {
+          if (query->sched_pipeline == SIZE_MAX) continue;
+          switch (scheduler_->Health(query->sched_pipeline)) {
+            case PipelineHealth::kDegraded: ++n_degraded; break;
+            case PipelineHealth::kQuarantined: ++n_quarantined; break;
+            default: break;
+          }
+        }
+      }
+    }
+    queries->Set(n_queries);
+    degraded->Set(n_degraded);
+    quarantined->Set(n_quarantined);
+    mem_bytes->Set(memory_.TotalBytes());
+    mem_peak->Set(memory_.HighWaterBytes());
+    checksum_failures->Set(IngestChecksumFailures());
+  });
 }
 
 DsmsServer::~DsmsServer() {
@@ -323,6 +451,19 @@ Result<QueryId> DsmsServer::RegisterInternal(
   }
   GEOSTREAMS_ASSIGN_OR_RETURN(query->plan,
                               BuildPlan(plan_expr, plan_sink, &memory_));
+
+  // Every operator on the chain feeds the kind-labeled latency
+  // histogram family whenever a traced event passes through it.
+  for (const auto& op : query->plan->operators()) {
+    op->BindLatencyHistogram(metrics_registry_.GetHistogram(
+        "geostreams_operator_latency_us", kOperatorLatencyHelp,
+        {{"op", OpKindLabel(op->name())}}));
+  }
+  if (query->delivery) {
+    query->delivery->BindLatencyHistogram(metrics_registry_.GetHistogram(
+        "geostreams_operator_latency_us", kOperatorLatencyHelp,
+        {{"op", "delivery"}}));
+  }
 
   // Wire plan inputs to sources (peeled leaves via the shared
   // restriction index, the rest directly). With a worker pool, every
@@ -629,6 +770,50 @@ Result<std::string> DsmsServer::ExplainAnalyze(QueryId id) const {
         "query %lld not registered", static_cast<long long>(id)));
   }
   return ExplainPlanMetrics(*it->second->plan);
+}
+
+Result<TraceRing::Snapshot> DsmsServer::QueryTraces(QueryId id) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound(StringPrintf(
+        "query %lld not registered", static_cast<long long>(id)));
+  }
+  if (!scheduler_ || it->second->sched_pipeline == SIZE_MAX) {
+    // Synchronous server: every query runs on the shared ingest chain.
+    return inline_traces_ ? inline_traces_->TakeSnapshot()
+                          : TraceRing::Snapshot{};
+  }
+  // Safe lock order: workers never hold the scheduler mutex while
+  // taking state_mu_ (they release it around Consume), so querying the
+  // scheduler under the shared state lock cannot deadlock.
+  return scheduler_->Traces(it->second->sched_pipeline);
+}
+
+std::string DsmsServer::SummaryLine() const {
+  ScheduledQueueStats total;
+  if (scheduler_) total = scheduler_->AggregateStats();
+  size_t n_queries = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    n_queries = queries_.size();
+  }
+  return StringPrintf(
+      "queries=%zu enqueued=%llu processed=%llu queued=%llu shed=%llu "
+      "restarts=%llu dead_letters=%llu rejected=%llu mem=%lluB "
+      "mem_peak=%lluB checksum_fail=%llu traces=%llu",
+      n_queries, static_cast<unsigned long long>(total.enqueued),
+      static_cast<unsigned long long>(total.processed),
+      static_cast<unsigned long long>(total.queued),
+      static_cast<unsigned long long>(total.dropped),
+      static_cast<unsigned long long>(total.restarts),
+      static_cast<unsigned long long>(total.dead_letters),
+      static_cast<unsigned long long>(total.rejected),
+      static_cast<unsigned long long>(memory_.TotalBytes()),
+      static_cast<unsigned long long>(memory_.HighWaterBytes()),
+      static_cast<unsigned long long>(IngestChecksumFailures()),
+      static_cast<unsigned long long>(
+          total.traces + (inline_traces_ ? inline_traces_->total() : 0)));
 }
 
 Result<uint64_t> DsmsServer::FramesDelivered(QueryId id) const {

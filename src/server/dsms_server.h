@@ -14,6 +14,7 @@
 #ifndef GEOSTREAMS_SERVER_DSMS_SERVER_H_
 #define GEOSTREAMS_SERVER_DSMS_SERVER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -21,6 +22,8 @@
 #include <vector>
 
 #include "mqo/shared_restriction.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "ops/delivery_op.h"
 #include "query/analyzer.h"
 #include "query/optimizer.h"
@@ -69,6 +72,16 @@ struct DsmsOptions {
   /// (bytes reported to the server's MemoryTracker as "dlq.<name>").
   size_t dead_letter_capacity = 16;
   size_t dead_letter_max_bytes = 1 << 20;
+  /// Pipeline tracing: every Nth point batch per source gets a
+  /// TraceContext and records queue-wait plus per-operator timings
+  /// into the metrics registry and the per-query trace ring (`TRACE
+  /// <id>`). 0 (default) disables sampling entirely — the hot path
+  /// then pays one branch at ingest and one thread-local load per
+  /// operator (see bench/bench_tracing.cc).
+  size_t trace_sample_every = 0;
+  /// Finished traces retained per query pipeline (and in the shared
+  /// inline ring when workers == 0).
+  size_t trace_ring_capacity = 32;
 };
 
 class DsmsServer {
@@ -126,6 +139,21 @@ class DsmsServer {
   }
   const StreamCatalog& catalog() const { return catalog_; }
   const MemoryTracker& memory() const { return memory_; }
+  /// The server-wide metrics registry. Components sharing the server
+  /// (net sessions, benches) register their own series here; valid for
+  /// the server's lifetime.
+  MetricsRegistry* metrics_registry() { return &metrics_registry_; }
+  /// Prometheus text exposition of the registry (runs the mirror
+  /// collectors first, so scheduler/ingest/memory figures are fresh).
+  std::string RenderMetrics() { return metrics_registry_.RenderPrometheus(); }
+  /// One-line operational summary (regional_server --metrics-interval).
+  std::string SummaryLine() const;
+
+  /// Retained trace records for a query (`TRACE <id>`): with a worker
+  /// pool, the query pipeline's own ring; on a synchronous server all
+  /// queries share one delivery chain, so every query id answers with
+  /// the shared inline ring. NotFound for unknown ids.
+  Result<TraceRing::Snapshot> QueryTraces(QueryId id) const;
   /// EXPLAIN text of a registered query's optimized plan.
   Result<std::string> Explain(QueryId id) const;
   /// EXPLAIN ANALYZE: the physical operators' actual runtime counters.
@@ -196,9 +224,21 @@ class DsmsServer {
   ExprPtr PeelLeafRestrictions(QueryId id, ExprPtr expr,
                                QueryState* query);
 
+  /// Registers the scrape-time collectors that mirror scheduler,
+  /// memory, and ingest-boundary figures into the registry. Called
+  /// once from the constructor.
+  void RegisterCollectors();
+
   DsmsOptions options_;
   StreamCatalog catalog_;
   MemoryTracker memory_;
+  /// Declared before scheduler_ so the histograms the scheduler holds
+  /// pointers into outlive the worker pool.
+  MetricsRegistry metrics_registry_;
+  std::atomic<uint64_t> next_trace_id_{1};
+  /// Finished traces on a synchronous server (workers == 0), where
+  /// there are no per-pipeline rings. Multi-producer safe.
+  std::unique_ptr<TraceRing> inline_traces_;
   /// Control plane vs data plane: every ingest event takes this in
   /// shared mode (via the per-source GuardedIngestSink), while
   /// registration, unregistration, and restart take it exclusively —

@@ -31,16 +31,26 @@ struct OperatorMetrics {
   uint64_t buffered_bytes = 0;
   /// Largest value buffered_bytes ever took (the paper's space cost).
   uint64_t buffered_bytes_high_water = 0;
+  /// After MergeFrom: the largest single contribution to
+  /// buffered_bytes_high_water — the worst individual operator, as
+  /// opposed to the summed upper bound. For an unmerged instance the
+  /// two are equal.
+  uint64_t buffered_bytes_high_water_max = 0;
 
   /// Sets buffered_bytes and maintains the high-water mark.
   void SetBuffered(uint64_t bytes) {
     buffered_bytes = bytes;
     if (bytes > buffered_bytes_high_water) buffered_bytes_high_water = bytes;
+    if (bytes > buffered_bytes_high_water_max) {
+      buffered_bytes_high_water_max = bytes;
+    }
   }
 
   /// Accumulates `other` into this struct. Counters add; the
-  /// buffered-bytes high water becomes a sum of per-operator peaks —
-  /// an upper bound, since the peaks need not coincide in time.
+  /// buffered-bytes high water becomes a *sum* of per-operator peaks —
+  /// an upper bound, since the peaks need not coincide in time — while
+  /// `buffered_bytes_high_water_max` keeps the true worst single
+  /// peak, so aggregated stats can show both.
   void MergeFrom(const OperatorMetrics& other) {
     events_in += other.events_in;
     points_in += other.points_in;
@@ -49,6 +59,12 @@ struct OperatorMetrics {
     frames_out += other.frames_out;
     buffered_bytes += other.buffered_bytes;
     buffered_bytes_high_water += other.buffered_bytes_high_water;
+    uint64_t other_max = other.buffered_bytes_high_water_max
+                             ? other.buffered_bytes_high_water_max
+                             : other.buffered_bytes_high_water;
+    if (other_max > buffered_bytes_high_water_max) {
+      buffered_bytes_high_water_max = other_max;
+    }
   }
 
   void Reset() { *this = OperatorMetrics(); }

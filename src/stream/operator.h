@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "core/geostream.h"
 #include "core/stream_event.h"
+#include "obs/trace.h"
 #include "stream/memory_tracker.h"
 #include "stream/metrics.h"
 
@@ -95,6 +96,12 @@ class Operator {
   void BindOutput(EventSink* out) { out_ = out; }
   /// Optional memory tracker for buffering reports.
   void BindMemoryTracker(MemoryTracker* tracker) { tracker_ = tracker; }
+  /// Optional latency histogram (labeled by operator kind in the
+  /// registry): receives this operator's exclusive microseconds for
+  /// every *traced* delivery. Untraced events never observe.
+  void BindLatencyHistogram(MetricHistogram* histogram) {
+    latency_histogram_ = histogram;
+  }
 
   const OperatorMetrics& metrics() const { return metrics_; }
   OperatorMetrics& mutable_metrics() { return metrics_; }
@@ -125,10 +132,23 @@ class Operator {
     if (tracker_) tracker_->Update(name_, bytes);
   }
 
+  /// Span wrapper used by the Consume shims below: times `Process`
+  /// when a trace is active on this thread, otherwise calls straight
+  /// through (one thread-local load + branch — the disabled-path cost
+  /// benched in bench/bench_tracing.cc).
+  template <typename ProcessFn>
+  Status TracedProcess(ProcessFn&& process) {
+    TraceContext* trace = ActiveTrace();
+    if (trace == nullptr) return process();
+    SpanTimer timer(trace, name_, latency_histogram_);
+    return process();
+  }
+
  private:
   std::string name_;
   EventSink* out_ = nullptr;
   MemoryTracker* tracker_ = nullptr;
+  MetricHistogram* latency_histogram_ = nullptr;
   OperatorMetrics metrics_;
 };
 
@@ -142,7 +162,7 @@ class UnaryOperator : public Operator, public EventSink {
 
   Status Consume(const StreamEvent& event) final {
     NoteInput(event);
-    return Process(event);
+    return TracedProcess([&] { return Process(event); });
   }
 
  protected:
@@ -174,7 +194,7 @@ class BinaryOperator : public Operator {
     PortSink(BinaryOperator* op, int port) : op_(op), port_(port) {}
     Status Consume(const StreamEvent& event) override {
       op_->NoteInput(event);
-      return op_->Process(port_, event);
+      return op_->TracedProcess([&] { return op_->Process(port_, event); });
     }
 
    private:

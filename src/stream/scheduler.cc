@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace geostreams {
 
@@ -44,6 +45,9 @@ struct QueryScheduler::Queue {
   /// before the restart neither count toward `poison_limit` nor mark
   /// the pipeline DEGRADED.
   uint64_t dead_letters_baseline = 0;
+  /// Finished traces for sampled events delivered through this
+  /// pipeline (bounded ring; see SchedulerOptions::trace_ring_capacity).
+  std::unique_ptr<TraceRing> traces;
 };
 
 QueryScheduler::QueryScheduler(SchedulerOptions options)
@@ -51,6 +55,15 @@ QueryScheduler::QueryScheduler(SchedulerOptions options)
   resolved_workers_ = options_.workers;
   if (resolved_workers_ == 0) {
     resolved_workers_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (options_.metrics != nullptr) {
+    queue_wait_hist_ = options_.metrics->GetHistogram(
+        "geostreams_scheduler_queue_wait_us",
+        "Microseconds a traced event waited in its pipeline queue");
+    queue_depth_hist_ = options_.metrics->GetHistogram(
+        "geostreams_scheduler_queue_depth",
+        "Pipeline queue depth observed after each accepted enqueue", {},
+        MetricHistogram::DepthBuckets());
   }
 }
 
@@ -80,6 +93,7 @@ size_t QueryScheduler::AddPipelineGroup(std::string name) {
       options_.dead_letter_capacity, options_.dead_letter_max_bytes);
   queue->dead_letters->BindMemoryTracker(options_.memory,
                                          "dlq." + queue->name);
+  queue->traces = std::make_unique<TraceRing>(options_.trace_ring_capacity);
   if (!free_slots_.empty()) {
     const size_t index = free_slots_.back();
     free_slots_.pop_back();
@@ -201,10 +215,21 @@ Status QueryScheduler::Enqueue(size_t index, EventSink* downstream,
       ++queue.stats.control_overflow;
     }
     ++queue.stats.enqueued;
-    queue.events.push_back(Item{downstream, event});
+    Item item{downstream, event};
+    if (event.trace) {
+      // One traced batch fans out to many pipelines on different
+      // workers; fork a private context per pipeline so no two
+      // threads ever share mutable trace state.
+      item.event.trace = event.trace->Fork(queue.name);
+      item.event.trace->MarkEnqueued();
+    }
+    queue.events.push_back(std::move(item));
     queue.stats.queue_high_water = std::max(
         queue.stats.queue_high_water,
         static_cast<uint64_t>(queue.events.size()));
+    if (queue_depth_hist_ != nullptr) {
+      queue_depth_hist_->Observe(queue.events.size());
+    }
   }
   work_available_.notify_one();
   return Status::OK();
@@ -359,7 +384,24 @@ void QueryScheduler::WorkerLoop() {
     // The claim invariant makes this call single-threaded per
     // pipeline; the mutex acquire/release around claim and release
     // orders operator state (incl. OperatorMetrics) across workers.
-    Status st = item.downstream->Consume(item.event);
+    Status st;
+    TraceContext* trace = item.event.trace.get();
+    if (trace == nullptr) {
+      st = item.downstream->Consume(item.event);
+    } else {
+      uint64_t wait_us = trace->MarkDequeued();
+      if (queue_wait_hist_ != nullptr) queue_wait_hist_->Observe(wait_us);
+      // Activate for the chain: operators emit fresh events, so they
+      // read the trace from the thread-local, not the event.
+      ScopedTraceActivation activate(trace);
+      st = item.downstream->Consume(item.event);
+    }
+    if (st.ok() && trace != nullptr && queue.traces) {
+      // Claim still held, so `queue` cannot be removed under us; the
+      // ring is internally synchronized. Failed deliveries are not
+      // recorded — a retry would append a second set of spans.
+      queue.traces->Push(trace->Finish());
+    }
     lock.lock();
     if (st.ok()) {
       ++queue.stats.processed;
@@ -432,6 +474,12 @@ std::vector<DeadLetter> QueryScheduler::DeadLetters(size_t pipeline) const {
   return queues_[pipeline]->dead_letters->Snapshot();
 }
 
+TraceRing::Snapshot QueryScheduler::Traces(size_t pipeline) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pipeline >= queues_.size() || !queues_[pipeline]) return {};
+  return queues_[pipeline]->traces->TakeSnapshot();
+}
+
 PipelineHealth QueryScheduler::Health(size_t pipeline) const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (pipeline >= queues_.size() || !queues_[pipeline]) {
@@ -470,6 +518,8 @@ std::vector<ScheduledQueueStats> QueryScheduler::Stats() const {
   for (const auto& queue : queues_) {
     if (!queue) continue;
     ScheduledQueueStats stats = queue->stats;
+    stats.queued = queue->events.size();
+    stats.traces = queue->traces->total();
     stats.health = HealthLocked(*queue);
     stats.error = queue->error.ok() ? "" : queue->error.ToString();
     out.push_back(std::move(stats));
@@ -484,6 +534,8 @@ ScheduledQueueStats QueryScheduler::AggregateStats() const {
   for (const auto& queue : queues_) {
     if (!queue) continue;
     ScheduledQueueStats stats = queue->stats;
+    stats.queued = queue->events.size();
+    stats.traces = queue->traces->total();
     stats.health = HealthLocked(*queue);
     stats.error = queue->error.ok() ? "" : queue->error.ToString();
     total.MergeFrom(stats);

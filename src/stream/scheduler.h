@@ -47,6 +47,8 @@
 
 namespace geostreams {
 
+class MetricsRegistry;
+
 enum class SchedulingPolicy : uint8_t {
   kRoundRobin,        // fair rotation over non-empty queues
   kLongestQueueFirst, // drain the biggest backlog first
@@ -77,6 +79,14 @@ struct SchedulerOptions {
   /// Optional tracker the dead-letter rings report their byte usage
   /// to (owner "dlq.<pipeline name>"). Not owned; may be null.
   MemoryTracker* memory = nullptr;
+  /// Optional metrics registry. When set, the scheduler owns two
+  /// histograms: `geostreams_scheduler_queue_wait_us` (queue-entry to
+  /// claim, observed per *traced* event) and
+  /// `geostreams_scheduler_queue_depth` (post-enqueue depth, observed
+  /// per accepted event). Not owned; may be null.
+  MetricsRegistry* metrics = nullptr;
+  /// Finished traces retained per pipeline (TRACE admin command).
+  size_t trace_ring_capacity = 32;
 };
 
 /// Statistics for one scheduled pipeline. `enqueued` counts events
@@ -93,6 +103,8 @@ struct ScheduledQueueStats {
   uint64_t dropped = 0;           // overflow shedding (batches only)
   uint64_t control_overflow = 0;  // control events admitted above capacity
   uint64_t queue_high_water = 0;
+  uint64_t queued = 0;            // depth at snapshot time
+  uint64_t traces = 0;            // finished trace records (ever)
   // --- supervision ---
   PipelineHealth health = PipelineHealth::kRunning;
   /// ToString() of the pipeline's recorded error; empty while healthy.
@@ -108,6 +120,8 @@ struct ScheduledQueueStats {
     processed += other.processed;
     dropped += other.dropped;
     control_overflow += other.control_overflow;
+    queued += other.queued;
+    traces += other.traces;
     if (other.queue_high_water > queue_high_water) {
       queue_high_water = other.queue_high_water;
     }
@@ -194,6 +208,11 @@ class QueryScheduler {
   /// (empty for unknown/removed pipelines).
   std::vector<DeadLetter> DeadLetters(size_t pipeline) const;
 
+  /// Finished trace records retained for one pipeline (bounded ring,
+  /// oldest kept first; Snapshot::total counts all traces ever
+  /// finished there). Empty snapshot for unknown/removed pipelines.
+  TraceRing::Snapshot Traces(size_t pipeline) const;
+
   std::vector<ScheduledQueueStats> Stats() const;
   /// Pool-wide totals across all pipelines (thread-safe snapshot).
   ScheduledQueueStats AggregateStats() const;
@@ -259,6 +278,10 @@ class QueryScheduler {
   SchedulerOptions options_;
   PipelineSupervisor supervisor_;
   size_t resolved_workers_ = 1;
+  /// Resolved once at construction from options_.metrics (null when
+  /// no registry was supplied).
+  MetricHistogram* queue_wait_hist_ = nullptr;
+  MetricHistogram* queue_depth_hist_ = nullptr;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;

@@ -38,6 +38,25 @@ TEST(MetricsTest, HighWaterTracksPeak) {
   EXPECT_EQ(metrics.buffered_bytes_high_water, 0u);
 }
 
+TEST(MetricsTest, MergeFromSumsHighWaterButKeepsTrueMax) {
+  OperatorMetrics a;
+  a.SetBuffered(300);
+  a.SetBuffered(0);
+  OperatorMetrics b;
+  b.SetBuffered(120);
+  OperatorMetrics merged;
+  merged.MergeFrom(a);
+  merged.MergeFrom(b);
+  // The summed high water is an upper bound (peaks need not coincide);
+  // the max records the worst single operator.
+  EXPECT_EQ(merged.buffered_bytes_high_water, 420u);
+  EXPECT_EQ(merged.buffered_bytes_high_water_max, 300u);
+  EXPECT_EQ(merged.buffered_bytes, 120u);
+  const std::string s = merged.ToString();
+  EXPECT_NE(s.find("high_water=420"), std::string::npos);
+  EXPECT_NE(s.find("high_water_max=300"), std::string::npos);
+}
+
 TEST(MemoryTrackerTest, AggregatesAcrossOwners) {
   MemoryTracker tracker;
   tracker.Update("a", 100);
