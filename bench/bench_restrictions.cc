@@ -18,7 +18,7 @@ namespace geostreams {
 namespace {
 
 using bench_util::BenchLattice;
-using bench_util::PushBenchFrame;
+using bench_util::PrebuiltFrame;
 using bench_util::ReportPoints;
 
 // --- constant per-point cost vs stream length --------------------------------
@@ -37,8 +37,9 @@ void BM_SpatialRestriction_StreamLength(benchmark::State& state) {
                           (ext.min_x + ext.max_x) / 2.0, ext.max_y));
   NullSink sink;
   op.BindOutput(&sink);
+  PrebuiltFrame frame(lattice, 0);
   for (auto _ : state) {
-    PushBenchFrame(op.input(0), lattice, 0);
+    frame.Replay(op.input(0));
   }
   ReportPoints(state, n);
   state.counters["buffered_bytes"] = static_cast<double>(
@@ -63,8 +64,9 @@ void BM_SpatialRestriction_Selectivity(benchmark::State& state) {
                           ext.max_y));
   NullSink sink;
   op.BindOutput(&sink);
+  PrebuiltFrame frame(lattice, 0);
   for (auto _ : state) {
-    PushBenchFrame(op.input(0), lattice, 0);
+    frame.Replay(op.input(0));
   }
   ReportPoints(state, w * h);
   state.counters["selectivity_pct"] = static_cast<double>(state.range(0));
@@ -104,8 +106,9 @@ void BM_SpatialRestriction_RegionShape(benchmark::State& state) {
   SpatialRestrictionOp op("r", region);
   NullSink sink;
   op.BindOutput(&sink);
+  PrebuiltFrame frame(lattice, 0);
   for (auto _ : state) {
-    PushBenchFrame(op.input(0), lattice, 0);
+    frame.Replay(op.input(0));
   }
   ReportPoints(state, w * h);
   state.SetLabel(state.range(0) == 0   ? "bbox"
@@ -124,9 +127,11 @@ void BM_TemporalRestriction(benchmark::State& state) {
   TemporalRestrictionOp op("t", times);
   NullSink sink;
   op.BindOutput(&sink);
-  int64_t frame = 0;
+  std::vector<PrebuiltFrame> frames;
+  for (int64_t f = 0; f < 8; ++f) frames.emplace_back(lattice, f);
+  size_t next = 0;
   for (auto _ : state) {
-    PushBenchFrame(op.input(0), lattice, frame++);
+    frames[next++ % frames.size()].Replay(op.input(0));
   }
   ReportPoints(state, w * h);
   state.counters["buffered_bytes"] = static_cast<double>(
@@ -140,8 +145,9 @@ void BM_ValueRestriction(benchmark::State& state) {
   ValueRestrictionOp op("v", {{0, 0.2, 0.8}});
   NullSink sink;
   op.BindOutput(&sink);
+  PrebuiltFrame frame(lattice, 0);
   for (auto _ : state) {
-    PushBenchFrame(op.input(0), lattice, 0);
+    frame.Replay(op.input(0));
   }
   ReportPoints(state, w * h);
   state.counters["buffered_bytes"] = static_cast<double>(
@@ -159,8 +165,9 @@ void BM_SpatialRestriction_DisjointFramePruning(benchmark::State& state) {
   SpatialRestrictionOp op("r", MakeBBoxRegion(100.0, 100.0, 101.0, 101.0));
   NullSink sink;
   op.BindOutput(&sink);
+  PrebuiltFrame frame(lattice, 0);
   for (auto _ : state) {
-    PushBenchFrame(op.input(0), lattice, 0);
+    frame.Replay(op.input(0));
   }
   ReportPoints(state, w * h);
 }

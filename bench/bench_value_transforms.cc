@@ -20,7 +20,7 @@ namespace geostreams {
 namespace {
 
 using bench_util::BenchLattice;
-using bench_util::PushBenchFrame;
+using bench_util::PrebuiltFrame;
 using bench_util::ReportPoints;
 
 void BM_Pointwise_Rescale(benchmark::State& state) {
@@ -29,8 +29,9 @@ void BM_Pointwise_Rescale(benchmark::State& state) {
   ValueTransformOp op("v", ValueFn::AffineRescale(1, 255.0, 0.0));
   NullSink sink;
   op.BindOutput(&sink);
+  PrebuiltFrame frame(lattice, 0);
   for (auto _ : state) {
-    PushBenchFrame(op.input(0), lattice, 0);
+    frame.Replay(op.input(0));
   }
   ReportPoints(state, w * h);
   state.counters["buffered_bytes"] = static_cast<double>(
@@ -72,8 +73,9 @@ void BM_Stretch_Modes(benchmark::State& state) {
   StretchTransformOp op("s", opts);
   NullSink sink;
   op.BindOutput(&sink);
+  PrebuiltFrame frame(lattice, 0);
   for (auto _ : state) {
-    PushBenchFrame(op.input(0), lattice, 0);
+    frame.Replay(op.input(0));
   }
   ReportPoints(state, w * h);
   state.SetLabel(StretchModeName(opts.mode));
@@ -96,8 +98,9 @@ void BM_Stretch_FrameSizeBuffering(benchmark::State& state) {
   StretchTransformOp op("s", opts);
   NullSink sink;
   op.BindOutput(&sink);
+  PrebuiltFrame frame(lattice, 0);
   for (auto _ : state) {
-    PushBenchFrame(op.input(0), lattice, 0);
+    frame.Replay(op.input(0));
   }
   ReportPoints(state, n);
   const double buffered =
@@ -125,8 +128,9 @@ void BM_Pointwise_NoBufferingControl(benchmark::State& state) {
   ValueTransformOp op("v", ValueFn::AffineRescale(1, 2.0, 0.0));
   NullSink sink;
   op.BindOutput(&sink);
+  PrebuiltFrame frame(lattice, 0);
   for (auto _ : state) {
-    PushBenchFrame(op.input(0), lattice, 0);
+    frame.Replay(op.input(0));
   }
   ReportPoints(state, n);
   state.counters["frame_points"] = static_cast<double>(n);

@@ -70,9 +70,22 @@ ConstraintRegion::ConstraintRegion(
 
 bool ConstraintRegion::Contains(double x, double y) const {
   if (!bounds_.Contains(x, y)) return false;
+  if (is_disk_) {
+    const double dx = x - disk_cx_;
+    const double dy = y - disk_cy_;
+    return dx * dx + dy * dy <= disk_r2_;
+  }
   for (const PolynomialConstraint& c : constraints_) {
     if (c.Evaluate(x, y) > 0.0) return false;
   }
+  return true;
+}
+
+bool ConstraintRegion::AsDisk(double* cx, double* cy, double* r2) const {
+  if (!is_disk_) return false;
+  *cx = disk_cx_;
+  *cy = disk_cy_;
+  *r2 = disk_r2_;
   return true;
 }
 
@@ -100,6 +113,10 @@ std::shared_ptr<ConstraintRegion> ConstraintRegion::Disk(double cx, double cy,
       std::vector<PolynomialConstraint>{std::move(c)},
       BoundingBox(cx - r, cy - r, cx + r, cy + r));
   region->query_form_ = StringPrintf("disk(%g, %g, %g)", cx, cy, r);
+  region->is_disk_ = true;
+  region->disk_cx_ = cx;
+  region->disk_cy_ = cy;
+  region->disk_r2_ = r * r;
   return region;
 }
 

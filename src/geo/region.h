@@ -120,9 +120,18 @@ class ConstraintRegion : public Region {
   static std::shared_ptr<ConstraintRegion> Disk(double cx, double cy,
                                                 double r);
 
+  /// True when this region was built by Disk(); fills centre and
+  /// squared radius. Disk regions evaluate Contains with the direct
+  /// quadratic (x-cx)^2 + (y-cy)^2 <= r^2 — the same expression the
+  /// vectorized kernel uses — instead of the expanded monomial sum,
+  /// whose different association could disagree on boundary cells.
+  bool AsDisk(double* cx, double* cy, double* r2) const;
+
  private:
   std::vector<PolynomialConstraint> constraints_;
   BoundingBox bounds_;
+  bool is_disk_ = false;
+  double disk_cx_ = 0.0, disk_cy_ = 0.0, disk_r2_ = 0.0;
   /// Query-language spelling when the region came from a sugar
   /// constructor (e.g. "disk(1, 2, 3)"); empty for raw constraints.
   std::string query_form_;
@@ -161,6 +170,8 @@ class CompositeRegion : public Region {
   bool Contains(double x, double y) const override;
   BoundingBox bounds() const override { return bounds_; }
   std::string ToString() const override;
+
+  const std::vector<RegionPtr>& children() const { return children_; }
 
  private:
   RegionKind kind_;  // kUnion or kIntersection

@@ -1,0 +1,92 @@
+// Internal: per-level kernel entry points.
+//
+// Every kernel body lives once, in kernels_impl.inc, and is compiled
+// into two translation units: kernels_scalar.cc (baseline codegen)
+// and kernels_avx2.cc (built with -mavx2 when GEOSTREAMS_SIMD is on).
+// This header declares both namespaces so kernels.cc can dispatch;
+// the AVX2 definitions exist only when the option is enabled, and the
+// dispatcher never references them otherwise.
+//
+// The bodies are branch-light loops over columns with no
+// floating-point contraction (-ffp-contract=off on both TUs), so the
+// two compilations of the same IEEE expression are bit-identical —
+// the contract the parity suite in tests/kernels_test.cc enforces.
+
+#ifndef GEOSTREAMS_KERNELS_KERNEL_IMPLS_H_
+#define GEOSTREAMS_KERNELS_KERNEL_IMPLS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace geostreams {
+namespace kernels {
+
+/// One non-horizontal polygon edge, as precomputed by RegionMatcher.
+/// Horizontal edges never toggle the even-odd parity and are dropped
+/// before the kernel runs (this also keeps the edge-crossing division
+/// away from a zero denominator).
+struct PolyEdge {
+  double x1, y1, x2, y2;
+};
+
+// The per-level kernel surface. Masks are dense uint8_t columns with
+// one 0/1 entry per point; functions returning size_t report how many
+// entries are 1 afterwards.
+#define GEOSTREAMS_DECLARE_KERNELS()                                          \
+  void CellCoords(double origin_x, double dx, double origin_y, double dy,     \
+                  const int32_t* cols, const int32_t* rows, size_t n,         \
+                  double* xs, double* ys);                                    \
+  size_t BBoxMask(const double* xs, const double* ys, size_t n,               \
+                  double min_x, double min_y, double max_x, double max_y,     \
+                  uint8_t* keep);                                             \
+  size_t DiskMask(const double* xs, const double* ys, size_t n, double cx,    \
+                  double cy, double r2, double min_x, double min_y,           \
+                  double max_x, double max_y, uint8_t* keep);                 \
+  size_t PolygonMask(const double* xs, const double* ys, size_t n,            \
+                     const PolyEdge* edges, size_t num_edges, double min_x,   \
+                     double min_y, double max_x, double max_y,                \
+                     uint8_t* keep);                                          \
+  size_t ValueRangeMaskAnd(const double* values, size_t n, size_t stride,     \
+                           double lo, double hi, uint8_t* keep);              \
+  void Int64RangeMaskOr(const int64_t* ts, size_t n, int64_t lo, int64_t hi,  \
+                        uint8_t* keep);                                       \
+  void RecurringMaskOr(const int64_t* ts, size_t n, int64_t period,           \
+                       int64_t phase_lo, int64_t phase_hi, uint8_t* keep);    \
+  bool Int64AllEqual(const int64_t* ts, size_t n);                            \
+  size_t MaskCount(const uint8_t* keep, size_t n);                            \
+  size_t MaskAnd(uint8_t* dst, const uint8_t* src, size_t n);                 \
+  size_t MaskOr(uint8_t* dst, const uint8_t* src, size_t n);                  \
+  void AffineRescale(const double* in, size_t n, double scale, double offset, \
+                     double* out);                                            \
+  void ClampValues(const double* in, size_t n, double lo, double hi,          \
+                   double* out);                                              \
+  void AbsValues(const double* in, size_t n, double* out);                    \
+  void ColorToGray(const double* in, size_t points, double* out);             \
+  void BandSelect(const double* in, size_t points, size_t in_bands,           \
+                  size_t band, double* out);                                  \
+  void ComposeAdd(const double* a, const double* b, size_t n, double* out);   \
+  void ComposeSubtract(const double* a, const double* b, size_t n,            \
+                       double* out);                                          \
+  void ComposeMultiply(const double* a, const double* b, size_t n,            \
+                       double* out);                                          \
+  void ComposeDivide(const double* a, const double* b, size_t n,              \
+                     double* out);                                            \
+  void ComposeSupremum(const double* a, const double* b, size_t n,            \
+                       double* out);                                          \
+  void ComposeInfimum(const double* a, const double* b, size_t n,             \
+                      double* out);
+
+namespace scalar {
+GEOSTREAMS_DECLARE_KERNELS()
+}  // namespace scalar
+
+namespace avx2 {
+GEOSTREAMS_DECLARE_KERNELS()
+}  // namespace avx2
+
+#undef GEOSTREAMS_DECLARE_KERNELS
+
+}  // namespace kernels
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_KERNELS_KERNEL_IMPLS_H_

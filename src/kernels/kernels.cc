@@ -1,0 +1,270 @@
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace geostreams {
+namespace kernels {
+
+// Every kernel call resolves its level once per column pass, so the
+// dispatch cost (one relaxed atomic load) is amortized over the whole
+// batch. With GEOSTREAMS_SIMD off the macro collapses to the scalar
+// call and the avx2 namespace is never referenced.
+#ifdef GEOSTREAMS_SIMD_AVX2
+#define GEOSTREAMS_KERNEL(fn, ...)                                  \
+  (ActiveSimdLevel() == SimdLevel::kAvx2 ? avx2::fn(__VA_ARGS__)    \
+                                         : scalar::fn(__VA_ARGS__))
+#else
+#define GEOSTREAMS_KERNEL(fn, ...) scalar::fn(__VA_ARGS__)
+#endif
+
+void CellCoords(const GridLattice& lattice, const int32_t* cols,
+                const int32_t* rows, size_t n, double* xs, double* ys) {
+  GEOSTREAMS_KERNEL(CellCoords, lattice.origin_x(), lattice.dx(),
+                    lattice.origin_y(), lattice.dy(), cols, rows, n, xs, ys);
+}
+
+// ---------------------------------------------------------------------------
+// RegionMatcher
+
+RegionMatcher::RegionMatcher(RegionPtr region) : region_(std::move(region)) {
+  switch (region_->kind()) {
+    case RegionKind::kAll:
+      shape_ = Shape::kAll;
+      break;
+    case RegionKind::kBBox:
+      shape_ = Shape::kBBox;
+      box_ = region_->bounds();
+      break;
+    case RegionKind::kConstraint: {
+      const auto* c = static_cast<const ConstraintRegion*>(region_.get());
+      if (c->AsDisk(&cx_, &cy_, &r2_)) {
+        shape_ = Shape::kDisk;
+        box_ = c->bounds();
+      } else {
+        shape_ = Shape::kGeneric;
+      }
+      break;
+    }
+    case RegionKind::kPolygon: {
+      const auto* p = static_cast<const PolygonRegion*>(region_.get());
+      shape_ = Shape::kPolygon;
+      box_ = p->bounds();
+      const auto& v = p->vertices();
+      const size_t n = v.size();
+      // Edge (i, j=prev) with vertex i as the anchor, exactly as
+      // PolygonRegion::Contains iterates; horizontal edges never
+      // toggle parity and are dropped here.
+      for (size_t i = 0, j = n - 1; i < n; j = i++) {
+        if (v[i].second == v[j].second) continue;
+        edges_.push_back(
+            PolyEdge{v[i].first, v[i].second, v[j].first, v[j].second});
+      }
+      break;
+    }
+    case RegionKind::kUnion:
+    case RegionKind::kIntersection: {
+      const auto* comp = static_cast<const CompositeRegion*>(region_.get());
+      shape_ = region_->kind() == RegionKind::kUnion ? Shape::kUnion
+                                                     : Shape::kIntersection;
+      children_.reserve(comp->children().size());
+      for (const RegionPtr& child : comp->children()) {
+        children_.emplace_back(child);
+      }
+      break;
+    }
+    case RegionKind::kEnumerated:
+      shape_ = Shape::kGeneric;
+      break;
+  }
+}
+
+size_t RegionMatcher::Mask(const double* xs, const double* ys, size_t n,
+                           uint8_t* keep) const {
+  switch (shape_) {
+    case Shape::kAll:
+      std::memset(keep, 1, n);
+      return n;
+    case Shape::kBBox:
+      return GEOSTREAMS_KERNEL(BBoxMask, xs, ys, n, box_.min_x, box_.min_y,
+                               box_.max_x, box_.max_y, keep);
+    case Shape::kDisk:
+      return GEOSTREAMS_KERNEL(DiskMask, xs, ys, n, cx_, cy_, r2_, box_.min_x,
+                               box_.min_y, box_.max_x, box_.max_y, keep);
+    case Shape::kPolygon:
+      return GEOSTREAMS_KERNEL(PolygonMask, xs, ys, n, edges_.data(),
+                               edges_.size(), box_.min_x, box_.min_y,
+                               box_.max_x, box_.max_y, keep);
+    case Shape::kUnion:
+    case Shape::kIntersection: {
+      if (children_.empty()) {
+        std::memset(keep, 0, n);
+        return 0;
+      }
+      size_t kept = children_[0].Mask(xs, ys, n, keep);
+      if (children_.size() > 1) {
+        std::vector<uint8_t> child_mask(n);
+        for (size_t c = 1; c < children_.size(); ++c) {
+          children_[c].Mask(xs, ys, n, child_mask.data());
+          kept = shape_ == Shape::kUnion
+                     ? GEOSTREAMS_KERNEL(MaskOr, keep, child_mask.data(), n)
+                     : GEOSTREAMS_KERNEL(MaskAnd, keep, child_mask.data(), n);
+        }
+      }
+      return kept;
+    }
+    case Shape::kGeneric: {
+      size_t kept = 0;
+      for (size_t i = 0; i < n; ++i) {
+        keep[i] = region_->Contains(xs[i], ys[i]) ? 1 : 0;
+        kept += keep[i];
+      }
+      return kept;
+    }
+  }
+  return 0;
+}
+
+bool RegionMatcher::fully_vectorized() const {
+  if (shape_ == Shape::kGeneric) return false;
+  for (const RegionMatcher& child : children_) {
+    if (!child.fully_vectorized()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Predicate masks
+
+size_t ValueRangeMaskAnd(const double* values, size_t n, size_t stride,
+                         double lo, double hi, uint8_t* keep) {
+  return GEOSTREAMS_KERNEL(ValueRangeMaskAnd, values, n, stride, lo, hi,
+                           keep);
+}
+
+size_t TimeSetMask(const TimeSet& times, const int64_t* ts, size_t n,
+                   uint8_t* keep) {
+  if (times.IsAll()) {
+    std::memset(keep, 1, n);
+    return n;
+  }
+  std::memset(keep, 0, n);
+  for (const TimeSet::Interval& iv : times.intervals()) {
+    GEOSTREAMS_KERNEL(Int64RangeMaskOr, ts, n, iv.lo, iv.hi, keep);
+  }
+  for (const TimeSet::Recurring& r : times.recurring()) {
+    if (r.period <= 0) continue;  // Recurring::Contains is false
+    GEOSTREAMS_KERNEL(RecurringMaskOr, ts, n, r.period, r.phase_lo,
+                      r.phase_hi, keep);
+  }
+  const std::vector<int64_t>& instants = times.instants();
+  if (!instants.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (keep[i]) continue;
+      keep[i] = std::binary_search(instants.begin(), instants.end(), ts[i])
+                    ? 1
+                    : 0;
+    }
+  }
+  return GEOSTREAMS_KERNEL(MaskCount, keep, n);
+}
+
+bool TimestampsAllEqual(const int64_t* ts, size_t n) {
+  return GEOSTREAMS_KERNEL(Int64AllEqual, ts, n);
+}
+
+// ---------------------------------------------------------------------------
+// Pointwise transforms
+
+void AffineRescale(const double* in, size_t n, double scale, double offset,
+                   double* out) {
+  GEOSTREAMS_KERNEL(AffineRescale, in, n, scale, offset, out);
+}
+
+void ClampValues(const double* in, size_t n, double lo, double hi,
+                 double* out) {
+  GEOSTREAMS_KERNEL(ClampValues, in, n, lo, hi, out);
+}
+
+void AbsValues(const double* in, size_t n, double* out) {
+  GEOSTREAMS_KERNEL(AbsValues, in, n, out);
+}
+
+void ColorToGray(const double* in, size_t points, double* out) {
+  GEOSTREAMS_KERNEL(ColorToGray, in, points, out);
+}
+
+void BandSelect(const double* in, size_t points, int in_bands, int band,
+                double* out) {
+  GEOSTREAMS_KERNEL(BandSelect, in, points, static_cast<size_t>(in_bands),
+                    static_cast<size_t>(band), out);
+}
+
+// ---------------------------------------------------------------------------
+// Composition arithmetic
+
+void ComposeArith(ComposeFn gamma, const double* a, const double* b, size_t n,
+                  double* out) {
+  switch (gamma) {
+    case ComposeFn::kAdd:
+      GEOSTREAMS_KERNEL(ComposeAdd, a, b, n, out);
+      return;
+    case ComposeFn::kSubtract:
+      GEOSTREAMS_KERNEL(ComposeSubtract, a, b, n, out);
+      return;
+    case ComposeFn::kMultiply:
+      GEOSTREAMS_KERNEL(ComposeMultiply, a, b, n, out);
+      return;
+    case ComposeFn::kDivide:
+      GEOSTREAMS_KERNEL(ComposeDivide, a, b, n, out);
+      return;
+    case ComposeFn::kSupremum:
+      GEOSTREAMS_KERNEL(ComposeSupremum, a, b, n, out);
+      return;
+    case ComposeFn::kInfimum:
+      GEOSTREAMS_KERNEL(ComposeInfimum, a, b, n, out);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compaction
+
+PointBatchPtr FilterBatch(const PointBatch& src, const uint8_t* keep,
+                          size_t kept) {
+  if (kept == 0) return nullptr;
+  const size_t n = src.size();
+  const size_t bands = static_cast<size_t>(src.band_count);
+  auto out = std::make_shared<PointBatch>();
+  out->frame_id = src.frame_id;
+  out->band_count = src.band_count;
+  out->cols.resize(kept);
+  out->rows.resize(kept);
+  out->timestamps.resize(kept);
+  out->values.resize(kept * bands);
+  size_t w = 0;  // write cursor, in points
+  size_t i = 0;
+  while (i < n) {
+    if (!keep[i]) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < n && keep[j]) ++j;
+    const size_t run = j - i;
+    std::memcpy(&out->cols[w], &src.cols[i], run * sizeof(int32_t));
+    std::memcpy(&out->rows[w], &src.rows[i], run * sizeof(int32_t));
+    std::memcpy(&out->timestamps[w], &src.timestamps[i],
+                run * sizeof(int64_t));
+    std::memcpy(&out->values[w * bands], &src.values[i * bands],
+                run * bands * sizeof(double));
+    w += run;
+    i = j;
+  }
+  return out;
+}
+
+#undef GEOSTREAMS_KERNEL
+
+}  // namespace kernels
+}  // namespace geostreams

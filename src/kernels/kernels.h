@@ -1,0 +1,146 @@
+// Vectorized operator kernels over the columnar PointBatch layout.
+//
+// PointBatch is already structure-of-arrays (cols / rows / timestamps
+// / band-interleaved values); these kernels are the canonical
+// data-parallel recast of the hot operator loops — containment masks
+// over precomputed cell coordinates, value-predicate masks over
+// strided samples, pointwise f∘G column transforms, composition
+// arithmetic G1 γ G2 over matched pairs, and mask compaction that
+// bulk-copies selected ranges instead of appending point by point.
+// Following the GPU-friendly-algebra recast (PAPERS.md), every
+// operator pass is a kernel over columns plus a compaction, which is
+// also the shape a future GPU offload needs.
+//
+// Each kernel dispatches at runtime (cpuid) between an AVX2 build and
+// a portable scalar build of the same template; the two are
+// bit-identical by construction (see kernel_impls.h and the parity
+// suite in tests/kernels_test.cc). DESIGN.md §12 documents the layer.
+
+#ifndef GEOSTREAMS_KERNELS_KERNELS_H_
+#define GEOSTREAMS_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stream_event.h"
+#include "core/value.h"
+#include "geo/bounding_box.h"
+#include "geo/lattice.h"
+#include "geo/region.h"
+#include "kernels/kernel_impls.h"
+#include "kernels/simd.h"
+#include "ops/time_set.h"
+
+namespace geostreams {
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Geometry
+
+/// Fills xs/ys with the cell-centre coordinates of (cols[i], rows[i])
+/// under `lattice` — the precomputed coordinate columns every spatial
+/// containment kernel runs over. Matches GridLattice::CellX/CellY
+/// exactly.
+void CellCoords(const GridLattice& lattice, const int32_t* cols,
+                const int32_t* rows, size_t n, double* xs, double* ys);
+
+/// Compiled containment test for one Region. Construction analyzes
+/// the region once (bbox corners, disk centre/radius, polygon edges
+/// with horizontals dropped, composite children); Mask() then runs
+/// the branch-light kernel for that shape. Regions without a
+/// vectorizable form (enumerations, general constraint systems) fall
+/// back to per-point Region::Contains over the precomputed columns —
+/// same results, scalar speed.
+class RegionMatcher {
+ public:
+  explicit RegionMatcher(RegionPtr region);
+
+  /// Writes keep[i] = region contains (xs[i], ys[i]); returns the
+  /// number of kept points. Identical selections to calling
+  /// Region::Contains per point.
+  size_t Mask(const double* xs, const double* ys, size_t n,
+              uint8_t* keep) const;
+
+  /// True when Mask() runs a vectorized kernel (not the generic
+  /// per-point fallback) at every level of the region tree.
+  bool fully_vectorized() const;
+
+ private:
+  enum class Shape : uint8_t {
+    kAll,
+    kBBox,
+    kDisk,
+    kPolygon,
+    kUnion,
+    kIntersection,
+    kGeneric,
+  };
+
+  Shape shape_ = Shape::kGeneric;
+  RegionPtr region_;  // generic fallback + keeps vertices alive
+  BoundingBox box_;
+  double cx_ = 0.0, cy_ = 0.0, r2_ = 0.0;
+  std::vector<PolyEdge> edges_;
+  std::vector<RegionMatcher> children_;
+};
+
+// ---------------------------------------------------------------------------
+// Predicate masks
+
+/// ANDs `keep` with "band sample within [lo, hi]" over the strided
+/// values column (stride = band_count, values pre-offset to the
+/// band). NaN samples are kept, mirroring the historical `v < lo ||
+/// v > hi -> drop` predicate. Returns the kept count.
+size_t ValueRangeMaskAnd(const double* values, size_t n, size_t stride,
+                         double lo, double hi, uint8_t* keep);
+
+/// Writes keep[i] = times.Contains(ts[i]); returns the kept count.
+/// Interval and recurring members run as column kernels; instants
+/// fall back to per-point binary search.
+size_t TimeSetMask(const TimeSet& times, const int64_t* ts, size_t n,
+                   uint8_t* keep);
+
+/// True when all n timestamps are equal (n == 0 counts as true) —
+/// the scan-sector fast path: one Contains() decides a whole batch.
+bool TimestampsAllEqual(const int64_t* ts, size_t n);
+
+// ---------------------------------------------------------------------------
+// Pointwise transforms (flat sample columns, length n = points*bands
+// unless noted)
+
+void AffineRescale(const double* in, size_t n, double scale, double offset,
+                   double* out);
+void ClampValues(const double* in, size_t n, double lo, double hi,
+                 double* out);
+void AbsValues(const double* in, size_t n, double* out);
+/// 3-band interleaved RGB -> 1-band luma; `points` points.
+void ColorToGray(const double* in, size_t points, double* out);
+/// Gathers one band out of `in_bands`-interleaved samples.
+void BandSelect(const double* in, size_t points, int in_bands, int band,
+                double* out);
+
+// ---------------------------------------------------------------------------
+// Composition arithmetic
+
+/// Applies gamma elementwise over matched value columns (flat, length
+/// n = matches*bands). Matches ApplyComposeFn sample for sample,
+/// including the kDivide saturation cases.
+void ComposeArith(ComposeFn gamma, const double* a, const double* b, size_t n,
+                  double* out);
+
+// ---------------------------------------------------------------------------
+// Compaction
+
+/// Copies the points of `src` selected by `keep` into a fresh batch,
+/// bulk-copying contiguous selected ranges (memcpy per run) instead
+/// of appending point by point. `kept` must equal the number of 1s in
+/// keep[0..src.size()). Returns nullptr when kept == 0. Preserves
+/// frame_id, band_count and interleaved multi-band values; the copy
+/// carries no checksum (it is a different point set).
+PointBatchPtr FilterBatch(const PointBatch& src, const uint8_t* keep,
+                          size_t kept);
+
+}  // namespace kernels
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_KERNELS_KERNELS_H_

@@ -1,0 +1,21 @@
+// AVX2 instantiation of the kernel template: the same source as
+// kernels_scalar.cc, built with -mavx2 (and -ffp-contract=off, so no
+// FMA contraction can change rounding) when the GEOSTREAMS_SIMD CMake
+// option is on. The dispatcher only calls into this namespace after a
+// cpuid check, so the binary stays runnable on non-AVX2 machines.
+
+#include "kernels/kernel_impls.h"
+
+#ifdef GEOSTREAMS_SIMD_AVX2
+
+namespace geostreams {
+namespace kernels {
+namespace avx2 {
+
+#include "kernels/kernels_impl.inc"
+
+}  // namespace avx2
+}  // namespace kernels
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_SIMD_AVX2

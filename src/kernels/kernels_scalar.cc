@@ -1,0 +1,15 @@
+// Portable scalar instantiation of the kernel template. Always built;
+// the runtime fallback when AVX2 is compiled out or unsupported, and
+// the reference half of the scalar/SIMD parity suite.
+
+#include "kernels/kernel_impls.h"
+
+namespace geostreams {
+namespace kernels {
+namespace scalar {
+
+#include "kernels/kernels_impl.inc"
+
+}  // namespace scalar
+}  // namespace kernels
+}  // namespace geostreams

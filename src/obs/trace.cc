@@ -19,15 +19,23 @@ uint64_t TraceNowUs() {
           .count());
 }
 
+uint64_t TraceWallNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 std::string TraceRecord::ToString() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "TR %llu trace=%llu pipeline=%s origin=%s queue_us=%llu "
-                "total_us=%llu",
+                "TR %llu trace=%llu pipeline=%s origin=%s wall_us=%llu "
+                "queue_us=%llu total_us=%llu",
                 static_cast<unsigned long long>(ordinal),
                 static_cast<unsigned long long>(trace_id),
                 pipeline.empty() ? "-" : pipeline.c_str(),
                 origin.empty() ? "-" : origin.c_str(),
+                static_cast<unsigned long long>(born_wall_us),
                 static_cast<unsigned long long>(queue_wait_us),
                 static_cast<unsigned long long>(total_us));
   std::string out = buf;
@@ -41,12 +49,16 @@ std::string TraceRecord::ToString() const {
 }
 
 TraceContext::TraceContext(uint64_t trace_id, std::string origin)
-    : trace_id_(trace_id), origin_(std::move(origin)), born_us_(TraceNowUs()) {}
+    : trace_id_(trace_id),
+      origin_(std::move(origin)),
+      born_us_(TraceNowUs()),
+      born_wall_us_(TraceWallNowUs()) {}
 
 std::shared_ptr<TraceContext> TraceContext::Fork(std::string pipeline) const {
   auto fork = std::make_shared<TraceContext>(trace_id_, origin_);
   fork->pipeline_ = std::move(pipeline);
   fork->born_us_ = born_us_;
+  fork->born_wall_us_ = born_wall_us_;
   return fork;
 }
 
@@ -63,6 +75,7 @@ TraceRecord TraceContext::Finish() const {
   record.origin = origin_;
   record.pipeline = pipeline_;
   record.queue_wait_us = queue_wait_us_;
+  record.born_wall_us = born_wall_us_;
   uint64_t now = TraceNowUs();
   record.total_us = now > born_us_ ? now - born_us_ : 0;
   // SpanTimer destructors fire innermost-first; flip to delivery order.

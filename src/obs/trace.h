@@ -34,6 +34,10 @@ class MetricHistogram;
 /// only differences are meaningful.
 uint64_t TraceNowUs();
 
+/// Wall-clock (system-clock) microseconds since the Unix epoch. Only
+/// used to anchor traces to external logs; never for durations.
+uint64_t TraceWallNowUs();
+
 /// One operator's slice of a traced delivery.
 struct TraceSpan {
   std::string name;          // operator instance name, e.g. "op1.region"
@@ -50,11 +54,17 @@ struct TraceRecord {
   std::string pipeline;   // scheduler queue name ("" when inline)
   uint64_t queue_wait_us = 0;
   uint64_t total_us = 0;  // ingest stamp -> Finish()
+  /// Wall-clock (Unix epoch) microseconds when the trace was born at
+  /// the ingest boundary. Steady-clock stamps only order events within
+  /// this process; the wall anchor lets `TRACE <id>` output be
+  /// correlated with external logs.
+  uint64_t born_wall_us = 0;
   std::vector<TraceSpan> spans;  // delivery order (outermost first)
 
   /// One line: `TR <ordinal> trace=<id> pipeline=<p> origin=<o>
-  /// queue_us=<n> total_us=<n> <span>=<excl>/<incl>...` (span times in
-  /// microseconds, exclusive/inclusive).
+  /// wall_us=<epoch-us> queue_us=<n> total_us=<n>
+  /// <span>=<excl>/<incl>...` (span times in microseconds,
+  /// exclusive/inclusive).
   std::string ToString() const;
 };
 
@@ -90,6 +100,7 @@ class TraceContext {
   std::string origin_;
   std::string pipeline_;
   uint64_t born_us_;
+  uint64_t born_wall_us_;  // wall-clock anchor, stamped with born_us_
   uint64_t enqueued_us_ = 0;
   uint64_t queue_wait_us_ = 0;
   /// Inclusive time of already-finished child spans at the current

@@ -4,6 +4,7 @@
 
 #include "common/math_util.h"
 #include "common/string_util.h"
+#include "kernels/kernels.h"
 
 namespace geostreams {
 
@@ -11,6 +12,8 @@ BinaryValueFn BinaryValueFn::FromComposeFn(ComposeFn gamma, int bands) {
   BinaryValueFn f;
   f.name = ComposeFnName(gamma);
   f.out_bands = bands;
+  f.is_gamma = true;
+  f.gamma = gamma;
   f.fn = [gamma, bands](const double* a, const double* b, double* out) {
     for (int i = 0; i < bands; ++i) out[i] = ApplyComposeFn(gamma, a[i], b[i]);
   };
@@ -140,6 +143,17 @@ Status ComposeOp::HandleBatch(int port, const PointBatch& batch) {
   std::shared_ptr<PointBatch> out;
   const bool frame_open =
       open_frame_.has_value() && *open_frame_ == batch.frame_id;
+  // Gamma fast path: gather matched pairs into contiguous columns and
+  // apply the arithmetic with one kernel pass after the join loop.
+  // The per-point std::function stays for macro products (NDVI,
+  // stack) and for band configurations the staging does not cover.
+  const size_t bands = static_cast<size_t>(in_bands_[port]);
+  const bool stage = fn_.is_gamma && in_bands_[port] == fn_.out_bands;
+  if (stage) {
+    stage_keys_.clear();
+    stage_a_.clear();
+    stage_b_.clear();
+  }
 
   for (size_t i = 0; i < batch.size(); ++i) {
     PKey key{batch.timestamps[i], batch.cols[i], batch.rows[i]};
@@ -154,25 +168,53 @@ Status ComposeOp::HandleBatch(int port, const PointBatch& batch) {
       continue;
     }
     // Matched: left operand is stream 0's value.
-    PendingValue result;
-    const double* incoming =
-        &batch.values[i * static_cast<size_t>(in_bands_[port])];
-    if (port == 0) {
-      fn_.fn(incoming, match->second.v.data(), result.v.data());
+    const double* incoming = &batch.values[i * bands];
+    const double* matched = match->second.v.data();
+    const double* left = port == 0 ? incoming : matched;
+    const double* right = port == 0 ? matched : incoming;
+    if (stage) {
+      stage_keys_.push_back(key);
+      stage_a_.insert(stage_a_.end(), left, left + bands);
+      stage_b_.insert(stage_b_.end(), right, right + bands);
     } else {
-      fn_.fn(match->second.v.data(), incoming, result.v.data());
+      PendingValue result;
+      fn_.fn(left, right, result.v.data());
+      if (frame_open) {
+        if (!out) {
+          out = std::make_shared<PointBatch>();
+          out->frame_id = batch.frame_id;
+          out->band_count = fn_.out_bands;
+        }
+        out->Append(key.col, key.row, key.t, result.v.data());
+      } else {
+        fs.held.emplace_back(key, result);
+      }
     }
     pending_[other].erase(match);
     ++matches_;
+  }
+
+  if (stage && !stage_keys_.empty()) {
+    stage_out_.resize(stage_a_.size());
+    kernels::ComposeArith(fn_.gamma, stage_a_.data(), stage_b_.data(),
+                          stage_a_.size(), stage_out_.data());
     if (frame_open) {
-      if (!out) {
-        out = std::make_shared<PointBatch>();
-        out->frame_id = batch.frame_id;
-        out->band_count = fn_.out_bands;
+      out = std::make_shared<PointBatch>();
+      out->frame_id = batch.frame_id;
+      out->band_count = fn_.out_bands;
+      out->Reserve(stage_keys_.size());
+      for (size_t k = 0; k < stage_keys_.size(); ++k) {
+        const PKey& key = stage_keys_[k];
+        out->Append(key.col, key.row, key.t, &stage_out_[k * bands]);
       }
-      out->Append(key.col, key.row, key.t, result.v.data());
     } else {
-      fs.held.emplace_back(key, result);
+      for (size_t k = 0; k < stage_keys_.size(); ++k) {
+        PendingValue result;
+        for (size_t b = 0; b < bands; ++b) {
+          result.v[b] = stage_out_[k * bands + b];
+        }
+        fs.held.emplace_back(stage_keys_[k], result);
+      }
     }
   }
   UpdateBuffered();

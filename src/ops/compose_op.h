@@ -37,6 +37,11 @@ struct BinaryValueFn {
   /// both sides".
   int left_bands = 0;
   int right_bands = 0;
+  /// Set by FromComposeFn: the function is plain bandwise gamma, so
+  /// matched pairs can run through the column kernel
+  /// (kernels::ComposeArith) instead of one std::function call each.
+  bool is_gamma = false;
+  ComposeFn gamma = ComposeFn::kAdd;
   std::function<void(const double* a, const double* b, double* out)> fn;
 
   static BinaryValueFn FromComposeFn(ComposeFn gamma, int bands);
@@ -104,6 +109,12 @@ class ComposeOp : public BinaryOperator {
 
   BinaryValueFn fn_;
   int in_bands_[2] = {0, 0};  // learned from the first batch per port
+  // Staging columns for the gamma fast path: matched pairs are
+  // gathered here in match order, combined with one ComposeArith
+  // kernel pass, then appended to the output batch (or held list).
+  // Reused across batches; the operator is single-threaded.
+  std::vector<PKey> stage_keys_;
+  std::vector<double> stage_a_, stage_b_, stage_out_;
   PendingMap pending_[2];
   std::map<int64_t, FrameState> frames_;
   std::optional<int64_t> open_frame_;

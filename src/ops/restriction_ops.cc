@@ -1,38 +1,45 @@
 #include "ops/restriction_ops.h"
 
+#include "common/string_util.h"
+
 namespace geostreams {
-
-namespace {
-
-/// Copies the points of `src` selected by `keep` into a fresh batch.
-/// Returns nullptr when nothing survives.
-PointBatchPtr FilterBatch(const PointBatch& src,
-                          const std::vector<char>& keep, size_t kept) {
-  if (kept == 0) return nullptr;
-  auto out = std::make_shared<PointBatch>();
-  out->frame_id = src.frame_id;
-  out->band_count = src.band_count;
-  out->Reserve(kept);
-  for (size_t i = 0; i < src.size(); ++i) {
-    if (!keep[i]) continue;
-    out->Append(src.cols[i], src.rows[i], src.timestamps[i],
-                &src.values[i * static_cast<size_t>(src.band_count)]);
-  }
-  return out;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // SpatialRestrictionOp
 
 SpatialRestrictionOp::SpatialRestrictionOp(std::string name, RegionPtr region)
-    : UnaryOperator(std::move(name)), region_(std::move(region)) {}
+    : UnaryOperator(std::move(name)),
+      region_(region),
+      matcher_(std::move(region)) {}
+
+SpatialRestrictionOp::SpatialRestrictionOp(std::string name, RegionPtr region,
+                                           GridLattice reference_lattice)
+    : UnaryOperator(std::move(name)),
+      region_(region),
+      matcher_(std::move(region)),
+      reference_lattice_(std::move(reference_lattice)),
+      has_reference_lattice_(true) {
+  frame_lattice_ = reference_lattice_;
+  has_frame_geometry_ = true;
+}
+
+void SpatialRestrictionOp::Reset() {
+  in_frame_ = false;
+  frame_may_intersect_ = false;
+  if (has_reference_lattice_) {
+    frame_lattice_ = reference_lattice_;
+    has_frame_geometry_ = true;
+  } else {
+    frame_lattice_ = GridLattice();
+    has_frame_geometry_ = false;
+  }
+}
 
 Status SpatialRestrictionOp::Process(const StreamEvent& event) {
   switch (event.kind) {
     case EventKind::kFrameBegin:
       frame_lattice_ = event.frame.lattice;
+      has_frame_geometry_ = true;
       in_frame_ = true;
       // Frame-level pruning: a frame whose extent misses the region's
       // bounding box cannot contribute any point.
@@ -49,18 +56,24 @@ Status SpatialRestrictionOp::Process(const StreamEvent& event) {
   }
   const PointBatch& batch = *event.batch;
   if (in_frame_ && !frame_may_intersect_) return Status::OK();
-  std::vector<char> keep(batch.size(), 0);
-  size_t kept = 0;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const double x = frame_lattice_.CellX(batch.cols[i]);
-    const double y = frame_lattice_.CellY(batch.rows[i]);
-    if (region_->Contains(x, y)) {
-      keep[i] = 1;
-      ++kept;
-    }
+  if (!has_frame_geometry_) {
+    // No FrameBegin has arrived and no reference lattice was supplied
+    // (frameless organizations get one from the planner): evaluating
+    // against a default-constructed lattice would silently collapse
+    // every point onto (0, 0)-anchored unit cells.
+    return Status::FailedPrecondition(
+        "spatial restriction " + name() +
+        ": point batch arrived before any frame lattice was known");
   }
-  if (kept == batch.size()) return Emit(event);  // pass through unchanged
-  PointBatchPtr filtered = FilterBatch(batch, keep, kept);
+  const size_t n = batch.size();
+  xs_.resize(n);
+  ys_.resize(n);
+  keep_.resize(n);
+  kernels::CellCoords(frame_lattice_, batch.cols.data(), batch.rows.data(), n,
+                      xs_.data(), ys_.data());
+  const size_t kept = matcher_.Mask(xs_.data(), ys_.data(), n, keep_.data());
+  if (kept == n) return Emit(event);  // pass through unchanged
+  PointBatchPtr filtered = kernels::FilterBatch(batch, keep_.data(), kept);
   if (!filtered) return Status::OK();
   return Emit(StreamEvent::Batch(std::move(filtered)));
 }
@@ -74,16 +87,18 @@ TemporalRestrictionOp::TemporalRestrictionOp(std::string name, TimeSet times)
 Status TemporalRestrictionOp::Process(const StreamEvent& event) {
   if (event.kind != EventKind::kPointBatch) return Emit(event);
   const PointBatch& batch = *event.batch;
-  std::vector<char> keep(batch.size(), 0);
-  size_t kept = 0;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    if (times_.Contains(batch.timestamps[i])) {
-      keep[i] = 1;
-      ++kept;
-    }
+  const size_t n = batch.size();
+  // Scan-sector fast path: one timestamp per batch -> one Contains()
+  // decides pass-through or drop, no mask or copy.
+  if (kernels::TimestampsAllEqual(batch.timestamps.data(), n)) {
+    if (n == 0 || times_.Contains(batch.timestamps[0])) return Emit(event);
+    return Status::OK();
   }
-  if (kept == batch.size()) return Emit(event);
-  PointBatchPtr filtered = FilterBatch(batch, keep, kept);
+  keep_.resize(n);
+  const size_t kept =
+      kernels::TimeSetMask(times_, batch.timestamps.data(), n, keep_.data());
+  if (kept == n) return Emit(event);
+  PointBatchPtr filtered = kernels::FilterBatch(batch, keep_.data(), kept);
   if (!filtered) return Status::OK();
   return Emit(StreamEvent::Batch(std::move(filtered)));
 }
@@ -98,28 +113,33 @@ ValueRestrictionOp::ValueRestrictionOp(std::string name,
 Status ValueRestrictionOp::Process(const StreamEvent& event) {
   if (event.kind != EventKind::kPointBatch) return Emit(event);
   const PointBatch& batch = *event.batch;
-  std::vector<char> keep(batch.size(), 0);
-  size_t kept = 0;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    bool ok = true;
-    for (const ValueBandRange& r : ranges_) {
-      if (r.band >= batch.band_count) {
-        ok = false;
-        break;
-      }
-      const double v = batch.ValueAt(i, r.band);
-      if (v < r.lo || v > r.hi) {
-        ok = false;
-        break;
-      }
+  for (const ValueBandRange& r : ranges_) {
+    if (r.band < 0) {
+      // Would index before the start of the values column; the
+      // analyzer rejects this at plan time, this guards directly
+      // constructed operators.
+      return Status::InvalidArgument(
+          StringPrintf("value restriction %s: negative band %d",
+                       name().c_str(), r.band));
     }
-    if (ok) {
-      keep[i] = 1;
-      ++kept;
+    if (r.band >= batch.band_count) {
+      // Conjunct over a band the stream does not carry: nothing can
+      // satisfy it. Same drop-all outcome as the per-point code.
+      return Status::OK();
     }
   }
-  if (kept == batch.size()) return Emit(event);
-  PointBatchPtr filtered = FilterBatch(batch, keep, kept);
+  const size_t n = batch.size();
+  const size_t stride = static_cast<size_t>(batch.band_count);
+  keep_.assign(n, 1);
+  size_t kept = n;
+  for (const ValueBandRange& r : ranges_) {
+    kept = kernels::ValueRangeMaskAnd(
+        batch.values.data() + static_cast<size_t>(r.band), n, stride, r.lo,
+        r.hi, keep_.data());
+    if (kept == 0) break;
+  }
+  if (kept == n) return Emit(event);
+  PointBatchPtr filtered = kernels::FilterBatch(batch, keep_.data(), kept);
   if (!filtered) return Status::OK();
   return Emit(StreamEvent::Batch(std::move(filtered)));
 }

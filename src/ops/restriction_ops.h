@@ -1,9 +1,12 @@
 // Stream restriction operators (Sec. 3.1).
 //
 // All three restrictions filter points against a condition on the
-// spatial, temporal, or value component. They are non-blocking,
-// process points one by one, and keep no intermediate point data —
-// the cost properties E1 measures.
+// spatial, temporal, or value component. They are non-blocking and
+// keep no intermediate point data — the cost properties E1 measures.
+// Since the columnar rework each restriction runs as a kernel pass
+// over the batch columns (src/kernels/) producing a keep-mask, then a
+// bulk compaction; results are point-for-point identical to the
+// per-point formulation.
 
 #ifndef GEOSTREAMS_OPS_RESTRICTION_OPS_H_
 #define GEOSTREAMS_OPS_RESTRICTION_OPS_H_
@@ -12,6 +15,7 @@
 #include <vector>
 
 #include "geo/region.h"
+#include "kernels/kernels.h"
 #include "ops/time_set.h"
 #include "stream/operator.h"
 
@@ -22,24 +26,45 @@ namespace geostreams {
 /// lattice carried by FrameBegin metadata. Frames whose lattice
 /// extent cannot intersect the region's bounding box are skipped
 /// wholesale (their batches are dropped without per-point tests).
+///
+/// Frameless streams (point-by-point organization) never deliver a
+/// FrameBegin, so they must be constructed with a reference lattice —
+/// the planner passes the stream descriptor's. A batch arriving
+/// before any frame geometry is known is a FailedPrecondition error,
+/// not a silent evaluation against a default lattice.
 class SpatialRestrictionOp : public UnaryOperator {
  public:
   SpatialRestrictionOp(std::string name, RegionPtr region);
+  /// With a reference lattice for batches outside any frame.
+  SpatialRestrictionOp(std::string name, RegionPtr region,
+                       GridLattice reference_lattice);
 
   const Region& region() const { return *region_; }
+
+  void Reset() override;
 
  protected:
   Status Process(const StreamEvent& event) override;
 
  private:
   RegionPtr region_;
+  kernels::RegionMatcher matcher_;
+  GridLattice reference_lattice_;
+  bool has_reference_lattice_ = false;
   GridLattice frame_lattice_;
+  bool has_frame_geometry_ = false;
   bool frame_may_intersect_ = false;
   bool in_frame_ = false;
+  // Scratch columns, reused across batches (operators are
+  // single-threaded under the scheduler's claim protocol).
+  std::vector<double> xs_, ys_;
+  std::vector<uint8_t> keep_;
 };
 
 /// Temporal restriction G|T (Definition 7): keeps points whose
-/// timestamp belongs to the time set.
+/// timestamp belongs to the time set. Scan-sector batches carry one
+/// timestamp for every point, so a uniform-timestamp check first
+/// decides most batches with a single Contains().
 class TemporalRestrictionOp : public UnaryOperator {
  public:
   TemporalRestrictionOp(std::string name, TimeSet times);
@@ -51,6 +76,7 @@ class TemporalRestrictionOp : public UnaryOperator {
 
  private:
   TimeSet times_;
+  std::vector<uint8_t> keep_;
 };
 
 /// One conjunct of a value restriction: band sample within [lo, hi].
@@ -61,7 +87,10 @@ struct ValueBandRange {
 };
 
 /// Value restriction G|V: keeps points whose value lies in V,
-/// expressed as a conjunction of per-band ranges.
+/// expressed as a conjunction of per-band ranges. A range on a band
+/// the batch does not carry drops every point (the conjunct is
+/// unsatisfiable); a negative band index is rejected as an error —
+/// it would otherwise index before the values column.
 class ValueRestrictionOp : public UnaryOperator {
  public:
   ValueRestrictionOp(std::string name, std::vector<ValueBandRange> ranges);
@@ -73,6 +102,7 @@ class ValueRestrictionOp : public UnaryOperator {
 
  private:
   std::vector<ValueBandRange> ranges_;
+  std::vector<uint8_t> keep_;
 };
 
 }  // namespace geostreams

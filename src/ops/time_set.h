@@ -64,6 +64,12 @@ class TimeSet {
   /// argument list of time().
   std::string ToQueryString() const;
 
+  /// Structure accessors for the vectorized mask kernels
+  /// (kernels::TimeSetMask); instants() is sorted.
+  const std::vector<int64_t>& instants() const { return instants_; }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  const std::vector<Recurring>& recurring() const { return recurring_; }
+
  private:
   bool all_ = false;
   std::vector<int64_t> instants_;  // sorted

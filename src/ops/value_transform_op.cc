@@ -2,6 +2,7 @@
 
 #include "common/math_util.h"
 #include "common/string_util.h"
+#include "kernels/kernels.h"
 
 namespace geostreams {
 
@@ -10,6 +11,7 @@ ValueFn ValueFn::ColorToGray() {
   f.name = "color_to_gray";
   f.in_bands = 3;
   f.out_bands = 1;
+  f.kind = Kind::kColorToGray;
   f.fn = [](const double* in, double* out) {
     // ITU-R BT.601 luma weights.
     out[0] = 0.299 * in[0] + 0.587 * in[1] + 0.114 * in[2];
@@ -22,6 +24,9 @@ ValueFn ValueFn::AffineRescale(int bands, double scale, double offset) {
   f.name = StringPrintf("rescale(%g, %g)", scale, offset);
   f.in_bands = bands;
   f.out_bands = bands;
+  f.kind = Kind::kAffineRescale;
+  f.a = scale;
+  f.b = offset;
   f.fn = [bands, scale, offset](const double* in, double* out) {
     for (int b = 0; b < bands; ++b) out[b] = scale * in[b] + offset;
   };
@@ -33,6 +38,8 @@ ValueFn ValueFn::BandSelect(int in_bands, int band) {
   f.name = StringPrintf("band(%d)", band);
   f.in_bands = in_bands;
   f.out_bands = 1;
+  f.kind = Kind::kBandSelect;
+  f.band = band;
   f.fn = [band](const double* in, double* out) { out[0] = in[band]; };
   return f;
 }
@@ -42,6 +49,9 @@ ValueFn ValueFn::ClampTo(int bands, double lo, double hi) {
   f.name = StringPrintf("clamp(%g, %g)", lo, hi);
   f.in_bands = bands;
   f.out_bands = bands;
+  f.kind = Kind::kClamp;
+  f.a = lo;
+  f.b = hi;
   f.fn = [bands, lo, hi](const double* in, double* out) {
     for (int b = 0; b < bands; ++b) out[b] = Clamp(in[b], lo, hi);
   };
@@ -53,6 +63,7 @@ ValueFn ValueFn::AbsValue(int bands) {
   f.name = "abs";
   f.in_bands = bands;
   f.out_bands = bands;
+  f.kind = Kind::kAbs;
   f.fn = [bands](const double* in, double* out) {
     for (int b = 0; b < bands; ++b) out[b] = in[b] < 0 ? -in[b] : in[b];
   };
@@ -70,16 +81,48 @@ Status ValueTransformOp::Process(const StreamEvent& event) {
         "value transform %s expects %d bands, stream has %d",
         fn_.name.c_str(), fn_.in_bands, in.band_count));
   }
+  const size_t n = in.size();
   auto out = std::make_shared<PointBatch>();
   out->frame_id = in.frame_id;
   out->band_count = fn_.out_bands;
   out->cols = in.cols;
   out->rows = in.rows;
   out->timestamps = in.timestamps;
-  out->values.resize(in.size() * static_cast<size_t>(fn_.out_bands));
-  for (size_t i = 0; i < in.size(); ++i) {
-    fn_.fn(&in.values[i * static_cast<size_t>(fn_.in_bands)],
-           &out->values[i * static_cast<size_t>(fn_.out_bands)]);
+  out->values.resize(n * static_cast<size_t>(fn_.out_bands));
+  const double* src = in.values.data();
+  double* dst = out->values.data();
+  // Built-in transforms run as one kernel pass over the flat sample
+  // column (band-pointwise transforms treat n points * b bands as
+  // n*b independent samples).
+  switch (fn_.kind) {
+    case ValueFn::Kind::kColorToGray:
+      kernels::ColorToGray(src, n, dst);
+      break;
+    case ValueFn::Kind::kAffineRescale:
+      kernels::AffineRescale(src, n * static_cast<size_t>(fn_.in_bands),
+                             fn_.a, fn_.b, dst);
+      break;
+    case ValueFn::Kind::kBandSelect:
+      kernels::BandSelect(src, n, fn_.in_bands, fn_.band, dst);
+      break;
+    case ValueFn::Kind::kClamp:
+      kernels::ClampValues(src, n * static_cast<size_t>(fn_.in_bands), fn_.a,
+                           fn_.b, dst);
+      break;
+    case ValueFn::Kind::kAbs:
+      kernels::AbsValues(src, n * static_cast<size_t>(fn_.in_bands), dst);
+      break;
+    case ValueFn::Kind::kGeneric: {
+      if (!fn_.fn) {
+        return Status::InvalidArgument(StringPrintf(
+            "value transform %s has no function bound", fn_.name.c_str()));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        fn_.fn(&src[i * static_cast<size_t>(fn_.in_bands)],
+               &dst[i * static_cast<size_t>(fn_.out_bands)]);
+      }
+      break;
+    }
   }
   return Emit(StreamEvent::Batch(std::move(out)));
 }

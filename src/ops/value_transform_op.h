@@ -19,10 +19,28 @@ namespace geostreams {
 
 /// Pointwise function f_val : V -> W. `in` has in_bands samples, `out`
 /// must be filled with out_bands samples.
+///
+/// The built-in factories also record their kind and parameters so
+/// ValueTransformOp can run them as column kernels (src/kernels/)
+/// instead of one std::function call per point; `fn` stays populated
+/// as the per-point form of the same function. kGeneric functions
+/// (custom lambdas) run through `fn`.
 struct ValueFn {
+  enum class Kind : uint8_t {
+    kGeneric,
+    kColorToGray,
+    kAffineRescale,  // a = scale, b = offset
+    kBandSelect,     // band
+    kClamp,          // a = lo, b = hi
+    kAbs,
+  };
+
   std::string name;
   int in_bands = 1;
   int out_bands = 1;
+  Kind kind = Kind::kGeneric;
+  double a = 0.0, b = 0.0;
+  int band = 0;
   std::function<void(const double* in, double* out)> fn;
 
   /// Luma-weighted colour (Z^3) to grey-scale (Z).

@@ -90,8 +90,12 @@ class PlanBuilder {
         return Status::OK();
       }
       case ExprKind::kSpatialRestrict:
+        // The descriptor's reference lattice covers frameless
+        // organizations (point-by-point streams never deliver a
+        // FrameBegin); frames override it while open.
         return Attach(std::make_unique<SpatialRestrictionOp>(
-                          NextName("region"), e->region),
+                          NextName("region"), e->region,
+                          e->child->out_desc.reference_lattice()),
                       e, out);
       case ExprKind::kTemporalRestrict:
         return Attach(std::make_unique<TemporalRestrictionOp>(

@@ -1,0 +1,487 @@
+// Scalar/SIMD parity suite for the operator kernels.
+//
+// Every kernel is compiled twice from one template (scalar + AVX2);
+// the contract is BIT-IDENTICAL outputs on the same inputs. These
+// tests force each dispatch level in turn over randomized multi-band
+// batches and compare outputs with memcmp, plus semantic checks
+// against the per-point reference implementations (Region::Contains,
+// TimeSet::Contains, ValueFn::fn, ApplyComposeFn). On machines (or
+// builds) without AVX2 the forced level clamps to scalar and the
+// parity halves compare scalar to itself — still a valid run, just
+// not an interesting one.
+
+#include "kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include "core/value.h"
+#include "geo/region.h"
+#include "ops/restriction_ops.h"
+#include "ops/time_set.h"
+#include "ops/value_transform_op.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+using kernels::FilterBatch;
+using kernels::RegionMatcher;
+using testing_util::LatLonLattice;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class KernelParityTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ClearSimdLevelForTesting(); }
+
+  /// Runs `fill` once per dispatch level and returns the two outputs.
+  template <typename Fill>
+  static std::pair<std::vector<double>, std::vector<double>> BothLevels(
+      size_t out_size, Fill&& fill) {
+    std::vector<double> s(out_size), v(out_size);
+    SetSimdLevelForTesting(SimdLevel::kScalar);
+    fill(s.data());
+    SetSimdLevelForTesting(SimdLevel::kAvx2);
+    fill(v.data());
+    ClearSimdLevelForTesting();
+    return {std::move(s), std::move(v)};
+  }
+
+  static void ExpectBitIdentical(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+  }
+
+  /// Runs a masking `fill(keep) -> kept` once per dispatch level and
+  /// checks mask bytes and counts agree exactly.
+  template <typename Fill>
+  static std::vector<uint8_t> MaskBothLevels(size_t n, Fill&& fill) {
+    std::vector<uint8_t> s(n, 0xAA), v(n, 0x55);  // dirty scratch
+    SetSimdLevelForTesting(SimdLevel::kScalar);
+    const size_t kept_s = fill(s.data());
+    SetSimdLevelForTesting(SimdLevel::kAvx2);
+    const size_t kept_v = fill(v.data());
+    ClearSimdLevelForTesting();
+    EXPECT_EQ(kept_s, kept_v);
+    EXPECT_EQ(s, v);
+    size_t ones = 0;
+    for (uint8_t k : s) ones += k;
+    EXPECT_EQ(ones, kept_s);
+    return s;
+  }
+};
+
+std::mt19937& Rng() {
+  static std::mt19937 rng(0xC0FFEE);
+  return rng;
+}
+
+/// Random cell addresses spanning (and overshooting) a w x h lattice.
+void RandomCells(size_t n, int w, int h, std::vector<int32_t>* cols,
+                 std::vector<int32_t>* rows) {
+  std::uniform_int_distribution<int32_t> dc(-2, w + 1), dr(-2, h + 1);
+  cols->resize(n);
+  rows->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*cols)[i] = dc(Rng());
+    (*rows)[i] = dr(Rng());
+  }
+}
+
+/// Random multi-band batch over the lattice, with a few NaN samples.
+PointBatchPtr RandomBatch(const GridLattice& lattice, size_t n, int bands,
+                          int64_t frame_id) {
+  auto b = std::make_shared<PointBatch>();
+  b->frame_id = frame_id;
+  b->band_count = bands;
+  std::vector<int32_t> cols, rows;
+  RandomCells(n, static_cast<int>(lattice.width()),
+              static_cast<int>(lattice.height()), &cols, &rows);
+  std::uniform_real_distribution<double> dv(-2.0, 2.0);
+  std::uniform_int_distribution<int64_t> dt(0, 12);
+  std::uniform_int_distribution<int> nan_lottery(0, 40);
+  b->cols = std::move(cols);
+  b->rows = std::move(rows);
+  b->timestamps.resize(n);
+  b->values.resize(n * static_cast<size_t>(bands));
+  for (size_t i = 0; i < n; ++i) {
+    b->timestamps[i] = dt(Rng());
+    for (int k = 0; k < bands; ++k) {
+      double v = dv(Rng());
+      if (nan_lottery(Rng()) == 0) v = kNaN;
+      b->values[i * static_cast<size_t>(bands) + static_cast<size_t>(k)] = v;
+    }
+  }
+  return b;
+}
+
+TEST_F(KernelParityTest, CellCoordsMatchesLatticeAndLevels) {
+  GridLattice lattice = LatLonLattice(32, 17);
+  std::vector<int32_t> cols, rows;
+  RandomCells(512, 32, 17, &cols, &rows);
+  const size_t n = cols.size();
+  std::vector<double> xs_s(n), ys_s(n), xs_v(n), ys_v(n);
+  SetSimdLevelForTesting(SimdLevel::kScalar);
+  kernels::CellCoords(lattice, cols.data(), rows.data(), n, xs_s.data(),
+                      ys_s.data());
+  SetSimdLevelForTesting(SimdLevel::kAvx2);
+  kernels::CellCoords(lattice, cols.data(), rows.data(), n, xs_v.data(),
+                      ys_v.data());
+  ClearSimdLevelForTesting();
+  ExpectBitIdentical(xs_s, xs_v);
+  ExpectBitIdentical(ys_s, ys_v);
+  for (size_t i = 0; i < n; ++i) {
+    // Bitwise: the kernel must mirror CellX/CellY exactly, or spatial
+    // restriction results drift from frame-pruning decisions.
+    EXPECT_EQ(xs_s[i], lattice.CellX(cols[i]));
+    EXPECT_EQ(ys_s[i], lattice.CellY(rows[i]));
+  }
+}
+
+/// Region mask vs per-point Region::Contains over random coordinates.
+void CheckRegionAgainstContains(const Region& region,
+                                const RegionMatcher& matcher, size_t n) {
+  std::uniform_real_distribution<double> dx(-130.0, -115.0), dy(38.0, 50.0);
+  std::vector<double> xs(n), ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = dx(Rng());
+    ys[i] = dy(Rng());
+  }
+  std::vector<uint8_t> s(n, 0xAA), v(n, 0x55);
+  SetSimdLevelForTesting(SimdLevel::kScalar);
+  const size_t kept_s = matcher.Mask(xs.data(), ys.data(), n, s.data());
+  SetSimdLevelForTesting(SimdLevel::kAvx2);
+  const size_t kept_v = matcher.Mask(xs.data(), ys.data(), n, v.data());
+  ClearSimdLevelForTesting();
+  EXPECT_EQ(kept_s, kept_v);
+  EXPECT_EQ(s, v);
+  size_t ones = 0;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(s[i] != 0, region.Contains(xs[i], ys[i]))
+        << "at (" << xs[i] << ", " << ys[i] << ")";
+    ones += s[i];
+  }
+  EXPECT_EQ(ones, kept_s);
+}
+
+TEST_F(KernelParityTest, BBoxMaskMatchesRegion) {
+  auto region = MakeBBoxRegion(-125.0, 41.0, -120.5, 44.5);
+  CheckRegionAgainstContains(*region, RegionMatcher(region), 2048);
+}
+
+TEST_F(KernelParityTest, DiskMaskMatchesRegion) {
+  auto region = ConstraintRegion::Disk(-122.0, 43.0, 2.5);
+  RegionMatcher matcher(region);
+  EXPECT_TRUE(matcher.fully_vectorized());
+  CheckRegionAgainstContains(*region, matcher, 2048);
+}
+
+TEST_F(KernelParityTest, PolygonMaskMatchesRegion) {
+  // Concave polygon with a horizontal edge (dropped at precompute)
+  // and a vertical one.
+  auto region = MakePolygonRegion({{-126.0, 40.0},
+                                   {-118.0, 40.0},
+                                   {-118.0, 47.0},
+                                   {-122.0, 42.5},
+                                   {-125.0, 48.0}});
+  RegionMatcher matcher(region);
+  EXPECT_TRUE(matcher.fully_vectorized());
+  CheckRegionAgainstContains(*region, matcher, 4096);
+}
+
+TEST_F(KernelParityTest, CompositeRegionsMatch) {
+  auto box = MakeBBoxRegion(-125.0, 41.0, -121.0, 45.0);
+  auto disk = ConstraintRegion::Disk(-121.5, 44.0, 2.0);
+  auto tri =
+      MakePolygonRegion({{-127.0, 39.0}, {-119.0, 39.0}, {-123.0, 49.0}});
+  auto uni = MakeUnionRegion({box, disk});
+  auto inter = MakeIntersectionRegion({uni, tri});
+  RegionMatcher matcher(inter);
+  EXPECT_TRUE(matcher.fully_vectorized());
+  CheckRegionAgainstContains(*inter, matcher, 4096);
+}
+
+TEST_F(KernelParityTest, GenericFallbackMatchesEnumeratedRegion) {
+  auto region = std::make_shared<EnumeratedRegion>(
+      std::vector<std::pair<double, double>>{{-124.75, 44.75},
+                                             {-123.25, 42.25}},
+      0.5);
+  RegionMatcher matcher(region);
+  EXPECT_FALSE(matcher.fully_vectorized());
+  CheckRegionAgainstContains(*region, matcher, 512);
+}
+
+TEST_F(KernelParityTest, ValueRangeMaskKeepsNaNAndStrides) {
+  const size_t n = 777;
+  const size_t stride = 3;
+  std::vector<double> values(n * stride);
+  std::uniform_real_distribution<double> dv(-1.0, 1.0);
+  for (auto& v : values) v = dv(Rng());
+  values[4 * stride] = kNaN;
+  values[9 * stride] = kInf;
+  values[11 * stride] = -kInf;
+  auto mask = MaskBothLevels(n, [&](uint8_t* keep) {
+    std::memset(keep, 1, n);
+    return kernels::ValueRangeMaskAnd(values.data(), n, stride, -0.25, 0.5,
+                                      keep);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    const double v = values[i * stride];
+    // Reference predicate: drop when v < lo || v > hi; NaN is kept.
+    const bool expect_keep = !(v < -0.25) && !(v > 0.5);
+    EXPECT_EQ(mask[i] != 0, expect_keep) << "sample " << v;
+  }
+  EXPECT_TRUE(mask[4]);   // NaN kept
+  EXPECT_FALSE(mask[9]);  // +inf > hi
+  EXPECT_FALSE(mask[11]);
+}
+
+TEST_F(KernelParityTest, TimeSetMaskMatchesContains) {
+  TimeSet times = TimeSet::Range(100, 200);
+  times.Add(TimeSet::Every(96, 40, 55));
+  times.Add(TimeSet::Instants({-7, 3, 777}));
+  const size_t n = 2048;
+  std::vector<int64_t> ts(n);
+  std::uniform_int_distribution<int64_t> dt(-300, 900);
+  for (auto& t : ts) t = dt(Rng());
+  ts[0] = -7;
+  ts[1] = 777;
+  auto mask = MaskBothLevels(n, [&](uint8_t* keep) {
+    return kernels::TimeSetMask(times, ts.data(), n, keep);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(mask[i] != 0, times.Contains(ts[i])) << "t=" << ts[i];
+  }
+}
+
+TEST_F(KernelParityTest, TimestampsAllEqual) {
+  std::vector<int64_t> uniform(257, 42);
+  EXPECT_TRUE(kernels::TimestampsAllEqual(uniform.data(), uniform.size()));
+  EXPECT_TRUE(kernels::TimestampsAllEqual(uniform.data(), 0));
+  uniform[200] = 41;
+  EXPECT_FALSE(kernels::TimestampsAllEqual(uniform.data(), uniform.size()));
+}
+
+TEST_F(KernelParityTest, PointwiseTransformsMatchValueFns) {
+  const size_t points = 501;
+  const int bands = 3;
+  const size_t n = points * static_cast<size_t>(bands);
+  std::vector<double> in(n);
+  std::uniform_real_distribution<double> dv(-300.0, 300.0);
+  for (auto& v : in) v = dv(Rng());
+  in[7] = kNaN;
+
+  struct Case {
+    const char* label;
+    ValueFn fn;
+    size_t out_size;
+  };
+  const Case cases[] = {
+      {"rescale", ValueFn::AffineRescale(bands, 1.7, -3.25), n},
+      {"clamp", ValueFn::ClampTo(bands, -100.0, 100.0), n},
+      {"abs", ValueFn::AbsValue(bands), n},
+      {"gray", ValueFn::ColorToGray(), points},
+      {"band", ValueFn::BandSelect(bands, 2), points},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.label);
+    auto [s, v] = BothLevels(c.out_size, [&](double* out) {
+      switch (c.fn.kind) {
+        case ValueFn::Kind::kAffineRescale:
+          kernels::AffineRescale(in.data(), n, c.fn.a, c.fn.b, out);
+          break;
+        case ValueFn::Kind::kClamp:
+          kernels::ClampValues(in.data(), n, c.fn.a, c.fn.b, out);
+          break;
+        case ValueFn::Kind::kAbs:
+          kernels::AbsValues(in.data(), n, out);
+          break;
+        case ValueFn::Kind::kColorToGray:
+          kernels::ColorToGray(in.data(), points, out);
+          break;
+        case ValueFn::Kind::kBandSelect:
+          kernels::BandSelect(in.data(), points, bands, c.fn.band, out);
+          break;
+        case ValueFn::Kind::kGeneric:
+          FAIL() << "unexpected generic fn";
+      }
+    });
+    ExpectBitIdentical(s, v);
+    // Per-point reference: the std::function form of the same ValueFn.
+    std::vector<double> ref(c.out_size);
+    const size_t per_out = static_cast<size_t>(c.fn.out_bands);
+    for (size_t i = 0; i < points; ++i) {
+      c.fn.fn(&in[i * static_cast<size_t>(bands)], &ref[i * per_out]);
+    }
+    ExpectBitIdentical(s, ref);
+  }
+}
+
+TEST_F(KernelParityTest, ComposeArithMatchesApplyComposeFn) {
+  const size_t n = 1024;
+  std::vector<double> a(n), b(n);
+  std::uniform_real_distribution<double> dv(-50.0, 50.0);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = dv(Rng());
+    b[i] = dv(Rng());
+  }
+  // Saturation and NaN corners of kDivide / kSupremum / kInfimum.
+  a[0] = 0.0;   b[0] = 0.0;
+  a[1] = 3.5;   b[1] = 0.0;
+  a[2] = -3.5;  b[2] = 0.0;
+  a[3] = kNaN;  b[3] = 1.0;
+  a[4] = 1.0;   b[4] = kNaN;
+  a[5] = kInf;  b[5] = -kInf;
+  for (ComposeFn gamma :
+       {ComposeFn::kAdd, ComposeFn::kSubtract, ComposeFn::kMultiply,
+        ComposeFn::kDivide, ComposeFn::kSupremum, ComposeFn::kInfimum}) {
+    SCOPED_TRACE(ComposeFnName(gamma));
+    auto [s, v] = BothLevels(n, [&](double* out) {
+      kernels::ComposeArith(gamma, a.data(), b.data(), n, out);
+    });
+    ExpectBitIdentical(s, v);
+    for (size_t i = 0; i < n; ++i) {
+      const double expect = ApplyComposeFn(gamma, a[i], b[i]);
+      // Bitwise, so NaN == NaN and signed zeros must match too.
+      EXPECT_EQ(std::memcmp(&s[i], &expect, sizeof(double)), 0)
+          << "i=" << i << " a=" << a[i] << " b=" << b[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FilterBatch (mask compaction)
+
+TEST(FilterBatchTest, MultiBandPartialSelectionPreservesInterleaving) {
+  GridLattice lattice = LatLonLattice(16, 12);
+  PointBatchPtr src = RandomBatch(lattice, 301, /*bands=*/3, /*frame=*/9);
+  std::vector<uint8_t> keep(src->size());
+  std::mt19937 rng(123);
+  std::uniform_int_distribution<int> coin(0, 2);
+  size_t kept = 0;
+  for (auto& k : keep) {
+    k = coin(rng) != 0 ? 1 : 0;  // ~2/3 kept: runs and singletons
+    kept += k;
+  }
+  PointBatchPtr out = FilterBatch(*src, keep.data(), kept);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->frame_id, 9);
+  EXPECT_EQ(out->band_count, 3);
+  ASSERT_EQ(out->size(), kept);
+  ASSERT_EQ(out->values.size(), kept * 3u);
+  size_t w = 0;
+  for (size_t i = 0; i < src->size(); ++i) {
+    if (!keep[i]) continue;
+    EXPECT_EQ(out->cols[w], src->cols[i]);
+    EXPECT_EQ(out->rows[w], src->rows[i]);
+    EXPECT_EQ(out->timestamps[w], src->timestamps[i]);
+    for (int bnd = 0; bnd < 3; ++bnd) {
+      const double got = out->values[w * 3 + static_cast<size_t>(bnd)];
+      const double want = src->ValueAt(i, bnd);
+      EXPECT_EQ(std::memcmp(&got, &want, sizeof(double)), 0)
+          << "point " << i << " band " << bnd;
+    }
+    ++w;
+  }
+  EXPECT_EQ(w, kept);
+}
+
+TEST(FilterBatchTest, EdgeSelections) {
+  GridLattice lattice = LatLonLattice(8, 8);
+  PointBatchPtr src = RandomBatch(lattice, 64, /*bands=*/2, /*frame=*/1);
+  std::vector<uint8_t> keep(src->size(), 0);
+  EXPECT_EQ(FilterBatch(*src, keep.data(), 0), nullptr);
+
+  std::fill(keep.begin(), keep.end(), 1);
+  PointBatchPtr all = FilterBatch(*src, keep.data(), keep.size());
+  ASSERT_NE(all, nullptr);
+  EXPECT_EQ(all->size(), src->size());
+  ASSERT_EQ(all->values.size(), src->values.size());
+  EXPECT_EQ(std::memcmp(all->values.data(), src->values.data(),
+                        src->values.size() * sizeof(double)),
+            0);
+
+  // Only the last point: exercises the tail run.
+  std::fill(keep.begin(), keep.end(), 0);
+  keep.back() = 1;
+  PointBatchPtr last = FilterBatch(*src, keep.data(), 1);
+  ASSERT_NE(last, nullptr);
+  ASSERT_EQ(last->size(), 1u);
+  EXPECT_EQ(last->cols[0], src->cols.back());
+  EXPECT_EQ(last->ValueAt(0, 1), src->ValueAt(src->size() - 1, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Whole-operator parity: the same randomized multi-band stream through
+// the rewired operators at both dispatch levels, bit-identical events.
+
+std::vector<StreamEvent> RunRestrictions(const PointBatchPtr& batch,
+                                         const GridLattice& lattice,
+                                         SimdLevel level) {
+  SetSimdLevelForTesting(level);
+  SpatialRestrictionOp spatial(
+      "r", MakeUnionRegion({MakeBBoxRegion(-125.0, 41.0, -121.0, 44.0),
+                            ConstraintRegion::Disk(-120.0, 46.0, 1.5)}));
+  ValueRestrictionOp value("v", {{0, -0.5, 0.75}, {2, -1.5, 1.5}});
+  CollectingSink sink;
+  spatial.BindOutput(value.input(0));
+  value.BindOutput(&sink);
+  FrameInfo info;
+  info.frame_id = batch->frame_id;
+  info.lattice = lattice;
+  EXPECT_TRUE(spatial.input(0)->Consume(StreamEvent::FrameBegin(info)).ok());
+  EXPECT_TRUE(spatial.input(0)->Consume(StreamEvent::Batch(batch)).ok());
+  EXPECT_TRUE(spatial.input(0)->Consume(StreamEvent::FrameEnd(info)).ok());
+  ClearSimdLevelForTesting();
+  return sink.events();
+}
+
+TEST(OperatorParityTest, RestrictionChainBitIdenticalAcrossLevels) {
+  GridLattice lattice = LatLonLattice(24, 16);
+  PointBatchPtr batch = RandomBatch(lattice, 1500, /*bands=*/3, /*frame=*/4);
+  auto scalar_events = RunRestrictions(batch, lattice, SimdLevel::kScalar);
+  auto simd_events = RunRestrictions(batch, lattice, SimdLevel::kAvx2);
+  ASSERT_EQ(scalar_events.size(), simd_events.size());
+  for (size_t e = 0; e < scalar_events.size(); ++e) {
+    ASSERT_EQ(scalar_events[e].kind, simd_events[e].kind);
+    if (scalar_events[e].kind != EventKind::kPointBatch) continue;
+    const PointBatch& s = *scalar_events[e].batch;
+    const PointBatch& v = *simd_events[e].batch;
+    EXPECT_EQ(s.cols, v.cols);
+    EXPECT_EQ(s.rows, v.rows);
+    EXPECT_EQ(s.timestamps, v.timestamps);
+    ASSERT_EQ(s.values.size(), v.values.size());
+    EXPECT_EQ(std::memcmp(s.values.data(), v.values.data(),
+                          s.values.size() * sizeof(double)),
+              0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing
+
+TEST(SimdDispatchTest, OverrideClampsToDetectedLevel) {
+  const SimdLevel detected = DetectedSimdLevel();
+  SetSimdLevelForTesting(SimdLevel::kAvx2);
+  // Forcing up never exceeds what the CPU/build supports.
+  EXPECT_EQ(ActiveSimdLevel(), detected);
+  SetSimdLevelForTesting(SimdLevel::kScalar);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  ClearSimdLevelForTesting();
+  EXPECT_EQ(ActiveSimdLevel(), detected);
+}
+
+TEST(SimdDispatchTest, LevelNames) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace geostreams

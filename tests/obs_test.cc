@@ -297,6 +297,24 @@ TEST(TraceTest, ForkCopiesIdentityNotSpans) {
   EXPECT_EQ(trace.Finish().spans.size(), 1u);
 }
 
+TEST(TraceTest, WallClockAnchorStampedAndForkedAndPrinted) {
+  // Steady-clock stamps order events within the process only; the
+  // wall anchor lets TRACE output be lined up with external logs.
+  const uint64_t before = TraceWallNowUs();
+  TraceContext trace(11, "src");
+  const uint64_t after = TraceWallNowUs();
+  const TraceRecord record = trace.Finish();
+  EXPECT_GE(record.born_wall_us, before);
+  EXPECT_LE(record.born_wall_us, after);
+  // Forks inherit the anchor (same birth instant, different pipeline).
+  auto fork = trace.Fork("q1");
+  EXPECT_EQ(fork->Finish().born_wall_us, record.born_wall_us);
+  const std::string line = record.ToString();
+  EXPECT_NE(line.find("wall_us=" + std::to_string(record.born_wall_us)),
+            std::string::npos)
+      << line;
+}
+
 TEST(TraceTest, ScopedActivationNestsAndRestores) {
   EXPECT_EQ(ActiveTrace(), nullptr);
   TraceContext outer(1, "a"), inner(2, "b");

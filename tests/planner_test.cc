@@ -62,6 +62,35 @@ TEST(PlannerTest, ExecutesChain) {
   }
 }
 
+TEST(PlannerTest, PointByPointSpatialRestrictionWithoutFrames) {
+  // lidar.z is point-by-point: batches arrive with no FrameBegin at
+  // all. The planner hands the spatial restriction the stream's
+  // reference lattice so the bare batches are still evaluated against
+  // real geometry instead of erroring (or, worse, a default lattice).
+  StreamCatalog catalog = MakeTestCatalog();
+  auto e = Analyzed(catalog, "region(lidar.z, bbox(-125,40,-124.75,45))");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  CollectingSink sink;
+  auto plan = BuildPlan(*e, &sink);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // The catalog's lidar lattice: 8x8 cells of 0.125 deg from -125/45.
+  GridLattice lattice = LatLonLattice(8, 8, 0.125);
+  auto batch = std::make_shared<PointBatch>();
+  batch->band_count = 1;
+  for (int32_t row = 0; row < 8; ++row) {
+    for (int32_t col = 0; col < 8; ++col) {
+      batch->Append1(col, row, row * 8 + col, 1.0);
+    }
+  }
+  GS_ASSERT_OK(
+      (*plan)->input("lidar.z")->Consume(StreamEvent::Batch(batch)));
+  auto points = CollectPoints(sink.events());
+  EXPECT_EQ(points.size(), 2u * 8u);  // columns 0 and 1 survive
+  for (const auto& [key, v] : points) {
+    EXPECT_LT(std::get<0>(key), 2);
+  }
+}
+
 TEST(PlannerTest, BinaryPlanHasTwoInputs) {
   StreamCatalog catalog = MakeTestCatalog();
   auto e = Analyzed(catalog, "ndvi(g.nir, g.vis)");

@@ -161,6 +161,74 @@ TEST(ValueRestrictionTest, BandOutOfRangeFails) {
   EXPECT_EQ(sink.TotalPoints(), 0u);
 }
 
+TEST(ValueRestrictionTest, NegativeBandIsError) {
+  PointBatch batch;
+  batch.band_count = 1;
+  batch.Append1(0, 0, 0, 1.0);
+  ValueRestrictionOp op("v", {{-1, 0.0, 1.0}});
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  // A negative band would index before the values column (out-of-
+  // bounds read); it must surface as an error, not filter results.
+  const Status st = op.input(0)->Consume(
+      StreamEvent::Batch(std::make_shared<PointBatch>(batch)));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sink.TotalPoints(), 0u);
+}
+
+TEST(SpatialRestrictionTest, BatchBeforeAnyFrameIsError) {
+  // No FrameBegin has arrived and no reference lattice was supplied:
+  // there is no geometry to map cells to coordinates, and silently
+  // using a default lattice would misplace every point.
+  SpatialRestrictionOp op("r", MakeBBoxRegion(-125.0, 40.0, -120.0, 45.0));
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  auto batch = std::make_shared<PointBatch>();
+  batch->band_count = 1;
+  batch->Append1(3, 2, 7, 0.5);
+  const Status st = op.input(0)->Consume(StreamEvent::Batch(batch));
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sink.TotalPoints(), 0u);
+}
+
+TEST(SpatialRestrictionTest, FramelessStreamUsesReferenceLattice) {
+  // Point-by-point organizations never emit FrameBegin; the planner
+  // passes the stream's reference lattice so bare batches are
+  // evaluated against real geometry.
+  GridLattice lattice = LatLonLattice(10, 8);
+  auto region = MakeBBoxRegion(-125.0, 40.0, -123.9, 45.0);
+  SpatialRestrictionOp op("r", region, lattice);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  auto batch = std::make_shared<PointBatch>();
+  batch->band_count = 1;
+  for (int32_t col = 0; col < 10; ++col) batch->Append1(col, 0, col, 1.0);
+  GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::Batch(batch)));
+  auto points = CollectPoints(sink.events());
+  EXPECT_EQ(points.size(), 2u);  // columns 0 and 1, as in the framed test
+  for (const auto& [key, value] : points) {
+    EXPECT_TRUE(region->Contains(lattice.CellX(std::get<0>(key)),
+                                 lattice.CellY(std::get<1>(key))));
+  }
+}
+
+TEST(SpatialRestrictionTest, ResetRestoresReferenceLattice) {
+  GridLattice reference = LatLonLattice(10, 8);
+  SpatialRestrictionOp op("r", AllRegion::Instance(), reference);
+  CollectingSink sink;
+  op.BindOutput(&sink);
+  // A frame with a different lattice opens, then the operator is
+  // reset mid-frame (supervisor fault path): bare batches must fall
+  // back to the reference lattice, not the dead frame's.
+  GS_ASSERT_OK(PushFrame(op.input(0), LatLonLattice(4, 4, 2.0), 1));
+  op.Reset();
+  auto batch = std::make_shared<PointBatch>();
+  batch->band_count = 1;
+  batch->Append1(0, 0, 9, 1.0);
+  GS_ASSERT_OK(op.input(0)->Consume(StreamEvent::Batch(batch)));
+  EXPECT_GT(sink.TotalPoints(), 0u);
+}
+
 TEST(RestrictionsTest, ComposeInSequence) {
   // Chained restrictions behave like a conjunction.
   GridLattice lattice = LatLonLattice(10, 8);
