@@ -13,7 +13,12 @@
 //   ./ingest_producer --port=7071 --scans=20 --delay-ms=400
 //
 //   ./ingest_producer --port=P [--host=H] [--scans=N] [--delay-ms=D]
-//                     [--chaos[=seed]]
+//                     [--token=T] [--window=N] [--chaos[=seed]]
+//
+// --token presents the server's shared producer credential on ATTACH
+// (required when the server runs with --ingest-token). --window caps
+// the in-flight batch budget of the sliding ack window (0 =
+// byte-bounded only).
 //
 // --chaos wraps the connection in the deterministic fault injector
 // (partial writes, mid-frame resets, dropped and delayed acks) and
@@ -57,6 +62,10 @@ int main(int argc, char** argv) {
       num_scans = std::atoi(argv[a] + 8);
     } else if (std::strncmp(argv[a], "--delay-ms=", 11) == 0) {
       delay_ms = std::atoi(argv[a] + 11);
+    } else if (std::strncmp(argv[a], "--token=", 8) == 0) {
+      options.auth_token = argv[a] + 8;
+    } else if (std::strncmp(argv[a], "--window=", 9) == 0) {
+      options.window_messages = static_cast<size_t>(std::atoi(argv[a] + 9));
     } else if (std::strncmp(argv[a], "--chaos", 7) == 0) {
       chaos = true;
       options.flaky.seed = argv[a][7] == '=' ? std::atoll(argv[a] + 8) : 7;
@@ -69,7 +78,8 @@ int main(int argc, char** argv) {
   if (options.port == 0) {
     std::fprintf(stderr,
                  "usage: ingest_producer --port=P [--host=H] [--scans=N] "
-                 "[--delay-ms=D] [--chaos[=seed]]\n");
+                 "[--delay-ms=D] [--token=T] [--window=N] "
+                 "[--chaos[=seed]]\n");
     return 2;
   }
 
@@ -107,12 +117,13 @@ int main(int argc, char** argv) {
   const ProducerClientStats& stats = producer.stats();
   std::printf(
       "published=%llu acked=%llu retransmits=%llu reconnects=%llu "
-      "nacks=%llu\n",
+      "nacks=%llu window_stalls=%llu\n",
       static_cast<unsigned long long>(stats.published),
       static_cast<unsigned long long>(stats.acked),
       static_cast<unsigned long long>(stats.retransmits),
       static_cast<unsigned long long>(stats.reconnects),
-      static_cast<unsigned long long>(stats.nacks));
+      static_cast<unsigned long long>(stats.nacks),
+      static_cast<unsigned long long>(stats.window_stalls));
   if (chaos) {
     const FlakySocketStats faults = producer.TotalSocketStats();
     std::printf(

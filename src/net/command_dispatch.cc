@@ -189,9 +189,22 @@ std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
     return StringPrintf("OK RESTART %lld", static_cast<long long>(*id));
   }
   if (verb == "attach") {
-    Result<std::string> name = ParseSourceName(rest);
+    // ATTACH <source> [token] — the token is a shared producer
+    // credential, a single opaque word.
+    std::string_view args = StripWhitespace(rest);
+    std::string token;
+    const size_t space = args.find(' ');
+    if (space != std::string_view::npos) {
+      token = std::string(StripWhitespace(args.substr(space + 1)));
+      args = args.substr(0, space);
+      if (token.find(' ') != std::string::npos) {
+        return ErrResponse(
+            Status::InvalidArgument("ATTACH takes: <source> [token]"));
+      }
+    }
+    Result<std::string> name = ParseSourceName(args);
     if (!name.ok()) return ErrResponse(name.status());
-    Result<uint64_t> next = hooks->AttachIngestSource(*name);
+    Result<uint64_t> next = hooks->AttachIngestSource(*name, token);
     if (!next.ok()) return ErrResponse(next.status());
     return StringPrintf("OK ATTACH %s next=%llu", name->c_str(),
                         static_cast<unsigned long long>(*next));

@@ -82,8 +82,13 @@ class SessionHooks {
   }
   /// Attaches this connection as a producer for `source`; returns the
   /// next expected sequence number (the producer resumes from it).
-  virtual Result<uint64_t> AttachIngestSource(const std::string& source) {
+  /// `token` is the shared producer credential from the ATTACH line
+  /// (empty when the producer sent none); a server configured with a
+  /// token rejects mismatches with FailedPrecondition.
+  virtual Result<uint64_t> AttachIngestSource(const std::string& source,
+                                              const std::string& token) {
     (void)source;
+    (void)token;
     return Status::Unimplemented("ingest not supported here");
   }
   /// Un-quarantines an ingest source (`RESTART <name>`).

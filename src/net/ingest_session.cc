@@ -1,12 +1,26 @@
 #include "net/ingest_session.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
+#include "storage/journal.h"
 
 namespace geostreams {
 
 IngestSession::IngestSession(std::string source, EventSink* target,
                              IngestSessionOptions options)
     : source_(std::move(source)), target_(target), options_(options) {
+  if (options_.journal != nullptr) {
+    // Resume where the last incarnation's acks left off: a
+    // reconnecting producer's ATTACH sees the recovered high-water
+    // mark instead of 1, so it replays only what was never committed.
+    expected_ = options_.journal->next_seq();
+    stats_.durable = true;
+  }
+  budget_tokens_ = options_.source_burst_bytes > 0
+                       ? options_.source_burst_bytes
+                       : options_.source_rate_bytes_per_sec;
+  budget_refilled_ms_ = NowMsLocked();
   if (options_.metrics != nullptr) {
     MetricsRegistry& reg = *options_.metrics;
     const MetricLabels labels{{"source", source_}};
@@ -55,6 +69,55 @@ std::string IngestSession::Nack(uint64_t seq, const Status& status) const {
                       status.message().c_str());
 }
 
+uint64_t IngestSession::NowMsLocked() const {
+  if (options_.now_ms) return options_.now_ms();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+bool IngestSession::ConsumeBudgetLocked(uint64_t bytes) {
+  const uint64_t capacity = options_.source_burst_bytes > 0
+                                ? options_.source_burst_bytes
+                                : options_.source_rate_bytes_per_sec;
+  const uint64_t now = NowMsLocked();
+  if (now > budget_refilled_ms_) {
+    const uint64_t refill =
+        (now - budget_refilled_ms_) * options_.source_rate_bytes_per_sec /
+        1000;
+    if (refill > 0) {
+      budget_tokens_ = std::min(capacity, budget_tokens_ + refill);
+      budget_refilled_ms_ = now;
+    }
+  }
+  // A batch larger than the whole bucket would starve forever: admit
+  // it when the bucket is full and let it run the balance negative to
+  // zero instead.
+  if (budget_tokens_ >= bytes ||
+      (budget_tokens_ == capacity && bytes > capacity)) {
+    budget_tokens_ -= std::min(budget_tokens_, bytes);
+    return true;
+  }
+  return false;
+}
+
+Status IngestSession::JournalLocked(const IngestMessage& message) {
+  if (options_.journal == nullptr) return Status::OK();
+  const Status appended = options_.journal->Append(message);
+  if (!appended.ok()) {
+    ++stats_.journal_errors;
+    // Unavailable = transient to the producer: it backs off and
+    // replays the same sequence number, and nothing was acked that
+    // the journal does not hold.
+    return Status::Unavailable(
+        StringPrintf("journal append failed: %s",
+                     appended.message().c_str()));
+  }
+  ++stats_.journaled;
+  return Status::OK();
+}
+
 std::string IngestSession::Handle(const IngestMessage& message) {
   std::lock_guard<std::mutex> lock(mu_);
   last_activity_ = Clock::now();
@@ -90,6 +153,42 @@ std::string IngestSession::Handle(const IngestMessage& message) {
   }
 
   const bool is_batch = message.event.kind == EventKind::kPointBatch;
+  const uint64_t batch_points =
+      is_batch && message.event.batch ? message.event.batch->size() : 0;
+  const uint64_t batch_bytes =
+      is_batch && message.event.batch ? message.event.batch->ApproxBytes()
+                                      : 0;
+  if (is_batch && options_.source_rate_bytes_per_sec > 0 &&
+      !ConsumeBudgetLocked(batch_bytes)) {
+    if (options_.overload_policy ==
+        IngestSessionOptions::OverloadPolicy::kNack) {
+      ++stats_.budget_nacks;
+      if (m_nacks_) m_nacks_->Increment();
+      return Nack(message.seq,
+                  Status::ResourceExhausted(StringPrintf(
+                      "per-source budget: %llu bytes exceed rate %llu B/s",
+                      static_cast<unsigned long long>(batch_bytes),
+                      static_cast<unsigned long long>(
+                          options_.source_rate_bytes_per_sec))));
+    }
+    // kShed under a durable journal still journals: the ack promises
+    // the sequence number is settled forever, so a crash after it
+    // must not regress the recovered high-water mark.
+    const Status journaled = JournalLocked(message);
+    if (!journaled.ok()) {
+      if (m_nacks_) m_nacks_->Increment();
+      return Nack(message.seq, journaled);
+    }
+    ++stats_.budget_shed;
+    stats_.overload_shed_points += batch_points;
+    stats_.overload_shed_bytes += batch_bytes;
+    if (m_shed_events_) m_shed_events_->Increment();
+    if (m_shed_points_) m_shed_points_->Increment(batch_points);
+    if (m_shed_bytes_) m_shed_bytes_->Increment(batch_bytes);
+    if (m_acks_) m_acks_->Increment();
+    expected_ = message.seq + 1;
+    return Ack(message.seq);
+  }
   if (is_batch && options_.memory != nullptr &&
       options_.admission_max_bytes > 0) {
     const uint64_t total = options_.memory->TotalBytes();
@@ -109,23 +208,35 @@ std::string IngestSession::Handle(const IngestMessage& message) {
       // kShed: accept responsibility for the batch and drop it, the
       // boundary equivalent of the scheduler's load shedding. The ack
       // keeps the producer's replay buffer (and the network) from
-      // amplifying the overload.
+      // amplifying the overload. Journaled first: the ack is a
+      // durable promise even for a shed batch.
+      const Status journaled = JournalLocked(message);
+      if (!journaled.ok()) {
+        if (m_nacks_) m_nacks_->Increment();
+        return Nack(message.seq, journaled);
+      }
       ++stats_.overload_shed;
-      const uint64_t points =
-          message.event.batch ? message.event.batch->size() : 0;
-      const uint64_t bytes =
-          message.event.batch ? message.event.batch->ApproxBytes() : 0;
-      stats_.overload_shed_points += points;
-      stats_.overload_shed_bytes += bytes;
+      stats_.overload_shed_points += batch_points;
+      stats_.overload_shed_bytes += batch_bytes;
       if (m_shed_events_) m_shed_events_->Increment();
-      if (m_shed_points_) m_shed_points_->Increment(points);
-      if (m_shed_bytes_) m_shed_bytes_->Increment(bytes);
+      if (m_shed_points_) m_shed_points_->Increment(batch_points);
+      if (m_shed_bytes_) m_shed_bytes_->Increment(batch_bytes);
       if (m_acks_) m_acks_->Increment();
       expected_ = message.seq + 1;
       return Ack(message.seq);
     }
   }
 
+  // Journal-before-deliver: a crash between the two replays the
+  // record at recovery (delivery is redone, never lost); delivering
+  // first could ack an event no restart can reconstruct. A NACKed
+  // delivery below leaves a duplicate sequence in the journal when
+  // the producer retries — recovery's dedup cursor drops it.
+  const Status journaled = JournalLocked(message);
+  if (!journaled.ok()) {
+    if (m_nacks_) m_nacks_->Increment();
+    return Nack(message.seq, journaled);
+  }
   const Status delivered = target_->Consume(message.event);
   if (!delivered.ok()) {
     // Leave `expected_` where it is: the producer may retry the same
@@ -179,6 +290,7 @@ IngestSessionStats IngestSession::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   IngestSessionStats out = stats_;
   out.next_expected = expected_;
+  out.durable = options_.journal != nullptr;
   out.quarantined = quarantined_;
   out.ended = ended_;
   return out;
@@ -190,7 +302,9 @@ std::string IngestSession::StatsLine() const {
       "source=%s next=%llu received=%llu delivered=%llu duplicates=%llu "
       "gaps=%llu overload_nacks=%llu overload_shed=%llu "
       "shed_points=%llu shed_bytes=%llu "
-      "delivery_errors=%llu quarantined=%d ended=%d",
+      "delivery_errors=%llu budget_nacks=%llu budget_shed=%llu "
+      "durable=%d journaled=%llu journal_errors=%llu "
+      "quarantined=%d ended=%d",
       source_.c_str(), static_cast<unsigned long long>(s.next_expected),
       static_cast<unsigned long long>(s.received),
       static_cast<unsigned long long>(s.delivered),
@@ -201,6 +315,10 @@ std::string IngestSession::StatsLine() const {
       static_cast<unsigned long long>(s.overload_shed_points),
       static_cast<unsigned long long>(s.overload_shed_bytes),
       static_cast<unsigned long long>(s.delivery_errors),
+      static_cast<unsigned long long>(s.budget_nacks),
+      static_cast<unsigned long long>(s.budget_shed),
+      s.durable ? 1 : 0, static_cast<unsigned long long>(s.journaled),
+      static_cast<unsigned long long>(s.journal_errors),
       s.quarantined ? 1 : 0, s.ended ? 1 : 0);
 }
 

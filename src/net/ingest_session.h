@@ -44,6 +44,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -54,6 +55,8 @@
 #include "stream/operator.h"
 
 namespace geostreams {
+
+class SourceJournal;
 
 struct IngestSessionOptions {
   /// Quarantine the source after this long without an ingest message
@@ -78,6 +81,26 @@ struct IngestSessionOptions {
   /// replays, gaps, delivered events, shed events/points/bytes) in
   /// sync with its internal stats. Not owned; may be null.
   MetricsRegistry* metrics = nullptr;
+  /// Durable write-ahead journal for this source (not owned; null =
+  /// no durability). When set, every event that advances the expected
+  /// sequence — delivered OR deliberately shed — is appended (and
+  /// fsynced, per the journal's policy) BEFORE the ACK goes out; an
+  /// append failure NACKs Unavailable so the producer retries and the
+  /// ack keeps meaning "safe across a crash". The session also seeds
+  /// its expected sequence from the journal's recovered high-water
+  /// mark at construction.
+  SourceJournal* journal = nullptr;
+  /// Per-source admission budget: a token bucket refilled at
+  /// `source_rate_bytes_per_sec` with capacity `source_burst_bytes`
+  /// (0 capacity = one second of rate). 0 rate disables the budget.
+  /// Applies to point batches only (control events always pass) and
+  /// is checked before the server-wide MemoryTracker gate, with the
+  /// same OverloadPolicy treatment.
+  uint64_t source_rate_bytes_per_sec = 0;
+  uint64_t source_burst_bytes = 0;
+  /// Injectable millisecond clock for the token bucket (tests pin
+  /// time); null = steady_clock.
+  std::function<uint64_t()> now_ms;
 };
 
 struct IngestSessionStats {
@@ -90,7 +113,12 @@ struct IngestSessionStats {
   uint64_t overload_shed_points = 0;  // points inside shed batches
   uint64_t overload_shed_bytes = 0;   // approx bytes inside shed batches
   uint64_t delivery_errors = 0;  // chain refused the event; NACKed
+  uint64_t budget_nacks = 0;     // per-source budget refusals (kNack)
+  uint64_t budget_shed = 0;      // per-source budget drops (kShed)
+  uint64_t journaled = 0;        // records appended to the journal
+  uint64_t journal_errors = 0;   // appends that failed; NACKed
   uint64_t next_expected = 1;    // next in-order sequence number
+  bool durable = false;          // a journal gates the acks
   bool quarantined = false;
   bool ended = false;            // StreamEnd delivered
 };
@@ -137,6 +165,13 @@ class IngestSession {
   std::string Ack(uint64_t upto) const;
   std::string Nack(uint64_t seq, const Status& status) const;
 
+  /// Appends `message` to the journal (no-op without one). Must
+  /// succeed before any path advances expected_ / acks.
+  Status JournalLocked(const IngestMessage& message);
+  /// Token-bucket admission for a batch of `bytes`; true = admitted.
+  bool ConsumeBudgetLocked(uint64_t bytes);
+  uint64_t NowMsLocked() const;
+
   const std::string source_;
   EventSink* target_;
   const IngestSessionOptions options_;
@@ -149,6 +184,8 @@ class IngestSession {
   Status quarantine_error_ = Status::OK();
   Clock::time_point last_activity_ = Clock::now();
   IngestSessionStats stats_;
+  uint64_t budget_tokens_ = 0;       // bytes currently admissible
+  uint64_t budget_refilled_ms_ = 0;  // last refill timestamp
 
   /// Registry counters labeled {source=...}; null when no registry
   /// was supplied. Incremented on the Handle path (relaxed atomics).

@@ -11,6 +11,7 @@
 #include "net/socket_util.h"
 #include "net/wire_protocol.h"
 #include "server/dsms_server.h"
+#include "storage/journal.h"
 
 namespace geostreams {
 
@@ -93,7 +94,14 @@ class NetServer::Connection : public SessionHooks {
     return id;
   }
 
-  Result<uint64_t> AttachIngestSource(const std::string& source) override {
+  Result<uint64_t> AttachIngestSource(const std::string& source,
+                                      const std::string& token) override {
+    const std::string& required = server_->options_.ingest_auth_token;
+    if (!required.empty() && token != required) {
+      return Status::FailedPrecondition(
+          token.empty() ? "producer token required"
+                        : "producer token rejected");
+    }
     GEOSTREAMS_ASSIGN_OR_RETURN(std::shared_ptr<IngestSession> session,
                                 server_->IngestSessionFor(source));
     const uint64_t next = session->Attach();
@@ -348,6 +356,12 @@ Result<std::shared_ptr<IngestSession>> NetServer::IngestSessionFor(
   IngestSessionOptions opts = options_.ingest;
   if (opts.memory == nullptr) opts.memory = &dsms_->memory();
   if (opts.metrics == nullptr) opts.metrics = dsms_->metrics_registry();
+  if (opts.journal == nullptr && dsms_->journal() != nullptr) {
+    // No journal appender, no durable acks: refuse the attach rather
+    // than silently run this source without the contract.
+    GEOSTREAMS_ASSIGN_OR_RETURN(opts.journal,
+                                dsms_->journal()->SourceFor(source));
+  }
   auto session = std::make_shared<IngestSession>(source, sink, opts);
   ingest_sessions_.emplace(source, session);
   return session;

@@ -64,8 +64,14 @@ struct NetServerOptions {
   int poll_interval_ms = 50;
   /// Per-source ingest behavior (liveness, admission control). The
   /// `memory` field may stay null: the server's own MemoryTracker is
-  /// filled in when sessions are created.
+  /// filled in when sessions are created, as is the `journal` hook
+  /// when the engine runs with a durable journal.
   IngestSessionOptions ingest;
+  /// Shared producer credential: when non-empty, `ATTACH <source>
+  /// <token>` must present exactly this token (FailedPrecondition
+  /// otherwise — non-transient, so a misconfigured producer stops
+  /// instead of retrying forever). Client-plane verbs are unaffected.
+  std::string ingest_auth_token;
   /// Second listener dedicated to producers (-1 = none; 0 = ephemeral,
   /// see ingest_port()). Connections accepted there speak the same
   /// protocol — the split only separates producer traffic from client

@@ -158,7 +158,9 @@ Status ProducerClient::ConnectOnce() {
   flaky.seed = options_.flaky.seed + connection_seq_++;
   socket_ = std::make_unique<FlakySocket>(fd, flaky);
   decoder_ = FrameDecoder();
-  GEOSTREAMS_RETURN_IF_ERROR(SendLine("ATTACH " + options_.source));
+  std::string attach = "ATTACH " + options_.source;
+  if (!options_.auth_token.empty()) attach += " " + options_.auth_token;
+  GEOSTREAMS_RETURN_IF_ERROR(SendLine(attach));
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(
                          std::max(options_.connect_timeout_ms, 1));
@@ -321,6 +323,49 @@ Status ProducerClient::ResendUnacked() {
   return Status::OK();
 }
 
+Status ProducerClient::AwaitWindow() {
+  if (options_.window_messages == 0 ||
+      replay_.size() < options_.window_messages) {
+    return Status::OK();
+  }
+  ++stats_.window_stalls;
+  uint64_t progress_mark = acked_;
+  int stalls = 0;
+  while (replay_.size() >= options_.window_messages) {
+    if (!connected()) GEOSTREAMS_RETURN_IF_ERROR(Reconnect());
+    Status pumped = PumpAcks(options_.resend_timeout_ms);
+    if (!pumped.ok()) {
+      Close();
+      continue;
+    }
+    if (acked_ > progress_mark) {
+      progress_mark = acked_;
+      stalls = 0;
+      continue;
+    }
+    if (last_nack_.code() == StatusCode::kFailedPrecondition) {
+      Status verdict = last_nack_;
+      last_nack_ = Status::OK();
+      return verdict;
+    }
+    if (stalls >= std::max(options_.max_reconnect_attempts, 1)) {
+      return Status::ResourceExhausted(StringPrintf(
+          "ack window full: %zu in flight (cap %zu), no ack progress",
+          replay_.size(), options_.window_messages));
+    }
+    // A full resend window with no progress: the acks (or batches)
+    // were lost. Back off and re-send — duplicates are re-acked.
+    const uint32_t delay = BackoffDelayMs(
+        options_.backoff_initial_ms, options_.backoff_max_ms,
+        options_.backoff_jitter_ms, backoff_token_, stalls);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    ++stalls;
+    Status resent = ResendUnacked();
+    if (!resent.ok()) Close();
+  }
+  return Status::OK();
+}
+
 Status ProducerClient::SendWithRecovery(const std::vector<uint8_t>& bytes) {
   if (connected()) {
     Status sent = socket_->Write(bytes.data(), bytes.size());
@@ -364,6 +409,9 @@ Status ProducerClient::Publish(const StreamEvent& event) {
           replay_bytes_, options_.replay_max_bytes));
     }
   }
+  // The in-flight window: block for acks only when it is full, so a
+  // healthy link pipelines window_messages batches deep.
+  GEOSTREAMS_RETURN_IF_ERROR(AwaitWindow());
   // The sequence number is consumed only now: a publish that failed
   // above burned nothing, so the stream stays gapless.
   ++next_seq_;

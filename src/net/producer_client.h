@@ -71,6 +71,19 @@ struct ProducerClientOptions {
   /// Flush re-sends the unacked window after this long without ack
   /// progress (heals dropped acks without a reconnect).
   int resend_timeout_ms = 250;
+  /// Sliding ack window: maximum in-flight (sent but unacked)
+  /// messages. Publish keeps streaming while the window has room and
+  /// blocks — pumping acks, resending on stall, reconnecting on loss —
+  /// only when it fills, so a healthy link pipelines `window_messages`
+  /// batches deep instead of degrading to stop-and-wait. 0 = no
+  /// message-count bound (the byte-metered replay buffer still
+  /// bounds memory).
+  size_t window_messages = 64;
+  /// Shared producer credential appended to the ATTACH line
+  /// (`ATTACH <source> <token>`); empty sends a bare ATTACH. Servers
+  /// configured with a token reject mismatches with
+  /// FailedPrecondition (surfaced from Connect — not retried).
+  std::string auth_token;
   /// Fault injection applied to every connection this client opens
   /// (chaos tests). Default: no faults. The seed is varied per
   /// connection (seed + connection ordinal): identical schedules on
@@ -86,6 +99,7 @@ struct ProducerClientStats {
   uint64_t reconnects = 0;    // successful re-connections
   uint64_t nacks = 0;         // NACK lines processed
   uint64_t overload_nacks = 0;  // of those, admission refusals
+  uint64_t window_stalls = 0;   // publishes that blocked on the window
 };
 
 class ProducerClient : public EventSink {
@@ -156,6 +170,9 @@ class ProducerClient : public EventSink {
   Status SendWithRecovery(const std::vector<uint8_t>& bytes);
   /// Re-sends every unacked message in order.
   Status ResendUnacked();
+  /// Blocks until the in-flight window has room (acks arrive) or the
+  /// stall budget runs out. No-op when window_messages is 0.
+  Status AwaitWindow();
   /// Reads whatever response lines are available within `timeout_ms`
   /// and applies them. Transport errors propagate (callers decide
   /// whether to reconnect).

@@ -7,6 +7,7 @@
 #include "mqo/grid_index.h"
 #include "query/explain.h"
 #include "query/parser.h"
+#include "storage/dead_letter_store.h"
 
 namespace geostreams {
 
@@ -217,6 +218,30 @@ struct DsmsServer::QueryState {
 
 DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
   inline_traces_ = std::make_unique<TraceRing>(options_.trace_ring_capacity);
+  if (!options_.journal_dir.empty()) {
+    JournalOptions jopts = options_.journal;
+    jopts.dir = options_.journal_dir;
+    jopts.metrics = &metrics_registry_;
+    Result<std::unique_ptr<IngestJournal>> journal =
+        IngestJournal::Open(std::move(jopts));
+    if (!journal.ok()) {
+      // A constructor cannot fail; a server without durability beats
+      // no server, but say so at kError volume.
+      GEOSTREAMS_LOG(kError)
+          << "ingest journal disabled: could not open "
+          << options_.journal_dir << ": " << journal.status().ToString();
+    } else {
+      journal_ = std::move(*journal);
+      const JournalRecovery& rec = journal_->recovery();
+      GEOSTREAMS_LOG(kInfo)
+          << "ingest journal at " << options_.journal_dir << " ("
+          << FsyncPolicyName(journal_->options().fsync) << " fsync): "
+          << rec.sources.size() << " sources, " << rec.records_replayed
+          << " records recovered, " << rec.torn_tails
+          << " torn tails truncated (" << rec.torn_bytes << " bytes), "
+          << rec.corrupt_regions << " corrupt regions quarantined";
+    }
+  }
   if (options_.workers > 0) {
     SchedulerOptions sched;
     sched.policy = options_.worker_policy;
@@ -344,6 +369,30 @@ Status DsmsServer::RegisterStream(const GeoStreamDescriptor& desc) {
       options_.dead_letter_capacity, options_.dead_letter_max_bytes);
   source->boundary_dead_letters->BindMemoryTracker(&memory_,
                                                    "dlq." + desc.name());
+  if (journal_ != nullptr) {
+    // Durable dead letters: reload what past incarnations quarantined
+    // (including corrupt journal regions recovery found) and mirror
+    // every future push to disk.
+    Result<DeadLetterStore*> store = journal_->DeadLettersFor(desc.name());
+    if (!store.ok()) {
+      GEOSTREAMS_LOG(kWarning)
+          << "dead-letter store unavailable for " << desc.name() << ": "
+          << store.status().ToString();
+    } else {
+      source->boundary_dead_letters->Restore((*store)->recovered());
+      DeadLetterStore* dls = *store;
+      const std::string name = desc.name();
+      source->boundary_dead_letters->SetPersistHook(
+          [dls, name](const DeadLetter& letter) {
+            Status st = dls->Append(name, letter);
+            if (!st.ok()) {
+              GEOSTREAMS_LOG(kWarning)
+                  << "dead-letter persist failed for " << name << ": "
+                  << st.ToString();
+            }
+          });
+    }
+  }
   sources_.emplace(desc.name(), std::move(source));
   GEOSTREAMS_LOG(kInfo) << "registered stream " << desc.ToString();
   return Status::OK();

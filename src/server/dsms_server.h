@@ -28,6 +28,7 @@
 #include "query/analyzer.h"
 #include "query/optimizer.h"
 #include "query/planner.h"
+#include "storage/journal.h"
 #include "stream/memory_tracker.h"
 #include "stream/scheduler.h"
 
@@ -82,6 +83,18 @@ struct DsmsOptions {
   /// Finished traces retained per query pipeline (and in the shared
   /// inline ring when workers == 0).
   size_t trace_ring_capacity = 32;
+  /// Durable ingest journal directory. Empty = no durability (the PR 4
+  /// behavior: acks mean "delivered while the server lives"). Set, the
+  /// server opens an IngestJournal there at construction — recovering
+  /// committed records, truncating torn tails, quarantining mid-file
+  /// corruption into the persisted per-source dead-letter stores — and
+  /// every ingest ack is gated on the journal append (see
+  /// IngestSessionOptions::journal).
+  std::string journal_dir;
+  /// Journal tuning (fsync policy, segment rotation, retention). The
+  /// `dir` and `metrics` fields are overwritten from `journal_dir` and
+  /// the server's own registry.
+  JournalOptions journal;
 };
 
 class DsmsServer {
@@ -148,6 +161,11 @@ class DsmsServer {
   std::string RenderMetrics() { return metrics_registry_.RenderPrometheus(); }
   /// One-line operational summary (regional_server --metrics-interval).
   std::string SummaryLine() const;
+
+  /// The durable ingest journal; null when DsmsOptions::journal_dir is
+  /// empty or the journal failed to open (logged — the server then
+  /// runs without durability rather than not at all).
+  IngestJournal* journal() const { return journal_.get(); }
 
   /// Retained trace records for a query (`TRACE <id>`): with a worker
   /// pool, the query pipeline's own ring; on a synchronous server all
@@ -235,6 +253,9 @@ class DsmsServer {
   /// Declared before scheduler_ so the histograms the scheduler holds
   /// pointers into outlive the worker pool.
   MetricsRegistry metrics_registry_;
+  /// Declared after the registry (journal metrics point into it) and
+  /// before the scheduler/sources (sessions append through it).
+  std::unique_ptr<IngestJournal> journal_;
   std::atomic<uint64_t> next_trace_id_{1};
   /// Finished traces on a synchronous server (workers == 0), where
   /// there are no per-pipeline rings. Multi-producer safe.

@@ -1,0 +1,138 @@
+#include "storage/faulty_file.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace geostreams {
+
+namespace {
+
+bool Roll(uint64_t seed, uint64_t counter, double p) {
+  if (p <= 0.0) return false;
+  return HashToUnit(seed ^ (counter * 0x9e3779b97f4a7c15ULL)) < p;
+}
+
+}  // namespace
+
+/// Wraps the real file; consults the shared injector on every op.
+/// Namespace-scope (not anonymous) so the injector's friend
+/// declaration reaches it.
+class FaultyFile : public WritableFile {
+ public:
+  FaultyFile(FaultyFileInjector* injector, std::unique_ptr<WritableFile> real)
+      : injector_(injector), real_(std::move(real)) {}
+
+  Status Append(const uint8_t* data, size_t len) override;
+  Status Sync() override;
+  Status Close() override { return real_->Close(); }
+
+ private:
+  FaultyFileInjector* injector_;
+  std::unique_ptr<WritableFile> real_;
+};
+
+Status FaultyFile::Append(const uint8_t* data, size_t len) {
+  // Decide the fault under the injector lock, then write outside it.
+  enum class Fault { kNone, kShort, kFlip, kBudget };
+  Fault fault = Fault::kNone;
+  size_t persist = len;
+  size_t flip_at = 0;
+  uint64_t op = 0;
+  {
+    std::lock_guard<std::mutex> lock(injector_->mu_);
+    FaultyFileOptions& opts = injector_->options_;
+    op = ++injector_->op_counter_;
+    ++injector_->stats_.appends;
+    if (opts.fail_at_byte > 0 &&
+        injector_->stats_.bytes_written + len > opts.fail_at_byte) {
+      fault = Fault::kBudget;
+      persist = opts.fail_at_byte > injector_->stats_.bytes_written
+                    ? static_cast<size_t>(opts.fail_at_byte -
+                                          injector_->stats_.bytes_written)
+                    : 0;
+      injector_->stats_.budget_exhausted = true;
+    } else if (Roll(opts.seed, op * 3, opts.short_write_p)) {
+      fault = Fault::kShort;
+      // A torn prefix: at least one byte missing, possibly all.
+      persist = static_cast<size_t>(
+          HashToUnit(opts.seed ^ Mix64(op * 3 + 1)) * len);
+      ++injector_->stats_.short_writes;
+    } else if (Roll(opts.seed, op * 3 + 2, opts.bit_flip_p)) {
+      fault = Fault::kFlip;
+      flip_at = static_cast<size_t>(
+          HashToUnit(opts.seed ^ Mix64(op * 5 + 3)) * len);
+      if (flip_at >= len) flip_at = len > 0 ? len - 1 : 0;
+      ++injector_->stats_.bit_flips;
+    }
+    injector_->stats_.bytes_written += persist;
+  }
+  Status write_status = Status::OK();
+  if (fault == Fault::kFlip && len > 0) {
+    std::vector<uint8_t> flipped(data, data + len);
+    flipped[flip_at] ^= 0x40;
+    write_status = real_->Append(flipped.data(), flipped.size());
+  } else if (persist > 0) {
+    write_status = real_->Append(data, persist);
+  }
+  if (!write_status.ok()) return write_status;
+  switch (fault) {
+    case Fault::kNone:
+    case Fault::kFlip:  // corrupted silently — the write "succeeds"
+      return Status::OK();
+    case Fault::kShort:
+      return Status::IoError("injected short write");
+    case Fault::kBudget:
+      return Status::IoError("injected crash at byte budget");
+  }
+  return Status::OK();
+}
+
+Status FaultyFile::Sync() {
+  uint64_t op = 0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(injector_->mu_);
+    op = ++injector_->op_counter_;
+    if (injector_->options_.fail_at_byte > 0 &&
+        injector_->stats_.budget_exhausted) {
+      fail = true;  // "the machine is off" — nothing syncs any more
+    } else if (Roll(injector_->options_.seed, op * 7 + 5,
+                    injector_->options_.sync_fail_p)) {
+      fail = true;
+      ++injector_->stats_.sync_failures;
+    }
+  }
+  if (fail) return Status::IoError("injected fsync failure");
+  return real_->Sync();
+}
+
+FaultyFileInjector::FaultyFileInjector(FaultyFileOptions options)
+    : options_(options) {}
+
+WritableFileFactory FaultyFileInjector::Factory() {
+  return [this](const std::string& path)
+             -> Result<std::unique_ptr<WritableFile>> {
+    GEOSTREAMS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> real,
+                                OpenPosixWritable(path));
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<FaultyFile>(this, std::move(real)));
+  };
+}
+
+FaultyFileStats FaultyFileInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultyFileInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.short_write_p = 0.0;
+  options_.bit_flip_p = 0.0;
+  options_.sync_fail_p = 0.0;
+  options_.fail_at_byte = 0;
+  stats_.budget_exhausted = false;
+}
+
+}  // namespace geostreams

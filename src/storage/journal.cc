@@ -1,0 +1,765 @@
+#include "storage/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/dead_letter_store.h"
+
+namespace geostreams {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSegmentPrefix = "seg-";
+constexpr const char* kSegmentSuffix = ".gsj";
+constexpr const char* kNameFile = "name";
+constexpr const char* kDeadLetterFile = "dead_letters.gsd";
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t GetU32LE(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint16_t GetU16LE(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+/// Cheap pre-check of a possible record at `p` (header shape only —
+/// full CRC validation happens in DecodeIngestMessage).
+bool PlausibleRecordHeader(const uint8_t* p, size_t available) {
+  if (available < kWireHeaderSize) return false;
+  if (std::memcmp(p, kWireMagic, sizeof(kWireMagic)) != 0) return false;
+  if (p[4] != static_cast<uint8_t>(MessageType::kIngest)) return false;
+  if (GetU16LE(p + 6) != kWireVersion) return false;
+  if (GetU32LE(p + 8) > kMaxWirePayload) return false;
+  return true;
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const uint8_t* data, size_t len) override {
+    size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd_, data + off, len - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(StringPrintf("write %s: %s", path_.c_str(),
+                                            std::strerror(errno)));
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IoError(StringPrintf("fsync %s: %s", path_.c_str(),
+                                          std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) {
+      return Status::IoError(StringPrintf("close %s: %s", path_.c_str(),
+                                          std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+Status ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(StringPrintf("open %s: %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(size > 0 ? static_cast<size_t>(size) : 0);
+  if (!out->empty() && std::fread(out->data(), 1, out->size(), f) !=
+                           out->size()) {
+    std::fclose(f);
+    return Status::IoError("short read of " + path);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+/// One segment file, ordered by the start sequence in its name.
+struct SegmentRef {
+  std::string path;
+  uint64_t start_seq = 0;
+};
+
+/// Parses "seg-<digits>.gsj"; false for anything else in the dir.
+bool ParseSegmentName(const std::string& name, uint64_t* start_seq) {
+  const size_t prefix = std::strlen(kSegmentPrefix);
+  const size_t suffix = std::strlen(kSegmentSuffix);
+  if (name.size() <= prefix + suffix) return false;
+  if (name.rfind(kSegmentPrefix, 0) != 0) return false;
+  if (name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix; i < name.size() - suffix; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *start_seq = value;
+  return true;
+}
+
+Result<std::vector<SegmentRef>> ListSegments(const std::string& dir) {
+  std::vector<SegmentRef> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t start = 0;
+    const std::string name = entry.path().filename().string();
+    if (!ParseSegmentName(name, &start)) continue;
+    segments.push_back({entry.path().string(), start});
+  }
+  if (ec) {
+    return Status::IoError("list " + dir + ": " + ec.message());
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentRef& a, const SegmentRef& b) {
+              return a.start_seq < b.start_seq;
+            });
+  return segments;
+}
+
+/// A mid-file region the scanner could not decode.
+struct CorruptRegion {
+  std::string segment;  // file name
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  std::string reason;
+};
+
+struct ScanOutcome {
+  SourceRecovery recovery;
+  std::vector<CorruptRegion> corrupt;
+  /// Set when the last segment ended in an undecodable tail:
+  /// truncating `torn_path` to `torn_offset` removes it.
+  std::string torn_path;
+  uint64_t torn_offset = 0;
+};
+
+/// Scans the segments of one source in order, delivering committed
+/// records (seq-deduplicated) to `fn`. Shared by recovery (which then
+/// truncates/quarantines what the outcome reports) and Replay (which
+/// only reads).
+Result<ScanOutcome> ScanSource(const std::vector<SegmentRef>& segments,
+                               const std::string& source,
+                               const std::function<void(const IngestMessage&)>&
+                                   fn) {
+  ScanOutcome out;
+  uint64_t max_seq = 0;
+  for (size_t si = 0; si < segments.size(); ++si) {
+    const bool last_segment = (si + 1 == segments.size());
+    std::vector<uint8_t> data;
+    GEOSTREAMS_RETURN_IF_ERROR(ReadWholeFile(segments[si].path, &data));
+    const std::string file_name =
+        fs::path(segments[si].path).filename().string();
+    size_t off = 0;
+    while (off < data.size()) {
+      std::string reason;
+      size_t record_len = 0;
+      IngestMessage message;
+      bool ok = false;
+      if (!PlausibleRecordHeader(data.data() + off, data.size() - off)) {
+        reason = data.size() - off < kWireHeaderSize ? "truncated header"
+                                                     : "bad record header";
+      } else {
+        const size_t len = kWireHeaderSize + GetU32LE(data.data() + off + 8);
+        if (off + len > data.size()) {
+          reason = "truncated payload";
+        } else {
+          Result<IngestMessage> decoded =
+              DecodeIngestMessage(data.data() + off, len);
+          if (!decoded.ok()) {
+            reason = decoded.status().message();
+          } else if (decoded->source != source) {
+            reason = "record names source '" + decoded->source + "'";
+          } else {
+            ok = true;
+            record_len = len;
+            message = std::move(*decoded);
+          }
+        }
+      }
+      if (ok) {
+        if (message.seq <= max_seq) {
+          // A re-append after a NACKed delivery: the first committed
+          // copy already replayed.
+          ++out.recovery.duplicate_records;
+        } else {
+          max_seq = message.seq;
+          ++out.recovery.records_replayed;
+          out.recovery.bytes_replayed += record_len;
+          if (fn) fn(message);
+        }
+        off += record_len;
+        continue;
+      }
+      // Undecodable bytes at `off`. Resync: the next offset from
+      // which a record decodes cleanly ends the damaged region.
+      size_t resync = data.size();
+      for (size_t probe = off + 1; probe + kWireHeaderSize <= data.size();
+           ++probe) {
+        const uint8_t* p =
+            static_cast<const uint8_t*>(std::memchr(
+                data.data() + probe, kWireMagic[0], data.size() - probe));
+        if (p == nullptr) break;
+        probe = static_cast<size_t>(p - data.data());
+        if (PlausibleRecordHeader(p, data.size() - probe)) {
+          const size_t len = kWireHeaderSize + GetU32LE(p + 8);
+          if (probe + len <= data.size() &&
+              DecodeIngestMessage(p, len).ok()) {
+            resync = probe;
+            break;
+          }
+        }
+      }
+      if (resync == data.size() && last_segment) {
+        // Nothing valid follows in the whole journal: this is the
+        // half-written append the crash interrupted. It was never
+        // acked, so cutting it loses nothing.
+        out.recovery.torn_tail = true;
+        out.recovery.torn_bytes = data.size() - off;
+        out.torn_path = segments[si].path;
+        out.torn_offset = off;
+        break;
+      }
+      // Valid records follow (here or in a later segment): the region
+      // WAS acked once and is now unreadable — quarantine, loudly.
+      ++out.recovery.corrupt_regions;
+      out.recovery.corrupt_bytes += resync - off;
+      out.corrupt.push_back(
+          {file_name, off, resync - off,
+           StringPrintf("journal %s corrupt at offset %zu (%zu bytes "
+                        "quarantined): %s",
+                        file_name.c_str(), off, resync - off,
+                        reason.c_str())});
+      off = resync;
+    }
+  }
+  // An empty (or fully torn) journal still knows its high-water mark
+  // from the newest segment's file name: rotation names segments by
+  // the next sequence they will hold.
+  uint64_t floor_seq = 1;
+  if (!segments.empty()) floor_seq = segments.back().start_seq;
+  out.recovery.next_seq = std::max(max_seq + 1, floor_seq);
+  return out;
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kPerRecord: return "per-record";
+    case FsyncPolicy::kGroupCommit: return "group-commit";
+    case FsyncPolicy::kOff: return "off";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<WritableFile>> OpenPosixWritable(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError(StringPrintf("open %s: %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<PosixWritableFile>(fd, path));
+}
+
+// ---------------------------------------------------------------------------
+// SourceJournal
+
+SourceJournal::SourceJournal(IngestJournal* owner, std::string source,
+                             std::string dir, SourceRecovery recovered)
+    : owner_(owner), source_(std::move(source)), dir_(std::move(dir)) {
+  next_seq_ = recovered.next_seq;
+  stats_.recovered_records = recovered.records_replayed;
+  stats_.next_seq = next_seq_;
+  last_sync_ms_ = NowMs();
+}
+
+uint64_t SourceJournal::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+SourceJournalStats SourceJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SourceJournalStats out = stats_;
+  out.active_segment_bytes = active_bytes_;
+  out.next_seq = next_seq_;
+  return out;
+}
+
+Status SourceJournal::EnsureOpenLocked() {
+  if (active_ != nullptr) return Status::OK();
+  // Resume the newest recovered segment when there is one (recovery
+  // already truncated any torn tail off it); otherwise start a fresh
+  // segment named by the next sequence number it will hold.
+  GEOSTREAMS_ASSIGN_OR_RETURN(std::vector<SegmentRef> segments,
+                              ListSegments(dir_));
+  if (!segments.empty()) {
+    std::error_code ec;
+    const uint64_t size = fs::file_size(segments.back().path, ec);
+    if (!ec && size < owner_->options_.segment_max_bytes) {
+      active_path_ = segments.back().path;
+      active_bytes_ = size;
+      GEOSTREAMS_ASSIGN_OR_RETURN(active_, owner_->OpenFile(active_path_));
+      return Status::OK();
+    }
+  }
+  active_path_ = dir_ + "/" + kSegmentPrefix +
+                 StringPrintf("%020llu",
+                              static_cast<unsigned long long>(next_seq_)) +
+                 kSegmentSuffix;
+  active_bytes_ = 0;
+  GEOSTREAMS_ASSIGN_OR_RETURN(active_, owner_->OpenFile(active_path_));
+  return Status::OK();
+}
+
+Status SourceJournal::SyncLocked() {
+  if (active_ == nullptr || !dirty_) return Status::OK();
+  const auto t0 = std::chrono::steady_clock::now();
+  GEOSTREAMS_RETURN_IF_ERROR(active_->Sync());
+  const uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  dirty_ = false;
+  last_sync_ms_ = NowMs();
+  ++stats_.fsyncs;
+  if (owner_->m_fsyncs_) owner_->m_fsyncs_->Increment();
+  if (owner_->m_fsync_latency_us_) owner_->m_fsync_latency_us_->Observe(us);
+  return Status::OK();
+}
+
+Status SourceJournal::RotateLocked() {
+  GEOSTREAMS_RETURN_IF_ERROR(SyncLocked());
+  GEOSTREAMS_RETURN_IF_ERROR(active_->Close());
+  active_.reset();
+  active_bytes_ = 0;
+  ++stats_.rotations;
+  if (owner_->m_rotations_) owner_->m_rotations_->Increment();
+  ApplyRetentionLocked();
+  return EnsureOpenLocked();
+}
+
+void SourceJournal::ApplyRetentionLocked() {
+  const uint64_t max_bytes = owner_->options_.retention_max_bytes;
+  const uint64_t max_age_ms = owner_->options_.retention_max_age_ms;
+  if (max_bytes == 0 && max_age_ms == 0) return;
+  Result<std::vector<SegmentRef>> segments = ListSegments(dir_);
+  if (!segments.ok()) return;
+  uint64_t total = 0;
+  std::vector<uint64_t> sizes(segments->size(), 0);
+  std::vector<int64_t> age_ms(segments->size(), 0);
+  const time_t now = ::time(nullptr);
+  for (size_t i = 0; i < segments->size(); ++i) {
+    struct stat st{};
+    if (::stat((*segments)[i].path.c_str(), &st) == 0) {
+      sizes[i] = static_cast<uint64_t>(st.st_size);
+      age_ms[i] = static_cast<int64_t>(now - st.st_mtime) * 1000;
+    }
+    total += sizes[i];
+  }
+  // Oldest first; the newest segment (the active one) never retires —
+  // its name is what preserves the seq high-water mark.
+  for (size_t i = 0; i + 1 < segments->size(); ++i) {
+    const bool over_bytes = max_bytes > 0 && total > max_bytes;
+    const bool over_age =
+        max_age_ms > 0 && age_ms[i] > static_cast<int64_t>(max_age_ms);
+    if (!over_bytes && !over_age) continue;
+    std::error_code ec;
+    if (fs::remove((*segments)[i].path, ec)) {
+      total -= sizes[i];
+      ++stats_.segments_retired;
+      if (owner_->m_retired_) owner_->m_retired_->Increment();
+    }
+  }
+}
+
+Status SourceJournal::Append(const IngestMessage& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status st = EnsureOpenLocked();
+  if (st.ok() && active_bytes_ >= owner_->options_.segment_max_bytes) {
+    st = RotateLocked();
+  }
+  if (st.ok()) {
+    const std::vector<uint8_t> record = EncodeIngestMessage(message);
+    st = active_->Append(record.data(), record.size());
+    if (st.ok()) {
+      dirty_ = true;
+      active_bytes_ += record.size();
+      ++stats_.appends;
+      stats_.append_bytes += record.size();
+      if (owner_->m_appends_) owner_->m_appends_->Increment();
+      if (owner_->m_append_bytes_) {
+        owner_->m_append_bytes_->Increment(record.size());
+      }
+      switch (owner_->options_.fsync) {
+        case FsyncPolicy::kPerRecord:
+          st = SyncLocked();
+          break;
+        case FsyncPolicy::kGroupCommit:
+          if (NowMs() - last_sync_ms_ >=
+              owner_->options_.group_commit_interval_ms) {
+            st = SyncLocked();
+          }
+          break;
+        case FsyncPolicy::kOff:
+          break;
+      }
+    }
+  }
+  if (!st.ok()) {
+    ++stats_.append_errors;
+    if (owner_->m_append_errors_) owner_->m_append_errors_->Increment();
+    // The write may have landed partially (a torn record recovery
+    // will truncate). Drop the handle: the next append reopens and
+    // appends after whatever bytes actually reached the file, and the
+    // record is re-appended whole when the producer retries.
+    if (active_ != nullptr) {
+      Status ignored = active_->Close();
+      (void)ignored;
+      active_.reset();
+    }
+    return st;
+  }
+  if (message.seq >= next_seq_) next_seq_ = message.seq + 1;
+  return Status::OK();
+}
+
+Status SourceJournal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+// ---------------------------------------------------------------------------
+// IngestJournal
+
+IngestJournal::IngestJournal(JournalOptions options)
+    : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    MetricsRegistry& reg = *options_.metrics;
+    m_appends_ = reg.GetCounter("geostreams_journal_appends_total",
+                                "Records appended to the ingest journal");
+    m_append_bytes_ =
+        reg.GetCounter("geostreams_journal_append_bytes_total",
+                       "Bytes appended to the ingest journal");
+    m_append_errors_ = reg.GetCounter(
+        "geostreams_journal_append_errors_total",
+        "Journal appends that failed (the batch was NACKed, not acked)");
+    m_fsyncs_ = reg.GetCounter("geostreams_journal_fsyncs_total",
+                               "fsync calls issued by the journal");
+    m_rotations_ = reg.GetCounter("geostreams_journal_rotations_total",
+                                  "Segment rotations");
+    m_retired_ = reg.GetCounter(
+        "geostreams_journal_segments_retired_total",
+        "Closed segments deleted by byte/age retention");
+    m_recovered_records_ = reg.GetCounter(
+        "geostreams_journal_recovered_records_total",
+        "Committed records replayed by startup recovery");
+    m_recovered_duplicates_ = reg.GetCounter(
+        "geostreams_journal_recovered_duplicates_total",
+        "Duplicate sequence numbers skipped by startup recovery");
+    m_torn_tails_ = reg.GetCounter(
+        "geostreams_journal_torn_tails_total",
+        "Half-written tail records truncated by startup recovery");
+    m_torn_bytes_ = reg.GetCounter(
+        "geostreams_journal_torn_bytes_total",
+        "Bytes truncated off torn journal tails");
+    m_corrupt_regions_ = reg.GetCounter(
+        "geostreams_journal_corrupt_regions_total",
+        "Mid-file corrupt regions quarantined into dead-letter stores");
+    m_fsync_latency_us_ = reg.GetHistogram(
+        "geostreams_journal_fsync_latency_us",
+        "Latency of journal fsync calls (gates acks under kPerRecord)");
+  }
+}
+
+IngestJournal::~IngestJournal() {
+  Status ignored = SyncAll();
+  (void)ignored;
+}
+
+Result<std::unique_ptr<WritableFile>> IngestJournal::OpenFile(
+    const std::string& path) {
+  if (options_.file_factory) return options_.file_factory(path);
+  return OpenPosixWritable(path);
+}
+
+std::string IngestJournal::SourceDirName(const std::string& source) {
+  // Source names are single tokens (ParseSourceName), but the
+  // filesystem is stricter still: keep the common safe set and mangle
+  // the rest, suffixing a hash so distinct sources stay distinct.
+  std::string safe;
+  bool mangled = false;
+  for (char c : source) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                      c == '_';
+    safe.push_back(keep ? c : '_');
+    mangled = mangled || !keep;
+  }
+  if (safe.empty() || mangled) {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (char c : source) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    safe += StringPrintf("-%08llx",
+                         static_cast<unsigned long long>(h & 0xffffffffull));
+  }
+  return safe;
+}
+
+Result<std::unique_ptr<IngestJournal>> IngestJournal::Open(
+    JournalOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("journal directory must be non-empty");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("create " + options.dir + ": " + ec.message());
+  }
+  std::unique_ptr<IngestJournal> journal(
+      new IngestJournal(std::move(options)));
+  GEOSTREAMS_RETURN_IF_ERROR(journal->RecoverAll());
+  return journal;
+}
+
+Status IngestJournal::RecoverAll() {
+  std::error_code ec;
+  std::vector<std::string> source_dirs;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    if (entry.is_directory()) {
+      source_dirs.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) {
+    return Status::IoError("list " + options_.dir + ": " + ec.message());
+  }
+  std::sort(source_dirs.begin(), source_dirs.end());
+  for (const std::string& dir_name : source_dirs) {
+    GEOSTREAMS_RETURN_IF_ERROR(RecoverSource(dir_name));
+  }
+  if (m_recovered_records_) {
+    m_recovered_records_->Increment(recovery_.records_replayed);
+  }
+  if (m_torn_tails_) m_torn_tails_->Increment(recovery_.torn_tails);
+  if (m_torn_bytes_) m_torn_bytes_->Increment(recovery_.torn_bytes);
+  if (m_corrupt_regions_) {
+    m_corrupt_regions_->Increment(recovery_.corrupt_regions);
+  }
+  return Status::OK();
+}
+
+Status IngestJournal::RecoverSource(const std::string& source_dir_name) {
+  const std::string dir = options_.dir + "/" + source_dir_name;
+  // The marker file holds the original source name (directory names
+  // are sanitized); fall back to the directory name for journals
+  // written by hand or by older layouts.
+  std::string source = source_dir_name;
+  {
+    std::vector<uint8_t> bytes;
+    if (ReadWholeFile(dir + "/" + kNameFile, &bytes).ok() && !bytes.empty()) {
+      source.assign(bytes.begin(), bytes.end());
+      source = std::string(StripWhitespace(source));
+    }
+  }
+  GEOSTREAMS_ASSIGN_OR_RETURN(std::vector<SegmentRef> segments,
+                              ListSegments(dir));
+  GEOSTREAMS_ASSIGN_OR_RETURN(ScanOutcome outcome,
+                              ScanSource(segments, source, nullptr));
+  if (outcome.recovery.torn_tail) {
+    std::error_code ec;
+    fs::resize_file(outcome.torn_path, outcome.torn_offset, ec);
+    if (ec) {
+      return Status::IoError("truncate " + outcome.torn_path + ": " +
+                             ec.message());
+    }
+    ++recovery_.torn_tails;
+    GEOSTREAMS_LOG(kWarning)
+        << "journal source '" << source << "': truncated torn tail of "
+        << outcome.recovery.torn_bytes << " bytes at offset "
+        << outcome.torn_offset << " of " << outcome.torn_path;
+  }
+  if (m_recovered_duplicates_) {
+    m_recovered_duplicates_->Increment(outcome.recovery.duplicate_records);
+  }
+  for (const CorruptRegion& region : outcome.corrupt) {
+    GEOSTREAMS_LOG(kError)
+        << "journal source '" << source << "': " << region.reason;
+    Result<DeadLetterStore*> store = DeadLettersFor(source);
+    if (store.ok()) {
+      Status st = (*store)->AppendQuarantine(source, region.reason);
+      if (!st.ok()) {
+        GEOSTREAMS_LOG(kWarning)
+            << "could not persist quarantine record: " << st.ToString();
+      }
+    }
+  }
+  recovery_.records_replayed += outcome.recovery.records_replayed;
+  recovery_.torn_bytes += outcome.recovery.torn_bytes;
+  recovery_.corrupt_regions += outcome.recovery.corrupt_regions;
+  recovery_.sources[source] = outcome.recovery;
+  return Status::OK();
+}
+
+Result<SourceJournal*> IngestJournal::SourceFor(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source);
+  if (it != sources_.end()) return it->second.get();
+  const std::string dir = options_.dir + "/" + SourceDirName(source);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("create " + dir + ": " + ec.message());
+  }
+  const std::string name_path = dir + "/" + kNameFile;
+  if (!fs::exists(name_path, ec)) {
+    GEOSTREAMS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                                OpenPosixWritable(name_path));
+    const std::string line = source + "\n";
+    GEOSTREAMS_RETURN_IF_ERROR(
+        f->Append(reinterpret_cast<const uint8_t*>(line.data()),
+                  line.size()));
+    GEOSTREAMS_RETURN_IF_ERROR(f->Close());
+  }
+  SourceRecovery recovered;
+  auto rec_it = recovery_.sources.find(source);
+  if (rec_it != recovery_.sources.end()) recovered = rec_it->second;
+  std::unique_ptr<SourceJournal> journal(
+      new SourceJournal(this, source, dir, recovered));
+  SourceJournal* out = journal.get();
+  sources_.emplace(source, std::move(journal));
+  return out;
+}
+
+Result<DeadLetterStore*> IngestJournal::DeadLettersFor(
+    const std::string& source) {
+  // Note: called from RecoverSource (single-threaded, inside Open)
+  // and from RegisterStream later; mu_ is not held on either path.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dead_letters_.find(source);
+  if (it != dead_letters_.end()) return it->second.get();
+  const std::string dir = options_.dir + "/" + SourceDirName(source);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("create " + dir + ": " + ec.message());
+  }
+  WritableFileFactory factory = options_.file_factory;
+  if (!factory) factory = OpenPosixWritable;
+  GEOSTREAMS_ASSIGN_OR_RETURN(
+      std::unique_ptr<DeadLetterStore> store,
+      DeadLetterStore::Open(dir + "/" + kDeadLetterFile, factory));
+  DeadLetterStore* out = store.get();
+  dead_letters_.emplace(source, std::move(store));
+  return out;
+}
+
+Status IngestJournal::Replay(
+    const std::string& source,
+    const std::function<void(const IngestMessage&)>& fn) const {
+  const std::string dir = options_.dir + "/" + SourceDirName(source);
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    return Status::NotFound("no journal for source " + source);
+  }
+  GEOSTREAMS_ASSIGN_OR_RETURN(std::vector<SegmentRef> segments,
+                              ListSegments(dir));
+  GEOSTREAMS_ASSIGN_OR_RETURN(ScanOutcome outcome,
+                              ScanSource(segments, source, fn));
+  (void)outcome;
+  return Status::OK();
+}
+
+SourceJournalStats IngestJournal::TotalStats() const {
+  std::vector<SourceJournal*> sources;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sources.reserve(sources_.size());
+    for (const auto& [name, journal] : sources_) {
+      sources.push_back(journal.get());
+    }
+  }
+  SourceJournalStats total;
+  total.next_seq = 0;
+  for (SourceJournal* journal : sources) {
+    const SourceJournalStats s = journal->stats();
+    total.appends += s.appends;
+    total.append_bytes += s.append_bytes;
+    total.append_errors += s.append_errors;
+    total.fsyncs += s.fsyncs;
+    total.rotations += s.rotations;
+    total.segments_retired += s.segments_retired;
+    total.active_segment_bytes += s.active_segment_bytes;
+    total.recovered_records += s.recovered_records;
+  }
+  return total;
+}
+
+Status IngestJournal::SyncAll() {
+  std::vector<SourceJournal*> sources;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sources.reserve(sources_.size());
+    for (const auto& [name, journal] : sources_) {
+      sources.push_back(journal.get());
+    }
+  }
+  Status first = Status::OK();
+  for (SourceJournal* journal : sources) {
+    Status st = journal->Sync();
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+}  // namespace geostreams

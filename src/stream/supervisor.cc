@@ -65,6 +65,7 @@ void DeadLetterQueue::Push(const StreamEvent& event, const Status& status) {
   entry.error = status.ToString();
   entry.event = event;
   const uint64_t entry_bytes = ApproxEventBytes(event);
+  if (persist_hook_) persist_hook_(entry);
   ring_.push_back(std::move(entry));
   bytes_ += entry_bytes;
   while (!ring_.empty() &&
@@ -77,6 +78,25 @@ void DeadLetterQueue::Push(const StreamEvent& event, const Status& status) {
 
 std::vector<DeadLetter> DeadLetterQueue::Snapshot() const {
   return std::vector<DeadLetter>(ring_.begin(), ring_.end());
+}
+
+void DeadLetterQueue::SetPersistHook(
+    std::function<void(const DeadLetter&)> hook) {
+  persist_hook_ = std::move(hook);
+}
+
+void DeadLetterQueue::Restore(const std::vector<DeadLetter>& letters) {
+  for (const DeadLetter& letter : letters) {
+    ring_.push_back(letter);
+    bytes_ += ApproxEventBytes(letter.event);
+    if (letter.ordinal >= total_) total_ = letter.ordinal + 1;
+    while (!ring_.empty() &&
+           (ring_.size() > max_events_ || bytes_ > max_bytes_)) {
+      bytes_ -= ApproxEventBytes(ring_.front().event);
+      ring_.pop_front();
+    }
+  }
+  ReportBytes();
 }
 
 void DeadLetterQueue::Clear() {

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,18 @@ class DeadLetterQueue {
   /// Copies the retained entries, oldest first.
   std::vector<DeadLetter> Snapshot() const;
 
+  /// Mirrors every Push (with its assigned ordinal) to `hook` — the
+  /// durable-store bridge. Called synchronously under the caller's
+  /// locking discipline; a null hook disables mirroring.
+  void SetPersistHook(std::function<void(const DeadLetter&)> hook);
+
+  /// Re-seeds the queue from letters recovered off disk: refills the
+  /// ring (oldest first, caps applied) and advances the ordinal
+  /// counter past the highest restored ordinal so post-restart pushes
+  /// keep the sequence. The persist hook is NOT invoked for restored
+  /// entries (they are already on disk).
+  void Restore(const std::vector<DeadLetter>& letters);
+
   /// Entries currently retained / ever pushed / retained bytes.
   size_t size() const { return ring_.size(); }
   uint64_t total_pushed() const { return total_; }
@@ -111,6 +124,7 @@ class DeadLetterQueue {
 
   size_t max_events_;
   size_t max_bytes_;
+  std::function<void(const DeadLetter&)> persist_hook_;
   MemoryTracker* tracker_ = nullptr;
   std::string owner_;
   std::deque<DeadLetter> ring_;

@@ -19,6 +19,8 @@
 
 #include "common/string_util.h"
 
+#include <filesystem>
+
 #include "net/flaky_socket.h"
 #include "net/geostreams_client.h"
 #include "net/ingest_session.h"
@@ -27,6 +29,8 @@
 #include "net/socket_util.h"
 #include "net/wire_protocol.h"
 #include "server/dsms_server.h"
+#include "storage/faulty_file.h"
+#include "storage/journal.h"
 #include "stream/memory_tracker.h"
 #include "tests/test_util.h"
 
@@ -1059,6 +1063,323 @@ TEST(ProducerE2eTest, ReconnectResumesFromServerAck) {
   EXPECT_EQ(stats->delivered, 2u);
   EXPECT_EQ(stats->duplicates, 0u);
   EXPECT_EQ(stats->next_expected, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-source admission budgets (token bucket, injectable clock)
+
+/// A fresh directory under the test temp root, unique per test.
+std::string FreshJournalDir(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + "gsingest-" +
+                    info->test_suite_name() + "-" + info->name() + "-" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(IngestSessionTest, PerSourceBudgetNacksOverRateAndRefills) {
+  AuditSink sink;
+  const StreamEvent sample = BatchEvent(0);
+  const uint64_t batch_bytes = sample.batch->ApproxBytes();
+
+  uint64_t now = 1000;
+  IngestSessionOptions options;
+  options.source_rate_bytes_per_sec = batch_bytes;  // one batch/second
+  options.source_burst_bytes = batch_bytes;         // bucket: one batch
+  options.now_ms = [&now] { return now; };
+  IngestSession session("budget.src", &sink, options);
+  session.Attach();
+
+  // The burst admits the first batch and drains the bucket.
+  EXPECT_EQ(session.Handle(MakeIngest("budget.src", 1, BatchEvent(0))),
+            "ACK budget.src 1");
+  // Same instant: no tokens — refused, sequence NOT consumed.
+  const std::string refused =
+      session.Handle(MakeIngest("budget.src", 2, BatchEvent(1)));
+  EXPECT_TRUE(StartsWith(refused, "NACK budget.src 2 ResourceExhausted"))
+      << refused;
+  EXPECT_NE(refused.find("per-source budget"), std::string::npos);
+  // Control events are never budgeted.
+  EXPECT_EQ(session.Handle(MakeIngest("budget.src", 2,
+                                      StreamEvent::FrameBegin(SectorInfo(0)))),
+            "ACK budget.src 2");
+  // One second later the bucket refilled: the retry is admitted.
+  now += 1000;
+  EXPECT_EQ(session.Handle(MakeIngest("budget.src", 3, BatchEvent(1))),
+            "ACK budget.src 3");
+
+  const IngestSessionStats stats = session.Stats();
+  EXPECT_EQ(stats.budget_nacks, 1u);
+  EXPECT_EQ(stats.budget_shed, 0u);
+  EXPECT_EQ(stats.delivered, 3u);
+  EXPECT_NE(session.StatsLine().find("budget_nacks=1"), std::string::npos)
+      << session.StatsLine();
+}
+
+TEST(IngestSessionTest, PerSourceBudgetShedAcksDropsAndStaysDurable) {
+  const std::string dir = FreshJournalDir("shed");
+  JournalOptions jopts;
+  jopts.dir = dir;
+  jopts.fsync = FsyncPolicy::kOff;
+  auto journal = IngestJournal::Open(jopts);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  auto sj = (*journal)->SourceFor("shed.src");
+  ASSERT_TRUE(sj.ok()) << sj.status().ToString();
+
+  AuditSink sink;
+  const uint64_t batch_bytes = BatchEvent(0).batch->ApproxBytes();
+  uint64_t now = 1000;
+  IngestSessionOptions options;
+  options.source_rate_bytes_per_sec = batch_bytes;
+  options.source_burst_bytes = batch_bytes;
+  options.overload_policy = IngestSessionOptions::OverloadPolicy::kShed;
+  options.now_ms = [&now] { return now; };
+  options.journal = *sj;
+  IngestSession session("shed.src", &sink, options);
+  session.Attach();
+
+  EXPECT_EQ(session.Handle(MakeIngest("shed.src", 1, BatchEvent(0))),
+            "ACK shed.src 1");
+  // Over budget under kShed: ACKed (producer progresses) but dropped
+  // before the chain — and still journaled, because the ack is a
+  // durable promise regardless of delivery.
+  EXPECT_EQ(session.Handle(MakeIngest("shed.src", 2, BatchEvent(1))),
+            "ACK shed.src 2");
+  const IngestSessionStats stats = session.Stats();
+  EXPECT_EQ(stats.budget_shed, 1u);
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_EQ(stats.journaled, 2u);
+  EXPECT_TRUE(stats.durable);
+  EXPECT_EQ(sink.events(), 1u);
+  EXPECT_NE(session.StatsLine().find("budget_shed=1"), std::string::npos);
+  EXPECT_NE(session.StatsLine().find("durable=1"), std::string::npos);
+  // The shed batch's sequence is settled forever: a restart recovers
+  // next_seq past it.
+  EXPECT_EQ((*sj)->next_seq(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Durable sessions: journal-gated acks
+
+TEST(IngestSessionTest, JournalGatesAcksAndSeedsExpectedAcrossRestart) {
+  const std::string dir = FreshJournalDir("durable");
+  JournalOptions jopts;
+  jopts.dir = dir;
+  {
+    auto journal = IngestJournal::Open(jopts);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    auto sj = (*journal)->SourceFor("d.src");
+    ASSERT_TRUE(sj.ok()) << sj.status().ToString();
+    AuditSink sink;
+    IngestSessionOptions options;
+    options.journal = *sj;
+    IngestSession session("d.src", &sink, options);
+    EXPECT_EQ(session.Attach(), 1u);
+    EXPECT_EQ(session.Handle(MakeIngest("d.src", 1, BatchEvent(0))),
+              "ACK d.src 1");
+    EXPECT_EQ(session.Handle(MakeIngest("d.src", 2, BatchEvent(1))),
+              "ACK d.src 2");
+    const IngestSessionStats stats = session.Stats();
+    EXPECT_TRUE(stats.durable);
+    EXPECT_EQ(stats.journaled, 2u);
+    EXPECT_EQ(stats.journal_errors, 0u);
+    EXPECT_EQ((*sj)->stats().appends, 2u);
+    EXPECT_EQ((*sj)->stats().fsyncs, 2u);  // kPerRecord gates each ack
+    EXPECT_NE(session.StatsLine().find("durable=1"), std::string::npos);
+    EXPECT_NE(session.StatsLine().find("journaled=2"), std::string::npos);
+  }
+
+  // "Crash" + restart: a fresh journal recovers the high-water mark
+  // and the fresh session expects exactly the next sequence — the
+  // producer's replay of acked batches dedups, new batches deliver.
+  auto journal = IngestJournal::Open(jopts);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  auto sj = (*journal)->SourceFor("d.src");
+  ASSERT_TRUE(sj.ok()) << sj.status().ToString();
+  AuditSink sink;
+  IngestSessionOptions options;
+  options.journal = *sj;
+  IngestSession session("d.src", &sink, options);
+  EXPECT_EQ(session.Attach(), 3u);
+  EXPECT_EQ(session.Handle(MakeIngest("d.src", 2, BatchEvent(1))),
+            "ACK d.src 2");  // replayed duplicate: re-acked, not redelivered
+  EXPECT_EQ(session.Handle(MakeIngest("d.src", 3, BatchEvent(2))),
+            "ACK d.src 3");
+  EXPECT_EQ(session.Stats().duplicates, 1u);
+  EXPECT_EQ(sink.events(), 1u);
+}
+
+TEST(IngestSessionTest, JournalAppendFailureNacksUnavailable) {
+  const std::string dir = FreshJournalDir("failure");
+  FaultyFileOptions fopts;
+  fopts.short_write_p = 1.0;
+  FaultyFileInjector injector(fopts);
+  JournalOptions jopts;
+  jopts.dir = dir;
+  jopts.file_factory = injector.Factory();
+  auto journal = IngestJournal::Open(jopts);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  auto sj = (*journal)->SourceFor("jf.src");
+  ASSERT_TRUE(sj.ok()) << sj.status().ToString();
+
+  AuditSink sink;
+  IngestSessionOptions options;
+  options.journal = *sj;
+  IngestSession session("jf.src", &sink, options);
+  session.Attach();
+
+  // The append fails, so the ack would be a lie: NACK Unavailable —
+  // transient, the producer retries the same sequence.
+  const std::string refused =
+      session.Handle(MakeIngest("jf.src", 1, BatchEvent(0)));
+  EXPECT_TRUE(StartsWith(refused, "NACK jf.src 1 Unavailable")) << refused;
+  EXPECT_NE(refused.find("journal append failed"), std::string::npos)
+      << refused;
+  EXPECT_EQ(sink.events(), 0u);  // never delivered either
+  IngestSessionStats stats = session.Stats();
+  EXPECT_EQ(stats.journal_errors, 1u);
+  EXPECT_EQ(stats.next_expected, 1u);
+  EXPECT_NE(session.StatsLine().find("journal_errors=1"),
+            std::string::npos);
+
+  injector.Disarm();
+  EXPECT_EQ(session.Handle(MakeIngest("jf.src", 1, BatchEvent(0))),
+            "ACK jf.src 1");
+  EXPECT_EQ(sink.events(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Producer auth: ATTACH <source> <token>
+
+TEST(ProducerAuthTest, TokenGatesAttach) {
+  NetServerOptions net_options;
+  net_options.ingest_auth_token = "open-sesame";
+  IngestFixture fixture(std::move(net_options));
+
+  // A bare ATTACH against a token-protected server: refused with a
+  // non-transient status (no retry storm from misconfigured fleets).
+  {
+    ProducerClient producer(fixture.ProducerOptions("sat.band1"));
+    const Status refused = producer.Connect();
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(refused.message().find("token required"), std::string::npos)
+        << refused.ToString();
+  }
+  // The wrong token is a different message (operators can tell a
+  // missing credential from a stale one) but the same clean refusal.
+  {
+    ProducerClientOptions options = fixture.ProducerOptions("sat.band1");
+    options.auth_token = "stale-credential";
+    ProducerClient producer(options);
+    const Status refused = producer.Connect();
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(refused.message().find("token rejected"), std::string::npos)
+        << refused.ToString();
+  }
+  // The right token attaches and streams end to end.
+  ProducerClientOptions options = fixture.ProducerOptions("sat.band1");
+  options.auth_token = "open-sesame";
+  ProducerClient producer(options);
+  GS_ASSERT_OK(producer.Connect());
+  GS_ASSERT_OK(producer.Publish(BatchEvent(0)));
+  GS_ASSERT_OK(producer.Flush(5000));
+  auto stats = fixture.net().IngestStats("sat.band1");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->delivered, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sliding ack window
+
+TEST(ProducerE2eTest, SlidingWindowKeepsExactlyOnceUnderStalls) {
+  // A one-deep window degrades to stop-and-wait: nearly every publish
+  // blocks on the previous ack, so window_stalls must fire — and the
+  // stream still arrives exactly once, in order.
+  constexpr int kBatches = 60;
+  AuditSink audit;
+  NetServerOptions net_options;
+  net_options.ingest_resolver = [&audit](const std::string&) -> EventSink* {
+    return &audit;
+  };
+  IngestFixture fixture(std::move(net_options));
+
+  ProducerClientOptions options = fixture.ProducerOptions("window.src");
+  options.window_messages = 1;
+  options.resend_timeout_ms = 50;
+  ProducerClient producer(options);
+  PublishAuditedBatches(&producer, kBatches);
+  GS_ASSERT_OK(FlushHard(&producer, 20));
+  EXPECT_EQ(producer.unacked(), 0u);
+
+  ExpectExactlyOnceInOrder(audit, kBatches);
+  EXPECT_GT(producer.stats().window_stalls, 0u);
+}
+
+TEST(ProducerE2eTest, FullWindowWithDeadServerIsResourceExhausted) {
+  // A fake server that answers ATTACH and then never acks: the window
+  // fills, AwaitWindow burns its stall budget (resending each round),
+  // and Publish surfaces ResourceExhausted instead of hanging.
+  auto listener = ListenTcp(0);
+  GS_ASSERT_OK(listener.status());
+  auto port = LocalPort(*listener);
+  GS_ASSERT_OK(port.status());
+
+  std::thread fake_server([listen_fd = *listener] {
+    auto accepted = AcceptClient(listen_fd);
+    ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+    const int fd = *accepted;
+    FrameDecoder decoder;
+    uint8_t buf[4096];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    bool attached = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto readable = PollReadable(fd, 50);
+      if (!readable.ok() || !*readable) continue;
+      auto n = ReadSome(fd, buf, sizeof(buf));
+      if (!n.ok() || *n == 0) break;
+      decoder.Feed(buf, *n);
+      for (;;) {
+        auto unit = decoder.Next();
+        if (!unit.ok() || !unit->has_value()) break;
+        if ((*unit)->line && !attached) {
+          attached = true;
+          const std::string reply = "OK ATTACH mute.src next=1\n";
+          Status sent = WriteAll(
+              fd, reinterpret_cast<const uint8_t*>(reply.data()),
+              reply.size());
+          ASSERT_TRUE(sent.ok()) << sent.ToString();
+        }
+        // Ingest messages are swallowed: no acks, ever.
+      }
+    }
+    CloseFd(fd);
+  });
+
+  ProducerClientOptions options;
+  options.port = *port;
+  options.source = "mute.src";
+  options.window_messages = 1;
+  options.resend_timeout_ms = 20;
+  options.max_reconnect_attempts = 2;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 5;
+  ProducerClient producer(options);
+  GS_ASSERT_OK(producer.Connect());
+  GS_ASSERT_OK(producer.Publish(BatchEvent(0)));  // fills the window
+  const Status blocked = producer.Publish(BatchEvent(1));
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(blocked.message().find("ack window full"), std::string::npos)
+      << blocked.ToString();
+  EXPECT_GE(producer.stats().window_stalls, 1u);
+  EXPECT_EQ(producer.unacked(), 1u);  // batch 0 still held for replay
+  producer.Close();
+  fake_server.join();
+  CloseFd(*listener);
 }
 
 }  // namespace

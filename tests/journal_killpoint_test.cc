@@ -1,0 +1,297 @@
+// The kill-point chaos lane: one ProducerClient survives 200 seeded
+// server crash/restart cycles against the same durable journal
+// directory, with injected storage faults (fail-at-byte torn tails)
+// on a subset of cycles and lossy acks on every connection.
+//
+// Each "crash" destroys the whole server stack (NetServer +
+// DsmsServer) mid-stream — acked batches are on stable storage
+// because the journal fsyncs before every ACK (kPerRecord), unacked
+// batches sit in the producer's replay buffer. The next incarnation
+// reopens the journal, truncates any torn tail, seeds the ingest
+// session's expected sequence from the recovered high-water mark, and
+// the producer's ATTACH + replay resumes exactly there.
+//
+// The audit, across ALL incarnations:
+//   * every batch ordinal is delivered into the chain at most once,
+//     and after the final flush exactly once (no loss, no dupes);
+//   * the journal replays sequence 1..N contiguously, each exactly
+//     once, payload-faithful;
+//   * crashes really happened with unacked batches in flight (the
+//     re-NACK/replay path was exercised, not just clean shutdowns);
+//   * injected fail-at-byte faults really tore journal tails that
+//     recovery truncated.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/net_server.h"
+#include "net/producer_client.h"
+#include "net/wire_protocol.h"
+#include "server/dsms_server.h"
+#include "storage/faulty_file.h"
+#include "storage/journal.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testing_util::TestValue;
+
+constexpr int kCycles = 200;         // seeded crash points
+constexpr int kBatchesPerCycle = 3;  // publishes between crashes
+constexpr int kBatches = kCycles * kBatchesPerCycle;
+constexpr const char* kSource = "kill.src";
+
+/// Audit-stamped batch: every timestamp carries `ordinal`.
+StreamEvent BatchEvent(int64_t ordinal, size_t n = 8) {
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = ordinal / 14;
+  batch->band_count = 1;
+  for (size_t i = 0; i < n; ++i) {
+    batch->Append1(static_cast<int32_t>(i),
+                   static_cast<int32_t>(ordinal % 12), ordinal,
+                   TestValue(batch->frame_id, static_cast<int64_t>(i),
+                             ordinal % 12));
+  }
+  batch->checksum = batch->ComputeChecksum();
+  return StreamEvent::Batch(std::move(batch));
+}
+
+/// Thread-safe sink recording delivered batch ordinals.
+class AuditSink : public EventSink {
+ public:
+  Status Consume(const StreamEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (event.kind == EventKind::kPointBatch && event.batch &&
+        !event.batch->timestamps.empty()) {
+      batch_ids_.push_back(event.batch->timestamps[0]);
+    }
+    return Status::OK();
+  }
+  std::vector<int64_t> batch_ids() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_ids_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<int64_t> batch_ids_;
+};
+
+/// One server lifetime: its own audit sink, fault injector, engine,
+/// and listener, all bound to the shared journal directory.
+struct Incarnation {
+  std::unique_ptr<AuditSink> audit;
+  std::unique_ptr<FaultyFileInjector> injector;  // null = healthy disk
+  std::unique_ptr<DsmsServer> server;
+  std::unique_ptr<NetServer> net;
+
+  void Crash() {
+    if (net) net->Stop();
+    net.reset();
+    server.reset();
+  }
+};
+
+TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
+  const std::string journal_dir =
+      ::testing::TempDir() + "gsjournal-killpoints";
+  fs::remove_all(journal_dir);
+
+  // The torn record a fault cycle plants: the injector kills the
+  // "disk" halfway through the second append of that incarnation.
+  const IngestMessage probe = [] {
+    IngestMessage m;
+    m.source = kSource;
+    m.seq = 1;
+    m.event = BatchEvent(0);
+    return m;
+  }();
+  const uint64_t record_size = EncodeIngestMessage(probe).size();
+
+  uint16_t port = 0;  // learned from cycle 0's ephemeral bind
+  uint64_t torn_tails_recovered = 0;
+  uint64_t records_recovered_last = 0;
+  // Sinks and injectors must outlive their server (reader threads and
+  // the journal hold raw pointers), so incarnations are kept.
+  std::vector<Incarnation> history;
+  history.reserve(kCycles + 1);
+
+  auto boot = [&](bool faulty_disk) -> Incarnation& {
+    history.emplace_back();
+    Incarnation& inc = history.back();
+    inc.audit = std::make_unique<AuditSink>();
+
+    DsmsOptions options;
+    options.journal_dir = journal_dir;
+    options.journal.fsync = FsyncPolicy::kPerRecord;
+    if (faulty_disk) {
+      FaultyFileOptions fopts;
+      // Crosses the byte budget mid-record: a torn half-record
+      // reaches the file, then the "disk" is dead for the rest of
+      // this incarnation (appends and fsyncs all fail -> NACKs).
+      fopts.fail_at_byte = record_size + record_size / 2;
+      inc.injector = std::make_unique<FaultyFileInjector>(fopts);
+      options.journal.file_factory = inc.injector->Factory();
+    }
+    inc.server = std::make_unique<DsmsServer>(options);
+    EXPECT_TRUE(inc.server->journal() != nullptr);
+    torn_tails_recovered += inc.server->journal()->recovery().torn_tails;
+    records_recovered_last =
+        inc.server->journal()->recovery().records_replayed;
+
+    NetServerOptions net_options;
+    net_options.port = port;
+    AuditSink* audit = inc.audit.get();
+    net_options.ingest_resolver = [audit](const std::string&) -> EventSink* {
+      return audit;
+    };
+    inc.net = std::make_unique<NetServer>(inc.server.get(), net_options);
+    // The fixed port can linger briefly after the previous
+    // incarnation's teardown; retry the bind.
+    Status started = inc.net->Start();
+    for (int attempt = 0; !started.ok() && attempt < 100; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      started = inc.net->Start();
+    }
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    port = inc.net->port();
+    return inc;
+  };
+
+  ProducerClientOptions popts;
+  popts.source = kSource;
+  popts.backoff_initial_ms = 1;
+  popts.backoff_max_ms = 20;
+  popts.backoff_jitter_ms = 2;
+  popts.max_reconnect_attempts = 16;
+  popts.resend_timeout_ms = 50;
+  popts.flaky.seed = 20260808;
+  popts.flaky.drop_read_p = 0.1;  // lossy acks on every connection
+
+  int cycles_crashed_with_unacked = 0;
+  int fault_cycles = 0;
+  std::unique_ptr<ProducerClient> producer;
+
+  int64_t ordinal = 0;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    const bool faulty_disk = cycle % 7 == 3;
+    fault_cycles += faulty_disk ? 1 : 0;
+    Incarnation& inc = boot(faulty_disk);
+    if (producer == nullptr) {
+      popts.port = port;
+      producer = std::make_unique<ProducerClient>(popts);
+      Status connected = producer->Connect();
+      ASSERT_TRUE(connected.ok()) << connected.ToString();
+    }
+
+    for (int b = 0; b < kBatchesPerCycle; ++b, ++ordinal) {
+      // Publish until the event is in the replay buffer: `published`
+      // advances only when the sequence number was consumed, so a
+      // retry after any failure mode is safe (no double-assign).
+      const StreamEvent event = BatchEvent(ordinal);
+      for (int attempt = 0;; ++attempt) {
+        ASSERT_LT(attempt, 300) << "ordinal " << ordinal
+                                << " never entered the replay buffer";
+        const uint64_t before = producer->stats().published;
+        Status published = producer->Publish(event);
+        (void)published;  // transient trouble is the point
+        if (producer->stats().published > before) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    // Crash mid-stream. No flush: whatever the lossy link and the
+    // (possibly dead) journal disk left unacked rides the replay
+    // buffer into the next incarnation.
+    if (producer->unacked() > 0) ++cycles_crashed_with_unacked;
+    inc.Crash();
+  }
+
+  // Final incarnation on a healthy disk: drain everything.
+  boot(/*faulty_disk=*/false);
+  Status flushed = Status::OK();
+  for (int round = 0; round < 40; ++round) {
+    flushed = producer->Flush(2000);
+    if (flushed.ok()) break;
+  }
+  ASSERT_TRUE(flushed.ok()) << flushed.ToString();
+  EXPECT_EQ(producer->unacked(), 0u);
+  EXPECT_EQ(producer->stats().published, static_cast<uint64_t>(kBatches));
+
+  // --- The audit ---------------------------------------------------
+  // Exactly-once delivery across every incarnation: no ordinal is
+  // ever delivered twice (not even by a replay into a restarted
+  // server), and after the final flush none is missing.
+  std::map<int64_t, int> delivered;
+  for (const Incarnation& inc : history) {
+    for (int64_t id : inc.audit->batch_ids()) ++delivered[id];
+  }
+  uint64_t missing = 0;
+  for (int64_t o = 0; o < kBatches; ++o) {
+    auto it = delivered.find(o);
+    if (it == delivered.end()) {
+      ++missing;
+      ADD_FAILURE() << "ordinal " << o << " was acked but never delivered";
+      continue;
+    }
+    EXPECT_EQ(it->second, 1) << "ordinal " << o << " delivered "
+                             << it->second << " times";
+  }
+  EXPECT_EQ(missing, 0u);
+  EXPECT_EQ(delivered.size(), static_cast<size_t>(kBatches));
+
+  // The crashes were real crashes: batches were in flight.
+  EXPECT_GT(cycles_crashed_with_unacked, 0);
+  EXPECT_GT(producer->stats().reconnects, 0u);
+  EXPECT_GT(producer->stats().retransmits, 0u);
+  // Injected disk deaths really tore tails that recovery truncated.
+  EXPECT_GT(fault_cycles, 20);
+  EXPECT_GT(torn_tails_recovered, 0u);
+  // The last recovery had already seen (nearly) the whole stream —
+  // lossy acks and dead-disk cycles can leave a few batches unacked
+  // across crashes, but never more than a handful.
+  EXPECT_GE(records_recovered_last,
+            static_cast<uint64_t>(kBatches) - 12);
+
+  // Tear down the final server, then audit the journal itself: the
+  // full sequence 1..N, contiguous, each exactly once, bit-faithful.
+  history.back().Crash();
+  JournalOptions jopts;
+  jopts.dir = journal_dir;
+  auto journal = IngestJournal::Open(jopts);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  std::map<uint64_t, int64_t> journaled;
+  Status replayed =
+      (*journal)->Replay(kSource, [&journaled](const IngestMessage& m) {
+        const int64_t stamp =
+            m.event.batch && !m.event.batch->timestamps.empty()
+                ? m.event.batch->timestamps[0]
+                : -1;
+        EXPECT_EQ(journaled.count(m.seq), 0u)
+            << "seq " << m.seq << " replayed twice";
+        journaled[m.seq] = stamp;
+      });
+  ASSERT_TRUE(replayed.ok()) << replayed.ToString();
+  ASSERT_EQ(journaled.size(), static_cast<size_t>(kBatches));
+  for (uint64_t seq = 1; seq <= static_cast<uint64_t>(kBatches); ++seq) {
+    ASSERT_EQ(journaled.count(seq), 1u) << "gap at seq " << seq;
+    // Publish order maps ordinal o -> seq o+1.
+    EXPECT_EQ(journaled.at(seq), static_cast<int64_t>(seq - 1));
+  }
+
+  fs::remove_all(journal_dir);
+}
+
+}  // namespace
+}  // namespace geostreams
