@@ -1,0 +1,151 @@
+// Experiment S1 (Sec. DESIGN.md 14): the tiled historical store.
+//
+// Series reported:
+//   * PutFrame throughput (points/s) while recording full frames into
+//     tiled + pyramided pages;
+//   * full-resolution region replay rate vs coarse-zoom overview
+//     replay of the SAME region — the overview read must be >= 5x
+//     faster because it touches an O(1/reduce^2) fraction of the
+//     samples (tile pruning is reported via tiles_read);
+//   * watermark-bounded catch-up replay across many stored frames.
+
+#include <filesystem>
+#include <string>
+
+#include "bench_util.h"
+#include "geo/region.h"
+#include "store/tile_store.h"
+
+namespace geostreams {
+namespace {
+
+using bench_util::BenchLattice;
+using bench_util::CheckOk;
+using bench_util::ReportPoints;
+using bench_util::ValueOrDie;
+
+std::string BenchDir(const std::string& tag) {
+  std::string dir =
+      std::filesystem::temp_directory_path().string() + "/gsbench-store-" +
+      tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// One fully filled frame over the lattice.
+void PutBenchFrame(TileStore* store, const GridLattice& lattice,
+                   int64_t frame_id) {
+  Raster raster(lattice.width(), lattice.height(), 1);
+  raster.set_lattice(lattice);
+  for (int64_t row = 0; row < lattice.height(); ++row) {
+    for (int64_t col = 0; col < lattice.width(); ++col) {
+      raster.Set(col, row, 0.25 + 0.001 * static_cast<double>(col + row));
+    }
+  }
+  const std::vector<uint8_t> filled(
+      static_cast<size_t>(lattice.num_cells()), 1);
+  FrameInfo info;
+  info.frame_id = frame_id;
+  info.lattice = lattice;
+  info.expected_points = lattice.num_cells();
+  CheckOk(store->PutFrame("bench", info, raster, filled), "PutFrame");
+}
+
+// --- record path -------------------------------------------------------------
+
+void BM_TileStore_PutFrame(benchmark::State& state) {
+  const int64_t side = state.range(0);
+  const GridLattice lattice = BenchLattice(side, side);
+  TileStoreOptions options;
+  options.dir = BenchDir("put-" + std::to_string(side));
+  options.tile_size = 64;
+  auto store = ValueOrDie(TileStore::Open(options), "TileStore::Open");
+  int64_t frame_id = 0;
+  for (auto _ : state) {
+    PutBenchFrame(store.get(), lattice, frame_id++);
+  }
+  ReportPoints(state, lattice.num_cells());
+  const TileStoreStats stats = store->TotalStats();
+  state.counters["tiles_written"] =
+      static_cast<double>(stats.tiles_written);
+  state.counters["bytes_per_frame"] = static_cast<double>(
+      stats.frames_written
+          ? stats.bytes_written / stats.frames_written
+          : 0);
+}
+BENCHMARK(BM_TileStore_PutFrame)->Arg(256)->Arg(512);
+
+// --- replay path: full resolution vs overview --------------------------------
+
+/// Shared setup: a recorded 512x512 mosaic, then replay the full
+/// region at base resolution (reduce=1) or through the pyramid
+/// (reduce=8). The acceptance claim: the overview scan is >= 5x
+/// faster for the same region, because it reads ~1/64 of the samples
+/// from a coarser level instead of aggregating the base tiles.
+void RunRegionScan(benchmark::State& state, int reduce) {
+  const int64_t side = 512;
+  const GridLattice lattice = BenchLattice(side, side);
+  TileStoreOptions options;
+  options.dir = BenchDir("scan-r" + std::to_string(reduce));
+  options.tile_size = 64;
+  auto store = ValueOrDie(TileStore::Open(options), "TileStore::Open");
+  PutBenchFrame(store.get(), lattice, 0);
+
+  StoreScan scan;
+  scan.reduce = reduce;
+  const BoundingBox ext = lattice.Extent();
+  scan.region = MakeBBoxRegion(ext.min_x, ext.min_y, ext.max_x, ext.max_y);
+  NullSink sink;
+  int64_t points = 0;
+  for (auto _ : state) {
+    CheckOk(store->Scan("bench", scan, &sink), "Scan");
+  }
+  points = static_cast<int64_t>(sink.points());
+  // Points delivered per iteration; wall clock per iteration is what
+  // the >= 5x acceptance ratio compares.
+  state.counters["points_out"] = static_cast<double>(
+      state.iterations() ? points / state.iterations() : 0);
+  state.counters["tiles_read_per_iter"] = static_cast<double>(
+      state.iterations()
+          ? store->TotalStats().tiles_read / state.iterations()
+          : 0);
+}
+
+void BM_TileStore_RegionScan_FullRes(benchmark::State& state) {
+  RunRegionScan(state, /*reduce=*/1);
+}
+BENCHMARK(BM_TileStore_RegionScan_FullRes);
+
+void BM_TileStore_RegionScan_Overview8(benchmark::State& state) {
+  RunRegionScan(state, /*reduce=*/8);
+}
+BENCHMARK(BM_TileStore_RegionScan_Overview8);
+
+// --- catch-up replay ---------------------------------------------------------
+
+void BM_TileStore_CatchUpReplay(benchmark::State& state) {
+  // A late subscriber's history scan: `frames` stored frames replayed
+  // in watermark order through one sink, the store-side half of the
+  // hybrid QUERY ... SINCE path.
+  const int64_t frames = state.range(0);
+  const GridLattice lattice = BenchLattice(256, 256);
+  TileStoreOptions options;
+  options.dir = BenchDir("catchup-" + std::to_string(frames));
+  options.tile_size = 64;
+  auto store = ValueOrDie(TileStore::Open(options), "TileStore::Open");
+  for (int64_t f = 0; f < frames; ++f) {
+    PutBenchFrame(store.get(), lattice, f);
+  }
+  NullSink sink;
+  for (auto _ : state) {
+    for (int64_t f : store->FrameIds("bench", INT64_MIN, INT64_MAX)) {
+      CheckOk(store->ScanFrame("bench", f, StoreScan{}, &sink), "ScanFrame");
+    }
+  }
+  ReportPoints(state, frames * lattice.num_cells());
+}
+BENCHMARK(BM_TileStore_CatchUpReplay)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace geostreams

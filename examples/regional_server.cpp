@@ -10,13 +10,22 @@
 //                     [--port=P] [--delay-ms=D] [--ingest-port=P]
 //                     [--metrics-interval=MS] [--trace-every=N]
 //                     [--journal-dir=DIR] [--fsync=per-record|group-commit|off]
-//                     [--ingest-token=T]
+//                     [--ingest-token=T] [--store-dir=DIR]
+//                     [--control-token=T]
 //
 // With --journal-dir=DIR every acked ingest batch is journaled to DIR
 // before the ack goes out (--fsync picks the durability policy), and a
 // restart recovers the per-source sequence state from disk — acked
 // batches survive kill -9, producers resume from the last ack. With
 // --ingest-token=T producers must present the token on ATTACH.
+//
+// With --store-dir=DIR every assembled frame is also recorded into a
+// tiled + pyramided historical store, and clients can register hybrid
+// queries: `QUERY <text> SINCE <t>` replays recorded frames >= t
+// through the query's plan and then cuts over to the live stream
+// exactly once. With --control-token=T, mutating control verbs
+// (QUERY / UNREGISTER / RESTART / DLQ) require `AUTH T` first; GET
+// /metrics and the read-only verbs stay open.
 //
 // With --metrics-interval=MS a background thread prints one summary
 // line (DsmsServer::SummaryLine) every MS milliseconds — the
@@ -128,6 +137,8 @@ int main(int argc, char** argv) {
   std::string journal_dir;
   std::string fsync_policy = "per-record";
   std::string ingest_token;
+  std::string store_dir;
+  std::string control_token;
   int positional = 0;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--workers=", 10) == 0) {
@@ -151,6 +162,10 @@ int main(int argc, char** argv) {
       fsync_policy = argv[a] + 8;
     } else if (std::strncmp(argv[a], "--ingest-token=", 15) == 0) {
       ingest_token = argv[a] + 15;
+    } else if (std::strncmp(argv[a], "--store-dir=", 12) == 0) {
+      store_dir = argv[a] + 12;
+    } else if (std::strncmp(argv[a], "--control-token=", 16) == 0) {
+      control_token = argv[a] + 16;
     } else if (positional == 0) {
       num_clients = std::atoi(argv[a]);
       ++positional;
@@ -190,7 +205,19 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  options.store_dir = store_dir;
   DsmsServer server(options);
+  if (server.store() != nullptr) {
+    const TileStoreRecovery& rec = server.store()->recovery();
+    std::printf(
+        "tile store at %s: %llu frames recovered (%llu tile pages), "
+        "%llu torn tails, %llu corrupt regions\n",
+        store_dir.c_str(),
+        static_cast<unsigned long long>(rec.frames_recovered),
+        static_cast<unsigned long long>(rec.tile_pages_recovered),
+        static_cast<unsigned long long>(rec.torn_tails),
+        static_cast<unsigned long long>(rec.corrupt_regions));
+  }
   if (server.journal() != nullptr) {
     const JournalRecovery& rec = server.journal()->recovery();
     std::printf(
@@ -231,9 +258,13 @@ int main(int argc, char** argv) {
     net_options.port = port;
     net_options.ingest_port = ingest_port;
     net_options.ingest_auth_token = ingest_token;
+    net_options.control_auth_token = control_token;
     NetServer net(&server, net_options);
     if (!ingest_token.empty()) {
       std::printf("producers must ATTACH with the shared token\n");
+    }
+    if (!control_token.empty()) {
+      std::printf("mutating control verbs require AUTH <token>\n");
     }
     if (Status st = net.Start(); !st.ok()) return Fail(st, "net start");
     std::printf("listening on 127.0.0.1:%u (%d scans, %d ms apart)\n",
@@ -242,6 +273,10 @@ int main(int argc, char** argv) {
     std::printf(
         "        QUERY region(goes.band1, bbox(-105, 35, -100, 40))\n");
     std::printf("        METRICS            (Prometheus exposition)\n");
+    if (server.store() != nullptr) {
+      std::printf(
+          "        QUERY goes.band1 SINCE 0   (replay history, then live)\n");
+    }
     if (trace_every > 0) {
       std::printf("        TRACE <query-id>   (sampled span records)\n");
     }

@@ -12,15 +12,17 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
-echo "== tier-1: crash-recovery lane (durable journal kill points) =="
+echo "== tier-1: crash-recovery lane (journal + tile-store kill points) =="
 # The chaos audit: 200 seeded server crash/restart cycles against one
-# journal directory plus the recovery fuzzers (truncation at every
-# offset, random bit flips). Seeds are fixed inside the tests, so a
+# journal directory, the recovery fuzzers (truncation at every offset,
+# random bit flips), and the tile store's byte-budget sweep through
+# every tile-page write. Seeds are fixed inside the tests, so a
 # failure here reproduces deterministically.
-cmake --build build -j "${JOBS}" --target journal_test journal_killpoint_test
+cmake --build build -j "${JOBS}" \
+      --target journal_test journal_killpoint_test tile_store_test
 (cd build && \
  ctest --output-on-failure -j "${JOBS}" \
-       -R '^(JournalTest|JournalRecoveryTest|JournalFaultTest|JournalFuzzTest|DeadLetterStoreTest|JournalKillPointTest)')
+       -R '^(JournalTest|JournalRecoveryTest|JournalFaultTest|JournalFuzzTest|DeadLetterStoreTest|JournalKillPointTest|TileStoreTest|TileStoreRecoveryTest|TileStoreKillPointTest)')
 
 echo "== tier-1: TSan lane (scheduler/supervision/server/executor/multiband/net/ingest/obs) =="
 cmake -B build-tsan -S . -DGEOSTREAMS_SANITIZE=thread \
@@ -28,10 +30,11 @@ cmake -B build-tsan -S . -DGEOSTREAMS_SANITIZE=thread \
 cmake --build build-tsan -j "${JOBS}" \
       --target scheduler_test supervisor_test failure_test server_test \
                executor_test multiband_test net_test ingest_test obs_test \
-               kernels_test journal_test journal_killpoint_test
+               kernels_test journal_test journal_killpoint_test \
+               tile_store_test catchup_test
 (cd build-tsan && \
  ctest --output-on-failure -j "${JOBS}" \
-       -R '^(SchedulerTest|SupervisorTest|SchedulerSupervisionTest|FaultInjectorTest|FaultInjectionE2eTest|FailureTest|DsmsServerTest|StageRunnerTest|BoundedEventQueueTest|PipelineTest|MultibandTest|WireProtocolTest|FrameDecoderTest|CommandDispatchTest|ClientSessionTest|NetServerE2eTest|IngestChecksumTest|ServerDlqTest|DeadLetterQueueTest|GeoStreamsClientTest|SocketUtilTest|IngestWireTest|IngestSessionTest|FlakySocketTest|ProducerE2eTest|ProducerAuthTest|JournalTest|JournalRecoveryTest|JournalFaultTest|DeadLetterStoreTest|CounterTest|MetricHistogramTest|MetricsRegistryTest|TraceTest|TraceRingTest|ObsIngestTest|ObsE2eTest|ObsSummaryTest|KernelParityTest|FilterBatchTest|OperatorParityTest|SimdDispatchTest)')
+       -R '^(SchedulerTest|SupervisorTest|SchedulerSupervisionTest|FaultInjectorTest|FaultInjectionE2eTest|FailureTest|DsmsServerTest|StageRunnerTest|BoundedEventQueueTest|PipelineTest|MultibandTest|WireProtocolTest|FrameDecoderTest|CommandDispatchTest|ClientSessionTest|NetServerE2eTest|IngestChecksumTest|ServerDlqTest|DeadLetterQueueTest|GeoStreamsClientTest|SocketUtilTest|IngestWireTest|IngestSessionTest|FlakySocketTest|ProducerE2eTest|ProducerAuthTest|JournalTest|JournalRecoveryTest|JournalFaultTest|DeadLetterStoreTest|CounterTest|MetricHistogramTest|MetricsRegistryTest|TraceTest|TraceRingTest|ObsIngestTest|ObsE2eTest|ObsSummaryTest|KernelParityTest|FilterBatchTest|OperatorParityTest|SimdDispatchTest|TileStoreTest|TileStoreRecoveryTest|CatchUpTest)')
 
 echo "== tier-1: ASan+UBSan lane (same concurrency/supervision set) =="
 cmake -B build-asan -S . "-DGEOSTREAMS_SANITIZE=address,undefined" \
@@ -39,10 +42,11 @@ cmake -B build-asan -S . "-DGEOSTREAMS_SANITIZE=address,undefined" \
 cmake --build build-asan -j "${JOBS}" \
       --target scheduler_test supervisor_test failure_test server_test \
                executor_test multiband_test net_test ingest_test obs_test \
-               kernels_test journal_test journal_killpoint_test
+               kernels_test journal_test journal_killpoint_test \
+               tile_store_test catchup_test
 (cd build-asan && \
  ctest --output-on-failure -j "${JOBS}" \
-       -R '^(SchedulerTest|SupervisorTest|SchedulerSupervisionTest|FaultInjectorTest|FaultInjectionE2eTest|FailureTest|DsmsServerTest|StageRunnerTest|BoundedEventQueueTest|PipelineTest|MultibandTest|WireProtocolTest|FrameDecoderTest|CommandDispatchTest|ClientSessionTest|NetServerE2eTest|IngestChecksumTest|ServerDlqTest|DeadLetterQueueTest|GeoStreamsClientTest|SocketUtilTest|IngestWireTest|IngestSessionTest|FlakySocketTest|ProducerE2eTest|ProducerAuthTest|JournalTest|JournalRecoveryTest|JournalFaultTest|DeadLetterStoreTest|CounterTest|MetricHistogramTest|MetricsRegistryTest|TraceTest|TraceRingTest|ObsIngestTest|ObsE2eTest|ObsSummaryTest|KernelParityTest|FilterBatchTest|OperatorParityTest|SimdDispatchTest)')
+       -R '^(SchedulerTest|SupervisorTest|SchedulerSupervisionTest|FaultInjectorTest|FaultInjectionE2eTest|FailureTest|DsmsServerTest|StageRunnerTest|BoundedEventQueueTest|PipelineTest|MultibandTest|WireProtocolTest|FrameDecoderTest|CommandDispatchTest|ClientSessionTest|NetServerE2eTest|IngestChecksumTest|ServerDlqTest|DeadLetterQueueTest|GeoStreamsClientTest|SocketUtilTest|IngestWireTest|IngestSessionTest|FlakySocketTest|ProducerE2eTest|ProducerAuthTest|JournalTest|JournalRecoveryTest|JournalFaultTest|DeadLetterStoreTest|CounterTest|MetricHistogramTest|MetricsRegistryTest|TraceTest|TraceRingTest|ObsIngestTest|ObsE2eTest|ObsSummaryTest|KernelParityTest|FilterBatchTest|OperatorParityTest|SimdDispatchTest|TileStoreTest|TileStoreRecoveryTest|CatchUpTest)')
 
 echo "== tier-1: scalar-only lane (GEOSTREAMS_SIMD=OFF) =="
 # The portable fallback must pass the same kernel/operator suites it

@@ -1,5 +1,6 @@
 #include "net/command_dispatch.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -38,6 +39,36 @@ bool IsBareNumber(std::string_view rest) {
     if (c < '0' || c > '9') return false;
   }
   return true;
+}
+
+/// Splits a trailing "SINCE <t>" clause off query text. Matched
+/// case-insensitively against the LAST such clause, and only when the
+/// tail is a bare (possibly negative) integer, so parenthesized query
+/// grammar never collides with it.
+struct SinceClause {
+  bool present = false;
+  int64_t since = 0;
+  std::string text;
+};
+
+SinceClause SplitSinceClause(std::string_view text) {
+  SinceClause out;
+  out.text = std::string(StripWhitespace(text));
+  const std::string lower = ToLower(out.text);
+  const size_t pos = lower.rfind(" since ");
+  if (pos == std::string::npos) return out;
+  const std::string tail(
+      StripWhitespace(std::string_view(out.text).substr(pos + 7)));
+  if (tail.empty()) return out;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(tail.c_str(), &end, 10);
+  if (end != tail.c_str() + tail.size() || errno == ERANGE) return out;
+  out.present = true;
+  out.since = static_cast<int64_t>(value);
+  out.text = std::string(
+      StripWhitespace(std::string_view(out.text).substr(0, pos)));
+  return out;
 }
 
 /// Validates a source-name argument: source names travel inside
@@ -144,6 +175,24 @@ std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
                                       : stripped.substr(space + 1);
 
   if (verb == "ping") return "OK PONG";
+  if (verb == "auth") {
+    const std::string token(StripWhitespace(rest));
+    if (token.empty() || token.find(' ') != std::string::npos) {
+      return ErrResponse(
+          Status::InvalidArgument("AUTH takes one token"));
+    }
+    Status st = hooks->ControlAuth(token);
+    if (!st.ok()) return ErrResponse(st);
+    return "OK AUTH";
+  }
+  // The mutating verbs sit behind the control credential (when the
+  // server has one); read-only introspection stays open.
+  const bool mutating = verb == "query" || verb == "unregister" ||
+                        verb == "restart" || verb == "dlq";
+  if (mutating) {
+    Status authorized = hooks->AuthorizeControl();
+    if (!authorized.ok()) return ErrResponse(authorized);
+  }
   if (verb == "query") {
     const std::string text(StripWhitespace(rest));
     if (text.empty()) {
@@ -159,6 +208,17 @@ std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
       if (!attached.ok()) return ErrResponse(attached.status());
       return StringPrintf("OK QUERY %lld",
                           static_cast<long long>(*attached));
+    }
+    const SinceClause since = SplitSinceClause(text);
+    if (since.present) {
+      if (since.text.empty()) {
+        return ErrResponse(
+            Status::InvalidArgument("QUERY SINCE needs query text"));
+      }
+      Result<QueryId> id =
+          hooks->RegisterClientQuerySince(since.text, since.since);
+      if (!id.ok()) return ErrResponse(id.status());
+      return StringPrintf("OK QUERY %lld", static_cast<long long>(*id));
     }
     Result<QueryId> id = hooks->RegisterClientQuery(text);
     if (!id.ok()) return ErrResponse(id.status());
@@ -221,6 +281,45 @@ std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
   if (verb == "trace") return HandleTrace(server, rest);
   return ErrResponse(
       Status::InvalidArgument("unknown command: " + verb));
+}
+
+bool IsHttpRequestLine(const std::string& line) {
+  const std::string_view stripped = StripWhitespace(line);
+  return stripped.substr(0, 4) == "GET " ||
+         stripped.substr(0, 5) == "HEAD ";
+}
+
+std::string HandleHttpRequest(DsmsServer* server,
+                              const std::string& request_line) {
+  const std::string_view stripped = StripWhitespace(request_line);
+  const bool head = stripped.substr(0, 5) == "HEAD ";
+  std::string_view rest = stripped.substr(head ? 5 : 4);
+  // Path ends at the protocol-version token (absent in a bare
+  // "GET /metrics" simple request).
+  const size_t space = rest.find(' ');
+  const std::string path(
+      StripWhitespace(space == std::string_view::npos ? rest
+                                                      : rest.substr(0, space)));
+  std::string status_line;
+  std::string content_type;
+  std::string body;
+  if (path == "/metrics") {
+    status_line = "HTTP/1.0 200 OK";
+    // The Prometheus text exposition format version the scraper
+    // negotiates on; 0.0.4 is the stable text format.
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = server->RenderMetrics();
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found\n";
+  }
+  std::string response = status_line + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += StringPrintf("Content-Length: %zu\r\n", body.size());
+  response += "Connection: close\r\n\r\n";
+  if (!head) response += body;
+  return response;
 }
 
 }  // namespace geostreams

@@ -8,6 +8,11 @@
 //                      query text): several connections can watch one
 //                      continuous query, each with its own shedding
 //                      -> "OK QUERY <id>"
+//   QUERY <text> SINCE <t>
+//                      hybrid past+live query: recorded frames with id
+//                      >= t replay from the tile store through the
+//                      plan, then the live stream takes over at the
+//                      watermark, exactly once -> "OK QUERY <id>"
 //   UNREGISTER <id>    detach this connection from the query; the
 //                      engine unregisters it when the last subscriber
 //                      leaves -> "OK UNREGISTER <id>"
@@ -38,7 +43,16 @@
 //                      (queue wait plus per-operator timings)
 //                      -> "OK TRACE <id> total=<t> kept=<k>" followed
 //                         by k lines "TR <ordinal> trace=... ..."
+//   AUTH <token>       presents the control-plane credential; on a
+//                      server configured with a control token, the
+//                      mutating verbs (QUERY, UNREGISTER, RESTART,
+//                      DLQ) answer ERR FailedPrecondition until the
+//                      session has authenticated -> "OK AUTH"
 //   PING               liveness -> "OK PONG"
+//
+// The control port also answers plain HTTP: "GET /metrics" returns
+// the same Prometheus exposition as METRICS with proper HTTP framing,
+// so an unmodified Prometheus scraper can pull the registry.
 //
 // Failures respond "ERR <CodeName> <message>". Dispatch is a free
 // function over two narrow interfaces — the engine (DsmsServer) and
@@ -65,6 +79,14 @@ class SessionHooks {
   /// Registers `text` as a continuous query whose frames stream back
   /// over this connection.
   virtual Result<QueryId> RegisterClientQuery(const std::string& text) = 0;
+  /// `QUERY <text> SINCE <t>`: registers the query with store catch-up
+  /// from frame id `since` before the live cut-over.
+  virtual Result<QueryId> RegisterClientQuerySince(const std::string& text,
+                                                   int64_t since) {
+    (void)text;
+    (void)since;
+    return Status::Unimplemented("catch-up queries not supported here");
+  }
   /// Detaches and unregisters a query this connection registered.
   virtual Status UnregisterClientQuery(QueryId id) = 0;
   /// The connection's delivery statistics (ClientSession::StatsLine).
@@ -101,7 +123,28 @@ class SessionHooks {
     (void)source;
     return Status::Unimplemented("ingest not supported here");
   }
+
+  // Control-plane auth hooks. Defaults leave the session permanently
+  // authorized, so embedded dispatchers and fakes are unaffected.
+
+  /// `AUTH <token>`: presents the control credential for this session.
+  virtual Status ControlAuth(const std::string& token) {
+    (void)token;
+    return Status::OK();
+  }
+  /// Gate consulted by the mutating verbs (QUERY, UNREGISTER,
+  /// RESTART, DLQ). FailedPrecondition blocks the command.
+  virtual Status AuthorizeControl() { return Status::OK(); }
 };
+
+/// True when `line` opens an HTTP request ("GET " / "HEAD ").
+bool IsHttpRequestLine(const std::string& line);
+
+/// Answers one HTTP request line with a complete HTTP/1.0 response
+/// (headers + body, Connection: close). "GET /metrics" serves the
+/// Prometheus text exposition; other paths answer 404.
+std::string HandleHttpRequest(DsmsServer* server,
+                              const std::string& request_line);
 
 /// Executes one control line and returns the complete response —
 /// possibly multi-line ('\n'-separated, no trailing newline).

@@ -71,6 +71,50 @@ class NetServer::Connection : public SessionHooks {
     return id;
   }
 
+  Result<QueryId> RegisterClientQuerySince(const std::string& text,
+                                           int64_t since) override {
+    auto sub = std::make_shared<Subscription>();
+    sub->sessions.push_back(session_);
+    DsmsServer* dsms = server_->dsms_;
+    auto callback = [sub](int64_t frame_id, const Raster& raster,
+                          const std::vector<uint8_t>& png) {
+      auto buffer = std::make_shared<const std::vector<uint8_t>>(
+          EncodeResultFrame(sub->query_id.load(), frame_id, raster, png));
+      std::lock_guard<std::mutex> lock(sub->mu);
+      for (const auto& session : sub->sessions) {
+        Status ignored = session->EnqueueFrame(buffer);
+        (void)ignored;
+      }
+    };
+    CatchUpOptions catch_up;
+    catch_up.since = since;
+    // Unlike the live path, replayed frames start flowing before
+    // RegisterQuery returns, so the id must be bound (and the fan-out
+    // published) the moment the engine assigns it.
+    auto announced = std::make_shared<std::atomic<int64_t>>(-1);
+    NetServer* server = server_;
+    catch_up.on_registered = [sub, server, announced](QueryId id) {
+      announced->store(id);
+      sub->query_id.store(id);
+      std::lock_guard<std::mutex> lock(server->net_mu_);
+      server->subscriptions_.emplace(id, sub);
+    };
+    Result<QueryId> id =
+        dsms->RegisterQuery(text, std::move(callback), catch_up);
+    if (!id.ok()) {
+      // The engine already tore the query down; drop the fan-out it
+      // announced mid-flight, if any.
+      const int64_t stale = announced->load();
+      if (stale >= 0) {
+        std::lock_guard<std::mutex> lock(server_->net_mu_);
+        server_->subscriptions_.erase(static_cast<QueryId>(stale));
+      }
+      return id;
+    }
+    owned_.push_back(*id);
+    return id;
+  }
+
   Status UnregisterClientQuery(QueryId id) override {
     auto it = std::find(owned_.begin(), owned_.end(), id);
     if (it == owned_.end()) {
@@ -111,6 +155,22 @@ class NetServer::Connection : public SessionHooks {
 
   Status RestartIngestSource(const std::string& name) override {
     return server_->RestartIngestSource(name);
+  }
+
+  Status ControlAuth(const std::string& token) override {
+    const std::string& required = server_->options_.control_auth_token;
+    if (!required.empty() && token != required) {
+      return Status::FailedPrecondition("control token rejected");
+    }
+    control_authorized_ = true;
+    return Status::OK();
+  }
+
+  Status AuthorizeControl() override {
+    if (server_->options_.control_auth_token.empty()) return Status::OK();
+    if (control_authorized_) return Status::OK();
+    return Status::FailedPrecondition(
+        "control token required (AUTH <token>)");
   }
 
   Result<std::string> IngestStatsLine(const std::string& source) override {
@@ -181,8 +241,28 @@ class NetServer::Connection : public SessionHooks {
   /// Dispatches one demultiplexed unit. False ends the connection.
   bool HandleUnit(const FrameDecoder::Unit& unit) {
     if (unit.line) {
+      const std::string& line = *unit.line;
+      // HTTP pull endpoint: the request line plus headers arrive as
+      // ordinary text lines; the blank line that ends the header block
+      // triggers the response. The response carries its own framing
+      // (Content-Length + Connection: close), so it goes out as a raw
+      // byte buffer and the peer hangs up when it has read the body.
+      if (http_request_.empty() && IsHttpRequestLine(line)) {
+        if (line.find(" HTTP/") == std::string::npos) {
+          // HTTP/0.9-style simple request: no headers follow.
+          return EnqueueHttpResponse(line);
+        }
+        http_request_ = line;
+        return true;
+      }
+      if (!http_request_.empty()) {
+        if (!StripWhitespace(line).empty()) return true;  // header line
+        const std::string request = std::move(http_request_);
+        http_request_.clear();
+        return EnqueueHttpResponse(request);
+      }
       const std::string response =
-          ExecuteCommand(server_->dsms_, this, *unit.line);
+          ExecuteCommand(server_->dsms_, this, line);
       return session_->EnqueueControl(response).ok();
     }
     if (unit.ingest) {
@@ -208,10 +288,24 @@ class NetServer::Connection : public SessionHooks {
     return false;
   }
 
+  bool EnqueueHttpResponse(const std::string& request_line) {
+    const std::string response =
+        HandleHttpRequest(server_->dsms_, request_line);
+    auto buffer = std::make_shared<const std::vector<uint8_t>>(
+        response.begin(), response.end());
+    return session_->EnqueueFrame(std::move(buffer)).ok();
+  }
+
   NetServer* server_;
   std::shared_ptr<ClientSession> session_;
   /// Queries streaming to this connection. Reader-thread-only.
   std::vector<QueryId> owned_;
+  /// Buffered HTTP request line while its headers drain.
+  /// Reader-thread-only.
+  std::string http_request_;
+  /// AUTH succeeded on this session (control-plane credential).
+  /// Reader-thread-only.
+  bool control_authorized_ = false;
   /// Ingest sessions this connection attached to. Reader-thread-only.
   std::map<std::string, std::shared_ptr<IngestSession>> attached_;
   std::thread reader_;

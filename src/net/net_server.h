@@ -72,6 +72,12 @@ struct NetServerOptions {
   /// otherwise — non-transient, so a misconfigured producer stops
   /// instead of retrying forever). Client-plane verbs are unaffected.
   std::string ingest_auth_token;
+  /// Control-plane credential: when non-empty, the mutating verbs
+  /// (QUERY, UNREGISTER, RESTART, DLQ) require the session to have
+  /// presented exactly this token via `AUTH <token>` first. Read-only
+  /// verbs (HEALTH, STATS, METRICS, TRACE, PING) stay open, as does
+  /// the HTTP /metrics pull endpoint.
+  std::string control_auth_token;
   /// Second listener dedicated to producers (-1 = none; 0 = ephemeral,
   /// see ingest_port()). Connections accepted there speak the same
   /// protocol — the split only separates producer traffic from client

@@ -457,15 +457,22 @@ Result<std::optional<FrameDecoder::Unit>> FrameDecoder::Next() {
     Compact();
     return std::optional<Unit>{};
   }
+  // A unit is binary only when it opens with the full GSF1 magic.
+  // Comparing just the bytes on hand keeps 'G'-leading text lines
+  // ("GET /metrics", a future verb) on the line path instead of
+  // poisoning the stream; a true binary header always completes.
+  bool binary = false;
   if (data[0] == static_cast<uint8_t>(kWireMagic[0])) {
+    const size_t prefix = avail < 4 ? avail : 4;
+    if (std::memcmp(data, kWireMagic, prefix) == 0) {
+      if (avail < 4) return std::optional<Unit>{};  // magic undecided
+      binary = true;
+    }
+  }
+  if (binary) {
     // Binary message. Wait for the header, validate its length field,
     // then wait for the payload.
     if (avail < kWireHeaderSize) return std::optional<Unit>{};
-    if (std::memcmp(data, kWireMagic, 4) != 0) {
-      poisoned_ = Status::InvalidArgument(
-          "stream desynchronized: 'G' not followed by GSF1 magic");
-      return poisoned_;
-    }
     const uint32_t payload_len = GetU32(data + 8);
     if (payload_len > kMaxWirePayload) {
       poisoned_ = Status::InvalidArgument(StringPrintf(

@@ -39,6 +39,45 @@ std::string OpKindLabel(const std::string& name) {
 constexpr char kOperatorLatencyHelp[] =
     "Exclusive microseconds spent in one operator per traced delivery";
 
+/// Collects temporal restrictions that provably apply to each leaf of
+/// a plan expression, for pushing down into StoreScan as IO-pruning
+/// hints (they never change which frames replay — see StoreScan::times).
+/// A TimeSet is carried down only through timestamp-preserving unary
+/// operators; anything that could change frame-timestamp semantics
+/// (aggregation, composition, band stacking) clears the accumulation —
+/// the plan re-applies its own restrictions, so dropping a hint only
+/// costs pruning, never correctness. A leaf that appears more than
+/// once gets no hints (the paths may disagree and the scans would
+/// intersect them).
+void CollectTimeHints(const ExprPtr& expr, std::vector<TimeSet> active,
+                      std::map<std::string, std::vector<TimeSet>>* hints,
+                      std::map<std::string, int>* leaf_count) {
+  if (!expr) return;
+  switch (expr->kind) {
+    case ExprKind::kStreamRef:
+      ++(*leaf_count)[expr->stream_name];
+      (*hints)[expr->stream_name] = std::move(active);
+      return;
+    case ExprKind::kTemporalRestrict:
+      active.push_back(expr->times);
+      CollectTimeHints(expr->child, std::move(active), hints, leaf_count);
+      return;
+    case ExprKind::kSpatialRestrict:
+    case ExprKind::kValueRestrict:
+    case ExprKind::kValueTransform:
+    case ExprKind::kStretch:
+    case ExprKind::kMagnify:
+    case ExprKind::kReduce:
+    case ExprKind::kReproject:
+      CollectTimeHints(expr->child, std::move(active), hints, leaf_count);
+      return;
+    default:
+      CollectTimeHints(expr->child, {}, hints, leaf_count);
+      CollectTimeHints(expr->right, {}, hints, leaf_count);
+      return;
+  }
+}
+
 }  // namespace
 
 /// Per-source ingest state: fans events out to unrestricted plan
@@ -46,6 +85,12 @@ constexpr char kOperatorLatencyHelp[] =
 struct DsmsServer::SourceState : public EventSink {
   GeoStreamDescriptor desc;
   std::unique_ptr<SharedRestrictionOp> shared;
+  /// Historical persistence (null without a store): assembles each
+  /// frame and commits it to the TileStore. Consumed FIRST, before
+  /// any query fan-out — the catch-up cut-over protocol depends on a
+  /// frame being durable before any later event reaches a CatchUpGate
+  /// (see store/catch_up_gate.h).
+  std::unique_ptr<StoreIngestSink> store_sink;
   std::vector<EventSink*> direct_targets;
   /// True for continuous views: their events arrive from a backing
   /// plan rather than from an ingest call.
@@ -72,6 +117,11 @@ struct DsmsServer::SourceState : public EventSink {
   Status quarantine_error = Status::OK();
 
   Status Consume(const StreamEvent& event) override {
+    if (store_sink) {
+      // Never fails (store errors are counted and logged inside) —
+      // the live chain does not stall because the disk is unhappy.
+      GEOSTREAMS_RETURN_IF_ERROR(store_sink->Consume(event));
+    }
     for (EventSink* t : direct_targets) {
       GEOSTREAMS_RETURN_IF_ERROR(t->Consume(event));
     }
@@ -214,6 +264,29 @@ struct DsmsServer::QueryState {
   std::vector<Peeled> peeled;
   /// Direct wirings (source name -> plan input) for unregistration.
   std::vector<std::pair<std::string, EventSink*>> direct;
+
+  /// Catch-up state (RegisterQuery's hybrid stream/stored path).
+  /// Pending wirings recorded by RegisterInternal(defer_wiring=true):
+  /// the plan input entries exist but are not attached to any source
+  /// yet; the catch-up path replays history into them first and then
+  /// attaches them behind CatchUpGates.
+  struct PendingWire {
+    std::string source;      // catalog stream feeding this input
+    std::string input_name;  // the plan's input (synthetic if peeled)
+    EventSink* entry = nullptr;
+    RegionPtr region;        // peeled spatial restriction (may be null)
+    std::vector<TimeSet> times;  // pushed-down temporal IO-pruning hints
+    bool is_peeled = false;
+    size_t peeled_index = 0;
+  };
+  std::vector<PendingWire> pending_wires;
+  /// Cut-over gates, one per input (catch-up queries only). Own the
+  /// seam logic; destroyed with the query.
+  std::vector<std::unique_ptr<CatchUpGate>> gates;
+  /// True from registration until the gates are wired; blocks
+  /// UnregisterQuery racing the replay (the replay thread holds raw
+  /// entry pointers with no lock).
+  bool catching_up = false;
 };
 
 DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
@@ -240,6 +313,35 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
           << " records recovered, " << rec.torn_tails
           << " torn tails truncated (" << rec.torn_bytes << " bytes), "
           << rec.corrupt_regions << " corrupt regions quarantined";
+    }
+  }
+  if (!options_.store_dir.empty()) {
+    TileStoreOptions sopts = options_.store;
+    sopts.dir = options_.store_dir;
+    sopts.metrics = &metrics_registry_;
+    Result<std::unique_ptr<TileStore>> store = TileStore::Open(std::move(sopts));
+    if (!store.ok()) {
+      // Same contract as the journal: a server without history beats
+      // no server, but say so at kError volume.
+      GEOSTREAMS_LOG(kError)
+          << "tile store disabled: could not open " << options_.store_dir
+          << ": " << store.status().ToString();
+    } else {
+      store_ = std::move(*store);
+      const TileStoreRecovery& rec = store_->recovery();
+      GEOSTREAMS_LOG(kInfo)
+          << "tile store at " << options_.store_dir << ": "
+          << rec.frames_recovered << " frames (" << rec.tile_pages_recovered
+          << " tile pages) recovered, " << rec.incomplete_frames
+          << " uncommitted frames dropped, " << rec.torn_tails
+          << " torn tails truncated (" << rec.torn_bytes << " bytes), "
+          << rec.corrupt_regions << " corrupt regions skipped";
+      m_catchup_frames_ = metrics_registry_.GetCounter(
+          "geostreams_store_catchup_frames_total",
+          "Stored frames replayed into late-subscriber query plans");
+      m_seam_frames_ = metrics_registry_.GetCounter(
+          "geostreams_store_seam_frames_total",
+          "Frames delivered by cut-over seam replays (stored->live)");
     }
   }
   if (options_.workers > 0) {
@@ -365,6 +467,10 @@ Status DsmsServer::RegisterStream(const GeoStreamDescriptor& desc) {
         options_.index_kind, desc.reference_lattice().Extent()));
   }
   source->guard = std::make_unique<GuardedIngestSink>(this, source.get());
+  if (store_ != nullptr) {
+    source->store_sink =
+        std::make_unique<StoreIngestSink>(store_.get(), desc.name());
+  }
   source->boundary_dead_letters = std::make_unique<DeadLetterQueue>(
       options_.dead_letter_capacity, options_.dead_letter_max_bytes);
   source->boundary_dead_letters->BindMemoryTracker(&memory_,
@@ -428,6 +534,171 @@ Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
   return RegisterInternal(query_text, std::move(callback), "");
 }
 
+Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
+                                          FrameCallback callback,
+                                          const CatchUpOptions& catch_up) {
+  if (store_ == nullptr) {
+    // No history to replay; degrade to plain stream registration.
+    QueryId id = 0;
+    GEOSTREAMS_ASSIGN_OR_RETURN(id,
+                                RegisterQuery(query_text, std::move(callback)));
+    if (catch_up.on_registered) catch_up.on_registered(id);
+    return id;
+  }
+
+  // Phase 0 — build the plan under the exclusive lock, but leave its
+  // inputs detached from every source: no live event can reach the
+  // query yet, and `catching_up` blocks a racing UnregisterQuery from
+  // destroying the entries the replay below holds raw pointers to.
+  QueryId id = 0;
+  std::vector<QueryState::PendingWire> wires;
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    GEOSTREAMS_ASSIGN_OR_RETURN(
+        id, RegisterInternal(query_text, std::move(callback), "",
+                             /*defer_wiring=*/true));
+    wires = queries_.at(id)->pending_wires;
+  }
+  if (catch_up.on_registered) catch_up.on_registered(id);
+
+  // Phases 1 and 2 run in a closure so an error below can tear the
+  // half-registered query back down instead of leaving it stuck
+  // behind the catching_up guard forever.
+  Status replayed = [&]() -> Status {
+  // Phase 1 — bulk history replay with no lock held: ingest keeps
+  // flowing (the query is invisible to it) while recorded frames run
+  // through the plan on this thread, merged ascending by frame id
+  // across inputs so multi-stream plans see their operands in live
+  // order. Flush periodically so a deep history cannot overflow the
+  // scheduler queues (shed batches would be gaps).
+  struct ReplayItem {
+    int64_t frame_id;
+    size_t wire;
+  };
+  auto wire_scan = [](const QueryState::PendingWire& wire) {
+    StoreScan scan;
+    scan.region = wire.region;
+    scan.times = wire.times;
+    return scan;
+  };
+  std::vector<int64_t> replayed_to(wires.size(),
+                                   std::numeric_limits<int64_t>::min());
+  std::vector<ReplayItem> items;
+  for (size_t w = 0; w < wires.size(); ++w) {
+    const int64_t hi = store_->Watermark(wires[w].source);
+    for (int64_t fid : store_->FrameIds(wires[w].source, catch_up.since, hi)) {
+      items.push_back({fid, w});
+    }
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const ReplayItem& a, const ReplayItem& b) {
+                     return a.frame_id < b.frame_id;
+                   });
+  size_t since_flush = 0;
+  for (const ReplayItem& item : items) {
+    const QueryState::PendingWire& wire = wires[item.wire];
+    Status st = store_->ScanFrame(wire.source, item.frame_id,
+                                  wire_scan(wire), wire.entry);
+    if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+    replayed_to[item.wire] = item.frame_id;
+    if (m_catchup_frames_) m_catchup_frames_->Increment();
+    if (++since_flush >= 64) {
+      since_flush = 0;
+      GEOSTREAMS_RETURN_IF_ERROR(Flush());
+    }
+  }
+
+  // Phase 2 — go live under the exclusive lock. Ingest is paused, so
+  // each source's watermark W0 is frozen: replay the small delta that
+  // committed during phase 1, then attach each input behind a
+  // CatchUpGate with threshold W0. After the lock drops, the gate
+  // discards live frames at or below W0 (they were just replayed) and
+  // cuts over on the first frame above it, seam-replaying anything
+  // that commits in between — exactly once, no gap, no duplicate.
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::Internal("catch-up query vanished during replay");
+  }
+  QueryState* query = it->second.get();
+  for (size_t w = 0; w < wires.size(); ++w) {
+    const QueryState::PendingWire& wire = wires[w];
+    const int64_t w0 = store_->Watermark(wire.source);
+    const int64_t lo =
+        replayed_to[w] == std::numeric_limits<int64_t>::min()
+            ? catch_up.since
+            : replayed_to[w] + 1;
+    if (lo <= w0) {
+      for (int64_t fid : store_->FrameIds(wire.source, lo, w0)) {
+        // Inline, no Flush: the delta is bounded by one phase-1 flush
+        // window, and WaitIdle here would deadlock against workers
+        // taking the shared lock to feed derived streams.
+        Status st = store_->ScanFrame(wire.source, fid, wire_scan(wire),
+                                      wire.entry);
+        if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+        if (m_catchup_frames_) m_catchup_frames_->Increment();
+      }
+    }
+    TileStore* store = store_.get();
+    Counter* seam_counter = m_seam_frames_;
+    const std::string source_name = wire.source;
+    StoreScan seam_scan = wire_scan(wire);
+    auto replay = [store, seam_counter, source_name, seam_scan](
+                      int64_t after, int64_t before, EventSink* sink) {
+      StoreScan scan = seam_scan;
+      scan.min_frame_id = after == std::numeric_limits<int64_t>::min()
+                              ? after
+                              : after + 1;
+      scan.max_frame_id = before == std::numeric_limits<int64_t>::max()
+                              ? before
+                              : before - 1;
+      if (seam_counter) {
+        seam_counter->Increment(
+            store->FrameIds(source_name, scan.min_frame_id, scan.max_frame_id)
+                .size());
+      }
+      return store->Scan(source_name, scan, sink);
+    };
+    query->gates.push_back(
+        std::make_unique<CatchUpGate>(wire.entry, w0, std::move(replay)));
+    CatchUpGate* gate = query->gates.back().get();
+
+    auto source_it = sources_.find(wire.source);
+    if (source_it == sources_.end()) {
+      return Status::Internal("catch-up source vanished: " + wire.source);
+    }
+    if (wire.is_peeled) {
+      QueryState::Peeled& peeled = query->peeled[wire.peeled_index];
+      peeled.shared_id =
+          id * 1000 + static_cast<QueryId>(wire.peeled_index);
+      GEOSTREAMS_RETURN_IF_ERROR(source_it->second->shared->RegisterQuery(
+          peeled.shared_id, peeled.region, gate));
+    } else {
+      source_it->second->direct_targets.push_back(gate);
+      query->direct.emplace_back(wire.source, gate);
+    }
+  }
+  query->pending_wires.clear();
+  query->catching_up = false;
+  GEOSTREAMS_LOG(kInfo) << "query " << id << " caught up: " << items.size()
+                        << " stored frames replayed, live at the watermark";
+  return Status::OK();
+  }();
+  if (!replayed.ok()) {
+    // Clear the replay guard, then reuse the normal teardown (it
+    // skips inputs that never got wired).
+    {
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      auto it = queries_.find(id);
+      if (it != queries_.end()) it->second->catching_up = false;
+    }
+    Status ignored = UnregisterQuery(id);
+    (void)ignored;
+    return replayed;
+  }
+  return id;
+}
+
 Result<QueryId> DsmsServer::RegisterDerivedStream(
     const std::string& name, const std::string& query_text) {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
@@ -442,7 +713,7 @@ Result<QueryId> DsmsServer::RegisterDerivedStream(
 
 Result<QueryId> DsmsServer::RegisterInternal(
     const std::string& query_text, FrameCallback callback,
-    const std::string& derived_name) {
+    const std::string& derived_name, bool defer_wiring) {
   GEOSTREAMS_ASSIGN_OR_RETURN(ExprPtr parsed, ParseQuery(query_text));
   GEOSTREAMS_RETURN_IF_ERROR(AnalyzeQuery(catalog_, parsed));
   GEOSTREAMS_ASSIGN_OR_RETURN(
@@ -480,6 +751,12 @@ Result<QueryId> DsmsServer::RegisterInternal(
           options_.index_kind, view_desc.reference_lattice().Extent()));
     }
     source->guard = std::make_unique<GuardedIngestSink>(this, source.get());
+    if (store_ != nullptr) {
+      // Derived streams (continuous views) are history too: late
+      // subscribers to e.g. a shared NDVI view catch up the same way.
+      source->store_sink =
+          std::make_unique<StoreIngestSink>(store_.get(), derived_name);
+    }
     source->boundary_dead_letters = std::make_unique<DeadLetterQueue>(
         options_.dead_letter_capacity, options_.dead_letter_max_bytes);
     source->boundary_dead_letters->BindMemoryTracker(&memory_,
@@ -497,6 +774,16 @@ Result<QueryId> DsmsServer::RegisterInternal(
   ExprPtr plan_expr = CloneExpr(optimized);
   if (options_.shared_restriction) {
     plan_expr = PeelLeafRestrictions(id, plan_expr, query.get());
+  }
+  // Temporal IO-pruning hints for the catch-up replay, keyed by the
+  // plan's leaf names (synthetic for peeled inputs).
+  std::map<std::string, std::vector<TimeSet>> time_hints;
+  if (defer_wiring) {
+    std::map<std::string, int> leaf_count;
+    CollectTimeHints(plan_expr, {}, &time_hints, &leaf_count);
+    for (const auto& [leaf, count] : leaf_count) {
+      if (count > 1) time_hints[leaf].clear();
+    }
   }
   GEOSTREAMS_ASSIGN_OR_RETURN(query->plan,
                               BuildPlan(plan_expr, plan_sink, &memory_));
@@ -548,6 +835,19 @@ Result<QueryId> DsmsServer::RegisterInternal(
           return p.input_name == input_name;
         });
     if (peeled_it != query->peeled.end()) {
+      if (defer_wiring) {
+        QueryState::PendingWire wire;
+        wire.source = peeled_it->source;
+        wire.input_name = input_name;
+        wire.entry = entry;
+        wire.region = peeled_it->region;
+        wire.times = time_hints[input_name];
+        wire.is_peeled = true;
+        wire.peeled_index =
+            static_cast<size_t>(peeled_it - query->peeled.begin());
+        query->pending_wires.push_back(std::move(wire));
+        continue;
+      }
       SourceState* source = sources_.at(peeled_it->source).get();
       peeled_it->shared_id = id * 1000 +
           static_cast<QueryId>(peeled_it - query->peeled.begin());
@@ -559,9 +859,19 @@ Result<QueryId> DsmsServer::RegisterInternal(
     if (source_it == sources_.end()) {
       return Status::NotFound("query reads unknown stream: " + input_name);
     }
+    if (defer_wiring) {
+      QueryState::PendingWire wire;
+      wire.source = input_name;
+      wire.input_name = input_name;
+      wire.entry = entry;
+      wire.times = time_hints[input_name];
+      query->pending_wires.push_back(std::move(wire));
+      continue;
+    }
     source_it->second->direct_targets.push_back(entry);
     query->direct.emplace_back(input_name, entry);
   }
+  query->catching_up = defer_wiring;
 
   GEOSTREAMS_LOG(kInfo) << "registered "
                         << (query->is_derived ? "derived stream " : "query ")
@@ -590,8 +900,19 @@ Status DsmsServer::UnregisterQuery(QueryId id) {
           "query %lld is already being unregistered",
           static_cast<long long>(id)));
     }
+    if (query.catching_up) {
+      // The catch-up replay holds raw pointers to this query's entry
+      // sinks without any lock; tearing them down now would be a
+      // use-after-free. Retryable — the replay window is short.
+      return Status::FailedPrecondition(StringPrintf(
+          "query %lld is still catching up from the store; retry",
+          static_cast<long long>(id)));
+    }
     query.unregistering = true;
     for (const auto& peeled : query.peeled) {
+      // shared_id 0 = never wired (a catch-up registration that
+      // failed before phase 2); nothing to detach.
+      if (peeled.shared_id == 0) continue;
       auto source_it = sources_.find(peeled.source);
       if (source_it != sources_.end() && source_it->second->shared) {
         Status st = source_it->second->shared->UnregisterQuery(

@@ -15,6 +15,8 @@
 #define GEOSTREAMS_SERVER_DSMS_SERVER_H_
 
 #include <atomic>
+#include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -29,6 +31,8 @@
 #include "query/optimizer.h"
 #include "query/planner.h"
 #include "storage/journal.h"
+#include "store/catch_up_gate.h"
+#include "store/tile_store.h"
 #include "stream/memory_tracker.h"
 #include "stream/scheduler.h"
 
@@ -95,6 +99,29 @@ struct DsmsOptions {
   /// `dir` and `metrics` fields are overwritten from `journal_dir` and
   /// the server's own registry.
   JournalOptions journal;
+  /// Tiled historical store directory. Empty = no history: late
+  /// subscribers see only frames arriving after they register (the
+  /// pure-stream behavior). Set, every assembled source frame is
+  /// persisted as a tiled + pyramided mosaic, and RegisterQuery's
+  /// catch-up overload (the control plane's `QUERY ... SINCE <t>`)
+  /// replays recorded history before cutting over to the live stream
+  /// exactly once at a frame-id watermark.
+  std::string store_dir;
+  /// Store tuning (tile size, overview levels, segment rotation). The
+  /// `dir` and `metrics` fields are overwritten from `store_dir` and
+  /// the server's own registry.
+  TileStoreOptions store;
+};
+
+/// Catch-up parameters for RegisterQuery's hybrid stream/stored path.
+struct CatchUpOptions {
+  /// Replay committed frames with id >= since before going live.
+  /// INT64_MIN = the full recorded history.
+  int64_t since = std::numeric_limits<int64_t>::min();
+  /// Invoked with the query id once the query is registered but
+  /// before any history replays — network sessions use this to bind
+  /// the id their delivery callback stamps on catch-up frames.
+  std::function<void(QueryId)> on_registered;
 };
 
 class DsmsServer {
@@ -109,6 +136,19 @@ class DsmsServer {
   /// handed to `callback`. Returns the query id.
   Result<QueryId> RegisterQuery(const std::string& query_text,
                                 FrameCallback callback);
+
+  /// Registers a continuous query with historical catch-up: replays
+  /// every committed store frame with id >= catch_up.since through
+  /// the query's plan, then cuts over to the live stream exactly once
+  /// at a frame-id watermark — no gap, no duplicate (see
+  /// CatchUpGate). Requires DsmsOptions::store_dir; without a store
+  /// this degrades to plain registration (there is no history to
+  /// replay). The callback starts firing during this call (on the
+  /// calling thread for the history replay, then from the normal
+  /// delivery path) — it must be ready before registration returns.
+  Result<QueryId> RegisterQuery(const std::string& query_text,
+                                FrameCallback callback,
+                                const CatchUpOptions& catch_up);
 
   /// Registers a *derived stream* (a continuous view): the query's
   /// output becomes a new catalog stream named `name` that later
@@ -166,6 +206,11 @@ class DsmsServer {
   /// empty or the journal failed to open (logged — the server then
   /// runs without durability rather than not at all).
   IngestJournal* journal() const { return journal_.get(); }
+
+  /// The tiled historical store; null when DsmsOptions::store_dir is
+  /// empty or the store failed to open (logged — the server then runs
+  /// stream-only rather than not at all).
+  TileStore* store() const { return store_.get(); }
 
   /// Retained trace records for a query (`TRACE <id>`): with a worker
   /// pool, the query pipeline's own ring; on a synchronous server all
@@ -232,9 +277,14 @@ class DsmsServer {
   class IsolatedEntrySink;
   class GuardedIngestSink;
 
+  /// When `defer_wiring` is set (the catch-up path), plan inputs are
+  /// built and recorded as pending wirings but NOT attached to their
+  /// sources — the caller attaches them later, behind CatchUpGates,
+  /// after replaying history (see RegisterQuery's catch-up overload).
   Result<QueryId> RegisterInternal(const std::string& query_text,
                                    FrameCallback callback,
-                                   const std::string& derived_name);
+                                   const std::string& derived_name,
+                                   bool defer_wiring = false);
 
   /// Peels optimizer-pushed leaf restrictions region(stream) out of
   /// the tree, recording (stream, region) pairs; the peeled leaves get
@@ -256,6 +306,14 @@ class DsmsServer {
   /// Declared after the registry (journal metrics point into it) and
   /// before the scheduler/sources (sessions append through it).
   std::unique_ptr<IngestJournal> journal_;
+  /// Tiled historical store (null without store_dir). Declared after
+  /// the registry (store metrics point into it) and before sources_/
+  /// queries_ (StoreIngestSinks and CatchUpGates point into it, so
+  /// they must be destroyed first).
+  std::unique_ptr<TileStore> store_;
+  /// Catch-up accounting (null without a store).
+  Counter* m_catchup_frames_ = nullptr;
+  Counter* m_seam_frames_ = nullptr;
   std::atomic<uint64_t> next_trace_id_{1};
   /// Finished traces on a synchronous server (workers == 0), where
   /// there are no per-pipeline rings. Multi-producer safe.

@@ -20,9 +20,11 @@
 // segment) and retires the oldest closed segments past the byte/age
 // retention caps. Durability is a policy knob: kPerRecord fsyncs
 // before every ACK (the strict ack-gated contract the kill-point
-// harness audits), kGroupCommit fsyncs at most every
-// `group_commit_interval_ms` (bounded loss window on power failure;
-// nothing lost on a plain process kill), kOff leaves it to the OS.
+// harness audits), kGroupCommit leaves fsync to a background flusher
+// thread that runs every `group_commit_interval_ms` — the append (and
+// hence the ACK) never waits on the disk, and the loss window on
+// power failure stays bounded by the interval (nothing is lost on a
+// plain process kill either way) — and kOff leaves it to the OS.
 //
 // Startup recovery (IngestJournal::Open) scans every source in seq
 // order and classifies damage by position:
@@ -51,12 +53,14 @@
 #ifndef GEOSTREAMS_STORAGE_JOURNAL_H_
 #define GEOSTREAMS_STORAGE_JOURNAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -70,7 +74,8 @@ class DeadLetterStore;
 /// When the journal fsyncs relative to the ACK it gates.
 enum class FsyncPolicy : uint8_t {
   kPerRecord,    // fsync before every ack: acked == on stable storage
-  kGroupCommit,  // fsync at most every group_commit_interval_ms
+  kGroupCommit,  // background flusher fsyncs every interval; appends
+                 // never wait on the disk
   kOff,          // never fsync; the OS page cache decides
 };
 
@@ -99,8 +104,8 @@ struct JournalOptions {
   /// Root directory (created if missing). Must be non-empty.
   std::string dir;
   FsyncPolicy fsync = FsyncPolicy::kPerRecord;
-  /// kGroupCommit: maximum staleness of the last fsync when an append
-  /// returns (and hence when the ACK goes out).
+  /// kGroupCommit: cadence of the background flusher thread, and hence
+  /// the maximum durability lag of an acked record on power failure.
   uint64_t group_commit_interval_ms = 5;
   /// Rotate the active segment once it reaches this many bytes.
   uint64_t segment_max_bytes = 8u << 20;
@@ -240,6 +245,10 @@ class IngestJournal {
   Status RecoverAll();
   Status RecoverSource(const std::string& source_dir_name);
   Result<std::unique_ptr<WritableFile>> OpenFile(const std::string& path);
+  /// Group-commit flusher: ticks every group_commit_interval_ms and
+  /// fsyncs every dirty source (SyncLocked skips clean ones).
+  void FlusherLoop();
+  void StopFlusher();
 
   /// Directory (under dir_) holding `source`'s segments.
   static std::string SourceDirName(const std::string& source);
@@ -250,6 +259,12 @@ class IngestJournal {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<SourceJournal>> sources_;
   std::map<std::string, std::unique_ptr<DeadLetterStore>> dead_letters_;
+
+  // Group-commit flusher (running only under FsyncPolicy::kGroupCommit).
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool flusher_stop_ = false;
+  std::thread flusher_;
 
   // geostreams_journal_* series; null without a registry.
   Counter* m_appends_ = nullptr;

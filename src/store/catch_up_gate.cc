@@ -1,0 +1,48 @@
+#include "store/catch_up_gate.h"
+
+#include <limits>
+
+namespace geostreams {
+
+Status CatchUpGate::Consume(const StreamEvent& event) {
+  if (live_.load(std::memory_order_acquire)) {
+    return downstream_->Consume(event);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_.load(std::memory_order_relaxed)) {
+    return downstream_->Consume(event);
+  }
+  switch (event.kind) {
+    case EventKind::kFrameBegin:
+      if (event.frame.frame_id > watermark_) {
+        // Cut-over: any frame committed after the wiring snapshot but
+        // before this one comes from the store, exactly once.
+        if (replay_) {
+          GEOSTREAMS_RETURN_IF_ERROR(
+              replay_(watermark_, event.frame.frame_id, downstream_));
+        }
+        live_.store(true, std::memory_order_release);
+        return downstream_->Consume(event);
+      }
+      dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    case EventKind::kStreamEnd:
+      // The stream ends before another live frame: drain the seam to
+      // the end of recorded history, then let the end through.
+      if (replay_) {
+        GEOSTREAMS_RETURN_IF_ERROR(replay_(
+            watermark_, std::numeric_limits<int64_t>::max(), downstream_));
+      }
+      live_.store(true, std::memory_order_release);
+      return downstream_->Consume(event);
+    case EventKind::kPointBatch:
+    case EventKind::kFrameEnd:
+      // Interior of a frame at or below the watermark (it is already
+      // in the store) — or of the in-flight frame whose Begin
+      // preceded wiring, which the seam replay will deliver whole.
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace geostreams

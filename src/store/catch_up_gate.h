@@ -1,0 +1,75 @@
+// Exactly-once seam between stored history and the live stream.
+//
+// A catch-up query replays committed frames up to a watermark W0 from
+// the TileStore, then its live wiring must deliver every frame after
+// W0 and nothing at or below it. The gate sits where the live fan-out
+// would normally feed the query's entry sink and enforces that
+// contract:
+//
+//   * While gated, every live event is dropped EXCEPT the first
+//     FrameBegin whose id exceeds the watermark. Frames at or below
+//     the watermark were (or will be, via the seam replay) served
+//     from the store — forwarding them live would duplicate.
+//   * On that first post-watermark FrameBegin the gate invokes the
+//     seam replay — the store scan of the open interval
+//     (watermark, frame_id) — to deliver any frame that committed
+//     between the wiring snapshot and this moment, then forwards the
+//     FrameBegin and goes transparent forever (a single relaxed
+//     atomic load on the hot path).
+//   * StreamEnd while still gated replays (watermark, +inf) first so
+//     a stream that ends before producing another frame still yields
+//     its full history, then forwards the StreamEnd.
+//
+// The gate is driven by the single ingest thread of its source (the
+// fan-out contract), so the mutex is uncontended; it exists to make
+// the live_ flip safe against concurrent readers of the flag.
+
+#ifndef GEOSTREAMS_STORE_CATCH_UP_GATE_H_
+#define GEOSTREAMS_STORE_CATCH_UP_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/status.h"
+#include "core/stream_event.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+/// Replays committed store frames with ids in the OPEN interval
+/// (after, before) into the sink, ascending.
+using SeamReplayFn =
+    std::function<Status(int64_t after, int64_t before, EventSink* sink)>;
+
+class CatchUpGate : public EventSink {
+ public:
+  CatchUpGate(EventSink* downstream, int64_t watermark, SeamReplayFn replay)
+      : downstream_(downstream),
+        watermark_(watermark),
+        replay_(std::move(replay)) {}
+
+  Status Consume(const StreamEvent& event) override;
+
+  /// True once the gate has cut over to the live stream.
+  bool live() const { return live_.load(std::memory_order_acquire); }
+
+  /// Frames dropped while gated (duplicates avoided); diagnostics.
+  uint64_t dropped_frames() const {
+    return dropped_frames_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  EventSink* downstream_;
+  const int64_t watermark_;
+  SeamReplayFn replay_;
+
+  std::mutex mu_;
+  std::atomic<bool> live_{false};
+  std::atomic<uint64_t> dropped_frames_{0};
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_STORE_CATCH_UP_GATE_H_

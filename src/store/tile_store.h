@@ -1,0 +1,277 @@
+// Tiled historical store: the durable, queryable past of every
+// source stream (the TerraServer-style tile pyramid adapted to the
+// paper's stream model).
+//
+// The live chain only serves frames that arrive after a query
+// registers. The TileStore persists each assembled frame as a mosaic
+// of fixed-grid tiles plus a pyramid of overview levels (factor-2,
+// mask-aware box reduction), so that
+//   * late subscribers replay recorded history and cut over to the
+//     live stream at a frame-id watermark (see the server's catch-up
+//     path and CatchUpGate),
+//   * temporal restrictions G|T reach into the past, and
+//   * reduce/magnify at coarse zoom reads a small overview level
+//     instead of every full-resolution tile.
+//
+// Layout under TileStoreOptions::dir (one directory per source, same
+// sanitization discipline as the ingest journal):
+//
+//   <dir>/<source-dir>/name            original source name
+//   <dir>/<source-dir>/page-<n>.gst    append-only tile-page segments
+//
+// Record framing reuses the GSF1/journal discipline — a 16-byte
+// header with magic "GST1", record type, pyramid level, version, the
+// payload length, and a CRC-32 of the payload — so records are
+// self-delimiting and integrity-checked:
+//
+//   kFrameMeta    frame id, band count, level count, expected points,
+//                 and the base lattice (CRS name + geometry)
+//   kTilePage     one tile of one level: tile indices, tile extents,
+//                 an occupancy bitmap, then the filled cells' samples
+//                 (band-interleaved doubles, filled cells only —
+//                 lossless and sparse-friendly for restricted
+//                 coverage)
+//   kFrameCommit  per-level tile counts; a frame exists only once its
+//                 commit record is durable (torn mid-frame writes are
+//                 invisible after recovery)
+//
+// All records of one frame are contiguous in one segment (rotation
+// happens only between frames), so startup recovery classifies damage
+// exactly like the journal: a bad record with nothing valid after it
+// in the source's last segment is a torn tail (truncated — the frame
+// was never committed); a bad record with valid records after it is
+// mid-file corruption (the region is skipped and counted, every
+// committed frame around it keeps serving). Tile payload CRCs are
+// re-verified on every read, so bit rot in a cold page is detected
+// and skipped rather than served.
+//
+// Thread-safety: PutFrame serializes per source; Scan snapshots the
+// frame index under the source mutex and then reads pages via pread
+// with no lock held (segments are append-only and never retired, so
+// offsets cannot move underneath a reader).
+
+#ifndef GEOSTREAMS_STORE_TILE_STORE_H_
+#define GEOSTREAMS_STORE_TILE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/stream_event.h"
+#include "geo/region.h"
+#include "obs/metrics_registry.h"
+#include "ops/time_set.h"
+#include "raster/frame_assembler.h"
+#include "storage/journal.h"
+#include "stream/operator.h"
+
+namespace geostreams {
+
+struct TileStoreOptions {
+  /// Root directory (created if missing). Must be non-empty.
+  std::string dir;
+  /// Tile extent in cells (tiles are tile_size x tile_size; edge
+  /// tiles are clipped).
+  int tile_size = 64;
+  /// Overview levels generated above the base level, each halving the
+  /// resolution, until the whole frame fits one tile (capped here).
+  int max_levels = 10;
+  /// Rotate the active page segment once it reaches this many bytes
+  /// (only between frames — one frame's records never span segments).
+  uint64_t segment_max_bytes = 32u << 20;
+  /// fsync the active segment after every committed frame. Off by
+  /// default: a torn frame is invisible after recovery either way
+  /// (no commit record, no frame), fsync only narrows the loss
+  /// window on power failure.
+  bool fsync_frames = false;
+  /// File opener; null = OpenPosixWritable. Tests inject FaultyFile.
+  WritableFileFactory file_factory;
+  /// Optional registry for geostreams_store_* series. Not owned.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// What recovery found across all sources (stable after Open).
+struct TileStoreRecovery {
+  uint64_t frames_recovered = 0;
+  uint64_t tile_pages_recovered = 0;
+  uint64_t duplicate_frames = 0;    // frame id committed twice; kept once
+  uint64_t incomplete_frames = 0;   // meta/pages without a commit record
+  uint64_t torn_tails = 0;          // truncated half-written tails
+  uint64_t torn_bytes = 0;
+  uint64_t corrupt_regions = 0;     // mid-file damage, skipped
+};
+
+/// One region x time x resolution subset read. Defaults read
+/// everything at full resolution.
+struct StoreScan {
+  /// Frame-id (= scan-sector timestamp) bounds, inclusive.
+  int64_t min_frame_id = std::numeric_limits<int64_t>::min();
+  int64_t max_frame_id = std::numeric_limits<int64_t>::max();
+  /// Temporal restrictions pushed down from the query plan: when some
+  /// set does not contain a frame's id, its tiles are never read —
+  /// but its FrameBegin/FrameEnd are still emitted, because the live
+  /// TemporalRestrictionOp forwards frame control events and filters
+  /// only points, and a catch-up replay must reproduce the exact live
+  /// sequence. Purely an IO-pruning hint; the plan re-applies its own
+  /// restrictions.
+  std::vector<TimeSet> times;
+  /// Spatial subset: tiles whose extent misses region->bounds() are
+  /// never read, and points are filtered exactly with Contains().
+  RegionPtr region;
+  /// Resolution hint: reads the deepest overview level whose scale
+  /// 2^level does not exceed this (1 = the full-resolution base).
+  /// Coarse-zoom reads thus touch a fraction of the tiles and cells.
+  int reduce = 1;
+  /// Points per emitted batch.
+  size_t max_batch_points = 4096;
+};
+
+/// Per-source write-side counters (tests/diagnostics).
+struct TileStoreStats {
+  uint64_t frames_written = 0;
+  uint64_t tiles_written = 0;
+  uint64_t bytes_written = 0;
+  uint64_t write_errors = 0;
+  uint64_t frames_read = 0;
+  uint64_t tiles_read = 0;
+  uint64_t tile_read_errors = 0;
+};
+
+class TileStore {
+ public:
+  /// Creates `options.dir` if needed and recovers every source
+  /// directory found there (truncating torn tails, skipping corrupt
+  /// regions, dropping uncommitted frames).
+  static Result<std::unique_ptr<TileStore>> Open(TileStoreOptions options);
+
+  ~TileStore();
+
+  TileStore(const TileStore&) = delete;
+  TileStore& operator=(const TileStore&) = delete;
+
+  const TileStoreRecovery& recovery() const { return recovery_; }
+  const TileStoreOptions& options() const { return options_; }
+
+  /// Persists one assembled frame for `source`: tiles the base
+  /// raster, builds the overview pyramid (mask-aware factor-2 box
+  /// reduction — nodata cells never fabricate values), and appends
+  /// meta + pages + commit as one contiguous record run. Idempotent
+  /// on frame id: a frame already committed (e.g. a producer replay
+  /// after a crash) is a no-op. On a write error the active segment
+  /// is abandoned (recovery sees an uncommitted run) and the frame is
+  /// not indexed.
+  Status PutFrame(const std::string& source, const FrameInfo& info,
+                  const Raster& raster, const std::vector<uint8_t>& filled);
+
+  /// Highest committed frame id for `source`; INT64_MIN when the
+  /// source has no committed frames. This is the catch-up watermark:
+  /// every frame at or below it is served from the store, everything
+  /// after it from the live stream.
+  int64_t Watermark(const std::string& source) const;
+
+  /// Committed frame ids in [lo, hi], ascending.
+  std::vector<int64_t> FrameIds(const std::string& source, int64_t lo,
+                                int64_t hi) const;
+
+  /// Replays every committed frame matching `scan` (ascending frame
+  /// id) into `sink` as the live chain would have delivered it:
+  /// FrameBegin (with the level's lattice), point batches of the
+  /// filled cells, FrameEnd. Never emits StreamEnd — the caller owns
+  /// stream lifecycle. Unknown sources scan zero frames.
+  Status Scan(const std::string& source, const StoreScan& scan,
+              EventSink* sink);
+
+  /// Scan() for a single frame id. NotFound when the frame is not
+  /// committed (or is filtered by the scan bounds).
+  Status ScanFrame(const std::string& source, int64_t frame_id,
+                   const StoreScan& scan, EventSink* sink);
+
+  /// Aggregate counters across sources.
+  TileStoreStats TotalStats() const;
+
+  /// fsyncs every source's active segment (shutdown, tests).
+  Status SyncAll();
+
+ private:
+  struct TileRef;
+  struct StoredLevel;
+  struct StoredFrame;
+  struct SourceStore;
+
+  explicit TileStore(TileStoreOptions options);
+
+  Status RecoverAll();
+  Status RecoverSource(const std::string& source_dir_name);
+  SourceStore* SourceFor(const std::string& source);
+  SourceStore* FindSource(const std::string& source) const;
+  Result<std::unique_ptr<WritableFile>> OpenFile(const std::string& path);
+  Status EnsureOpenLocked(SourceStore* src);
+  Status EmitFrame(SourceStore* src,
+                   const std::shared_ptr<const StoredFrame>& frame,
+                   const StoreScan& scan, EventSink* sink);
+  /// pread of one tile record, CRC-verified. `buf` is reused.
+  Status ReadTileRecord(SourceStore* src, const TileRef& ref,
+                        std::vector<uint8_t>* buf);
+
+  TileStoreOptions options_;
+  TileStoreRecovery recovery_;
+
+  mutable std::mutex mu_;  // guards sources_ (map itself)
+  std::map<std::string, std::unique_ptr<SourceStore>> sources_;
+
+  // geostreams_store_* series; null without a registry.
+  Counter* m_frames_written_ = nullptr;
+  Counter* m_tiles_written_ = nullptr;
+  Counter* m_bytes_written_ = nullptr;
+  Counter* m_write_errors_ = nullptr;
+  Counter* m_frames_read_ = nullptr;
+  Counter* m_tiles_read_ = nullptr;
+  Counter* m_tile_read_errors_ = nullptr;
+  Counter* m_frames_recovered_ = nullptr;
+  Counter* m_torn_tails_ = nullptr;
+  Counter* m_corrupt_regions_ = nullptr;
+  MetricHistogram* m_put_latency_us_ = nullptr;
+  MetricHistogram* m_scan_frame_latency_us_ = nullptr;
+};
+
+/// EventSink that assembles each frame of one source and persists it
+/// into the store. Sits at the server's ingest fan-out, ahead of the
+/// query chains, so a frame's commit record is durable before any
+/// later event reaches a CatchUpGate (the ordering the cut-over seam
+/// replay depends on). Store failures are counted and logged once —
+/// the live chain never stalls because the disk is unhappy.
+class StoreIngestSink : public EventSink {
+ public:
+  StoreIngestSink(TileStore* store, std::string source);
+
+  Status Consume(const StreamEvent& event) override;
+
+  uint64_t frames_stored() const {
+    return frames_stored_.load(std::memory_order_relaxed);
+  }
+  uint64_t store_errors() const {
+    return store_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TileStore* store_;
+  const std::string source_;
+  FrameAssembler assembler_;
+  /// FrameBegin metadata buffered until the first batch reveals the
+  /// band count (frames with no batches assemble with one band).
+  bool frame_pending_ = false;
+  FrameInfo pending_info_;
+  std::atomic<uint64_t> frames_stored_{0};
+  std::atomic<uint64_t> store_errors_{0};
+  bool warned_ = false;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_STORE_TILE_STORE_H_

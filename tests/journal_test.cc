@@ -15,6 +15,7 @@
 #include <random>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/wire_protocol.h"
@@ -323,6 +324,72 @@ TEST(JournalTest, FsyncPolicies) {
     }
     EXPECT_EQ((*sj)->stats().fsyncs, 0u);
   }
+}
+
+TEST(JournalTest, GroupCommitFlusherSyncsInTheBackground) {
+  // With a short interval, the background flusher thread fsyncs dirty
+  // sources on its own — no append or explicit Sync ever does.
+  const std::string source = "flush.src";
+  JournalOptions options;
+  options.dir = FreshDir("bg");
+  options.fsync = FsyncPolicy::kGroupCommit;
+  options.group_commit_interval_ms = 2;
+  auto journal = IngestJournal::Open(options);
+  GS_ASSERT_OK_(journal.status());
+  auto sj = (*journal)->SourceFor(source);
+  GS_ASSERT_OK_(sj.status());
+  for (uint64_t seq = 1; seq <= 4; ++seq) {
+    GS_ASSERT_OK_((*sj)->Append(Msg(source, seq)));
+  }
+  // The flusher catches up within a couple of intervals.
+  uint64_t fsyncs = 0;
+  for (int i = 0; i < 500 && fsyncs == 0; ++i) {
+    fsyncs = (*sj)->stats().fsyncs;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(fsyncs, 1u);
+
+  // Idle ticks stay cheap: a clean source is skipped, so fsyncs stop
+  // climbing once the dirty bytes are down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const uint64_t settled = (*sj)->stats().fsyncs;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ((*sj)->stats().fsyncs, settled);
+
+  // New dirty bytes wake the next tick.
+  GS_ASSERT_OK_((*sj)->Append(Msg(source, 5)));
+  uint64_t after = settled;
+  for (int i = 0; i < 500 && after == settled; ++i) {
+    after = (*sj)->stats().fsyncs;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(after, settled);
+}
+
+TEST(JournalTest, GroupCommitShutdownFlushesAndRecovers) {
+  // Destruction stops the flusher and force-syncs, so a clean close
+  // loses nothing even with a never-firing interval.
+  const std::string source = "close.src";
+  JournalOptions options;
+  options.dir = FreshDir("shutdown");
+  options.fsync = FsyncPolicy::kGroupCommit;
+  options.group_commit_interval_ms = 1000u * 1000u;
+  {
+    auto journal = IngestJournal::Open(options);
+    GS_ASSERT_OK_(journal.status());
+    auto sj = (*journal)->SourceFor(source);
+    GS_ASSERT_OK_(sj.status());
+    for (uint64_t seq = 1; seq <= 12; ++seq) {
+      GS_ASSERT_OK_((*sj)->Append(Msg(source, seq)));
+    }
+    EXPECT_EQ((*sj)->stats().fsyncs, 0u);
+  }
+  auto reopened = IngestJournal::Open(options);
+  GS_ASSERT_OK_(reopened.status());
+  const auto& rec = (*reopened)->recovery().sources.at(source);
+  EXPECT_EQ(rec.records_replayed, 12u);
+  EXPECT_EQ(rec.next_seq, 13u);
+  EXPECT_FALSE(rec.torn_tail);
 }
 
 TEST(JournalTest, MetricsTrackAppendsAndFsyncLatency) {

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <string>
 #include <thread>
 
@@ -146,14 +147,46 @@ TEST(FrameDecoderTest, DemultiplexesTextAndBinaryAcrossChunks) {
 }
 
 TEST(FrameDecoderTest, GarbageAfterMagicPoisonsTheStream) {
+  // Only the FULL 4-byte magic selects the binary path; garbage after
+  // it (bad type byte here) is desynchronization and stays fatal.
   FrameDecoder decoder;
   std::vector<uint8_t> junk(kWireHeaderSize, 0x00);
-  junk[0] = 'G';  // looks binary, is not
+  junk[0] = 'G';
+  junk[1] = 'S';
+  junk[2] = 'F';
+  junk[3] = '1';
   decoder.Feed(junk.data(), junk.size());
   auto first = decoder.Next();
   EXPECT_FALSE(first.ok());
   auto second = decoder.Next();  // the error is sticky
   EXPECT_FALSE(second.ok());
+}
+
+TEST(FrameDecoderTest, GLeadingTextStaysOnTheLinePath) {
+  // 'G'-leading text ("GET /metrics", future verbs) must not be
+  // mistaken for a binary frame even when the first bytes arrive
+  // alone — the decoder waits until the 4-byte magic is decided.
+  FrameDecoder decoder;
+  const std::string request = "GET /metrics HTTP/1.0\r\n";
+  decoder.Feed(reinterpret_cast<const uint8_t*>(request.data()), 2);
+  auto pending = decoder.Next();
+  ASSERT_TRUE(pending.ok()) << pending.status().ToString();
+  EXPECT_FALSE(pending->has_value());  // "GE" could still become magic
+  decoder.Feed(reinterpret_cast<const uint8_t*>(request.data()) + 2,
+               request.size() - 2);
+  auto unit = decoder.Next();
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  ASSERT_TRUE(unit->has_value());
+  ASSERT_TRUE((*unit)->line.has_value());
+  EXPECT_EQ(*(*unit)->line, "GET /metrics HTTP/1.0");
+
+  // And a real binary frame still decodes right after it.
+  const std::vector<uint8_t> wire = EncodeFrameMessage(SampleMessage());
+  decoder.Feed(wire.data(), wire.size());
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_TRUE((*frame)->frame.has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -174,9 +207,29 @@ class FakeHooks : public SessionHooks {
     return "enqueued=1 dropped=0 keep=1.00";
   }
 
+  Result<QueryId> RegisterClientQuerySince(const std::string& text,
+                                           int64_t since) override {
+    last_query = text;
+    last_since = since;
+    if (fail_register) return Status::ParseError("bad query");
+    return QueryId{8};
+  }
+  Status ControlAuth(const std::string& token) override {
+    authorized = token == "sesame";
+    return authorized ? Status::OK()
+                      : Status::FailedPrecondition("control token rejected");
+  }
+  Status AuthorizeControl() override {
+    if (!require_auth || authorized) return Status::OK();
+    return Status::FailedPrecondition("control token required (AUTH <token>)");
+  }
+
   std::string last_query;
+  int64_t last_since = INT64_MIN;
   QueryId last_unregistered = -1;
   bool fail_register = false;
+  bool require_auth = false;
+  bool authorized = false;
 };
 
 TEST(CommandDispatchTest, CoreVerbs) {
@@ -213,6 +266,74 @@ TEST(CommandDispatchTest, ErrorsAreErrResponses) {
   hooks.fail_register = true;
   EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "QUERY x"),
                          "ERR ParseError"));
+}
+
+TEST(CommandDispatchTest, QuerySinceRoutesToTheCatchUpHook) {
+  DsmsServer server;
+  FakeHooks hooks;
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "QUERY ndvi(a.b, a.c) SINCE 17"),
+            "OK QUERY 8");
+  EXPECT_EQ(hooks.last_query, "ndvi(a.b, a.c)");
+  EXPECT_EQ(hooks.last_since, 17);
+
+  // Case-insensitive, negative watermarks allowed.
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "query a.b since -3"),
+            "OK QUERY 8");
+  EXPECT_EQ(hooks.last_since, -3);
+
+  // "SINCE" without a numeric tail is part of the query text, not the
+  // clause: the plain register hook gets the whole string.
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "QUERY a.since"), "OK QUERY 7");
+  EXPECT_EQ(hooks.last_query, "a.since");
+  // A bare "since N" with no query text in front is not a clause —
+  // it reaches the parser as query text and fails there, not here.
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "QUERY since 5"), "OK QUERY 7");
+  EXPECT_EQ(hooks.last_query, "since 5");
+}
+
+TEST(CommandDispatchTest, MutatingVerbsRequireAuthWhenConfigured) {
+  DsmsServer server;
+  FakeHooks hooks;
+  hooks.require_auth = true;
+  // Read-only verbs stay open.
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "PING"), "OK PONG");
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "HEALTH"), "OK HEALTH n=0");
+  // Mutating verbs bounce until AUTH succeeds.
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "QUERY a.b"),
+                         "ERR FailedPrecondition"));
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "UNREGISTER 7"),
+                         "ERR FailedPrecondition"));
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "RESTART 1"),
+                         "ERR FailedPrecondition"));
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "DLQ 1"),
+                         "ERR FailedPrecondition"));
+  EXPECT_TRUE(StartsWith(ExecuteCommand(&server, &hooks, "AUTH wrong"),
+                         "ERR FailedPrecondition"));
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "AUTH sesame"), "OK AUTH");
+  EXPECT_EQ(ExecuteCommand(&server, &hooks, "QUERY a.b"), "OK QUERY 7");
+}
+
+TEST(CommandDispatchTest, HttpRequestHandling) {
+  EXPECT_TRUE(IsHttpRequestLine("GET /metrics HTTP/1.0"));
+  EXPECT_TRUE(IsHttpRequestLine("HEAD /metrics HTTP/1.1"));
+  EXPECT_TRUE(IsHttpRequestLine("  GET / HTTP/1.1"));
+  EXPECT_FALSE(IsHttpRequestLine("QUERY a.b"));
+  EXPECT_FALSE(IsHttpRequestLine("GETX /"));
+
+  DsmsServer server;
+  const std::string ok = HandleHttpRequest(&server, "GET /metrics HTTP/1.0");
+  EXPECT_TRUE(StartsWith(ok, "HTTP/1.0 200 OK\r\n"));
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(ok.find("geostreams_"), std::string::npos);
+  EXPECT_NE(ok.find("Connection: close"), std::string::npos);
+
+  const std::string head = HandleHttpRequest(&server, "HEAD /metrics HTTP/1.1");
+  EXPECT_TRUE(StartsWith(head, "HTTP/1.0 200 OK\r\n"));
+  EXPECT_EQ(head.find("geostreams_"), std::string::npos);  // no body
+
+  const std::string missing = HandleHttpRequest(&server, "GET /nope HTTP/1.0");
+  EXPECT_TRUE(StartsWith(missing, "HTTP/1.0 404 Not Found\r\n"));
 }
 
 // ---------------------------------------------------------------------------
@@ -694,6 +815,125 @@ TEST(NetServerE2eTest, AttachToUnknownOrDuplicateQueryIdIsRefused) {
                                                static_cast<long long>(id)));
   ASSERT_TRUE(duplicate.ok());
   EXPECT_TRUE(StartsWith(*duplicate, "ERR AlreadyExists")) << *duplicate;
+}
+
+// ---------------------------------------------------------------------------
+// HTTP pull endpoint, control auth, and hybrid QUERY ... SINCE
+
+TEST(NetServerE2eTest, HttpMetricsEndpointServesPrometheusText) {
+  NetFixture fixture;
+  GS_ASSERT_OK(fixture.Ingest(0, 2));
+
+  auto fd = ConnectTcp("127.0.0.1", fixture.net().port(), 2000);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  const std::string request =
+      "GET /metrics HTTP/1.0\r\nHost: localhost\r\nUser-Agent: test\r\n\r\n";
+  GS_ASSERT_OK(WriteAll(*fd, reinterpret_cast<const uint8_t*>(request.data()),
+                        request.size()));
+
+  // HTTP/1.0 with Content-Length: read headers, then exactly the body.
+  std::string response;
+  size_t body_start = std::string::npos;
+  size_t content_length = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    char buf[4096];
+    const ssize_t n = ::recv(*fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+    if (body_start == std::string::npos) {
+      const size_t end = response.find("\r\n\r\n");
+      if (end == std::string::npos) continue;
+      body_start = end + 4;
+      const size_t cl = response.find("Content-Length: ");
+      ASSERT_NE(cl, std::string::npos) << response;
+      content_length = std::stoull(response.substr(cl + 16));
+    }
+    if (response.size() >= body_start + content_length) break;
+  }
+  CloseFd(*fd);
+
+  ASSERT_TRUE(StartsWith(response, "HTTP/1.0 200 OK\r\n")) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string body = response.substr(body_start);
+  EXPECT_EQ(body.size(), content_length);
+  // Prometheus text exposition of the same registry METRICS serves.
+  EXPECT_NE(body.find("# TYPE geostreams_"), std::string::npos) << body;
+  EXPECT_NE(body.find("geostreams_scheduler_enqueued_total"),
+            std::string::npos)
+      << body;
+}
+
+TEST(NetServerE2eTest, ControlTokenGatesMutatingVerbs) {
+  NetServerOptions net_options;
+  net_options.control_auth_token = "hunter2";
+  NetFixture fixture({}, net_options);
+
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
+  // Read-only verbs stay open without AUTH.
+  auto pong = client.Command("PING");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, "OK PONG");
+  auto health = client.Command("HEALTH");
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(StartsWith(*health, "OK HEALTH"));
+
+  auto denied = client.Command("QUERY goes.band1");
+  ASSERT_TRUE(denied.ok());
+  EXPECT_TRUE(StartsWith(*denied, "ERR FailedPrecondition")) << *denied;
+  EXPECT_EQ(fixture.server().num_queries(), 0u);
+
+  auto bad = client.Command("AUTH wrong");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_TRUE(StartsWith(*bad, "ERR FailedPrecondition")) << *bad;
+
+  auto good = client.Command("AUTH hunter2");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, "OK AUTH");
+  auto allowed = client.Command("QUERY goes.band1");
+  ASSERT_TRUE(allowed.ok());
+  EXPECT_TRUE(StartsWith(*allowed, "OK QUERY ")) << *allowed;
+
+  // Authorization is per connection, not per server.
+  GeoStreamsClient second;
+  GS_ASSERT_OK(second.Connect("127.0.0.1", fixture.net().port()));
+  auto still_denied = second.Command("QUERY goes.band1");
+  ASSERT_TRUE(still_denied.ok());
+  EXPECT_TRUE(StartsWith(*still_denied, "ERR FailedPrecondition"));
+}
+
+TEST(NetServerE2eTest, QuerySinceReplaysHistoryThenStreamsLive) {
+  DsmsOptions options;
+  options.store_dir = ::testing::TempDir() + "gsnet-query-since-store";
+  std::filesystem::remove_all(options.store_dir);
+  NetFixture fixture(options);
+  // Recorded history the subscriber missed.
+  GS_ASSERT_OK(fixture.Ingest(0, 4));
+
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
+  auto response = client.Command("QUERY goes.band1 SINCE 0");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(StartsWith(*response, "OK QUERY ")) << *response;
+  const int64_t id = ParseIdFromOk(*response);
+  GS_ASSERT_OK(fixture.Ingest(4, 3));
+
+  // The exactly-once audit over the wire: stored 0..3, live 4..6,
+  // strictly ascending, no gap and no duplicate across the seam.
+  for (int64_t expect_frame = 0; expect_frame < 7; ++expect_frame) {
+    auto frame = client.ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->query_id, id);
+    EXPECT_EQ(frame->frame_id, expect_frame);
+  }
+
+  auto unregister = client.Command(StringPrintf(
+      "UNREGISTER %lld", static_cast<long long>(id)));
+  ASSERT_TRUE(unregister.ok());
+  EXPECT_TRUE(StartsWith(*unregister, "OK UNREGISTER"));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,624 @@
+// Tiled historical store tests: lossless round-trips (values + mask),
+// pyramid overview generation and reduce-hint scans, region and time
+// subsetting, idempotent re-puts, reopen recovery (index rebuild,
+// torn-tail truncation, mid-file corruption), and a deterministic
+// kill-point sweep through tile-page writes via FaultyFileInjector.
+
+#include "store/tile_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "geo/region.h"
+#include "obs/metrics_registry.h"
+#include "ops/time_set.h"
+#include "storage/faulty_file.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+namespace fs = std::filesystem;
+using testing_util::LatLonLattice;
+using testing_util::TestValue;
+
+/// A fresh directory under the test temp root, unique per test.
+std::string FreshDir(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + "gsstore-" +
+                    info->test_suite_name() + "-" + info->name() + "-" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// A fully filled frame raster over `lattice` stamped with TestValue.
+Raster FullFrame(const GridLattice& lattice, int64_t frame_id) {
+  Raster raster(lattice.width(), lattice.height(), 1);
+  raster.set_lattice(lattice);
+  for (int64_t row = 0; row < lattice.height(); ++row) {
+    for (int64_t col = 0; col < lattice.width(); ++col) {
+      raster.Set(col, row, TestValue(frame_id, col, row));
+    }
+  }
+  return raster;
+}
+
+FrameInfo Info(const GridLattice& lattice, int64_t frame_id) {
+  FrameInfo info;
+  info.frame_id = frame_id;
+  info.lattice = lattice;
+  info.expected_points = lattice.num_cells();
+  return info;
+}
+
+Status PutFullFrame(TileStore* store, const std::string& source,
+                    const GridLattice& lattice, int64_t frame_id) {
+  const Raster raster = FullFrame(lattice, frame_id);
+  const std::vector<uint8_t> filled(
+      static_cast<size_t>(lattice.num_cells()), 1);
+  return store->PutFrame(source, Info(lattice, frame_id), raster, filled);
+}
+
+/// (col, row) -> value of every point in `events` (band 0).
+std::map<std::pair<int32_t, int32_t>, double> PointMap(
+    const std::vector<StreamEvent>& events) {
+  std::map<std::pair<int32_t, int32_t>, double> out;
+  for (const StreamEvent& e : events) {
+    if (e.kind != EventKind::kPointBatch) continue;
+    for (size_t i = 0; i < e.batch->size(); ++i) {
+      out[{e.batch->cols[i], e.batch->rows[i]}] = e.batch->ValueAt(i, 0);
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> BeginIds(const std::vector<StreamEvent>& events) {
+  std::vector<int64_t> out;
+  for (const StreamEvent& e : events) {
+    if (e.kind == EventKind::kFrameBegin) out.push_back(e.frame.frame_id);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+
+TEST(TileStoreTest, FullFrameRoundTripIsLossless) {
+  TileStoreOptions options;
+  options.dir = FreshDir("rt");
+  options.tile_size = 16;
+  auto store = TileStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const GridLattice lattice = LatLonLattice(40, 28);
+  GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, 7));
+  EXPECT_EQ((*store)->Watermark("src"), 7);
+
+  CollectingSink sink;
+  GS_ASSERT_OK((*store)->Scan("src", StoreScan{}, &sink));
+  ASSERT_TRUE(testing_util::WellFormedFrames(sink.events()));
+  EXPECT_EQ(sink.NumFrames(), 1u);
+  EXPECT_EQ(sink.TotalPoints(), static_cast<uint64_t>(lattice.num_cells()));
+
+  // Every cell comes back bit-exact, with the frame id as timestamp.
+  const auto points = PointMap(sink.events());
+  ASSERT_EQ(points.size(), static_cast<size_t>(lattice.num_cells()));
+  for (int64_t row = 0; row < lattice.height(); ++row) {
+    for (int64_t col = 0; col < lattice.width(); ++col) {
+      const auto it = points.find({static_cast<int32_t>(col),
+                                   static_cast<int32_t>(row)});
+      ASSERT_NE(it, points.end());
+      EXPECT_EQ(it->second, TestValue(7, col, row));
+    }
+  }
+  for (const StreamEvent& e : sink.events()) {
+    if (e.kind == EventKind::kPointBatch) {
+      for (int64_t t : e.batch->timestamps) EXPECT_EQ(t, 7);
+    }
+    if (e.kind == EventKind::kFrameBegin) {
+      EXPECT_EQ(e.frame.lattice.width(), lattice.width());
+      EXPECT_EQ(e.frame.lattice.height(), lattice.height());
+    }
+  }
+}
+
+TEST(TileStoreTest, SparseMaskRoundTripsOnlyFilledCells) {
+  TileStoreOptions options;
+  options.dir = FreshDir("sparse");
+  options.tile_size = 8;
+  auto store = TileStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const GridLattice lattice = LatLonLattice(24, 16);
+  Raster raster(lattice.width(), lattice.height(), 1);
+  raster.set_lattice(lattice);
+  std::vector<uint8_t> filled(static_cast<size_t>(lattice.num_cells()), 0);
+  // A diagonal stripe: ~1 cell in 5 filled, the rest nodata.
+  size_t expect = 0;
+  for (int64_t row = 0; row < lattice.height(); ++row) {
+    for (int64_t col = 0; col < lattice.width(); ++col) {
+      if ((col + 2 * row) % 5 != 0) continue;
+      raster.Set(col, row, TestValue(3, col, row));
+      filled[static_cast<size_t>(row * lattice.width() + col)] = 1;
+      ++expect;
+    }
+  }
+  GS_ASSERT_OK((*store)->PutFrame("src", Info(lattice, 3), raster, filled));
+
+  CollectingSink sink;
+  GS_ASSERT_OK((*store)->Scan("src", StoreScan{}, &sink));
+  const auto points = PointMap(sink.events());
+  ASSERT_EQ(points.size(), expect);
+  for (const auto& [cell, value] : points) {
+    EXPECT_EQ(filled[static_cast<size_t>(cell.second) * lattice.width() +
+                     cell.first],
+              1);
+    EXPECT_EQ(value, TestValue(3, cell.first, cell.second));
+  }
+}
+
+TEST(TileStoreTest, MultiBandRoundTrip) {
+  TileStoreOptions options;
+  options.dir = FreshDir("bands");
+  auto store = TileStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const GridLattice lattice = LatLonLattice(10, 6);
+  Raster raster(lattice.width(), lattice.height(), 3);
+  raster.set_lattice(lattice);
+  for (int64_t row = 0; row < lattice.height(); ++row) {
+    for (int64_t col = 0; col < lattice.width(); ++col) {
+      for (int b = 0; b < 3; ++b) {
+        raster.Set(col, row, b, TestValue(b, col, row));
+      }
+    }
+  }
+  const std::vector<uint8_t> filled(
+      static_cast<size_t>(lattice.num_cells()), 1);
+  GS_ASSERT_OK((*store)->PutFrame("src", Info(lattice, 0), raster, filled));
+
+  CollectingSink sink;
+  GS_ASSERT_OK((*store)->Scan("src", StoreScan{}, &sink));
+  for (const StreamEvent& e : sink.events()) {
+    if (e.kind != EventKind::kPointBatch) continue;
+    EXPECT_EQ(e.batch->band_count, 3);
+    for (size_t i = 0; i < e.batch->size(); ++i) {
+      for (int b = 0; b < 3; ++b) {
+        EXPECT_EQ(e.batch->ValueAt(i, b),
+                  TestValue(b, e.batch->cols[i], e.batch->rows[i]));
+      }
+    }
+  }
+  EXPECT_EQ(sink.TotalPoints(), static_cast<uint64_t>(lattice.num_cells()));
+}
+
+TEST(TileStoreTest, PutFrameIsIdempotentOnFrameId) {
+  TileStoreOptions options;
+  options.dir = FreshDir("idem");
+  auto store = TileStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const GridLattice lattice = LatLonLattice(8, 8);
+  GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, 4));
+  GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, 4));  // replayed
+  EXPECT_EQ((*store)->TotalStats().frames_written, 1u);
+  EXPECT_EQ((*store)->FrameIds("src", INT64_MIN, INT64_MAX).size(), 1u);
+}
+
+TEST(TileStoreTest, FrameIdsAndWatermarkTrackCommits) {
+  TileStoreOptions options;
+  options.dir = FreshDir("ids");
+  auto store = TileStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->Watermark("src"), INT64_MIN);
+
+  const GridLattice lattice = LatLonLattice(8, 8);
+  for (int64_t f : {2, 5, 9}) {
+    GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+  }
+  EXPECT_EQ((*store)->Watermark("src"), 9);
+  EXPECT_EQ((*store)->FrameIds("src", INT64_MIN, INT64_MAX),
+            (std::vector<int64_t>{2, 5, 9}));
+  EXPECT_EQ((*store)->FrameIds("src", 3, 8), (std::vector<int64_t>{5}));
+  EXPECT_TRUE((*store)->FrameIds("other", INT64_MIN, INT64_MAX).empty());
+
+  CollectingSink sink;
+  EXPECT_EQ((*store)->ScanFrame("src", 4, StoreScan{}, &sink).code(),
+            StatusCode::kNotFound);
+  GS_ASSERT_OK((*store)->ScanFrame("src", 5, StoreScan{}, &sink));
+  EXPECT_EQ(BeginIds(sink.events()), (std::vector<int64_t>{5}));
+}
+
+// ---------------------------------------------------------------------------
+// Pyramid overviews
+
+TEST(TileStoreTest, ReduceHintReadsOverviewLevel) {
+  TileStoreOptions options;
+  options.dir = FreshDir("pyr");
+  options.tile_size = 16;
+  auto store = TileStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  // 64x48 base over 16-cell tiles: levels 64x48, 32x24, 16x12.
+  const GridLattice lattice = LatLonLattice(64, 48, 0.25);
+  GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, 0));
+
+  StoreScan scan;
+  scan.reduce = 4;
+  CollectingSink sink;
+  GS_ASSERT_OK((*store)->Scan("src", scan, &sink));
+  ASSERT_EQ(sink.NumFrames(), 1u);
+  const StreamEvent& begin = sink.events().front();
+  ASSERT_EQ(begin.kind, EventKind::kFrameBegin);
+  EXPECT_EQ(begin.frame.lattice.width(), 16);
+  EXPECT_EQ(begin.frame.lattice.height(), 12);
+  EXPECT_EQ(sink.TotalPoints(), 16u * 12u);
+
+  // The overview lattice is the base lattice reduced by the factor.
+  const GridLattice expect = lattice.Reduced(4);
+  EXPECT_DOUBLE_EQ(begin.frame.lattice.origin_x(), expect.origin_x());
+  EXPECT_DOUBLE_EQ(begin.frame.lattice.dx(), expect.dx());
+
+  // Overview cells are mask-aware box means: with a full mask, cell
+  // (0,0) of the 4x level averages the base 4x4 block at the origin
+  // (via two factor-2 reductions — verify against that composition).
+  const auto points = PointMap(sink.events());
+  double l1_00 = (TestValue(0, 0, 0) + TestValue(0, 1, 0) +
+                  TestValue(0, 0, 1) + TestValue(0, 1, 1)) / 4.0;
+  double l1_10 = (TestValue(0, 2, 0) + TestValue(0, 3, 0) +
+                  TestValue(0, 2, 1) + TestValue(0, 3, 1)) / 4.0;
+  double l1_01 = (TestValue(0, 0, 2) + TestValue(0, 1, 2) +
+                  TestValue(0, 0, 3) + TestValue(0, 1, 3)) / 4.0;
+  double l1_11 = (TestValue(0, 2, 2) + TestValue(0, 3, 2) +
+                  TestValue(0, 2, 3) + TestValue(0, 3, 3)) / 4.0;
+  const double expect_00 = (l1_00 + l1_10 + l1_01 + l1_11) / 4.0;
+  const auto it = points.find({0, 0});
+  ASSERT_NE(it, points.end());
+  EXPECT_NEAR(it->second, expect_00, 1e-12);
+
+  // A coarse read touches far fewer tiles than the full-res scan.
+  const uint64_t coarse_tiles = (*store)->TotalStats().tiles_read;
+  EXPECT_EQ(coarse_tiles, 1u);  // 16x12 fits one 16-cell tile
+  CollectingSink full;
+  GS_ASSERT_OK((*store)->Scan("src", StoreScan{}, &full));
+  EXPECT_EQ((*store)->TotalStats().tiles_read - coarse_tiles, 4u * 3u);
+}
+
+TEST(TileStoreTest, OverviewReductionIsMaskAware) {
+  TileStoreOptions options;
+  options.dir = FreshDir("mask");
+  options.tile_size = 8;
+  auto store = TileStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const GridLattice lattice = LatLonLattice(16, 16);
+  Raster raster(lattice.width(), lattice.height(), 1);
+  raster.set_lattice(lattice);
+  std::vector<uint8_t> filled(static_cast<size_t>(lattice.num_cells()), 0);
+  // Only cell (0,0) of the top-left 2x2 block is filled; its level-1
+  // overview cell must equal that one value, not a quarter of it.
+  raster.Set(0, 0, 42.5);
+  filled[0] = 1;
+  GS_ASSERT_OK((*store)->PutFrame("src", Info(lattice, 0), raster, filled));
+
+  StoreScan scan;
+  scan.reduce = 2;
+  CollectingSink sink;
+  GS_ASSERT_OK((*store)->Scan("src", scan, &sink));
+  const auto points = PointMap(sink.events());
+  ASSERT_EQ(points.size(), 1u);  // empty blocks stay nodata
+  EXPECT_EQ(points.begin()->first, (std::pair<int32_t, int32_t>{0, 0}));
+  EXPECT_EQ(points.begin()->second, 42.5);
+}
+
+// ---------------------------------------------------------------------------
+// Subset reads
+
+TEST(TileStoreTest, RegionScanFiltersExactlyAndPrunesTiles) {
+  TileStoreOptions options;
+  options.dir = FreshDir("region");
+  options.tile_size = 8;
+  auto store = TileStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  // 32x24 cells of 0.5 deg from (-125, 45) southward/eastward.
+  const GridLattice lattice = LatLonLattice(32, 24);
+  GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, 0));
+
+  // A box over the north-west corner: cols 0..7, rows 0..7 (one tile).
+  StoreScan scan;
+  scan.region = MakeBBoxRegion(-125.0, 41.0, -121.1, 45.0);
+  CollectingSink sink;
+  GS_ASSERT_OK((*store)->Scan("src", scan, &sink));
+  const auto points = PointMap(sink.events());
+  ASSERT_FALSE(points.empty());
+  for (const auto& [cell, value] : points) {
+    EXPECT_TRUE(scan.region->Contains(lattice.CellX(cell.first),
+                                      lattice.CellY(cell.second)))
+        << "(" << cell.first << "," << cell.second << ")";
+    EXPECT_EQ(value, TestValue(0, cell.first, cell.second));
+  }
+  // Exact complement check: every lattice cell inside the region was
+  // delivered.
+  size_t inside = 0;
+  for (int64_t row = 0; row < lattice.height(); ++row) {
+    for (int64_t col = 0; col < lattice.width(); ++col) {
+      if (scan.region->Contains(lattice.CellX(col), lattice.CellY(row))) {
+        ++inside;
+      }
+    }
+  }
+  EXPECT_EQ(points.size(), inside);
+  // Only the tiles overlapping the box were read: 1 of 12.
+  EXPECT_LT((*store)->TotalStats().tiles_read, 12u);
+}
+
+TEST(TileStoreTest, TimeHintPrunesIoButStillEmitsFrameEnvelopes) {
+  TileStoreOptions options;
+  options.dir = FreshDir("times");
+  auto store = TileStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const GridLattice lattice = LatLonLattice(8, 8);
+  for (int64_t f = 0; f < 5; ++f) {
+    GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+  }
+
+  StoreScan scan;
+  scan.times.push_back(TimeSet::Range(2, 3));
+  CollectingSink sink;
+  GS_ASSERT_OK((*store)->Scan("src", scan, &sink));
+  // The live temporal op forwards FrameBegin/FrameEnd and filters only
+  // points, so replay emits every envelope but reads tiles only for
+  // frames inside the window.
+  EXPECT_EQ(BeginIds(sink.events()), (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  std::set<int64_t> frames_with_points;
+  for (const StreamEvent& e : sink.events()) {
+    if (e.kind == EventKind::kPointBatch) {
+      frames_with_points.insert(e.batch->frame_id);
+    }
+  }
+  EXPECT_EQ(frames_with_points, (std::set<int64_t>{2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Ingest sink
+
+TEST(TileStoreTest, StoreIngestSinkPersistsAssembledFrames) {
+  TileStoreOptions options;
+  options.dir = FreshDir("sink");
+  auto store = TileStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const GridLattice lattice = LatLonLattice(12, 10);
+  StoreIngestSink sink(store->get(), "src");
+  for (int64_t f = 0; f < 3; ++f) {
+    GS_ASSERT_OK(testing_util::PushFrame(&sink, lattice, f));
+  }
+  GS_ASSERT_OK(sink.Consume(StreamEvent::StreamEnd()));
+  EXPECT_EQ(sink.frames_stored(), 3u);
+  EXPECT_EQ(sink.store_errors(), 0u);
+  EXPECT_EQ((*store)->Watermark("src"), 2);
+
+  CollectingSink replay;
+  GS_ASSERT_OK((*store)->Scan("src", StoreScan{}, &replay));
+  EXPECT_EQ(BeginIds(replay.events()), (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(replay.TotalPoints(),
+            3u * static_cast<uint64_t>(lattice.num_cells()));
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+TEST(TileStoreRecoveryTest, ReopenRebuildsTheFrameIndex) {
+  TileStoreOptions options;
+  options.dir = FreshDir("reopen");
+  options.tile_size = 16;
+  const GridLattice lattice = LatLonLattice(40, 28);
+  {
+    auto store = TileStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int64_t f = 0; f < 4; ++f) {
+      GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+    }
+    GS_ASSERT_OK((*store)->SyncAll());
+  }
+  auto reopened = TileStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovery().frames_recovered, 4u);
+  EXPECT_EQ((*reopened)->recovery().torn_tails, 0u);
+  EXPECT_EQ((*reopened)->recovery().corrupt_regions, 0u);
+  EXPECT_EQ((*reopened)->Watermark("src"), 3);
+
+  CollectingSink sink;
+  GS_ASSERT_OK((*reopened)->ScanFrame("src", 2, StoreScan{}, &sink));
+  const auto points = PointMap(sink.events());
+  ASSERT_EQ(points.size(), static_cast<size_t>(lattice.num_cells()));
+  EXPECT_EQ((points.at({5, 3})), TestValue(2, 5, 3));
+}
+
+TEST(TileStoreRecoveryTest, SegmentRotationKeepsEveryFrameReadable) {
+  TileStoreOptions options;
+  options.dir = FreshDir("rotate");
+  options.segment_max_bytes = 4096;  // rotate every frame or two
+  const GridLattice lattice = LatLonLattice(16, 12);
+  {
+    auto store = TileStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int64_t f = 0; f < 8; ++f) {
+      GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+    }
+  }
+  // Multiple page segments on disk.
+  size_t pages = 0;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(options.dir)) {
+    if (entry.path().extension() == ".gst") ++pages;
+  }
+  EXPECT_GT(pages, 1u);
+
+  auto reopened = TileStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovery().frames_recovered, 8u);
+  for (int64_t f = 0; f < 8; ++f) {
+    CollectingSink sink;
+    GS_ASSERT_OK((*reopened)->ScanFrame("src", f, StoreScan{}, &sink));
+    EXPECT_EQ(sink.TotalPoints(),
+              static_cast<uint64_t>(lattice.num_cells()));
+  }
+}
+
+TEST(TileStoreRecoveryTest, TornTailIsTruncatedAndInvisible) {
+  TileStoreOptions options;
+  options.dir = FreshDir("torn");
+  const GridLattice lattice = LatLonLattice(16, 12);
+  std::string page;
+  {
+    auto store = TileStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int64_t f = 0; f < 3; ++f) {
+      GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+    }
+  }
+  for (const auto& entry :
+       fs::recursive_directory_iterator(options.dir)) {
+    if (entry.path().extension() == ".gst") page = entry.path().string();
+  }
+  ASSERT_FALSE(page.empty());
+  const uint64_t committed = fs::file_size(page);
+  {
+    // A half-written record: valid magic, then a truncated header.
+    std::ofstream out(page, std::ios::binary | std::ios::app);
+    out.write("GST1\x01\x00", 6);
+  }
+
+  auto reopened = TileStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovery().frames_recovered, 3u);
+  EXPECT_EQ((*reopened)->recovery().torn_tails, 1u);
+  EXPECT_EQ((*reopened)->recovery().torn_bytes, 6u);
+  EXPECT_EQ(fs::file_size(page), committed);  // truncated back
+  EXPECT_EQ((*reopened)->Watermark("src"), 2);
+}
+
+TEST(TileStoreRecoveryTest, MidFileBitFlipSkipsRegionKeepsRest) {
+  TileStoreOptions options;
+  options.dir = FreshDir("flip");
+  options.segment_max_bytes = 1u << 30;  // one segment
+  const GridLattice lattice = LatLonLattice(16, 12);
+  std::string page;
+  {
+    auto store = TileStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int64_t f = 0; f < 4; ++f) {
+      GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+    }
+  }
+  for (const auto& entry :
+       fs::recursive_directory_iterator(options.dir)) {
+    if (entry.path().extension() == ".gst") page = entry.path().string();
+  }
+  ASSERT_FALSE(page.empty());
+  // Flip one payload byte early in the file (inside frame 0's run,
+  // past the first record header).
+  {
+    std::fstream f(page, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40);
+    char b = 0;
+    f.seekg(40);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(40);
+    f.write(&b, 1);
+  }
+
+  auto reopened = TileStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GE((*reopened)->recovery().corrupt_regions, 1u);
+  EXPECT_LT((*reopened)->recovery().frames_recovered, 4u);
+  // Later frames survive the damage and read back exactly.
+  const std::vector<int64_t> ids =
+      (*reopened)->FrameIds("src", INT64_MIN, INT64_MAX);
+  EXPECT_FALSE(ids.empty());
+  for (int64_t f : ids) {
+    CollectingSink sink;
+    GS_ASSERT_OK((*reopened)->ScanFrame("src", f, StoreScan{}, &sink));
+    const auto points = PointMap(sink.events());
+    EXPECT_EQ(points.size(), static_cast<size_t>(lattice.num_cells()));
+    EXPECT_EQ(points.at({3, 3}), TestValue(f, 3, 3));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill points: a crash inside every region of the tile-page write
+
+TEST(TileStoreKillPointTest, ByteBudgetSweepNeverSurfacesPartialFrames) {
+  // Sweep the lifetime byte budget through the first two frames'
+  // record runs: wherever the "crash" lands — mid-meta, mid-page,
+  // mid-commit — recovery must surface only frames whose commit made
+  // it, each bit-exact, and resume cleanly after reopen.
+  const GridLattice lattice = LatLonLattice(16, 12);
+  uint64_t run_bytes = 0;
+  {
+    TileStoreOptions probe;
+    probe.dir = FreshDir("probe");
+    auto store = TileStore::Open(probe);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, 0));
+    run_bytes = (*store)->TotalStats().bytes_written;
+  }
+  ASSERT_GT(run_bytes, 0u);
+
+  for (uint64_t budget = 64; budget < 2 * run_bytes; budget += 257) {
+    FaultyFileInjector injector({/*seed=*/budget, 0.0, 0.0, 0.0,
+                                 /*fail_at_byte=*/budget});
+    TileStoreOptions options;
+    options.dir = FreshDir("kill-" + std::to_string(budget));
+    options.file_factory = injector.Factory();
+    int64_t last_ok = -1;
+    {
+      auto store = TileStore::Open(options);
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      for (int64_t f = 0; f < 3; ++f) {
+        Status st = PutFullFrame(store->get(), "src", lattice, f);
+        if (!st.ok()) break;  // the crash point
+        last_ok = f;
+      }
+    }
+    injector.Disarm();
+
+    TileStoreOptions clean = options;
+    clean.file_factory = nullptr;
+    auto reopened = TileStore::Open(clean);
+    ASSERT_TRUE(reopened.ok())
+        << "budget " << budget << ": " << reopened.status().ToString();
+    const std::vector<int64_t> ids =
+        (*reopened)->FrameIds("src", INT64_MIN, INT64_MAX);
+    // Every acked put recovered; nothing beyond the last ack.
+    ASSERT_EQ(ids.size(), static_cast<size_t>(last_ok + 1))
+        << "budget " << budget;
+    for (int64_t f : ids) {
+      CollectingSink sink;
+      GS_ASSERT_OK((*reopened)->ScanFrame("src", f, StoreScan{}, &sink));
+      const auto points = PointMap(sink.events());
+      ASSERT_EQ(points.size(), static_cast<size_t>(lattice.num_cells()))
+          << "budget " << budget << " frame " << f;
+      EXPECT_EQ(points.at({7, 5}), TestValue(f, 7, 5));
+    }
+    // The store stays writable after recovery.
+    GS_ASSERT_OK(PutFullFrame(reopened->get(), "src", lattice, 99));
+    EXPECT_EQ((*reopened)->Watermark("src"), 99);
+  }
+}
+
+}  // namespace
+}  // namespace geostreams
