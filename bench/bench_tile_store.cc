@@ -76,6 +76,45 @@ void BM_TileStore_PutFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_TileStore_PutFrame)->Arg(256)->Arg(512);
 
+// --- record path under retention ---------------------------------------------
+
+void BM_TileStore_PutFrame_WithRetention(benchmark::State& state) {
+  // Same ingest loop as BM_TileStore_PutFrame, but with a byte budget
+  // tight enough that retention constantly prunes frames and
+  // deletes/rewrites segments behind the writer (via the background
+  // GC thread). The acceptance claim: per-frame ingest cost stays
+  // within noise of the unbudgeted row — pruning runs off the PutFrame
+  // hot path — while frames_pruned/bytes_reclaimed show the reaper
+  // really worked.
+  const int64_t side = state.range(0);
+  const GridLattice lattice = BenchLattice(side, side);
+  TileStoreOptions options;
+  options.dir = BenchDir("put-ret-" + std::to_string(side));
+  options.tile_size = 64;
+  // A handful of frames of budget with ~1-frame segments: the volume
+  // reaches steady state within a few iterations and every later
+  // PutFrame races a concurrent prune.
+  options.retention_max_frames = 6;
+  options.segment_max_bytes = 1u << 20;
+  options.gc_interval_ms = 5;
+  auto store = ValueOrDie(TileStore::Open(options), "TileStore::Open");
+  int64_t frame_id = 0;
+  for (auto _ : state) {
+    PutBenchFrame(store.get(), lattice, frame_id++);
+  }
+  ReportPoints(state, lattice.num_cells());
+  const TileStoreStats stats = store->TotalStats();
+  state.counters["frames_pruned"] =
+      static_cast<double>(stats.frames_pruned);
+  state.counters["segments_deleted"] =
+      static_cast<double>(stats.segments_deleted);
+  state.counters["segments_rewritten"] =
+      static_cast<double>(stats.segments_rewritten);
+  state.counters["bytes_reclaimed"] =
+      static_cast<double>(stats.bytes_reclaimed);
+}
+BENCHMARK(BM_TileStore_PutFrame_WithRetention)->Arg(256)->Arg(512);
+
 // --- replay path: full resolution vs overview --------------------------------
 
 /// Shared setup: a recorded 512x512 mosaic, then replay the full

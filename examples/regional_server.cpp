@@ -11,7 +11,8 @@
 //                     [--metrics-interval=MS] [--trace-every=N]
 //                     [--journal-dir=DIR] [--fsync=per-record|group-commit|off]
 //                     [--ingest-token=T] [--store-dir=DIR]
-//                     [--control-token=T]
+//                     [--control-token=T] [--journal-max-bytes=N]
+//                     [--store-max-bytes=N] [--store-max-frames=N]
 //
 // With --journal-dir=DIR every acked ingest batch is journaled to DIR
 // before the ack goes out (--fsync picks the durability policy), and a
@@ -26,6 +27,14 @@
 // exactly once. With --control-token=T, mutating control verbs
 // (QUERY / UNREGISTER / RESTART / DLQ) require `AUTH T` first; GET
 // /metrics and the read-only verbs stay open.
+//
+// --journal-max-bytes / --store-max-bytes / --store-max-frames put
+// disk budgets on the durable planes: retention retires settled
+// journal segments (compacting still-unacked records forward) and
+// prunes the oldest stored frames to stay inside them. If the disk
+// fills anyway, the storage governor degrades the plane — producers
+// are NACKed, PutFrame sheds, HEALTH says storage=DEGRADED — and
+// self-heals once space frees; queries keep serving throughout.
 //
 // With --metrics-interval=MS a background thread prints one summary
 // line (DsmsServer::SummaryLine) every MS milliseconds — the
@@ -139,6 +148,9 @@ int main(int argc, char** argv) {
   std::string ingest_token;
   std::string store_dir;
   std::string control_token;
+  uint64_t journal_max_bytes = 0;
+  uint64_t store_max_bytes = 0;
+  uint64_t store_max_frames = 0;
   int positional = 0;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--workers=", 10) == 0) {
@@ -166,6 +178,12 @@ int main(int argc, char** argv) {
       store_dir = argv[a] + 12;
     } else if (std::strncmp(argv[a], "--control-token=", 16) == 0) {
       control_token = argv[a] + 16;
+    } else if (std::strncmp(argv[a], "--journal-max-bytes=", 20) == 0) {
+      journal_max_bytes = std::strtoull(argv[a] + 20, nullptr, 10);
+    } else if (std::strncmp(argv[a], "--store-max-bytes=", 18) == 0) {
+      store_max_bytes = std::strtoull(argv[a] + 18, nullptr, 10);
+    } else if (std::strncmp(argv[a], "--store-max-frames=", 19) == 0) {
+      store_max_frames = std::strtoull(argv[a] + 19, nullptr, 10);
     } else if (positional == 0) {
       num_clients = std::atoi(argv[a]);
       ++positional;
@@ -206,6 +224,12 @@ int main(int argc, char** argv) {
     }
   }
   options.store_dir = store_dir;
+  // Disk budgets: retention enforces them (settled journal records
+  // retire, old store frames prune); real disk pressure beyond them
+  // degrades the storage plane instead of crashing the server.
+  options.journal_budget.max_bytes = journal_max_bytes;
+  options.store_budget.max_bytes = store_max_bytes;
+  options.store.retention_max_frames = store_max_frames;
   DsmsServer server(options);
   if (server.store() != nullptr) {
     const TileStoreRecovery& rec = server.store()->recovery();

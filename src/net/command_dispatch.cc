@@ -87,6 +87,12 @@ Result<std::string> ParseSourceName(std::string_view rest) {
 std::string HandleHealth(DsmsServer* server) {
   const std::vector<QueryId> ids = server->QueryIds();
   std::string out = StringPrintf("OK HEALTH n=%zu", ids.size());
+  // Storage-plane health rides along when a governor exists (servers
+  // without journal/store keep the historical line shape).
+  if (server->governor() != nullptr) {
+    out += StringPrintf(" storage=%s",
+                        server->governor()->degraded() ? "DEGRADED" : "OK");
+  }
   for (QueryId id : ids) {
     Result<PipelineHealth> health = server->QueryHealth(id);
     out += StringPrintf(

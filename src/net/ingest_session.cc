@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "storage/governor.h"
 #include "storage/journal.h"
 
 namespace geostreams {
@@ -16,6 +17,10 @@ IngestSession::IngestSession(std::string source, EventSink* target,
     // mark instead of 1, so it replays only what was never committed.
     expected_ = options_.journal->next_seq();
     stats_.durable = true;
+    // Everything below the recovered high-water mark was acked, so
+    // the journal's retention may settle (and compact away) those
+    // records instead of carrying them forever.
+    options_.journal->SetRetainFloor(expected_);
   }
   budget_tokens_ = options_.source_burst_bytes > 0
                        ? options_.source_burst_bytes
@@ -187,6 +192,9 @@ std::string IngestSession::Handle(const IngestMessage& message) {
     if (m_shed_bytes_) m_shed_bytes_->Increment(batch_bytes);
     if (m_acks_) m_acks_->Increment();
     expected_ = message.seq + 1;
+    if (options_.journal != nullptr) {
+      options_.journal->SetRetainFloor(expected_);
+    }
     return Ack(message.seq);
   }
   if (is_batch && options_.memory != nullptr &&
@@ -250,6 +258,9 @@ std::string IngestSession::Handle(const IngestMessage& message) {
   if (m_delivered_) m_delivered_->Increment();
   if (m_acks_) m_acks_->Increment();
   expected_ = message.seq + 1;
+  if (options_.journal != nullptr) {
+    options_.journal->SetRetainFloor(expected_);
+  }
   if (message.event.kind == EventKind::kStreamEnd) ended_ = true;
   return Ack(message.seq);
 }
@@ -293,6 +304,8 @@ IngestSessionStats IngestSession::Stats() const {
   out.durable = options_.journal != nullptr;
   out.quarantined = quarantined_;
   out.ended = ended_;
+  out.storage_degraded =
+      options_.governor != nullptr && options_.governor->degraded();
   return out;
 }
 
@@ -304,7 +317,7 @@ std::string IngestSession::StatsLine() const {
       "shed_points=%llu shed_bytes=%llu "
       "delivery_errors=%llu budget_nacks=%llu budget_shed=%llu "
       "durable=%d journaled=%llu journal_errors=%llu "
-      "quarantined=%d ended=%d",
+      "quarantined=%d ended=%d storage_degraded=%d",
       source_.c_str(), static_cast<unsigned long long>(s.next_expected),
       static_cast<unsigned long long>(s.received),
       static_cast<unsigned long long>(s.delivered),
@@ -319,7 +332,7 @@ std::string IngestSession::StatsLine() const {
       static_cast<unsigned long long>(s.budget_shed),
       s.durable ? 1 : 0, static_cast<unsigned long long>(s.journaled),
       static_cast<unsigned long long>(s.journal_errors),
-      s.quarantined ? 1 : 0, s.ended ? 1 : 0);
+      s.quarantined ? 1 : 0, s.ended ? 1 : 0, s.storage_degraded ? 1 : 0);
 }
 
 }  // namespace geostreams

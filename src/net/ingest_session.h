@@ -57,6 +57,7 @@
 namespace geostreams {
 
 class SourceJournal;
+class StorageGovernor;
 
 struct IngestSessionOptions {
   /// Quarantine the source after this long without an ingest message
@@ -90,6 +91,12 @@ struct IngestSessionOptions {
   /// its expected sequence from the journal's recovered high-water
   /// mark at construction.
   SourceJournal* journal = nullptr;
+  /// Optional disk-pressure governor (not owned; the journal consults
+  /// it for admission on its own). The session only surfaces its
+  /// state: ISTATS reports storage_degraded=1 while the storage plane
+  /// is refusing writes, so operators can tell a full disk from a
+  /// slow producer.
+  const StorageGovernor* governor = nullptr;
   /// Per-source admission budget: a token bucket refilled at
   /// `source_rate_bytes_per_sec` with capacity `source_burst_bytes`
   /// (0 capacity = one second of rate). 0 rate disables the budget.
@@ -121,6 +128,7 @@ struct IngestSessionStats {
   bool durable = false;          // a journal gates the acks
   bool quarantined = false;
   bool ended = false;            // StreamEnd delivered
+  bool storage_degraded = false; // governor refusing writes (disk pressure)
 };
 
 class IngestSession {

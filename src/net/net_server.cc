@@ -456,6 +456,7 @@ Result<std::shared_ptr<IngestSession>> NetServer::IngestSessionFor(
     GEOSTREAMS_ASSIGN_OR_RETURN(opts.journal,
                                 dsms_->journal()->SourceFor(source));
   }
+  if (opts.governor == nullptr) opts.governor = dsms_->governor();
   auto session = std::make_shared<IngestSession>(source, sink, opts);
   ingest_sessions_.emplace(source, session);
   return session;

@@ -291,10 +291,36 @@ struct DsmsServer::QueryState {
 
 DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
   inline_traces_ = std::make_unique<TraceRing>(options_.trace_ring_capacity);
+  if (!options_.journal_dir.empty() || !options_.store_dir.empty()) {
+    // One governor watches the whole storage plane: both subsystems
+    // admit writes through it, and either one's ENOSPC/EIO degrades
+    // them together (they share the filesystem).
+    StorageGovernorOptions gopts = options_.storage_governor;
+    if (gopts.probe_dir.empty()) {
+      gopts.probe_dir = !options_.journal_dir.empty() ? options_.journal_dir
+                                                      : options_.store_dir;
+    }
+    if (!gopts.file_factory) {
+      gopts.file_factory = options_.journal.file_factory
+                               ? options_.journal.file_factory
+                               : options_.store.file_factory;
+    }
+    gopts.metrics = &metrics_registry_;
+    governor_ = std::make_unique<StorageGovernor>(std::move(gopts));
+    if (options_.journal_budget.max_bytes > 0 ||
+        options_.journal_budget.max_age_ms > 0) {
+      governor_->SetBudget("journal", options_.journal_budget);
+    }
+    if (options_.store_budget.max_bytes > 0 ||
+        options_.store_budget.max_age_ms > 0) {
+      governor_->SetBudget("store", options_.store_budget);
+    }
+  }
   if (!options_.journal_dir.empty()) {
     JournalOptions jopts = options_.journal;
     jopts.dir = options_.journal_dir;
     jopts.metrics = &metrics_registry_;
+    jopts.governor = governor_.get();
     Result<std::unique_ptr<IngestJournal>> journal =
         IngestJournal::Open(std::move(jopts));
     if (!journal.ok()) {
@@ -319,6 +345,15 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
     TileStoreOptions sopts = options_.store;
     sopts.dir = options_.store_dir;
     sopts.metrics = &metrics_registry_;
+    sopts.governor = governor_.get();
+    const bool retention_configured =
+        sopts.retention_max_bytes > 0 || sopts.retention_max_frames > 0 ||
+        sopts.retention_max_age_ms > 0 ||
+        options_.store_budget.max_bytes > 0 ||
+        options_.store_budget.max_age_ms > 0;
+    if (sopts.gc_interval_ms == 0 && retention_configured) {
+      sopts.gc_interval_ms = 1000;  // keep pruning off the ingest path
+    }
     Result<std::unique_ptr<TileStore>> store = TileStore::Open(std::move(sopts));
     if (!store.ok()) {
       // Same contract as the journal: a server without history beats
@@ -342,6 +377,10 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
       m_seam_frames_ = metrics_registry_.GetCounter(
           "geostreams_store_seam_frames_total",
           "Frames delivered by cut-over seam replays (stored->live)");
+      m_catchup_truncated_ = metrics_registry_.GetCounter(
+          "geostreams_store_catchup_truncated_total",
+          "Catch-up registrations whose SINCE bound reached below "
+          "retained history");
     }
   }
   if (options_.workers > 0) {
@@ -586,6 +625,22 @@ Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
   std::vector<ReplayItem> items;
   for (size_t w = 0; w < wires.size(); ++w) {
     const int64_t hi = store_->Watermark(wires[w].source);
+    // Retention may have pruned history the SINCE bound asks for. The
+    // replay below clamps to the oldest retained frame automatically
+    // (FrameIds only returns what exists); what must not happen is the
+    // truncation passing silently.
+    const StoreHorizon horizon = store_->Horizon(wires[w].source);
+    if (horizon.frames_pruned > 0 && catch_up.since <= horizon.pruned_upto) {
+      if (m_catchup_truncated_) m_catchup_truncated_->Increment();
+      GEOSTREAMS_LOG(kWarning)
+          << "catch-up on '" << wires[w].source << "' truncated: SINCE "
+          << catch_up.since << " reaches below retained history (oldest "
+          << "retained frame "
+          << (horizon.oldest_frame_id == std::numeric_limits<int64_t>::max()
+                  ? horizon.pruned_upto + 1
+                  : horizon.oldest_frame_id)
+          << ", " << horizon.frames_pruned << " frames pruned)";
+    }
     for (int64_t fid : store_->FrameIds(wires[w].source, catch_up.since, hi)) {
       items.push_back({fid, w});
     }
@@ -1168,7 +1223,7 @@ std::string DsmsServer::SummaryLine() const {
     std::shared_lock<std::shared_mutex> lock(state_mu_);
     n_queries = queries_.size();
   }
-  return StringPrintf(
+  std::string line = StringPrintf(
       "queries=%zu enqueued=%llu processed=%llu queued=%llu shed=%llu "
       "restarts=%llu dead_letters=%llu rejected=%llu mem=%lluB "
       "mem_peak=%lluB checksum_fail=%llu traces=%llu",
@@ -1184,6 +1239,11 @@ std::string DsmsServer::SummaryLine() const {
       static_cast<unsigned long long>(IngestChecksumFailures()),
       static_cast<unsigned long long>(
           total.traces + (inline_traces_ ? inline_traces_->total() : 0)));
+  if (governor_ != nullptr) {
+    line += StringPrintf(" storage=%s",
+                         governor_->degraded() ? "DEGRADED" : "OK");
+  }
+  return line;
 }
 
 Result<uint64_t> DsmsServer::FramesDelivered(QueryId id) const {

@@ -30,6 +30,7 @@
 #include "query/analyzer.h"
 #include "query/optimizer.h"
 #include "query/planner.h"
+#include "storage/governor.h"
 #include "storage/journal.h"
 #include "store/catch_up_gate.h"
 #include "store/tile_store.h"
@@ -107,10 +108,21 @@ struct DsmsOptions {
   /// replays recorded history before cutting over to the live stream
   /// exactly once at a frame-id watermark.
   std::string store_dir;
-  /// Store tuning (tile size, overview levels, segment rotation). The
-  /// `dir` and `metrics` fields are overwritten from `store_dir` and
-  /// the server's own registry.
+  /// Store tuning (tile size, overview levels, segment rotation,
+  /// retention budgets). The `dir` and `metrics` fields are
+  /// overwritten from `store_dir` and the server's own registry.
   TileStoreOptions store;
+  /// Disk-pressure governor tuning (free-space floor, probe cadence,
+  /// subsystem budgets). The governor itself is constructed whenever
+  /// journal_dir or store_dir is set; `probe_dir`, `file_factory`, and
+  /// `metrics` are filled from the journal/store configuration and the
+  /// server's own registry when left empty.
+  StorageGovernorOptions storage_governor;
+  /// Byte/age budgets handed to the governor for its "journal" and
+  /// "store" subsystems (0 = unlimited). Retention in each subsystem
+  /// enforces them; Admit() keeps refusing only on real disk pressure.
+  SubsystemBudget journal_budget;
+  SubsystemBudget store_budget;
 };
 
 /// Catch-up parameters for RegisterQuery's hybrid stream/stored path.
@@ -212,6 +224,11 @@ class DsmsServer {
   /// stream-only rather than not at all).
   TileStore* store() const { return store_.get(); }
 
+  /// The disk-pressure governor shared by the journal and the store;
+  /// null when neither storage subsystem is configured. HEALTH and
+  /// ISTATS surface its degraded flag.
+  StorageGovernor* governor() const { return governor_.get(); }
+
   /// Retained trace records for a query (`TRACE <id>`): with a worker
   /// pool, the query pipeline's own ring; on a synchronous server all
   /// queries share one delivery chain, so every query id answers with
@@ -303,6 +320,10 @@ class DsmsServer {
   /// Declared before scheduler_ so the histograms the scheduler holds
   /// pointers into outlive the worker pool.
   MetricsRegistry metrics_registry_;
+  /// Disk-pressure governor for the storage plane. Declared before
+  /// journal_ and store_ (both hold raw pointers into it, so it must
+  /// outlive them) and after the registry (its gauges point there).
+  std::unique_ptr<StorageGovernor> governor_;
   /// Declared after the registry (journal metrics point into it) and
   /// before the scheduler/sources (sessions append through it).
   std::unique_ptr<IngestJournal> journal_;
@@ -314,6 +335,7 @@ class DsmsServer {
   /// Catch-up accounting (null without a store).
   Counter* m_catchup_frames_ = nullptr;
   Counter* m_seam_frames_ = nullptr;
+  Counter* m_catchup_truncated_ = nullptr;
   std::atomic<uint64_t> next_trace_id_{1};
   /// Finished traces on a synchronous server (workers == 0), where
   /// there are no per-pipeline rings. Multi-producer safe.

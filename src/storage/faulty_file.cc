@@ -35,7 +35,7 @@ class FaultyFile : public WritableFile {
 
 Status FaultyFile::Append(const uint8_t* data, size_t len) {
   // Decide the fault under the injector lock, then write outside it.
-  enum class Fault { kNone, kShort, kFlip, kBudget };
+  enum class Fault { kNone, kShort, kFlip, kBudget, kEnospc };
   Fault fault = Fault::kNone;
   size_t persist = len;
   size_t flip_at = 0;
@@ -45,7 +45,15 @@ Status FaultyFile::Append(const uint8_t* data, size_t len) {
     FaultyFileOptions& opts = injector_->options_;
     op = ++injector_->op_counter_;
     ++injector_->stats_.appends;
-    if (opts.fail_at_byte > 0 &&
+    if (opts.space_quota_bytes > 0 &&
+        injector_->stats_.bytes_written + len > opts.space_quota_bytes) {
+      fault = Fault::kEnospc;
+      persist = opts.space_quota_bytes > injector_->stats_.bytes_written
+                    ? static_cast<size_t>(opts.space_quota_bytes -
+                                          injector_->stats_.bytes_written)
+                    : 0;
+      ++injector_->stats_.enospc_failures;
+    } else if (opts.fail_at_byte > 0 &&
         injector_->stats_.bytes_written + len > opts.fail_at_byte) {
       fault = Fault::kBudget;
       persist = opts.fail_at_byte > injector_->stats_.bytes_written
@@ -85,6 +93,9 @@ Status FaultyFile::Append(const uint8_t* data, size_t len) {
       return Status::IoError("injected short write");
     case Fault::kBudget:
       return Status::IoError("injected crash at byte budget");
+    case Fault::kEnospc:
+      return Status::ResourceExhausted(
+          "injected ENOSPC: no space left on device");
   }
   return Status::OK();
 }
@@ -132,7 +143,13 @@ void FaultyFileInjector::Disarm() {
   options_.bit_flip_p = 0.0;
   options_.sync_fail_p = 0.0;
   options_.fail_at_byte = 0;
+  options_.space_quota_bytes = 0;
   stats_.budget_exhausted = false;
+}
+
+void FaultyFileInjector::SetSpaceQuota(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.space_quota_bytes = bytes;
 }
 
 }  // namespace geostreams

@@ -49,6 +49,14 @@ struct FaultyFileOptions {
   /// 0 = unlimited; otherwise the append that crosses the budget
   /// persists only up to it and fails. Models kill -9 at byte N.
   uint64_t fail_at_byte = 0;
+  /// Shared space quota across all files (0 = unlimited): an append
+  /// that would push lifetime bytes_written past the quota persists
+  /// only the bytes that fit (a torn record, like real ENOSPC) and
+  /// fails with a ResourceExhausted "no space" error. Unlike
+  /// fail_at_byte the disk stays alive — syncs keep working and
+  /// raising the quota (SetSpaceQuota) models space being freed, so
+  /// degraded -> healthy self-healing is testable deterministically.
+  uint64_t space_quota_bytes = 0;
 };
 
 /// What the injector actually did — asserted against in chaos tests
@@ -59,6 +67,7 @@ struct FaultyFileStats {
   uint64_t bit_flips = 0;
   uint64_t sync_failures = 0;
   uint64_t bytes_written = 0;  // bytes actually persisted
+  uint64_t enospc_failures = 0;  // appends refused by the space quota
   bool budget_exhausted = false;
 };
 
@@ -76,6 +85,12 @@ class FaultyFileInjector {
 
   /// Disarms every fault (recovery phases of a chaos test run clean).
   void Disarm();
+
+  /// Adjusts the shared space quota at runtime (0 = unlimited).
+  /// Raising it past bytes_written models an operator freeing disk
+  /// space: the next append — and the governor's write probe —
+  /// succeeds again.
+  void SetSpaceQuota(uint64_t bytes);
 
  private:
   friend class FaultyFile;

@@ -14,6 +14,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "storage/dead_letter_store.h"
+#include "storage/governor.h"
 
 namespace geostreams {
 
@@ -25,6 +26,10 @@ constexpr const char* kSegmentPrefix = "seg-";
 constexpr const char* kSegmentSuffix = ".gsj";
 constexpr const char* kNameFile = "name";
 constexpr const char* kDeadLetterFile = "dead_letters.gsd";
+// Compaction staging file: never a valid segment name, so a crash
+// mid-compaction leaves it invisible to ListSegments; recovery and
+// the next retention pass clean it up.
+constexpr const char* kCompactTmpFile = "compact.tmp";
 
 uint64_t NowMs() {
   return static_cast<uint64_t>(
@@ -332,11 +337,30 @@ SourceJournalStats SourceJournal::stats() const {
   SourceJournalStats out = stats_;
   out.active_segment_bytes = active_bytes_;
   out.next_seq = next_seq_;
+  out.retain_floor = retain_floor_;
   return out;
 }
 
 Status SourceJournal::EnsureOpenLocked() {
   if (active_ != nullptr) return Status::OK();
+  // A failed append may have left a torn partial record past the last
+  // committed byte (ENOSPC persists what fit, then fails). Shrinking
+  // needs no disk space, so this repair works even while the disk is
+  // still full — without it, a disk that heals mid-incarnation would
+  // append good records after mid-file garbage, and recovery would
+  // quarantine everything past the tear.
+  if (resume_truncate_ && !active_path_.empty()) {
+    std::error_code ec;
+    const uint64_t size = fs::file_size(active_path_, ec);
+    if (!ec && size > active_bytes_) {
+      fs::resize_file(active_path_, active_bytes_, ec);
+      if (ec) {
+        return Status::IoError("truncate torn tail of " + active_path_ +
+                               ": " + ec.message());
+      }
+    }
+    resume_truncate_ = false;
+  }
   // Resume the newest recovered segment when there is one (recovery
   // already truncated any torn tail off it); otherwise start a fresh
   // segment named by the next sequence number it will hold.
@@ -388,10 +412,121 @@ Status SourceJournal::RotateLocked() {
   return EnsureOpenLocked();
 }
 
+void SourceJournal::SetRetainFloor(uint64_t settled_upto) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (settled_upto > retain_floor_) retain_floor_ = settled_upto;
+}
+
+uint64_t SourceJournal::RetireSegmentLocked(const std::string& path,
+                                            uint64_t file_bytes,
+                                            uint64_t* kept_cursor) {
+  // Split the segment into settled records (seq < retain floor: acked
+  // AND delivered — they die with the file) and live ones (journaled
+  // but awaiting a producer retry — they must survive). The scan
+  // stops at the first undecodable byte: bytes past damage either
+  // get re-sent by the producer (live) or were already quarantined
+  // loudly at recovery (settled).
+  std::vector<uint8_t> data;
+  std::vector<uint8_t> live;
+  uint64_t live_records = 0;
+  uint64_t first_live = 0;
+  if (ReadWholeFile(path, &data).ok()) {
+    size_t off = 0;
+    while (off < data.size()) {
+      if (!PlausibleRecordHeader(data.data() + off, data.size() - off)) break;
+      const size_t len = kWireHeaderSize + GetU32LE(data.data() + off + 8);
+      if (off + len > data.size()) break;
+      Result<IngestMessage> decoded =
+          DecodeIngestMessage(data.data() + off, len);
+      if (!decoded.ok()) break;
+      if (decoded->seq >= retain_floor_ && decoded->seq > *kept_cursor) {
+        first_live = live.empty() ? decoded->seq
+                                  : std::min(first_live, decoded->seq);
+        live.insert(live.end(), data.begin() + off, data.begin() + off + len);
+        ++live_records;
+        *kept_cursor = decoded->seq;
+      }
+      off += len;
+    }
+  }
+  std::error_code ec;
+  if (live.empty()) {
+    // Everything settled: the PR 7 fast path — drop the whole file.
+    if (!fs::remove(path, ec) || ec) return 0;
+    ++stats_.segments_retired;
+    if (owner_->m_retired_) owner_->m_retired_->Increment();
+    return file_bytes;
+  }
+  if (live.size() >= file_bytes) {
+    // Nothing to reclaim (the whole segment is live): keep it as is
+    // rather than burning IO on a byte-identical rewrite.
+    return 0;
+  }
+  // Kill-safe rewrite: stage into compact.tmp, fsync, atomically
+  // rename to seg-<first-live-seq>.gsj, then remove the original. A
+  // crash before the rename leaves only the invisible tmp; a crash
+  // between rename and remove leaves duplicate live records that
+  // recovery's seq dedup collapses. Either way no live record is lost
+  // and no settled record resurfaces.
+  const std::string tmp = dir_ + "/" + kCompactTmpFile;
+  fs::remove(tmp, ec);
+  auto open = owner_->OpenFile(tmp);
+  if (!open.ok()) return 0;
+  std::unique_ptr<WritableFile> file = std::move(*open);
+  Status st = file->Append(live.data(), live.size());
+  if (st.ok()) st = file->Sync();
+  const Status closed = file->Close();
+  if (st.ok()) st = closed;
+  if (!st.ok()) {
+    fs::remove(tmp, ec);
+    return 0;
+  }
+  const std::string target =
+      dir_ + "/" + kSegmentPrefix +
+      StringPrintf("%020llu", static_cast<unsigned long long>(first_live)) +
+      kSegmentSuffix;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return 0;
+  }
+  if (target != path) fs::remove(path, ec);
+  ++stats_.segments_retired;
+  ++stats_.segments_compacted;
+  stats_.records_compacted += live_records;
+  stats_.compacted_bytes += live.size();
+  if (owner_->m_retired_) owner_->m_retired_->Increment();
+  if (owner_->m_compacted_segments_) owner_->m_compacted_segments_->Increment();
+  if (owner_->m_compacted_records_) {
+    owner_->m_compacted_records_->Increment(live_records);
+  }
+  return file_bytes - live.size();
+}
+
 void SourceJournal::ApplyRetentionLocked() {
-  const uint64_t max_bytes = owner_->options_.retention_max_bytes;
-  const uint64_t max_age_ms = owner_->options_.retention_max_age_ms;
+  uint64_t max_bytes = owner_->options_.retention_max_bytes;
+  uint64_t max_age_ms = owner_->options_.retention_max_age_ms;
+  StorageGovernor* gov = owner_->options_.governor;
+  if (gov != nullptr) {
+    // The governor's "journal" budget applies too; with several
+    // sources this is conservative (each source individually capped
+    // at the global budget), which errs toward keeping the volume
+    // alive.
+    const SubsystemBudget budget = gov->Budget("journal");
+    if (budget.max_bytes > 0 &&
+        (max_bytes == 0 || budget.max_bytes < max_bytes)) {
+      max_bytes = budget.max_bytes;
+    }
+    if (budget.max_age_ms > 0 &&
+        (max_age_ms == 0 || budget.max_age_ms < max_age_ms)) {
+      max_age_ms = budget.max_age_ms;
+    }
+  }
   if (max_bytes == 0 && max_age_ms == 0) return;
+  {
+    std::error_code ec;
+    fs::remove(dir_ + "/" + kCompactTmpFile, ec);  // stale crash leftover
+  }
   Result<std::vector<SegmentRef>> segments = ListSegments(dir_);
   if (!segments.ok()) return;
   uint64_t total = 0;
@@ -408,22 +543,42 @@ void SourceJournal::ApplyRetentionLocked() {
   }
   // Oldest first; the newest segment (the active one) never retires —
   // its name is what preserves the seq high-water mark.
+  uint64_t kept_cursor = 0;
+  uint64_t reclaimed_total = 0;
   for (size_t i = 0; i + 1 < segments->size(); ++i) {
     const bool over_bytes = max_bytes > 0 && total > max_bytes;
     const bool over_age =
         max_age_ms > 0 && age_ms[i] > static_cast<int64_t>(max_age_ms);
     if (!over_bytes && !over_age) continue;
-    std::error_code ec;
-    if (fs::remove((*segments)[i].path, ec)) {
-      total -= sizes[i];
-      ++stats_.segments_retired;
-      if (owner_->m_retired_) owner_->m_retired_->Increment();
-    }
+    const uint64_t reclaimed =
+        RetireSegmentLocked((*segments)[i].path, sizes[i], &kept_cursor);
+    total -= std::min(total, reclaimed);
+    reclaimed_total += reclaimed;
+  }
+  stats_.reclaimed_bytes += reclaimed_total;
+  if (owner_->m_reclaimed_bytes_ && reclaimed_total > 0) {
+    owner_->m_reclaimed_bytes_->Increment(reclaimed_total);
+  }
+  if (gov != nullptr && reclaimed_total > 0) {
+    gov->AddUsage("journal", -static_cast<int64_t>(reclaimed_total));
   }
 }
 
 Status SourceJournal::Append(const IngestMessage& message) {
   std::lock_guard<std::mutex> lock(mu_);
+  StorageGovernor* gov = owner_->options_.governor;
+  if (gov != nullptr) {
+    // Degraded-mode admission: refuse up front so the session NACKs
+    // the producer instead of faking durability. The refusal itself
+    // drives the governor's self-heal probe, so retries are what
+    // eventually flip the plane healthy again.
+    Status admit = gov->Admit("journal");
+    if (!admit.ok()) {
+      ++stats_.append_errors;
+      if (owner_->m_append_errors_) owner_->m_append_errors_->Increment();
+      return admit;
+    }
+  }
   Status st = EnsureOpenLocked();
   if (st.ok() && active_bytes_ >= owner_->options_.segment_max_bytes) {
     st = RotateLocked();
@@ -436,6 +591,9 @@ Status SourceJournal::Append(const IngestMessage& message) {
       active_bytes_ += record.size();
       ++stats_.appends;
       stats_.append_bytes += record.size();
+      if (gov != nullptr) {
+        gov->AddUsage("journal", static_cast<int64_t>(record.size()));
+      }
       if (owner_->m_appends_) owner_->m_appends_->Increment();
       if (owner_->m_append_bytes_) {
         owner_->m_append_bytes_->Increment(record.size());
@@ -457,17 +615,20 @@ Status SourceJournal::Append(const IngestMessage& message) {
       }
     }
   }
+  if (gov != nullptr) gov->RecordWriteResult("journal", st);
   if (!st.ok()) {
     ++stats_.append_errors;
     if (owner_->m_append_errors_) owner_->m_append_errors_->Increment();
-    // The write may have landed partially (a torn record recovery
-    // will truncate). Drop the handle: the next append reopens and
-    // appends after whatever bytes actually reached the file, and the
-    // record is re-appended whole when the producer retries.
+    // The write may have landed partially. Drop the handle and mark
+    // the tail suspect: the next append truncates back to the last
+    // known-good byte before resuming (EnsureOpenLocked), and the
+    // record is re-appended whole when the producer retries. If no
+    // append ever follows, startup recovery truncates the torn tail.
     if (active_ != nullptr) {
       Status ignored = active_->Close();
       (void)ignored;
       active_.reset();
+      resume_truncate_ = true;
     }
     return st;
   }
@@ -502,6 +663,15 @@ IngestJournal::IngestJournal(JournalOptions options)
     m_retired_ = reg.GetCounter(
         "geostreams_journal_segments_retired_total",
         "Closed segments deleted by byte/age retention");
+    m_compacted_segments_ = reg.GetCounter(
+        "geostreams_journal_segments_compacted_total",
+        "Retired segments whose live records were rewritten forward");
+    m_compacted_records_ = reg.GetCounter(
+        "geostreams_journal_records_compacted_total",
+        "Still-unacked records carried across segment retirement");
+    m_reclaimed_bytes_ = reg.GetCounter(
+        "geostreams_journal_reclaimed_bytes_total",
+        "On-disk bytes freed by retention/compaction");
     m_recovered_records_ = reg.GetCounter(
         "geostreams_journal_recovered_records_total",
         "Committed records replayed by startup recovery");
@@ -636,11 +806,32 @@ Status IngestJournal::RecoverAll() {
   if (m_corrupt_regions_) {
     m_corrupt_regions_->Increment(recovery_.corrupt_regions);
   }
+  if (options_.governor != nullptr) {
+    // Seed the governor's byte accounting with what is actually on
+    // disk, so budgets bind from the first post-restart append.
+    uint64_t on_disk = 0;
+    std::error_code walk_ec;
+    for (const auto& entry :
+         fs::recursive_directory_iterator(options_.dir, walk_ec)) {
+      if (!entry.is_regular_file(walk_ec)) continue;
+      if (entry.path().extension() == kSegmentSuffix) {
+        on_disk += entry.file_size(walk_ec);
+      }
+    }
+    options_.governor->SetUsage("journal", on_disk);
+  }
   return Status::OK();
 }
 
 Status IngestJournal::RecoverSource(const std::string& source_dir_name) {
   const std::string dir = options_.dir + "/" + source_dir_name;
+  {
+    // A crash mid-compaction leaves the staging file; the rename
+    // never happened, so the original segment is intact and the tmp
+    // is garbage.
+    std::error_code ec;
+    fs::remove(dir + "/" + kCompactTmpFile, ec);
+  }
   // The marker file holds the original source name (directory names
   // are sanitized); fall back to the directory name for journals
   // written by hand or by older layouts.
@@ -779,6 +970,10 @@ SourceJournalStats IngestJournal::TotalStats() const {
     total.fsyncs += s.fsyncs;
     total.rotations += s.rotations;
     total.segments_retired += s.segments_retired;
+    total.segments_compacted += s.segments_compacted;
+    total.records_compacted += s.records_compacted;
+    total.compacted_bytes += s.compacted_bytes;
+    total.reclaimed_bytes += s.reclaimed_bytes;
     total.active_segment_bytes += s.active_segment_bytes;
     total.recovered_records += s.recovered_records;
   }

@@ -18,7 +18,15 @@
 // (the file name carries the first sequence number it will hold, so
 // recovery knows the high-water mark even from an empty active
 // segment) and retires the oldest closed segments past the byte/age
-// retention caps. Durability is a policy knob: kPerRecord fsyncs
+// retention caps. Retirement compacts instead of dropping: records
+// whose sequence number is at or above the source's retain floor
+// (advanced by IngestSession to the cumulative ack — everything below
+// it is settled) are rewritten into a fresh segment before the old
+// file goes away, kill-point safe (write compact.tmp, fsync,
+// atomically rename to seg-<first-live-seq>.gsj, then remove the
+// original; a crash between the two leaves duplicates that recovery's
+// seq dedup already collapses). A segment holding only settled
+// records is deleted whole — the PR 7 behavior, now provably safe. Durability is a policy knob: kPerRecord fsyncs
 // before every ACK (the strict ack-gated contract the kill-point
 // harness audits), kGroupCommit leaves fsync to a background flusher
 // thread that runs every `group_commit_interval_ms` — the append (and
@@ -70,6 +78,7 @@
 namespace geostreams {
 
 class DeadLetterStore;
+class StorageGovernor;
 
 /// When the journal fsyncs relative to the ACK it gates.
 enum class FsyncPolicy : uint8_t {
@@ -111,6 +120,9 @@ struct JournalOptions {
   uint64_t segment_max_bytes = 8u << 20;
   /// Retire oldest CLOSED segments while a source's total exceeds
   /// this (0 = keep everything). The active segment never retires.
+  /// Retirement drops settled records (seq below the retain floor)
+  /// with the file and compacts still-live ones into a fresh segment,
+  /// so a byte cap never costs an unacked record.
   uint64_t retention_max_bytes = 0;
   /// Retire closed segments older than this (mtime; 0 = no age cap).
   uint64_t retention_max_age_ms = 0;
@@ -119,6 +131,12 @@ struct JournalOptions {
   /// Optional registry for geostreams_journal_* counters and the
   /// fsync-latency histogram. Not owned; may be null.
   MetricsRegistry* metrics = nullptr;
+  /// Optional disk-pressure governor (not owned). When set, appends
+  /// pass its admission gate first — refused appends surface as NACKs
+  /// to producers, never as fake durability — write outcomes feed its
+  /// degraded-mode state machine, and the journal keeps the
+  /// governor's "journal" byte accounting current.
+  StorageGovernor* governor = nullptr;
 };
 
 /// What recovery found for one source.
@@ -148,8 +166,13 @@ struct SourceJournalStats {
   uint64_t fsyncs = 0;
   uint64_t rotations = 0;
   uint64_t segments_retired = 0;
+  uint64_t segments_compacted = 0;  // retired via live-record rewrite
+  uint64_t records_compacted = 0;   // live records carried across rewrites
+  uint64_t compacted_bytes = 0;     // bytes written into compacted segments
+  uint64_t reclaimed_bytes = 0;     // on-disk bytes freed by retirement
   uint64_t active_segment_bytes = 0;
   uint64_t recovered_records = 0;
+  uint64_t retain_floor = 1;  // seqs below this are settled (prunable)
   uint64_t next_seq = 1;
 };
 
@@ -171,6 +194,14 @@ class SourceJournal {
   /// 1 + the highest sequence number committed (recovered + appended).
   uint64_t next_seq() const;
 
+  /// Advances the settled floor: every sequence number below
+  /// `settled_upto` has been delivered and acked, so retention may
+  /// drop those records. Records at or above it are still live (a
+  /// journaled-but-NACKed delivery awaiting the producer's retry) and
+  /// survive segment retirement via compaction. Monotonic; callers
+  /// pass the session's next expected sequence after each ack.
+  void SetRetainFloor(uint64_t settled_upto);
+
   SourceJournalStats stats() const;
 
   const std::string& source() const { return source_; }
@@ -184,6 +215,12 @@ class SourceJournal {
   Status RotateLocked();
   Status SyncLocked();
   void ApplyRetentionLocked();
+  /// Retires one closed segment: live records (seq >= retain floor,
+  /// deduplicated against `*kept_cursor`) are compacted into a fresh
+  /// kill-safe segment, settled ones vanish with the file. Returns
+  /// the on-disk bytes reclaimed.
+  uint64_t RetireSegmentLocked(const std::string& path, uint64_t file_bytes,
+                               uint64_t* kept_cursor);
 
   IngestJournal* owner_;
   const std::string source_;
@@ -194,8 +231,15 @@ class SourceJournal {
   std::string active_path_;
   uint64_t active_bytes_ = 0;
   uint64_t next_seq_ = 1;
+  uint64_t retain_floor_ = 1;
   uint64_t last_sync_ms_ = 0;
   bool dirty_ = false;  // bytes written since the last fsync
+  /// Set when an append failed with the segment open: the file may
+  /// carry a torn partial record past active_bytes_ (ENOSPC persists
+  /// a prefix). The next EnsureOpenLocked truncates back to the last
+  /// known-good length before resuming, so a disk that heals within
+  /// the same incarnation never buries garbage mid-file.
+  bool resume_truncate_ = false;
   SourceJournalStats stats_;
 };
 
@@ -273,6 +317,9 @@ class IngestJournal {
   Counter* m_fsyncs_ = nullptr;
   Counter* m_rotations_ = nullptr;
   Counter* m_retired_ = nullptr;
+  Counter* m_compacted_segments_ = nullptr;
+  Counter* m_compacted_records_ = nullptr;
+  Counter* m_reclaimed_bytes_ = nullptr;
   Counter* m_recovered_records_ = nullptr;
   Counter* m_recovered_duplicates_ = nullptr;
   Counter* m_torn_tails_ = nullptr;

@@ -14,6 +14,7 @@
 #include "common/string_util.h"
 #include "geo/crs_registry.h"
 #include "raster/checksum.h"
+#include "storage/governor.h"
 
 namespace geostreams {
 
@@ -285,15 +286,32 @@ struct TileStore::StoredFrame {
   int64_t frame_id = 0;
   int band_count = 1;
   int64_t expected_points = 0;
+  /// The frame's whole record run (meta + pages + commit) is
+  /// contiguous in one segment; retention prunes and GC rewrites
+  /// whole runs.
+  uint32_t segment = 0;
+  uint64_t run_offset = 0;
+  uint64_t run_bytes = 0;
+  uint64_t stored_ms = 0;  // NowMs() at index time (age retention)
   std::vector<StoredLevel> levels;
 };
 
 struct TileStore::SourceStore {
+  /// One page segment. Slots are tombstoned (`dead`), never erased,
+  /// so TileRef::segment indices stay stable across GC.
+  struct SegmentState {
+    std::string path;
+    uint64_t bytes = 0;       // good bytes on disk (0 once dead)
+    uint64_t live_bytes = 0;  // bytes of runs still in the index
+    uint64_t live_frames = 0;
+    bool dead = false;        // file unlinked; slot kept for index stability
+  };
+
   std::string name;
   std::string dir;
 
   mutable std::mutex mu;
-  std::vector<std::string> segments;  // page files, oldest first
+  std::vector<SegmentState> segments;  // page files, oldest first
   std::unique_ptr<WritableFile> active;
   uint32_t active_index = 0;
   uint64_t active_bytes = 0;
@@ -307,7 +325,18 @@ struct TileStore::SourceStore {
   bool tainted = false;
   std::map<int64_t, std::shared_ptr<const StoredFrame>> frames;
   int64_t watermark = std::numeric_limits<int64_t>::min();
+  /// Highest frame id retention ever pruned (catch-up truncation
+  /// reporting).
+  int64_t pruned_upto = std::numeric_limits<int64_t>::min();
   TileStoreStats stats;
+
+  /// Scans in flight that snapshotted the index before now. Cached
+  /// fds of tombstoned segments are reaped only at zero: a snapshot
+  /// taken after a prune can no longer reference a dead segment, so
+  /// zero in-flight scans means nothing can still read those fds.
+  std::atomic<uint64_t> active_scans{0};
+  /// Tombstoned segment indices whose cached fds await reaping.
+  std::vector<uint32_t> dead_fd_reap;
 
   std::mutex read_mu;
   std::map<uint32_t, int> read_fds;  // segment index -> O_RDONLY fd
@@ -352,6 +381,24 @@ TileStore::TileStore(TileStoreOptions options)
     m_corrupt_regions_ = reg.GetCounter(
         "geostreams_store_corrupt_regions_total",
         "Mid-file corrupt regions skipped by recovery");
+    m_frames_rejected_ = reg.GetCounter(
+        "geostreams_store_frames_rejected_total",
+        "Frames refused at PutFrame admission while storage is degraded");
+    m_sync_errors_ = reg.GetCounter(
+        "geostreams_store_sync_errors_total",
+        "Segment Sync/Close failures (previously silently discarded)");
+    m_frames_pruned_ = reg.GetCounter(
+        "geostreams_store_frames_pruned_total",
+        "Frames evicted from the index by retention budgets");
+    m_segments_deleted_ = reg.GetCounter(
+        "geostreams_store_segments_deleted_total",
+        "Fully-dead page segments unlinked by GC");
+    m_segments_rewritten_ = reg.GetCounter(
+        "geostreams_store_segments_rewritten_total",
+        "Mostly-dead page segments compacted by GC");
+    m_bytes_reclaimed_ = reg.GetCounter(
+        "geostreams_store_bytes_reclaimed_total",
+        "Net on-disk bytes freed by retention and GC");
     m_put_latency_us_ = reg.GetHistogram(
         "geostreams_store_put_latency_us",
         "Tile + pyramid encode and append latency per committed frame");
@@ -362,8 +409,16 @@ TileStore::TileStore(TileStoreOptions options)
 }
 
 TileStore::~TileStore() {
-  Status ignored = SyncAll();
-  (void)ignored;
+  {
+    std::lock_guard<std::mutex> lock(gc_wake_mu_);
+    stopping_ = true;
+  }
+  gc_cv_.notify_all();
+  if (gc_thread_.joinable()) gc_thread_.join();
+  Status st = SyncAll();  // SyncAll counts its own failures
+  if (!st.ok()) {
+    GEOSTREAMS_LOG(kWarning) << "tile store final sync: " << st.ToString();
+  }
 }
 
 Result<std::unique_ptr<TileStore>> TileStore::Open(TileStoreOptions options) {
@@ -377,7 +432,19 @@ Result<std::unique_ptr<TileStore>> TileStore::Open(TileStoreOptions options) {
   }
   std::unique_ptr<TileStore> store(new TileStore(std::move(options)));
   GEOSTREAMS_RETURN_IF_ERROR(store->RecoverAll());
+  if (store->options_.gc_interval_ms > 0) {
+    TileStore* raw = store.get();
+    store->gc_thread_ = std::thread([raw] { raw->GcThreadMain(); });
+  }
   return store;
+}
+
+uint64_t TileStore::NowMs() const {
+  if (options_.now_ms) return options_.now_ms();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 Status TileStore::RecoverAll() {
@@ -401,6 +468,15 @@ Status TileStore::RecoverAll() {
   if (m_torn_tails_) m_torn_tails_->Increment(recovery_.torn_tails);
   if (m_corrupt_regions_) {
     m_corrupt_regions_->Increment(recovery_.corrupt_regions);
+  }
+  if (options_.governor != nullptr) {
+    uint64_t on_disk = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, src] : sources_) {
+      std::lock_guard<std::mutex> src_lock(src->mu);
+      for (const auto& seg : src->segments) on_disk += seg.bytes;
+    }
+    options_.governor->SetUsage("store", on_disk);
   }
   return Status::OK();
 }
@@ -446,17 +522,20 @@ Status TileStore::RecoverSource(const std::string& source_dir_name) {
   // Pending (uncommitted) frame state while scanning one segment.
   std::shared_ptr<StoredFrame> pending;
   std::vector<uint32_t> pending_counts;  // tiles seen per level
+  uint64_t pending_run_start = 0;        // offset of pending's kFrameMeta
   auto drop_pending = [&] {
     if (pending != nullptr) ++recovery_.incomplete_frames;
     pending.reset();
     pending_counts.clear();
   };
+  const uint64_t recovered_now_ms = NowMs();
 
   for (size_t si = 0; si < pages.size(); ++si) {
     const bool last_segment = (si + 1 == pages.size());
     std::vector<uint8_t> data;
     GEOSTREAMS_RETURN_IF_ERROR(ReadWholeFile(pages[si], &data));
-    src->segments.push_back(pages[si]);
+    src->segments.push_back(SourceStore::SegmentState{});
+    src->segments.back().path = pages[si];
     const uint32_t seg_index = static_cast<uint32_t>(src->segments.size() - 1);
     size_t off = 0;
     uint64_t file_good_end = data.size();
@@ -535,6 +614,8 @@ Status TileStore::RecoverSource(const std::string& source_dir_name) {
           pending->frame_id = frame_id;
           pending->band_count = bands;
           pending->expected_points = expected;
+          pending->segment = seg_index;
+          pending_run_start = off;
           pending->levels.resize(level_count);
           const GridLattice base(*crs, ox, oy, dx, dy, w, h);
           for (uint8_t l = 0; l < level_count; ++l) {
@@ -579,12 +660,20 @@ Status TileStore::RecoverSource(const std::string& source_dir_name) {
             break;
           }
           if (src->frames.count(pending->frame_id) > 0) {
+            // The duplicate's run bytes stay dead in this segment (a
+            // crash mid-GC-rewrite leaves one of these; GC reclaims
+            // the bytes once the segment's live fraction drops).
             ++recovery_.duplicate_frames;
           } else {
             uint64_t tiles = 0;
             for (const StoredLevel& lv : pending->levels) {
               tiles += lv.tiles.size();
             }
+            pending->run_offset = pending_run_start;
+            pending->run_bytes = off + *len - pending_run_start;
+            pending->stored_ms = recovered_now_ms;
+            src->segments[seg_index].live_bytes += pending->run_bytes;
+            ++src->segments[seg_index].live_frames;
             recovery_.tile_pages_recovered += tiles;
             ++recovery_.frames_recovered;
             src->watermark = std::max(src->watermark, pending->frame_id);
@@ -609,6 +698,7 @@ Status TileStore::RecoverSource(const std::string& source_dir_name) {
           << "tile store source '" << source << "': truncated torn tail at "
           << file_good_end << " of " << pages[si];
     }
+    src->segments[seg_index].bytes = file_good_end;
     if (last_segment) src->resume_bytes = file_good_end;
   }
 
@@ -665,19 +755,28 @@ Status TileStore::EnsureOpenLocked(SourceStore* src) {
     return Status::OK();
   }
   if (src->active != nullptr) {
-    Status ignored = src->active->Sync();
-    ignored = src->active->Close();
-    (void)ignored;
+    // Sealing failures no longer vanish: a failed fsync here means
+    // the sealed segment's tail may not survive power loss.
+    Status sync_st = src->active->Sync();
+    Status close_st = src->active->Close();
+    if (!sync_st.ok() || !close_st.ok()) {
+      ++src->stats.sync_errors;
+      if (m_sync_errors_) m_sync_errors_->Increment();
+      GEOSTREAMS_LOG(kWarning)
+          << "tile store source '" << src->name << "': sealing segment: "
+          << (!sync_st.ok() ? sync_st : close_st).ToString();
+    }
     src->active.reset();
   }
   const bool resume = !src->tainted && !src->resumed &&
                       !src->segments.empty() &&
+                      !src->segments.back().dead &&
                       src->resume_bytes < options_.segment_max_bytes;
   src->resumed = true;
   src->tainted = false;
   if (resume) {
     GEOSTREAMS_ASSIGN_OR_RETURN(src->active,
-                                OpenFile(src->segments.back()));
+                                OpenFile(src->segments.back().path));
     src->active_index = static_cast<uint32_t>(src->segments.size() - 1);
     src->active_bytes = src->resume_bytes;
     return Status::OK();
@@ -688,7 +787,8 @@ Status TileStore::EnsureOpenLocked(SourceStore* src) {
                    static_cast<unsigned long long>(src->next_page_no++)) +
       kPageSuffix;
   GEOSTREAMS_ASSIGN_OR_RETURN(src->active, OpenFile(path));
-  src->segments.push_back(path);
+  src->segments.push_back(SourceStore::SegmentState{});
+  src->segments.back().path = path;
   src->active_index = static_cast<uint32_t>(src->segments.size() - 1);
   src->active_bytes = 0;
   return Status::OK();
@@ -720,6 +820,17 @@ Status TileStore::PutFrame(const std::string& source, const FrameInfo& info,
   std::lock_guard<std::mutex> lock(src->mu);
   if (src->frames.count(info.frame_id) > 0) {
     return Status::OK();  // producer replay after a crash: already durable
+  }
+  StorageGovernor* gov = options_.governor;
+  if (gov != nullptr) {
+    // Degraded-mode shed happens before any encode work; replayed
+    // already-durable frames (above) still succeed while degraded.
+    Status admit = gov->Admit("store");
+    if (!admit.ok()) {
+      ++src->stats.frames_rejected;
+      if (m_frames_rejected_) m_frames_rejected_->Increment();
+      return admit;
+    }
   }
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -841,6 +952,7 @@ Status TileStore::PutFrame(const std::string& source, const FrameInfo& info,
   Status st = EnsureOpenLocked(src);
   if (st.ok()) st = src->active->Append(run.data(), run.size());
   if (st.ok() && options_.fsync_frames) st = src->active->Sync();
+  if (gov != nullptr) gov->RecordWriteResult("store", st);
   if (!st.ok()) {
     // Abandon the segment: the partial run has no commit record, so
     // recovery (and every reader — it is not indexed) ignores it.
@@ -862,6 +974,17 @@ Status TileStore::PutFrame(const std::string& source, const FrameInfo& info,
       ref.segment = src->active_index;
       ref.offset += base_off;
     }
+  }
+  frame->segment = src->active_index;
+  frame->run_offset = base_off;
+  frame->run_bytes = run.size();
+  frame->stored_ms = NowMs();
+  SourceStore::SegmentState& seg = src->segments[src->active_index];
+  seg.bytes = src->active_bytes;
+  seg.live_bytes += run.size();
+  ++seg.live_frames;
+  if (gov != nullptr) {
+    gov->AddUsage("store", static_cast<int64_t>(run.size()));
   }
   src->watermark = std::max(src->watermark, info.frame_id);
   src->frames.emplace(info.frame_id, std::move(frame));
@@ -900,28 +1023,38 @@ std::vector<int64_t> TileStore::FrameIds(const std::string& source,
 
 Status TileStore::ReadTileRecord(SourceStore* src, const TileRef& ref,
                                  std::vector<uint8_t>* buf) {
+  // Lock order is mu -> read_mu everywhere (GC pre-caches fds while
+  // holding mu), so the cache miss path releases read_mu before
+  // touching the segment table.
   int fd = -1;
   {
     std::lock_guard<std::mutex> lock(src->read_mu);
     auto it = src->read_fds.find(ref.segment);
-    if (it != src->read_fds.end()) {
-      fd = it->second;
-    } else {
-      std::string path;
-      {
-        std::lock_guard<std::mutex> seg_lock(src->mu);
-        if (ref.segment >= src->segments.size()) {
-          return Status::Internal("tile ref names an unknown segment");
-        }
-        path = src->segments[ref.segment];
+    if (it != src->read_fds.end()) fd = it->second;
+  }
+  if (fd < 0) {
+    std::string path;
+    {
+      std::lock_guard<std::mutex> seg_lock(src->mu);
+      if (ref.segment >= src->segments.size()) {
+        return Status::Internal("tile ref names an unknown segment");
       }
-      fd = ::open(path.c_str(), O_RDONLY);
-      if (fd < 0) {
-        return Status::IoError(StringPrintf("open %s: %s", path.c_str(),
-                                            std::strerror(errno)));
+      if (src->segments[ref.segment].dead) {
+        // Only reachable when GC's pre-unlink fd cache failed: the
+        // tile is gone; the scan serves what survives.
+        return Status::IoError("tile page segment retired under the index");
       }
-      src->read_fds.emplace(ref.segment, fd);
+      path = src->segments[ref.segment].path;
     }
+    const int opened = ::open(path.c_str(), O_RDONLY);
+    if (opened < 0) {
+      return Status::IoError(StringPrintf("open %s: %s", path.c_str(),
+                                          std::strerror(errno)));
+    }
+    std::lock_guard<std::mutex> lock(src->read_mu);
+    auto [it, inserted] = src->read_fds.emplace(ref.segment, opened);
+    if (!inserted) ::close(opened);  // lost the race; use the cached fd
+    fd = it->second;
   }
   buf->resize(ref.length);
   size_t got = 0;
@@ -1115,18 +1248,25 @@ Status TileStore::Scan(const std::string& source, const StoreScan& scan,
                        EventSink* sink) {
   SourceStore* src = FindSource(source);
   if (src == nullptr) return Status::OK();
+  // active_scans is raised under the index lock, BEFORE snapshotting:
+  // GC observing zero scans knows no reader can hold pre-prune frame
+  // pointers, so tombstoned fds are safe to reap.
   std::vector<std::shared_ptr<const StoredFrame>> frames;
   {
     std::lock_guard<std::mutex> lock(src->mu);
+    src->active_scans.fetch_add(1, std::memory_order_relaxed);
     for (auto it = src->frames.lower_bound(scan.min_frame_id);
          it != src->frames.end() && it->first <= scan.max_frame_id; ++it) {
       if (FramePasses(it->first, scan)) frames.push_back(it->second);
     }
   }
+  Status st = Status::OK();
   for (const auto& frame : frames) {
-    GEOSTREAMS_RETURN_IF_ERROR(EmitFrame(src, frame, scan, sink));
+    st = EmitFrame(src, frame, scan, sink);
+    if (!st.ok()) break;
   }
-  return Status::OK();
+  src->active_scans.fetch_sub(1, std::memory_order_release);
+  return st;
 }
 
 Status TileStore::ScanFrame(const std::string& source, int64_t frame_id,
@@ -1138,15 +1278,31 @@ Status TileStore::ScanFrame(const std::string& source, int64_t frame_id,
   std::shared_ptr<const StoredFrame> frame;
   {
     std::lock_guard<std::mutex> lock(src->mu);
+    src->active_scans.fetch_add(1, std::memory_order_relaxed);
     auto it = src->frames.find(frame_id);
     if (it != src->frames.end()) frame = it->second;
   }
+  Status st;
   if (frame == nullptr || !FramePasses(frame_id, scan)) {
-    return Status::NotFound(StringPrintf(
+    st = Status::NotFound(StringPrintf(
         "frame %lld is not stored for source %s",
         static_cast<long long>(frame_id), source.c_str()));
+  } else {
+    st = EmitFrame(src, frame, scan, sink);
   }
-  return EmitFrame(src, frame, scan, sink);
+  src->active_scans.fetch_sub(1, std::memory_order_release);
+  return st;
+}
+
+StoreHorizon TileStore::Horizon(const std::string& source) const {
+  StoreHorizon out;
+  SourceStore* src = FindSource(source);
+  if (src == nullptr) return out;
+  std::lock_guard<std::mutex> lock(src->mu);
+  if (!src->frames.empty()) out.oldest_frame_id = src->frames.begin()->first;
+  out.pruned_upto = src->pruned_upto;
+  out.frames_pruned = src->stats.frames_pruned;
+  return out;
 }
 
 TileStoreStats TileStore::TotalStats() const {
@@ -1166,6 +1322,12 @@ TileStoreStats TileStore::TotalStats() const {
     total.frames_read += src->stats.frames_read;
     total.tiles_read += src->stats.tiles_read;
     total.tile_read_errors += src->stats.tile_read_errors;
+    total.frames_rejected += src->stats.frames_rejected;
+    total.sync_errors += src->stats.sync_errors;
+    total.frames_pruned += src->stats.frames_pruned;
+    total.segments_deleted += src->stats.segments_deleted;
+    total.segments_rewritten += src->stats.segments_rewritten;
+    total.bytes_reclaimed += src->stats.bytes_reclaimed;
   }
   return total;
 }
@@ -1182,16 +1344,354 @@ Status TileStore::SyncAll() {
     std::lock_guard<std::mutex> lock(src->mu);
     if (src->active == nullptr) continue;
     Status st = src->active->Sync();
-    if (!st.ok() && first.ok()) first = st;
+    if (!st.ok()) {
+      ++src->stats.sync_errors;
+      if (m_sync_errors_) m_sync_errors_->Increment();
+      if (first.ok()) first = st;
+    }
   }
   return first;
 }
 
 // ---------------------------------------------------------------------------
+// Retention and garbage collection
+
+void TileStore::GcThreadMain() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(gc_wake_mu_);
+      gc_cv_.wait_for(lock, std::chrono::milliseconds(options_.gc_interval_ms),
+                      [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    Status st = RunRetentionNow();
+    if (!st.ok()) {
+      GEOSTREAMS_LOG(kWarning)
+          << "tile store retention pass: " << st.ToString();
+    }
+  }
+}
+
+Status TileStore::RunRetentionNow() {
+  std::lock_guard<std::mutex> gc_lock(gc_mu_);
+  std::vector<SourceStore*> sources;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sources.reserve(sources_.size());
+    for (const auto& [name, src] : sources_) sources.push_back(src.get());
+  }
+  Status first = Status::OK();
+  for (SourceStore* src : sources) {
+    Status st = ApplyRetentionSource(src);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+Status TileStore::ApplyRetentionSource(SourceStore* src) {
+  StorageGovernor* gov = options_.governor;
+  uint64_t max_bytes = options_.retention_max_bytes;
+  uint64_t max_age_ms = options_.retention_max_age_ms;
+  const uint64_t max_frames = options_.retention_max_frames;
+  if (gov != nullptr) {
+    // The governor's "store" budget tightens the static knobs
+    // (applied per source, like the journal's retention caps).
+    const SubsystemBudget budget = gov->Budget("store");
+    if (budget.max_bytes > 0 &&
+        (max_bytes == 0 || budget.max_bytes < max_bytes)) {
+      max_bytes = budget.max_bytes;
+    }
+    if (budget.max_age_ms > 0 &&
+        (max_age_ms == 0 || budget.max_age_ms < max_age_ms)) {
+      max_age_ms = budget.max_age_ms;
+    }
+  }
+  const uint64_t now = NowMs();
+  Status first = Status::OK();
+  uint64_t reclaimed_total = 0;
+
+  std::lock_guard<std::mutex> lock(src->mu);
+
+  // Phase 1 — prune the oldest frames over budget. Disk bytes only
+  // actually drop when segment GC (phase 2) runs, so the byte budget
+  // works on a projection that debits each pruned frame's run.
+  uint64_t projected = 0;
+  for (const auto& seg : src->segments) {
+    if (!seg.dead) projected += seg.bytes;
+  }
+  while (src->frames.size() > options_.retention_min_frames) {
+    auto oldest = src->frames.begin();
+    bool evict = false;
+    if (max_frames > 0 && src->frames.size() > max_frames) evict = true;
+    if (!evict && max_bytes > 0 && projected > max_bytes) evict = true;
+    if (!evict && max_age_ms > 0) {
+      const uint64_t stored = oldest->second->stored_ms;
+      if (now > stored && now - stored > max_age_ms) evict = true;
+    }
+    if (!evict) break;
+    const StoredFrame& f = *oldest->second;
+    if (f.segment < src->segments.size()) {
+      SourceStore::SegmentState& seg = src->segments[f.segment];
+      seg.live_bytes -= std::min(seg.live_bytes, f.run_bytes);
+      if (seg.live_frames > 0) --seg.live_frames;
+    }
+    projected -= std::min(projected, f.run_bytes);
+    src->pruned_upto = std::max(src->pruned_upto, f.frame_id);
+    ++src->stats.frames_pruned;
+    if (m_frames_pruned_) m_frames_pruned_->Increment();
+    src->frames.erase(oldest);
+  }
+
+  // Phase 2 — segment GC over sealed segments. The newest slot is
+  // skipped (it is the active segment or this incarnation's resume
+  // target); vector growth inside a rewrite is why access is by
+  // index, never by held reference.
+  const uint32_t seg_count = static_cast<uint32_t>(src->segments.size());
+  for (uint32_t i = 0; i + 1 < seg_count; ++i) {
+    if (src->segments[i].dead) continue;
+    if (src->active != nullptr && i == src->active_index) continue;
+    if (src->segments[i].live_frames == 0) {
+      const uint64_t freed = RetireSegmentLocked(src, i);
+      if (freed > 0) {
+        reclaimed_total += freed;
+        ++src->stats.segments_deleted;
+        if (m_segments_deleted_) m_segments_deleted_->Increment();
+      }
+      continue;
+    }
+    const uint64_t bytes = src->segments[i].bytes;
+    const uint64_t live = std::min(bytes, src->segments[i].live_bytes);
+    if (options_.gc_rewrite_dead_fraction > 0 && bytes > 0) {
+      const double dead_fraction =
+          static_cast<double>(bytes - live) / static_cast<double>(bytes);
+      if (dead_fraction >= options_.gc_rewrite_dead_fraction) {
+        uint64_t reclaimed = 0;
+        Status st = RewriteSegmentLocked(src, i, &reclaimed);
+        reclaimed_total += reclaimed;
+        if (!st.ok() && first.ok()) first = st;
+      }
+    }
+  }
+
+  ReapDeadFdsLocked(src);
+
+  if (reclaimed_total > 0) {
+    src->stats.bytes_reclaimed += reclaimed_total;
+    if (m_bytes_reclaimed_) m_bytes_reclaimed_->Increment(reclaimed_total);
+    if (gov != nullptr) {
+      gov->AddUsage("store", -static_cast<int64_t>(reclaimed_total));
+    }
+  }
+  return first;
+}
+
+uint64_t TileStore::RetireSegmentLocked(SourceStore* src, uint32_t seg_index) {
+  SourceStore::SegmentState& seg = src->segments[seg_index];
+  {
+    // Cache a read fd BEFORE the unlink: a scan that snapshotted
+    // before the prune keeps reading the unlinked file through it
+    // (POSIX keeps the inode alive until the last fd closes).
+    std::lock_guard<std::mutex> rlock(src->read_mu);
+    if (src->read_fds.find(seg_index) == src->read_fds.end()) {
+      const int fd = ::open(seg.path.c_str(), O_RDONLY);
+      if (fd >= 0) src->read_fds.emplace(seg_index, fd);
+    }
+  }
+  std::error_code ec;
+  fs::remove(seg.path, ec);
+  if (ec) {
+    GEOSTREAMS_LOG(kWarning)
+        << "tile store: remove " << seg.path << ": " << ec.message()
+        << " (will retry next pass)";
+    return 0;
+  }
+  const uint64_t freed = seg.bytes;
+  seg.dead = true;
+  seg.bytes = 0;
+  seg.live_bytes = 0;
+  seg.live_frames = 0;
+  src->dead_fd_reap.push_back(seg_index);
+  return freed;
+}
+
+Status TileStore::RewriteSegmentLocked(SourceStore* src, uint32_t seg_index,
+                                       uint64_t* reclaimed) {
+  *reclaimed = 0;
+  // Surviving frames of this segment, in file order.
+  std::vector<std::shared_ptr<const StoredFrame>> live;
+  for (const auto& [id, frame] : src->frames) {
+    if (frame->segment == seg_index) live.push_back(frame);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const std::shared_ptr<const StoredFrame>& a,
+               const std::shared_ptr<const StoredFrame>& b) {
+              return a->run_offset < b->run_offset;
+            });
+  if (live.empty()) {
+    const uint64_t freed = RetireSegmentLocked(src, seg_index);
+    if (freed > 0) {
+      *reclaimed = freed;
+      ++src->stats.segments_deleted;
+      if (m_segments_deleted_) m_segments_deleted_->Increment();
+    }
+    return Status::OK();
+  }
+
+  const uint64_t old_bytes = src->segments[seg_index].bytes;
+  std::vector<uint8_t> data;
+  GEOSTREAMS_RETURN_IF_ERROR(
+      ReadWholeFile(src->segments[seg_index].path, &data));
+
+  // Pack the live runs into a fresh page, written through the
+  // injectable factory so crash kill-points and injected ENOSPC gate
+  // GC exactly like ingestion.
+  std::vector<uint8_t> packed;
+  std::vector<uint64_t> new_offsets;
+  new_offsets.reserve(live.size());
+  for (const auto& frame : live) {
+    if (frame->run_offset + frame->run_bytes > data.size()) {
+      return Status::Internal(StringPrintf(
+          "frame %lld run exceeds segment bounds",
+          static_cast<long long>(frame->frame_id)));
+    }
+    new_offsets.push_back(packed.size());
+    packed.insert(packed.end(), data.begin() + frame->run_offset,
+                  data.begin() + frame->run_offset + frame->run_bytes);
+  }
+
+  const std::string path =
+      src->dir + "/" + kPagePrefix +
+      StringPrintf("%06llu",
+                   static_cast<unsigned long long>(src->next_page_no++)) +
+      kPageSuffix;
+  Status st;
+  {
+    Result<std::unique_ptr<WritableFile>> out = OpenFile(path);
+    if (!out.ok()) return out.status();
+    st = (*out)->Append(packed.data(), packed.size());
+    // The copy is durable before the original is unlinked: a crash in
+    // between leaves the frames committed twice, and recovery's
+    // duplicate-frame dedup keeps exactly one.
+    if (st.ok()) st = (*out)->Sync();
+    Status close_st = (*out)->Close();
+    if (st.ok()) st = close_st;
+  }
+  if (options_.governor != nullptr) {
+    options_.governor->RecordWriteResult("store", st);
+  }
+  if (!st.ok()) {
+    std::error_code ec;
+    fs::remove(path, ec);  // the half-written copy is dead weight
+    return st;
+  }
+
+  // Install the copy: new segment slot, fresh StoredFrame objects
+  // (in-flight snapshots keep the old ones and their cached fd).
+  src->segments.push_back(SourceStore::SegmentState{});
+  const uint32_t new_index = static_cast<uint32_t>(src->segments.size() - 1);
+  SourceStore::SegmentState& new_seg = src->segments[new_index];
+  new_seg.path = path;
+  new_seg.bytes = packed.size();
+  new_seg.live_bytes = packed.size();
+  new_seg.live_frames = live.size();
+  for (size_t k = 0; k < live.size(); ++k) {
+    auto copy = std::make_shared<StoredFrame>(*live[k]);
+    copy->segment = new_index;
+    copy->run_offset = new_offsets[k];
+    for (StoredLevel& lv : copy->levels) {
+      for (TileRef& ref : lv.tiles) {
+        ref.segment = new_index;
+        ref.offset = ref.offset - live[k]->run_offset + new_offsets[k];
+      }
+    }
+    src->frames[copy->frame_id] = std::move(copy);
+  }
+
+  const uint64_t freed = RetireSegmentLocked(src, seg_index);
+  if (freed >= packed.size()) {
+    *reclaimed = freed - packed.size();
+  }
+  ++src->stats.segments_rewritten;
+  if (m_segments_rewritten_) m_segments_rewritten_->Increment();
+  if (options_.governor != nullptr && freed == 0) {
+    // Unlink failed: the new copy still landed, account its bytes.
+    options_.governor->AddUsage("store", static_cast<int64_t>(packed.size()));
+  }
+  return Status::OK();
+}
+
+void TileStore::ReapDeadFdsLocked(SourceStore* src) {
+  if (src->dead_fd_reap.empty()) return;
+  if (src->active_scans.load(std::memory_order_acquire) != 0) return;
+  std::lock_guard<std::mutex> rlock(src->read_mu);
+  for (uint32_t idx : src->dead_fd_reap) {
+    auto it = src->read_fds.find(idx);
+    if (it != src->read_fds.end()) {
+      ::close(it->second);
+      src->read_fds.erase(it);
+    }
+  }
+  src->dead_fd_reap.clear();
+}
+
+// ---------------------------------------------------------------------------
 // StoreIngestSink
+
+namespace {
+
+/// Minimum gap between store-failure warnings from one sink. A
+/// degraded disk fails every frame; one line per frame floods the log
+/// without adding information.
+constexpr uint64_t kStoreWarnIntervalMs = 5000;
+
+uint64_t SteadyMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 StoreIngestSink::StoreIngestSink(TileStore* store, std::string source)
     : store_(store), source_(std::move(source)) {}
+
+void StoreIngestSink::WarnStoreFailure(const Status& status,
+                                       const char* what) {
+  const uint64_t now = SteadyMs();
+  if (in_error_streak_ && now - last_warn_ms_ < kStoreWarnIntervalMs) {
+    ++suppressed_warnings_;
+    return;
+  }
+  std::string suppressed;
+  if (suppressed_warnings_ > 0) {
+    suppressed = StringPrintf(
+        ", %llu similar suppressed",
+        static_cast<unsigned long long>(suppressed_warnings_));
+  }
+  in_error_streak_ = true;
+  last_warn_ms_ = now;
+  suppressed_warnings_ = 0;
+  GEOSTREAMS_LOG(kWarning)
+      << "tile store " << what << " on " << source_
+      << " (live chain continues" << suppressed
+      << "): " << status.ToString();
+}
+
+void StoreIngestSink::NoteStoreSuccess() {
+  if (!in_error_streak_) return;
+  std::string suppressed;
+  if (suppressed_warnings_ > 0) {
+    suppressed = StringPrintf(
+        " (%llu warnings were suppressed)",
+        static_cast<unsigned long long>(suppressed_warnings_));
+  }
+  in_error_streak_ = false;
+  last_warn_ms_ = 0;
+  suppressed_warnings_ = 0;
+  GEOSTREAMS_LOG(kInfo)
+      << "tile store writes recovered on " << source_ << suppressed;
+}
 
 Status StoreIngestSink::Consume(const StreamEvent& event) {
   switch (event.kind) {
@@ -1224,12 +1724,7 @@ Status StoreIngestSink::Consume(const StreamEvent& event) {
         assembler_.Abort();
         frame_pending_ = false;
         store_errors_.fetch_add(1, std::memory_order_relaxed);
-        if (!warned_) {
-          warned_ = true;
-          GEOSTREAMS_LOG(kWarning)
-              << "tile store skips frame on " << source_ << ": "
-              << st.ToString();
-        }
+        WarnStoreFailure(st, "skips frame");
       }
       return Status::OK();
     }
@@ -1254,14 +1749,10 @@ Status StoreIngestSink::Consume(const StreamEvent& event) {
                                    assembled->filled);
       if (st.ok()) {
         frames_stored_.fetch_add(1, std::memory_order_relaxed);
+        NoteStoreSuccess();
       } else {
         store_errors_.fetch_add(1, std::memory_order_relaxed);
-        if (!warned_) {
-          warned_ = true;
-          GEOSTREAMS_LOG(kWarning)
-              << "tile store write failed on " << source_
-              << " (live chain continues): " << st.ToString();
-        }
+        WarnStoreFailure(st, "write failed");
       }
       return Status::OK();
     }

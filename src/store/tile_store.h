@@ -45,21 +45,42 @@
 // re-verified on every read, so bit rot in a cold page is detected
 // and skipped rather than served.
 //
+// Retention and garbage collection (disk-pressure resilience): when
+// byte/frame/age budgets are configured — directly or through a
+// StorageGovernor's "store" subsystem budget — a background pass (or
+// RunRetentionNow()) prunes the oldest committed frames from the
+// index, deletes sealed segments whose frames are all pruned, and
+// rewrites mostly-dead sealed segments by copying the surviving frame
+// runs into a fresh page. A crash mid-rewrite leaves the same frame
+// committed in two segments; recovery's duplicate-frame dedup keeps
+// one, so no acked frame is ever lost to GC. Catch-up callers use
+// Horizon() to detect that a SINCE bound reaches below retained
+// history and report the truncation instead of silently serving less.
+//
 // Thread-safety: PutFrame serializes per source; Scan snapshots the
 // frame index under the source mutex and then reads pages via pread
-// with no lock held (segments are append-only and never retired, so
-// offsets cannot move underneath a reader).
+// with no lock held. Retention never moves bytes underneath a reader:
+// segment slots are tombstoned, never erased (TileRef segment indices
+// stay stable), a read fd is cached BEFORE a segment file is unlinked
+// (POSIX keeps the data readable through the open fd), and tombstoned
+// fds are reaped only when no scan that started before the prune is
+// still in flight. StoredFrames are immutable once indexed — a
+// rewrite installs fresh StoredFrame objects while in-flight
+// snapshots keep reading the old ones through their cached fds.
 
 #ifndef GEOSTREAMS_STORE_TILE_STORE_H_
 #define GEOSTREAMS_STORE_TILE_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -72,6 +93,8 @@
 #include "stream/operator.h"
 
 namespace geostreams {
+
+class StorageGovernor;
 
 struct TileStoreOptions {
   /// Root directory (created if missing). Must be non-empty.
@@ -94,6 +117,35 @@ struct TileStoreOptions {
   WritableFileFactory file_factory;
   /// Optional registry for geostreams_store_* series. Not owned.
   MetricsRegistry* metrics = nullptr;
+  /// Retention budgets, applied per source by the background pass (or
+  /// RunRetentionNow()); 0 = unlimited. The oldest committed frames
+  /// are pruned while the source holds more than `retention_max_bytes`
+  /// on disk, indexes more than `retention_max_frames` frames, or
+  /// holds frames stored longer than `retention_max_age_ms` ago.
+  uint64_t retention_max_bytes = 0;
+  uint64_t retention_max_frames = 0;
+  uint64_t retention_max_age_ms = 0;
+  /// The newest frames are never pruned (the catch-up seam needs at
+  /// least the watermark frame to exist).
+  uint64_t retention_min_frames = 1;
+  /// Rewrite a sealed segment once at least this fraction of its
+  /// bytes belongs to pruned frames: live runs are copied to a fresh
+  /// page, the old file is deleted. <= 0 disables rewrites (dead
+  /// bytes then linger until the whole segment dies); fully-dead
+  /// segments are always deleted outright.
+  double gc_rewrite_dead_fraction = 0.5;
+  /// Background retention cadence; 0 = no thread (retention then runs
+  /// only via RunRetentionNow()).
+  uint64_t gc_interval_ms = 0;
+  /// Optional disk-pressure governor (not owned, must outlive the
+  /// store): PutFrame admission is gated on it, write results feed
+  /// its degraded-mode probe, its "store" subsystem byte/age budget
+  /// tightens the retention budgets above, and on-disk usage is
+  /// reported back to it.
+  StorageGovernor* governor = nullptr;
+  /// Injectable millisecond clock for age-based retention (tests pin
+  /// time); null = steady_clock.
+  std::function<uint64_t()> now_ms;
 };
 
 /// What recovery found across all sources (stable after Open).
@@ -141,6 +193,23 @@ struct TileStoreStats {
   uint64_t frames_read = 0;
   uint64_t tiles_read = 0;
   uint64_t tile_read_errors = 0;
+  uint64_t frames_rejected = 0;     // PutFrame refused while degraded
+  uint64_t sync_errors = 0;         // segment Sync/Close failures
+  uint64_t frames_pruned = 0;       // retention evictions
+  uint64_t segments_deleted = 0;    // fully-dead segments unlinked
+  uint64_t segments_rewritten = 0;  // partially-live segments compacted
+  uint64_t bytes_reclaimed = 0;     // on-disk bytes freed by GC
+};
+
+/// Where retained history starts for one source (catch-up truncation
+/// reporting: a SINCE bound at or below `pruned_upto` cannot be
+/// served in full any more).
+struct StoreHorizon {
+  /// Oldest retained frame id; INT64_MAX when nothing is stored.
+  int64_t oldest_frame_id = std::numeric_limits<int64_t>::max();
+  /// Highest frame id retention ever pruned; INT64_MIN when none.
+  int64_t pruned_upto = std::numeric_limits<int64_t>::min();
+  uint64_t frames_pruned = 0;
 };
 
 class TileStore {
@@ -179,6 +248,15 @@ class TileStore {
   std::vector<int64_t> FrameIds(const std::string& source, int64_t lo,
                                 int64_t hi) const;
 
+  /// Retention horizon for `source` (zero-valued for unknown sources).
+  StoreHorizon Horizon(const std::string& source) const;
+
+  /// One synchronous retention + GC pass over every source — what the
+  /// background thread runs every `gc_interval_ms`. Exposed for
+  /// tests, benchmarks, and deterministic admin sweeps; safe to call
+  /// concurrently with writes and scans.
+  Status RunRetentionNow();
+
   /// Replays every committed frame matching `scan` (ascending frame
   /// id) into `sink` as the live chain would have delivered it:
   /// FrameBegin (with the level's lattice), point batches of the
@@ -212,6 +290,21 @@ class TileStore {
   SourceStore* FindSource(const std::string& source) const;
   Result<std::unique_ptr<WritableFile>> OpenFile(const std::string& path);
   Status EnsureOpenLocked(SourceStore* src);
+  uint64_t NowMs() const;
+  void GcThreadMain();
+  /// Retention + GC for one source; takes src->mu internally. Returns
+  /// the first error but keeps sweeping (retention is best-effort).
+  Status ApplyRetentionSource(SourceStore* src);
+  /// Unlinks a fully-dead sealed segment: caches a read fd first so
+  /// in-flight scans keep reading, then tombstones the slot.
+  uint64_t RetireSegmentLocked(SourceStore* src, uint32_t seg_index);
+  /// Copies the surviving frame runs of a mostly-dead sealed segment
+  /// into a fresh page, reindexes them, then retires the old file.
+  Status RewriteSegmentLocked(SourceStore* src, uint32_t seg_index,
+                              uint64_t* reclaimed);
+  /// Closes cached fds of tombstoned segments once no scan that could
+  /// still reference them is in flight.
+  void ReapDeadFdsLocked(SourceStore* src);
   Status EmitFrame(SourceStore* src,
                    const std::shared_ptr<const StoredFrame>& frame,
                    const StoreScan& scan, EventSink* sink);
@@ -225,6 +318,14 @@ class TileStore {
   mutable std::mutex mu_;  // guards sources_ (map itself)
   std::map<std::string, std::unique_ptr<SourceStore>> sources_;
 
+  /// Serializes retention passes (background thread vs
+  /// RunRetentionNow) so segment GC never races with itself.
+  std::mutex gc_mu_;
+  std::thread gc_thread_;
+  std::mutex gc_wake_mu_;
+  std::condition_variable gc_cv_;
+  bool stopping_ = false;
+
   // geostreams_store_* series; null without a registry.
   Counter* m_frames_written_ = nullptr;
   Counter* m_tiles_written_ = nullptr;
@@ -236,6 +337,12 @@ class TileStore {
   Counter* m_frames_recovered_ = nullptr;
   Counter* m_torn_tails_ = nullptr;
   Counter* m_corrupt_regions_ = nullptr;
+  Counter* m_frames_rejected_ = nullptr;
+  Counter* m_sync_errors_ = nullptr;
+  Counter* m_frames_pruned_ = nullptr;
+  Counter* m_segments_deleted_ = nullptr;
+  Counter* m_segments_rewritten_ = nullptr;
+  Counter* m_bytes_reclaimed_ = nullptr;
   MetricHistogram* m_put_latency_us_ = nullptr;
   MetricHistogram* m_scan_frame_latency_us_ = nullptr;
 };
@@ -269,7 +376,15 @@ class StoreIngestSink : public EventSink {
   FrameInfo pending_info_;
   std::atomic<uint64_t> frames_stored_{0};
   std::atomic<uint64_t> store_errors_{0};
-  bool warned_ = false;
+  /// Store failures warn at most once per interval (a degraded disk
+  /// sheds every frame — one warning per frame would flood the log);
+  /// the first success after a failing streak logs recovery and
+  /// re-arms the limiter so the next incident warns immediately.
+  void WarnStoreFailure(const Status& status, const char* what);
+  void NoteStoreSuccess();
+  uint64_t last_warn_ms_ = 0;
+  uint64_t suppressed_warnings_ = 0;
+  bool in_error_streak_ = false;
 };
 
 }  // namespace geostreams

@@ -1,0 +1,284 @@
+// Disk-pressure end-to-end acceptance tests.
+//
+// The contract under ENOSPC (injected deterministically through the
+// shared FaultyFileInjector that backs journal, store, AND the
+// governor's write probe): a running server keeps serving live
+// queries and stored reads, reports DEGRADED through HEALTH / ISTATS
+// / metrics, NACKs producers at journal admission (no fake
+// durability), and returns to healthy — with zero lost acked records
+// — once space frees up. Plus the catch-up clamp: QUERY ... SINCE a
+// frame that retention already pruned serves what remains and counts
+// the truncation instead of failing or silently lying.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/geostreams_client.h"
+#include "net/net_server.h"
+#include "net/producer_client.h"
+#include "server/dsms_server.h"
+#include "storage/faulty_file.h"
+#include "storage/governor.h"
+#include "storage/journal.h"
+#include "store/tile_store.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+namespace fs = std::filesystem;
+using testing_util::LatLonLattice;
+using testing_util::PushFrame;
+using testing_util::TestDescriptor;
+
+std::string FreshDir(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + "gsdp-" +
+                    info->test_suite_name() + "-" + info->name() + "-" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Collects the frame ids a query callback delivers.
+class FrameIdCollector {
+ public:
+  FrameCallback Callback() {
+    return [this](int64_t frame_id, const Raster&,
+                  const std::vector<uint8_t>&) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ids_.push_back(frame_id);
+    };
+  }
+  std::vector<int64_t> ids() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ids_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<int64_t> ids_;
+};
+
+// ---------------------------------------------------------------------------
+// Catch-up clamp: SINCE below the retention horizon
+
+TEST(DiskPressureE2eTest, CatchUpClampsToRetainedHistoryAndCountsIt) {
+  DsmsOptions options;
+  options.store_dir = FreshDir("store");
+  options.store.segment_max_bytes = 1;  // one frame per segment
+  options.store.retention_max_frames = 3;
+  DsmsServer server(options);
+  GS_ASSERT_OK(server.RegisterStream(TestDescriptor("hist.src")));
+
+  const GridLattice lattice = LatLonLattice(16, 12);
+  EventSink* sink = server.ingest("hist.src");
+  ASSERT_NE(sink, nullptr);
+  for (int64_t frame = 1; frame <= 10; ++frame) {
+    GS_ASSERT_OK(PushFrame(sink, lattice, frame));
+  }
+  GS_ASSERT_OK(server.Flush());
+
+  // Retention prunes frames 1..7 (the budget keeps the newest 3).
+  ASSERT_NE(server.store(), nullptr);
+  GS_ASSERT_OK(server.store()->RunRetentionNow());
+  const StoreHorizon horizon = server.store()->Horizon("hist.src");
+  ASSERT_EQ(horizon.oldest_frame_id, 8);
+  ASSERT_EQ(horizon.pruned_upto, 7);
+  ASSERT_GT(horizon.frames_pruned, 0u);
+
+  // A subscriber asks for history from frame 1: the replay clamps to
+  // the oldest retained frame, serves 8..10, and counts the clamp.
+  FrameIdCollector truncated;
+  CatchUpOptions catch_up;
+  catch_up.since = 1;
+  auto id = server.RegisterQuery("hist.src", truncated.Callback(), catch_up);
+  GS_ASSERT_OK(id.status());
+  GS_ASSERT_OK(server.Flush());
+  EXPECT_EQ(truncated.ids(), (std::vector<int64_t>{8, 9, 10}));
+  EXPECT_TRUE(
+      Contains(server.RenderMetrics(),
+               "geostreams_store_catchup_truncated_total 1"))
+      << server.RenderMetrics();
+
+  // A request entirely inside retained history does not count.
+  FrameIdCollector intact;
+  catch_up.since = 9;
+  id = server.RegisterQuery("hist.src", intact.Callback(), catch_up);
+  GS_ASSERT_OK(id.status());
+  GS_ASSERT_OK(server.Flush());
+  EXPECT_EQ(intact.ids(), (std::vector<int64_t>{9, 10}));
+  EXPECT_TRUE(
+      Contains(server.RenderMetrics(),
+               "geostreams_store_catchup_truncated_total 1"))
+      << server.RenderMetrics();
+}
+
+// ---------------------------------------------------------------------------
+// The full ENOSPC incident, over TCP
+
+TEST(DiskPressureE2eTest, ServerShedsNacksAndSelfHealsUnderEnospc) {
+  const std::string journal_dir = FreshDir("journal");
+  const std::string store_dir = FreshDir("store");
+
+  // One injector backs the journal, the store, and (by the server's
+  // governor defaulting) the write probe — exactly one disk.
+  FaultyFileInjector injector{FaultyFileOptions{}};
+
+  DsmsOptions options;
+  options.journal_dir = journal_dir;
+  options.journal.fsync = FsyncPolicy::kPerRecord;
+  options.journal.file_factory = injector.Factory();
+  options.store_dir = store_dir;
+  options.store.file_factory = injector.Factory();
+  options.storage_governor.probe_interval_ms = 50;
+  auto server = std::make_unique<DsmsServer>(options);
+  GS_ASSERT_OK(server->RegisterStream(TestDescriptor("net.src")));
+  GS_ASSERT_OK(server->RegisterStream(TestDescriptor("live.src")));
+  auto net = std::make_unique<NetServer>(server.get(), NetServerOptions{});
+  GS_ASSERT_OK(net->Start());
+
+  // A live subscriber on the in-process band that never touches the
+  // journal (its frames only brush the store sink, which sheds).
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", net->port()));
+  auto response = client.Command("QUERY live.src");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  // A remote producer journals two frames while the disk is healthy.
+  ProducerClientOptions popts;
+  popts.port = net->port();
+  popts.source = "net.src";
+  popts.backoff_initial_ms = 1;
+  popts.backoff_max_ms = 20;
+  popts.backoff_jitter_ms = 2;
+  ProducerClient producer(popts);
+  GS_ASSERT_OK(producer.Connect());
+  const GridLattice lattice = LatLonLattice(16, 12);
+  GS_ASSERT_OK(PushFrame(&producer, lattice, 1));
+  GS_ASSERT_OK(PushFrame(&producer, lattice, 2));
+  GS_ASSERT_OK(producer.Flush(10000));
+  ASSERT_EQ(producer.unacked(), 0u);
+  ASSERT_NE(server->store(), nullptr);
+  EXPECT_EQ(server->store()->FrameIds("net.src", INT64_MIN, INT64_MAX),
+            (std::vector<int64_t>{1, 2}));
+
+  GS_ASSERT_OK(PushFrame(server->ingest("live.src"), lattice, 1));
+  auto live = client.ReadFrame(10000);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_EQ(live->frame_id, 1);
+
+  // --- The disk fills. -----------------------------------------------------
+  injector.SetSpaceQuota(1);
+
+  // The producer's next frame is refused at journal admission: every
+  // message is NACKed, nothing is falsely acked, the backlog stays in
+  // the replay buffer.
+  GS_ASSERT_OK(PushFrame(&producer, lattice, 3));
+  EXPECT_FALSE(producer.Flush(500).ok());
+  EXPECT_GT(producer.stats().nacks, 0u);
+  EXPECT_GT(producer.unacked(), 0u);
+
+  ASSERT_NE(server->governor(), nullptr);
+  EXPECT_TRUE(server->governor()->degraded());
+
+  // The incident is loud on every surface.
+  auto health = client.Command("HEALTH");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(Contains(*health, "storage=DEGRADED")) << *health;
+  auto istats = client.Command("ISTATS net.src");
+  ASSERT_TRUE(istats.ok()) << istats.status().ToString();
+  EXPECT_TRUE(Contains(*istats, "storage_degraded=1")) << *istats;
+  EXPECT_TRUE(
+      Contains(server->RenderMetrics(), "geostreams_storage_degraded 1"));
+
+  // Live queries keep flowing: the store sink sheds the frame loudly
+  // but the delivery chain never stalls.
+  const uint64_t rejected_before = server->store()->TotalStats().frames_rejected;
+  GS_ASSERT_OK(PushFrame(server->ingest("live.src"), lattice, 2));
+  live = client.ReadFrame(10000);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_EQ(live->frame_id, 2);
+  EXPECT_GT(server->store()->TotalStats().frames_rejected, rejected_before);
+
+  // Stored reads still serve the committed history.
+  FrameIdCollector replayed;
+  CatchUpOptions catch_up;
+  auto qid = server->RegisterQuery("net.src", replayed.Callback(), catch_up);
+  GS_ASSERT_OK(qid.status());
+  GS_ASSERT_OK(server->Flush());
+  EXPECT_EQ(replayed.ids(), (std::vector<int64_t>{1, 2}));
+
+  // --- Space frees up. -----------------------------------------------------
+  injector.SetSpaceQuota(0);
+
+  // The producer's retransmits pass the (re-probed) admission gate;
+  // the backlog drains and frame 3 lands durably and in the store.
+  Status flushed = Status::Unavailable("never flushed");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    flushed = producer.Flush(1000);
+    if (flushed.ok()) break;
+  }
+  GS_ASSERT_OK(flushed);
+  EXPECT_EQ(producer.unacked(), 0u);
+  EXPECT_EQ(producer.stats().acked, producer.stats().published);
+  EXPECT_FALSE(server->governor()->degraded());
+  EXPECT_GE(server->governor()->stats().healed, 1u);
+
+  health = client.Command("HEALTH");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(Contains(*health, "storage=OK")) << *health;
+  EXPECT_TRUE(
+      Contains(server->RenderMetrics(), "geostreams_storage_degraded 0"));
+
+  // Frame 3 reached the store once admission reopened.
+  std::vector<int64_t> stored;
+  const auto store_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < store_deadline) {
+    stored = server->store()->FrameIds("net.src", INT64_MIN, INT64_MAX);
+    if (stored.size() == 3) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(stored, (std::vector<int64_t>{1, 2, 3}));
+
+  const uint64_t published = producer.stats().published;
+
+  // --- Zero lost acked records. --------------------------------------------
+  // Tear everything down and audit the journal with a clean factory:
+  // every acked sequence number is present exactly once, contiguous.
+  net.reset();
+  server.reset();
+  JournalOptions jopts;
+  jopts.dir = journal_dir;
+  auto journal = IngestJournal::Open(jopts);
+  GS_ASSERT_OK(journal.status());
+  std::set<uint64_t> seqs;
+  uint64_t duplicates = 0;
+  GS_ASSERT_OK((*journal)->Replay("net.src", [&](const IngestMessage& m) {
+    if (!seqs.insert(m.seq).second) ++duplicates;
+  }));
+  EXPECT_EQ(duplicates, 0u);
+  ASSERT_EQ(seqs.size(), published);
+  EXPECT_EQ(*seqs.begin(), 1u);
+  EXPECT_EQ(*seqs.rbegin(), published);
+}
+
+}  // namespace
+}  // namespace geostreams

@@ -1,25 +1,21 @@
-// The kill-point chaos lane: one ProducerClient survives 200 seeded
-// server crash/restart cycles against the same durable journal
-// directory, with injected storage faults (fail-at-byte torn tails)
-// on a subset of cycles and lossy acks on every connection.
+// The disk-pressure chaos lane: one ProducerClient survives 200
+// seeded server crash/restart cycles where the injected disk failures
+// are *space* failures, not just torn tails — a fixed-seed schedule
+// of ENOSPC incidents (the FaultyFileInjector space quota fills the
+// "disk" mid-record), dead-disk kill points, and lossy acks.
 //
-// Each "crash" destroys the whole server stack (NetServer +
-// DsmsServer) mid-stream — acked batches are on stable storage
-// because the journal fsyncs before every ACK (kPerRecord), unacked
-// batches sit in the producer's replay buffer. The next incarnation
-// reopens the journal, truncates any torn tail, seeds the ingest
-// session's expected sequence from the recovered high-water mark, and
-// the producer's ATTACH + replay resumes exactly there.
+// On every ENOSPC cycle the incident must run its full course WITHIN
+// the incarnation: the journal NACKs the producer at admission, the
+// governor degrades, space frees (the quota lifts), the admission
+// probe heals the plane, and the producer's retries drain to zero
+// unacked — no restart in between. The torn prefix the failed append
+// persisted must be repaired in place (not buried mid-file by the
+// healed appends).
 //
-// The audit, across ALL incarnations:
-//   * every batch ordinal is delivered into the chain at most once,
-//     and after the final flush exactly once (no loss, no dupes);
-//   * the journal replays sequence 1..N contiguously, each exactly
-//     once, payload-faithful;
-//   * crashes really happened with unacked batches in flight (the
-//     re-NACK/replay path was exercised, not just clean shutdowns);
-//   * injected fail-at-byte faults really tore journal tails that
-//     recovery truncated.
+// The audit, across ALL incarnations: every batch ordinal delivered
+// into the chain exactly once; the journal replays sequence 1..N
+// contiguously, payload-faithful; ENOSPC really fired; the governor
+// really degraded and really healed, every time.
 
 #include <gtest/gtest.h>
 
@@ -38,6 +34,7 @@
 #include "net/wire_protocol.h"
 #include "server/dsms_server.h"
 #include "storage/faulty_file.h"
+#include "storage/governor.h"
 #include "storage/journal.h"
 #include "tests/test_util.h"
 
@@ -48,10 +45,10 @@ namespace fs = std::filesystem;
 
 using testing_util::TestValue;
 
-constexpr int kCycles = 200;         // seeded crash points
-constexpr int kBatchesPerCycle = 3;  // publishes between crashes
+constexpr int kCycles = 200;
+constexpr int kBatchesPerCycle = 3;
 constexpr int kBatches = kCycles * kBatchesPerCycle;
-constexpr const char* kSource = "kill.src";
+constexpr const char* kSource = "pressure.src";
 
 /// Audit-stamped batch: every timestamp carries `ordinal`.
 StreamEvent BatchEvent(int64_t ordinal, size_t n = 8) {
@@ -89,8 +86,9 @@ class AuditSink : public EventSink {
   std::vector<int64_t> batch_ids_;
 };
 
-/// One server lifetime: its own audit sink, fault injector, engine,
-/// and listener, all bound to the shared journal directory.
+enum class DiskPlan { kHealthy, kDeadAtByte, kEnospcThenHeal };
+
+/// One server lifetime bound to the shared journal directory.
 struct Incarnation {
   std::unique_ptr<AuditSink> audit;
   std::unique_ptr<FaultyFileInjector> injector;  // null = healthy disk
@@ -104,13 +102,11 @@ struct Incarnation {
   }
 };
 
-TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
+TEST(DiskPressureKillPointTest, EnospcIncidentsHealAcross200CrashCycles) {
   const std::string journal_dir =
-      ::testing::TempDir() + "gsjournal-killpoints";
+      ::testing::TempDir() + "gsjournal-pressure-killpoints";
   fs::remove_all(journal_dir);
 
-  // The torn record a fault cycle plants: the injector kills the
-  // "disk" halfway through the second append of that incarnation.
   const IngestMessage probe = [] {
     IngestMessage m;
     m.source = kSource;
@@ -120,15 +116,15 @@ TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
   }();
   const uint64_t record_size = EncodeIngestMessage(probe).size();
 
-  uint16_t port = 0;  // learned from cycle 0's ephemeral bind
+  uint16_t port = 0;
   uint64_t torn_tails_recovered = 0;
-  uint64_t records_recovered_last = 0;
+  uint64_t enospc_injected = 0;
   // Sinks and injectors must outlive their server (reader threads and
   // the journal hold raw pointers), so incarnations are kept.
   std::vector<Incarnation> history;
   history.reserve(kCycles + 1);
 
-  auto boot = [&](bool faulty_disk) -> Incarnation& {
+  auto boot = [&](DiskPlan plan) -> Incarnation& {
     history.emplace_back();
     Incarnation& inc = history.back();
     inc.audit = std::make_unique<AuditSink>();
@@ -136,20 +132,32 @@ TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
     DsmsOptions options;
     options.journal_dir = journal_dir;
     options.journal.fsync = FsyncPolicy::kPerRecord;
-    if (faulty_disk) {
-      FaultyFileOptions fopts;
-      // Crosses the byte budget mid-record: a torn half-record
-      // reaches the file, then the "disk" is dead for the rest of
-      // this incarnation (appends and fsyncs all fail -> NACKs).
-      fopts.fail_at_byte = record_size + record_size / 2;
+    options.storage_governor.probe_interval_ms = 10;
+    FaultyFileOptions fopts;
+    switch (plan) {
+      case DiskPlan::kHealthy:
+        break;
+      case DiskPlan::kDeadAtByte:
+        // Crosses the byte budget mid-record: a torn half-record
+        // reaches the file, then the disk is dead for the rest of
+        // this incarnation (appends and probes all fail -> NACKs).
+        fopts.fail_at_byte = record_size + record_size / 2;
+        break;
+      case DiskPlan::kEnospcThenHeal:
+        // The disk fills mid-record: one append lands, the next
+        // tears and fails ResourceExhausted. SetSpaceQuota(0) later
+        // in the cycle models the operator freeing space.
+        fopts.space_quota_bytes = record_size + record_size / 2;
+        break;
+    }
+    if (plan != DiskPlan::kHealthy) {
       inc.injector = std::make_unique<FaultyFileInjector>(fopts);
       options.journal.file_factory = inc.injector->Factory();
     }
     inc.server = std::make_unique<DsmsServer>(options);
     EXPECT_TRUE(inc.server->journal() != nullptr);
+    EXPECT_TRUE(inc.server->governor() != nullptr);
     torn_tails_recovered += inc.server->journal()->recovery().torn_tails;
-    records_recovered_last =
-        inc.server->journal()->recovery().records_replayed;
 
     NetServerOptions net_options;
     net_options.port = port;
@@ -158,8 +166,6 @@ TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
       return audit;
     };
     inc.net = std::make_unique<NetServer>(inc.server.get(), net_options);
-    // The fixed port can linger briefly after the previous
-    // incarnation's teardown; retry the bind.
     Status started = inc.net->Start();
     for (int attempt = 0; !started.ok() && attempt < 100; ++attempt) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -181,26 +187,29 @@ TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
   popts.flaky.drop_read_p = 0.1;  // lossy acks on every connection
 
   int cycles_crashed_with_unacked = 0;
-  int fault_cycles = 0;
+  int dead_disk_cycles = 0;
+  int enospc_cycles = 0;
+  int degraded_observed = 0;
+  int healed_in_cycle = 0;
   std::unique_ptr<ProducerClient> producer;
 
   int64_t ordinal = 0;
   for (int cycle = 0; cycle < kCycles; ++cycle) {
-    const bool faulty_disk = cycle % 7 == 3;
-    fault_cycles += faulty_disk ? 1 : 0;
-    Incarnation& inc = boot(faulty_disk);
+    DiskPlan plan = DiskPlan::kHealthy;
+    if (cycle % 7 == 3) plan = DiskPlan::kDeadAtByte;
+    if (cycle % 7 == 5) plan = DiskPlan::kEnospcThenHeal;
+    dead_disk_cycles += plan == DiskPlan::kDeadAtByte ? 1 : 0;
+    enospc_cycles += plan == DiskPlan::kEnospcThenHeal ? 1 : 0;
+    Incarnation& inc = boot(plan);
     if (producer == nullptr) {
       popts.port = port;
       producer = std::make_unique<ProducerClient>(popts);
       Status connected = producer->Connect();
       ASSERT_TRUE(connected.ok()) << connected.ToString();
-    } else if (!faulty_disk && producer->unacked() > 0) {
+    } else if (plan == DiskPlan::kHealthy && producer->unacked() > 0) {
       // Best-effort drain on healthy incarnations: bounds the unacked
-      // backlog so it can never reach the in-flight window cap during
-      // a dead-disk cycle (when no ack can arrive, a full window
-      // would wedge every publish until the attempt budget runs out —
-      // a scheduler artifact under parallel test load, not a journal
-      // property). Failure is fine; the next cycle drains more.
+      // backlog below the in-flight window cap so a dead-disk cycle
+      // can never wedge every publish. Failure is fine.
       (void)producer->Flush(1000);
     }
 
@@ -219,6 +228,41 @@ TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
     }
+
+    if (plan == DiskPlan::kEnospcThenHeal) {
+      // Drive the backlog into the full disk until the incident is
+      // visible: journal ENOSPC -> NACK -> governor degraded.
+      const auto degrade_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (!inc.server->governor()->degraded() &&
+             std::chrono::steady_clock::now() < degrade_deadline) {
+        (void)producer->Flush(100);
+      }
+      ASSERT_TRUE(inc.server->governor()->degraded())
+          << "cycle " << cycle << ": full disk never degraded the plane";
+      ++degraded_observed;
+      EXPECT_GT(inc.injector->stats().enospc_failures, 0u);
+      enospc_injected += inc.injector->stats().enospc_failures;
+
+      // Space frees up. The same incarnation must heal end to end:
+      // admission probe flips healthy, retries drain, zero unacked.
+      inc.injector->SetSpaceQuota(0);
+      Status flushed = Status::Unavailable("never flushed");
+      const auto heal_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(20);
+      while (std::chrono::steady_clock::now() < heal_deadline) {
+        flushed = producer->Flush(1000);
+        if (flushed.ok()) break;
+      }
+      ASSERT_TRUE(flushed.ok())
+          << "cycle " << cycle << ": incident never healed: "
+          << flushed.ToString();
+      EXPECT_EQ(producer->unacked(), 0u);
+      EXPECT_FALSE(inc.server->governor()->degraded());
+      EXPECT_GE(inc.server->governor()->stats().healed, 1u);
+      ++healed_in_cycle;
+    }
+
     // Crash mid-stream. No flush: whatever the lossy link and the
     // (possibly dead) journal disk left unacked rides the replay
     // buffer into the next incarnation.
@@ -227,7 +271,7 @@ TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
   }
 
   // Final incarnation on a healthy disk: drain everything.
-  boot(/*faulty_disk=*/false);
+  boot(DiskPlan::kHealthy);
   Status flushed = Status::OK();
   for (int round = 0; round < 40; ++round) {
     flushed = producer->Flush(2000);
@@ -238,9 +282,8 @@ TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
   EXPECT_EQ(producer->stats().published, static_cast<uint64_t>(kBatches));
 
   // --- The audit ---------------------------------------------------
-  // Exactly-once delivery across every incarnation: no ordinal is
-  // ever delivered twice (not even by a replay into a restarted
-  // server), and after the final flush none is missing.
+  // Exactly-once delivery across every incarnation and every ENOSPC
+  // retry storm: no ordinal delivered twice, none missing.
   std::map<int64_t, int> delivered;
   for (const Incarnation& inc : history) {
     for (int64_t id : inc.audit->batch_ids()) ++delivered[id];
@@ -259,18 +302,19 @@ TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
   EXPECT_EQ(missing, 0u);
   EXPECT_EQ(delivered.size(), static_cast<size_t>(kBatches));
 
-  // The crashes were real crashes: batches were in flight.
+  // The incidents were real: ENOSPC fired, the plane degraded, and
+  // every single incident healed within its own incarnation.
+  EXPECT_GT(enospc_cycles, 20);
+  EXPECT_GT(enospc_injected, 0u);
+  EXPECT_EQ(degraded_observed, enospc_cycles);
+  EXPECT_EQ(healed_in_cycle, enospc_cycles);
+  // Dead-disk kill points and lossy acks kept the crash path honest.
+  EXPECT_GT(dead_disk_cycles, 20);
   EXPECT_GT(cycles_crashed_with_unacked, 0);
+  EXPECT_GT(torn_tails_recovered, 0u);
   EXPECT_GT(producer->stats().reconnects, 0u);
   EXPECT_GT(producer->stats().retransmits, 0u);
-  // Injected disk deaths really tore tails that recovery truncated.
-  EXPECT_GT(fault_cycles, 20);
-  EXPECT_GT(torn_tails_recovered, 0u);
-  // The last recovery had already seen (nearly) the whole stream —
-  // lossy acks and dead-disk cycles can leave a few batches unacked
-  // across crashes, but never more than a handful.
-  EXPECT_GE(records_recovered_last,
-            static_cast<uint64_t>(kBatches) - 12);
+  EXPECT_GT(producer->stats().nacks, 0u);
 
   // Tear down the final server, then audit the journal itself: the
   // full sequence 1..N, contiguous, each exactly once, bit-faithful.
@@ -294,7 +338,6 @@ TEST(JournalKillPointTest, AckedBatchesSurvive200CrashRestartCycles) {
   ASSERT_EQ(journaled.size(), static_cast<size_t>(kBatches));
   for (uint64_t seq = 1; seq <= static_cast<uint64_t>(kBatches); ++seq) {
     ASSERT_EQ(journaled.count(seq), 1u) << "gap at seq " << seq;
-    // Publish order maps ordinal o -> seq o+1.
     EXPECT_EQ(journaled.at(seq), static_cast<int64_t>(seq - 1));
   }
 

@@ -1,0 +1,354 @@
+// Journal segment-compaction tests: when retention retires a closed
+// segment that still holds live (journaled-but-unacked) records, the
+// live records are rewritten forward into a fresh segment instead of
+// dying with the file. Covers the never-drop-unacked guarantee, the
+// retain-floor split inside one segment, reopen fidelity of compacted
+// records, kill-safety of the tmp+rename staging (a crash at any byte
+// of the rewrite loses nothing and duplicates nothing after recovery
+// dedup), and stale compact.tmp cleanup.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/wire_protocol.h"
+#include "storage/faulty_file.h"
+#include "storage/journal.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + "gscompact-" +
+                    info->test_suite_name() + "-" + info->name() + "-" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Ingest message whose payload is recoverable by seq: the batch
+/// timestamps equal the sequence number.
+IngestMessage Msg(const std::string& source, uint64_t seq) {
+  auto batch = std::make_shared<PointBatch>();
+  batch->frame_id = static_cast<int64_t>(seq);
+  batch->band_count = 1;
+  for (size_t i = 0; i < 6; ++i) {
+    batch->Append1(static_cast<int32_t>(i), 0, static_cast<int64_t>(seq),
+                   static_cast<double>(seq) + 0.25 * static_cast<double>(i));
+  }
+  batch->checksum = batch->ComputeChecksum();
+  IngestMessage message;
+  message.source = source;
+  message.seq = seq;
+  message.event = StreamEvent::Batch(std::move(batch));
+  return message;
+}
+
+uint64_t RecordSize(const std::string& source) {
+  return EncodeIngestMessage(Msg(source, 1)).size();
+}
+
+/// Replays `source` into a seq -> first-timestamp map, asserting
+/// exactly-once per sequence.
+std::map<uint64_t, int64_t> ReplayIds(IngestJournal* journal,
+                                      const std::string& source) {
+  std::map<uint64_t, int64_t> ids;
+  Status st = journal->Replay(source, [&ids](const IngestMessage& m) {
+    const int64_t stamp =
+        m.event.batch && !m.event.batch->timestamps.empty()
+            ? m.event.batch->timestamps[0]
+            : -1;
+    EXPECT_EQ(ids.count(m.seq), 0u) << "seq replayed twice: " << m.seq;
+    ids[m.seq] = stamp;
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return ids;
+}
+
+std::vector<std::string> SegmentFiles(const std::string& source_dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(source_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) == 0) out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// With the retain floor never advanced (no record was ever acked to a
+// producer AND delivered), byte-pressure retention must not drop a
+// single record — fully-live segments are kept as-is even when the
+// budget says the volume is over.
+TEST(JournalCompactionTest, RetentionNeverDropsUnackedRecords) {
+  const std::string dir = FreshDir("unacked");
+  const std::string source = "cmp.src";
+  JournalOptions options;
+  options.dir = dir;
+  options.fsync = FsyncPolicy::kOff;
+  options.segment_max_bytes = 1;    // rotate on every append
+  options.retention_max_bytes = 1;  // maximal pressure
+  {
+    auto journal = IngestJournal::Open(options);
+    GS_ASSERT_OK(journal.status());
+    auto sj = (*journal)->SourceFor(source);
+    GS_ASSERT_OK(sj.status());
+    for (uint64_t seq = 1; seq <= 5; ++seq) {
+      GS_ASSERT_OK((*sj)->Append(Msg(source, seq)));
+    }
+    EXPECT_EQ((*sj)->stats().segments_retired, 0u);
+    EXPECT_EQ((*sj)->stats().retain_floor, 1u);
+  }
+  auto reopened = IngestJournal::Open(options);
+  GS_ASSERT_OK(reopened.status());
+  const std::map<uint64_t, int64_t> ids = ReplayIds(reopened->get(), source);
+  ASSERT_EQ(ids.size(), 5u);
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    ASSERT_EQ(ids.count(seq), 1u) << "unacked seq " << seq << " lost";
+    EXPECT_EQ(ids.at(seq), static_cast<int64_t>(seq));
+  }
+}
+
+// The floor lands mid-segment: the settled half of the segment dies
+// with the retirement, the live half is rewritten forward.
+TEST(JournalCompactionTest, RetainFloorSplitsSettledFromLive) {
+  const std::string dir = FreshDir("floor");
+  const std::string source = "cmp.src";
+  JournalOptions options;
+  options.dir = dir;
+  options.fsync = FsyncPolicy::kOff;
+  options.segment_max_bytes = 2 * RecordSize(source);  // 2 records/segment
+  options.retention_max_bytes = 1;
+  {
+    auto journal = IngestJournal::Open(options);
+    GS_ASSERT_OK(journal.status());
+    auto sj = (*journal)->SourceFor(source);
+    GS_ASSERT_OK(sj.status());
+    // Segments: [1,2] [3,4] [5,6] — then the floor settles 1..3,
+    // cutting segment [3,4] in half.
+    for (uint64_t seq = 1; seq <= 6; ++seq) {
+      GS_ASSERT_OK((*sj)->Append(Msg(source, seq)));
+    }
+    (*sj)->SetRetainFloor(4);
+    // The next rotation runs retention with the floor in force.
+    GS_ASSERT_OK((*sj)->Append(Msg(source, 7)));
+    const SourceJournalStats stats = (*sj)->stats();
+    EXPECT_GT(stats.segments_compacted, 0u) << "no rewrite happened";
+    EXPECT_GT(stats.records_compacted, 0u);
+    EXPECT_GT(stats.compacted_bytes, 0u);
+    EXPECT_GT(stats.reclaimed_bytes, 0u);
+    EXPECT_EQ(stats.retain_floor, 4u);
+  }
+  auto reopened = IngestJournal::Open(options);
+  GS_ASSERT_OK(reopened.status());
+  const std::map<uint64_t, int64_t> ids = ReplayIds(reopened->get(), source);
+  // Exactly the live set survives: 4 was carried out of [3,4] by the
+  // rewrite, 5..7 were still in live segments.
+  for (uint64_t seq = 4; seq <= 7; ++seq) {
+    ASSERT_EQ(ids.count(seq), 1u) << "live seq " << seq << " lost";
+    EXPECT_EQ(ids.at(seq), static_cast<int64_t>(seq));
+  }
+  EXPECT_EQ(ids.count(1), 0u);
+  EXPECT_EQ(ids.count(2), 0u);
+  EXPECT_EQ(ids.count(3), 0u) << "settled record resurfaced";
+  EXPECT_EQ((*reopened)->recovery().sources.at(source).next_seq, 8u);
+}
+
+// A crash at every byte offset of the whole run — including the
+// compaction rewrite's staging writes: whatever the torn tmp file or
+// half-finished rename left behind, reopening on a healthy disk must
+// replay every live record exactly once.
+TEST(JournalCompactionTest, CompactionRewriteIsKillSafeAtEveryByte) {
+  const std::string source = "cmp.src";
+  const uint64_t record_size = RecordSize(source);
+
+  // One deterministic scenario, replayed under every kill point:
+  // 2-record segments, 7 appends, floor -> 4 after seq 4. The seq-5
+  // rotation deletes the fully-settled [1,2]; the seq-7 rotation
+  // finds [3,4] oldest with the floor mid-segment and compacts it.
+  auto run = [&](IngestJournal* journal, SourceJournal* sj,
+                 uint64_t* appended_upto) {
+    (void)journal;
+    for (uint64_t seq = 1; seq <= 7; ++seq) {
+      // An append refused by the dead disk is a NACK: the producer
+      // still holds the record, so the journal does not owe it.
+      if (sj->Append(Msg(source, seq)).ok()) *appended_upto = seq;
+      // The floor models acks, and only a journaled record can have
+      // been acked — advance it only when seq 4 really landed.
+      if (seq == 4 && *appended_upto == 4) sj->SetRetainFloor(4);
+    }
+  };
+
+  // Measure a healthy run so the sweep covers every byte written,
+  // compaction staging included.
+  uint64_t healthy_bytes = 0;
+  {
+    const std::string dir = FreshDir("measure");
+    FaultyFileInjector probe{FaultyFileOptions{}};
+    JournalOptions options;
+    options.dir = dir;
+    options.fsync = FsyncPolicy::kOff;
+    options.segment_max_bytes = 2 * record_size;
+    options.retention_max_bytes = 1;
+    options.file_factory = probe.Factory();
+    auto journal = IngestJournal::Open(options);
+    GS_ASSERT_OK(journal.status());
+    auto sj = (*journal)->SourceFor(source);
+    GS_ASSERT_OK(sj.status());
+    uint64_t upto = 0;
+    run(journal->get(), *sj, &upto);
+    ASSERT_EQ(upto, 7u);
+    ASSERT_GT((*sj)->stats().segments_compacted, 0u)
+        << "scenario does not exercise compaction";
+    healthy_bytes = probe.stats().bytes_written;
+  }
+  ASSERT_GT(healthy_bytes, 0u);
+
+  for (uint64_t kill_at = 1; kill_at <= healthy_bytes; kill_at += 7) {
+    const std::string dir = FreshDir("kill" + std::to_string(kill_at));
+    FaultyFileOptions fopts;
+    fopts.fail_at_byte = kill_at;
+    FaultyFileInjector injector(fopts);
+    JournalOptions options;
+    options.dir = dir;
+    options.fsync = FsyncPolicy::kOff;
+    options.segment_max_bytes = 2 * record_size;
+    options.retention_max_bytes = 1;
+    options.file_factory = injector.Factory();
+    uint64_t appended_upto = 0;
+    {
+      auto journal = IngestJournal::Open(options);
+      GS_ASSERT_OK(journal.status());
+      auto sj = (*journal)->SourceFor(source);
+      GS_ASSERT_OK(sj.status());
+      run(journal->get(), *sj, &appended_upto);
+    }
+    // "Restart" on a healthy disk.
+    JournalOptions clean = options;
+    clean.file_factory = {};
+    auto reopened = IngestJournal::Open(clean);
+    GS_ASSERT_OK(reopened.status());
+    const std::map<uint64_t, int64_t> ids =
+        ReplayIds(reopened->get(), source);
+    // Every live record the journal accepted must replay exactly once
+    // (records 1..3 below the floor are settled — allowed to be gone,
+    // required to be bit-faithful if present).
+    const uint64_t floor = appended_upto >= 4 ? 4 : 1;
+    for (uint64_t seq = floor; seq <= appended_upto; ++seq) {
+      ASSERT_EQ(ids.count(seq), 1u)
+          << "kill@" << kill_at << ": live seq " << seq << " lost ("
+          << ids.size() << " replayed)";
+    }
+    for (const auto& [seq, stamp] : ids) {
+      EXPECT_EQ(stamp, static_cast<int64_t>(seq))
+          << "kill@" << kill_at << ": payload corrupted at seq " << seq;
+    }
+  }
+}
+
+// ENOSPC mid-record, then the disk heals WITHIN the same incarnation:
+// the torn prefix the failed append persisted must be truncated away
+// before the next append, or the healed journal buries garbage
+// mid-file and recovery quarantines every acked record past the tear.
+TEST(JournalCompactionTest, TornEnospcPrefixIsRepairedWhenDiskHealsInPlace) {
+  const std::string dir = FreshDir("enospc");
+  const std::string source = "cmp.src";
+  const uint64_t record_size = RecordSize(source);
+
+  FaultyFileOptions fopts;
+  // Record 1 fits; record 2 tears halfway through and fails.
+  fopts.space_quota_bytes = record_size + record_size / 2;
+  FaultyFileInjector injector(fopts);
+
+  JournalOptions options;
+  options.dir = dir;
+  options.fsync = FsyncPolicy::kPerRecord;
+  options.file_factory = injector.Factory();
+  {
+    auto journal = IngestJournal::Open(options);
+    GS_ASSERT_OK(journal.status());
+    auto sj = (*journal)->SourceFor(source);
+    GS_ASSERT_OK(sj.status());
+    GS_ASSERT_OK((*sj)->Append(Msg(source, 1)));
+    const Status full = (*sj)->Append(Msg(source, 2));
+    ASSERT_EQ(full.code(), StatusCode::kResourceExhausted)
+        << full.ToString();
+    EXPECT_GT(injector.stats().enospc_failures, 0u);
+
+    // Space frees up; the producer retries 2 and streams on — all in
+    // the same journal incarnation, no restart in between.
+    injector.SetSpaceQuota(0);
+    GS_ASSERT_OK((*sj)->Append(Msg(source, 2)));
+    GS_ASSERT_OK((*sj)->Append(Msg(source, 3)));
+
+    // Live replay sees exactly 1..3 (the torn prefix is gone).
+    const std::map<uint64_t, int64_t> live = ReplayIds(journal->get(), source);
+    ASSERT_EQ(live.size(), 3u);
+  }
+
+  // A later restart recovers cleanly: nothing quarantined, nothing
+  // torn, every acked record replayed bit-faithfully.
+  JournalOptions clean = options;
+  clean.file_factory = {};
+  auto reopened = IngestJournal::Open(clean);
+  GS_ASSERT_OK(reopened.status());
+  EXPECT_EQ((*reopened)->recovery().corrupt_regions, 0u);
+  EXPECT_EQ((*reopened)->recovery().torn_tails, 0u);
+  const std::map<uint64_t, int64_t> ids = ReplayIds(reopened->get(), source);
+  ASSERT_EQ(ids.size(), 3u);
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_EQ(ids.count(seq), 1u) << "acked seq " << seq << " lost";
+    EXPECT_EQ(ids.at(seq), static_cast<int64_t>(seq));
+  }
+}
+
+TEST(JournalCompactionTest, StaleCompactTmpIsCleanedUp) {
+  const std::string dir = FreshDir("tmp");
+  const std::string source = "cmp.src";
+  JournalOptions options;
+  options.dir = dir;
+  options.fsync = FsyncPolicy::kOff;
+  options.segment_max_bytes = 1;
+  options.retention_max_bytes = 1;
+  {
+    auto journal = IngestJournal::Open(options);
+    GS_ASSERT_OK(journal.status());
+    auto sj = (*journal)->SourceFor(source);
+    GS_ASSERT_OK(sj.status());
+    GS_ASSERT_OK((*sj)->Append(Msg(source, 1)));
+  }
+  // A crash between staging and rename leaves compact.tmp behind.
+  const std::vector<std::string> segs = SegmentFiles(dir + "/" + source);
+  ASSERT_FALSE(segs.empty());
+  const std::string source_dir = fs::path(segs[0]).parent_path().string();
+  {
+    std::ofstream tmp(source_dir + "/compact.tmp", std::ios::binary);
+    tmp << "half-finished rewrite";
+  }
+  ASSERT_TRUE(fs::exists(source_dir + "/compact.tmp"));
+
+  // Reopen and append until a retention pass runs: the stale tmp is
+  // swept, recovery and replay are unaffected.
+  auto reopened = IngestJournal::Open(options);
+  GS_ASSERT_OK(reopened.status());
+  auto sj = (*reopened)->SourceFor(source);
+  GS_ASSERT_OK(sj.status());
+  GS_ASSERT_OK((*sj)->Append(Msg(source, 2)));
+  GS_ASSERT_OK((*sj)->Append(Msg(source, 3)));
+  EXPECT_FALSE(fs::exists(source_dir + "/compact.tmp"));
+  const std::map<uint64_t, int64_t> ids = ReplayIds(reopened->get(), source);
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_EQ(ids.count(seq), 1u) << "seq " << seq;
+  }
+}
+
+}  // namespace
+}  // namespace geostreams

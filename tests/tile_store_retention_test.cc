@@ -1,0 +1,401 @@
+// TileStore retention + garbage-collection tests: pruning by frame
+// count / byte budget / age (pinned clock), whole-segment deletion,
+// partially-dead segment rewrites (live frame runs re-based into a
+// fresh page and still bit-exact), the retention horizon for catch-up
+// truncation reporting, reopen recovery after GC, governor budget
+// coupling with exact on-disk usage accounting, and degraded-mode
+// PutFrame shedding with self-heal.
+
+#include "store/tile_store.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/faulty_file.h"
+#include "storage/governor.h"
+#include "tests/test_util.h"
+
+namespace geostreams {
+namespace {
+
+namespace fs = std::filesystem;
+using testing_util::LatLonLattice;
+using testing_util::TestValue;
+
+std::string FreshDir(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + "gsret-" +
+                    info->test_suite_name() + "-" + info->name() + "-" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+Raster FullFrame(const GridLattice& lattice, int64_t frame_id) {
+  Raster raster(lattice.width(), lattice.height(), 1);
+  raster.set_lattice(lattice);
+  for (int64_t row = 0; row < lattice.height(); ++row) {
+    for (int64_t col = 0; col < lattice.width(); ++col) {
+      raster.Set(col, row, TestValue(frame_id, col, row));
+    }
+  }
+  return raster;
+}
+
+Status PutFullFrame(TileStore* store, const std::string& source,
+                    const GridLattice& lattice, int64_t frame_id) {
+  FrameInfo info;
+  info.frame_id = frame_id;
+  info.lattice = lattice;
+  info.expected_points = lattice.num_cells();
+  const Raster raster = FullFrame(lattice, frame_id);
+  const std::vector<uint8_t> filled(
+      static_cast<size_t>(lattice.num_cells()), 1);
+  return store->PutFrame(source, info, raster, filled);
+}
+
+/// Sum of page-segment bytes under <dir>/<source sanitized dir>.
+uint64_t PageBytesOnDisk(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("page-", 0) == 0) total += entry.file_size();
+  }
+  return total;
+}
+
+size_t PageFileCount(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().filename().string().rfind("page-", 0) == 0) ++n;
+  }
+  return n;
+}
+
+/// Scans one frame and checks every cell is bit-exact for `frame_id`.
+void ExpectFrameIntact(TileStore* store, const std::string& source,
+                       const GridLattice& lattice, int64_t frame_id) {
+  CollectingSink sink;
+  StoreScan scan;
+  scan.min_frame_id = frame_id;
+  scan.max_frame_id = frame_id;
+  Status st = store->Scan(source, scan, &sink);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_TRUE(testing_util::WellFormedFrames(sink.events()));
+  ASSERT_EQ(sink.NumFrames(), 1u) << "frame " << frame_id << " missing";
+  uint64_t points = 0;
+  for (const StreamEvent& e : sink.events()) {
+    if (e.kind != EventKind::kPointBatch) continue;
+    for (size_t i = 0; i < e.batch->size(); ++i) {
+      EXPECT_EQ(e.batch->ValueAt(i, 0),
+                TestValue(frame_id, e.batch->cols[i], e.batch->rows[i]))
+          << "frame " << frame_id << " cell (" << e.batch->cols[i] << ","
+          << e.batch->rows[i] << ")";
+      ++points;
+    }
+  }
+  EXPECT_EQ(points, static_cast<uint64_t>(lattice.num_cells()));
+}
+
+TEST(TileStoreRetentionTest, PrunesByFrameCountAndDeletesDeadSegments) {
+  TileStoreOptions options;
+  options.dir = FreshDir("count");
+  options.tile_size = 16;
+  options.segment_max_bytes = 1;  // one frame per segment
+  options.retention_max_frames = 3;
+  auto store = TileStore::Open(options);
+  GS_ASSERT_OK(store.status());
+
+  const GridLattice lattice = LatLonLattice(24, 16);
+  for (int64_t f = 1; f <= 10; ++f) {
+    GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+  }
+  ASSERT_EQ((*store)->FrameIds("src", INT64_MIN, INT64_MAX).size(), 10u);
+  const uint64_t bytes_before = PageBytesOnDisk(options.dir);
+
+  GS_ASSERT_OK((*store)->RunRetentionNow());
+
+  EXPECT_EQ((*store)->FrameIds("src", INT64_MIN, INT64_MAX),
+            (std::vector<int64_t>{8, 9, 10}));
+  EXPECT_EQ((*store)->Watermark("src"), 10);
+
+  const StoreHorizon horizon = (*store)->Horizon("src");
+  EXPECT_EQ(horizon.oldest_frame_id, 8);
+  EXPECT_EQ(horizon.pruned_upto, 7);
+  EXPECT_EQ(horizon.frames_pruned, 7u);
+
+  const TileStoreStats stats = (*store)->TotalStats();
+  EXPECT_EQ(stats.frames_pruned, 7u);
+  EXPECT_EQ(stats.segments_deleted, 7u);  // frames 1..7 owned their segment
+  EXPECT_GT(stats.bytes_reclaimed, 0u);
+  EXPECT_LT(PageBytesOnDisk(options.dir), bytes_before);
+
+  // What survived reads back bit-exact.
+  for (int64_t f = 8; f <= 10; ++f) {
+    ExpectFrameIntact(store->get(), "src", lattice, f);
+  }
+  // A pruned frame is simply absent.
+  CollectingSink sink;
+  StoreScan one;
+  one.min_frame_id = 3;
+  one.max_frame_id = 3;
+  EXPECT_EQ((*store)->ScanFrame("src", 3, one, &sink).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TileStoreRetentionTest, PrunesByAgeWithPinnedClock) {
+  uint64_t now = 1000;
+  TileStoreOptions options;
+  options.dir = FreshDir("age");
+  options.tile_size = 16;
+  options.segment_max_bytes = 1;
+  options.retention_max_age_ms = 5000;
+  options.retention_min_frames = 2;
+  options.now_ms = [&now] { return now; };
+  auto store = TileStore::Open(options);
+  GS_ASSERT_OK(store.status());
+
+  const GridLattice lattice = LatLonLattice(20, 12);
+  for (int64_t f = 1; f <= 5; ++f) {
+    GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+  }
+  // Nothing is old yet: retention is a no-op.
+  GS_ASSERT_OK((*store)->RunRetentionNow());
+  EXPECT_EQ((*store)->FrameIds("src", INT64_MIN, INT64_MAX).size(), 5u);
+
+  // Everything ages past the cap — but the newest retention_min_frames
+  // are pinned (the catch-up seam needs the watermark frame).
+  now += 6000;
+  GS_ASSERT_OK((*store)->RunRetentionNow());
+  EXPECT_EQ((*store)->FrameIds("src", INT64_MIN, INT64_MAX),
+            (std::vector<int64_t>{4, 5}));
+  EXPECT_EQ((*store)->TotalStats().frames_pruned, 3u);
+  ExpectFrameIntact(store->get(), "src", lattice, 5);
+}
+
+TEST(TileStoreRetentionTest, RewriteCompactsPartiallyDeadSegment) {
+  // Measure one frame's on-disk run, then size segments to hold
+  // exactly four frames each.
+  const GridLattice lattice = LatLonLattice(24, 16);
+  uint64_t run_bytes = 0;
+  {
+    TileStoreOptions probe;
+    probe.dir = FreshDir("probe");
+    probe.tile_size = 16;
+    auto store = TileStore::Open(probe);
+    GS_ASSERT_OK(store.status());
+    GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, 1));
+    run_bytes = PageBytesOnDisk(probe.dir);
+  }
+  ASSERT_GT(run_bytes, 0u);
+
+  TileStoreOptions options;
+  options.dir = FreshDir("rewrite");
+  options.tile_size = 16;
+  options.segment_max_bytes = 4 * run_bytes;  // 4 frames per segment
+  options.retention_max_frames = 6;
+  options.gc_rewrite_dead_fraction = 0.5;
+  auto store = TileStore::Open(options);
+  GS_ASSERT_OK(store.status());
+
+  // Segments: [1..4] [5..8] [9 active]. Pruning to 6 frames kills
+  // 1..3 — segment one is 3/4 dead and must be rewritten around
+  // frame 4.
+  for (int64_t f = 1; f <= 9; ++f) {
+    GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+  }
+  GS_ASSERT_OK((*store)->RunRetentionNow());
+
+  EXPECT_EQ((*store)->FrameIds("src", INT64_MIN, INT64_MAX),
+            (std::vector<int64_t>{4, 5, 6, 7, 8, 9}));
+  const TileStoreStats stats = (*store)->TotalStats();
+  EXPECT_EQ(stats.frames_pruned, 3u);
+  EXPECT_EQ(stats.segments_rewritten, 1u);
+  EXPECT_GT(stats.bytes_reclaimed, 0u);
+
+  // Frame 4 now lives at new offsets in a fresh page; every survivor
+  // is still bit-exact.
+  for (int64_t f = 4; f <= 9; ++f) {
+    ExpectFrameIntact(store->get(), "src", lattice, f);
+  }
+
+  // Reopen: recovery sees the rewritten page as just another segment.
+  store->reset();
+  auto reopened = TileStore::Open(options);
+  GS_ASSERT_OK(reopened.status());
+  EXPECT_EQ((*reopened)->recovery().frames_recovered, 6u);
+  EXPECT_EQ((*reopened)->FrameIds("src", INT64_MIN, INT64_MAX),
+            (std::vector<int64_t>{4, 5, 6, 7, 8, 9}));
+  for (int64_t f = 4; f <= 9; ++f) {
+    ExpectFrameIntact(reopened->get(), "src", lattice, f);
+  }
+}
+
+TEST(TileStoreRetentionTest, GovernorBudgetDrivesPruningAndUsageIsExact) {
+  StorageGovernor governor({});
+
+  TileStoreOptions options;
+  options.dir = FreshDir("gov");
+  options.tile_size = 16;
+  options.segment_max_bytes = 1;
+  options.governor = &governor;
+  auto store = TileStore::Open(options);
+  GS_ASSERT_OK(store.status());
+
+  const GridLattice lattice = LatLonLattice(24, 16);
+  for (int64_t f = 1; f <= 8; ++f) {
+    GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+  }
+  // The store reports its on-disk bytes to the governor as it writes.
+  EXPECT_EQ(governor.Usage("store"), PageBytesOnDisk(options.dir));
+  const uint64_t full_usage = governor.Usage("store");
+
+  // No store-side retention knobs at all: the governor's "store"
+  // budget alone drives the prune (about half the bytes).
+  governor.SetBudget("store", {/*max_bytes=*/full_usage / 2,
+                               /*max_age_ms=*/0});
+  GS_ASSERT_OK((*store)->RunRetentionNow());
+
+  const std::vector<int64_t> kept =
+      (*store)->FrameIds("src", INT64_MIN, INT64_MAX);
+  EXPECT_LT(kept.size(), 8u);
+  EXPECT_GE(kept.size(), 1u);
+  EXPECT_EQ(kept.back(), 8) << "newest frame must survive";
+  // Accounting stayed exact across prune + segment GC.
+  EXPECT_EQ(governor.Usage("store"), PageBytesOnDisk(options.dir));
+  EXPECT_LE(governor.Usage("store"), full_usage / 2);
+  EXPECT_EQ(governor.BytesOverBudget("store"), 0u);
+  for (int64_t f : kept) ExpectFrameIntact(store->get(), "src", lattice, f);
+}
+
+TEST(TileStoreRetentionTest, ReopenReportsUsageAndKeepsPruningState) {
+  StorageGovernor governor({});
+  TileStoreOptions options;
+  options.dir = FreshDir("reopen");
+  options.tile_size = 16;
+  options.segment_max_bytes = 1;
+  options.retention_max_frames = 2;
+  {
+    auto store = TileStore::Open(options);
+    GS_ASSERT_OK(store.status());
+    const GridLattice lattice = LatLonLattice(20, 12);
+    for (int64_t f = 1; f <= 5; ++f) {
+      GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+    }
+    GS_ASSERT_OK((*store)->RunRetentionNow());
+    EXPECT_EQ((*store)->FrameIds("src", INT64_MIN, INT64_MAX),
+              (std::vector<int64_t>{4, 5}));
+  }
+  // Recovery seeds the governor's usage from what is really on disk.
+  options.governor = &governor;
+  auto reopened = TileStore::Open(options);
+  GS_ASSERT_OK(reopened.status());
+  EXPECT_EQ(governor.Usage("store"), PageBytesOnDisk(options.dir));
+  EXPECT_EQ((*reopened)->FrameIds("src", INT64_MIN, INT64_MAX),
+            (std::vector<int64_t>{4, 5}));
+  // The pruned-upto horizon is in-memory state; after a reopen the
+  // store only knows what it retained.
+  EXPECT_EQ((*reopened)->Horizon("src").oldest_frame_id, 4);
+}
+
+TEST(TileStoreRetentionTest, DegradedGovernorShedsPutFrameAndSelfHeals) {
+  const std::string probe_dir = FreshDir("probe");
+  FaultyFileOptions fopts;
+  fopts.space_quota_bytes = 1;  // the probe cannot land a byte
+  FaultyFileInjector injector(fopts);
+
+  uint64_t now = 10000;
+  StorageGovernorOptions gopts;
+  gopts.probe_dir = probe_dir;
+  gopts.probe_interval_ms = 200;
+  gopts.file_factory = injector.Factory();
+  gopts.now_ms = [&now] { return now; };
+  StorageGovernor governor(gopts);
+
+  TileStoreOptions options;
+  options.dir = FreshDir("shed");
+  options.tile_size = 16;
+  options.governor = &governor;
+  auto store = TileStore::Open(options);
+  GS_ASSERT_OK(store.status());
+
+  const GridLattice lattice = LatLonLattice(20, 12);
+  GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, 1));
+
+  // The journal (or the store itself) hit ENOSPC: the plane degrades
+  // and PutFrame sheds at admission — no half-written run, the frame
+  // is simply not stored, and the rejection is counted.
+  governor.RecordWriteResult("store",
+                             Status::ResourceExhausted("disk full"));
+  now += 201;
+  Status shed = PutFullFrame(store->get(), "src", lattice, 2);
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable) << shed.ToString();
+  EXPECT_EQ((*store)->TotalStats().frames_rejected, 1u);
+  EXPECT_EQ((*store)->Watermark("src"), 1);
+  // Reads keep serving while degraded.
+  ExpectFrameIntact(store->get(), "src", lattice, 1);
+
+  // Space frees: the admission probe heals and writes flow again.
+  injector.SetSpaceQuota(0);
+  now += 201;
+  GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, 2));
+  EXPECT_FALSE(governor.degraded());
+  EXPECT_EQ((*store)->Watermark("src"), 2);
+  ExpectFrameIntact(store->get(), "src", lattice, 2);
+}
+
+TEST(TileStoreRetentionTest, HorizonOfUnknownOrUnprunedSourceIsEmpty) {
+  TileStoreOptions options;
+  options.dir = FreshDir("horizon");
+  options.tile_size = 16;
+  auto store = TileStore::Open(options);
+  GS_ASSERT_OK(store.status());
+
+  StoreHorizon horizon = (*store)->Horizon("nope");
+  EXPECT_EQ(horizon.oldest_frame_id, INT64_MAX);
+  EXPECT_EQ(horizon.pruned_upto, INT64_MIN);
+  EXPECT_EQ(horizon.frames_pruned, 0u);
+
+  const GridLattice lattice = LatLonLattice(20, 12);
+  GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, 7));
+  horizon = (*store)->Horizon("src");
+  EXPECT_EQ(horizon.oldest_frame_id, 7);
+  EXPECT_EQ(horizon.pruned_upto, INT64_MIN);
+  EXPECT_EQ(horizon.frames_pruned, 0u);
+}
+
+TEST(TileStoreRetentionTest, BackgroundThreadPrunesWithoutExplicitCalls) {
+  TileStoreOptions options;
+  options.dir = FreshDir("bg");
+  options.tile_size = 16;
+  options.segment_max_bytes = 1;
+  options.retention_max_frames = 2;
+  options.gc_interval_ms = 20;
+  auto store = TileStore::Open(options);
+  GS_ASSERT_OK(store.status());
+
+  const GridLattice lattice = LatLonLattice(20, 12);
+  for (int64_t f = 1; f <= 6; ++f) {
+    GS_ASSERT_OK(PutFullFrame(store->get(), "src", lattice, f));
+  }
+  // The background pass catches up within a few intervals.
+  for (int i = 0; i < 200; ++i) {
+    if ((*store)->FrameIds("src", INT64_MIN, INT64_MAX).size() <= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ((*store)->FrameIds("src", INT64_MIN, INT64_MAX),
+            (std::vector<int64_t>{5, 6}));
+  // Destructor joins the thread cleanly (no hang, no crash).
+}
+
+}  // namespace
+}  // namespace geostreams
