@@ -17,6 +17,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "obs/event_log.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "server/dsms_server.h"
@@ -114,6 +115,38 @@ void BM_Tracing_HistogramObserve(benchmark::State& state) {
   benchmark::DoNotOptimize(hist.Count());
 }
 BENCHMARK(BM_Tracing_HistogramObserve);
+
+void BM_Tracing_HistogramObserveExemplar(benchmark::State& state) {
+  // The exemplar-linked observe: the plain observe plus one try-lock
+  // protected bucket-slot overwrite (ordinal + pipeline string). The
+  // delta over BM_Tracing_HistogramObserve prices what every traced
+  // stage observation adds on top of the base histogram.
+  MetricHistogram hist(MetricHistogram::LatencyBucketsUs());
+  const std::string pipeline = "q1";
+  uint64_t v = 0;
+  for (auto _ : state) {
+    hist.ObserveWithExemplar(v % 5000, v, pipeline);
+    ++v;
+  }
+  benchmark::DoNotOptimize(hist.Count());
+}
+BENCHMARK(BM_Tracing_HistogramObserveExemplar);
+
+void BM_Tracing_EventLogAppend(benchmark::State& state) {
+  // One flight-recorder append: a mutex, a deque push (with eviction
+  // once the ring is full), and the detail string copy. Flight events
+  // are rare (quarantines, disconnects, retention passes), so this is
+  // never on the per-event hot path — the number here bounds the cost
+  // of being generous about what gets recorded.
+  EventLog log(256);
+  const std::string detail = "source=goes.band1 idle_ms=1500 timeout_ms=1000";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        log.Append(EventSeverity::kWarn, "bench", "tick", detail));
+  }
+  state.counters["total"] = static_cast<double>(log.total());
+}
+BENCHMARK(BM_Tracing_EventLogAppend);
 
 }  // namespace
 }  // namespace geostreams

@@ -116,6 +116,17 @@ enum class EventKind : uint8_t {
 
 const char* EventKindName(EventKind kind);
 
+/// Frame-lifecycle wall-clock anchors (Unix epoch microseconds, 0 =
+/// not stamped), set by the ingest plane as an event crosses each
+/// boundary and copied onto a sampled trace at birth. Durations are
+/// only ever computed between two anchors, never against the steady
+/// clock.
+struct StageAnchors {
+  uint64_t capture_wall_us = 0;  // producer send (from the wire)
+  uint64_t admit_wall_us = 0;    // ingest admission
+  uint64_t durable_wall_us = 0;  // journal write acknowledged
+};
+
 /// One element of the event sequence making up a GeoStream.
 struct StreamEvent {
   EventKind kind = EventKind::kStreamEnd;
@@ -123,6 +134,9 @@ struct StreamEvent {
   FrameInfo frame;
   /// Valid for kPointBatch.
   PointBatchPtr batch;
+  /// End-to-end latency anchors stamped by the ingest plane (all
+  /// zero for events born inside the engine).
+  StageAnchors anchors;
   /// Sampled pipeline trace riding this event across async queue
   /// boundaries (null = untraced, the common case; copying a null
   /// shared_ptr is free). Within a synchronous operator chain the

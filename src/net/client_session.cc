@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "net/socket_util.h"
+#include "obs/event_log.h"
+#include "obs/trace.h"
 
 namespace geostreams {
 
@@ -71,7 +73,7 @@ Status ClientSession::EnqueueControl(std::string line) {
 }
 
 Status ClientSession::EnqueueFrame(
-    std::shared_ptr<const std::vector<uint8_t>> frame) {
+    std::shared_ptr<const std::vector<uint8_t>> frame, FrameStamp stamp) {
   std::lock_guard<std::mutex> lock(mu_);
   if (closed_) {
     return Status::FailedPrecondition(
@@ -97,6 +99,13 @@ Status ClientSession::EnqueueFrame(
       GEOSTREAMS_LOG(kWarning)
           << "session " << id_ << ": " << consecutive_drops_
           << " consecutive dropped frames; disconnecting slow consumer";
+      if (options_.event_log != nullptr) {
+        options_.event_log->Append(
+            EventSeverity::kError, "net", "slow-consumer-disconnect",
+            StringPrintf("session=%llu consecutive_drops=%llu",
+                         static_cast<unsigned long long>(id_),
+                         static_cast<unsigned long long>(consecutive_drops_)));
+      }
       CloseLocked();
       return Status::ResourceExhausted(StringPrintf(
           "session %llu dropped and disconnected (slow consumer)",
@@ -111,6 +120,7 @@ Status ClientSession::EnqueueFrame(
   if (m_frames_enqueued_) m_frames_enqueued_->Increment();
   Outbound item;
   item.frame = std::move(frame);
+  item.stamp = std::move(stamp);
   queue_bytes_ += frame_bytes;
   queue_.push_back(std::move(item));
   ready_.notify_one();
@@ -178,6 +188,25 @@ void ClientSession::WriterLoop() {
     if (item.frame) {
       st = WriteAll(fd_, item.frame->data(), item.frame->size());
       written = item.frame->size();
+      if (st.ok() && item.stamp.delivered_wall_us != 0 &&
+          options_.metrics != nullptr) {
+        const uint64_t now = TraceWallNowUs();
+        if (now > item.stamp.delivered_wall_us) {
+          MetricHistogram* write_stage = options_.metrics->GetHistogram(
+              "geostreams_e2e_latency_us",
+              "Frame lifecycle stage latency (wall-clock microseconds between "
+              "consecutive stage anchors; stage=total is capture to delivery)",
+              {{"stage", "write"}, {"query", item.stamp.query}},
+              MetricHistogram::LatencyBucketsUs());
+          const uint64_t latency = now - item.stamp.delivered_wall_us;
+          if (item.stamp.trace_ordinal != ~0ull) {
+            write_stage->ObserveWithExemplar(latency, item.stamp.trace_ordinal,
+                                             item.stamp.pipeline);
+          } else {
+            write_stage->Observe(latency);
+          }
+        }
+      }
     } else {
       std::string line = item.control;
       line.push_back('\n');

@@ -40,6 +40,8 @@
 
 namespace geostreams {
 
+class EventLog;
+
 struct ClientSessionOptions {
   /// Hard caps on the outbound queue.
   size_t max_queue_events = 256;
@@ -59,6 +61,23 @@ struct ClientSessionOptions {
   /// counters (aggregated — per-session figures stay in STATS, where
   /// cardinality is naturally bounded). Not owned; may be null.
   MetricsRegistry* metrics = nullptr;
+  /// Optional flight recorder (not owned): slow-consumer disconnects
+  /// (max_consecutive_drops exceeded) are recorded as structured
+  /// events.
+  EventLog* event_log = nullptr;
+};
+
+/// Latency-plane stamp riding one outbound frame: when
+/// `delivered_wall_us` is nonzero the writer thread observes the
+/// `write` stage (fan-out to socket-written) of
+/// `geostreams_e2e_latency_us{stage="write",query=<query>}` after
+/// WriteAll, exemplar-linked when `trace_ordinal` carries a reserved
+/// trace-ring slot.
+struct FrameStamp {
+  uint64_t delivered_wall_us = 0;   // 0 = no write-stage observation
+  uint64_t trace_ordinal = ~0ull;   // ~0 = no exemplar
+  std::string pipeline;             // exemplar pipeline label
+  std::string query;                // stage label value
 };
 
 class ClientSession {
@@ -84,7 +103,8 @@ class ClientSession {
   /// encode is fanned out to every subscriber). Non-blocking: under
   /// pressure the frame is dropped and counted; ResourceExhausted
   /// reports the drop, FailedPrecondition a closed session.
-  Status EnqueueFrame(std::shared_ptr<const std::vector<uint8_t>> frame);
+  Status EnqueueFrame(std::shared_ptr<const std::vector<uint8_t>> frame,
+                      FrameStamp stamp = FrameStamp());
 
   /// Shuts the socket down and wakes the writer; safe to call from
   /// any thread, including the writer itself (hence: no join here —
@@ -111,6 +131,7 @@ class ClientSession {
   struct Outbound {
     std::string control;  // non-empty for control lines
     std::shared_ptr<const std::vector<uint8_t>> frame;
+    FrameStamp stamp;     // write-stage anchor (frames only)
     size_t bytes() const {
       return frame ? frame->size() : control.size() + 1;
     }

@@ -165,6 +165,21 @@ std::string HandleTrace(DsmsServer* server, std::string_view rest) {
   return out;
 }
 
+std::string HandleEvents(DsmsServer* server) {
+  const EventLog::Snapshot snapshot = server->Events();
+  // `total` counts ever recorded (ordinals keep climbing after ring
+  // eviction); `kept` is how many lines follow.
+  std::string out =
+      StringPrintf("OK EVENTS total=%llu kept=%zu",
+                   static_cast<unsigned long long>(snapshot.total),
+                   snapshot.events.size());
+  for (const FlightEvent& event : snapshot.events) {
+    out.push_back('\n');
+    out.append(event.ToString());
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
@@ -285,6 +300,7 @@ std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
   if (verb == "dlq") return HandleDlq(server, rest);
   if (verb == "metrics") return HandleMetrics(server);
   if (verb == "trace") return HandleTrace(server, rest);
+  if (verb == "events") return HandleEvents(server);
   return ErrResponse(
       Status::InvalidArgument("unknown command: " + verb));
 }
@@ -315,6 +331,18 @@ std::string HandleHttpRequest(DsmsServer* server,
     // negotiates on; 0.0.4 is the stable text format.
     content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = server->RenderMetrics();
+  } else if (path == "/eventz") {
+    // The flight recorder, one event per line, newest last.
+    status_line = "HTTP/1.0 200 OK";
+    content_type = "text/plain; charset=utf-8";
+    const EventLog::Snapshot snapshot = server->Events();
+    body = StringPrintf("total=%llu kept=%zu\n",
+                        static_cast<unsigned long long>(snapshot.total),
+                        snapshot.events.size());
+    for (const FlightEvent& event : snapshot.events) {
+      body += event.ToString();
+      body.push_back('\n');
+    }
   } else {
     status_line = "HTTP/1.0 404 Not Found";
     content_type = "text/plain; charset=utf-8";

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/event_log.h"
+#include "obs/trace.h"
 #include "storage/governor.h"
 #include "storage/journal.h"
 
@@ -52,6 +54,12 @@ IngestSession::IngestSession(std::string source, EventSink* target,
     m_shed_bytes_ = reg.GetCounter(
         "geostreams_ingest_shed_bytes_total",
         "Approximate bytes inside kShed-dropped batches", labels);
+    m_e2e_total_ = reg.GetHistogram(
+        "geostreams_e2e_latency_us",
+        "Frame lifecycle stage latency (wall-clock microseconds between "
+        "consecutive stage anchors; stage=total is capture to delivery)",
+        {{"stage", "total"}, {"source", source_}},
+        MetricHistogram::LatencyBucketsUs());
   }
 }
 
@@ -72,6 +80,23 @@ std::string IngestSession::Nack(uint64_t seq, const Status& status) const {
                       static_cast<unsigned long long>(seq),
                       StatusCodeName(status.code()),
                       status.message().c_str());
+}
+
+std::string IngestSession::NackTrackedLocked(uint64_t seq,
+                                             const Status& status) {
+  ++consecutive_nacks_;
+  if (options_.event_log != nullptr && options_.nack_burst_events > 0 &&
+      consecutive_nacks_ == options_.nack_burst_events) {
+    // Exactly-at-threshold: one event per burst, re-armed by the next
+    // ACK, so a producer stuck in a refusal loop cannot flood the ring.
+    options_.event_log->Append(
+        EventSeverity::kWarn, "ingest", "nack-burst",
+        StringPrintf("source=%s consecutive=%llu last=%s %s", source_.c_str(),
+                     static_cast<unsigned long long>(consecutive_nacks_),
+                     StatusCodeName(status.code()),
+                     status.message().c_str()));
+  }
+  return Nack(seq, status);
 }
 
 uint64_t IngestSession::NowMsLocked() const {
@@ -134,6 +159,7 @@ std::string IngestSession::Handle(const IngestMessage& message) {
     // Re-ack cumulatively, do not re-deliver: this is where
     // at-least-once transport becomes exactly-once delivery.
     ++stats_.duplicates;
+    consecutive_nacks_ = 0;
     if (m_replays_) m_replays_->Increment();
     if (m_acks_) m_acks_->Increment();
     return Ack(expected_ - 1);
@@ -144,17 +170,17 @@ std::string IngestSession::Handle(const IngestMessage& message) {
     ++stats_.gaps;
     if (m_gaps_) m_gaps_->Increment();
     if (m_nacks_) m_nacks_->Increment();
-    return Nack(message.seq,
-                Status::OutOfRange(StringPrintf(
-                    "sequence gap: expected=%llu",
-                    static_cast<unsigned long long>(expected_))));
+    return NackTrackedLocked(
+        message.seq, Status::OutOfRange(StringPrintf(
+                         "sequence gap: expected=%llu",
+                         static_cast<unsigned long long>(expected_))));
   }
   if (quarantined_) {
     if (m_nacks_) m_nacks_->Increment();
-    return Nack(message.seq,
-                Status::FailedPrecondition(StringPrintf(
-                    "source quarantined: %s",
-                    quarantine_error_.message().c_str())));
+    return NackTrackedLocked(
+        message.seq, Status::FailedPrecondition(StringPrintf(
+                         "source quarantined: %s",
+                         quarantine_error_.message().c_str())));
   }
 
   const bool is_batch = message.event.kind == EventKind::kPointBatch;
@@ -169,12 +195,13 @@ std::string IngestSession::Handle(const IngestMessage& message) {
         IngestSessionOptions::OverloadPolicy::kNack) {
       ++stats_.budget_nacks;
       if (m_nacks_) m_nacks_->Increment();
-      return Nack(message.seq,
-                  Status::ResourceExhausted(StringPrintf(
-                      "per-source budget: %llu bytes exceed rate %llu B/s",
-                      static_cast<unsigned long long>(batch_bytes),
-                      static_cast<unsigned long long>(
-                          options_.source_rate_bytes_per_sec))));
+      return NackTrackedLocked(
+          message.seq,
+          Status::ResourceExhausted(StringPrintf(
+              "per-source budget: %llu bytes exceed rate %llu B/s",
+              static_cast<unsigned long long>(batch_bytes),
+              static_cast<unsigned long long>(
+                  options_.source_rate_bytes_per_sec))));
     }
     // kShed under a durable journal still journals: the ack promises
     // the sequence number is settled forever, so a crash after it
@@ -182,7 +209,7 @@ std::string IngestSession::Handle(const IngestMessage& message) {
     const Status journaled = JournalLocked(message);
     if (!journaled.ok()) {
       if (m_nacks_) m_nacks_->Increment();
-      return Nack(message.seq, journaled);
+      return NackTrackedLocked(message.seq, journaled);
     }
     ++stats_.budget_shed;
     stats_.overload_shed_points += batch_points;
@@ -191,6 +218,7 @@ std::string IngestSession::Handle(const IngestMessage& message) {
     if (m_shed_points_) m_shed_points_->Increment(batch_points);
     if (m_shed_bytes_) m_shed_bytes_->Increment(batch_bytes);
     if (m_acks_) m_acks_->Increment();
+    consecutive_nacks_ = 0;
     expected_ = message.seq + 1;
     if (options_.journal != nullptr) {
       options_.journal->SetRetainFloor(expected_);
@@ -205,13 +233,14 @@ std::string IngestSession::Handle(const IngestMessage& message) {
           IngestSessionOptions::OverloadPolicy::kNack) {
         ++stats_.overload_nacks;
         if (m_nacks_) m_nacks_->Increment();
-        return Nack(message.seq,
-                    Status::ResourceExhausted(StringPrintf(
-                        "ingest admission: %llu tracked bytes exceed "
-                        "budget %llu",
-                        static_cast<unsigned long long>(total),
-                        static_cast<unsigned long long>(
-                            options_.admission_max_bytes))));
+        return NackTrackedLocked(
+            message.seq,
+            Status::ResourceExhausted(StringPrintf(
+                "ingest admission: %llu tracked bytes exceed "
+                "budget %llu",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(
+                    options_.admission_max_bytes))));
       }
       // kShed: accept responsibility for the batch and drop it, the
       // boundary equivalent of the scheduler's load shedding. The ack
@@ -221,7 +250,7 @@ std::string IngestSession::Handle(const IngestMessage& message) {
       const Status journaled = JournalLocked(message);
       if (!journaled.ok()) {
         if (m_nacks_) m_nacks_->Increment();
-        return Nack(message.seq, journaled);
+        return NackTrackedLocked(message.seq, journaled);
       }
       ++stats_.overload_shed;
       stats_.overload_shed_points += batch_points;
@@ -230,6 +259,7 @@ std::string IngestSession::Handle(const IngestMessage& message) {
       if (m_shed_points_) m_shed_points_->Increment(batch_points);
       if (m_shed_bytes_) m_shed_bytes_->Increment(batch_bytes);
       if (m_acks_) m_acks_->Increment();
+      consecutive_nacks_ = 0;
       expected_ = message.seq + 1;
       return Ack(message.seq);
     }
@@ -240,23 +270,39 @@ std::string IngestSession::Handle(const IngestMessage& message) {
   // first could ack an event no restart can reconstruct. A NACKed
   // delivery below leaves a duplicate sequence in the journal when
   // the producer retries — recovery's dedup cursor drops it.
+  // Frame-lifecycle anchors: admission is stamped before the journal
+  // write, durable after it succeeds, so the `journal` stage of the
+  // e2e latency plane measures exactly the time the ack spent gated
+  // on durability.
+  StreamEvent event = message.event;
+  event.anchors.capture_wall_us = message.capture_wall_us;
+  event.anchors.admit_wall_us = TraceWallNowUs();
   const Status journaled = JournalLocked(message);
   if (!journaled.ok()) {
     if (m_nacks_) m_nacks_->Increment();
-    return Nack(message.seq, journaled);
+    return NackTrackedLocked(message.seq, journaled);
   }
-  const Status delivered = target_->Consume(message.event);
+  if (options_.journal != nullptr) {
+    event.anchors.durable_wall_us = TraceWallNowUs();
+  }
+  const Status delivered = target_->Consume(event);
   if (!delivered.ok()) {
     // Leave `expected_` where it is: the producer may retry the same
     // sequence number once the chain recovers (transient errors) or
     // after an admin RESTART (quarantine/poison).
     ++stats_.delivery_errors;
     if (m_nacks_) m_nacks_->Increment();
-    return Nack(message.seq, delivered);
+    return NackTrackedLocked(message.seq, delivered);
   }
   ++stats_.delivered;
+  if (event.kind == EventKind::kFrameEnd) {
+    last_frame_wall_us_ = event.anchors.capture_wall_us != 0
+                              ? event.anchors.capture_wall_us
+                              : event.anchors.admit_wall_us;
+  }
   if (m_delivered_) m_delivered_->Increment();
   if (m_acks_) m_acks_->Increment();
+  consecutive_nacks_ = 0;
   expected_ = message.seq + 1;
   if (options_.journal != nullptr) {
     options_.journal->SetRetainFloor(expected_);
@@ -287,6 +333,14 @@ Status IngestSession::CheckLiveness() {
       "source '%s' silent for %lld ms (idle timeout %llu ms)",
       source_.c_str(), static_cast<long long>(idle),
       static_cast<unsigned long long>(options_.idle_timeout_ms)));
+  if (options_.event_log != nullptr) {
+    options_.event_log->Append(
+        EventSeverity::kWarn, "ingest", "liveness-quarantine",
+        StringPrintf("source=%s idle_ms=%lld timeout_ms=%llu",
+                     source_.c_str(), static_cast<long long>(idle),
+                     static_cast<unsigned long long>(
+                         options_.idle_timeout_ms)));
+  }
   return quarantine_error_;
 }
 
@@ -306,6 +360,15 @@ IngestSessionStats IngestSession::Stats() const {
   out.ended = ended_;
   out.storage_degraded =
       options_.governor != nullptr && options_.governor->degraded();
+  if (last_frame_wall_us_ != 0) {
+    const uint64_t now = TraceWallNowUs();
+    out.freshness_us = now > last_frame_wall_us_
+                           ? now - last_frame_wall_us_
+                           : 0;
+  }
+  if (m_e2e_total_ != nullptr) {
+    out.e2e_p95_us = static_cast<uint64_t>(m_e2e_total_->Percentile(95));
+  }
   return out;
 }
 
@@ -317,7 +380,8 @@ std::string IngestSession::StatsLine() const {
       "shed_points=%llu shed_bytes=%llu "
       "delivery_errors=%llu budget_nacks=%llu budget_shed=%llu "
       "durable=%d journaled=%llu journal_errors=%llu "
-      "quarantined=%d ended=%d storage_degraded=%d",
+      "quarantined=%d ended=%d storage_degraded=%d "
+      "freshness_us=%llu e2e_p95_us=%llu",
       source_.c_str(), static_cast<unsigned long long>(s.next_expected),
       static_cast<unsigned long long>(s.received),
       static_cast<unsigned long long>(s.delivered),
@@ -332,7 +396,9 @@ std::string IngestSession::StatsLine() const {
       static_cast<unsigned long long>(s.budget_shed),
       s.durable ? 1 : 0, static_cast<unsigned long long>(s.journaled),
       static_cast<unsigned long long>(s.journal_errors),
-      s.quarantined ? 1 : 0, s.ended ? 1 : 0, s.storage_degraded ? 1 : 0);
+      s.quarantined ? 1 : 0, s.ended ? 1 : 0, s.storage_degraded ? 1 : 0,
+      static_cast<unsigned long long>(s.freshness_us),
+      static_cast<unsigned long long>(s.e2e_p95_us));
 }
 
 }  // namespace geostreams

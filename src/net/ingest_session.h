@@ -56,6 +56,7 @@
 
 namespace geostreams {
 
+class EventLog;
 class SourceJournal;
 class StorageGovernor;
 
@@ -108,6 +109,13 @@ struct IngestSessionOptions {
   /// Injectable millisecond clock for the token bucket (tests pin
   /// time); null = steady_clock.
   std::function<uint64_t()> now_ms;
+  /// Optional flight recorder (not owned): the session records
+  /// liveness quarantines and NACK bursts (`nack_burst_events`
+  /// consecutive refusals) into it.
+  EventLog* event_log = nullptr;
+  /// Consecutive NACKs that count as a burst worth one flight-recorder
+  /// event (re-armed by the next ACK).
+  uint64_t nack_burst_events = 8;
 };
 
 struct IngestSessionStats {
@@ -125,6 +133,13 @@ struct IngestSessionStats {
   uint64_t journaled = 0;        // records appended to the journal
   uint64_t journal_errors = 0;   // appends that failed; NACKed
   uint64_t next_expected = 1;    // next in-order sequence number
+  /// Age of the newest delivered frame (now minus its capture — or,
+  /// unstamped, admission — wall clock); 0 until a frame completes.
+  uint64_t freshness_us = 0;
+  /// p95 of the per-source end-to-end latency histogram
+  /// (`geostreams_e2e_latency_us{stage="total",source=...}`); 0
+  /// without a registry or observations.
+  uint64_t e2e_p95_us = 0;
   bool durable = false;          // a journal gates the acks
   bool quarantined = false;
   bool ended = false;            // StreamEnd delivered
@@ -172,6 +187,9 @@ class IngestSession {
 
   std::string Ack(uint64_t upto) const;
   std::string Nack(uint64_t seq, const Status& status) const;
+  /// Nack() plus burst accounting: a run of `nack_burst_events`
+  /// consecutive refusals records one flight-recorder event.
+  std::string NackTrackedLocked(uint64_t seq, const Status& status);
 
   /// Appends `message` to the journal (no-op without one). Must
   /// succeed before any path advances expected_ / acks.
@@ -194,6 +212,10 @@ class IngestSession {
   IngestSessionStats stats_;
   uint64_t budget_tokens_ = 0;       // bytes currently admissible
   uint64_t budget_refilled_ms_ = 0;  // last refill timestamp
+  /// Wall clock (epoch us) anchoring the newest delivered FrameEnd
+  /// (its capture stamp when the producer sent one, else admission).
+  uint64_t last_frame_wall_us_ = 0;
+  uint64_t consecutive_nacks_ = 0;
 
   /// Registry counters labeled {source=...}; null when no registry
   /// was supplied. Incremented on the Handle path (relaxed atomics).
@@ -205,6 +227,10 @@ class IngestSession {
   Counter* m_shed_events_ = nullptr;
   Counter* m_shed_points_ = nullptr;
   Counter* m_shed_bytes_ = nullptr;
+  /// End-to-end total-latency histogram whose p95 ISTATS reports
+  /// (observed by the delivery plane; the scrape-time freshness gauge
+  /// lives in the server's collector).
+  MetricHistogram* m_e2e_total_ = nullptr;
 };
 
 }  // namespace geostreams

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "net/socket_util.h"
 #include "net/wire_protocol.h"
+#include "obs/trace.h"
 #include "server/dsms_server.h"
 #include "storage/journal.h"
 
@@ -47,18 +48,12 @@ class NetServer::Connection : public SessionHooks {
     auto sub = std::make_shared<Subscription>();
     sub->sessions.push_back(session_);
     DsmsServer* dsms = server_->dsms_;
-    auto callback = [sub](int64_t frame_id, const Raster& raster,
-                          const std::vector<uint8_t>& png) {
+    auto callback = [sub, dsms](int64_t frame_id, const Raster& raster,
+                                const std::vector<uint8_t>& png) {
       // Encode once; every subscriber shares the buffer. Enqueue is
       // non-blocking by construction — a slow or closed session sheds
       // and its status is ignored here (visible in its STATS).
-      auto buffer = std::make_shared<const std::vector<uint8_t>>(
-          EncodeResultFrame(sub->query_id.load(), frame_id, raster, png));
-      std::lock_guard<std::mutex> lock(sub->mu);
-      for (const auto& session : sub->sessions) {
-        Status ignored = session->EnqueueFrame(buffer);
-        (void)ignored;
-      }
+      FanOutFrame(dsms, sub.get(), frame_id, raster, png);
     };
     Result<QueryId> id = dsms->RegisterQuery(text, std::move(callback));
     if (!id.ok()) return id;
@@ -76,15 +71,9 @@ class NetServer::Connection : public SessionHooks {
     auto sub = std::make_shared<Subscription>();
     sub->sessions.push_back(session_);
     DsmsServer* dsms = server_->dsms_;
-    auto callback = [sub](int64_t frame_id, const Raster& raster,
-                          const std::vector<uint8_t>& png) {
-      auto buffer = std::make_shared<const std::vector<uint8_t>>(
-          EncodeResultFrame(sub->query_id.load(), frame_id, raster, png));
-      std::lock_guard<std::mutex> lock(sub->mu);
-      for (const auto& session : sub->sessions) {
-        Status ignored = session->EnqueueFrame(buffer);
-        (void)ignored;
-      }
+    auto callback = [sub, dsms](int64_t frame_id, const Raster& raster,
+                                const std::vector<uint8_t>& png) {
+      FanOutFrame(dsms, sub.get(), frame_id, raster, png);
     };
     CatchUpOptions catch_up;
     catch_up.since = since;
@@ -324,6 +313,9 @@ Status NetServer::Start() {
   if (options_.session.metrics == nullptr) {
     options_.session.metrics = dsms_->metrics_registry();
   }
+  if (options_.session.event_log == nullptr) {
+    options_.session.event_log = dsms_->event_log();
+  }
   GEOSTREAMS_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.port));
   GEOSTREAMS_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
   if (options_.ingest_port >= 0) {
@@ -411,6 +403,56 @@ Status NetServer::AttachQuery(QueryId id,
   return Status::OK();
 }
 
+void NetServer::FanOutFrame(DsmsServer* dsms, Subscription* sub,
+                            int64_t frame_id, const Raster& raster,
+                            const std::vector<uint8_t>& png) {
+  // The delivery callback runs inside the operator chain, so the
+  // frame's trace (when sampled) is active on this thread. Entry here
+  // closes the `operators` stage (scheduler claim — or the ingest
+  // anchor on the synchronous path — to chain exit); encode + enqueue
+  // is the `deliver` stage; `total` spans capture (else admission) to
+  // fan-out done, the same per-source series the ingest session's
+  // ISTATS p95 reads.
+  TraceContext* trace = ActiveTrace();
+  const bool staged = trace != nullptr && trace->last_anchor_wall_us() != 0;
+  const std::string query_label =
+      StringPrintf("%lld", static_cast<long long>(sub->query_id.load()));
+  if (staged) {
+    ObserveE2eStage(dsms->metrics_registry(), "operators", "query",
+                    query_label, trace->AdvanceStage(TraceWallNowUs()), trace);
+  }
+  auto buffer = std::make_shared<const std::vector<uint8_t>>(
+      EncodeResultFrame(sub->query_id.load(), frame_id, raster, png));
+  FrameStamp stamp;
+  if (staged) {
+    // The `write` stage rides the frame into each session's writer
+    // thread; its anchor is the moment the shared buffer is ready.
+    stamp.delivered_wall_us = TraceWallNowUs();
+    stamp.trace_ordinal = trace->ring_ordinal();
+    stamp.pipeline = trace->pipeline();
+    stamp.query = query_label;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    for (const auto& session : sub->sessions) {
+      Status ignored = session->EnqueueFrame(buffer, stamp);
+      (void)ignored;
+    }
+  }
+  if (staged) {
+    const uint64_t now = TraceWallNowUs();
+    ObserveE2eStage(dsms->metrics_registry(), "deliver", "query", query_label,
+                    trace->AdvanceStage(now), trace);
+    const uint64_t birth = trace->capture_wall_us() != 0
+                               ? trace->capture_wall_us()
+                               : trace->admit_wall_us();
+    if (birth != 0 && now > birth) {
+      ObserveE2eStage(dsms->metrics_registry(), "total", "source",
+                      trace->origin(), now - birth, trace);
+    }
+  }
+}
+
 Status NetServer::DetachQuery(QueryId id,
                               const std::shared_ptr<ClientSession>& session) {
   bool last = false;
@@ -457,6 +499,7 @@ Result<std::shared_ptr<IngestSession>> NetServer::IngestSessionFor(
                                 dsms_->journal()->SourceFor(source));
   }
   if (opts.governor == nullptr) opts.governor = dsms_->governor();
+  if (opts.event_log == nullptr) opts.event_log = dsms_->event_log();
   auto session = std::make_shared<IngestSession>(source, sink, opts);
   ingest_sessions_.emplace(source, session);
   return session;

@@ -52,6 +52,8 @@
 
 namespace geostreams {
 
+class Raster;
+
 struct NetServerOptions {
   /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
   uint16_t port = 0;
@@ -129,6 +131,15 @@ class NetServer {
   };
 
   class Connection;
+
+  /// Shared body of the delivery callbacks: encode once, fan the
+  /// buffer out to every subscriber session, and — when the frame is
+  /// traced — observe the `operators`, `deliver` and `total` stages of
+  /// the end-to-end latency plane (the `write` stage rides the frame
+  /// into each session's writer thread via a FrameStamp).
+  static void FanOutFrame(DsmsServer* dsms, Subscription* sub,
+                          int64_t frame_id, const Raster& raster,
+                          const std::vector<uint8_t>& png);
 
   void AcceptLoop();
   /// Accepts (or rejects at max_clients) one pending connection.

@@ -7,6 +7,7 @@
 #include "common/math_util.h"
 #include "common/string_util.h"
 #include "net/socket_util.h"
+#include "obs/trace.h"
 #include "stream/supervisor.h"
 
 namespace geostreams {
@@ -384,6 +385,9 @@ Status ProducerClient::Publish(const StreamEvent& event) {
   IngestMessage message;
   message.source = options_.source;
   message.seq = next_seq_;
+  if (options_.stamp_capture_time) {
+    message.capture_wall_us = TraceWallNowUs();
+  }
   message.event = event;
   Pending pending;
   pending.seq = next_seq_;

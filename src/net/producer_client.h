@@ -90,6 +90,11 @@ struct ProducerClientOptions {
   /// every reconnect could deterministically re-kill each new
   /// connection at the same spot, which no amount of retrying escapes.
   FlakySocketOptions flaky;
+  /// Stamp each published message with the producer's wall clock
+  /// (kFlagCaptureTs) — the first anchor of the server's end-to-end
+  /// latency plane. Costs 8 bytes per message; disable when talking
+  /// to pre-flag servers that reject unknown payload layouts.
+  bool stamp_capture_time = true;
 };
 
 struct ProducerClientStats {

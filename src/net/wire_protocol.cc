@@ -306,6 +306,11 @@ std::vector<uint8_t> EncodeIngestMessage(const IngestMessage& message) {
   payload.reserve(message.source.size() + body_hint);
   PutString(payload, message.source);
   PutU64(payload, message.seq);
+  uint8_t flags = 0;
+  if (message.capture_wall_us != 0) {
+    flags |= kFlagCaptureTs;
+    PutU64(payload, message.capture_wall_us);
+  }
   payload.push_back(static_cast<uint8_t>(event.kind));
   switch (event.kind) {
     case EventKind::kFrameBegin:
@@ -336,7 +341,7 @@ std::vector<uint8_t> EncodeIngestMessage(const IngestMessage& message) {
     case EventKind::kStreamEnd:
       break;
   }
-  return FinishMessage(MessageType::kIngest, 0, payload);
+  return FinishMessage(MessageType::kIngest, flags, payload);
 }
 
 Result<IngestMessage> DecodeIngestMessage(const uint8_t* data, size_t len) {
@@ -356,6 +361,9 @@ Result<IngestMessage> DecodeIngestMessage(const uint8_t* data, size_t len) {
   }
   message.source = reader.GetString(source_len);
   message.seq = reader.Get64();
+  if ((flags & kFlagCaptureTs) != 0) {
+    message.capture_wall_us = reader.Get64();
+  }
   const uint8_t kind = reader.GetU8();
   if (!reader.ok) {
     return Status::InvalidArgument("ingest preamble truncated");

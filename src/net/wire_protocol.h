@@ -27,6 +27,13 @@
 //     0   source_len   u16  LE
 //     2   source       source_len bytes (stream name)
 //         seq          u64  LE   per-source monotonic sequence number
+//         capture_us   u64  LE   only when kFlagCaptureTs is set:
+//                                producer wall clock (Unix epoch us)
+//                                at send — the first frame-lifecycle
+//                                latency anchor. Optional and
+//                                backward compatible: old producers
+//                                never set the flag, and decoders
+//                                only read the field when it is set.
 //         event_kind   u8        (EventKind)
 //     followed by the kind-specific event body:
 //       kFrameBegin / kFrameEnd:
@@ -76,6 +83,9 @@ enum class MessageType : uint8_t {
 inline constexpr size_t kMaxIngestSourceLen = 256;
 
 inline constexpr uint8_t kFlagPng = 0x1;
+/// kIngest only: the payload carries a producer capture timestamp
+/// (u64 wall-clock microseconds) between `seq` and `event_kind`.
+inline constexpr uint8_t kFlagCaptureTs = 0x2;
 
 /// One decoded result frame.
 struct FrameMessage {
@@ -113,6 +123,11 @@ Result<FrameMessage> DecodeFrameMessage(const uint8_t* data, size_t len);
 struct IngestMessage {
   std::string source;
   uint64_t seq = 0;
+  /// Producer wall clock (Unix epoch microseconds) when the event was
+  /// published; 0 = producer did not stamp one (old producer, or
+  /// timestamps disabled). Carried on the wire only under
+  /// kFlagCaptureTs, so unstamped messages cost no extra bytes.
+  uint64_t capture_wall_us = 0;
   StreamEvent event;
 };
 

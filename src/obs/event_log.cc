@@ -1,0 +1,57 @@
+#include "obs/event_log.h"
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace geostreams {
+
+const char* EventSeverityName(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kInfo:
+      return "info";
+    case EventSeverity::kWarn:
+      return "warn";
+    case EventSeverity::kError:
+      return "error";
+  }
+  return "info";
+}
+
+std::string FlightEvent::ToString() const {
+  std::string line = StringPrintf(
+      "EV %llu wall_us=%llu sev=%s comp=%s kind=%s",
+      static_cast<unsigned long long>(ordinal),
+      static_cast<unsigned long long>(wall_us), EventSeverityName(severity),
+      component.c_str(), kind.c_str());
+  if (!detail.empty()) {
+    line += ' ';
+    line += detail;
+  }
+  return line;
+}
+
+uint64_t EventLog::Append(EventSeverity severity, std::string component,
+                          std::string kind, std::string detail) {
+  FlightEvent event;
+  event.wall_us = TraceWallNowUs();
+  event.severity = severity;
+  event.component = std::move(component);
+  event.kind = std::move(kind);
+  event.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  event.ordinal = total_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t ordinal = event.ordinal;
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) events_.pop_front();
+  return ordinal;
+}
+
+EventLog::Snapshot EventLog::TakeSnapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.total = total_.load(std::memory_order_relaxed);
+  snap.events.assign(events_.begin(), events_.end());
+  return snap;
+}
+
+}  // namespace geostreams

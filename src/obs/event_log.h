@@ -1,0 +1,84 @@
+// Structured flight recorder: a bounded ring of the control-plane
+// moments an operator asks about first when a stream goes stale —
+// storage degraded/healed, a pipeline quarantined or restarted, a
+// source silenced by the liveness sweep, an overload NACK burst, a
+// retention prune, a slow consumer disconnected. Subsystems append
+// one-line structured events; the ring keeps the most recent
+// `capacity` of them and is dumped over the control plane by the
+// `EVENTS` verb and `GET /eventz`.
+//
+// The contract mirrors TraceRing/DeadLetterQueue: ordinals are
+// assigned at append and survive eviction, so a reader can tell "I
+// missed 40 events" from "nothing happened". Appends take one short
+// mutex hold (no I/O, no allocation beyond the strings already
+// built); the hot data path never appends — only control-plane
+// transitions do, so the lock is uncontended in steady state.
+
+#ifndef GEOSTREAMS_OBS_EVENT_LOG_H_
+#define GEOSTREAMS_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace geostreams {
+
+enum class EventSeverity : uint8_t {
+  kInfo = 0,
+  kWarn = 1,
+  kError = 2,
+};
+
+const char* EventSeverityName(EventSeverity severity);
+
+/// One recorded control-plane transition.
+struct FlightEvent {
+  uint64_t ordinal = 0;     // assigned at append; survives eviction
+  uint64_t wall_us = 0;     // Unix-epoch microseconds at append
+  EventSeverity severity = EventSeverity::kInfo;
+  std::string component;    // emitting subsystem, e.g. "governor"
+  std::string kind;         // transition, e.g. "degraded"
+  std::string detail;       // free-form context (may contain spaces)
+
+  /// One line: `EV <ordinal> wall_us=<epoch-us> sev=<s> comp=<c>
+  /// kind=<k> <detail>`.
+  std::string ToString() const;
+};
+
+/// Bounded, thread-safe event ring. Capacity 0 is clamped to 1.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 256)
+      : capacity_(capacity ? capacity : 1) {}
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Records one event, evicting the oldest beyond capacity. Returns
+  /// the assigned ordinal.
+  uint64_t Append(EventSeverity severity, std::string component,
+                  std::string kind, std::string detail);
+
+  struct Snapshot {
+    uint64_t total = 0;               // appended since creation
+    std::vector<FlightEvent> events;  // oldest kept first
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Appended since creation (>= kept). Lock-free read.
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> total_{0};
+  mutable std::mutex mu_;
+  std::deque<FlightEvent> events_;
+};
+
+}  // namespace geostreams
+
+#endif  // GEOSTREAMS_OBS_EVENT_LOG_H_

@@ -53,6 +53,21 @@ std::string RenderLabelsWithLe(const MetricLabels& labels,
   return out;
 }
 
+// OpenMetrics exemplar annotation appended to a `_bucket` line (before
+// its newline): ` # {trace="<ordinal>",pipeline="<p>"} <value>`. The
+// trace label is the TraceRing ordinal of the exemplared observation,
+// so `TRACE <query-id>` output lines (`TR <ordinal> ...`) resolve it.
+void AppendExemplar(std::string* out,
+                    const std::vector<MetricHistogram::Exemplar>& exemplars,
+                    size_t bucket) {
+  if (bucket >= exemplars.size()) return;
+  const MetricHistogram::Exemplar& ex = exemplars[bucket];
+  if (!ex.has) return;
+  *out += " # {trace=\"" + std::to_string(ex.trace_ordinal) +
+          "\",pipeline=\"" + EscapeLabelValue(ex.pipeline) + "\"} " +
+          std::to_string(ex.value);
+}
+
 }  // namespace
 
 MetricHistogram::MetricHistogram(std::vector<uint64_t> bounds)
@@ -93,12 +108,33 @@ const std::vector<uint64_t>& MetricHistogram::DepthBuckets() {
   return kBounds;
 }
 
+size_t MetricHistogram::BucketIndex(uint64_t value) const {
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
 void MetricHistogram::Observe(uint64_t value) {
-  size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
-               bounds_.begin();
+  size_t idx = BucketIndex(value);
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void MetricHistogram::ObserveWithExemplar(uint64_t value,
+                                          uint64_t trace_ordinal,
+                                          const std::string& pipeline) {
+  Observe(value);
+  const size_t idx = BucketIndex(value);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (!exemplars_) {
+    exemplars_ = std::make_unique<Exemplar[]>(bounds_.size() + 1);
+  }
+  Exemplar& slot = exemplars_[idx];
+  slot.has = true;
+  slot.value = value;
+  slot.trace_ordinal = trace_ordinal;
+  slot.pipeline = pipeline;
 }
 
 MetricHistogram::Snapshot MetricHistogram::TakeSnapshot() const {
@@ -115,6 +151,13 @@ MetricHistogram::Snapshot MetricHistogram::TakeSnapshot() const {
   uint64_t bucket_total = 0;
   for (uint64_t c : snap.counts) bucket_total += c;
   snap.count = bucket_total;
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    if (exemplars_) {
+      snap.exemplars.assign(exemplars_.get(),
+                            exemplars_.get() + bounds_.size() + 1);
+    }
+  }
   return snap;
 }
 
@@ -255,18 +298,22 @@ std::string MetricsRegistry::RenderPrometheus() {
         uint64_t cumulative = 0;
         for (size_t i = 0; i < snap.bounds.size(); ++i) {
           cumulative += snap.counts[i];
-          std::snprintf(line, sizeof(line), " %llu\n",
+          std::snprintf(line, sizeof(line), " %llu",
                         static_cast<unsigned long long>(cumulative));
           out += name + "_bucket" +
                  RenderLabelsWithLe(series.labels,
                                     std::to_string(snap.bounds[i])) +
                  line;
+          AppendExemplar(&out, snap.exemplars, i);
+          out += "\n";
         }
         cumulative += snap.counts.back();
-        std::snprintf(line, sizeof(line), " %llu\n",
+        std::snprintf(line, sizeof(line), " %llu",
                       static_cast<unsigned long long>(cumulative));
         out += name + "_bucket" + RenderLabelsWithLe(series.labels, "+Inf") +
                line;
+        AppendExemplar(&out, snap.exemplars, snap.bounds.size());
+        out += "\n";
         std::snprintf(line, sizeof(line), " %llu\n",
                       static_cast<unsigned long long>(snap.sum));
         out += name + "_sum" + label_str + line;

@@ -71,6 +71,13 @@ class Gauge {
 /// relaxed atomic adds after a binary search over ~20 bounds; merging
 /// and percentile extraction work on snapshots, so a concurrent
 /// Observe skews a scrape by at most the in-flight samples.
+///
+/// Exemplars (OpenMetrics): ObserveWithExemplar additionally records
+/// the trace ring ordinal + pipeline of the observation in its
+/// bucket's exemplar slot, so a scrape's `# {trace=...}` annotation
+/// points straight at a `TRACE <id>` record. The exemplar store is
+/// allocated lazily on the first exemplared observation and guarded
+/// by its own mutex — the plain Observe() hot path never touches it.
 class MetricHistogram {
  public:
   /// `bounds` must be strictly ascending and non-empty.
@@ -88,10 +95,26 @@ class MetricHistogram {
 
   void Observe(uint64_t value);
 
+  /// Observe() plus an exemplar: the owning bucket remembers this
+  /// observation's trace ring ordinal and pipeline (latest wins).
+  void ObserveWithExemplar(uint64_t value, uint64_t trace_ordinal,
+                           const std::string& pipeline);
+
+  /// Latest exemplared observation of one bucket.
+  struct Exemplar {
+    bool has = false;
+    uint64_t value = 0;
+    uint64_t trace_ordinal = 0;
+    std::string pipeline;
+  };
+
   struct Snapshot {
     std::vector<uint64_t> bounds;
     /// counts.size() == bounds.size() + 1; the last entry is +Inf.
     std::vector<uint64_t> counts;
+    /// Empty when no exemplar was ever recorded; otherwise one slot
+    /// per bucket (bounds.size() + 1, the last is +Inf).
+    std::vector<Exemplar> exemplars;
     uint64_t count = 0;
     uint64_t sum = 0;
 
@@ -113,10 +136,17 @@ class MetricHistogram {
   const std::vector<uint64_t>& bounds() const { return bounds_; }
 
  private:
+  size_t BucketIndex(uint64_t value) const;
+
   std::vector<uint64_t> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+  /// Exemplar slots, one per bucket; null until the first
+  /// ObserveWithExemplar. Guarded by exemplar_mu_ (never taken by
+  /// Observe()).
+  mutable std::mutex exemplar_mu_;
+  std::unique_ptr<Exemplar[]> exemplars_;
 };
 
 /// Label set, rendered in the given order. Keep values low-cardinality

@@ -39,6 +39,14 @@ std::string TraceRecord::ToString() const {
                 static_cast<unsigned long long>(queue_wait_us),
                 static_cast<unsigned long long>(total_us));
   std::string out = buf;
+  if (capture_wall_us != 0 || admit_wall_us != 0 || durable_wall_us != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " capture_us=%llu admit_us=%llu durable_us=%llu",
+                  static_cast<unsigned long long>(capture_wall_us),
+                  static_cast<unsigned long long>(admit_wall_us),
+                  static_cast<unsigned long long>(durable_wall_us));
+    out += buf;
+  }
   for (const TraceSpan& span : spans) {
     std::snprintf(buf, sizeof(buf), " %s=%llu/%llu", span.name.c_str(),
                   static_cast<unsigned long long>(span.exclusive_us),
@@ -59,6 +67,10 @@ std::shared_ptr<TraceContext> TraceContext::Fork(std::string pipeline) const {
   fork->pipeline_ = std::move(pipeline);
   fork->born_us_ = born_us_;
   fork->born_wall_us_ = born_wall_us_;
+  fork->capture_wall_us_ = capture_wall_us_;
+  fork->admit_wall_us_ = admit_wall_us_;
+  fork->durable_wall_us_ = durable_wall_us_;
+  fork->last_anchor_wall_us_ = last_anchor_wall_us_;
   return fork;
 }
 
@@ -69,13 +81,39 @@ uint64_t TraceContext::MarkDequeued() {
   return queue_wait_us_;
 }
 
+void TraceContext::SetIngestAnchors(uint64_t capture_wall_us,
+                                    uint64_t admit_wall_us,
+                                    uint64_t durable_wall_us) {
+  capture_wall_us_ = capture_wall_us;
+  admit_wall_us_ = admit_wall_us;
+  durable_wall_us_ = durable_wall_us;
+  if (durable_wall_us != 0) {
+    last_anchor_wall_us_ = durable_wall_us;
+  } else if (admit_wall_us != 0) {
+    last_anchor_wall_us_ = admit_wall_us;
+  } else {
+    last_anchor_wall_us_ = capture_wall_us;
+  }
+}
+
+uint64_t TraceContext::AdvanceStage(uint64_t now_wall_us) {
+  const uint64_t prev = last_anchor_wall_us_;
+  last_anchor_wall_us_ = now_wall_us;
+  if (prev == 0 || now_wall_us <= prev) return 0;
+  return now_wall_us - prev;
+}
+
 TraceRecord TraceContext::Finish() const {
   TraceRecord record;
+  record.ordinal = ring_ordinal_ == kNoRingOrdinal ? 0 : ring_ordinal_;
   record.trace_id = trace_id_;
   record.origin = origin_;
   record.pipeline = pipeline_;
   record.queue_wait_us = queue_wait_us_;
   record.born_wall_us = born_wall_us_;
+  record.capture_wall_us = capture_wall_us_;
+  record.admit_wall_us = admit_wall_us_;
+  record.durable_wall_us = durable_wall_us_;
   uint64_t now = TraceNowUs();
   record.total_us = now > born_us_ ? now - born_us_ : 0;
   // SpanTimer destructors fire innermost-first; flip to delivery order.
@@ -105,7 +143,14 @@ SpanTimer::~SpanTimer() {
   span.exclusive_us = exclusive;
   span.inclusive_us = inclusive;
   trace_->spans_.push_back(std::move(span));
-  if (histogram_ != nullptr) histogram_->Observe(exclusive);
+  if (histogram_ != nullptr) {
+    if (trace_->ring_ordinal_ != TraceContext::kNoRingOrdinal) {
+      histogram_->ObserveWithExemplar(exclusive, trace_->ring_ordinal_,
+                                      trace_->pipeline_);
+    } else {
+      histogram_->Observe(exclusive);
+    }
+  }
 }
 
 TraceContext* ActiveTrace() { return g_active_trace; }
@@ -124,6 +169,17 @@ void TraceRing::Push(TraceRecord record) {
   while (records_.size() > capacity_) records_.pop_front();
 }
 
+uint64_t TraceRing::Reserve() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_++;
+}
+
+void TraceRing::PushReserved(TraceRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
 TraceRing::Snapshot TraceRing::TakeSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
@@ -135,6 +191,27 @@ TraceRing::Snapshot TraceRing::TakeSnapshot() const {
 uint64_t TraceRing::total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_;
+}
+
+void ObserveE2eStage(MetricsRegistry* metrics, const std::string& stage,
+                     const std::string& label_key,
+                     const std::string& label_value, uint64_t latency_us,
+                     const TraceContext* trace) {
+  if (metrics == nullptr) return;
+  MetricHistogram* hist = metrics->GetHistogram(
+      "geostreams_e2e_latency_us",
+      "Frame lifecycle stage latency (wall-clock microseconds between "
+      "consecutive stage anchors; stage=total is capture to delivery)",
+      {{"stage", stage}, {label_key, label_value}},
+      MetricHistogram::LatencyBucketsUs());
+  if (hist == nullptr) return;
+  if (trace != nullptr &&
+      trace->ring_ordinal() != TraceContext::kNoRingOrdinal) {
+    hist->ObserveWithExemplar(latency_us, trace->ring_ordinal(),
+                              trace->pipeline());
+  } else {
+    hist->Observe(latency_us);
+  }
 }
 
 }  // namespace geostreams

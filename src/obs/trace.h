@@ -29,6 +29,7 @@
 namespace geostreams {
 
 class MetricHistogram;
+class MetricsRegistry;
 
 /// Monotonic (steady-clock) microseconds. The zero point is arbitrary;
 /// only differences are meaningful.
@@ -59,12 +60,20 @@ struct TraceRecord {
   /// this process; the wall anchor lets `TRACE <id>` output be
   /// correlated with external logs.
   uint64_t born_wall_us = 0;
+  /// Frame-lifecycle wall anchors (Unix epoch microseconds; 0 =
+  /// unknown): producer capture, ingest admission, journal-durable.
+  /// Stamped by the ingest session onto the event, copied onto the
+  /// trace at birth.
+  uint64_t capture_wall_us = 0;
+  uint64_t admit_wall_us = 0;
+  uint64_t durable_wall_us = 0;
   std::vector<TraceSpan> spans;  // delivery order (outermost first)
 
   /// One line: `TR <ordinal> trace=<id> pipeline=<p> origin=<o>
   /// wall_us=<epoch-us> queue_us=<n> total_us=<n>
+  /// [capture_us=<epoch-us> admit_us=<epoch-us> durable_us=<epoch-us>]
   /// <span>=<excl>/<incl>...` (span times in microseconds,
-  /// exclusive/inclusive).
+  /// exclusive/inclusive; anchors rendered only when stamped).
   std::string ToString() const;
 };
 
@@ -73,6 +82,9 @@ struct TraceRecord {
 /// before crossing a queue).
 class TraceContext {
  public:
+  /// ring_ordinal() when no ring slot was reserved for this trace.
+  static constexpr uint64_t kNoRingOrdinal = ~0ull;
+
   TraceContext(uint64_t trace_id, std::string origin);
 
   uint64_t trace_id() const { return trace_id_; }
@@ -80,8 +92,10 @@ class TraceContext {
   const std::string& pipeline() const { return pipeline_; }
 
   /// A fresh context for one fan-out pipeline: same id/origin/birth
-  /// stamp, no spans. Called by the scheduler before enqueue so
-  /// concurrent pipelines never share mutable trace state.
+  /// stamp and ingest anchors, no spans and no ring ordinal (each
+  /// fork lands in its own pipeline's ring). Called by the scheduler
+  /// before enqueue so concurrent pipelines never share mutable trace
+  /// state.
   std::shared_ptr<TraceContext> Fork(std::string pipeline) const;
 
   /// Queue boundary stamps. MarkDequeued returns the queue wait in
@@ -89,6 +103,28 @@ class TraceContext {
   void MarkEnqueued() { enqueued_us_ = TraceNowUs(); }
   uint64_t MarkDequeued();
   uint64_t queue_wait_us() const { return queue_wait_us_; }
+
+  /// Copies the frame-lifecycle wall anchors stamped on the ingest
+  /// event onto the trace and starts the stage chain at the last
+  /// nonzero anchor (durable, else admit, else capture).
+  void SetIngestAnchors(uint64_t capture_wall_us, uint64_t admit_wall_us,
+                        uint64_t durable_wall_us);
+  uint64_t capture_wall_us() const { return capture_wall_us_; }
+  uint64_t admit_wall_us() const { return admit_wall_us_; }
+  uint64_t durable_wall_us() const { return durable_wall_us_; }
+
+  /// Advances the stage chain to `now_wall_us` and returns the
+  /// elapsed microseconds since the previous anchor (0 when no prior
+  /// anchor was set or the clock stepped backwards). Consecutive
+  /// calls therefore segment the frame's wall timeline into disjoint
+  /// stage latencies that sum to end-to-end.
+  uint64_t AdvanceStage(uint64_t now_wall_us);
+  uint64_t last_anchor_wall_us() const { return last_anchor_wall_us_; }
+
+  /// TraceRing slot reserved for this trace (exemplar linkage), or
+  /// kNoRingOrdinal.
+  void set_ring_ordinal(uint64_t ordinal) { ring_ordinal_ = ordinal; }
+  uint64_t ring_ordinal() const { return ring_ordinal_; }
 
   /// Snapshot for the ring. total_us covers birth -> now.
   TraceRecord Finish() const;
@@ -103,6 +139,11 @@ class TraceContext {
   uint64_t born_wall_us_;  // wall-clock anchor, stamped with born_us_
   uint64_t enqueued_us_ = 0;
   uint64_t queue_wait_us_ = 0;
+  uint64_t capture_wall_us_ = 0;
+  uint64_t admit_wall_us_ = 0;
+  uint64_t durable_wall_us_ = 0;
+  uint64_t last_anchor_wall_us_ = 0;
+  uint64_t ring_ordinal_ = kNoRingOrdinal;
   /// Inclusive time of already-finished child spans at the current
   /// nesting level; SpanTimer saves/zeroes/restores it around each
   /// span to compute exclusive time.
@@ -160,8 +201,17 @@ class TraceRing {
 
   void Push(TraceRecord record);
 
+  /// Reserves the next ordinal without pushing a record, so the
+  /// ordinal can be attached to exemplars *while* the trace is still
+  /// in flight; the finished record lands via PushReserved. A
+  /// reserved ordinal that is never pushed (the event was shed after
+  /// reservation) leaves a gap — total() counts reservations.
+  uint64_t Reserve();
+  /// Pushes a record whose ordinal was pre-assigned by Reserve().
+  void PushReserved(TraceRecord record);
+
   struct Snapshot {
-    uint64_t total = 0;                // pushed since creation
+    uint64_t total = 0;                // ordinals assigned since creation
     std::vector<TraceRecord> records;  // oldest kept first
   };
   Snapshot TakeSnapshot() const;
@@ -175,6 +225,18 @@ class TraceRing {
   uint64_t total_ = 0;
   std::deque<TraceRecord> records_;
 };
+
+/// Records one frame-lifecycle stage segment into the shared
+/// `geostreams_e2e_latency_us{stage=...}` family — the end-to-end
+/// latency plane. `label_key`/`label_value` scope the series (source
+/// name for ingest-side stages, query/pipeline for delivery-side).
+/// When `trace` carries a reserved ring ordinal the observation is
+/// exemplar-linked, closing the metrics -> TRACE loop. Null registry
+/// is a no-op.
+void ObserveE2eStage(MetricsRegistry* metrics, const std::string& stage,
+                     const std::string& label_key,
+                     const std::string& label_value, uint64_t latency_us,
+                     const TraceContext* trace);
 
 }  // namespace geostreams
 

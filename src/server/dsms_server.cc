@@ -115,6 +115,16 @@ struct DsmsServer::SourceState : public EventSink {
   /// source's events are refused at the guard until RestartSource.
   bool quarantined = false;
   Status quarantine_error = Status::OK();
+  /// Wall clock (epoch us) of the newest delivered FrameEnd (its
+  /// capture anchor when stamped, else admission, else delivery).
+  /// Atomic: read by the scrape-time freshness collector while
+  /// producers keep ingesting.
+  std::atomic<uint64_t> last_frame_fresh_wall_us{0};
+  /// Scrape-time freshness gauge and the per-source total-latency
+  /// histogram (shared with the ingest session and the delivery
+  /// plane), resolved once at stream registration.
+  Gauge* freshness_gauge = nullptr;
+  MetricHistogram* e2e_total = nullptr;
 
   Status Consume(const StreamEvent& event) override {
     if (store_sink) {
@@ -200,12 +210,34 @@ class DsmsServer::GuardedIngestSink : public EventSink {
       return Status::OK();  // shed at the boundary; downlink continues
     }
     const size_t sample_every = server_->options_.trace_sample_every;
-    if (sample_every > 0 && event.kind == EventKind::kPointBatch) {
-      const uint64_t tick =
-          source_->trace_ticks.fetch_add(1, std::memory_order_relaxed);
-      if (tick % sample_every == 0) return ConsumeTraced(event);
+    bool traced = false;
+    if (sample_every > 0) {
+      if (event.kind == EventKind::kPointBatch) {
+        const uint64_t tick =
+            source_->trace_ticks.fetch_add(1, std::memory_order_relaxed);
+        traced = tick % sample_every == 0;
+      } else if (event.kind == EventKind::kFrameEnd &&
+                 (event.anchors.capture_wall_us != 0 ||
+                  event.anchors.admit_wall_us != 0)) {
+        // The latency plane is per-frame: every anchored FrameEnd
+        // (one arriving through the ingest session, which stamps
+        // admission) is traced so its stage segments land in the
+        // `geostreams_e2e_latency_us` histograms. In-process events
+        // carry no anchors and keep the pre-existing behavior.
+        traced = true;
+      }
     }
-    return source_->Consume(event);
+    const Status st =
+        traced ? ConsumeTraced(event) : source_->Consume(event);
+    if (st.ok() && event.kind == EventKind::kFrameEnd) {
+      const uint64_t stamp =
+          event.anchors.capture_wall_us != 0 ? event.anchors.capture_wall_us
+          : event.anchors.admit_wall_us != 0 ? event.anchors.admit_wall_us
+                                             : TraceWallNowUs();
+      source_->last_frame_fresh_wall_us.store(stamp,
+                                              std::memory_order_relaxed);
+    }
+    return st;
   }
 
  private:
@@ -221,11 +253,38 @@ class DsmsServer::GuardedIngestSink : public EventSink {
     traced.trace = std::make_shared<TraceContext>(
         server_->next_trace_id_.fetch_add(1, std::memory_order_relaxed),
         source_->desc.name());
+    traced.trace->SetIngestAnchors(event.anchors.capture_wall_us,
+                                   event.anchors.admit_wall_us,
+                                   event.anchors.durable_wall_us);
     if (server_->scheduler_) return source_->Consume(traced);
-    ScopedTraceActivation activate(traced.trace.get());
+    TraceContext* trace = traced.trace.get();
+    if (server_->inline_traces_) {
+      // Reserve the ring slot up front so exemplar observations made
+      // during this delivery carry the ordinal TRACE answers to.
+      trace->set_ring_ordinal(server_->inline_traces_->Reserve());
+    }
+    if (event.kind == EventKind::kFrameEnd &&
+        trace->last_anchor_wall_us() != 0) {
+      // Ingest-side stages come straight from the anchors; without a
+      // worker pool there is no queue stage, so the chain continues
+      // from the seeded anchor into the delivery callback's
+      // `operators` segment.
+      const uint64_t capture = trace->capture_wall_us();
+      const uint64_t admit = trace->admit_wall_us();
+      const uint64_t durable = trace->durable_wall_us();
+      if (capture != 0 && admit > capture) {
+        ObserveE2eStage(&server_->metrics_registry_, "send", "source",
+                        source_->desc.name(), admit - capture, trace);
+      }
+      if (admit != 0 && durable > admit) {
+        ObserveE2eStage(&server_->metrics_registry_, "journal", "source",
+                        source_->desc.name(), durable - admit, trace);
+      }
+    }
+    ScopedTraceActivation activate(trace);
     Status st = source_->Consume(traced);
     if (st.ok() && server_->inline_traces_) {
-      server_->inline_traces_->Push(traced.trace->Finish());
+      server_->inline_traces_->PushReserved(trace->Finish());
     }
     return st;
   }
@@ -290,6 +349,8 @@ struct DsmsServer::QueryState {
 };
 
 DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
+  event_log_ = std::make_unique<EventLog>(options_.event_log_capacity);
+  event_log_->Append(EventSeverity::kInfo, "server", "start", "");
   inline_traces_ = std::make_unique<TraceRing>(options_.trace_ring_capacity);
   if (!options_.journal_dir.empty() || !options_.store_dir.empty()) {
     // One governor watches the whole storage plane: both subsystems
@@ -306,6 +367,7 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
                                : options_.store.file_factory;
     }
     gopts.metrics = &metrics_registry_;
+    gopts.event_log = event_log_.get();
     governor_ = std::make_unique<StorageGovernor>(std::move(gopts));
     if (options_.journal_budget.max_bytes > 0 ||
         options_.journal_budget.max_age_ms > 0) {
@@ -346,6 +408,7 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
     sopts.dir = options_.store_dir;
     sopts.metrics = &metrics_registry_;
     sopts.governor = governor_.get();
+    sopts.event_log = event_log_.get();
     const bool retention_configured =
         sopts.retention_max_bytes > 0 || sopts.retention_max_frames > 0 ||
         sopts.retention_max_age_ms > 0 ||
@@ -394,6 +457,7 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
     sched.memory = &memory_;
     sched.metrics = &metrics_registry_;
     sched.trace_ring_capacity = options_.trace_ring_capacity;
+    sched.event_log = event_log_.get();
     scheduler_ = std::make_unique<QueryScheduler>(sched);
     Status st = scheduler_->Start();
     if (!st.ok()) {
@@ -407,6 +471,21 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
     }
   }
   RegisterCollectors();
+}
+
+void DsmsServer::RegisterSourceObservables(SourceState* source) {
+  const std::string& name = source->desc.name();
+  source->freshness_gauge = metrics_registry_.GetGauge(
+      "geostreams_source_freshness_us",
+      "Age of the newest delivered frame per source (now minus its "
+      "capture — or, unstamped, delivery — wall clock)",
+      {{"source", name}});
+  source->e2e_total = metrics_registry_.GetHistogram(
+      "geostreams_e2e_latency_us",
+      "Frame lifecycle stage latency (wall-clock microseconds between "
+      "consecutive stage anchors; stage=total is capture to delivery)",
+      {{"stage", "total"}, {"source", name}},
+      MetricHistogram::LatencyBucketsUs());
 }
 
 void DsmsServer::RegisterCollectors() {
@@ -469,6 +548,14 @@ void DsmsServer::RegisterCollectors() {
     {
       std::shared_lock<std::shared_mutex> lock(state_mu_);
       n_queries = queries_.size();
+      const uint64_t now = TraceWallNowUs();
+      for (const auto& [name, source] : sources_) {
+        if (source->freshness_gauge == nullptr) continue;
+        const uint64_t stamp =
+            source->last_frame_fresh_wall_us.load(std::memory_order_relaxed);
+        source->freshness_gauge->Set(
+            stamp != 0 && now > stamp ? now - stamp : 0);
+      }
       if (scheduler_) {
         for (const auto& [id, query] : queries_) {
           if (query->sched_pipeline == SIZE_MAX) continue;
@@ -506,6 +593,7 @@ Status DsmsServer::RegisterStream(const GeoStreamDescriptor& desc) {
         options_.index_kind, desc.reference_lattice().Extent()));
   }
   source->guard = std::make_unique<GuardedIngestSink>(this, source.get());
+  RegisterSourceObservables(source.get());
   if (store_ != nullptr) {
     source->store_sink =
         std::make_unique<StoreIngestSink>(store_.get(), desc.name());
@@ -649,7 +737,17 @@ Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
                    [](const ReplayItem& a, const ReplayItem& b) {
                      return a.frame_id < b.frame_id;
                    });
+  // Catch-up lag gauge: stored frames still to replay before this
+  // query goes live. Scraped mid-replay it shows the backlog
+  // draining; pinned to 0 at cut-over.
+  Gauge* lag = metrics_registry_.GetGauge(
+      "geostreams_catchup_lag_frames",
+      "Stored frames still to replay before a SINCE query cuts over "
+      "to the live stream",
+      {{"query", StringPrintf("%lld", static_cast<long long>(id))}});
+  lag->Set(items.size());
   size_t since_flush = 0;
+  size_t replayed_count = 0;
   for (const ReplayItem& item : items) {
     const QueryState::PendingWire& wire = wires[item.wire];
     Status st = store_->ScanFrame(wire.source, item.frame_id,
@@ -657,6 +755,7 @@ Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
     if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
     replayed_to[item.wire] = item.frame_id;
     if (m_catchup_frames_) m_catchup_frames_->Increment();
+    lag->Set(items.size() - ++replayed_count);
     if (++since_flush >= 64) {
       since_flush = 0;
       GEOSTREAMS_RETURN_IF_ERROR(Flush());
@@ -735,8 +834,17 @@ Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
   }
   query->pending_wires.clear();
   query->catching_up = false;
+  lag->Set(0);
   GEOSTREAMS_LOG(kInfo) << "query " << id << " caught up: " << items.size()
                         << " stored frames replayed, live at the watermark";
+  // Cut-over wall anchor: the moment the gates went live. Later live
+  // frames' e2e latencies are comparable against external logs from
+  // this instant on.
+  event_log_->Append(
+      EventSeverity::kInfo, "server", "catchup-cutover",
+      StringPrintf("query=%lld replayed=%zu wall_us=%llu",
+                   static_cast<long long>(id), items.size(),
+                   static_cast<unsigned long long>(TraceWallNowUs())));
   return Status::OK();
   }();
   if (!replayed.ok()) {
@@ -806,6 +914,7 @@ Result<QueryId> DsmsServer::RegisterInternal(
           options_.index_kind, view_desc.reference_lattice().Extent()));
     }
     source->guard = std::make_unique<GuardedIngestSink>(this, source.get());
+    RegisterSourceObservables(source.get());
     if (store_ != nullptr) {
       // Derived streams (continuous views) are history too: late
       // subscribers to e.g. a shared NDVI view catch up the same way.
@@ -1219,9 +1328,24 @@ std::string DsmsServer::SummaryLine() const {
   ScheduledQueueStats total;
   if (scheduler_) total = scheduler_->AggregateStats();
   size_t n_queries = 0;
+  uint64_t worst_freshness_us = 0;  // max frame age across live sources
+  uint64_t worst_e2e_p95_us = 0;    // max per-source total-latency p95
   {
     std::shared_lock<std::shared_mutex> lock(state_mu_);
     n_queries = queries_.size();
+    const uint64_t now = TraceWallNowUs();
+    for (const auto& [name, source] : sources_) {
+      const uint64_t stamp =
+          source->last_frame_fresh_wall_us.load(std::memory_order_relaxed);
+      if (stamp != 0 && now > stamp) {
+        worst_freshness_us = std::max(worst_freshness_us, now - stamp);
+      }
+      if (source->e2e_total != nullptr && source->e2e_total->Count() > 0) {
+        worst_e2e_p95_us =
+            std::max(worst_e2e_p95_us,
+                     static_cast<uint64_t>(source->e2e_total->Percentile(95)));
+      }
+    }
   }
   std::string line = StringPrintf(
       "queries=%zu enqueued=%llu processed=%llu queued=%llu shed=%llu "
@@ -1239,6 +1363,9 @@ std::string DsmsServer::SummaryLine() const {
       static_cast<unsigned long long>(IngestChecksumFailures()),
       static_cast<unsigned long long>(
           total.traces + (inline_traces_ ? inline_traces_->total() : 0)));
+  line += StringPrintf(" freshness_us=%llu e2e_p95_us=%llu",
+                       static_cast<unsigned long long>(worst_freshness_us),
+                       static_cast<unsigned long long>(worst_e2e_p95_us));
   if (governor_ != nullptr) {
     line += StringPrintf(" storage=%s",
                          governor_->degraded() ? "DEGRADED" : "OK");

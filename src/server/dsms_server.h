@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "mqo/shared_restriction.h"
+#include "obs/event_log.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "ops/delivery_op.h"
@@ -123,6 +124,11 @@ struct DsmsOptions {
   /// enforces them; Admit() keeps refusing only on real disk pressure.
   SubsystemBudget journal_budget;
   SubsystemBudget store_budget;
+  /// Flight-recorder ring capacity: the most recent structured
+  /// operational events (degradations, quarantines, restarts, NACK
+  /// bursts, retention prunes, slow-consumer disconnects) kept for
+  /// the EVENTS control verb and GET /eventz.
+  size_t event_log_capacity = 256;
 };
 
 /// Catch-up parameters for RegisterQuery's hybrid stream/stored path.
@@ -213,6 +219,14 @@ class DsmsServer {
   std::string RenderMetrics() { return metrics_registry_.RenderPrometheus(); }
   /// One-line operational summary (regional_server --metrics-interval).
   std::string SummaryLine() const;
+
+  /// The server-wide flight recorder. Subsystems (governor, scheduler,
+  /// ingest sessions, tile store, net plane) append structured events
+  /// here; the EVENTS verb and GET /eventz dump it. Valid for the
+  /// server's lifetime.
+  EventLog* event_log() { return event_log_.get(); }
+  /// Snapshot of the flight-recorder ring (oldest kept first).
+  EventLog::Snapshot Events() const { return event_log_->TakeSnapshot(); }
 
   /// The durable ingest journal; null when DsmsOptions::journal_dir is
   /// empty or the journal failed to open (logged — the server then
@@ -314,12 +328,21 @@ class DsmsServer {
   /// once from the constructor.
   void RegisterCollectors();
 
+  /// Resolves a source's freshness gauge and total-latency histogram
+  /// from the registry. Called at stream registration (both real and
+  /// derived streams).
+  void RegisterSourceObservables(SourceState* source);
+
   DsmsOptions options_;
   StreamCatalog catalog_;
   MemoryTracker memory_;
   /// Declared before scheduler_ so the histograms the scheduler holds
   /// pointers into outlive the worker pool.
   MetricsRegistry metrics_registry_;
+  /// Flight recorder. Declared right after the registry and before
+  /// every subsystem that appends into it (governor, journal, store,
+  /// scheduler, sources) so it outlives them all.
+  std::unique_ptr<EventLog> event_log_;
   /// Disk-pressure governor for the storage plane. Declared before
   /// journal_ and store_ (both hold raw pointers into it, so it must
   /// outlive them) and after the registry (its gauges point there).

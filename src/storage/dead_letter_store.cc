@@ -61,8 +61,11 @@ uint64_t GetU64(const uint8_t* p) {
 
 std::vector<uint8_t> EncodeLetter(const std::string& source,
                                   const DeadLetter& letter) {
-  const std::vector<uint8_t> msg =
-      EncodeIngestMessage({source, letter.ordinal, letter.event});
+  IngestMessage message;
+  message.source = source;
+  message.seq = letter.ordinal;
+  message.event = letter.event;
+  const std::vector<uint8_t> msg = EncodeIngestMessage(message);
   std::vector<uint8_t> payload;
   payload.reserve(16 + letter.error.size() + 4 + msg.size());
   PutU64(&payload, letter.ordinal);

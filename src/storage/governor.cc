@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/event_log.h"
 
 namespace geostreams {
 
@@ -184,6 +185,10 @@ void StorageGovernor::EnterDegradedLocked(const std::string& why) {
     GEOSTREAMS_LOG(kError) << "storage plane DEGRADED: " << why
                            << " (writes refused; reads keep serving; "
                               "write probe will self-heal)";
+    if (options_.event_log != nullptr) {
+      options_.event_log->Append(EventSeverity::kError, "governor",
+                                 "degraded", why);
+    }
   }
   stats_.last_error = why;
 }
@@ -196,6 +201,10 @@ void StorageGovernor::ExitDegradedLocked() {
     if (m_healed_ != nullptr) m_healed_->Increment();
     GEOSTREAMS_LOG(kInfo)
         << "storage plane healthy again (write probe succeeded)";
+    if (options_.event_log != nullptr) {
+      options_.event_log->Append(EventSeverity::kInfo, "governor", "healed",
+                                 "write probe succeeded");
+    }
   }
 }
 

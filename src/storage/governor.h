@@ -50,6 +50,8 @@
 
 namespace geostreams {
 
+class EventLog;
+
 struct StorageGovernorOptions {
   /// Directory the write probe uses (usually the journal/store root).
   /// Empty = probes always succeed (state machine still runs on
@@ -71,6 +73,9 @@ struct StorageGovernorOptions {
   std::function<uint64_t()> now_ms;
   /// Optional registry for geostreams_storage_* series. Not owned.
   MetricsRegistry* metrics = nullptr;
+  /// Optional flight recorder (not owned): degraded/heal transitions
+  /// are recorded as structured events.
+  EventLog* event_log = nullptr;
 };
 
 /// Byte/age budget for one subsystem; retention in the owning

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "geo/crs_registry.h"
+#include "obs/event_log.h"
 #include "raster/checksum.h"
 #include "storage/governor.h"
 
@@ -1409,6 +1410,9 @@ Status TileStore::ApplyRetentionSource(SourceStore* src) {
   const uint64_t now = NowMs();
   Status first = Status::OK();
   uint64_t reclaimed_total = 0;
+  uint64_t pruned_this_pass = 0;
+  uint64_t segments_deleted_this_pass = 0;
+  uint64_t segments_rewritten_this_pass = 0;
 
   std::lock_guard<std::mutex> lock(src->mu);
 
@@ -1438,6 +1442,7 @@ Status TileStore::ApplyRetentionSource(SourceStore* src) {
     projected -= std::min(projected, f.run_bytes);
     src->pruned_upto = std::max(src->pruned_upto, f.frame_id);
     ++src->stats.frames_pruned;
+    ++pruned_this_pass;
     if (m_frames_pruned_) m_frames_pruned_->Increment();
     src->frames.erase(oldest);
   }
@@ -1455,6 +1460,7 @@ Status TileStore::ApplyRetentionSource(SourceStore* src) {
       if (freed > 0) {
         reclaimed_total += freed;
         ++src->stats.segments_deleted;
+        ++segments_deleted_this_pass;
         if (m_segments_deleted_) m_segments_deleted_->Increment();
       }
       continue;
@@ -1468,6 +1474,7 @@ Status TileStore::ApplyRetentionSource(SourceStore* src) {
         uint64_t reclaimed = 0;
         Status st = RewriteSegmentLocked(src, i, &reclaimed);
         reclaimed_total += reclaimed;
+        if (reclaimed > 0) ++segments_rewritten_this_pass;
         if (!st.ok() && first.ok()) first = st;
       }
     }
@@ -1481,6 +1488,23 @@ Status TileStore::ApplyRetentionSource(SourceStore* src) {
     if (gov != nullptr) {
       gov->AddUsage("store", -static_cast<int64_t>(reclaimed_total));
     }
+  }
+  if (options_.event_log != nullptr &&
+      (pruned_this_pass > 0 || segments_deleted_this_pass > 0 ||
+       segments_rewritten_this_pass > 0)) {
+    // One event per source per pass, never per frame: a steady prune
+    // cadence cannot evict more interesting ring entries.
+    options_.event_log->Append(
+        EventSeverity::kInfo, "store", "retention",
+        StringPrintf("source=%s pruned=%llu segments_deleted=%llu "
+                     "segments_rewritten=%llu reclaimed_bytes=%llu",
+                     src->name.c_str(),
+                     static_cast<unsigned long long>(pruned_this_pass),
+                     static_cast<unsigned long long>(
+                         segments_deleted_this_pass),
+                     static_cast<unsigned long long>(
+                         segments_rewritten_this_pass),
+                     static_cast<unsigned long long>(reclaimed_total)));
   }
   return first;
 }

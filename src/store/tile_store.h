@@ -94,6 +94,7 @@
 
 namespace geostreams {
 
+class EventLog;
 class StorageGovernor;
 
 struct TileStoreOptions {
@@ -117,6 +118,10 @@ struct TileStoreOptions {
   WritableFileFactory file_factory;
   /// Optional registry for geostreams_store_* series. Not owned.
   MetricsRegistry* metrics = nullptr;
+  /// Optional flight recorder (not owned): retention passes that
+  /// pruned frames or reclaimed segments are recorded as structured
+  /// events (one per source per pass, never per frame).
+  EventLog* event_log = nullptr;
   /// Retention budgets, applied per source by the background pass (or
   /// RunRetentionNow()); 0 = unlimited. The oldest committed frames
   /// are pruned while the source holds more than `retention_max_bytes`

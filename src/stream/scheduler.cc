@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/event_log.h"
 #include "obs/metrics_registry.h"
 
 namespace geostreams {
@@ -300,6 +302,12 @@ void QueryScheduler::QuarantineLocked(Queue& queue, const Status& status) {
   queue.retry_pending = false;
   GEOSTREAMS_LOG(kError) << "pipeline '" << queue.name
                          << "' quarantined: " << status.ToString();
+  if (options_.event_log != nullptr) {
+    options_.event_log->Append(
+        EventSeverity::kError, "scheduler", "quarantine",
+        StringPrintf("pipeline=%s %s", queue.name.c_str(),
+                     status.ToString().c_str()));
+  }
 }
 
 void QueryScheduler::HandleFailureLocked(std::unique_lock<std::mutex>& lock,
@@ -391,6 +399,38 @@ void QueryScheduler::WorkerLoop() {
     } else {
       uint64_t wait_us = trace->MarkDequeued();
       if (queue_wait_hist_ != nullptr) queue_wait_hist_->Observe(wait_us);
+      // Reserve the ring slot before the chain runs so exemplar
+      // observations made during delivery (operator spans, e2e
+      // stages) can carry the ordinal `TRACE` will answer to. The
+      // claim invariant keeps per-pipeline reservations ordered.
+      if (queue.traces && trace->ring_ordinal() == TraceContext::kNoRingOrdinal) {
+        trace->set_ring_ordinal(queue.traces->Reserve());
+      }
+      // Frame-lifecycle stages up to the claim: `send` and `journal`
+      // come straight from the ingest anchors (observed once — a
+      // retried event's stage chain has already advanced past the
+      // seeded anchor); `queue` closes at the claim itself. Only
+      // FrameEnd events are staged so per-stage sums partition the
+      // frame's end-to-end latency.
+      if (item.event.kind == EventKind::kFrameEnd &&
+          trace->last_anchor_wall_us() != 0 && options_.metrics != nullptr) {
+        const uint64_t capture = trace->capture_wall_us();
+        const uint64_t admit = trace->admit_wall_us();
+        const uint64_t durable = trace->durable_wall_us();
+        const uint64_t seeded = durable ? durable : (admit ? admit : capture);
+        if (trace->last_anchor_wall_us() == seeded) {
+          if (capture != 0 && admit > capture) {
+            ObserveE2eStage(options_.metrics, "send", "source",
+                            trace->origin(), admit - capture, trace);
+          }
+          if (admit != 0 && durable > admit) {
+            ObserveE2eStage(options_.metrics, "journal", "source",
+                            trace->origin(), durable - admit, trace);
+          }
+        }
+        ObserveE2eStage(options_.metrics, "queue", "query", queue.name,
+                        trace->AdvanceStage(TraceWallNowUs()), trace);
+      }
       // Activate for the chain: operators emit fresh events, so they
       // read the trace from the thread-local, not the event.
       ScopedTraceActivation activate(trace);
@@ -399,8 +439,13 @@ void QueryScheduler::WorkerLoop() {
     if (st.ok() && trace != nullptr && queue.traces) {
       // Claim still held, so `queue` cannot be removed under us; the
       // ring is internally synchronized. Failed deliveries are not
-      // recorded — a retry would append a second set of spans.
-      queue.traces->Push(trace->Finish());
+      // recorded — a retry would append a second set of spans (the
+      // reserved ordinal then stays a gap in the ring).
+      if (trace->ring_ordinal() != TraceContext::kNoRingOrdinal) {
+        queue.traces->PushReserved(trace->Finish());
+      } else {
+        queue.traces->Push(trace->Finish());
+      }
     }
     lock.lock();
     if (st.ok()) {
@@ -464,6 +509,10 @@ Status QueryScheduler::RestartPipeline(size_t pipeline) {
   }
   GEOSTREAMS_LOG(kInfo) << "pipeline '" << queue.name
                         << "' restarted (un-quarantined)";
+  if (options_.event_log != nullptr) {
+    options_.event_log->Append(EventSeverity::kInfo, "scheduler", "restart",
+                               StringPrintf("pipeline=%s", queue.name.c_str()));
+  }
   if (!queue.events.empty()) work_available_.notify_one();
   return Status::OK();
 }

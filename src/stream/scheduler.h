@@ -47,6 +47,7 @@
 
 namespace geostreams {
 
+class EventLog;
 class MetricsRegistry;
 
 enum class SchedulingPolicy : uint8_t {
@@ -87,6 +88,9 @@ struct SchedulerOptions {
   MetricsRegistry* metrics = nullptr;
   /// Finished traces retained per pipeline (TRACE admin command).
   size_t trace_ring_capacity = 32;
+  /// Optional flight recorder (not owned): quarantines and admin
+  /// restarts are recorded as structured events.
+  EventLog* event_log = nullptr;
 };
 
 /// Statistics for one scheduled pipeline. `enqueued` counts events

@@ -1382,5 +1382,186 @@ TEST(ProducerE2eTest, FullWindowWithDeadServerIsResourceExhausted) {
   CloseFd(*listener);
 }
 
+// ---------------------------------------------------------------------------
+// Latency plane
+
+/// Reads `n` payload lines after a multi-line OK header, skipping any
+/// result frames interleaved on the shared connection.
+std::vector<std::string> ReadPayloadLines(GeoStreamsClient& client,
+                                          size_t n) {
+  std::vector<std::string> lines;
+  while (lines.size() < n) {
+    auto unit = client.ReadNext();
+    if (!unit.ok()) {
+      ADD_FAILURE() << "line " << lines.size() << ": "
+                    << unit.status().ToString();
+      break;
+    }
+    if (!unit->line.has_value()) continue;
+    lines.push_back(*unit->line);
+  }
+  return lines;
+}
+
+/// `kept=<n>` from a multi-line OK header, or 0.
+size_t ParseKept(const std::string& header) {
+  const size_t at = header.find("kept=");
+  return at == std::string::npos ? 0 : std::stoull(header.substr(at + 5));
+}
+
+/// Value of the first sample matching
+/// `geostreams_e2e_latency_us_<suffix>{stage="<stage>"...}`, or -1.
+long long StageSeriesValue(const std::string& metrics,
+                           const std::string& suffix,
+                           const std::string& stage) {
+  const std::string prefix =
+      "geostreams_e2e_latency_us_" + suffix + "{stage=\"" + stage + "\"";
+  for (size_t at = metrics.find(prefix); at != std::string::npos;
+       at = metrics.find(prefix, at + 1)) {
+    const size_t close = metrics.find("} ", at);
+    const size_t eol = metrics.find('\n', at);
+    if (close == std::string::npos || eol == std::string::npos ||
+        close > eol) {
+      continue;
+    }
+    return std::stoll(metrics.substr(close + 2));
+  }
+  return -1;
+}
+
+TEST(LatencyPlaneE2eTest, StageHistogramsPartitionEndToEndLatency) {
+  std::string journal_dir = ::testing::TempDir() + "gslatency-" +
+                            std::to_string(::getpid());
+  std::filesystem::remove_all(journal_dir);
+
+  DsmsOptions options;
+  options.workers = 1;
+  options.trace_sample_every = 1;
+  options.journal_dir = journal_dir;  // enables the `journal` stage
+  IngestFixture fixture({}, options);
+
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
+  auto response = client.Command("QUERY sat.band1");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(StartsWith(*response, "OK QUERY "));
+
+  // The producer stamps capture time by default, so every lifecycle
+  // stage from `send` onward has real anchors.
+  ProducerClient producer(fixture.ProducerOptions("sat.band1"));
+  GS_ASSERT_OK(producer.Connect());
+  const GridLattice lattice = LatLonLattice(16, 12);
+  for (int64_t frame = 0; frame < 3; ++frame) {
+    GS_ASSERT_OK(testing_util::PushFrame(&producer, lattice, frame));
+  }
+  GS_ASSERT_OK(producer.Flush(10000));
+  for (int64_t frame = 0; frame < 3; ++frame) {
+    auto got = client.ReadFrame(10000);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+  }
+
+  // Every stage of the frame lifecycle exported a non-empty
+  // histogram. The `write` stage is observed on the writer thread
+  // after the socket write, so give it a moment to land.
+  const char* kStages[] = {"send",    "journal", "queue", "operators",
+                           "deliver", "write",   "total"};
+  std::string metrics;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    metrics = fixture.server().RenderMetrics();
+    if (StageSeriesValue(metrics, "count", "write") >= 3) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (const char* stage : kStages) {
+    // >= 1, not == 3: a stage whose boundary anchors land in the same
+    // microsecond is skipped for that frame (a zero-length segment).
+    EXPECT_GE(StageSeriesValue(metrics, "count", stage), 1)
+        << "stage " << stage << " missing or empty:\n"
+        << metrics;
+  }
+
+  // The stage segments are disjoint slices of the frame's wall
+  // timeline: their sums reassemble the end-to-end total. (`write`
+  // overlaps `deliver`/`total` by design and is excluded.)
+  long long partition = 0;
+  for (const char* stage : {"send", "journal", "queue", "operators",
+                            "deliver"}) {
+    const long long sum = StageSeriesValue(metrics, "sum", stage);
+    ASSERT_GE(sum, 0) << stage;
+    partition += sum;
+  }
+  const long long total = StageSeriesValue(metrics, "sum", "total");
+  ASSERT_GT(total, 0);
+  // Anchors are stamped a few instructions apart from the stage
+  // boundaries they model, so allow scheduling slop on top of a
+  // relative tolerance.
+  const long long slop =
+      std::max<long long>(total / 10, 15000);
+  EXPECT_NEAR(static_cast<double>(partition), static_cast<double>(total),
+              static_cast<double>(slop))
+      << metrics;
+
+  // A bucket exemplar on the per-source `total` series resolves to a
+  // retrievable TRACE record: metrics point at the exact frame.
+  const std::string bucket_prefix =
+      "geostreams_e2e_latency_us_bucket{stage=\"total\"";
+  uint64_t exemplar_ordinal = ~0ull;
+  for (size_t at = metrics.find(bucket_prefix); at != std::string::npos;
+       at = metrics.find(bucket_prefix, at + 1)) {
+    const size_t eol = metrics.find('\n', at);
+    const std::string line = metrics.substr(at, eol - at);
+    const size_t ex = line.find(" # {trace=\"");
+    if (ex == std::string::npos) continue;
+    // Keep the newest exemplar across the buckets: with
+    // trace_sample_every=1 every batch occupies a ring slot, so old
+    // frames' ordinals may already have been evicted — the newest
+    // cannot have been.
+    const uint64_t ordinal = std::stoull(line.substr(ex + 11));
+    if (exemplar_ordinal == ~0ull || ordinal > exemplar_ordinal) {
+      exemplar_ordinal = ordinal;
+    }
+  }
+  ASSERT_NE(exemplar_ordinal, ~0ull)
+      << "no exemplar on any stage=\"total\" bucket:\n"
+      << metrics;
+  const int64_t query_id =
+      std::stoll(response->substr(response->rfind(' ') + 1));
+  auto trace_header =
+      client.Command(StringPrintf("TRACE %lld", (long long)query_id));
+  ASSERT_TRUE(trace_header.ok()) << trace_header.status().ToString();
+  ASSERT_TRUE(StartsWith(*trace_header, "OK TRACE ")) << *trace_header;
+  const std::vector<std::string> trace_lines =
+      ReadPayloadLines(client, ParseKept(*trace_header));
+  const std::string want =
+      StringPrintf("TR %llu ", (unsigned long long)exemplar_ordinal);
+  bool resolved = false;
+  for (const std::string& line : trace_lines) {
+    if (StartsWith(line, want)) resolved = true;
+  }
+  EXPECT_TRUE(resolved) << "exemplar trace=" << exemplar_ordinal
+                        << " not in ring dump (" << trace_lines.size()
+                        << " records kept)";
+
+  // The flight recorder is reachable over the same control socket.
+  auto events = client.Command("EVENTS");
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_TRUE(StartsWith(*events, "OK EVENTS total=")) << *events;
+  const std::vector<std::string> event_lines =
+      ReadPayloadLines(client, ParseKept(*events));
+  ASSERT_FALSE(event_lines.empty()) << *events;
+  for (const std::string& line : event_lines) {
+    EXPECT_TRUE(StartsWith(line, "EV ")) << line;
+  }
+
+  // ISTATS surfaces the same plane as one-line operator answers.
+  auto istats = client.Command("ISTATS sat.band1");
+  ASSERT_TRUE(istats.ok()) << istats.status().ToString();
+  EXPECT_NE(istats->find("freshness_us="), std::string::npos) << *istats;
+  EXPECT_NE(istats->find("e2e_p95_us="), std::string::npos) << *istats;
+
+  client.Close();
+  producer.Close();
+  std::filesystem::remove_all(journal_dir);
+}
+
 }  // namespace
 }  // namespace geostreams

@@ -11,9 +11,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
+#include <limits>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/string_util.h"
 
@@ -23,6 +28,7 @@
 #include "net/net_server.h"
 #include "net/socket_util.h"
 #include "net/wire_protocol.h"
+#include "obs/event_log.h"
 #include "server/dsms_server.h"
 #include "server/scan_schedule.h"
 #include "server/stream_generator.h"
@@ -336,6 +342,20 @@ TEST(CommandDispatchTest, HttpRequestHandling) {
   EXPECT_TRUE(StartsWith(missing, "HTTP/1.0 404 Not Found\r\n"));
 }
 
+TEST(CommandDispatchTest, EventzEndpointDumpsFlightRecorder) {
+  DsmsServer server;  // construction records the "server start" event
+  const std::string ok = HandleHttpRequest(&server, "GET /eventz HTTP/1.0");
+  EXPECT_TRUE(StartsWith(ok, "HTTP/1.0 200 OK\r\n")) << ok;
+  EXPECT_NE(ok.find("Content-Type: text/plain"), std::string::npos) << ok;
+  const size_t body_at = ok.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = ok.substr(body_at + 4);
+  EXPECT_TRUE(StartsWith(body, "total=")) << body;
+  EXPECT_NE(body.find("kept="), std::string::npos) << body;
+  EXPECT_NE(body.find("\nEV 0 "), std::string::npos) << body;
+  EXPECT_NE(body.find("comp=server kind=start"), std::string::npos) << body;
+}
+
 // ---------------------------------------------------------------------------
 // ClientSession backpressure (raw socket pair)
 
@@ -387,6 +407,39 @@ TEST(ClientSessionTest, SlowConsumerShedsThenDisconnects) {
   // Closed session refuses everything, quietly.
   EXPECT_EQ(session.EnqueueFrame(frame).code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST(ClientSessionTest, SlowConsumerDisconnectIsFlightRecorded) {
+  SocketPair pair;
+  GS_ASSERT_OK(pair.Open());
+  EventLog log(16);
+  ClientSessionOptions options;
+  options.max_queue_events = 2;
+  options.max_consecutive_drops = 5;
+  options.send_buffer_bytes = 4096;
+  options.event_log = &log;
+  ClientSession session(pair.server_fd, 42, options);
+
+  auto frame = std::make_shared<const std::vector<uint8_t>>(
+      std::vector<uint8_t>(256 * 1024, 0xCD));
+  for (int i = 0; i < 64 && !session.closed(); ++i) {
+    Status ignored = session.EnqueueFrame(frame);
+    (void)ignored;
+  }
+  ASSERT_TRUE(session.closed());
+
+  // The operator asking "why did my client drop?" finds the answer in
+  // the flight recorder: which session, and how jammed it was.
+  const EventLog::Snapshot snap = log.TakeSnapshot();
+  ASSERT_EQ(snap.events.size(), 1u);
+  const FlightEvent& event = snap.events[0];
+  EXPECT_EQ(event.severity, EventSeverity::kError);
+  EXPECT_EQ(event.component, "net");
+  EXPECT_EQ(event.kind, "slow-consumer-disconnect");
+  EXPECT_NE(event.detail.find("session=42"), std::string::npos)
+      << event.detail;
+  EXPECT_NE(event.detail.find("consecutive_drops=5"), std::string::npos)
+      << event.detail;
 }
 
 // ---------------------------------------------------------------------------
@@ -866,6 +919,276 @@ TEST(NetServerE2eTest, HttpMetricsEndpointServesPrometheusText) {
       << body;
 }
 
+// ---------------------------------------------------------------------------
+// Metrics exposition lint
+//
+// A malformed exposition fails silently: Prometheus drops the whole
+// scrape and dashboards just go blank. This lint parses every line of
+// a real GET /metrics scrape strictly — names, label escaping, value
+// syntax, exemplar syntax, `le` ordering, bucket monotonicity, and
+// series uniqueness — so a bad renderer change fails a test here
+// instead of a scrape in production.
+
+/// One scraped HTTP body (HTTP/1.0 + Content-Length framing).
+std::string ScrapeHttpBody(uint16_t port, const std::string& path) {
+  auto fd = ConnectTcp("127.0.0.1", port, 2000);
+  if (!fd.ok()) {
+    ADD_FAILURE() << fd.status().ToString();
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  Status sent = WriteAll(*fd, reinterpret_cast<const uint8_t*>(request.data()),
+                         request.size());
+  if (!sent.ok()) {
+    ADD_FAILURE() << sent.ToString();
+    CloseFd(*fd);
+    return "";
+  }
+  std::string response;
+  size_t body_start = std::string::npos;
+  size_t content_length = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    char buf[4096];
+    const ssize_t n = ::recv(*fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+    if (body_start == std::string::npos) {
+      const size_t end = response.find("\r\n\r\n");
+      if (end == std::string::npos) continue;
+      body_start = end + 4;
+      const size_t cl = response.find("Content-Length: ");
+      if (cl == std::string::npos) break;
+      content_length = std::stoull(response.substr(cl + 16));
+    }
+    if (response.size() >= body_start + content_length) break;
+  }
+  CloseFd(*fd);
+  if (body_start == std::string::npos) {
+    ADD_FAILURE() << "no header terminator in response:\n" << response;
+    return "";
+  }
+  EXPECT_TRUE(StartsWith(response, "HTTP/1.0 200 OK\r\n")) << response;
+  return response.substr(body_start);
+}
+
+bool IsMetricNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// Parses `name{k="v",...}` starting at `*pos`; appends the canonical
+/// series key (name + labels except `le`) to `*series_key`, stores the
+/// `le` label (if any) in `*le`, advances `*pos` past the closing
+/// brace (or the bare name). Returns false on any syntax violation.
+bool ParseNameAndLabels(const std::string& line, size_t* pos,
+                        std::string* series_key, std::string* le) {
+  const size_t name_start = *pos;
+  while (*pos < line.size() &&
+         IsMetricNameChar(line[*pos], *pos == name_start)) {
+    ++(*pos);
+  }
+  if (*pos == name_start) return false;
+  series_key->append(line, name_start, *pos - name_start);
+  if (*pos >= line.size() || line[*pos] != '{') return true;
+  ++(*pos);  // consume '{'
+  series_key->push_back('{');
+  while (*pos < line.size() && line[*pos] != '}') {
+    const size_t key_start = *pos;
+    while (*pos < line.size() &&
+           IsMetricNameChar(line[*pos], *pos == key_start)) {
+      ++(*pos);
+    }
+    if (*pos == key_start) return false;
+    const std::string key = line.substr(key_start, *pos - key_start);
+    if (*pos + 1 >= line.size() || line[*pos] != '=' ||
+        line[*pos + 1] != '"') {
+      return false;
+    }
+    *pos += 2;
+    std::string value;
+    for (;; ++(*pos)) {
+      if (*pos >= line.size()) return false;  // unterminated value
+      const char c = line[*pos];
+      if (c == '"') break;
+      if (c == '\\') {
+        // Only \\, \" and \n are legal escapes in label values.
+        if (*pos + 1 >= line.size()) return false;
+        const char next = line[*pos + 1];
+        if (next != '\\' && next != '"' && next != 'n') return false;
+        value.push_back(next);
+        ++(*pos);
+        continue;
+      }
+      value.push_back(c);
+    }
+    ++(*pos);  // consume closing '"'
+    if (key == "le" && le != nullptr) {
+      *le = value;
+    } else {
+      series_key->append(key);
+      series_key->append("=\"");
+      series_key->append(value);
+      series_key->append("\",");
+    }
+    if (*pos < line.size() && line[*pos] == ',') ++(*pos);
+  }
+  if (*pos >= line.size()) return false;  // no closing '}'
+  ++(*pos);                               // consume '}'
+  series_key->push_back('}');
+  return true;
+}
+
+/// Parses an unsigned sample value at `*pos` (all registry samples are
+/// integral microseconds/counts; "+Inf" never appears as a value).
+bool ParseSampleValue(const std::string& line, size_t* pos, double* value) {
+  const size_t start = *pos;
+  while (*pos < line.size() &&
+         ((line[*pos] >= '0' && line[*pos] <= '9') || line[*pos] == '.' ||
+          line[*pos] == 'e' || line[*pos] == '+' || line[*pos] == '-')) {
+    ++(*pos);
+  }
+  if (*pos == start) return false;
+  *value = std::stod(line.substr(start, *pos - start));
+  return true;
+}
+
+TEST(NetServerE2eTest, MetricsExpositionLintPasses) {
+  DsmsOptions options;
+  options.trace_sample_every = 1;  // inline traces: spans + rings live
+  NetFixture fixture(options);
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
+  auto response = client.Command("QUERY goes.band1");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  GS_ASSERT_OK(fixture.Ingest(0, 2));
+  // Exemplars and gnarly label values must render scrapably too.
+  fixture.server()
+      .metrics_registry()
+      ->GetHistogram("geostreams_lint_probe_us", "lint probe",
+                     {{"path", "a\"b\\c\nd"}}, {10, 100})
+      ->ObserveWithExemplar(50, 3, "q\"1");
+
+  const std::string body = ScrapeHttpBody(fixture.net().port(), "/metrics");
+  ASSERT_FALSE(body.empty());
+
+  std::set<std::string> seen_series;
+  // Histogram group (series key minus `le`) -> ordered (le, count).
+  std::map<std::string, std::vector<std::pair<double, double>>> buckets;
+  std::map<std::string, double> counts;  // _count series values
+  size_t samples = 0;
+  size_t exemplars = 0;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t eol = body.find('\n', start);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(start, eol - start);
+    start = eol + 1;
+    ++line_no;
+    ASSERT_FALSE(line.empty()) << "blank line " << line_no;
+    if (line[0] == '#') {
+      const bool help = StartsWith(line, "# HELP ");
+      const bool type = StartsWith(line, "# TYPE ");
+      ASSERT_TRUE(help || type) << "line " << line_no << ": " << line;
+      if (type) {
+        const size_t kind_at = line.rfind(' ');
+        const std::string kind = line.substr(kind_at + 1);
+        ASSERT_TRUE(kind == "counter" || kind == "gauge" ||
+                    kind == "histogram")
+            << "line " << line_no << ": " << line;
+      }
+      continue;
+    }
+    size_t pos = 0;
+    std::string series;
+    std::string le;
+    ASSERT_TRUE(ParseNameAndLabels(line, &pos, &series, &le))
+        << "line " << line_no << ": " << line;
+    ASSERT_TRUE(pos < line.size() && line[pos] == ' ')
+        << "line " << line_no << ": " << line;
+    ++pos;
+    double value = 0;
+    ASSERT_TRUE(ParseSampleValue(line, &pos, &value))
+        << "line " << line_no << ": " << line;
+    ++samples;
+    // Exactly one sample per (name, labels) pair across the scrape.
+    const std::string unique_key =
+        series + (le.empty() ? "" : "~le=" + le);
+    ASSERT_TRUE(seen_series.insert(unique_key).second)
+        << "duplicate series at line " << line_no << ": " << line;
+    if (!le.empty()) {
+      const double le_value =
+          le == "+Inf" ? std::numeric_limits<double>::infinity()
+                       : std::stod(le);
+      buckets[series].emplace_back(le_value, value);
+    } else if (series.find("_count") != std::string::npos) {
+      counts[series] = value;
+    }
+    if (pos < line.size()) {
+      // The only legal tail is an OpenMetrics exemplar, and only on
+      // bucket lines.
+      const std::string tail = line.substr(pos);
+      ASSERT_TRUE(StartsWith(tail, " # {"))
+          << "line " << line_no << ": " << line;
+      ASSERT_FALSE(le.empty()) << "exemplar on non-bucket line " << line_no
+                               << ": " << line;
+      // Reuse the label parser on `x{...} value` (fake one-char name).
+      const std::string synthetic = "x" + tail.substr(3);
+      size_t spos = 0;
+      std::string dummy;
+      ASSERT_TRUE(ParseNameAndLabels(synthetic, &spos, &dummy, nullptr))
+          << "line " << line_no << ": " << line;
+      ASSERT_TRUE(spos < synthetic.size() && synthetic[spos] == ' ')
+          << "line " << line_no << ": " << line;
+      ++spos;
+      double exemplar_value = 0;
+      ASSERT_TRUE(ParseSampleValue(synthetic, &spos, &exemplar_value))
+          << "line " << line_no << ": " << line;
+      ASSERT_EQ(spos, synthetic.size())
+          << "line " << line_no << ": " << line;
+      ++exemplars;
+    }
+  }
+  ASSERT_GT(samples, 0u);
+  ASSERT_GE(exemplars, 1u) << "the lint probe exemplar did not render";
+
+  // `le` strictly ascending, cumulative counts monotone, +Inf present
+  // and agreeing with the family's _count.
+  ASSERT_FALSE(buckets.empty());
+  for (const auto& [series, family] : buckets) {
+    ASSERT_GE(family.size(), 2u) << series;
+    for (size_t i = 1; i < family.size(); ++i) {
+      EXPECT_LT(family[i - 1].first, family[i].first)
+          << "le out of order in " << series;
+      EXPECT_LE(family[i - 1].second, family[i].second)
+          << "bucket counts not cumulative in " << series;
+    }
+    EXPECT_TRUE(std::isinf(family.back().first))
+        << "no +Inf bucket in " << series;
+    // series is `name_bucket{labels-except-le}`; the count series is
+    // `name_count{same labels}`.
+    const size_t bucket_at = series.find("_bucket");
+    ASSERT_NE(bucket_at, std::string::npos) << series;
+    std::string count_series = series;
+    count_series.replace(bucket_at, 7, "_count");
+    // An unlabeled histogram's bucket series keeps `{}` once `le` is
+    // folded out, but its _count renders with no braces at all.
+    if (count_series.size() >= 2 &&
+        count_series.compare(count_series.size() - 2, 2, "{}") == 0) {
+      count_series.resize(count_series.size() - 2);
+    }
+    const auto count_it = counts.find(count_series);
+    ASSERT_NE(count_it, counts.end()) << count_series;
+    EXPECT_EQ(family.back().second, count_it->second) << series;
+  }
+}
+
 TEST(NetServerE2eTest, ControlTokenGatesMutatingVerbs) {
   NetServerOptions net_options;
   net_options.control_auth_token = "hunter2";
@@ -934,6 +1257,59 @@ TEST(NetServerE2eTest, QuerySinceReplaysHistoryThenStreamsLive) {
       "UNREGISTER %lld", static_cast<long long>(id)));
   ASSERT_TRUE(unregister.ok());
   EXPECT_TRUE(StartsWith(*unregister, "OK UNREGISTER"));
+}
+
+TEST(NetServerE2eTest, CatchUpCutoverIsObservable) {
+  DsmsOptions options;
+  options.store_dir = ::testing::TempDir() + "gsnet-catchup-obs-store";
+  std::filesystem::remove_all(options.store_dir);
+  NetFixture fixture(options);
+  GS_ASSERT_OK(fixture.Ingest(0, 4));
+
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
+  auto response = client.Command("QUERY goes.band1 SINCE 0");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(StartsWith(*response, "OK QUERY ")) << *response;
+  const int64_t id = ParseIdFromOk(*response);
+  for (int64_t expect_frame = 0; expect_frame < 4; ++expect_frame) {
+    auto frame = client.ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  }
+
+  // The cut-over fires on the catch-up task right after the last
+  // replay enqueue, which can trail the client's last read by a
+  // moment — poll briefly for it.
+  bool cutover = false;
+  EventLog::Snapshot snap;
+  for (int attempt = 0; attempt < 500 && !cutover; ++attempt) {
+    snap = fixture.server().Events();
+    for (const FlightEvent& event : snap.events) {
+      if (event.kind == "catchup-cutover") cutover = true;
+    }
+    if (!cutover) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // The cut-over landed in the flight recorder with its wall anchor,
+  // so "when did this query go live?" is answerable after the fact.
+  ASSERT_TRUE(cutover) << "no catchup-cutover event recorded";
+  for (const FlightEvent& event : snap.events) {
+    if (event.kind != "catchup-cutover") continue;
+    EXPECT_EQ(event.component, "server");
+    EXPECT_NE(event.detail.find(StringPrintf(
+                  "query=%lld replayed=4", static_cast<long long>(id))),
+              std::string::npos)
+        << event.detail;
+    EXPECT_NE(event.detail.find("wall_us="), std::string::npos)
+        << event.detail;
+  }
+
+  // After the replay drained, the catch-up lag gauge reads zero (the
+  // series sticks around so dashboards see the ramp hit the floor).
+  const std::string metrics = fixture.server().RenderMetrics();
+  const std::string gauge = StringPrintf(
+      "geostreams_catchup_lag_frames{query=\"%lld\"} 0\n",
+      static_cast<long long>(id));
+  EXPECT_NE(metrics.find(gauge), std::string::npos) << metrics;
 }
 
 // ---------------------------------------------------------------------------

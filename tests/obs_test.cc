@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "net/geostreams_client.h"
 #include "net/ingest_session.h"
 #include "net/net_server.h"
+#include "obs/event_log.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "server/dsms_server.h"
@@ -704,6 +706,233 @@ TEST(ObsSummaryTest, SummaryLineCoversCoreFigures) {
   // Something was actually enqueued and traced.
   EXPECT_EQ(line.find("enqueued=0 "), std::string::npos) << line;
   EXPECT_EQ(line.find("traces=0"), std::string::npos) << line;
+  // The freshness/latency plane reports even when sources went quiet.
+  EXPECT_NE(line.find("freshness_us="), std::string::npos) << line;
+  EXPECT_NE(line.find("e2e_p95_us="), std::string::npos) << line;
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics exemplars
+
+TEST(MetricsRegistryTest, RendersExemplarsOnBucketLines) {
+  MetricsRegistry reg;
+  MetricHistogram* hist = reg.GetHistogram("geostreams_exemplar_us", "h",
+                                           {{"stage", "send"}}, {10, 100});
+  hist->ObserveWithExemplar(50, 7, "q1");
+  std::string out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("geostreams_exemplar_us_bucket{stage=\"send\","
+                     "le=\"100\"} 1 # {trace=\"7\",pipeline=\"q1\"} 50\n"),
+            std::string::npos)
+      << out;
+  // Buckets that never saw an exemplared observation stay bare.
+  EXPECT_NE(out.find("le=\"10\"} 0\n"), std::string::npos) << out;
+
+  // A later observation into the same bucket takes the slot (one
+  // exemplar per bucket, latest wins).
+  hist->ObserveWithExemplar(60, 9, "q2");
+  out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("le=\"100\"} 2 # {trace=\"9\",pipeline=\"q2\"} 60\n"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("trace=\"7\""), std::string::npos) << out;
+
+  // The +Inf bucket carries its own exemplar.
+  hist->ObserveWithExemplar(5000, 11, "q1");
+  out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("le=\"+Inf\"} 3 # {trace=\"11\",pipeline=\"q1\"} 5000\n"),
+            std::string::npos)
+      << out;
+}
+
+TEST(MetricsRegistryTest, ExemplarPipelineLabelsAreEscaped) {
+  MetricsRegistry reg;
+  MetricHistogram* hist =
+      reg.GetHistogram("geostreams_exemplar_esc_us", "h", {}, {10});
+  hist->ObserveWithExemplar(5, 1, "a\"b\\c");
+  const std::string out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("# {trace=\"1\",pipeline=\"a\\\"b\\\\c\"} 5\n"),
+            std::string::npos)
+      << out;
+}
+
+TEST(ObserveE2eStageTest, SharedFamilyAndExemplarLinkage) {
+  MetricsRegistry reg;
+  // A trace with a reserved ring slot exemplar-links the observation.
+  TraceContext linked(1, "sat.band1");
+  linked.set_ring_ordinal(5);
+  ObserveE2eStage(&reg, "send", "source", "sat.band1", 42, &linked);
+  // No ring slot (or no trace at all): plain observation.
+  TraceContext unlinked(2, "sat.band1");
+  ObserveE2eStage(&reg, "queue", "query", "q1", 7, &unlinked);
+  ObserveE2eStage(&reg, "write", "query", "q1", 9, nullptr);
+  // Null registry is a no-op, not a crash.
+  ObserveE2eStage(nullptr, "send", "source", "s", 1, &linked);
+
+  const std::string out = reg.RenderPrometheus();
+  EXPECT_NE(
+      out.find("geostreams_e2e_latency_us_count{stage=\"send\","
+               "source=\"sat.band1\"} 1\n"),
+      std::string::npos)
+      << out;
+  EXPECT_NE(out.find("# {trace=\"5\",pipeline=\"\"} 42"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("geostreams_e2e_latency_us_count{stage=\"queue\","
+                     "query=\"q1\"} 1\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("{stage=\"write\",query=\"q1\"}"), std::string::npos)
+      << out;
+  // Exactly one exemplar across the family: the unlinked observations
+  // must not have minted any.
+  size_t exemplars = 0;
+  for (size_t at = out.find(" # {"); at != std::string::npos;
+       at = out.find(" # {", at + 1)) {
+    ++exemplars;
+  }
+  EXPECT_EQ(exemplars, 1u) << out;
+}
+
+// ---------------------------------------------------------------------------
+// Stage-chain anchors
+
+TEST(TraceTest, IngestAnchorsSeedTheStageChain) {
+  TraceContext trace(1, "src");
+  EXPECT_EQ(trace.last_anchor_wall_us(), 0u);
+  EXPECT_EQ(trace.AdvanceStage(100), 0u);  // no prior anchor
+
+  trace.SetIngestAnchors(100, 150, 180);
+  EXPECT_EQ(trace.capture_wall_us(), 100u);
+  EXPECT_EQ(trace.admit_wall_us(), 150u);
+  EXPECT_EQ(trace.durable_wall_us(), 180u);
+  // The chain starts at the last nonzero anchor: durable.
+  EXPECT_EQ(trace.last_anchor_wall_us(), 180u);
+  // Consecutive stages are disjoint segments summing to end-to-end.
+  EXPECT_EQ(trace.AdvanceStage(200), 20u);
+  EXPECT_EQ(trace.last_anchor_wall_us(), 200u);
+  EXPECT_EQ(trace.AdvanceStage(230), 30u);
+  // A clock step backwards yields 0, never an underflowed duration.
+  EXPECT_EQ(trace.AdvanceStage(220), 0u);
+  EXPECT_EQ(trace.last_anchor_wall_us(), 220u);
+
+  // Without a journal the chain seeds at admission; without any
+  // anchors at capture.
+  TraceContext unjournaled(2, "src");
+  unjournaled.SetIngestAnchors(100, 150, 0);
+  EXPECT_EQ(unjournaled.last_anchor_wall_us(), 150u);
+  TraceContext bare(3, "src");
+  bare.SetIngestAnchors(100, 0, 0);
+  EXPECT_EQ(bare.last_anchor_wall_us(), 100u);
+
+  // Forks carry the chain across the scheduler boundary.
+  auto fork = unjournaled.Fork("q1");
+  EXPECT_EQ(fork->capture_wall_us(), 100u);
+  EXPECT_EQ(fork->admit_wall_us(), 150u);
+  EXPECT_EQ(fork->last_anchor_wall_us(), 150u);
+  // The finished record renders the anchors for TRACE correlation.
+  const std::string line = unjournaled.Finish().ToString();
+  EXPECT_NE(line.find("capture_us=100 admit_us=150 durable_us=0"),
+            std::string::npos)
+      << line;
+}
+
+TEST(TraceRingTest, ReserveAssignsOrdinalsBeforePush) {
+  TraceRing ring(2);
+  // Ordinals hand out at reservation so in-flight traces can stamp
+  // them onto exemplars before the record lands.
+  EXPECT_EQ(ring.Reserve(), 0u);
+  EXPECT_EQ(ring.Reserve(), 1u);
+  EXPECT_EQ(ring.total(), 2u);
+  TraceRecord second;
+  second.ordinal = 1;
+  ring.PushReserved(std::move(second));
+  TraceRecord third;
+  third.ordinal = ring.Reserve();
+  ring.PushReserved(std::move(third));
+  const TraceRing::Snapshot snap = ring.TakeSnapshot();
+  // Ordinal 0 was reserved but never pushed (its event was shed):
+  // total counts the reservation, the kept records skip the gap.
+  EXPECT_EQ(snap.total, 3u);
+  ASSERT_EQ(snap.records.size(), 2u);
+  EXPECT_EQ(snap.records[0].ordinal, 1u);
+  EXPECT_EQ(snap.records[1].ordinal, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(EventLogTest, OrdinalsSurviveEvictionAndRenderOneLine) {
+  EventLog log(3);
+  EXPECT_EQ(log.capacity(), 3u);
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t ordinal =
+        log.Append(i % 2 ? EventSeverity::kWarn : EventSeverity::kInfo,
+                   "test", "tick", StringPrintf("i=%d", i));
+    EXPECT_EQ(ordinal, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(log.total(), 10u);
+  const EventLog::Snapshot snap = log.TakeSnapshot();
+  EXPECT_EQ(snap.total, 10u);
+  ASSERT_EQ(snap.events.size(), 3u);
+  // Oldest kept first; ordinals keep climbing past eviction.
+  EXPECT_EQ(snap.events[0].ordinal, 7u);
+  EXPECT_EQ(snap.events[2].ordinal, 9u);
+  EXPECT_EQ(snap.events[0].detail, "i=7");
+  EXPECT_GT(snap.events[0].wall_us, 0u);
+  const std::string line = snap.events[0].ToString();
+  EXPECT_TRUE(StartsWith(line, "EV 7 wall_us=")) << line;
+  EXPECT_NE(line.find(" sev=warn comp=test kind=tick i=7"),
+            std::string::npos)
+      << line;
+  // Zero capacity clamps to one so the newest event always survives.
+  EXPECT_EQ(EventLog(0).capacity(), 1u);
+}
+
+TEST(EventLogTest, ConcurrentAppendsAssignUniqueOrdinals) {
+  EventLog log(1024);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Append(EventSeverity::kInfo, "test", "tick", "");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const EventLog::Snapshot snap = log.TakeSnapshot();
+  EXPECT_EQ(snap.total, static_cast<uint64_t>(kThreads) * kPerThread);
+  ASSERT_EQ(snap.events.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (size_t i = 1; i < snap.events.size(); ++i) {
+    EXPECT_EQ(snap.events[i].ordinal, snap.events[i - 1].ordinal + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Freshness
+
+TEST(ObsE2eTest, FreshnessGaugeAgesWhileSourceIsIdle) {
+  ObsFixture fixture;  // synchronous server: ingest on this thread
+  GS_ASSERT_OK(fixture.Ingest(0, 1));
+
+  auto freshness = [&]() -> long long {
+    const std::string out = fixture.server().RenderMetrics();
+    const std::string key =
+        "geostreams_source_freshness_us{source=\"goes.band1\"} ";
+    const size_t at = out.find(key);
+    if (at == std::string::npos) {
+      ADD_FAILURE() << "freshness gauge missing:\n" << out;
+      return -1;
+    }
+    return std::stoll(out.substr(at + key.size()));
+  };
+  // The gauge is computed at scrape time (now minus the newest
+  // delivered frame's stamp), so an idle source visibly ages.
+  const long long v1 = freshness();
+  ASSERT_GE(v1, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const long long v2 = freshness();
+  EXPECT_GT(v2, v1 + 10000) << "gauge did not age across 20ms of idle";
 }
 
 }  // namespace
