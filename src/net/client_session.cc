@@ -172,6 +172,23 @@ std::string ClientSession::StatsLine() const {
       s.queue_depth);
 }
 
+MetricHistogram* ClientSession::WriteStageHistogram(const std::string& query) {
+  // Writer-thread-only cache: one registry mutex + map walk per
+  // (session, query), not per written frame. Null results (family
+  // kind conflict) are cached too, so a misregistered family costs
+  // one lookup, not one per frame.
+  auto it = write_stage_hists_.find(query);
+  if (it != write_stage_hists_.end()) return it->second;
+  MetricHistogram* hist = options_.metrics->GetHistogram(
+      "geostreams_e2e_latency_us",
+      "Frame lifecycle stage latency (wall-clock microseconds between "
+      "consecutive stage anchors; stage=total is capture to delivery)",
+      {{"stage", "write"}, {"query", query}},
+      MetricHistogram::LatencyBucketsUs());
+  write_stage_hists_.emplace(query, hist);
+  return hist;
+}
+
 void ClientSession::WriterLoop() {
   for (;;) {
     Outbound item;
@@ -192,14 +209,11 @@ void ClientSession::WriterLoop() {
           options_.metrics != nullptr) {
         const uint64_t now = TraceWallNowUs();
         if (now > item.stamp.delivered_wall_us) {
-          MetricHistogram* write_stage = options_.metrics->GetHistogram(
-              "geostreams_e2e_latency_us",
-              "Frame lifecycle stage latency (wall-clock microseconds between "
-              "consecutive stage anchors; stage=total is capture to delivery)",
-              {{"stage", "write"}, {"query", item.stamp.query}},
-              MetricHistogram::LatencyBucketsUs());
+          MetricHistogram* write_stage = WriteStageHistogram(item.stamp.query);
           const uint64_t latency = now - item.stamp.delivered_wall_us;
-          if (item.stamp.trace_ordinal != ~0ull) {
+          if (write_stage == nullptr) {
+            // Family kind conflict: metrics off for this stage.
+          } else if (item.stamp.trace_ordinal != ~0ull) {
             write_stage->ObserveWithExemplar(latency, item.stamp.trace_ordinal,
                                              item.stamp.pipeline);
           } else {

@@ -28,6 +28,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -139,6 +140,9 @@ class ClientSession {
 
   void WriterLoop();
   void CloseLocked();
+  /// Cached (and null-checked) write-stage histogram for one query
+  /// label. Writer-thread-only.
+  MetricHistogram* WriteStageHistogram(const std::string& query);
 
   const uint64_t id_;
   const ClientSessionOptions options_;
@@ -161,6 +165,9 @@ class ClientSession {
   Counter* m_frames_enqueued_ = nullptr;
   Counter* m_frames_shed_ = nullptr;
   Counter* m_bytes_written_ = nullptr;
+  /// Per-query write-stage histograms, resolved once each (may cache
+  /// nullptr on a family kind conflict). Writer-thread-only.
+  std::map<std::string, MetricHistogram*> write_stage_hists_;
 
   std::thread writer_;
 };

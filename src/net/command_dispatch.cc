@@ -123,8 +123,16 @@ std::string HandleDlq(DsmsServer* server, std::string_view rest) {
   return out;
 }
 
-std::string HandleMetrics(DsmsServer* server) {
-  const std::string body = server->RenderMetrics();
+std::string HandleMetrics(DsmsServer* server, std::string_view rest) {
+  // `METRICS` serves the 0.0.4 exposition; `METRICS openmetrics`
+  // opts into OpenMetrics (bucket exemplars + `# EOF`) so the
+  // metrics -> TRACE loop closes over the control plane too.
+  const std::string arg = ToLower(std::string(StripWhitespace(rest)));
+  if (!arg.empty() && arg != "openmetrics") {
+    return ErrResponse(
+        Status::InvalidArgument("METRICS takes: [openmetrics]"));
+  }
+  const std::string body = server->RenderMetrics(arg == "openmetrics");
   // Count payload lines so the client knows how many ReadNext calls
   // follow the header (the exposition has no terminator of its own).
   size_t lines = 0;
@@ -298,7 +306,7 @@ std::string ExecuteCommand(DsmsServer* server, SessionHooks* hooks,
     return "OK ISTATS " + *stats;
   }
   if (verb == "dlq") return HandleDlq(server, rest);
-  if (verb == "metrics") return HandleMetrics(server);
+  if (verb == "metrics") return HandleMetrics(server, rest);
   if (verb == "trace") return HandleTrace(server, rest);
   if (verb == "events") return HandleEvents(server);
   return ErrResponse(
@@ -312,7 +320,8 @@ bool IsHttpRequestLine(const std::string& line) {
 }
 
 std::string HandleHttpRequest(DsmsServer* server,
-                              const std::string& request_line) {
+                              const std::string& request_line,
+                              bool accept_openmetrics) {
   const std::string_view stripped = StripWhitespace(request_line);
   const bool head = stripped.substr(0, 5) == "HEAD ";
   std::string_view rest = stripped.substr(head ? 5 : 4);
@@ -327,10 +336,19 @@ std::string HandleHttpRequest(DsmsServer* server,
   std::string body;
   if (path == "/metrics") {
     status_line = "HTTP/1.0 200 OK";
-    // The Prometheus text exposition format version the scraper
-    // negotiates on; 0.0.4 is the stable text format.
-    content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = server->RenderMetrics();
+    if (accept_openmetrics) {
+      // The scraper negotiated OpenMetrics: exemplars are legal on
+      // `_bucket` lines and the body ends with `# EOF`.
+      content_type = "application/openmetrics-text; version=1.0.0; "
+                     "charset=utf-8";
+      body = server->RenderMetrics(/*openmetrics=*/true);
+    } else {
+      // The stable Prometheus 0.0.4 text format. Its parser treats
+      // an exemplar tail as a malformed timestamp, so the rendering
+      // carries none.
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = server->RenderMetrics();
+    }
   } else if (path == "/eventz") {
     // The flight recorder, one event per line, newest last.
     status_line = "HTTP/1.0 200 OK";

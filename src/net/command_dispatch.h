@@ -36,7 +36,9 @@
 //                      -> "OK DLQ <id> total=<t> kept=<k>" followed by
 //                         k lines "DL <ordinal> <error>"
 //   METRICS            the server's metrics registry in Prometheus
-//                      text exposition format
+//                      text exposition 0.0.4 format; "METRICS
+//                      openmetrics" renders OpenMetrics 1.0.0
+//                      (exemplars on bucket lines, "# EOF") instead
 //                      -> "OK METRICS lines=<n>" followed by n lines
 //                         of "# HELP ...", "# TYPE ..." and samples
 //   TRACE <id>         sampled per-batch trace records for the query
@@ -51,8 +53,10 @@
 //   PING               liveness -> "OK PONG"
 //
 // The control port also answers plain HTTP: "GET /metrics" returns
-// the same Prometheus exposition as METRICS with proper HTTP framing,
-// so an unmodified Prometheus scraper can pull the registry.
+// the same Prometheus exposition as METRICS with proper HTTP framing
+// (upgrading to OpenMetrics when the request carries "Accept:
+// application/openmetrics-text"), so an unmodified Prometheus
+// scraper can pull the registry in either format.
 //
 // Failures respond "ERR <CodeName> <message>". Dispatch is a free
 // function over two narrow interfaces — the engine (DsmsServer) and
@@ -142,9 +146,13 @@ bool IsHttpRequestLine(const std::string& line);
 
 /// Answers one HTTP request line with a complete HTTP/1.0 response
 /// (headers + body, Connection: close). "GET /metrics" serves the
-/// Prometheus text exposition; other paths answer 404.
+/// Prometheus 0.0.4 text exposition — or, when the scraper's Accept
+/// header negotiated it (`accept_openmetrics`), the OpenMetrics
+/// exposition with bucket exemplars and the `# EOF` terminator.
+/// Other paths answer 404.
 std::string HandleHttpRequest(DsmsServer* server,
-                              const std::string& request_line);
+                              const std::string& request_line,
+                              bool accept_openmetrics = false);
 
 /// Executes one control line and returns the complete response —
 /// possibly multi-line ('\n'-separated, no trailing newline).

@@ -239,16 +239,29 @@ class NetServer::Connection : public SessionHooks {
       if (http_request_.empty() && IsHttpRequestLine(line)) {
         if (line.find(" HTTP/") == std::string::npos) {
           // HTTP/0.9-style simple request: no headers follow.
-          return EnqueueHttpResponse(line);
+          return EnqueueHttpResponse(line, /*openmetrics=*/false);
         }
         http_request_ = line;
+        http_openmetrics_ = false;
         return true;
       }
       if (!http_request_.empty()) {
-        if (!StripWhitespace(line).empty()) return true;  // header line
+        const std::string_view header = StripWhitespace(line);
+        if (!header.empty()) {
+          // Content negotiation: an Accept header naming the
+          // OpenMetrics media type switches /metrics to the
+          // exemplar-bearing exposition.
+          const std::string lower = ToLower(std::string(header));
+          if (lower.compare(0, 7, "accept:") == 0 &&
+              lower.find("application/openmetrics-text") !=
+                  std::string::npos) {
+            http_openmetrics_ = true;
+          }
+          return true;  // header line
+        }
         const std::string request = std::move(http_request_);
         http_request_.clear();
-        return EnqueueHttpResponse(request);
+        return EnqueueHttpResponse(request, http_openmetrics_);
       }
       const std::string response =
           ExecuteCommand(server_->dsms_, this, line);
@@ -277,9 +290,10 @@ class NetServer::Connection : public SessionHooks {
     return false;
   }
 
-  bool EnqueueHttpResponse(const std::string& request_line) {
+  bool EnqueueHttpResponse(const std::string& request_line,
+                           bool openmetrics) {
     const std::string response =
-        HandleHttpRequest(server_->dsms_, request_line);
+        HandleHttpRequest(server_->dsms_, request_line, openmetrics);
     auto buffer = std::make_shared<const std::vector<uint8_t>>(
         response.begin(), response.end());
     return session_->EnqueueFrame(std::move(buffer)).ok();
@@ -289,9 +303,11 @@ class NetServer::Connection : public SessionHooks {
   std::shared_ptr<ClientSession> session_;
   /// Queries streaming to this connection. Reader-thread-only.
   std::vector<QueryId> owned_;
-  /// Buffered HTTP request line while its headers drain.
+  /// Buffered HTTP request line while its headers drain, and whether
+  /// those headers negotiated the OpenMetrics exposition.
   /// Reader-thread-only.
   std::string http_request_;
+  bool http_openmetrics_ = false;
   /// AUTH succeeded on this session (control-plane credential).
   /// Reader-thread-only.
   bool control_authorized_ = false;
@@ -410,9 +426,10 @@ void NetServer::FanOutFrame(DsmsServer* dsms, Subscription* sub,
   // frame's trace (when sampled) is active on this thread. Entry here
   // closes the `operators` stage (scheduler claim — or the ingest
   // anchor on the synchronous path — to chain exit); encode + enqueue
-  // is the `deliver` stage; `total` spans capture (else admission) to
-  // fan-out done, the same per-source series the ingest session's
-  // ISTATS p95 reads.
+  // is the `deliver` stage. `total` spans capture (else admission) to
+  // fan-out done, into the per-source series the ingest session's
+  // ISTATS p95 reads — observed once per frame (ClaimTotalStage), not
+  // once per subscribed query.
   TraceContext* trace = ActiveTrace();
   const bool staged = trace != nullptr && trace->last_anchor_wall_us() != 0;
   const std::string query_label =
@@ -446,7 +463,7 @@ void NetServer::FanOutFrame(DsmsServer* dsms, Subscription* sub,
     const uint64_t birth = trace->capture_wall_us() != 0
                                ? trace->capture_wall_us()
                                : trace->admit_wall_us();
-    if (birth != 0 && now > birth) {
+    if (birth != 0 && now > birth && trace->ClaimTotalStage()) {
       ObserveE2eStage(dsms->metrics_registry(), "total", "source",
                       trace->origin(), now - birth, trace);
     }

@@ -264,6 +264,14 @@ void MetricsRegistry::AddCollector(std::function<void()> collect) {
 }
 
 std::string MetricsRegistry::RenderPrometheus() {
+  return RenderExposition(/*openmetrics=*/false);
+}
+
+std::string MetricsRegistry::RenderOpenMetrics() {
+  return RenderExposition(/*openmetrics=*/true);
+}
+
+std::string MetricsRegistry::RenderExposition(bool openmetrics) {
   // Collectors call back into Get* and refresh mirror metrics, so run
   // them on a copy of the list without holding the registry lock.
   std::vector<std::function<void()>> collectors;
@@ -277,8 +285,15 @@ std::string MetricsRegistry::RenderPrometheus() {
   std::string out;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, family] : families_) {
-    out += "# HELP " + name + " " + family.help + "\n";
-    out += "# TYPE " + name + " ";
+    // OpenMetrics names the counter family without its `_total`
+    // suffix; the sample line keeps the full name.
+    std::string meta_name = name;
+    if (openmetrics && family.kind == Kind::kCounter &&
+        name.size() > 6 && name.compare(name.size() - 6, 6, "_total") == 0) {
+      meta_name.resize(name.size() - 6);
+    }
+    out += "# HELP " + meta_name + " " + family.help + "\n";
+    out += "# TYPE " + meta_name + " ";
     switch (family.kind) {
       case Kind::kCounter: out += "counter\n"; break;
       case Kind::kGauge: out += "gauge\n"; break;
@@ -304,7 +319,7 @@ std::string MetricsRegistry::RenderPrometheus() {
                  RenderLabelsWithLe(series.labels,
                                     std::to_string(snap.bounds[i])) +
                  line;
-          AppendExemplar(&out, snap.exemplars, i);
+          if (openmetrics) AppendExemplar(&out, snap.exemplars, i);
           out += "\n";
         }
         cumulative += snap.counts.back();
@@ -312,7 +327,9 @@ std::string MetricsRegistry::RenderPrometheus() {
                       static_cast<unsigned long long>(cumulative));
         out += name + "_bucket" + RenderLabelsWithLe(series.labels, "+Inf") +
                line;
-        AppendExemplar(&out, snap.exemplars, snap.bounds.size());
+        if (openmetrics) {
+          AppendExemplar(&out, snap.exemplars, snap.bounds.size());
+        }
         out += "\n";
         std::snprintf(line, sizeof(line), " %llu\n",
                       static_cast<unsigned long long>(snap.sum));
@@ -323,6 +340,7 @@ std::string MetricsRegistry::RenderPrometheus() {
       }
     }
   }
+  if (openmetrics) out += "# EOF\n";
   return out;
 }
 

@@ -181,8 +181,18 @@ class MetricsRegistry {
   /// Prometheus text exposition (version 0.0.4): families sorted by
   /// name with # HELP / # TYPE headers, histogram series expanded
   /// into cumulative `_bucket{le=...}` plus `_sum`/`_count`. Ends
-  /// with a newline.
+  /// with a newline. Exemplars are NOT rendered here — the 0.0.4
+  /// parser treats a `# {...}` tail as a malformed timestamp and
+  /// fails the whole scrape.
   std::string RenderPrometheus();
+
+  /// OpenMetrics text exposition (application/openmetrics-text):
+  /// same families, plus `# {trace=...}` exemplars on `_bucket`
+  /// lines and the mandatory `# EOF` terminator. Counter metadata
+  /// drops the `_total` suffix (OpenMetrics names the family
+  /// `foo` and its sample `foo_total`). Served when a scraper
+  /// negotiates OpenMetrics via the Accept header.
+  std::string RenderOpenMetrics();
 
   /// Number of registered series across all families (tests).
   size_t NumSeries() const;
@@ -208,6 +218,9 @@ class MetricsRegistry {
 
   Series* GetSeries(const std::string& name, const std::string& help,
                     Kind kind, MetricLabels labels);
+
+  /// Shared renderer behind RenderPrometheus/RenderOpenMetrics.
+  std::string RenderExposition(bool openmetrics);
 
   mutable std::mutex mu_;
   std::map<std::string, Family> families_;

@@ -62,7 +62,7 @@ TraceContext::TraceContext(uint64_t trace_id, std::string origin)
       born_us_(TraceNowUs()),
       born_wall_us_(TraceWallNowUs()) {}
 
-std::shared_ptr<TraceContext> TraceContext::Fork(std::string pipeline) const {
+std::shared_ptr<TraceContext> TraceContext::Fork(std::string pipeline) {
   auto fork = std::make_shared<TraceContext>(trace_id_, origin_);
   fork->pipeline_ = std::move(pipeline);
   fork->born_us_ = born_us_;
@@ -71,7 +71,17 @@ std::shared_ptr<TraceContext> TraceContext::Fork(std::string pipeline) const {
   fork->admit_wall_us_ = admit_wall_us_;
   fork->durable_wall_us_ = durable_wall_us_;
   fork->last_anchor_wall_us_ = last_anchor_wall_us_;
+  // Exactly one fork per frame owns the per-source stages: the first
+  // takes the root's ownership, later forks (and the root) lose it.
+  fork->source_stage_owner_ = source_stage_owner_;
+  source_stage_owner_ = false;
   return fork;
+}
+
+bool TraceContext::ClaimTotalStage() {
+  if (!source_stage_owner_ || total_claimed_) return false;
+  total_claimed_ = true;
+  return true;
 }
 
 uint64_t TraceContext::MarkDequeued() {

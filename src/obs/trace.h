@@ -95,8 +95,10 @@ class TraceContext {
   /// stamp and ingest anchors, no spans and no ring ordinal (each
   /// fork lands in its own pipeline's ring). Called by the scheduler
   /// before enqueue so concurrent pipelines never share mutable trace
-  /// state.
-  std::shared_ptr<TraceContext> Fork(std::string pipeline) const;
+  /// state. Per-source stage ownership (see observes_source_stages)
+  /// transfers to the FIRST fork; later forks of the same frame do
+  /// not re-observe the per-source stages.
+  std::shared_ptr<TraceContext> Fork(std::string pipeline);
 
   /// Queue boundary stamps. MarkDequeued returns the queue wait in
   /// microseconds (0 if MarkEnqueued was never called).
@@ -121,6 +123,19 @@ class TraceContext {
   uint64_t AdvanceStage(uint64_t now_wall_us);
   uint64_t last_anchor_wall_us() const { return last_anchor_wall_us_; }
 
+  /// True on exactly one context per traced source frame: the root at
+  /// birth, handed to the first Fork (and cleared everywhere else).
+  /// Gates the per-source stage observations (`send`, `journal`,
+  /// `total`) so a frame fanning out to N pipelines lands in the
+  /// per-source series once, not N times.
+  bool observes_source_stages() const { return source_stage_owner_; }
+
+  /// Claims the once-per-frame per-source `total` observation: true
+  /// exactly once, and only on the owning context. (The inline path
+  /// delivers one trace through every query's chain, so the owner
+  /// flag alone would still observe `total` per query.)
+  bool ClaimTotalStage();
+
   /// TraceRing slot reserved for this trace (exemplar linkage), or
   /// kNoRingOrdinal.
   void set_ring_ordinal(uint64_t ordinal) { ring_ordinal_ = ordinal; }
@@ -144,6 +159,10 @@ class TraceContext {
   uint64_t durable_wall_us_ = 0;
   uint64_t last_anchor_wall_us_ = 0;
   uint64_t ring_ordinal_ = kNoRingOrdinal;
+  /// Per-source stage ownership: root holds it until the first Fork
+  /// takes it; ClaimTotalStage burns it for the `total` observation.
+  bool source_stage_owner_ = true;
+  bool total_claimed_ = false;
   /// Inclusive time of already-finished child spans at the current
   /// nesting level; SpanTimer saves/zeroes/restores it around each
   /// span to compute exclusive time.

@@ -444,6 +444,10 @@ DsmsServer::DsmsServer(DsmsOptions options) : options_(options) {
           "geostreams_store_catchup_truncated_total",
           "Catch-up registrations whose SINCE bound reached below "
           "retained history");
+      m_catchup_lag_ = metrics_registry_.GetGauge(
+          "geostreams_catchup_lag_frames",
+          "Stored frames still to replay before in-flight SINCE queries "
+          "cut over to the live stream (summed over registrations)");
     }
   }
   if (options_.workers > 0) {
@@ -690,7 +694,11 @@ Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
 
   // Phases 1 and 2 run in a closure so an error below can tear the
   // half-registered query back down instead of leaving it stuck
-  // behind the catching_up guard forever.
+  // behind the catching_up guard forever. `catchup_pending` counts
+  // this registration's outstanding contribution to the shared
+  // backlog gauge; it lives outside the closure so an error exit
+  // can retire it instead of freezing the gauge nonzero.
+  uint64_t catchup_pending = 0;
   Status replayed = [&]() -> Status {
   // Phase 1 — bulk history replay with no lock held: ingest keeps
   // flowing (the query is invisible to it) while recorded frames run
@@ -737,17 +745,18 @@ Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
                    [](const ReplayItem& a, const ReplayItem& b) {
                      return a.frame_id < b.frame_id;
                    });
-  // Catch-up lag gauge: stored frames still to replay before this
-  // query goes live. Scraped mid-replay it shows the backlog
-  // draining; pinned to 0 at cut-over.
-  Gauge* lag = metrics_registry_.GetGauge(
-      "geostreams_catchup_lag_frames",
-      "Stored frames still to replay before a SINCE query cuts over "
-      "to the live stream",
-      {{"query", StringPrintf("%lld", static_cast<long long>(id))}});
-  lag->Set(items.size());
+  // Catch-up lag gauge: stored frames still to replay before
+  // in-flight SINCE queries go live, one unlabeled series summed over
+  // registrations (a per-query-id label would grow the registry
+  // without bound, one frozen series per finished query). Scraped
+  // mid-replay it shows the backlog draining; back to this
+  // registration's starting value at cut-over.
+  catchup_pending = items.size();
+  catchup_backlog_.fetch_add(catchup_pending, std::memory_order_relaxed);
+  if (m_catchup_lag_) {
+    m_catchup_lag_->Set(catchup_backlog_.load(std::memory_order_relaxed));
+  }
   size_t since_flush = 0;
-  size_t replayed_count = 0;
   for (const ReplayItem& item : items) {
     const QueryState::PendingWire& wire = wires[item.wire];
     Status st = store_->ScanFrame(wire.source, item.frame_id,
@@ -755,7 +764,11 @@ Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
     if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
     replayed_to[item.wire] = item.frame_id;
     if (m_catchup_frames_) m_catchup_frames_->Increment();
-    lag->Set(items.size() - ++replayed_count);
+    --catchup_pending;
+    catchup_backlog_.fetch_sub(1, std::memory_order_relaxed);
+    if (m_catchup_lag_) {
+      m_catchup_lag_->Set(catchup_backlog_.load(std::memory_order_relaxed));
+    }
     if (++since_flush >= 64) {
       since_flush = 0;
       GEOSTREAMS_RETURN_IF_ERROR(Flush());
@@ -834,7 +847,6 @@ Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
   }
   query->pending_wires.clear();
   query->catching_up = false;
-  lag->Set(0);
   GEOSTREAMS_LOG(kInfo) << "query " << id << " caught up: " << items.size()
                         << " stored frames replayed, live at the watermark";
   // Cut-over wall anchor: the moment the gates went live. Later live
@@ -847,6 +859,15 @@ Result<QueryId> DsmsServer::RegisterQuery(const std::string& query_text,
                    static_cast<unsigned long long>(TraceWallNowUs())));
   return Status::OK();
   }();
+  if (catchup_pending != 0) {
+    // Error exit mid-replay: retire this registration's remaining
+    // backlog so the gauge drains instead of freezing nonzero.
+    catchup_backlog_.fetch_sub(catchup_pending, std::memory_order_relaxed);
+    if (m_catchup_lag_) {
+      m_catchup_lag_->Set(catchup_backlog_.load(std::memory_order_relaxed));
+    }
+    catchup_pending = 0;
+  }
   if (!replayed.ok()) {
     // Clear the replay guard, then reuse the normal teardown (it
     // skips inputs that never got wired).

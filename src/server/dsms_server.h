@@ -214,9 +214,15 @@ class DsmsServer {
   /// (net sessions, benches) register their own series here; valid for
   /// the server's lifetime.
   MetricsRegistry* metrics_registry() { return &metrics_registry_; }
-  /// Prometheus text exposition of the registry (runs the mirror
-  /// collectors first, so scheduler/ingest/memory figures are fresh).
-  std::string RenderMetrics() { return metrics_registry_.RenderPrometheus(); }
+  /// Text exposition of the registry (runs the mirror collectors
+  /// first, so scheduler/ingest/memory figures are fresh). Prometheus
+  /// 0.0.4 by default; `openmetrics` renders OpenMetrics instead —
+  /// bucket exemplars plus the `# EOF` terminator — for scrapers
+  /// that negotiated it.
+  std::string RenderMetrics(bool openmetrics = false) {
+    return openmetrics ? metrics_registry_.RenderOpenMetrics()
+                       : metrics_registry_.RenderPrometheus();
+  }
   /// One-line operational summary (regional_server --metrics-interval).
   std::string SummaryLine() const;
 
@@ -359,6 +365,13 @@ class DsmsServer {
   Counter* m_catchup_frames_ = nullptr;
   Counter* m_seam_frames_ = nullptr;
   Counter* m_catchup_truncated_ = nullptr;
+  /// Catch-up lag: stored frames still to replay, summed over all
+  /// in-flight SINCE registrations. One unlabeled series — a
+  /// per-query-id label would grow without bound over the server's
+  /// lifetime. The atomic is the source of truth (replays run
+  /// concurrently); the gauge mirrors it after every change.
+  Gauge* m_catchup_lag_ = nullptr;
+  std::atomic<uint64_t> catchup_backlog_{0};
   std::atomic<uint64_t> next_trace_id_{1};
   /// Finished traces on a synchronous server (workers == 0), where
   /// there are no per-pipeline rings. Multi-producer safe.

@@ -407,18 +407,21 @@ void QueryScheduler::WorkerLoop() {
         trace->set_ring_ordinal(queue.traces->Reserve());
       }
       // Frame-lifecycle stages up to the claim: `send` and `journal`
-      // come straight from the ingest anchors (observed once — a
-      // retried event's stage chain has already advanced past the
-      // seeded anchor); `queue` closes at the claim itself. Only
-      // FrameEnd events are staged so per-stage sums partition the
-      // frame's end-to-end latency.
+      // come straight from the ingest anchors, observed once per
+      // frame — only the fork that owns the per-source stages (the
+      // first of a fan-out) reports them, and only while its chain
+      // still sits at the seeded anchor (a retried event has advanced
+      // past it). `queue` closes at the claim itself and is
+      // per-pipeline. Only FrameEnd events are staged so per-stage
+      // sums partition the frame's end-to-end latency.
       if (item.event.kind == EventKind::kFrameEnd &&
           trace->last_anchor_wall_us() != 0 && options_.metrics != nullptr) {
         const uint64_t capture = trace->capture_wall_us();
         const uint64_t admit = trace->admit_wall_us();
         const uint64_t durable = trace->durable_wall_us();
         const uint64_t seeded = durable ? durable : (admit ? admit : capture);
-        if (trace->last_anchor_wall_us() == seeded) {
+        if (trace->observes_source_stages() &&
+            trace->last_anchor_wall_us() == seeded) {
           if (capture != 0 && admit > capture) {
             ObserveE2eStage(options_.metrics, "send", "source",
                             trace->origin(), admit - capture, trace);

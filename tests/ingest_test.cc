@@ -1465,9 +1465,11 @@ TEST(LatencyPlaneE2eTest, StageHistogramsPartitionEndToEndLatency) {
   // after the socket write, so give it a moment to land.
   const char* kStages[] = {"send",    "journal", "queue", "operators",
                            "deliver", "write",   "total"};
+  // OpenMetrics rendering: exemplars only appear on the negotiated
+  // exposition (the 0.0.4 one stays bare for strict parsers).
   std::string metrics;
   for (int attempt = 0; attempt < 100; ++attempt) {
-    metrics = fixture.server().RenderMetrics();
+    metrics = fixture.server().RenderMetrics(/*openmetrics=*/true);
     if (StageSeriesValue(metrics, "count", "write") >= 3) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
@@ -1559,6 +1561,67 @@ TEST(LatencyPlaneE2eTest, StageHistogramsPartitionEndToEndLatency) {
   EXPECT_NE(istats->find("e2e_p95_us="), std::string::npos) << *istats;
 
   client.Close();
+  producer.Close();
+  std::filesystem::remove_all(journal_dir);
+}
+
+TEST(LatencyPlaneE2eTest, SourceStagesObservedOncePerFrameUnderFanOut) {
+  std::string journal_dir = ::testing::TempDir() + "gsfanout-" +
+                            std::to_string(::getpid());
+  std::filesystem::remove_all(journal_dir);
+
+  DsmsOptions options;
+  options.workers = 1;
+  options.trace_sample_every = 1;
+  options.journal_dir = journal_dir;  // enables the `journal` stage
+  IngestFixture fixture({}, options);
+
+  // Two independent subscribers on the same source: each frame fans
+  // out to two pipelines, but the per-source stages (send, journal,
+  // total) must land once per frame, not once per pipeline.
+  GeoStreamsClient a, b;
+  GS_ASSERT_OK(a.Connect("127.0.0.1", fixture.net().port()));
+  GS_ASSERT_OK(b.Connect("127.0.0.1", fixture.net().port()));
+  auto ra = a.Command("QUERY sat.band1");
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  auto rb = b.Command("QUERY sat.band1");
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+
+  ProducerClient producer(fixture.ProducerOptions("sat.band1"));
+  GS_ASSERT_OK(producer.Connect());
+  const GridLattice lattice = LatLonLattice(16, 12);
+  for (int64_t frame = 0; frame < 3; ++frame) {
+    GS_ASSERT_OK(testing_util::PushFrame(&producer, lattice, frame));
+  }
+  GS_ASSERT_OK(producer.Flush(10000));
+  for (int64_t frame = 0; frame < 3; ++frame) {
+    auto ga = a.ReadFrame(10000);
+    ASSERT_TRUE(ga.ok()) << ga.status().ToString();
+    auto gb = b.ReadFrame(10000);
+    ASSERT_TRUE(gb.ok()) << gb.status().ToString();
+  }
+
+  // Wall clocks tick in microseconds, so the capture→fan-out `total`
+  // segment is never empty: exactly one observation per frame. The
+  // settle sleep gives a straggling (inflated) observation time to
+  // land before the equality check.
+  std::string metrics;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    metrics = fixture.server().RenderMetrics();
+    if (StageSeriesValue(metrics, "count", "total") >= 3) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  metrics = fixture.server().RenderMetrics();
+  EXPECT_EQ(StageSeriesValue(metrics, "count", "total"), 3) << metrics;
+  // Boundary anchors landing in the same microsecond skip that
+  // frame's segment, so send/journal may undershoot — never
+  // overshoot the frame count.
+  EXPECT_LE(StageSeriesValue(metrics, "count", "send"), 3) << metrics;
+  EXPECT_LE(StageSeriesValue(metrics, "count", "journal"), 3) << metrics;
+
+  a.Close();
+  b.Close();
   producer.Close();
   std::filesystem::remove_all(journal_dir);
 }

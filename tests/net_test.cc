@@ -930,14 +930,19 @@ TEST(NetServerE2eTest, HttpMetricsEndpointServesPrometheusText) {
 // instead of a scrape in production.
 
 /// One scraped HTTP body (HTTP/1.0 + Content-Length framing).
-std::string ScrapeHttpBody(uint16_t port, const std::string& path) {
+/// `extra_headers` are raw header lines ("K: v\r\n") appended to the
+/// request; `content_type` (if non-null) receives the response's
+/// Content-Type value.
+std::string ScrapeHttpBody(uint16_t port, const std::string& path,
+                           const std::string& extra_headers = "",
+                           std::string* content_type = nullptr) {
   auto fd = ConnectTcp("127.0.0.1", port, 2000);
   if (!fd.ok()) {
     ADD_FAILURE() << fd.status().ToString();
     return "";
   }
-  const std::string request =
-      "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n" +
+                              extra_headers + "\r\n";
   Status sent = WriteAll(*fd, reinterpret_cast<const uint8_t*>(request.data()),
                          request.size());
   if (!sent.ok()) {
@@ -971,6 +976,14 @@ std::string ScrapeHttpBody(uint16_t port, const std::string& path) {
     return "";
   }
   EXPECT_TRUE(StartsWith(response, "HTTP/1.0 200 OK\r\n")) << response;
+  if (content_type != nullptr) {
+    content_type->clear();
+    const size_t ct = response.find("Content-Type: ");
+    if (ct != std::string::npos && ct < body_start) {
+      const size_t eol = response.find("\r\n", ct);
+      *content_type = response.substr(ct + 14, eol - (ct + 14));
+    }
+  }
   return response.substr(body_start);
 }
 
@@ -1058,25 +1071,14 @@ bool ParseSampleValue(const std::string& line, size_t* pos, double* value) {
   return true;
 }
 
-TEST(NetServerE2eTest, MetricsExpositionLintPasses) {
-  DsmsOptions options;
-  options.trace_sample_every = 1;  // inline traces: spans + rings live
-  NetFixture fixture(options);
-  GeoStreamsClient client;
-  GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
-  auto response = client.Command("QUERY goes.band1");
-  ASSERT_TRUE(response.ok()) << response.status().ToString();
-  GS_ASSERT_OK(fixture.Ingest(0, 2));
-  // Exemplars and gnarly label values must render scrapably too.
-  fixture.server()
-      .metrics_registry()
-      ->GetHistogram("geostreams_lint_probe_us", "lint probe",
-                     {{"path", "a\"b\\c\nd"}}, {10, 100})
-      ->ObserveWithExemplar(50, 3, "q\"1");
-
-  const std::string body = ScrapeHttpBody(fixture.net().port(), "/metrics");
-  ASSERT_FALSE(body.empty());
-
+/// Strictly lints one scraped exposition body. In OpenMetrics mode
+/// exemplar tails are legal on bucket lines and the body must end
+/// with `# EOF`; in 0.0.4 mode any exemplar tail (or `# EOF`) is a
+/// lint failure — 0.0.4 parsers read the tail as a malformed
+/// timestamp and drop the whole scrape. `*exemplars_out` receives the
+/// number of well-formed exemplars seen.
+void LintExposition(const std::string& body, bool openmetrics,
+                    size_t* exemplars_out) {
   std::set<std::string> seen_series;
   // Histogram group (series key minus `le`) -> ordered (le, count).
   std::map<std::string, std::vector<std::pair<double, double>>> buckets;
@@ -1085,6 +1087,7 @@ TEST(NetServerE2eTest, MetricsExpositionLintPasses) {
   size_t exemplars = 0;
   size_t line_no = 0;
   size_t start = 0;
+  bool saw_eof = false;
   while (start < body.size()) {
     size_t eol = body.find('\n', start);
     if (eol == std::string::npos) eol = body.size();
@@ -1092,7 +1095,13 @@ TEST(NetServerE2eTest, MetricsExpositionLintPasses) {
     start = eol + 1;
     ++line_no;
     ASSERT_FALSE(line.empty()) << "blank line " << line_no;
+    ASSERT_FALSE(saw_eof) << "content after # EOF at line " << line_no;
     if (line[0] == '#') {
+      if (line == "# EOF") {
+        ASSERT_TRUE(openmetrics) << "# EOF in a 0.0.4 exposition";
+        saw_eof = true;
+        continue;
+      }
       const bool help = StartsWith(line, "# HELP ");
       const bool type = StartsWith(line, "# TYPE ");
       ASSERT_TRUE(help || type) << "line " << line_no << ": " << line;
@@ -1132,7 +1141,9 @@ TEST(NetServerE2eTest, MetricsExpositionLintPasses) {
     }
     if (pos < line.size()) {
       // The only legal tail is an OpenMetrics exemplar, and only on
-      // bucket lines.
+      // bucket lines of the OpenMetrics exposition.
+      ASSERT_TRUE(openmetrics)
+          << "exemplar tail on 0.0.4 line " << line_no << ": " << line;
       const std::string tail = line.substr(pos);
       ASSERT_TRUE(StartsWith(tail, " # {"))
           << "line " << line_no << ": " << line;
@@ -1156,7 +1167,7 @@ TEST(NetServerE2eTest, MetricsExpositionLintPasses) {
     }
   }
   ASSERT_GT(samples, 0u);
-  ASSERT_GE(exemplars, 1u) << "the lint probe exemplar did not render";
+  ASSERT_EQ(saw_eof, openmetrics) << "missing # EOF terminator";
 
   // `le` strictly ascending, cumulative counts monotone, +Inf present
   // and agreeing with the family's _count.
@@ -1187,6 +1198,52 @@ TEST(NetServerE2eTest, MetricsExpositionLintPasses) {
     ASSERT_NE(count_it, counts.end()) << count_series;
     EXPECT_EQ(family.back().second, count_it->second) << series;
   }
+  *exemplars_out = exemplars;
+}
+
+TEST(NetServerE2eTest, MetricsExpositionLintPasses) {
+  DsmsOptions options;
+  options.trace_sample_every = 1;  // inline traces: spans + rings live
+  NetFixture fixture(options);
+  GeoStreamsClient client;
+  GS_ASSERT_OK(client.Connect("127.0.0.1", fixture.net().port()));
+  auto response = client.Command("QUERY goes.band1");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  GS_ASSERT_OK(fixture.Ingest(0, 2));
+  // Exemplars and gnarly label values must render scrapably too.
+  fixture.server()
+      .metrics_registry()
+      ->GetHistogram("geostreams_lint_probe_us", "lint probe",
+                     {{"path", "a\"b\\c\nd"}}, {10, 100})
+      ->ObserveWithExemplar(50, 3, "q\"1");
+
+  // A plain GET negotiates nothing and gets the 0.0.4 exposition —
+  // exemplar-free, since 0.0.4 parsers fail the whole scrape on an
+  // exemplar tail.
+  std::string content_type;
+  const std::string plain =
+      ScrapeHttpBody(fixture.net().port(), "/metrics", "", &content_type);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_TRUE(StartsWith(content_type, "text/plain; version=0.0.4"))
+      << content_type;
+  size_t plain_exemplars = 0;
+  ASSERT_NO_FATAL_FAILURE(LintExposition(plain, /*openmetrics=*/false,
+                                         &plain_exemplars));
+  EXPECT_EQ(plain_exemplars, 0u);
+
+  // Accept: application/openmetrics-text negotiates the OpenMetrics
+  // exposition, where the lint probe's exemplar must render.
+  const std::string om = ScrapeHttpBody(
+      fixture.net().port(), "/metrics",
+      "Accept: application/openmetrics-text; version=1.0.0\r\n",
+      &content_type);
+  ASSERT_FALSE(om.empty());
+  EXPECT_TRUE(StartsWith(content_type, "application/openmetrics-text"))
+      << content_type;
+  size_t om_exemplars = 0;
+  ASSERT_NO_FATAL_FAILURE(LintExposition(om, /*openmetrics=*/true,
+                                         &om_exemplars));
+  ASSERT_GE(om_exemplars, 1u) << "the lint probe exemplar did not render";
 }
 
 TEST(NetServerE2eTest, ControlTokenGatesMutatingVerbs) {
@@ -1303,13 +1360,15 @@ TEST(NetServerE2eTest, CatchUpCutoverIsObservable) {
         << event.detail;
   }
 
-  // After the replay drained, the catch-up lag gauge reads zero (the
-  // series sticks around so dashboards see the ramp hit the floor).
+  // After the replay drained, the catch-up lag gauge reads zero. One
+  // unlabeled series summed over registrations — a per-query-id label
+  // would leak a frozen series per finished query.
   const std::string metrics = fixture.server().RenderMetrics();
-  const std::string gauge = StringPrintf(
-      "geostreams_catchup_lag_frames{query=\"%lld\"} 0\n",
-      static_cast<long long>(id));
-  EXPECT_NE(metrics.find(gauge), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("geostreams_catchup_lag_frames 0\n"),
+            std::string::npos)
+      << metrics;
+  EXPECT_EQ(metrics.find("geostreams_catchup_lag_frames{"), std::string::npos)
+      << metrics;
 }
 
 // ---------------------------------------------------------------------------

@@ -719,18 +719,25 @@ TEST(MetricsRegistryTest, RendersExemplarsOnBucketLines) {
   MetricHistogram* hist = reg.GetHistogram("geostreams_exemplar_us", "h",
                                            {{"stage", "send"}}, {10, 100});
   hist->ObserveWithExemplar(50, 7, "q1");
-  std::string out = reg.RenderPrometheus();
+  std::string out = reg.RenderOpenMetrics();
   EXPECT_NE(out.find("geostreams_exemplar_us_bucket{stage=\"send\","
                      "le=\"100\"} 1 # {trace=\"7\",pipeline=\"q1\"} 50\n"),
             std::string::npos)
       << out;
   // Buckets that never saw an exemplared observation stay bare.
   EXPECT_NE(out.find("le=\"10\"} 0\n"), std::string::npos) << out;
+  // OpenMetrics expositions are # EOF-terminated.
+  EXPECT_NE(out.size(), 0u);
+  EXPECT_EQ(out.rfind("# EOF\n"), out.size() - 6) << out;
+  // The 0.0.4 exposition stays bare: its parsers read an exemplar
+  // tail as a malformed timestamp and fail the whole scrape.
+  EXPECT_EQ(reg.RenderPrometheus().find(" # {"), std::string::npos);
+  EXPECT_EQ(reg.RenderPrometheus().find("# EOF"), std::string::npos);
 
   // A later observation into the same bucket takes the slot (one
   // exemplar per bucket, latest wins).
   hist->ObserveWithExemplar(60, 9, "q2");
-  out = reg.RenderPrometheus();
+  out = reg.RenderOpenMetrics();
   EXPECT_NE(out.find("le=\"100\"} 2 # {trace=\"9\",pipeline=\"q2\"} 60\n"),
             std::string::npos)
       << out;
@@ -738,10 +745,26 @@ TEST(MetricsRegistryTest, RendersExemplarsOnBucketLines) {
 
   // The +Inf bucket carries its own exemplar.
   hist->ObserveWithExemplar(5000, 11, "q1");
-  out = reg.RenderPrometheus();
+  out = reg.RenderOpenMetrics();
   EXPECT_NE(out.find("le=\"+Inf\"} 3 # {trace=\"11\",pipeline=\"q1\"} 5000\n"),
             std::string::npos)
       << out;
+}
+
+TEST(MetricsRegistryTest, OpenMetricsCounterMetadataDropsTotalSuffix) {
+  MetricsRegistry reg;
+  reg.GetCounter("geostreams_things_total", "things")->Increment();
+  const std::string om = reg.RenderOpenMetrics();
+  // OpenMetrics names the counter family without the _total suffix in
+  // metadata; the sample line keeps the full name.
+  EXPECT_NE(om.find("# TYPE geostreams_things counter\n"), std::string::npos)
+      << om;
+  EXPECT_NE(om.find("geostreams_things_total 1\n"), std::string::npos) << om;
+  // 0.0.4 keeps the full name in metadata too.
+  const std::string prom = reg.RenderPrometheus();
+  EXPECT_NE(prom.find("# TYPE geostreams_things_total counter\n"),
+            std::string::npos)
+      << prom;
 }
 
 TEST(MetricsRegistryTest, ExemplarPipelineLabelsAreEscaped) {
@@ -749,7 +772,7 @@ TEST(MetricsRegistryTest, ExemplarPipelineLabelsAreEscaped) {
   MetricHistogram* hist =
       reg.GetHistogram("geostreams_exemplar_esc_us", "h", {}, {10});
   hist->ObserveWithExemplar(5, 1, "a\"b\\c");
-  const std::string out = reg.RenderPrometheus();
+  const std::string out = reg.RenderOpenMetrics();
   EXPECT_NE(out.find("# {trace=\"1\",pipeline=\"a\\\"b\\\\c\"} 5\n"),
             std::string::npos)
       << out;
@@ -768,7 +791,7 @@ TEST(ObserveE2eStageTest, SharedFamilyAndExemplarLinkage) {
   // Null registry is a no-op, not a crash.
   ObserveE2eStage(nullptr, "send", "source", "s", 1, &linked);
 
-  const std::string out = reg.RenderPrometheus();
+  const std::string out = reg.RenderOpenMetrics();
   EXPECT_NE(
       out.find("geostreams_e2e_latency_us_count{stage=\"send\","
                "source=\"sat.band1\"} 1\n"),
@@ -833,6 +856,32 @@ TEST(TraceTest, IngestAnchorsSeedTheStageChain) {
   EXPECT_NE(line.find("capture_us=100 admit_us=150 durable_us=0"),
             std::string::npos)
       << line;
+}
+
+TEST(TraceTest, SourceStageOwnershipTransfersToFirstFork) {
+  // On an N-pipeline fan-out the source-side stages (send, journal,
+  // total) must be observed once per frame, not once per fork: the
+  // root hands ownership to its FIRST fork, later forks observe only
+  // their own per-pipeline stages.
+  TraceContext root(1, "src");
+  EXPECT_TRUE(root.observes_source_stages());
+  auto first = root.Fork("q1");
+  EXPECT_TRUE(first->observes_source_stages());
+  EXPECT_FALSE(root.observes_source_stages());
+  auto second = root.Fork("q2");
+  EXPECT_FALSE(second->observes_source_stages());
+  // A grandchild fork keeps passing the baton down the owning chain.
+  auto grand = first->Fork("q1.sub");
+  EXPECT_TRUE(grand->observes_source_stages());
+  EXPECT_FALSE(first->observes_source_stages());
+
+  // `total` is one-shot even on the owner (the inline workers=0 path
+  // runs one trace through every query's delivery chain).
+  TraceContext inline_root(2, "src");
+  EXPECT_TRUE(inline_root.ClaimTotalStage());
+  EXPECT_FALSE(inline_root.ClaimTotalStage());
+  EXPECT_FALSE(second->ClaimTotalStage());  // non-owner never claims
+  EXPECT_TRUE(grand->ClaimTotalStage());
 }
 
 TEST(TraceRingTest, ReserveAssignsOrdinalsBeforePush) {
